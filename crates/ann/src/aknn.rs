@@ -1,0 +1,369 @@
+//! The homogenized adaptive k-NN hit test.
+//!
+//! Raw nearest-neighbour results are not enough to decide reuse: a query
+//! sitting *between* two cached clusters may have a near neighbour of the
+//! wrong class. Following FoggyCache's A-kNN, a lookup counts as a hit
+//! only when (i) the nearest neighbour is within a distance threshold and
+//! (ii) the labels of the in-threshold neighbours are sufficiently
+//! *homogeneous* — a dominant label holds at least a configured fraction.
+//! Queries near class boundaries then fall through to full inference
+//! instead of being answered with a coin-flip label.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the hit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AknnConfig {
+    /// Neighbours to consider.
+    pub k: usize,
+    /// Maximum distance for the nearest neighbour to count as a hit, and
+    /// for any neighbour to participate in the homogeneity vote.
+    pub distance_threshold: f64,
+    /// Minimum fraction of in-threshold neighbours that must share the
+    /// dominant label (`0.5` = simple majority, `1.0` = unanimous).
+    pub homogeneity: f64,
+    /// Minimum number of in-threshold neighbours required before the vote
+    /// is trusted. `1` accepts single-neighbour hits.
+    pub min_support: usize,
+}
+
+impl Default for AknnConfig {
+    fn default() -> Self {
+        AknnConfig {
+            k: 4,
+            distance_threshold: 1.0,
+            homogeneity: 0.75,
+            min_support: 1,
+        }
+    }
+}
+
+impl AknnConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `min_support == 0`, the threshold is not
+    /// positive/finite, or homogeneity is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.k > 0, "AknnConfig: k must be positive");
+        assert!(self.min_support > 0, "AknnConfig: min_support must be positive");
+        assert!(
+            self.distance_threshold > 0.0 && self.distance_threshold.is_finite(),
+            "AknnConfig: distance_threshold must be positive and finite"
+        );
+        assert!(
+            self.homogeneity > 0.0 && self.homogeneity <= 1.0,
+            "AknnConfig: homogeneity must be in (0, 1]"
+        );
+    }
+}
+
+/// Why a lookup did not hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissReason {
+    /// The index returned no neighbours at all.
+    EmptyIndex,
+    /// The nearest neighbour was farther than the threshold.
+    TooFar,
+    /// Enough neighbours were close, but no label dominated strongly
+    /// enough.
+    NotHomogeneous,
+    /// Fewer than `min_support` neighbours were within the threshold.
+    InsufficientSupport,
+}
+
+impl std::fmt::Display for MissReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MissReason::EmptyIndex => "empty-index",
+            MissReason::TooFar => "too-far",
+            MissReason::NotHomogeneous => "not-homogeneous",
+            MissReason::InsufficientSupport => "insufficient-support",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The hit test's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AknnOutcome<L> {
+    /// Reuse `label`.
+    Hit {
+        /// The dominant label among in-threshold neighbours.
+        label: L,
+        /// Distance of the nearest neighbour.
+        nearest_distance: f64,
+        /// Number of in-threshold neighbours voting for `label`.
+        support: usize,
+        /// The dominant label's vote fraction.
+        homogeneity: f64,
+    },
+    /// Fall through to the next tier.
+    Miss(MissReason),
+}
+
+impl<L> AknnOutcome<L> {
+    /// True for the `Hit` variant.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AknnOutcome::Hit { .. })
+    }
+
+    /// The reused label, if any.
+    pub fn label(&self) -> Option<&L> {
+        match self {
+            AknnOutcome::Hit { label, .. } => Some(label),
+            AknnOutcome::Miss(_) => None,
+        }
+    }
+}
+
+/// Runs the hit test over `(distance, label)` pairs sorted or unsorted.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or any distance is negative/non-finite.
+pub fn decide<L: Eq + std::hash::Hash + Copy>(
+    neighbors: &[(f64, L)],
+    config: &AknnConfig,
+) -> AknnOutcome<L> {
+    config.validate();
+    assert!(
+        neighbors.iter().all(|(d, _)| d.is_finite() && *d >= 0.0),
+        "decide: distances must be finite and non-negative"
+    );
+    if neighbors.is_empty() {
+        return AknnOutcome::Miss(MissReason::EmptyIndex);
+    }
+    let mut sorted: Vec<(f64, L)> = neighbors.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    sorted.truncate(config.k);
+
+    let nearest_distance = sorted[0].0;
+    if nearest_distance > config.distance_threshold {
+        return AknnOutcome::Miss(MissReason::TooFar);
+    }
+    let in_threshold: Vec<&(f64, L)> = sorted
+        .iter()
+        .filter(|(d, _)| *d <= config.distance_threshold)
+        .collect();
+    if in_threshold.len() < config.min_support {
+        return AknnOutcome::Miss(MissReason::InsufficientSupport);
+    }
+    let mut votes: std::collections::HashMap<L, usize> = std::collections::HashMap::new();
+    for (_, label) in &in_threshold {
+        *votes.entry(*label).or_insert(0) += 1;
+    }
+    let (&dominant, &count) = votes
+        .iter()
+        .max_by_key(|(_, &count)| count)
+        .expect("non-empty votes");
+    let fraction = count as f64 / in_threshold.len() as f64;
+    if fraction < config.homogeneity {
+        return AknnOutcome::Miss(MissReason::NotHomogeneous);
+    }
+    // Tie-break: if another label has the same count, the vote is not
+    // decisive — treat as non-homogeneous unless the dominant strictly wins.
+    let tied = votes.values().filter(|&&c| c == count).count() > 1;
+    if tied && fraction < 1.0 {
+        return AknnOutcome::Miss(MissReason::NotHomogeneous);
+    }
+    AknnOutcome::Hit {
+        label: dominant,
+        nearest_distance,
+        support: count,
+        homogeneity: fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AknnConfig {
+        AknnConfig {
+            k: 4,
+            distance_threshold: 1.0,
+            homogeneity: 0.75,
+            min_support: 1,
+        }
+    }
+
+    #[test]
+    fn empty_neighbours_miss() {
+        let out: AknnOutcome<u32> = decide(&[], &config());
+        assert_eq!(out, AknnOutcome::Miss(MissReason::EmptyIndex));
+        assert!(!out.is_hit());
+        assert_eq!(out.label(), None);
+    }
+
+    #[test]
+    fn close_unanimous_neighbours_hit() {
+        let out = decide(&[(0.1, 7u32), (0.2, 7), (0.3, 7)], &config());
+        match out {
+            AknnOutcome::Hit {
+                label,
+                nearest_distance,
+                support,
+                homogeneity,
+            } => {
+                assert_eq!(label, 7);
+                assert!((nearest_distance - 0.1).abs() < 1e-12);
+                assert_eq!(support, 3);
+                assert_eq!(homogeneity, 1.0);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(out.label(), Some(&7));
+    }
+
+    #[test]
+    fn far_nearest_misses() {
+        let out = decide(&[(1.5, 7u32), (1.6, 7)], &config());
+        assert_eq!(out, AknnOutcome::Miss(MissReason::TooFar));
+    }
+
+    #[test]
+    fn boundary_query_misses_on_homogeneity() {
+        // Two labels split 2-2: no 75% dominant.
+        let out = decide(&[(0.1, 1u32), (0.2, 2), (0.3, 1), (0.4, 2)], &config());
+        assert_eq!(out, AknnOutcome::Miss(MissReason::NotHomogeneous));
+    }
+
+    #[test]
+    fn dominant_label_with_spoiler_hits_at_threshold() {
+        // 3-of-4 = 75% exactly meets the homogeneity bar.
+        let out = decide(&[(0.1, 1u32), (0.2, 1), (0.3, 1), (0.4, 2)], &config());
+        assert!(out.is_hit());
+        assert_eq!(out.label(), Some(&1));
+    }
+
+    #[test]
+    fn only_in_threshold_neighbours_vote() {
+        // The far wrong-label neighbours are beyond the threshold and must
+        // not dilute the vote.
+        let out = decide(&[(0.1, 1u32), (5.0, 2), (6.0, 2), (7.0, 2)], &config());
+        assert!(out.is_hit());
+        assert_eq!(out.label(), Some(&1));
+    }
+
+    #[test]
+    fn min_support_enforced() {
+        let strict = AknnConfig {
+            min_support: 2,
+            ..config()
+        };
+        let out = decide(&[(0.1, 1u32)], &strict);
+        assert_eq!(out, AknnOutcome::Miss(MissReason::InsufficientSupport));
+        let out = decide(&[(0.1, 1u32), (0.2, 1)], &strict);
+        assert!(out.is_hit());
+    }
+
+    #[test]
+    fn k_truncates_before_voting() {
+        let narrow = AknnConfig { k: 2, ..config() };
+        // With k=2 only the two nearest (label 1) vote; label 2 never seen.
+        let out = decide(
+            &[(0.1, 1u32), (0.2, 1), (0.3, 2), (0.4, 2), (0.5, 2)],
+            &narrow,
+        );
+        assert!(out.is_hit());
+        assert_eq!(out.label(), Some(&1));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let out = decide(&[(0.9, 2u32), (0.1, 1), (0.2, 1), (0.3, 1)], &config());
+        assert!(out.is_hit());
+        assert_eq!(out.label(), Some(&1));
+    }
+
+    #[test]
+    fn exact_tie_between_labels_is_rejected() {
+        let lax = AknnConfig {
+            homogeneity: 0.5,
+            ..config()
+        };
+        let out = decide(&[(0.1, 1u32), (0.2, 2)], &lax);
+        assert_eq!(out, AknnOutcome::Miss(MissReason::NotHomogeneous));
+    }
+
+    #[test]
+    #[should_panic(expected = "distances must be finite")]
+    fn rejects_negative_distance() {
+        decide(&[(-0.1, 1u32)], &config());
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneity must be in (0, 1]")]
+    fn rejects_bad_homogeneity() {
+        decide(
+            &[(0.1, 1u32)],
+            &AknnConfig {
+                homogeneity: 0.0,
+                ..config()
+            },
+        );
+    }
+
+    #[test]
+    fn miss_reason_display() {
+        assert_eq!(MissReason::TooFar.to_string(), "too-far");
+        assert_eq!(MissReason::EmptyIndex.to_string(), "empty-index");
+        assert_eq!(MissReason::NotHomogeneous.to_string(), "not-homogeneous");
+        assert_eq!(
+            MissReason::InsufficientSupport.to_string(),
+            "insufficient-support"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn neighbors() -> impl Strategy<Value = Vec<(f64, u8)>> {
+        proptest::collection::vec((0.0f64..3.0, 0u8..4), 0..12)
+    }
+
+    proptest! {
+        /// A hit's label always has in-threshold support ≥ ceil(h·n) and
+        /// the nearest distance is within the threshold.
+        #[test]
+        fn hit_invariants(ns in neighbors()) {
+            let config = AknnConfig::default();
+            if let AknnOutcome::Hit { nearest_distance, support, homogeneity, .. } =
+                decide(&ns, &config)
+            {
+                prop_assert!(nearest_distance <= config.distance_threshold);
+                prop_assert!(homogeneity >= config.homogeneity);
+                prop_assert!(support >= config.min_support);
+            }
+        }
+
+        /// A query whose nearest neighbour is beyond the lax threshold is
+        /// `TooFar` under any tighter threshold as well. (Full
+        /// hit-monotonicity does NOT hold: tightening the threshold can
+        /// turn a homogeneity miss into a hit by excluding far wrong-label
+        /// voters — that behaviour is intended.)
+        #[test]
+        fn too_far_is_monotone_under_tightening(ns in neighbors()) {
+            let lax = AknnConfig { distance_threshold: 2.0, ..AknnConfig::default() };
+            let tight = AknnConfig { distance_threshold: 0.5, ..AknnConfig::default() };
+            if decide(&ns, &lax) == AknnOutcome::Miss(MissReason::TooFar) {
+                prop_assert_eq!(decide(&ns, &tight), AknnOutcome::Miss(MissReason::TooFar));
+            }
+        }
+
+        /// Raising the homogeneity bar never turns a miss into a hit.
+        #[test]
+        fn stricter_homogeneity_is_monotone(ns in neighbors()) {
+            let lax = AknnConfig { homogeneity: 0.5, ..AknnConfig::default() };
+            let strict = AknnConfig { homogeneity: 1.0, ..AknnConfig::default() };
+            let lax_hit = decide(&ns, &lax).is_hit();
+            let strict_hit = decide(&ns, &strict).is_hit();
+            prop_assert!(!strict_hit || lax_hit);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Nearest-neighbour search for the approximate cache.
+//!
+//! A cache lookup is a k-nearest-neighbour query over the cached
+//! signatures. Three interchangeable indexes implement [`NnIndex`]:
+//!
+//! - [`LinearScan`] — exact, `O(n)` per query; the correctness reference
+//!   and the fastest choice below a few hundred entries.
+//! - [`KdTree`] — exact, logarithmic-ish in low dimension; degrades
+//!   towards linear as dimension grows (the classic curse).
+//! - [`LshIndex`] — sign-random-projection LSH, sublinear candidate
+//!   generation; approximate but tunable via tables × bits.
+//!
+//! On top of the raw neighbour list sits [`aknn`]: the *homogenized
+//! adaptive k-NN* hit test (after FoggyCache's A-kNN) that decides whether
+//! the neighbours are close and unanimous enough to trust their label
+//! instead of running the DNN.
+//!
+//! # Example
+//!
+//! ```
+//! use ann::{LinearScan, NnIndex};
+//! use features::FeatureVector;
+//!
+//! let mut index = LinearScan::new(2);
+//! index.insert(1, FeatureVector::from_vec(vec![0.0, 0.0]).unwrap());
+//! index.insert(2, FeatureVector::from_vec(vec![5.0, 5.0]).unwrap());
+//! let hits = index.nearest(&FeatureVector::from_vec(vec![0.1, 0.0]).unwrap(), 1);
+//! assert_eq!(hits[0].id, 1);
+//! ```
+
+pub mod aknn;
+pub mod index;
+pub mod kdtree;
+pub mod linear;
+pub mod lsh;
+pub mod nsw;
+
+pub use aknn::{AknnConfig, AknnOutcome, MissReason};
+pub use index::{Neighbor, NnIndex};
+pub use kdtree::KdTree;
+pub use linear::LinearScan;
+pub use lsh::{LshConfig, LshIndex};
+pub use nsw::{NswConfig, NswIndex};

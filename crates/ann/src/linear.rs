@@ -1,0 +1,198 @@
+//! Exact brute-force search.
+
+use std::collections::HashMap;
+
+use features::{distance::squared_euclidean, FeatureVector};
+
+use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+
+/// The exact reference index: a flat array scanned per query.
+///
+/// `O(n)` per lookup but with an excellent constant — below a few hundred
+/// entries (the common regime for a per-app mobile cache) nothing beats
+/// it, which is why it is the cache's default index.
+///
+/// # Example
+///
+/// ```
+/// use ann::{LinearScan, NnIndex};
+/// use features::FeatureVector;
+///
+/// let mut index = LinearScan::new(3);
+/// index.insert(10, FeatureVector::from_vec(vec![1.0, 0.0, 0.0]).unwrap());
+/// assert_eq!(index.len(), 1);
+/// assert!(index.remove(10));
+/// assert!(index.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinearScan {
+    dim: usize,
+    entries: Vec<(u64, FeatureVector)>,
+    /// id → position in `entries` (swap-remove keeps this dense).
+    positions: HashMap<u64, usize>,
+}
+
+impl LinearScan {
+    /// Creates an empty index for keys of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> LinearScan {
+        assert!(dim > 0, "LinearScan: dim must be positive");
+        LinearScan {
+            dim,
+            entries: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+}
+
+impl NnIndex for LinearScan {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn insert(&mut self, id: u64, key: FeatureVector) {
+        check_insert(self.dim, &key);
+        match self.positions.get(&id) {
+            Some(&pos) => self.entries[pos].1 = key,
+            None => {
+                self.positions.insert(id, self.entries.len());
+                self.entries.push((id, key));
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(pos) = self.positions.remove(&id) else {
+            return false;
+        };
+        self.entries.swap_remove(pos);
+        if pos < self.entries.len() {
+            let moved_id = self.entries[pos].0;
+            self.positions.insert(moved_id, pos);
+        }
+        true
+    }
+
+    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+        check_query(self.dim, query, k);
+        let mut all: Vec<Neighbor> = self
+            .entries
+            .iter()
+            .map(|(id, key)| Neighbor {
+                id: *id,
+                distance: squared_euclidean(key, query),
+            })
+            .collect();
+        // Partial sort: select the k smallest, then order them.
+        let k = k.min(all.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        all.select_nth_unstable_by(k - 1, |a, b| {
+            a.distance.partial_cmp(&b.distance).expect("finite distances")
+        });
+        all.truncate(k);
+        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        for n in &mut all {
+            n.distance = n.distance.sqrt();
+        }
+        all
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.positions.clear();
+    }
+
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn nearest_returns_sorted_exact_results() {
+        let mut index = LinearScan::new(1);
+        for (id, x) in [(1u64, 10.0f32), (2, 0.0), (3, 5.0), (4, -2.5)] {
+            index.insert(id, fv(&[x]));
+        }
+        let hits = index.nearest(&fv(&[1.0]), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 2);
+        assert!((hits[0].distance - 1.0).abs() < 1e-6);
+        assert_eq!(hits[1].id, 4);
+        assert_eq!(hits[2].id, 3);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let mut index = LinearScan::new(1);
+        index.insert(1, fv(&[0.0]));
+        let hits = index.nearest(&fv(&[0.0]), 10);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let index = LinearScan::new(2);
+        assert!(index.nearest(&fv(&[0.0, 0.0]), 5).is_empty());
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn insert_same_id_replaces() {
+        let mut index = LinearScan::new(1);
+        index.insert(1, fv(&[0.0]));
+        index.insert(1, fv(&[100.0]));
+        assert_eq!(index.len(), 1);
+        let hits = index.nearest(&fv(&[100.0]), 1);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn remove_swaps_correctly() {
+        let mut index = LinearScan::new(1);
+        for id in 0..5u64 {
+            index.insert(id, fv(&[id as f32]));
+        }
+        assert!(index.remove(0));
+        assert!(!index.remove(0));
+        assert_eq!(index.len(), 4);
+        // The remaining ids must all still be findable at their keys.
+        for id in 1..5u64 {
+            let hits = index.nearest(&fv(&[id as f32]), 1);
+            assert_eq!(hits[0].id, id);
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut index = LinearScan::new(1);
+        index.insert(1, fv(&[1.0]));
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.kind(), "linear");
+        assert_eq!(index.dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        LinearScan::new(0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Sign-random-projection LSH (multi-table).
+
+use std::collections::HashMap;
+
+use features::{distance::squared_euclidean, FeatureVector};
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+
+/// Tuning of an [`LshIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Number of hash tables. More tables ⇒ higher recall, more memory.
+    pub tables: usize,
+    /// Bits per table key. More bits ⇒ smaller buckets ⇒ faster but lower
+    /// recall.
+    pub bits: usize,
+    /// Seed for the hyperplane banks (devices sharing entries must agree).
+    pub seed: u64,
+    /// Multiprobe radius: each query additionally probes every bucket
+    /// within this Hamming distance of its signature in each table.
+    /// `0` disables multiprobe; `1` probes `bits + 1` buckets per table
+    /// and substantially improves recall at modest cost.
+    pub probe_radius: usize,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            tables: 8,
+            bits: 12,
+            seed: 0x15_4ea,
+            probe_radius: 1,
+        }
+    }
+}
+
+impl LshConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables == 0`, `bits == 0`, or `bits > 32`.
+    pub fn validate(&self) {
+        assert!(self.tables > 0, "LshConfig: tables must be positive");
+        assert!(
+            self.bits > 0 && self.bits <= 32,
+            "LshConfig: bits must be in 1..=32"
+        );
+        assert!(
+            self.probe_radius <= 2,
+            "LshConfig: probe_radius above 2 explodes the probe count"
+        );
+    }
+}
+
+/// Approximate nearest-neighbour search via signed random projections.
+///
+/// Each of `tables` hash tables assigns a vector a `bits`-bit signature
+/// (one sign bit per random hyperplane). A query gathers the union of its
+/// buckets across tables as candidates and ranks them by exact distance.
+/// Near-duplicates — the only thing an approximate cache needs to find —
+/// collide in at least one table with very high probability.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    dim: usize,
+    config: LshConfig,
+    /// Hyperplanes: `tables × bits` rows of `dim` components.
+    planes: Vec<f32>,
+    /// One bucket map per table: signature → entry ids.
+    buckets: Vec<HashMap<u32, Vec<u64>>>,
+    /// Authoritative key storage (also what exact re-ranking reads).
+    keys: HashMap<u64, FeatureVector>,
+}
+
+impl LshIndex {
+    /// Creates an empty index for keys of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the config is invalid.
+    pub fn new(dim: usize, config: LshConfig) -> LshIndex {
+        assert!(dim > 0, "LshIndex: dim must be positive");
+        config.validate();
+        let mut rng = SimRng::seed(config.seed).split("lsh-planes");
+        let planes = (0..config.tables * config.bits * dim)
+            .map(|_| rng.std_normal() as f32)
+            .collect();
+        LshIndex {
+            dim,
+            config,
+            planes,
+            buckets: vec![HashMap::new(); config.tables],
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> LshConfig {
+        self.config
+    }
+
+    fn signature(&self, table: usize, key: &FeatureVector) -> u32 {
+        let x = key.as_slice();
+        let mut sig = 0u32;
+        for bit in 0..self.config.bits {
+            let row_start = ((table * self.config.bits) + bit) * self.dim;
+            let row = &self.planes[row_start..row_start + self.dim];
+            let mut acc = 0.0f64;
+            for (a, b) in row.iter().zip(x) {
+                acc += *a as f64 * *b as f64;
+            }
+            if acc >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    /// The signatures a query probes in one table: the exact signature
+    /// plus every signature within the configured Hamming radius.
+    fn probe_signatures(&self, sig: u32) -> Vec<u32> {
+        let bits = self.config.bits;
+        let mut probes = vec![sig];
+        if self.config.probe_radius >= 1 {
+            for b in 0..bits {
+                probes.push(sig ^ (1 << b));
+            }
+        }
+        if self.config.probe_radius >= 2 {
+            for b1 in 0..bits {
+                for b2 in (b1 + 1)..bits {
+                    probes.push(sig ^ (1 << b1) ^ (1 << b2));
+                }
+            }
+        }
+        probes
+    }
+
+    /// Average bucket occupancy over non-empty buckets (diagnostics).
+    pub fn mean_bucket_size(&self) -> f64 {
+        let (count, total) = self
+            .buckets
+            .iter()
+            .flat_map(|t| t.values())
+            .fold((0usize, 0usize), |(c, t), b| (c + 1, t + b.len()));
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+impl NnIndex for LshIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn insert(&mut self, id: u64, key: FeatureVector) {
+        check_insert(self.dim, &key);
+        if self.keys.contains_key(&id) {
+            self.remove(id);
+        }
+        for table in 0..self.config.tables {
+            let sig = self.signature(table, &key);
+            self.buckets[table].entry(sig).or_default().push(id);
+        }
+        self.keys.insert(id, key);
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(key) = self.keys.remove(&id) else {
+            return false;
+        };
+        for table in 0..self.config.tables {
+            let sig = self.signature(table, &key);
+            if let Some(bucket) = self.buckets[table].get_mut(&sig) {
+                bucket.retain(|&other| other != id);
+                if bucket.is_empty() {
+                    self.buckets[table].remove(&sig);
+                }
+            }
+        }
+        true
+    }
+
+    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+        check_query(self.dim, query, k);
+        let mut candidates: Vec<u64> = Vec::new();
+        for table in 0..self.config.tables {
+            let sig = self.signature(table, query);
+            for probe in self.probe_signatures(sig) {
+                if let Some(bucket) = self.buckets[table].get(&probe) {
+                    candidates.extend_from_slice(bucket);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut hits: Vec<Neighbor> = candidates
+            .into_iter()
+            .map(|id| Neighbor {
+                id,
+                distance: squared_euclidean(&self.keys[&id], query),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        hits.truncate(k);
+        for n in &mut hits {
+            n.distance = n.distance.sqrt();
+        }
+        hits
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        for table in &mut self.buckets {
+            table.clear();
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "lsh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use features::projection::random_vectors;
+
+    fn index_with(keys: &[FeatureVector]) -> LshIndex {
+        let mut index = LshIndex::new(keys[0].dim(), LshConfig::default());
+        for (i, key) in keys.iter().enumerate() {
+            index.insert(i as u64, key.clone());
+        }
+        index
+    }
+
+    #[test]
+    fn finds_exact_duplicates_always() {
+        let mut rng = SimRng::seed(1);
+        let keys = random_vectors(500, 16, &mut rng);
+        let index = index_with(&keys);
+        for (i, key) in keys.iter().enumerate().step_by(17) {
+            let hits = index.nearest(key, 1);
+            assert_eq!(hits[0].id, i as u64, "exact key must hash to its own bucket");
+            assert!(hits[0].distance < 1e-6);
+        }
+    }
+
+    #[test]
+    fn finds_planted_near_duplicates() {
+        let mut rng = SimRng::seed(2);
+        let keys = random_vectors(400, 32, &mut rng);
+        let index = index_with(&keys);
+        let mut found = 0;
+        let trials = 100;
+        for i in 0..trials {
+            let base = &keys[i * 3];
+            let noise: Vec<f32> = (0..32).map(|_| rng.normal(0.0, 0.01) as f32).collect();
+            let query = base.add(&FeatureVector::from_vec(noise).unwrap()).unwrap();
+            let hits = index.nearest(&query, 1);
+            if hits.first().map(|h| h.id) == Some((i * 3) as u64) {
+                found += 1;
+            }
+        }
+        assert!(found >= 95, "recall on near-duplicates {found}/{trials}");
+    }
+
+    #[test]
+    fn recall_of_true_nearest_is_reasonable() {
+        let mut rng = SimRng::seed(3);
+        let keys = random_vectors(300, 16, &mut rng);
+        let lsh = index_with(&keys);
+        let mut linear = LinearScan::new(16);
+        for (i, key) in keys.iter().enumerate() {
+            linear.insert(i as u64, key.clone());
+        }
+        let queries = random_vectors(100, 16, &mut rng);
+        let mut agree = 0;
+        for q in &queries {
+            let a = lsh.nearest(q, 1);
+            let b = linear.nearest(q, 1);
+            if a.first().map(|n| n.id) == b.first().map(|n| n.id) {
+                agree += 1;
+            }
+        }
+        // Arbitrary query points (not near-duplicates) are the hard case;
+        // even there the multi-table index finds the true NN usually.
+        assert!(agree >= 50, "agreement {agree}/100");
+    }
+
+    #[test]
+    fn remove_purges_all_tables() {
+        let mut rng = SimRng::seed(4);
+        let keys = random_vectors(50, 8, &mut rng);
+        let mut index = index_with(&keys);
+        for i in 0..50u64 {
+            assert!(index.remove(i));
+        }
+        assert!(index.is_empty());
+        assert_eq!(index.mean_bucket_size(), 0.0);
+        assert!(!index.remove(0));
+    }
+
+    #[test]
+    fn update_replaces_key() {
+        let mut index = LshIndex::new(4, LshConfig::default());
+        let a = FeatureVector::from_vec(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let b = FeatureVector::from_vec(vec![0.0, 5.0, 0.0, 0.0]).unwrap();
+        index.insert(1, a);
+        index.insert(1, b.clone());
+        assert_eq!(index.len(), 1);
+        let hits = index.nearest(&b, 1);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn reported_distances_are_exact() {
+        let mut rng = SimRng::seed(5);
+        let keys = random_vectors(100, 8, &mut rng);
+        let index = index_with(&keys);
+        let q = &keys[0];
+        for hit in index.nearest(q, 5) {
+            let true_d = features::distance::euclidean(&keys[hit.id as usize], q);
+            assert!((hit.distance - true_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_hashes_across_instances() {
+        // Two devices with the same config must bucket keys identically,
+        // otherwise shared entries would not collide.
+        let mut rng = SimRng::seed(6);
+        let key = &random_vectors(1, 16, &mut rng)[0];
+        let a = LshIndex::new(16, LshConfig::default());
+        let b = LshIndex::new(16, LshConfig::default());
+        for table in 0..a.config().tables {
+            assert_eq!(a.signature(table, key), b.signature(table, key));
+        }
+    }
+
+    #[test]
+    fn clear_and_kind() {
+        let mut index = LshIndex::new(2, LshConfig::default());
+        index.insert(1, FeatureVector::zeros(2));
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.kind(), "lsh");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=32")]
+    fn config_validates_bits() {
+        LshConfig {
+            bits: 40,
+            ..LshConfig::default()
+        }
+        .validate();
+    }
+}

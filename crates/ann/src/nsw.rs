@@ -1,0 +1,386 @@
+//! A navigable-small-world (NSW) graph index.
+//!
+//! The graph-based family (NSW / HNSW) is what production ANN systems use
+//! at scale: each inserted point is connected to its `m` nearest
+//! neighbours found by a best-first *beam search* over the existing
+//! graph, and queries run the same beam search. This implementation is
+//! the single-layer variant (no hierarchy — at mobile cache sizes the
+//! entry-point walk the hierarchy saves is negligible), with tombstone
+//! deletion and periodic compaction like the k-d tree.
+//!
+//! Compared to LSH it needs no tuning per dimension and its recall
+//! degrades smoothly with the beam width `ef`.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use features::{distance::squared_euclidean, FeatureVector};
+use serde::{Deserialize, Serialize};
+
+use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+
+/// Tuning of an [`NswIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NswConfig {
+    /// Bidirectional links kept per node.
+    pub m: usize,
+    /// Beam width during search and insertion (larger ⇒ higher recall,
+    /// slower).
+    pub ef: usize,
+}
+
+impl Default for NswConfig {
+    fn default() -> Self {
+        NswConfig { m: 12, ef: 48 }
+    }
+}
+
+impl NswConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `ef < m`.
+    pub fn validate(&self) {
+        assert!(self.m > 0, "NswConfig: m must be positive");
+        assert!(self.ef >= self.m, "NswConfig: ef must be at least m");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    id: u64,
+    key: FeatureVector,
+    links: Vec<usize>,
+    deleted: bool,
+}
+
+/// Ordered-by-distance entry for the search frontier (min-heap via
+/// `Reverse` semantics implemented manually).
+#[derive(PartialEq)]
+struct Candidate {
+    distance: f64,
+    node: usize,
+}
+
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: closer first.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .expect("finite distances")
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Approximate nearest-neighbour search over a navigable-small-world
+/// graph.
+#[derive(Debug, Clone)]
+pub struct NswIndex {
+    dim: usize,
+    config: NswConfig,
+    nodes: Vec<Node>,
+    positions: HashMap<u64, usize>,
+    live: usize,
+}
+
+impl NswIndex {
+    /// Creates an empty index for keys of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the config is invalid.
+    pub fn new(dim: usize, config: NswConfig) -> NswIndex {
+        assert!(dim > 0, "NswIndex: dim must be positive");
+        config.validate();
+        NswIndex {
+            dim,
+            config,
+            nodes: Vec::new(),
+            positions: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> NswConfig {
+        self.config
+    }
+
+    /// Best-first beam search from an arbitrary entry point; returns up
+    /// to `ef` candidates (live nodes only), ascending by distance.
+    fn beam_search(&self, query: &FeatureVector, ef: usize) -> Vec<(f64, usize)> {
+        let Some(entry) = self.entry_point() else {
+            return Vec::new();
+        };
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut best: Vec<(f64, usize)> = Vec::new(); // sorted ascending
+
+        let entry_distance = squared_euclidean(&self.nodes[entry].key, query);
+        visited.insert(entry);
+        frontier.push(Candidate {
+            distance: entry_distance,
+            node: entry,
+        });
+
+        while let Some(Candidate { distance, node }) = frontier.pop() {
+            // Stop when the frontier is strictly worse than the beam's
+            // current worst and the beam is full.
+            if best.len() >= ef && distance > best[best.len() - 1].0 {
+                break;
+            }
+            if !self.nodes[node].deleted {
+                let at = best.partition_point(|&(d, _)| d <= distance);
+                best.insert(at, (distance, node));
+                best.truncate(ef);
+            }
+            for &next in &self.nodes[node].links {
+                if visited.insert(next) {
+                    let d = squared_euclidean(&self.nodes[next].key, query);
+                    if best.len() < ef || d <= best[best.len() - 1].0 {
+                        frontier.push(Candidate { distance: d, node: next });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Any live node to start searches from (the most recently inserted
+    /// live node, which is well-connected).
+    fn entry_point(&self) -> Option<usize> {
+        self.nodes.iter().rposition(|n| !n.deleted)
+    }
+
+    fn compact(&mut self) {
+        // Rebuild the graph from live nodes.
+        let entries: Vec<(u64, FeatureVector)> = self
+            .nodes
+            .drain(..)
+            .filter(|n| !n.deleted)
+            .map(|n| (n.id, n.key))
+            .collect();
+        self.positions.clear();
+        self.live = 0;
+        for (id, key) in entries {
+            self.insert_internal(id, key);
+        }
+    }
+
+    fn insert_internal(&mut self, id: u64, key: FeatureVector) {
+        let neighbors = self.beam_search(&key, self.config.ef);
+        let new_index = self.nodes.len();
+        let links: Vec<usize> = neighbors
+            .iter()
+            .take(self.config.m)
+            .map(|&(_, node)| node)
+            .collect();
+        self.nodes.push(Node {
+            id,
+            key,
+            links: links.clone(),
+            deleted: false,
+        });
+        // Bidirectional links, pruning the neighbour's list to the m
+        // closest when it overflows.
+        for linked in links {
+            self.nodes[linked].links.push(new_index);
+            if self.nodes[linked].links.len() > 2 * self.config.m {
+                let anchor = self.nodes[linked].key.clone();
+                let mut with_d: Vec<(f64, usize)> = self.nodes[linked]
+                    .links
+                    .iter()
+                    .map(|&l| (squared_euclidean(&self.nodes[l].key, &anchor), l))
+                    .collect();
+                with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                with_d.truncate(2 * self.config.m);
+                self.nodes[linked].links = with_d.into_iter().map(|(_, l)| l).collect();
+            }
+        }
+        self.positions.insert(id, new_index);
+        self.live += 1;
+    }
+}
+
+impl NnIndex for NswIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn insert(&mut self, id: u64, key: FeatureVector) {
+        check_insert(self.dim, &key);
+        if self.positions.contains_key(&id) {
+            self.remove(id);
+        }
+        self.insert_internal(id, key);
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(index) = self.positions.remove(&id) else {
+            return false;
+        };
+        debug_assert!(!self.nodes[index].deleted);
+        self.nodes[index].deleted = true;
+        self.live -= 1;
+        if self.live * 2 < self.nodes.len() {
+            self.compact();
+        }
+        true
+    }
+
+    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+        check_query(self.dim, query, k);
+        self.beam_search(query, self.config.ef.max(k))
+            .into_iter()
+            .take(k)
+            .map(|(distance, node)| Neighbor {
+                id: self.nodes[node].id,
+                distance: distance.sqrt(),
+            })
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.positions.clear();
+        self.live = 0;
+    }
+
+    fn kind(&self) -> &'static str {
+        "nsw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use features::projection::random_vectors;
+    use simcore::SimRng;
+
+    fn index_with(keys: &[FeatureVector]) -> NswIndex {
+        let mut index = NswIndex::new(keys[0].dim(), NswConfig::default());
+        for (i, key) in keys.iter().enumerate() {
+            index.insert(i as u64, key.clone());
+        }
+        index
+    }
+
+    #[test]
+    fn finds_exact_duplicates() {
+        let mut rng = SimRng::seed(1);
+        let keys = random_vectors(400, 16, &mut rng);
+        let index = index_with(&keys);
+        for (i, key) in keys.iter().enumerate().step_by(13) {
+            let hits = index.nearest(key, 1);
+            assert_eq!(hits[0].id, i as u64);
+            assert!(hits[0].distance < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recall_against_linear_scan() {
+        let mut rng = SimRng::seed(2);
+        let keys = random_vectors(500, 16, &mut rng);
+        let nsw = index_with(&keys);
+        let mut linear = LinearScan::new(16);
+        for (i, key) in keys.iter().enumerate() {
+            linear.insert(i as u64, key.clone());
+        }
+        let queries = random_vectors(100, 16, &mut rng);
+        let mut top1_agree = 0;
+        let mut top5_recall = 0usize;
+        for q in &queries {
+            let approx = nsw.nearest(q, 5);
+            let exact = linear.nearest(q, 5);
+            if approx.first().map(|n| n.id) == exact.first().map(|n| n.id) {
+                top1_agree += 1;
+            }
+            let approx_ids: HashSet<u64> = approx.iter().map(|n| n.id).collect();
+            top5_recall += exact.iter().filter(|n| approx_ids.contains(&n.id)).count();
+        }
+        assert!(top1_agree >= 90, "top-1 agreement {top1_agree}/100");
+        assert!(top5_recall >= 420, "top-5 recall {top5_recall}/500");
+    }
+
+    #[test]
+    fn results_are_sorted_with_exact_distances() {
+        let mut rng = SimRng::seed(3);
+        let keys = random_vectors(200, 8, &mut rng);
+        let index = index_with(&keys);
+        let q = &random_vectors(1, 8, &mut rng)[0];
+        let hits = index.nearest(q, 10);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        for hit in &hits {
+            let true_d = features::distance::euclidean(&keys[hit.id as usize], q);
+            assert!((hit.distance - true_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn removal_and_compaction_keep_queries_correct() {
+        let mut rng = SimRng::seed(4);
+        let keys = random_vectors(300, 8, &mut rng);
+        let mut index = index_with(&keys);
+        for i in 0..300u64 {
+            if i % 3 != 0 {
+                assert!(index.remove(i));
+            }
+        }
+        assert_eq!(index.len(), 100);
+        // Every surviving key is still findable.
+        for i in (0..300).step_by(3) {
+            let hits = index.nearest(&keys[i], 1);
+            assert_eq!(hits[0].id, i as u64, "survivor {i} lost after compaction");
+        }
+        // Deleted keys never surface.
+        let all_ids: HashSet<u64> = (0..300)
+            .step_by(3)
+            .flat_map(|i| index.nearest(&keys[i], 5))
+            .map(|n| n.id)
+            .collect();
+        assert!(all_ids.iter().all(|id| id % 3 == 0));
+    }
+
+    #[test]
+    fn update_replaces_key() {
+        let mut index = NswIndex::new(2, NswConfig::default());
+        let a = FeatureVector::from_vec(vec![0.0, 0.0]).unwrap();
+        let b = FeatureVector::from_vec(vec![9.0, 9.0]).unwrap();
+        index.insert(1, a);
+        index.insert(1, b.clone());
+        assert_eq!(index.len(), 1);
+        let hits = index.nearest(&b, 1);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut index = NswIndex::new(4, NswConfig::default());
+        assert!(index.nearest(&FeatureVector::zeros(4), 3).is_empty());
+        index.insert(1, FeatureVector::zeros(4));
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.kind(), "nsw");
+        assert!(!index.remove(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ef must be at least m")]
+    fn config_validates() {
+        NswIndex::new(4, NswConfig { m: 16, ef: 8 });
+    }
+}

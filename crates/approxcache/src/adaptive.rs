@@ -1,0 +1,240 @@
+//! Runtime threshold adaptation via sampled audits.
+//!
+//! The calibrated distance threshold is only as good as the warm-up data
+//! it came from; deployments drift (new environments, different lighting,
+//! new object classes). This controller keeps the threshold honest at
+//! run time with a classic audit loop: a small random fraction of cache
+//! hits are *audited* — the DNN runs anyway and its label is compared
+//! against the cache's. A disagreement is evidence the threshold accepts
+//! keys it should not, so it is tightened multiplicatively; an agreement
+//! nudges it wider (additive-ish widen, multiplicative tighten — the
+//! asymmetry that makes the loop stable). Audited frames pay full
+//! inference cost, so the audit probability is the overhead knob.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the audit loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Probability that a local cache hit is audited with a full
+    /// inference.
+    pub audit_prob: f64,
+    /// Multiplier applied on a disagreeing audit (`< 1`).
+    pub tighten: f64,
+    /// Multiplier applied on an agreeing audit (`> 1`, close to 1).
+    pub widen: f64,
+    /// Lower bound the threshold never crosses.
+    pub min_threshold: f64,
+    /// Upper bound the threshold never crosses.
+    pub max_threshold: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            audit_prob: 0.05,
+            tighten: 0.80,
+            widen: 1.01,
+            min_threshold: 0.05,
+            max_threshold: 1e3,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `audit_prob ∈ [0, 1]`, `0 < tighten < 1 <= widen`,
+    /// and `0 < min_threshold <= max_threshold`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.audit_prob),
+            "AdaptiveConfig: audit_prob must be in [0, 1]"
+        );
+        assert!(
+            self.tighten > 0.0 && self.tighten < 1.0,
+            "AdaptiveConfig: tighten must be in (0, 1)"
+        );
+        assert!(self.widen >= 1.0, "AdaptiveConfig: widen must be >= 1");
+        assert!(
+            self.min_threshold > 0.0 && self.min_threshold <= self.max_threshold,
+            "AdaptiveConfig: need 0 < min_threshold <= max_threshold"
+        );
+    }
+}
+
+/// The controller state: counts audits and applies the update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    /// Total audits performed.
+    pub audits: u64,
+    /// Audits where the cache's label disagreed with the DNN's.
+    pub false_hits: u64,
+}
+
+impl AdaptiveController {
+    /// A controller with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: AdaptiveConfig) -> AdaptiveController {
+        config.validate();
+        AdaptiveController {
+            config,
+            audits: 0,
+            false_hits: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> AdaptiveConfig {
+        self.config
+    }
+
+    /// Records an audit outcome and returns the new threshold given the
+    /// `current` one.
+    pub fn on_audit(&mut self, cache_agreed_with_dnn: bool, current: f64) -> f64 {
+        self.audits += 1;
+        let updated = if cache_agreed_with_dnn {
+            current * self.config.widen
+        } else {
+            self.false_hits += 1;
+            current * self.config.tighten
+        };
+        updated.clamp(self.config.min_threshold, self.config.max_threshold)
+    }
+
+    /// Observed false-hit fraction over all audits (0.0 before the first
+    /// audit).
+    pub fn false_hit_rate(&self) -> f64 {
+        if self.audits == 0 {
+            0.0
+        } else {
+            self.false_hits as f64 / self.audits as f64
+        }
+    }
+
+    /// Mines free evidence from a cache *miss* that fell through to
+    /// inference: if the nearest cached entry sat just beyond the
+    /// threshold (within `2×`) and carried the label the DNN produced,
+    /// the miss was spurious and the threshold widens. (A disagreeing
+    /// near neighbour is no evidence either way — different objects are
+    /// legitimately close to the boundary.)
+    ///
+    /// Returns the possibly-updated threshold.
+    pub fn on_near_miss(
+        &mut self,
+        nearest_distance: f64,
+        labels_agree: bool,
+        current: f64,
+    ) -> f64 {
+        if labels_agree && nearest_distance > current && nearest_distance <= current * 2.0 {
+            (current * self.config.widen)
+                .clamp(self.config.min_threshold, self.config.max_threshold)
+        } else {
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disagreement_tightens_agreement_widens() {
+        let mut c = AdaptiveController::new(AdaptiveConfig::default());
+        let tightened = c.on_audit(false, 10.0);
+        assert!((tightened - 8.0).abs() < 1e-12);
+        let widened = c.on_audit(true, 10.0);
+        assert!((widened - 10.1).abs() < 1e-12);
+        assert_eq!(c.audits, 2);
+        assert_eq!(c.false_hits, 1);
+        assert!((c.false_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let config = AdaptiveConfig {
+            min_threshold: 5.0,
+            max_threshold: 20.0,
+            ..AdaptiveConfig::default()
+        };
+        let mut c = AdaptiveController::new(config);
+        assert_eq!(c.on_audit(false, 5.5), 5.0);
+        assert_eq!(c.on_audit(true, 19.9), 20.0);
+    }
+
+    #[test]
+    fn loop_converges_under_persistent_false_hits() {
+        // If every audit disagrees, the threshold decays geometrically to
+        // the floor — the loop cannot oscillate upward.
+        let mut c = AdaptiveController::new(AdaptiveConfig::default());
+        let mut threshold = 100.0;
+        for _ in 0..100 {
+            threshold = c.on_audit(false, threshold);
+        }
+        assert_eq!(threshold, AdaptiveConfig::default().min_threshold);
+    }
+
+    #[test]
+    fn equilibrium_balances_tighten_and_widen() {
+        // With tighten 0.8 and widen 1.01, the threshold is stationary
+        // when p_false · ln(0.8) + (1-p_false) · ln(1.01) = 0, i.e.
+        // p_false ≈ 4.3%. Simulate a threshold-dependent false-hit
+        // process and check it settles near that rate.
+        let mut c = AdaptiveController::new(AdaptiveConfig::default());
+        let mut threshold = 50.0f64;
+        let mut rng = simcore::SimRng::seed(5);
+        for _ in 0..20_000 {
+            // Model: false-hit probability grows with threshold.
+            let p_false = (threshold / 100.0).clamp(0.0, 1.0);
+            let agreed = !rng.chance(p_false);
+            threshold = c.on_audit(agreed, threshold);
+        }
+        let expected_p = (1.01f64.ln()) / (1.01f64.ln() - 0.8f64.ln());
+        let settled_p = threshold / 100.0;
+        assert!(
+            (settled_p - expected_p).abs() < 0.03,
+            "settled at p_false {settled_p}, expected ≈ {expected_p}"
+        );
+    }
+
+    #[test]
+    fn near_miss_widens_only_on_agreeing_boundary_neighbour() {
+        let mut c = AdaptiveController::new(AdaptiveConfig::default());
+        // Agreeing entry just beyond the threshold: widen.
+        let widened = c.on_near_miss(12.0, true, 10.0);
+        assert!((widened - 10.1).abs() < 1e-12);
+        // Agreeing but far beyond 2×: no evidence (different sighting).
+        assert_eq!(c.on_near_miss(25.0, true, 10.0), 10.0);
+        // Disagreeing neighbour: no change.
+        assert_eq!(c.on_near_miss(12.0, false, 10.0), 10.0);
+        // Within the threshold (was a hit context): no change.
+        assert_eq!(c.on_near_miss(5.0, true, 10.0), 10.0);
+        // Near-miss evidence does not count as an audit.
+        assert_eq!(c.audits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tighten must be in (0, 1)")]
+    fn validates_tighten() {
+        AdaptiveController::new(AdaptiveConfig {
+            tighten: 1.5,
+            ..AdaptiveConfig::default()
+        });
+    }
+
+    #[test]
+    fn zero_audit_rate_is_valid() {
+        let c = AdaptiveController::new(AdaptiveConfig {
+            audit_prob: 0.0,
+            ..AdaptiveConfig::default()
+        });
+        assert_eq!(c.false_hit_rate(), 0.0);
+    }
+}

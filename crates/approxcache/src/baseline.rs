@@ -1,0 +1,244 @@
+//! System variants: the full system and every baseline / ablation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use features::{FeatureVector, SimHasher};
+use scene::ClassId;
+
+use crate::config::PipelineConfig;
+
+/// Which system runs on a device.
+///
+/// `NoCache`, `ExactCache` and `LocalApprox` are the comparison baselines
+/// of the headline experiment; `NoImu` / `NoPeer` / `NoTemporal` are the
+/// ablations that remove one mechanism each from the full system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemVariant {
+    /// Run the DNN on every frame (the status quo the paper improves on).
+    NoCache,
+    /// Conventional caching: reuse only on (hash-)identical keys.
+    ExactCache,
+    /// Approximate cache with IMU gating but no peer collaboration
+    /// (a Potluck-style single-device system).
+    LocalApprox,
+    /// Full system minus the inertial gate.
+    NoImu,
+    /// Full system minus peer collaboration (alias of `LocalApprox` in
+    /// behaviour; kept separate so ablation tables read clearly).
+    NoPeer,
+    /// Full system minus the local cache: IMU fast path and peers only.
+    NoTemporal,
+    /// The complete system: IMU + local approximate cache + peers.
+    Full,
+}
+
+impl SystemVariant {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemVariant::NoCache => "no-cache",
+            SystemVariant::ExactCache => "exact-cache",
+            SystemVariant::LocalApprox => "local-approx",
+            SystemVariant::NoImu => "no-imu",
+            SystemVariant::NoPeer => "no-peer",
+            SystemVariant::NoTemporal => "no-temporal",
+            SystemVariant::Full => "full",
+        }
+    }
+
+    /// The comparison set of the headline latency experiment.
+    pub fn headline_set() -> [SystemVariant; 4] {
+        [
+            SystemVariant::NoCache,
+            SystemVariant::ExactCache,
+            SystemVariant::LocalApprox,
+            SystemVariant::Full,
+        ]
+    }
+
+    /// The ablation set.
+    pub fn ablation_set() -> [SystemVariant; 5] {
+        [
+            SystemVariant::Full,
+            SystemVariant::NoImu,
+            SystemVariant::NoPeer,
+            SystemVariant::NoTemporal,
+            SystemVariant::ExactCache,
+        ]
+    }
+
+    /// Whether the inertial gate runs.
+    pub fn imu_enabled(&self) -> bool {
+        !matches!(
+            self,
+            SystemVariant::NoCache | SystemVariant::NoImu | SystemVariant::ExactCache
+        )
+    }
+
+    /// Whether any local cache runs.
+    pub fn local_cache_enabled(&self) -> bool {
+        !matches!(self, SystemVariant::NoCache | SystemVariant::NoTemporal)
+    }
+
+    /// Whether lookups require exact (hash) key equality.
+    pub fn exact_match_only(&self) -> bool {
+        matches!(self, SystemVariant::ExactCache)
+    }
+
+    /// Whether peer collaboration runs.
+    pub fn peers_enabled(&self) -> bool {
+        matches!(
+            self,
+            SystemVariant::Full | SystemVariant::NoImu | SystemVariant::NoTemporal
+        )
+    }
+
+    /// Projects a full-system configuration onto this variant (e.g.
+    /// removing the peer config where peers are disabled). The returned
+    /// config is what the device actually runs.
+    pub fn apply(&self, config: &PipelineConfig) -> PipelineConfig {
+        let mut effective = config.clone();
+        if !self.peers_enabled() {
+            effective.peer = None;
+        }
+        if !self.imu_enabled() {
+            effective.gate = imu::ImuGate::disabled();
+        }
+        effective
+    }
+}
+
+impl std::fmt::Display for SystemVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The exact-match cache baseline: keys are 64-bit perceptual hashes and a
+/// lookup succeeds only on hash equality. This is what a conventional
+/// memoization layer can do for image recognition — and, as the
+/// experiments show, sensor noise makes identical hashes so rare that it
+/// barely helps, which is the motivation for *approximate* caching.
+#[derive(Debug, Clone)]
+pub struct ExactCache {
+    hasher: SimHasher,
+    entries: HashMap<u64, ClassId>,
+}
+
+impl ExactCache {
+    /// Creates the hash cache for keys of dimension `key_dim`.
+    pub fn new(key_dim: usize, seed: u64) -> ExactCache {
+        ExactCache {
+            hasher: SimHasher::new(key_dim, seed),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached hashes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the cached label for exactly this key's hash.
+    pub fn lookup(&self, key: &FeatureVector) -> Option<ClassId> {
+        self.entries.get(&self.hasher.hash(key).as_u64()).copied()
+    }
+
+    /// Caches a label under the key's hash.
+    pub fn insert(&mut self, key: &FeatureVector, label: ClassId) {
+        self.entries.insert(self.hasher.hash(key).as_u64(), label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    #[test]
+    fn variant_flags_are_consistent() {
+        assert!(!SystemVariant::NoCache.local_cache_enabled());
+        assert!(!SystemVariant::NoCache.imu_enabled());
+        assert!(!SystemVariant::NoCache.peers_enabled());
+
+        assert!(SystemVariant::ExactCache.local_cache_enabled());
+        assert!(SystemVariant::ExactCache.exact_match_only());
+        assert!(!SystemVariant::ExactCache.peers_enabled());
+
+        assert!(SystemVariant::LocalApprox.local_cache_enabled());
+        assert!(SystemVariant::LocalApprox.imu_enabled());
+        assert!(!SystemVariant::LocalApprox.peers_enabled());
+
+        assert!(!SystemVariant::NoImu.imu_enabled());
+        assert!(SystemVariant::NoImu.peers_enabled());
+
+        assert!(!SystemVariant::NoTemporal.local_cache_enabled());
+        assert!(SystemVariant::NoTemporal.peers_enabled());
+        assert!(SystemVariant::NoTemporal.imu_enabled());
+
+        assert!(SystemVariant::Full.imu_enabled());
+        assert!(SystemVariant::Full.local_cache_enabled());
+        assert!(SystemVariant::Full.peers_enabled());
+        assert!(!SystemVariant::Full.exact_match_only());
+    }
+
+    #[test]
+    fn apply_strips_disabled_mechanisms() {
+        let config = PipelineConfig::new();
+        let no_peer = SystemVariant::NoPeer.apply(&config);
+        assert!(no_peer.peer.is_none());
+        let no_imu = SystemVariant::NoImu.apply(&config);
+        assert_eq!(no_imu.gate, imu::ImuGate::disabled());
+        let full = SystemVariant::Full.apply(&config);
+        assert!(full.peer.is_some());
+    }
+
+    #[test]
+    fn sets_and_names() {
+        assert_eq!(SystemVariant::headline_set().len(), 4);
+        assert_eq!(SystemVariant::ablation_set().len(), 5);
+        assert_eq!(SystemVariant::Full.to_string(), "full");
+        assert_eq!(SystemVariant::ExactCache.name(), "exact-cache");
+    }
+
+    #[test]
+    fn exact_cache_hits_identical_key_only() {
+        let mut cache = ExactCache::new(8, 1);
+        let key = FeatureVector::from_vec(vec![1.0; 8]).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&key), None);
+        cache.insert(&key, ClassId(3));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key), Some(ClassId(3)));
+        // A clearly different key misses.
+        let other = FeatureVector::from_vec(vec![-1.0; 8]).unwrap();
+        assert_eq!(cache.lookup(&other), None);
+    }
+
+    #[test]
+    fn exact_cache_rarely_absorbs_noisy_rerenders() {
+        // The motivating failure: per-shot sensor noise perturbs the key,
+        // and hash equality almost never survives it.
+        let mut cache = ExactCache::new(64, 2);
+        let mut rng = SimRng::seed(3);
+        let mut hits = 0;
+        for trial in 0..200 {
+            let base: Vec<f32> = (0..64).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+            let base = FeatureVector::from_vec(base).unwrap();
+            cache.insert(&base, ClassId(trial % 5));
+            let noise: Vec<f32> = (0..64).map(|_| rng.normal(0.0, 0.1) as f32).collect();
+            let noisy = base.add(&FeatureVector::from_vec(noise).unwrap()).unwrap();
+            if cache.lookup(&noisy).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits < 100, "exact cache absorbed {hits}/200 noisy re-renders");
+    }
+}

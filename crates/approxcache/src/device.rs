@@ -1,0 +1,855 @@
+//! One smartphone running the reuse pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use dnnsim::{CascadeModel, DnnModel, EnergyModel, InferenceBackend, Radio};
+use features::{FeatureVector, RandomProjection};
+use imu::{GateDecision, ImuSample, MotionEstimator};
+use p2pnet::{P2pMessage, RemoteHit, Transport, WireEntry};
+use reuse::{ApproxCache, EntrySource, LookupResult, SharedCache};
+use scene::{ClassId, Frame};
+use simcore::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+
+use crate::baseline::{ExactCache, SystemVariant};
+use crate::config::PipelineConfig;
+
+/// Identifier of a device within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device-{}", self.0)
+    }
+}
+
+/// How a frame's label was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResolutionPath {
+    /// The IMU fast path echoed the previous result.
+    ImuReuse,
+    /// The local approximate cache answered.
+    LocalCache,
+    /// A nearby device's cache answered.
+    PeerCache,
+    /// The full DNN ran.
+    FullInference,
+}
+
+impl ResolutionPath {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolutionPath::ImuReuse => "imu-reuse",
+            ResolutionPath::LocalCache => "local-cache",
+            ResolutionPath::PeerCache => "peer-cache",
+            ResolutionPath::FullInference => "inference",
+        }
+    }
+
+    /// All paths, cheapest first.
+    pub fn all() -> [ResolutionPath; 4] {
+        [
+            ResolutionPath::ImuReuse,
+            ResolutionPath::LocalCache,
+            ResolutionPath::PeerCache,
+            ResolutionPath::FullInference,
+        ]
+    }
+}
+
+impl std::fmt::Display for ResolutionPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything recorded about one processed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameOutcome {
+    /// When the frame arrived.
+    pub at: SimTime,
+    /// The label the pipeline emitted.
+    pub label: ClassId,
+    /// The ground-truth label (never read by the pipeline itself).
+    pub truth: ClassId,
+    /// End-to-end frame latency.
+    pub latency: SimDuration,
+    /// Energy charged to this frame, millijoules.
+    pub energy_mj: f64,
+    /// Which tier answered.
+    pub path: ResolutionPath,
+}
+
+impl FrameOutcome {
+    /// Whether the emitted label matches the ground truth.
+    pub fn is_correct(&self) -> bool {
+        self.label == self.truth
+    }
+}
+
+/// The state one device carries across frames.
+///
+/// # Example
+///
+/// Drive a device frame by frame (the simulator in [`crate::sim`] does
+/// exactly this, plus peers and advertisements):
+///
+/// ```
+/// use approxcache::{Device, DeviceId, PipelineConfig, SystemVariant};
+/// use scene::{ClassUniverse, FrameRenderer, SceneConfig, World};
+/// use simcore::{SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed(1);
+/// let scene = SceneConfig::default();
+/// let universe = ClassUniverse::generate(&scene, &mut rng);
+/// let world = World::generate(&universe, &scene, &mut rng);
+/// let renderer = FrameRenderer::new(&scene);
+/// let config = PipelineConfig::new().with_peer(None);
+/// let mut device = Device::new(
+///     DeviceId(0), SystemVariant::Full, &config, &universe, scene.descriptor_dim, 1);
+///
+/// let frame = renderer.render(&world, &imu::Pose::default(), SimTime::ZERO, &mut rng);
+/// let outcome = device.process_frame(&frame, &[], &[], SimTime::ZERO);
+/// assert_eq!(outcome.path, approxcache::ResolutionPath::FullInference);
+/// ```
+pub struct Device {
+    id: DeviceId,
+    variant: SystemVariant,
+    projection: Arc<RandomProjection>,
+    cache: SharedCache<ClassId>,
+    exact_cache: ExactCache,
+    dnn: Box<dyn InferenceBackend>,
+    energy: EnergyModel,
+    gate: imu::ImuGate,
+    estimator: MotionEstimator,
+    costs: crate::config::CostModel,
+    peer: Option<crate::config::PeerConfig>,
+    expiry: Option<crate::config::CacheExpiry>,
+    last_expiry_sweep: SimTime,
+    adaptive: Option<crate::adaptive::AdaptiveController>,
+    /// Activity classifier for activity-adaptive gating (None when the
+    /// feature is off).
+    activity: Option<imu::ActivityClassifier>,
+    transport: Transport,
+    /// Last emitted label plus the instant it was last *validated* (by a
+    /// cache hit, a peer answer or an inference — not by the fast path
+    /// itself, which would let one result echo forever).
+    last_result: Option<(ClassId, SimTime)>,
+    /// Accumulated motion score since the last validated result: the
+    /// quantity the fast path thresholds (a device that turned and stopped
+    /// is instantaneously still but has a stale previous result).
+    motion_since_validation: f64,
+    next_query_id: u64,
+    rng: SimRng,
+    outcomes: Vec<FrameOutcome>,
+    /// Entries queued for advertisement after the current frame.
+    pending_advertisement: Option<WireEntry>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("id", &self.id)
+            .field("variant", &self.variant)
+            .field("frames", &self.outcomes.len())
+            .finish()
+    }
+}
+
+impl Device {
+    /// Builds a device from a pipeline configuration.
+    ///
+    /// `universe` defines the label space the DNN classifies over;
+    /// `descriptor_dim` is the raw frame-descriptor dimension the shared
+    /// projection compresses.
+    pub fn new(
+        id: DeviceId,
+        variant: SystemVariant,
+        config: &PipelineConfig,
+        universe: &scene::ClassUniverse,
+        descriptor_dim: usize,
+        seed: u64,
+    ) -> Device {
+        let effective = variant.apply(config);
+        let projection = Arc::new(effective.build_projection(descriptor_dim));
+        let cache = SharedCache::new(ApproxCache::new(effective.cache.clone()));
+        let dnn: Box<dyn InferenceBackend> = match &effective.cascade_little {
+            None => Box::new(DnnModel::new(
+                effective.model.clone(),
+                effective.device_class,
+                universe,
+            )),
+            Some((little, threshold)) => Box::new(CascadeModel::new(
+                little.clone(),
+                effective.model.clone(),
+                *threshold,
+                effective.device_class,
+                universe,
+            )),
+        };
+        let energy = EnergyModel::new(effective.device_class);
+        let link = effective
+            .peer
+            .as_ref()
+            .map_or_else(p2pnet::LinkSpec::ideal, |p| p.link);
+        Device {
+            id,
+            variant,
+            projection,
+            cache,
+            exact_cache: ExactCache::new(effective.key_dim, effective.projection_seed),
+            dnn,
+            energy,
+            gate: effective.gate,
+            estimator: MotionEstimator::default(),
+            costs: effective.costs,
+            peer: effective.peer.clone(),
+            expiry: effective.expiry,
+            last_expiry_sweep: SimTime::ZERO,
+            adaptive: effective
+                .adaptive
+                .map(crate::adaptive::AdaptiveController::new),
+            activity: effective
+                .activity_adaptive_gate
+                .then(imu::ActivityClassifier::default),
+            transport: Transport::new(link),
+            last_result: None,
+            motion_since_validation: 0.0,
+            next_query_id: 0,
+            rng: SimRng::seed(seed).split_index("device", id.0 as u64),
+            outcomes: Vec::new(),
+            pending_advertisement: None,
+        }
+    }
+
+    /// This device's id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The variant the device runs.
+    pub fn variant(&self) -> SystemVariant {
+        self.variant
+    }
+
+    /// The shared handle to this device's cache (what peers query).
+    pub fn cache(&self) -> &SharedCache<ClassId> {
+        &self.cache
+    }
+
+    /// Network counters so far.
+    pub fn transport_counters(&self) -> p2pnet::TransportCounters {
+        *self.transport.counters()
+    }
+
+    /// All frame outcomes so far.
+    pub fn outcomes(&self) -> &[FrameOutcome] {
+        &self.outcomes
+    }
+
+    /// The shared projection (peers must use an identical one).
+    pub fn projection(&self) -> &RandomProjection {
+        &self.projection
+    }
+
+    /// The adaptive-threshold controller state, if adaptation is enabled.
+    pub fn adaptive(&self) -> Option<&crate::adaptive::AdaptiveController> {
+        self.adaptive.as_ref()
+    }
+
+    /// The cache's current A-kNN distance threshold.
+    pub fn current_threshold(&self) -> f64 {
+        self.cache.with(|c| c.distance_threshold())
+    }
+
+    /// Takes the advertisement queued by the last processed frame, if any.
+    pub fn take_advertisement(&mut self) -> Option<WireEntry> {
+        self.pending_advertisement.take()
+    }
+
+    /// Processes one frame. `imu_window` holds the samples since the
+    /// previous frame; `peers` are the caches of in-range devices, nearest
+    /// first. Returns the recorded outcome.
+    pub fn process_frame(
+        &mut self,
+        frame: &Frame,
+        imu_window: &[ImuSample],
+        peers: &[&SharedCache<ClassId>],
+        now: SimTime,
+    ) -> FrameOutcome {
+        let mut latency = SimDuration::ZERO;
+        let mut energy_mj = 0.0;
+
+        // Housekeeping: periodic age-based expiry (runs off the frame
+        // path in a real app; the sweep itself is microseconds).
+        if let Some(expiry) = self.expiry {
+            if now.saturating_duration_since(self.last_expiry_sweep) >= expiry.interval {
+                self.cache.with(|c| c.expire_older_than(now, expiry.max_age));
+                self.last_expiry_sweep = now;
+            }
+        }
+
+        // Tier 0: inertial gate.
+        let decision = if self.variant.imu_enabled() {
+            latency += self.costs.gate_check;
+            energy_mj += self.energy.compute_energy_mj(self.costs.gate_check);
+            let estimate = self.estimator.estimate(imu_window);
+            self.motion_since_validation += estimate.motion_score();
+            // Activity-adaptive gating: swap in the preset for the
+            // current activity, keeping the configured reuse-age bound.
+            if let Some(classifier) = &mut self.activity {
+                let preset = classifier.classify(&estimate).gate_preset();
+                self.gate.still_threshold = preset.still_threshold;
+                self.gate.skip_threshold = preset.skip_threshold;
+            }
+            let age = self.last_result.map(|(_, at)| now.saturating_duration_since(at));
+            self.gate
+                .decide_with_history(&estimate, self.motion_since_validation, age)
+        } else {
+            GateDecision::LookupLocal
+        };
+
+        if decision == GateDecision::ReusePrevious {
+            let (label, _) = self.last_result.expect("gate verified a previous result");
+            let outcome = FrameOutcome {
+                at: now,
+                label,
+                truth: frame.truth,
+                latency,
+                energy_mj,
+                path: ResolutionPath::ImuReuse,
+            };
+            self.finish(outcome, label, now);
+            return outcome;
+        }
+
+        // Feature extraction (needed by every remaining tier).
+        latency += self.costs.feature_extract;
+        energy_mj += self.energy.compute_energy_mj(self.costs.feature_extract);
+        let key = self.projection.project(&frame.descriptor);
+
+        // Tier 1: local cache (approximate or exact depending on variant).
+        if decision != GateDecision::SkipLocal {
+            if let Some((label, cost)) = self.local_lookup(&key, now) {
+                latency += cost;
+                energy_mj += self.energy.compute_energy_mj(cost);
+                // Sampled audit: run the DNN anyway and use the
+                // disagreement signal to adapt the distance threshold.
+                let audit_due = self
+                    .adaptive
+                    .as_ref()
+                    .is_some_and(|c| self.rng.chance(c.config().audit_prob));
+                if audit_due {
+                    let inference = self.dnn.infer(&frame.descriptor, &mut self.rng);
+                    latency += inference.latency;
+                    energy_mj += inference.energy_mj;
+                    let controller = self.adaptive.as_mut().expect("audit implies controller");
+                    let agreed = inference.label == label;
+                    self.cache.with(|c| {
+                        let updated = controller.on_audit(agreed, c.distance_threshold());
+                        c.set_distance_threshold(updated);
+                    });
+                    // The audit's inference is authoritative for this
+                    // frame (it was paid for) and refreshes the cache.
+                    self.store_result(&key, inference.label, inference.confidence, now);
+                    let outcome = FrameOutcome {
+                        at: now,
+                        label: inference.label,
+                        truth: frame.truth,
+                        latency,
+                        energy_mj,
+                        path: ResolutionPath::FullInference,
+                    };
+                    self.finish(outcome, inference.label, now);
+                    return outcome;
+                }
+                let outcome = FrameOutcome {
+                    at: now,
+                    label,
+                    truth: frame.truth,
+                    latency,
+                    energy_mj,
+                    path: ResolutionPath::LocalCache,
+                };
+                self.finish(outcome, label, now);
+                return outcome;
+            } else {
+                let cost = self.local_lookup_cost();
+                latency += cost;
+                energy_mj += self.energy.compute_energy_mj(cost);
+            }
+        }
+
+        // Tier 2: peers.
+        if self.variant.peers_enabled() && self.peer.is_some() && !peers.is_empty() {
+            let peer_config = self.peer.clone().expect("checked");
+            let radio = radio_of(&peer_config.link);
+            // Peer economics: querying only makes sense while the expected
+            // radio time stays well below the inference it might avoid.
+            let budget = self
+                .dnn
+                .nominal_latency()
+                .mul_f64(peer_config.query_budget_fraction.max(0.0));
+            let expected_rtt = peer_config.link.base_latency * 2;
+            let mut peer_latency_spent = SimDuration::ZERO;
+            for peer_cache in peers.iter().take(peer_config.max_peers_queried) {
+                if peer_latency_spent + expected_rtt > budget {
+                    break;
+                }
+                let query = P2pMessage::Query {
+                    query_id: self.next_query_id,
+                    key: key.clone(),
+                };
+                self.next_query_id += 1;
+                let hit = remote_lookup(peer_cache, &key, now);
+                let reply = P2pMessage::Reply {
+                    query_id: 0,
+                    hit,
+                };
+                let rtt =
+                    self.transport
+                        .round_trip(query.encoded_len(), reply.encoded_len(), &mut self.rng);
+                energy_mj += self
+                    .energy
+                    .radio_energy_mj(radio, query.encoded_len() + reply.encoded_len());
+                match rtt {
+                    None => {
+                        // A lost exchange still consumed the expected
+                        // air time from the budget's perspective.
+                        peer_latency_spent += expected_rtt;
+                        continue; // counts as a peer miss
+                    }
+                    Some(rtt) => {
+                        latency += rtt;
+                        peer_latency_spent += rtt;
+                        if let Some(hit) = hit {
+                            let label = ClassId(hit.label);
+                            // Adopt the peer's entry locally so the next
+                            // frame hits without the radio.
+                            self.cache.insert(
+                                key.clone(),
+                                label,
+                                hit.confidence,
+                                EntrySource::Peer,
+                                now,
+                            );
+                            let outcome = FrameOutcome {
+                                at: now,
+                                label,
+                                truth: frame.truth,
+                                latency,
+                                energy_mj,
+                                path: ResolutionPath::PeerCache,
+                            };
+                            self.finish(outcome, label, now);
+                            return outcome;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tier 3: full inference.
+        let inference = self.dnn.infer(&frame.descriptor, &mut self.rng);
+        latency += inference.latency;
+        energy_mj += inference.energy_mj;
+        // Free adaptation evidence: a same-label entry just beyond the
+        // threshold means this inference was a spurious miss.
+        if let Some(controller) = &mut self.adaptive {
+            if self.variant.local_cache_enabled() && !self.variant.exact_match_only() {
+                if let Some((distance, label)) = self.cache.with(|c| c.peek_nearest(&key)) {
+                    self.cache.with(|c| {
+                        let updated = controller.on_near_miss(
+                            distance,
+                            label == inference.label,
+                            c.distance_threshold(),
+                        );
+                        c.set_distance_threshold(updated);
+                    });
+                }
+            }
+        }
+        self.store_result(&key, inference.label, inference.confidence, now);
+        if self
+            .peer
+            .as_ref()
+            .is_some_and(|p| p.advertise_on_inference && self.variant.peers_enabled())
+        {
+            self.pending_advertisement = Some(WireEntry {
+                key: key.clone(),
+                label: inference.label.0,
+                confidence: inference.confidence,
+            });
+        }
+        let outcome = FrameOutcome {
+            at: now,
+            label: inference.label,
+            truth: frame.truth,
+            latency,
+            energy_mj,
+            path: ResolutionPath::FullInference,
+        };
+        self.finish(outcome, inference.label, now);
+        outcome
+    }
+
+    /// Accepts an advertisement pushed by a neighbour (already delivered
+    /// by the network). Charges nothing to frame latency — reception is
+    /// asynchronous — but admission control still applies.
+    pub fn receive_advertisement(&mut self, entry: &WireEntry, now: SimTime) {
+        if !self.variant.peers_enabled() {
+            return;
+        }
+        self.cache.insert(
+            entry.key.clone(),
+            ClassId(entry.label),
+            entry.confidence,
+            EntrySource::Peer,
+            now,
+        );
+    }
+
+    /// Records the radio cost of sending one advertisement (called by the
+    /// simulation when it actually transmits).
+    pub fn charge_advertisement(&mut self, message: &P2pMessage) -> Option<SimDuration> {
+        let radio = self.peer.as_ref().map(|p| radio_of(&p.link))?;
+        let delay = self.transport.send_message(message, &mut self.rng);
+        // Radio energy is charged to the device battery, not to any frame.
+        let _ = self.energy.radio_energy_mj(radio, message.encoded_len());
+        delay
+    }
+
+    fn local_lookup(&mut self, key: &FeatureVector, now: SimTime) -> Option<(ClassId, SimDuration)> {
+        if !self.variant.local_cache_enabled() {
+            return None;
+        }
+        if self.variant.exact_match_only() {
+            let cost = self.costs.lookup_base;
+            return self.exact_cache.lookup(key).map(|label| (label, cost));
+        }
+        let cost = self.local_lookup_cost();
+        match self.cache.lookup(key, now) {
+            LookupResult::Hit { label, .. } => Some((label, cost)),
+            LookupResult::Miss(_) => None,
+        }
+    }
+
+    fn local_lookup_cost(&self) -> SimDuration {
+        if self.variant.exact_match_only() {
+            self.costs.lookup_base
+        } else {
+            self.costs.lookup_cost(self.cache.len())
+        }
+    }
+
+    fn store_result(&mut self, key: &FeatureVector, label: ClassId, confidence: f64, now: SimTime) {
+        if !self.variant.local_cache_enabled() {
+            return;
+        }
+        if self.variant.exact_match_only() {
+            self.exact_cache.insert(key, label);
+        } else {
+            self.cache
+                .insert(key.clone(), label, confidence, EntrySource::LocalInference, now);
+        }
+    }
+
+    fn finish(&mut self, outcome: FrameOutcome, label: ClassId, now: SimTime) {
+        if outcome.path == ResolutionPath::ImuReuse {
+            // Echoing does not re-validate: keep the previous validation
+            // instant so max_reuse_age eventually forces a real lookup.
+            let validated_at = self.last_result.expect("fast path had a previous result").1;
+            self.last_result = Some((label, validated_at));
+        } else {
+            self.last_result = Some((label, now));
+            self.motion_since_validation = 0.0;
+        }
+        self.outcomes.push(outcome);
+    }
+}
+
+fn radio_of(link: &p2pnet::LinkSpec) -> Radio {
+    if link.name == "ble" {
+        Radio::Ble
+    } else {
+        Radio::WifiDirect
+    }
+}
+
+/// Runs the remote side of a peer query against `cache`.
+fn remote_lookup(
+    cache: &SharedCache<ClassId>,
+    key: &FeatureVector,
+    now: SimTime,
+) -> Option<RemoteHit> {
+    match cache.lookup(key, now) {
+        LookupResult::Hit {
+            label,
+            nearest_distance,
+            entry,
+            ..
+        } => {
+            let confidence = cache.with(|c| c.entry(entry).map_or(0.5, |e| e.confidence));
+            Some(RemoteHit {
+                label: label.0,
+                confidence,
+                distance: nearest_distance,
+            })
+        }
+        LookupResult::Miss(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scene::{ClassUniverse, SceneConfig};
+
+    fn universe() -> ClassUniverse {
+        let mut rng = SimRng::seed(1);
+        ClassUniverse::generate(&SceneConfig::default(), &mut rng)
+    }
+
+    fn frame_for(universe: &ClassUniverse, class: u32, at: SimTime) -> Frame {
+        Frame {
+            at,
+            descriptor: universe.center(ClassId(class)).clone(),
+            truth: ClassId(class),
+            subject: scene::ObjectId(class as u64),
+            geometry: scene::camera::ViewGeometry {
+                bearing_offset: 0.0,
+                distance: 3.0,
+            },
+        }
+    }
+
+    fn still_window(at_ms: u64) -> Vec<ImuSample> {
+        (0..10)
+            .map(|i| ImuSample {
+                at: SimTime::from_millis(at_ms + i * 10),
+                gyro: [0.0; 3],
+                accel: [0.0; 3],
+            })
+            .collect()
+    }
+
+    fn moving_window(at_ms: u64) -> Vec<ImuSample> {
+        (0..10)
+            .map(|i| ImuSample {
+                at: SimTime::from_millis(at_ms + i * 10),
+                gyro: [0.0, 0.0, 1.5],
+                accel: [0.5, 0.0, 0.0],
+            })
+            .collect()
+    }
+
+    fn device(variant: SystemVariant, universe: &ClassUniverse) -> Device {
+        let config = PipelineConfig::new();
+        Device::new(DeviceId(0), variant, &config, universe, 256, 99)
+    }
+
+    #[test]
+    fn first_frame_runs_inference() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        let outcome = d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &still_window(0), &[], SimTime::ZERO);
+        assert_eq!(outcome.path, ResolutionPath::FullInference);
+        assert!(outcome.latency.as_millis() > 20, "DNN latency dominates");
+    }
+
+    #[test]
+    fn still_device_takes_imu_fast_path() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        let t1 = SimTime::from_millis(100);
+        let outcome = d.process_frame(&frame_for(&u, 0, t1), &still_window(100), &[], t1);
+        assert_eq!(outcome.path, ResolutionPath::ImuReuse);
+        assert!(outcome.latency < SimDuration::from_millis(1));
+        assert!(outcome.is_correct());
+    }
+
+    #[test]
+    fn moving_device_hits_local_cache() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        // Moving (so no fast path) but looking at the same subject.
+        let t1 = SimTime::from_millis(100);
+        let outcome =
+            d.process_frame(&frame_for(&u, 0, t1), &moving_window(100), &[], t1);
+        assert_eq!(outcome.path, ResolutionPath::LocalCache);
+        assert!(outcome.latency < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn peer_cache_answers_before_inference() {
+        let u = universe();
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(&frame_for(&u, 3, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        let mut cold = Device::new(
+            DeviceId(1),
+            SystemVariant::Full,
+            &PipelineConfig::new(),
+            &u,
+            256,
+            99,
+        );
+        let t1 = SimTime::from_millis(100);
+        let warm_cache = warm.cache().clone();
+        let outcome = cold.process_frame(
+            &frame_for(&u, 3, t1),
+            &moving_window(100),
+            &[&warm_cache],
+            t1,
+        );
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+        // A peer answer costs a WiFi RTT, far below inference.
+        assert!(outcome.latency < SimDuration::from_millis(30));
+        // The adopted entry serves the next frame locally.
+        let t2 = SimTime::from_millis(200);
+        let outcome2 =
+            cold.process_frame(&frame_for(&u, 3, t2), &moving_window(200), &[], t2);
+        assert_eq!(outcome2.path, ResolutionPath::LocalCache);
+    }
+
+    #[test]
+    fn no_cache_variant_always_infers() {
+        let u = universe();
+        let mut d = device(SystemVariant::NoCache, &u);
+        for i in 0..5u64 {
+            let t = SimTime::from_millis(i * 100);
+            let outcome = d.process_frame(&frame_for(&u, 0, t), &still_window(i * 100), &[], t);
+            assert_eq!(outcome.path, ResolutionPath::FullInference);
+        }
+    }
+
+    #[test]
+    fn inference_queues_an_advertisement() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        d.process_frame(&frame_for(&u, 2, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        let ad = d.take_advertisement().expect("inference advertises");
+        assert_eq!(ad.key.dim(), 64);
+        assert!(d.take_advertisement().is_none(), "taken once");
+    }
+
+    #[test]
+    fn received_advertisement_warms_cache() {
+        let u = universe();
+        let mut producer = device(SystemVariant::Full, &u);
+        producer.process_frame(&frame_for(&u, 4, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        let ad = producer.take_advertisement().unwrap();
+        let mut consumer = Device::new(
+            DeviceId(1),
+            SystemVariant::Full,
+            &PipelineConfig::new(),
+            &u,
+            256,
+            99,
+        );
+        consumer.receive_advertisement(&ad, SimTime::from_millis(50));
+        let t = SimTime::from_millis(100);
+        let outcome =
+            consumer.process_frame(&frame_for(&u, 4, t), &moving_window(100), &[], t);
+        assert_eq!(outcome.path, ResolutionPath::LocalCache);
+    }
+
+    #[test]
+    fn outcomes_accumulate() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        for i in 0..3u64 {
+            let t = SimTime::from_millis(i * 100);
+            d.process_frame(&frame_for(&u, 0, t), &moving_window(i * 100), &[], t);
+        }
+        assert_eq!(d.outcomes().len(), 3);
+        assert_eq!(d.id(), DeviceId(0));
+        assert_eq!(d.variant(), SystemVariant::Full);
+    }
+
+    #[test]
+    fn peer_query_budget_follows_model_economics() {
+        // Over BLE (≈50 ms RTT) querying peers is a bad trade for a 75 ms
+        // model (budget 37.5 ms) but a good one for a 380 ms model
+        // (budget 190 ms). The budget guard must make that call.
+        let u = universe();
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(&frame_for(&u, 3, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        let warm_cache = warm.cache().clone();
+
+        let mut ble_config = PipelineConfig::new();
+        ble_config.peer.as_mut().expect("peers").link = p2pnet::LinkSpec::ble();
+
+        // Fast model: no peer traffic at all.
+        let mut fast = Device::new(DeviceId(1), SystemVariant::Full, &ble_config, &u, 256, 99);
+        let t = SimTime::from_millis(100);
+        let outcome = fast.process_frame(
+            &frame_for(&u, 3, t),
+            &moving_window(100),
+            &[&warm_cache],
+            t,
+        );
+        assert_eq!(outcome.path, ResolutionPath::FullInference);
+        assert_eq!(fast.transport_counters().messages_sent, 0, "BLE query skipped");
+
+        // Heavy model: the same query is worth it.
+        let heavy_config = ble_config.clone().with_model(dnnsim::zoo::resnet50());
+        let mut heavy = Device::new(DeviceId(2), SystemVariant::Full, &heavy_config, &u, 256, 99);
+        let outcome = heavy.process_frame(
+            &frame_for(&u, 3, t),
+            &moving_window(100),
+            &[&warm_cache],
+            t,
+        );
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+        assert!(heavy.transport_counters().messages_sent >= 2);
+    }
+
+    #[test]
+    fn audits_tighten_a_grossly_loose_threshold() {
+        // Start with a threshold so loose that cross-class keys hit, and a
+        // high audit rate: the controller must pull it down. k = 1
+        // disables the homogeneity vote (which would otherwise mask the
+        // loose threshold as NotHomogeneous misses), so wrong hits — the
+        // audit's target — actually occur.
+        let u = universe();
+        let mut config = PipelineConfig::new();
+        config.cache = config.cache.clone().with_aknn(ann::AknnConfig {
+            distance_threshold: 1e3,
+            k: 1,
+            ..ann::AknnConfig::default()
+        });
+        config.adaptive = Some(crate::adaptive::AdaptiveConfig {
+            audit_prob: 0.5,
+            ..crate::adaptive::AdaptiveConfig::default()
+        });
+        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 7);
+        let start_threshold = d.current_threshold();
+        for i in 0..200u64 {
+            let t = SimTime::from_millis(i * 100);
+            // Rotate subjects so loose-threshold hits are usually wrong.
+            d.process_frame(&frame_for(&u, (i % 20) as u32, t), &moving_window(i * 100), &[], t);
+        }
+        let controller = d.adaptive().expect("adaptation enabled");
+        assert!(controller.audits > 10, "audits {}", controller.audits);
+        assert!(
+            controller.false_hits > 0,
+            "loose threshold must produce disagreeing audits"
+        );
+        assert!(
+            d.current_threshold() < start_threshold / 4.0,
+            "threshold {} barely moved from {start_threshold}",
+            d.current_threshold()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceId(3).to_string(), "device-3");
+        assert_eq!(ResolutionPath::ImuReuse.to_string(), "imu-reuse");
+        assert_eq!(ResolutionPath::all().len(), 4);
+    }
+}

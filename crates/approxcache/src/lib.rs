@@ -1,0 +1,56 @@
+//! Approximate caching for mobile image recognition.
+//!
+//! This crate is the reproduction's primary contribution: an in-memory
+//! caching paradigm for smartphone image recognition that reuses previous
+//! recognition results instead of re-running the DNN, exploiting three
+//! signals (Mariani, Han & Xiao, ICDCS 2021):
+//!
+//! 1. **Inertial movement** — if the IMU says the device has not moved,
+//!    the previous result is returned at near-zero cost; if it says the
+//!    view swung far away, the local lookup is skipped as hopeless.
+//! 2. **Video-stream locality** — consecutive frames are near-duplicates in
+//!    feature space, so an adaptive k-NN cache keyed on compact signatures
+//!    answers most of them.
+//! 3. **Nearby peer devices** — infrastructure-less BLE/WiFi-Direct
+//!    queries let one device's inference warm its neighbours' caches.
+//!
+//! The crate exposes:
+//!
+//! - [`PipelineConfig`] — every knob of the system, with calibrated
+//!   defaults ([`PipelineConfig::calibrated`]).
+//! - [`Device`] — one smartphone running the full pipeline.
+//! - [`SystemVariant`] — the baselines every experiment compares against
+//!   (no cache, exact-match cache, local-only, ablations).
+//! - [`Scenario`] / [`run_scenario`] — the multi-device collaborative
+//!   simulation driver.
+//! - [`RunReport`] — latency / accuracy / energy / traffic summaries.
+//!
+//! # Example
+//!
+//! ```
+//! use approxcache::{PipelineConfig, Scenario, SystemVariant, run_scenario};
+//! use imu::MotionProfile;
+//! use simcore::SimDuration;
+//!
+//! let scenario = Scenario::single_device(MotionProfile::Stationary)
+//!     .with_duration(SimDuration::from_secs(10));
+//! let config = PipelineConfig::calibrated(&scenario, 42);
+//! let report = run_scenario(&scenario, &config, SystemVariant::Full, 42);
+//! assert!(report.frames > 0);
+//! // A stationary camera reuses almost everything.
+//! assert!(report.reuse_rate() > 0.8);
+//! ```
+
+pub mod adaptive;
+pub mod baseline;
+pub mod config;
+pub mod device;
+pub mod report;
+pub mod sim;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use baseline::SystemVariant;
+pub use config::{CacheExpiry, CostModel, PeerConfig, PipelineConfig};
+pub use device::{Device, DeviceId, FrameOutcome, ResolutionPath};
+pub use report::RunReport;
+pub use sim::{run_scenario, ChurnSpec, Scenario};

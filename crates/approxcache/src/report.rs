@@ -1,0 +1,329 @@
+//! Aggregated run results.
+
+use serde::{Deserialize, Serialize};
+
+use p2pnet::TransportCounters;
+use reuse::CacheStats;
+use simcore::stats::Summary;
+use simcore::Cdf;
+
+use crate::device::{FrameOutcome, ResolutionPath};
+
+/// Everything an experiment reads off one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Variant name.
+    pub variant: String,
+    /// Devices simulated.
+    pub devices: usize,
+    /// Total frames processed across devices.
+    pub frames: usize,
+    /// Per-frame latency summary, milliseconds.
+    pub latency_ms: Summary,
+    /// Fraction of frames whose emitted label matched the ground truth.
+    pub accuracy: f64,
+    /// Mean per-frame energy, millijoules.
+    pub mean_energy_mj: f64,
+    /// Frames answered by each path: `[imu, local, peer, inference]`.
+    pub path_counts: [u64; 4],
+    /// Mean per-frame latency (ms) of each path, same order as
+    /// `path_counts` (0.0 for paths that served no frames).
+    pub path_mean_latency_ms: [f64; 4],
+    /// Merged cache statistics across devices.
+    pub cache: CacheStats,
+    /// Merged network counters across devices.
+    pub network: TransportCounters,
+    /// Raw per-frame latencies (ms), for CDF figures.
+    pub latencies_ms: Vec<f64>,
+    /// Span of simulated time the frames cover, seconds (first to last
+    /// frame).
+    pub stream_seconds: f64,
+}
+
+impl RunReport {
+    /// Builds a report from per-frame outcomes plus per-device stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty (a run must process at least one
+    /// frame).
+    pub fn from_outcomes(
+        scenario: &str,
+        variant: &str,
+        devices: usize,
+        outcomes: &[FrameOutcome],
+        cache: CacheStats,
+        network: TransportCounters,
+    ) -> RunReport {
+        assert!(!outcomes.is_empty(), "from_outcomes: no frames processed");
+        let latencies_ms: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.latency.as_millis_f64())
+            .collect();
+        let correct = outcomes.iter().filter(|o| o.is_correct()).count();
+        let mut path_counts = [0u64; 4];
+        let mut path_latency_sums = [0.0f64; 4];
+        for o in outcomes {
+            let idx = ResolutionPath::all()
+                .iter()
+                .position(|p| *p == o.path)
+                .expect("all paths enumerated");
+            path_counts[idx] += 1;
+            path_latency_sums[idx] += o.latency.as_millis_f64();
+        }
+        let mut path_mean_latency_ms = [0.0f64; 4];
+        for i in 0..4 {
+            if path_counts[i] > 0 {
+                path_mean_latency_ms[i] = path_latency_sums[i] / path_counts[i] as f64;
+            }
+        }
+        let mean_energy_mj =
+            outcomes.iter().map(|o| o.energy_mj).sum::<f64>() / outcomes.len() as f64;
+        let first = outcomes.iter().map(|o| o.at).min().expect("non-empty");
+        let last = outcomes.iter().map(|o| o.at).max().expect("non-empty");
+        let stream_seconds = last.saturating_duration_since(first).as_secs_f64();
+        RunReport {
+            scenario: scenario.to_owned(),
+            variant: variant.to_owned(),
+            devices,
+            frames: outcomes.len(),
+            latency_ms: Summary::from_samples(&latencies_ms),
+            accuracy: correct as f64 / outcomes.len() as f64,
+            mean_energy_mj,
+            path_counts,
+            path_mean_latency_ms,
+            cache,
+            network,
+            latencies_ms,
+            stream_seconds,
+        }
+    }
+
+    /// Fraction of frames answered *without* running the DNN.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        1.0 - self.path_fraction(ResolutionPath::FullInference)
+    }
+
+    /// The fraction of frames answered by `path`.
+    pub fn path_fraction(&self, path: ResolutionPath) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        let idx = ResolutionPath::all()
+            .iter()
+            .position(|p| *p == path)
+            .expect("all paths enumerated");
+        self.path_counts[idx] as f64 / self.frames as f64
+    }
+
+    /// The mean latency (ms) of frames answered by `path` (0.0 if that
+    /// path served nothing).
+    pub fn path_mean_latency(&self, path: ResolutionPath) -> f64 {
+        let idx = ResolutionPath::all()
+            .iter()
+            .position(|p| *p == path)
+            .expect("all paths enumerated");
+        self.path_mean_latency_ms[idx]
+    }
+
+    /// Mean-latency reduction relative to a baseline run:
+    /// `1 − mean/baseline_mean`. Positive means this run is faster.
+    pub fn latency_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.latency_ms.mean <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.latency_ms.mean / baseline.latency_ms.mean
+    }
+
+    /// Accuracy delta relative to a baseline run (negative = loss).
+    pub fn accuracy_delta_vs(&self, baseline: &RunReport) -> f64 {
+        self.accuracy - baseline.accuracy
+    }
+
+    /// The latency CDF of this run.
+    pub fn latency_cdf(&self) -> Cdf {
+        Cdf::from_samples(&self.latencies_ms)
+    }
+
+    /// The recognition workload's average per-device power draw,
+    /// milliwatts (mJ per frame × frames per second per device). Returns
+    /// 0.0 for streams shorter than one frame interval.
+    pub fn device_power_mw(&self) -> f64 {
+        if self.stream_seconds <= 0.0 || self.devices == 0 {
+            return 0.0;
+        }
+        let frames_per_device = self.frames as f64 / self.devices as f64;
+        self.mean_energy_mj * frames_per_device / self.stream_seconds
+    }
+
+    /// Projected battery percentage consumed per hour of continuous
+    /// streaming, for a battery of `capacity_mwh` milliwatt-hours (a
+    /// typical 4000 mAh / 3.85 V phone battery is ≈ 15 400 mWh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mwh` is not positive.
+    pub fn battery_pct_per_hour(&self, capacity_mwh: f64) -> f64 {
+        assert!(capacity_mwh > 0.0, "battery_pct_per_hour: capacity must be positive");
+        self.device_power_mw() / capacity_mwh * 100.0
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{} / {}] {} frames on {} device(s)",
+            self.scenario, self.variant, self.frames, self.devices
+        )?;
+        writeln!(
+            f,
+            "  latency: mean {:.2} ms, p50 {:.2}, p95 {:.2}, p99 {:.2}",
+            self.latency_ms.mean, self.latency_ms.p50, self.latency_ms.p95, self.latency_ms.p99
+        )?;
+        writeln!(
+            f,
+            "  accuracy {:.1}%  energy {:.1} mJ/frame  reuse {:.1}%",
+            self.accuracy * 100.0,
+            self.mean_energy_mj,
+            self.reuse_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  paths: imu {:.1}% local {:.1}% peer {:.1}% dnn {:.1}%",
+            self.path_fraction(ResolutionPath::ImuReuse) * 100.0,
+            self.path_fraction(ResolutionPath::LocalCache) * 100.0,
+            self.path_fraction(ResolutionPath::PeerCache) * 100.0,
+            self.path_fraction(ResolutionPath::FullInference) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scene::ClassId;
+    use simcore::{SimDuration, SimTime};
+
+    fn outcome(path: ResolutionPath, latency_ms: u64, correct: bool) -> FrameOutcome {
+        FrameOutcome {
+            at: SimTime::ZERO,
+            label: ClassId(if correct { 1 } else { 2 }),
+            truth: ClassId(1),
+            latency: SimDuration::from_millis(latency_ms),
+            energy_mj: 10.0,
+            path,
+        }
+    }
+
+    fn report(outcomes: &[FrameOutcome]) -> RunReport {
+        RunReport::from_outcomes(
+            "test",
+            "full",
+            1,
+            outcomes,
+            CacheStats::default(),
+            TransportCounters::default(),
+        )
+    }
+
+    #[test]
+    fn aggregates_paths_latency_accuracy() {
+        let outcomes = vec![
+            outcome(ResolutionPath::FullInference, 80, true),
+            outcome(ResolutionPath::LocalCache, 4, true),
+            outcome(ResolutionPath::ImuReuse, 0, true),
+            outcome(ResolutionPath::PeerCache, 10, false),
+        ];
+        let r = report(&outcomes);
+        assert_eq!(r.frames, 4);
+        assert_eq!(r.path_counts, [1, 1, 1, 1]);
+        assert!((r.accuracy - 0.75).abs() < 1e-12);
+        assert!((r.latency_ms.mean - 23.5).abs() < 1e-9);
+        assert!((r.reuse_rate() - 0.75).abs() < 1e-12);
+        assert!((r.path_fraction(ResolutionPath::ImuReuse) - 0.25).abs() < 1e-12);
+        assert!((r.mean_energy_mj - 10.0).abs() < 1e-12);
+        assert!((r.path_mean_latency(ResolutionPath::FullInference) - 80.0).abs() < 1e-9);
+        assert!((r.path_mean_latency(ResolutionPath::LocalCache) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_reduction_compares_means() {
+        let slow = report(&[outcome(ResolutionPath::FullInference, 100, true)]);
+        let fast = report(&[outcome(ResolutionPath::LocalCache, 6, true)]);
+        assert!((fast.latency_reduction_vs(&slow) - 0.94).abs() < 1e-9);
+        assert!((slow.latency_reduction_vs(&fast) + (100.0 / 6.0 - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_delta() {
+        let base = report(&[
+            outcome(ResolutionPath::FullInference, 100, true),
+            outcome(ResolutionPath::FullInference, 100, true),
+        ]);
+        let worse = report(&[
+            outcome(ResolutionPath::LocalCache, 4, true),
+            outcome(ResolutionPath::LocalCache, 4, false),
+        ]);
+        assert!((worse.accuracy_delta_vs(&base) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_exposed() {
+        let r = report(&[
+            outcome(ResolutionPath::LocalCache, 2, true),
+            outcome(ResolutionPath::FullInference, 100, true),
+        ]);
+        let cdf = r.latency_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert!((cdf.fraction_at_or_below(50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_projection_from_energy_rate() {
+        // Two frames 1 s apart at 100 mJ each on one device: 100 mW draw.
+        let outcomes = vec![
+            FrameOutcome {
+                at: SimTime::ZERO,
+                energy_mj: 100.0,
+                ..outcome(ResolutionPath::FullInference, 80, true)
+            },
+            FrameOutcome {
+                at: SimTime::from_secs(1),
+                energy_mj: 100.0,
+                ..outcome(ResolutionPath::FullInference, 80, true)
+            },
+        ];
+        let r = report(&outcomes);
+        assert!((r.stream_seconds - 1.0).abs() < 1e-12);
+        assert!((r.device_power_mw() - 200.0).abs() < 1e-9);
+        // 200 mW on a 15 400 mWh battery ≈ 1.3%/hour.
+        let pct = r.battery_pct_per_hour(15_400.0);
+        assert!((pct - 200.0 / 154.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_span_stream_reports_zero_power() {
+        let r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        assert_eq!(r.device_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        let text = r.to_string();
+        assert!(text.contains("accuracy 100.0%"));
+        assert!(text.contains("reuse 100.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn empty_outcomes_rejected() {
+        report(&[]);
+    }
+}

@@ -1,0 +1,698 @@
+//! The multi-device collaborative simulation driver.
+//!
+//! A scenario fixes the world, the devices' motion and the stream
+//! parameters; [`run_scenario`] plays it out frame by frame:
+//!
+//! 1. every device renders its frame from its own pose (all devices share
+//!    one [`World`], so nearby devices see the same objects);
+//! 2. each device runs the pipeline, querying in-range neighbours'
+//!    caches (nearest first) on local misses;
+//! 3. advertisement pushes are delivered with sampled link delay;
+//! 4. optional churn replaces world objects at fixed intervals.
+
+use serde::{Deserialize, Serialize};
+
+use imu::{ImuSample, ImuSynthesizer, MotionProfile, MotionTrace};
+use p2pnet::{P2pMessage, ProximityModel, WireEntry};
+use scene::{ClassUniverse, FrameRenderer, SceneConfig, World};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::baseline::SystemVariant;
+use crate::config::{device_traces, PipelineConfig};
+use crate::device::{Device, DeviceId, FrameOutcome};
+use crate::report::RunReport;
+
+/// Periodic world churn: every `interval`, replace `fraction` of objects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Time between churn events.
+    pub interval: SimDuration,
+    /// Fraction of objects replaced per event, `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Name used in reports.
+    pub name: String,
+    /// Device motion regime (all devices share the profile; their traces
+    /// are independent).
+    pub profile: MotionProfile,
+    /// Number of collaborating devices.
+    pub devices: usize,
+    /// Simulated stream length.
+    pub duration: SimDuration,
+    /// Camera frame rate, frames per second.
+    pub fps: f64,
+    /// IMU sample rate, Hz.
+    pub imu_rate_hz: f64,
+    /// The synthetic world.
+    pub scene: SceneConfig,
+    /// Optional object churn.
+    pub churn: Option<ChurnSpec>,
+    /// Metres between device spawn points.
+    pub spawn_spacing: f64,
+    /// Per-device phone classes for heterogeneous fleets. `None` gives
+    /// every device the pipeline config's class; a non-empty vector is
+    /// cycled over devices (`device i` gets `classes[i % len]`).
+    pub device_classes: Option<Vec<dnnsim::DeviceClass>>,
+}
+
+impl Scenario {
+    /// A one-device scenario with default world and stream parameters
+    /// (30 s at 10 fps, 100 Hz IMU).
+    pub fn single_device(profile: MotionProfile) -> Scenario {
+        Scenario {
+            name: profile.name().to_owned(),
+            profile,
+            devices: 1,
+            duration: SimDuration::from_secs(30),
+            fps: 10.0,
+            imu_rate_hz: 100.0,
+            scene: SceneConfig::default(),
+            churn: None,
+            spawn_spacing: 4.0,
+            device_classes: None,
+        }
+    }
+
+    /// A multi-device scenario in one shared world.
+    pub fn multi_device(profile: MotionProfile, devices: usize) -> Scenario {
+        Scenario {
+            name: format!("{}-x{}", profile.name(), devices),
+            devices,
+            ..Scenario::single_device(profile)
+        }
+    }
+
+    /// Overrides the name.
+    pub fn with_name(mut self, name: &str) -> Scenario {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Overrides the duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Scenario {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the frame rate.
+    pub fn with_fps(mut self, fps: f64) -> Scenario {
+        self.fps = fps;
+        self
+    }
+
+    /// Adds churn.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Scenario {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Overrides the scene.
+    pub fn with_scene(mut self, scene: SceneConfig) -> Scenario {
+        self.scene = scene;
+        self
+    }
+
+    /// Makes the fleet heterogeneous: device `i` runs on
+    /// `classes[i % classes.len()]`.
+    pub fn with_device_classes(mut self, classes: Vec<dnnsim::DeviceClass>) -> Scenario {
+        self.device_classes = Some(classes);
+        self
+    }
+
+    /// Validates the scenario's ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero devices, non-positive rates or invalid churn.
+    pub fn validate(&self) {
+        assert!(self.devices > 0, "Scenario: devices must be positive");
+        assert!(self.fps > 0.0, "Scenario: fps must be positive");
+        assert!(self.imu_rate_hz > 0.0, "Scenario: imu_rate_hz must be positive");
+        assert!(
+            !self.duration.is_zero(),
+            "Scenario: duration must be positive"
+        );
+        if let Some(churn) = &self.churn {
+            assert!(
+                (0.0..=1.0).contains(&churn.fraction),
+                "Scenario: churn fraction must be in [0, 1]"
+            );
+            assert!(!churn.interval.is_zero(), "Scenario: churn interval must be positive");
+        }
+        if let Some(classes) = &self.device_classes {
+            assert!(!classes.is_empty(), "Scenario: device_classes must be non-empty");
+        }
+        self.scene.validate();
+    }
+}
+
+/// The detailed result of a run: the aggregate report plus per-device
+/// outcome logs (for per-device analyses).
+#[derive(Debug)]
+pub struct SimResult {
+    /// Aggregate over all devices.
+    pub report: RunReport,
+    /// Each device's per-frame log.
+    pub per_device: Vec<Vec<FrameOutcome>>,
+}
+
+/// Runs `scenario` under `variant` and returns the aggregate report.
+pub fn run_scenario(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    variant: SystemVariant,
+    seed: u64,
+) -> RunReport {
+    run_scenario_detailed(scenario, config, variant, seed).report
+}
+
+/// Runs `scenario` and returns per-device detail alongside the aggregate.
+pub fn run_scenario_detailed(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    variant: SystemVariant,
+    seed: u64,
+) -> SimResult {
+    scenario.validate();
+    let root = SimRng::seed(seed);
+    let mut world_rng = root.split("world");
+    let universe = ClassUniverse::generate(&scenario.scene, &mut world_rng);
+    let mut world = World::generate(&universe, &scenario.scene, &mut world_rng);
+    let renderer = FrameRenderer::new(&scenario.scene);
+
+    // Motion: ground truth + per-device noisy IMU streams.
+    let traces: Vec<MotionTrace> = device_traces(
+        scenario.profile,
+        scenario.devices,
+        scenario.duration,
+        scenario.imu_rate_hz,
+        scenario.spawn_spacing,
+        &root,
+    );
+    let synthesizer = ImuSynthesizer::default();
+    let imu_streams: Vec<Vec<ImuSample>> = traces
+        .iter()
+        .enumerate()
+        .map(|(d, trace)| {
+            let mut imu_rng = root.split_index("imu", d as u64);
+            synthesizer.synthesize(trace, &mut imu_rng)
+        })
+        .collect();
+
+    let mut devices: Vec<Device> = (0..scenario.devices)
+        .map(|d| {
+            let mut device_config = config.clone();
+            if let Some(classes) = &scenario.device_classes {
+                device_config.device_class = classes[d % classes.len()];
+            }
+            Device::new(
+                DeviceId(d),
+                variant,
+                &device_config,
+                &universe,
+                scenario.scene.descriptor_dim,
+                seed,
+            )
+        })
+        .collect();
+
+    let proximity = config
+        .peer
+        .as_ref()
+        .map(|p| ProximityModel::new(p.link.range_m.min(1e6)));
+    let fanout = config.peer.as_ref().map_or(0, |p| p.advertise_fanout);
+
+    // Optional beacon-based discovery (instead of oracle proximity).
+    let mut discoveries: Option<Vec<p2pnet::Discovery>> = config
+        .peer
+        .as_ref()
+        .and_then(|p| p.discovery)
+        .filter(|_| variant.peers_enabled() && scenario.devices > 1)
+        .map(|d| (0..scenario.devices).map(|_| p2pnet::Discovery::new(d)).collect());
+    let mut beacon_rng = root.split("beacons");
+
+    let frame_interval = SimDuration::from_secs_f64(1.0 / scenario.fps);
+    let total_frames = (scenario.duration.as_secs_f64() * scenario.fps).floor() as usize;
+
+    // Pending advertisement deliveries: (target device, entry).
+    let mut ad_queue: EventQueue<(usize, WireEntry)> = EventQueue::new();
+    let mut frame_rng = root.split("frames");
+    let mut churn_rng = root.split("churn");
+    let mut next_churn = scenario.churn.map(|c| SimTime::ZERO + c.interval);
+
+    let mut prev_frame_time = SimTime::ZERO;
+    for frame_index in 1..=total_frames {
+        let now = SimTime::ZERO + frame_interval * frame_index as u64;
+
+        // Deliver due advertisements.
+        while ad_queue.peek_time().is_some_and(|at| at <= now) {
+            let (at, (target, entry)) = ad_queue.pop().expect("peeked");
+            devices[target].receive_advertisement(&entry, at);
+        }
+
+        // Churn the world on schedule.
+        if let (Some(churn), Some(due)) = (scenario.churn, next_churn) {
+            if now >= due {
+                world.churn(churn.fraction, &mut churn_rng);
+                next_churn = Some(due + churn.interval);
+            }
+        }
+
+        // Positions of every device at this instant (for proximity).
+        let positions: Vec<(f64, f64)> = traces
+            .iter()
+            .map(|t| {
+                let pose = t.pose_at(now);
+                (pose.x, pose.y)
+            })
+            .collect();
+
+        // Beacon exchange: every due transmitter reaches every device
+        // currently in physical range; reception applies the configured
+        // delivery probability.
+        if let Some(discoveries) = &mut discoveries {
+            let model = proximity.as_ref().expect("peers enabled implies proximity");
+            for sender in 0..scenario.devices {
+                if discoveries[sender].should_beacon(now) {
+                    for receiver in model.neighbors(&positions, sender) {
+                        discoveries[receiver].receive_beacon(sender as u64, now, &mut beacon_rng);
+                    }
+                }
+            }
+        }
+
+        for d in 0..devices.len() {
+            let pose = traces[d].pose_at(now);
+            let frame = renderer.render(&world, &pose, now, &mut frame_rng);
+            let window = window_of(&imu_streams[d], prev_frame_time, now, scenario.imu_rate_hz);
+
+            // Neighbour caches: from the discovery table when configured
+            // (freshest beacon first, filtered to devices actually still
+            // in range), otherwise from the proximity oracle (nearest
+            // first).
+            let neighbor_indices: Vec<usize> = match (&mut discoveries, &proximity) {
+                (Some(discoveries), Some(model)) => {
+                    let in_range = model.neighbors(&positions, d);
+                    discoveries[d]
+                        .neighbors(now)
+                        .into_iter()
+                        .map(|id| id as usize)
+                        .filter(|n| in_range.contains(n))
+                        .collect()
+                }
+                (None, Some(model)) if variant.peers_enabled() => model.neighbors(&positions, d),
+                _ => Vec::new(),
+            };
+            let neighbor_caches: Vec<reuse::SharedCache<scene::ClassId>> = neighbor_indices
+                .iter()
+                .map(|&n| devices[n].cache().clone())
+                .collect();
+            let cache_refs: Vec<&reuse::SharedCache<scene::ClassId>> =
+                neighbor_caches.iter().collect();
+
+            devices[d].process_frame(&frame, window, &cache_refs, now);
+
+            // Advertise fresh inference results to the nearest neighbours.
+            if let Some(entry) = devices[d].take_advertisement() {
+                let compress = config
+                    .peer
+                    .as_ref()
+                    .is_some_and(|p| p.compress_advertisements);
+                // With compression, receivers get the *dequantized* key —
+                // the fidelity loss of the wire format is modelled, not
+                // just its byte count.
+                let (message, delivered_entry) = if compress {
+                    let quantized = features::QuantizedVector::quantize(&entry.key);
+                    let delivered = WireEntry {
+                        key: quantized.dequantize(),
+                        ..entry.clone()
+                    };
+                    (
+                        P2pMessage::AdvertiseCompact {
+                            entries: vec![p2pnet::protocol::CompactEntry {
+                                key: quantized,
+                                label: entry.label,
+                                confidence: entry.confidence,
+                            }],
+                        },
+                        delivered,
+                    )
+                } else {
+                    (
+                        P2pMessage::Advertise {
+                            entries: vec![entry.clone()],
+                        },
+                        entry.clone(),
+                    )
+                };
+                for &target in neighbor_indices.iter().take(fanout) {
+                    if let Some(delay) = devices[d].charge_advertisement(&message) {
+                        ad_queue.schedule(now + delay, (target, delivered_entry.clone()));
+                    }
+                }
+            }
+        }
+        prev_frame_time = now;
+    }
+
+    let all_outcomes: Vec<FrameOutcome> = devices
+        .iter()
+        .flat_map(|d| d.outcomes().iter().copied())
+        .collect();
+    let mut cache = reuse::CacheStats::default();
+    let mut network = p2pnet::TransportCounters::default();
+    for d in &devices {
+        cache.merge(&d.cache().stats());
+        network.merge(&d.transport_counters());
+    }
+    // Beacon traffic is network cost too.
+    if let Some(discoveries) = &discoveries {
+        for disc in discoveries {
+            network.messages_sent += disc.beacons_sent();
+            network.messages_delivered += disc.beacons_sent();
+            network.bytes_sent += disc.beacon_bytes_sent();
+        }
+    }
+    let report = RunReport::from_outcomes(
+        &scenario.name,
+        variant.name(),
+        scenario.devices,
+        &all_outcomes,
+        cache,
+        network,
+    );
+    SimResult {
+        report,
+        per_device: devices.into_iter().map(|d| d.outcomes().to_vec()).collect(),
+    }
+}
+
+/// The IMU samples strictly after `from` and at or before `to`.
+fn window_of(
+    stream: &[ImuSample],
+    from: SimTime,
+    to: SimTime,
+    rate_hz: f64,
+) -> &[ImuSample] {
+    let start = ((from.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
+    let end = ((to.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
+    &stream[start.min(end)..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ResolutionPath;
+
+    fn quick(profile: MotionProfile) -> Scenario {
+        Scenario::single_device(profile).with_duration(SimDuration::from_secs(8))
+    }
+
+    #[test]
+    fn stationary_full_system_reuses_heavily() {
+        let scenario = quick(MotionProfile::Stationary);
+        let config = PipelineConfig::calibrated(&scenario, 1);
+        let report = run_scenario(&scenario, &config, SystemVariant::Full, 1);
+        assert_eq!(report.frames, 80);
+        assert!(report.reuse_rate() > 0.85, "reuse {}", report.reuse_rate());
+        assert!(
+            report.path_fraction(ResolutionPath::ImuReuse) > 0.5,
+            "imu fast path should dominate a stationary stream: {report}"
+        );
+    }
+
+    #[test]
+    fn no_cache_baseline_always_infers() {
+        let scenario = quick(MotionProfile::Stationary);
+        let config = PipelineConfig::calibrated(&scenario, 2);
+        let report = run_scenario(&scenario, &config, SystemVariant::NoCache, 2);
+        assert_eq!(report.reuse_rate(), 0.0);
+        assert!(report.latency_ms.mean > 50.0);
+    }
+
+    #[test]
+    fn full_system_is_much_faster_than_no_cache() {
+        let scenario = quick(MotionProfile::SlowPan { deg_per_sec: 10.0 });
+        let config = PipelineConfig::calibrated(&scenario, 3);
+        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 3);
+        let full = run_scenario(&scenario, &config, SystemVariant::Full, 3);
+        let reduction = full.latency_reduction_vs(&base);
+        assert!(reduction > 0.5, "latency reduction {reduction}");
+        // And accuracy stays close.
+        assert!(full.accuracy_delta_vs(&base) > -0.12, "{}", full.accuracy_delta_vs(&base));
+    }
+
+    #[test]
+    fn peers_help_a_cold_device() {
+        let scenario = Scenario::multi_device(MotionProfile::SlowPan { deg_per_sec: 15.0 }, 4)
+            .with_duration(SimDuration::from_secs(8));
+        let config = PipelineConfig::calibrated(&scenario, 4);
+        let full = run_scenario(&scenario, &config, SystemVariant::Full, 4);
+        let solo = run_scenario(&scenario, &config, SystemVariant::NoPeer, 4);
+        let peer_frac = full.path_fraction(ResolutionPath::PeerCache);
+        assert!(peer_frac > 0.0, "some frames must be answered by peers");
+        assert!(
+            full.reuse_rate() >= solo.reuse_rate() - 0.02,
+            "collaboration must not hurt reuse: full {} vs solo {}",
+            full.reuse_rate(),
+            solo.reuse_rate()
+        );
+        assert!(full.network.bytes_sent > 0);
+    }
+
+    #[test]
+    fn churn_lowers_reuse() {
+        let calm = quick(MotionProfile::SlowPan { deg_per_sec: 10.0 });
+        let config = PipelineConfig::calibrated(&calm, 5);
+        let churny = calm
+            .clone()
+            .with_churn(ChurnSpec {
+                interval: SimDuration::from_secs(2),
+                fraction: 0.5,
+            })
+            .with_name("churn");
+        let calm_report = run_scenario(&calm, &config, SystemVariant::Full, 5);
+        let churn_report = run_scenario(&churny, &config, SystemVariant::Full, 5);
+        assert!(
+            churn_report.reuse_rate() < calm_report.reuse_rate(),
+            "churn {} !< calm {}",
+            churn_report.reuse_rate(),
+            calm_report.reuse_rate()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let scenario = quick(MotionProfile::Walking { speed_mps: 1.4 });
+        let config = PipelineConfig::calibrated(&scenario, 6);
+        let a = run_scenario(&scenario, &config, SystemVariant::Full, 6);
+        let b = run_scenario(&scenario, &config, SystemVariant::Full, 6);
+        assert_eq!(a.latencies_ms, b.latencies_ms);
+        assert_eq!(a.path_counts, b.path_counts);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn detailed_result_splits_devices() {
+        let scenario = Scenario::multi_device(MotionProfile::Stationary, 3)
+            .with_duration(SimDuration::from_secs(4));
+        let config = PipelineConfig::calibrated(&scenario, 7);
+        let result = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 7);
+        assert_eq!(result.per_device.len(), 3);
+        let per_device_total: usize = result.per_device.iter().map(|d| d.len()).sum();
+        assert_eq!(per_device_total, result.report.frames);
+    }
+
+    #[test]
+    #[should_panic(expected = "devices must be positive")]
+    fn zero_devices_rejected() {
+        let mut scenario = quick(MotionProfile::Stationary);
+        scenario.devices = 0;
+        scenario.validate();
+    }
+
+    #[test]
+    fn cascade_backend_cheapens_misses() {
+        // Cache + cascade composition inside the full pipeline: the
+        // walking tour's misses become cheaper with a little model in
+        // front of the big one, at comparable accuracy.
+        let scenario = Scenario::single_device(MotionProfile::Walking { speed_mps: 1.4 })
+            .with_duration(SimDuration::from_secs(10));
+        let big_only = PipelineConfig::calibrated(&scenario, 15)
+            .with_model(dnnsim::zoo::inception_v3());
+        let cascaded = big_only
+            .clone()
+            .with_cascade(dnnsim::zoo::squeezenet(), 0.8);
+        let single = run_scenario(&scenario, &big_only, SystemVariant::Full, 15);
+        let cascade = run_scenario(&scenario, &cascaded, SystemVariant::Full, 15);
+        // Miss-path latency must drop materially.
+        let single_miss = single.path_mean_latency(ResolutionPath::FullInference);
+        let cascade_miss = cascade.path_mean_latency(ResolutionPath::FullInference);
+        assert!(
+            cascade_miss < single_miss * 0.8,
+            "cascade miss {cascade_miss} !< 0.8 × {single_miss}"
+        );
+        assert!(cascade.accuracy > single.accuracy - 0.1);
+    }
+
+    #[test]
+    fn compressed_advertisements_save_bytes_without_losing_reuse() {
+        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
+            dwell_secs: 3.0,
+            turn_deg: 45.0,
+        }, 6)
+        .with_duration(SimDuration::from_secs(8));
+        let config = PipelineConfig::calibrated(&scenario, 14);
+        let float_run = run_scenario(&scenario, &config, SystemVariant::Full, 14);
+        let mut compressed_config = config.clone();
+        compressed_config
+            .peer
+            .as_mut()
+            .expect("peers enabled")
+            .compress_advertisements = true;
+        let compact_run = run_scenario(&scenario, &compressed_config, SystemVariant::Full, 14);
+        assert!(
+            (compact_run.network.bytes_sent as f64) < float_run.network.bytes_sent as f64 * 0.8,
+            "compact {} !< 0.8 × float {}",
+            compact_run.network.bytes_sent,
+            float_run.network.bytes_sent
+        );
+        assert!(
+            (compact_run.reuse_rate() - float_run.reuse_rate()).abs() < 0.03,
+            "compact reuse {} vs float {}",
+            compact_run.reuse_rate(),
+            float_run.reuse_rate()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_helps_slow_devices_most() {
+        // Museum of alternating budget and flagship phones: peers mean a
+        // budget phone's misses are often answered by someone else's
+        // (cheap) inference instead of its own (expensive) one.
+        use dnnsim::DeviceClass;
+        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
+            dwell_secs: 3.0,
+            turn_deg: 45.0,
+        }, 6)
+        .with_duration(SimDuration::from_secs(8))
+        .with_device_classes(vec![DeviceClass::Budget, DeviceClass::Flagship]);
+        let config = PipelineConfig::calibrated(&scenario, 13);
+        let full = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 13);
+        let solo = run_scenario_detailed(&scenario, &config, SystemVariant::NoPeer, 13);
+        let budget_mean = |result: &SimResult| {
+            let frames: Vec<f64> = result
+                .per_device
+                .iter()
+                .step_by(2) // devices 0, 2, 4 are Budget
+                .flatten()
+                .map(|o| o.latency.as_millis_f64())
+                .collect();
+            frames.iter().sum::<f64>() / frames.len() as f64
+        };
+        let with_peers = budget_mean(&full);
+        let without = budget_mean(&solo);
+        assert!(
+            with_peers < without,
+            "budget devices with peers {with_peers} !< solo {without}"
+        );
+    }
+
+    #[test]
+    fn activity_adaptive_gate_reuses_more_while_walking() {
+        // Walking gait defeats a static still-threshold of 1.0 (every
+        // window scores above it); the walking preset (3.0) lets the
+        // fast path fire between strides without losing accuracy.
+        let scenario = Scenario::single_device(MotionProfile::Walking { speed_mps: 1.4 })
+            .with_duration(SimDuration::from_secs(10));
+        let config = PipelineConfig::calibrated(&scenario, 12);
+        let static_gate = run_scenario(&scenario, &config, SystemVariant::Full, 12);
+        let adaptive_config = config.clone().with_activity_adaptive_gate(true);
+        let adaptive = run_scenario(&scenario, &adaptive_config, SystemVariant::Full, 12);
+        assert!(
+            adaptive.path_fraction(ResolutionPath::ImuReuse)
+                > static_gate.path_fraction(ResolutionPath::ImuReuse),
+            "adaptive {} !> static {}",
+            adaptive.path_fraction(ResolutionPath::ImuReuse),
+            static_gate.path_fraction(ResolutionPath::ImuReuse)
+        );
+        assert!(
+            adaptive.accuracy > static_gate.accuracy - 0.1,
+            "adaptive accuracy {} collapsed vs {}",
+            adaptive.accuracy,
+            static_gate.accuracy
+        );
+    }
+
+    #[test]
+    fn beacon_discovery_finds_peers_and_costs_bytes() {
+        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
+            dwell_secs: 3.0,
+            turn_deg: 45.0,
+        }, 4)
+        .with_duration(SimDuration::from_secs(8));
+        let mut config = PipelineConfig::calibrated(&scenario, 8);
+        let peer = config.peer.as_mut().expect("peers enabled");
+        peer.discovery = Some(p2pnet::DiscoveryConfig::default());
+        let report = run_scenario(&scenario, &config, SystemVariant::Full, 8);
+        // Discovery still enables collaboration…
+        assert!(
+            report.path_fraction(ResolutionPath::PeerCache) > 0.0,
+            "discovered peers must serve hits: {report}"
+        );
+        // …and the beacon traffic is visible in the network counters: at
+        // 500 ms intervals over 8 s, 4 devices send ≥ 60 beacons.
+        assert!(
+            report.network.messages_sent >= 60,
+            "beacons must be accounted ({} messages)",
+            report.network.messages_sent
+        );
+    }
+
+    #[test]
+    fn oracle_and_discovery_agree_when_beacons_are_perfect() {
+        // With instant, lossless beacons, discovery converges to the
+        // oracle neighbour set after one interval; reuse totals must be
+        // close (initial invisibility window aside).
+        let scenario = Scenario::multi_device(MotionProfile::Stationary, 4)
+            .with_duration(SimDuration::from_secs(8));
+        let mut config = PipelineConfig::calibrated(&scenario, 9);
+        let oracle = run_scenario(&scenario, &config, SystemVariant::Full, 9);
+        config.peer.as_mut().expect("peers").discovery = Some(p2pnet::DiscoveryConfig {
+            beacon_delivery_prob: 1.0,
+            ..p2pnet::DiscoveryConfig::default()
+        });
+        let discovered = run_scenario(&scenario, &config, SystemVariant::Full, 9);
+        assert!(
+            (oracle.reuse_rate() - discovered.reuse_rate()).abs() < 0.05,
+            "oracle {} vs discovered {}",
+            oracle.reuse_rate(),
+            discovered.reuse_rate()
+        );
+    }
+
+    #[test]
+    fn window_of_selects_interval() {
+        let stream: Vec<ImuSample> = (0..100)
+            .map(|i| ImuSample {
+                at: SimTime::from_millis(i * 10),
+                gyro: [0.0; 3],
+                accel: [0.0; 3],
+            })
+            .collect();
+        let w = window_of(&stream, SimTime::ZERO, SimTime::from_millis(100), 100.0);
+        assert_eq!(w.len(), 10);
+        let w2 = window_of(
+            &stream,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+            100.0,
+        );
+        assert_eq!(w2.len(), 10);
+        assert!(w2[0].at > SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,79 @@
+//! R-11 — index comparison: lookup latency of linear scan vs kd-tree vs
+//! LSH as the cache grows. Demonstrates the claim the cost model relies
+//! on: lookups are microseconds while inference is tens of milliseconds,
+//! and the linear scan is unbeatable at mobile cache sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ann::{KdTree, LinearScan, LshConfig, LshIndex, NnIndex, NswConfig, NswIndex};
+use features::projection::random_vectors;
+use simcore::SimRng;
+
+const DIM: usize = 64;
+
+fn build(index: &mut dyn NnIndex, keys: &[features::FeatureVector]) {
+    for (i, key) in keys.iter().enumerate() {
+        index.insert(i as u64, key.clone());
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ann_lookup");
+    for &size in &[100usize, 1_000, 10_000] {
+        let mut rng = SimRng::seed(1);
+        let keys = random_vectors(size, DIM, &mut rng);
+        let queries = random_vectors(64, DIM, &mut rng);
+
+        let mut linear = LinearScan::new(DIM);
+        build(&mut linear, &keys);
+        let mut kdtree = KdTree::new(DIM);
+        build(&mut kdtree, &keys);
+        let mut lsh = LshIndex::new(DIM, LshConfig::default());
+        build(&mut lsh, &keys);
+        let mut nsw = NswIndex::new(DIM, NswConfig::default());
+        build(&mut nsw, &keys);
+
+        let indexes: [(&str, &dyn NnIndex); 4] = [
+            ("linear", &linear),
+            ("kdtree", &kdtree),
+            ("lsh", &lsh),
+            ("nsw", &nsw),
+        ];
+        for (name, index) in indexes {
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(index.nearest(q, 4))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ann_insert");
+    let mut rng = SimRng::seed(2);
+    let keys = random_vectors(1_000, DIM, &mut rng);
+    group.bench_function("linear_1k", |b| {
+        b.iter(|| {
+            let mut index = LinearScan::new(DIM);
+            build(&mut index, &keys);
+            black_box(index.len())
+        });
+    });
+    group.bench_function("lsh_1k", |b| {
+        b.iter(|| {
+            let mut index = LshIndex::new(DIM, LshConfig::default());
+            build(&mut index, &keys);
+            black_box(index.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! R-12 — cache operation throughput: lookup (hit and miss) and insert
+//! (including eviction) per policy at a realistic occupancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use features::projection::random_vectors;
+use reuse::{AdmissionPolicy, ApproxCache, CacheConfig, EntrySource, EvictionPolicy};
+use simcore::{SimRng, SimTime};
+
+const DIM: usize = 64;
+const CAPACITY: usize = 256;
+
+fn warm_cache(policy: EvictionPolicy) -> (ApproxCache<u32>, Vec<features::FeatureVector>) {
+    let mut rng = SimRng::seed(3);
+    let keys = random_vectors(CAPACITY, DIM, &mut rng);
+    let mut cache: ApproxCache<u32> = ApproxCache::new(
+        CacheConfig::new(CAPACITY)
+            .with_eviction(policy)
+            .with_admission(AdmissionPolicy::admit_all()),
+    );
+    for (i, key) in keys.iter().enumerate() {
+        cache.insert(
+            key.clone(),
+            (i % 20) as u32,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::from_millis(i as u64),
+        );
+    }
+    (cache, keys)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_lookup");
+    let (mut cache, keys) = warm_cache(EvictionPolicy::Lru);
+    let mut rng = SimRng::seed(4);
+    let far = random_vectors(64, DIM, &mut rng);
+    let mut now = SimTime::from_secs(10);
+
+    group.bench_function("hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            now += simcore::SimDuration::from_micros(1);
+            let q = &keys[i % keys.len()];
+            i += 1;
+            black_box(cache.lookup(q, now))
+        });
+    });
+    group.bench_function("miss", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            now += simcore::SimDuration::from_micros(1);
+            // Scaled-out keys are far from everything cached.
+            let q = far[i % far.len()].scale(50.0);
+            i += 1;
+            black_box(cache.lookup(&q, now))
+        });
+    });
+    group.finish();
+}
+
+fn bench_insert_with_eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_insert_evict");
+    for policy in EvictionPolicy::standard_set() {
+        group.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &policy| {
+                let (mut cache, _) = warm_cache(policy);
+                let mut rng = SimRng::seed(5);
+                let fresh = random_vectors(512, DIM, &mut rng);
+                let mut i = 0;
+                let mut now = SimTime::from_secs(100);
+                b.iter(|| {
+                    now += simcore::SimDuration::from_micros(3);
+                    let key = fresh[i % fresh.len()].scale(1.0 + (i as f32) * 0.001);
+                    i += 1;
+                    // At capacity: every insert evicts.
+                    black_box(cache.insert(key, 1, 0.9, EntrySource::LocalInference, now))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert_with_eviction);
+criterion_main!(benches);

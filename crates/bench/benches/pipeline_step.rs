@@ -1,0 +1,94 @@
+//! R-14 — end-to-end pipeline step cost (host CPU, not simulated time):
+//! how expensive one `process_frame` call is on the hit path vs the miss
+//! path, and one whole simulated second of a scenario. Keeps the
+//! simulator honest about its own overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use approxcache::{run_scenario, Device, DeviceId, PipelineConfig, Scenario, SystemVariant};
+use imu::{ImuSample, MotionProfile};
+use scene::{ClassId, ClassUniverse, Frame, ObjectId, SceneConfig};
+use simcore::{SimRng, SimTime};
+
+fn frame_for(universe: &ClassUniverse, class: u32, at: SimTime) -> Frame {
+    Frame {
+        at,
+        descriptor: universe.center(ClassId(class)).clone(),
+        truth: ClassId(class),
+        subject: ObjectId(class as u64),
+        geometry: scene::camera::ViewGeometry {
+            bearing_offset: 0.0,
+            distance: 3.0,
+        },
+    }
+}
+
+fn moving_window(at_ms: u64) -> Vec<ImuSample> {
+    (0..10)
+        .map(|i| ImuSample {
+            at: SimTime::from_millis(at_ms + i * 10),
+            gyro: [0.0, 0.0, 1.5],
+            accel: [0.5, 0.0, 0.0],
+        })
+        .collect()
+}
+
+fn bench_process_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_step");
+    let mut rng = SimRng::seed(1);
+    let universe = ClassUniverse::generate(&SceneConfig::default(), &mut rng);
+    let config = PipelineConfig::new();
+
+    group.bench_function("hit_path", |b| {
+        let mut device = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, 1);
+        // Warm: one inference caches class 0.
+        device.process_frame(
+            &frame_for(&universe, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let mut t = 1u64;
+        b.iter(|| {
+            let now = SimTime::from_millis(t * 100);
+            let frame = frame_for(&universe, 0, now);
+            t += 1;
+            black_box(device.process_frame(&frame, &moving_window(t * 100), &[], now))
+        });
+    });
+
+    group.bench_function("miss_path", |b| {
+        let mut device = Device::new(
+            DeviceId(0),
+            SystemVariant::NoCache,
+            &config,
+            &universe,
+            256,
+            1,
+        );
+        let mut t = 1u64;
+        b.iter(|| {
+            let now = SimTime::from_millis(t * 100);
+            let frame = frame_for(&universe, (t % 20) as u32, now);
+            t += 1;
+            black_box(device.process_frame(&frame, &moving_window(t * 100), &[], now))
+        });
+    });
+    group.finish();
+}
+
+fn bench_whole_scenario_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_second");
+    group.sample_size(10);
+    let scenario = Scenario::single_device(MotionProfile::SlowPan { deg_per_sec: 10.0 })
+        .with_duration(simcore::SimDuration::from_secs(1));
+    let config = PipelineConfig::calibrated(&scenario, 1);
+    group.bench_function("slow_pan_1s_full", |b| {
+        b.iter(|| black_box(run_scenario(&scenario, &config, SystemVariant::Full, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_process_frame, bench_whole_scenario_second);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! R-3 — where reuse comes from: per-scenario breakdown of frames answered
+//! by the IMU fast path, the local approximate cache, peers, and the DNN.
+
+use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use bench::{emit, experiment_duration, MASTER_SEED};
+use simcore::table::{fpct, Table};
+use workloads::{multi, video};
+
+fn main() {
+    let duration = experiment_duration();
+    let mut scenarios = video::all();
+    scenarios.push(multi::museum(8));
+    let scenarios: Vec<_> = scenarios
+        .into_iter()
+        .map(|s| s.with_duration(duration))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "scenario",
+        "devices",
+        "imu_fast_path",
+        "local_cache",
+        "peer_cache",
+        "full_inference",
+        "reuse_total",
+    ]);
+    let mut latency_table = Table::new(vec![
+        "scenario",
+        "imu_ms",
+        "local_ms",
+        "peer_ms",
+        "inference_ms",
+    ]);
+    for scenario in &scenarios {
+        let config = PipelineConfig::calibrated(scenario, MASTER_SEED);
+        let report = run_scenario(scenario, &config, SystemVariant::Full, MASTER_SEED);
+        table.row(vec![
+            scenario.name.clone(),
+            scenario.devices.to_string(),
+            fpct(report.path_fraction(ResolutionPath::ImuReuse)),
+            fpct(report.path_fraction(ResolutionPath::LocalCache)),
+            fpct(report.path_fraction(ResolutionPath::PeerCache)),
+            fpct(report.path_fraction(ResolutionPath::FullInference)),
+            fpct(report.reuse_rate()),
+        ]);
+        latency_table.row(vec![
+            scenario.name.clone(),
+            simcore::table::fnum(report.path_mean_latency(ResolutionPath::ImuReuse), 3),
+            simcore::table::fnum(report.path_mean_latency(ResolutionPath::LocalCache), 3),
+            simcore::table::fnum(report.path_mean_latency(ResolutionPath::PeerCache), 3),
+            simcore::table::fnum(report.path_mean_latency(ResolutionPath::FullInference), 2),
+        ]);
+    }
+    emit(
+        "r3_hit_breakdown",
+        "reuse-source breakdown per scenario (full system)",
+        &table,
+    );
+    emit(
+        "r3_path_latency",
+        "mean per-frame latency by answering path",
+        &latency_table,
+    );
+}

@@ -1,0 +1,41 @@
+//! R-4 — per-frame latency CDF, Full vs NoCache, on the walking tour
+//! (the hardest single-device scenario, so the CDF shows both the reuse
+//! mass near zero and the inference tail).
+
+use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use bench::{emit, experiment_duration, MASTER_SEED};
+use simcore::table::{fnum, Table};
+use workloads::video;
+
+fn main() {
+    let scenario = video::walking_tour().with_duration(experiment_duration());
+    let config = PipelineConfig::calibrated(&scenario, MASTER_SEED);
+    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+
+    let points = 21;
+    let base_series = base.latency_cdf().series(points);
+    let full_series = full.latency_cdf().series(points);
+
+    let mut table = Table::new(vec![
+        "cum_fraction",
+        "no_cache_latency_ms",
+        "full_latency_ms",
+    ]);
+    for (b, f) in base_series.iter().zip(&full_series) {
+        table.row(vec![
+            fnum(b.1, 2),
+            fnum(b.0, 2),
+            fnum(f.0, 2),
+        ]);
+    }
+    emit(
+        "r4_latency_cdf",
+        "per-frame latency CDF, walking tour",
+        &table,
+    );
+    println!(
+        "median: no-cache {:.1} ms vs full {:.2} ms; p99: {:.1} vs {:.1}",
+        base.latency_ms.p50, full.latency_ms.p50, base.latency_ms.p99, full.latency_ms.p99
+    );
+}

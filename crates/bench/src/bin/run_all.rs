@@ -1,0 +1,57 @@
+//! Runs every macro experiment (R-1 .. R-10) in sequence, writing all
+//! CSVs under `results/`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin run_all
+//! EXPERIMENT_SECONDS=120 cargo run --release -p bench --bin run_all  # longer runs
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "r1_headline_latency",
+        "r2_accuracy_threshold",
+        "r3_hit_breakdown",
+        "r4_latency_cdf",
+        "r5_peer_scaling",
+        "r6_eviction",
+        "r7_imu_gate",
+        "r8_energy",
+        "r9_model_zoo",
+        "r10_ablation",
+        "r15_drift",
+        "r16_discovery",
+        "r17_adaptive",
+        "r18_quantization",
+        "r19_heterogeneous",
+        "r20_cascade",
+    ];
+    let mut failures = Vec::new();
+    for name in experiments {
+        println!("\n########## {name} ##########");
+        // Re-exec the sibling binary, which lives next to run_all.
+        let path = std::env::current_exe()
+            .expect("current exe")
+            .with_file_name(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("could not launch {name} ({}): {e}", path.display());
+                eprintln!("build all binaries first: cargo build --release -p bench");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs are under results/");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Two-stage inference cascades ("big/little" models).
+//!
+//! The other classic mobile-inference optimization besides quantization:
+//! run a small network first and only escalate to the large one when the
+//! small network is unsure. The cascade's expected latency is
+//! `lat_small + P(escalate) · lat_large`, trading the big model's
+//! accuracy ceiling against the small model's speed on easy inputs.
+//! Cache + cascade compose naturally: the cache absorbs repeats, the
+//! cascade cheapens the misses.
+
+use features::FeatureVector;
+use scene::ClassUniverse;
+use simcore::SimRng;
+
+use crate::device::DeviceClass;
+use crate::zoo::ModelProfile;
+use crate::{DnnModel, Inference};
+
+/// A two-stage cascade: `little` answers when confident, otherwise `big`
+/// runs as well (both costs are paid on escalation, as on real devices).
+#[derive(Debug, Clone)]
+pub struct CascadeModel {
+    little: DnnModel,
+    big: DnnModel,
+    /// Escalate when the little model's confidence is below this.
+    escalation_threshold: f64,
+}
+
+impl CascadeModel {
+    /// Builds a cascade of two profiles on one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `escalation_threshold` is outside `[0, 1]` or `little`
+    /// is not actually faster than `big`.
+    pub fn new(
+        little: ModelProfile,
+        big: ModelProfile,
+        escalation_threshold: f64,
+        device: DeviceClass,
+        universe: &ClassUniverse,
+    ) -> CascadeModel {
+        assert!(
+            (0.0..=1.0).contains(&escalation_threshold),
+            "CascadeModel: escalation_threshold must be in [0, 1]"
+        );
+        assert!(
+            little.base_latency_ms < big.base_latency_ms,
+            "CascadeModel: little ({}) must be faster than big ({})",
+            little.name,
+            big.name
+        );
+        CascadeModel {
+            little: DnnModel::new(little, device, universe),
+            big: DnnModel::new(big, device, universe),
+            escalation_threshold,
+        }
+    }
+
+    /// The little model.
+    pub fn little(&self) -> &DnnModel {
+        &self.little
+    }
+
+    /// The big model.
+    pub fn big(&self) -> &DnnModel {
+        &self.big
+    }
+
+    /// Runs the cascade on `descriptor`. The returned inference carries
+    /// the summed latency and energy of every stage that ran.
+    pub fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference {
+        let first = self.little.infer(descriptor, rng);
+        if first.confidence >= self.escalation_threshold {
+            return first;
+        }
+        let second = self.big.infer(descriptor, rng);
+        Inference {
+            label: second.label,
+            confidence: second.confidence,
+            latency: first.latency + second.latency,
+            energy_mj: first.energy_mj + second.energy_mj,
+        }
+    }
+
+    /// The long-run expected latency for an escalation probability `p`.
+    pub fn expected_latency_ms(&self, escalation_prob: f64) -> f64 {
+        self.little.nominal_latency().as_millis_f64()
+            + escalation_prob * self.big.nominal_latency().as_millis_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use scene::{ClassId, SceneConfig};
+
+    fn fixture() -> (ClassUniverse, CascadeModel, SimRng) {
+        let mut rng = SimRng::seed(1);
+        let universe = ClassUniverse::generate(&SceneConfig::default(), &mut rng);
+        let cascade = CascadeModel::new(
+            zoo::squeezenet(),
+            zoo::inception_v3(),
+            0.8,
+            DeviceClass::MidRange,
+            &universe,
+        );
+        (universe, cascade, rng)
+    }
+
+    #[test]
+    fn confident_little_answers_alone() {
+        let (universe, cascade, mut rng) = fixture();
+        // Measure: confident answers must cost only the little model.
+        let mut little_only = 0;
+        let mut escalated = 0;
+        for i in 0..500 {
+            let truth = ClassId((i % universe.len()) as u32);
+            let result = cascade.infer(universe.center(truth), &mut rng);
+            if result.latency.as_millis_f64() < 200.0 {
+                little_only += 1;
+            } else {
+                escalated += 1;
+            }
+        }
+        assert!(little_only > 200, "little answered only {little_only}");
+        assert!(escalated > 100, "escalations {escalated}");
+    }
+
+    #[test]
+    fn cascade_beats_big_alone_on_latency_and_little_on_accuracy() {
+        let (universe, cascade, mut rng) = fixture();
+        let big = DnnModel::new(zoo::inception_v3(), DeviceClass::MidRange, &universe);
+        let little = DnnModel::new(zoo::squeezenet(), DeviceClass::MidRange, &universe);
+        let trials = 2_000;
+        let mut totals = (0.0f64, 0.0f64, 0.0f64); // cascade, big, little latency
+        let mut correct = (0usize, 0usize, 0usize);
+        for i in 0..trials {
+            let truth = ClassId((i % universe.len()) as u32);
+            let d = universe.center(truth);
+            let c = cascade.infer(d, &mut rng);
+            let b = big.infer(d, &mut rng);
+            let l = little.infer(d, &mut rng);
+            totals.0 += c.latency.as_millis_f64();
+            totals.1 += b.latency.as_millis_f64();
+            totals.2 += l.latency.as_millis_f64();
+            correct.0 += (c.label == truth) as usize;
+            correct.1 += (b.label == truth) as usize;
+            correct.2 += (l.label == truth) as usize;
+        }
+        assert!(
+            totals.0 < totals.1 * 0.75,
+            "cascade {:.0} !< big {:.0}",
+            totals.0,
+            totals.1
+        );
+        assert!(
+            correct.0 > correct.2,
+            "cascade accuracy {} !> little {}",
+            correct.0,
+            correct.2
+        );
+    }
+
+    #[test]
+    fn escalation_sums_both_stages() {
+        let (universe, cascade, _) = fixture();
+        // Force the worst case with threshold 1.0: everything escalates.
+        let mut rng = SimRng::seed(2);
+        let always = CascadeModel::new(
+            zoo::squeezenet(),
+            zoo::inception_v3(),
+            1.0,
+            DeviceClass::MidRange,
+            &universe,
+        );
+        let result = always.infer(universe.center(ClassId(0)), &mut rng);
+        assert!(
+            result.latency.as_millis_f64() > 500.0,
+            "escalation must pay both stages: {}",
+            result.latency
+        );
+        let _ = cascade;
+    }
+
+    #[test]
+    fn expected_latency_formula() {
+        let (_, cascade, _) = fixture();
+        let never = cascade.expected_latency_ms(0.0);
+        assert!((never - 45.0).abs() < 1e-9);
+        let always = cascade.expected_latency_ms(1.0);
+        assert!((always - 665.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be faster than")]
+    fn rejects_inverted_cascade() {
+        let mut rng = SimRng::seed(3);
+        let universe = ClassUniverse::generate(&SceneConfig::default(), &mut rng);
+        CascadeModel::new(
+            zoo::inception_v3(),
+            zoo::squeezenet(),
+            0.5,
+            DeviceClass::MidRange,
+            &universe,
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, cascade, _) = fixture();
+        assert_eq!(cascade.little().profile().name, "squeezenet");
+        assert_eq!(cascade.big().profile().name, "inception_v3");
+    }
+}

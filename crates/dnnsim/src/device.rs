@@ -1,0 +1,86 @@
+//! Smartphone device classes.
+
+use serde::{Deserialize, Serialize};
+
+/// The class of phone a model runs on: scales both latency and power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Current-generation flagship SoC (fast big cores, NPU offload).
+    Flagship,
+    /// Mid-range SoC — the calibration reference (multiplier 1.0).
+    #[default]
+    MidRange,
+    /// Entry-level SoC: slow cores, aggressive thermal limits.
+    Budget,
+}
+
+impl DeviceClass {
+    /// Latency multiplier relative to the mid-range reference.
+    pub fn latency_factor(self) -> f64 {
+        match self {
+            DeviceClass::Flagship => 0.45,
+            DeviceClass::MidRange => 1.0,
+            DeviceClass::Budget => 2.2,
+        }
+    }
+
+    /// Power multiplier relative to the mid-range reference (flagships
+    /// finish sooner but draw more while running).
+    pub fn power_factor(self) -> f64 {
+        match self {
+            DeviceClass::Flagship => 1.3,
+            DeviceClass::MidRange => 1.0,
+            DeviceClass::Budget => 0.8,
+        }
+    }
+
+    /// Stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceClass::Flagship => "flagship",
+            DeviceClass::MidRange => "mid-range",
+            DeviceClass::Budget => "budget",
+        }
+    }
+
+    /// All classes, fastest first.
+    pub fn all() -> [DeviceClass; 3] {
+        [DeviceClass::Flagship, DeviceClass::MidRange, DeviceClass::Budget]
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering_flagship_fastest() {
+        let all = DeviceClass::all();
+        for w in all.windows(2) {
+            assert!(w[0].latency_factor() < w[1].latency_factor());
+        }
+        assert_eq!(DeviceClass::MidRange.latency_factor(), 1.0);
+    }
+
+    #[test]
+    fn energy_per_inference_still_favours_flagship() {
+        // Energy ∝ latency_factor × power_factor: racing to idle wins.
+        let flagship =
+            DeviceClass::Flagship.latency_factor() * DeviceClass::Flagship.power_factor();
+        let budget = DeviceClass::Budget.latency_factor() * DeviceClass::Budget.power_factor();
+        assert!(flagship < budget);
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(DeviceClass::default(), DeviceClass::MidRange);
+        assert_eq!(DeviceClass::Flagship.to_string(), "flagship");
+        assert_eq!(DeviceClass::Budget.name(), "budget");
+    }
+}

@@ -1,0 +1,153 @@
+//! Energy accounting, in millijoules.
+//!
+//! Mobile vision burns energy in four places the experiments track:
+//! running the network, extracting cache-key features, searching the
+//! cache, and talking to peers over the radio. All four are modelled here
+//! so the energy experiment (`R-8`) charges every pipeline path
+//! consistently.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::SimDuration;
+
+use crate::device::DeviceClass;
+
+/// Radio technology used for a peer exchange — determines per-byte and
+/// per-connection energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Radio {
+    /// Bluetooth Low Energy 4.2-class link.
+    Ble,
+    /// WiFi-Direct / WiFi-Aware-class link.
+    WifiDirect,
+}
+
+/// Converts pipeline activity into millijoules for one device class.
+///
+/// Constants follow the usual mobile measurement literature: SoC inference
+/// power of 2–3.5 W, ~0.1 µJ/byte for WiFi payloads (plus per-wake
+/// overhead), BLE an order of magnitude cheaper per byte but much slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    device: DeviceClass,
+    /// SoC power while running the DNN, watts (before the device factor).
+    inference_power_w: f64,
+    /// SoC power during feature extraction / cache search, watts.
+    compute_power_w: f64,
+    /// WiFi energy per byte, millijoules.
+    wifi_mj_per_byte: f64,
+    /// WiFi per-exchange wake overhead, millijoules.
+    wifi_wake_mj: f64,
+    /// BLE energy per byte, millijoules.
+    ble_mj_per_byte: f64,
+    /// BLE per-exchange wake overhead, millijoules.
+    ble_wake_mj: f64,
+}
+
+impl EnergyModel {
+    /// The energy model for `device`.
+    pub fn new(device: DeviceClass) -> EnergyModel {
+        EnergyModel {
+            device,
+            inference_power_w: 2.5,
+            compute_power_w: 1.2,
+            wifi_mj_per_byte: 1.0e-4,
+            wifi_wake_mj: 8.0,
+            ble_mj_per_byte: 2.0e-5,
+            ble_wake_mj: 1.0,
+        }
+    }
+
+    /// The device class this model charges for.
+    pub fn device(&self) -> DeviceClass {
+        self.device
+    }
+
+    /// Energy of a DNN inference that ran for `latency`.
+    pub fn inference_energy_mj(&self, latency: SimDuration) -> f64 {
+        self.inference_power_w * self.device.power_factor() * latency.as_millis_f64()
+    }
+
+    /// Energy of CPU work (feature extraction, cache lookup) that ran for
+    /// `latency`.
+    pub fn compute_energy_mj(&self, latency: SimDuration) -> f64 {
+        self.compute_power_w * self.device.power_factor() * latency.as_millis_f64()
+    }
+
+    /// Energy of one radio exchange moving `bytes` payload bytes.
+    pub fn radio_energy_mj(&self, radio: Radio, bytes: usize) -> f64 {
+        match radio {
+            Radio::Ble => self.ble_wake_mj + self.ble_mj_per_byte * bytes as f64,
+            Radio::WifiDirect => self.wifi_wake_mj + self.wifi_mj_per_byte * bytes as f64,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::new(DeviceClass::MidRange)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_energy_scales_with_latency_and_power() {
+        let model = EnergyModel::new(DeviceClass::MidRange);
+        let short = model.inference_energy_mj(SimDuration::from_millis(50));
+        let long = model.inference_energy_mj(SimDuration::from_millis(100));
+        assert!((long / short - 2.0).abs() < 1e-9);
+        // 2.5 W × 1.0 × 100 ms = 250 mJ.
+        assert!((long - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_is_cheaper_than_inference() {
+        let model = EnergyModel::default();
+        let d = SimDuration::from_millis(10);
+        assert!(model.compute_energy_mj(d) < model.inference_energy_mj(d));
+    }
+
+    #[test]
+    fn radio_wake_dominates_small_payloads() {
+        let model = EnergyModel::default();
+        let small = model.radio_energy_mj(Radio::WifiDirect, 100);
+        assert!((small - 8.01).abs() < 1e-9);
+        let big = model.radio_energy_mj(Radio::WifiDirect, 1_000_000);
+        assert!(big > 100.0);
+    }
+
+    #[test]
+    fn ble_is_cheaper_per_exchange() {
+        let model = EnergyModel::default();
+        for bytes in [0usize, 300, 4096] {
+            assert!(
+                model.radio_energy_mj(Radio::Ble, bytes)
+                    < model.radio_energy_mj(Radio::WifiDirect, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn device_power_factor_applies() {
+        let flagship = EnergyModel::new(DeviceClass::Flagship);
+        let budget = EnergyModel::new(DeviceClass::Budget);
+        let d = SimDuration::from_millis(100);
+        assert!(flagship.inference_energy_mj(d) > budget.inference_energy_mj(d));
+        assert_eq!(flagship.device(), DeviceClass::Flagship);
+    }
+
+    #[test]
+    fn cache_hit_beats_inference_energetically() {
+        // The economic argument for the whole system: a lookup (≈1 ms CPU)
+        // plus even a WiFi peer exchange costs less than one MobileNet
+        // inference (75 ms at 2.5 W ≈ 188 mJ).
+        let model = EnergyModel::default();
+        let lookup = model.compute_energy_mj(SimDuration::from_millis(1));
+        let peer = model.radio_energy_mj(Radio::WifiDirect, 600);
+        let inference = model.inference_energy_mj(SimDuration::from_millis(75));
+        assert!(lookup + peer < inference / 10.0);
+    }
+}

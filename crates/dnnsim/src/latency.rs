@@ -1,0 +1,146 @@
+//! Inference latency sampling.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::{SimDuration, SimRng};
+
+use crate::device::DeviceClass;
+use crate::zoo::ModelProfile;
+
+/// Log-normal latency with a thermal-throttle tail.
+///
+/// A sample is `base · device_factor · LogNormal(0, σ)`, multiplied by the
+/// profile's throttle factor with the profile's throttle probability —
+/// matching the bimodal latency traces mobile benchmarks report under
+/// sustained load.
+///
+/// # Example
+///
+/// ```
+/// use dnnsim::{DeviceClass, LatencyModel, zoo};
+/// use simcore::SimRng;
+///
+/// let model = LatencyModel::new(&zoo::mobilenet_v2(), DeviceClass::MidRange);
+/// let mut rng = SimRng::seed(1);
+/// let sample = model.sample(&mut rng);
+/// assert!(sample.as_millis() > 30 && sample.as_millis() < 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    base_ms: f64,
+    sigma: f64,
+    throttle_prob: f64,
+    throttle_factor: f64,
+}
+
+impl LatencyModel {
+    /// Builds the latency model for `profile` on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid.
+    pub fn new(profile: &ModelProfile, device: DeviceClass) -> LatencyModel {
+        profile.validate();
+        LatencyModel {
+            base_ms: profile.base_latency_ms * device.latency_factor(),
+            sigma: profile.latency_sigma,
+            throttle_prob: profile.throttle_prob,
+            throttle_factor: profile.throttle_factor,
+        }
+    }
+
+    /// The un-jittered, un-throttled latency.
+    pub fn nominal(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.base_ms)
+    }
+
+    /// Draws one inference latency.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        // LogNormal(−σ²/2, σ) has mean exactly 1, so jitter does not bias
+        // the base latency.
+        let jitter = rng.log_normal(-self.sigma * self.sigma / 2.0, self.sigma);
+        let throttle = if rng.chance(self.throttle_prob) {
+            self.throttle_factor
+        } else {
+            1.0
+        };
+        SimDuration::from_millis_f64(self.base_ms * jitter * throttle)
+    }
+
+    /// The long-run mean latency including the throttle tail, milliseconds.
+    pub fn expected_ms(&self) -> f64 {
+        self.base_ms * (1.0 + self.throttle_prob * (self.throttle_factor - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn mean_matches_expected() {
+        let model = LatencyModel::new(&zoo::mobilenet_v2(), DeviceClass::MidRange);
+        let mut rng = SimRng::seed(1);
+        let n = 20_000;
+        let mean_ms: f64 = (0..n)
+            .map(|_| model.sample(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        let expected = model.expected_ms();
+        assert!(
+            (mean_ms - expected).abs() / expected < 0.03,
+            "mean {mean_ms}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn device_class_scales_latency() {
+        let mid = LatencyModel::new(&zoo::resnet50(), DeviceClass::MidRange);
+        let flag = LatencyModel::new(&zoo::resnet50(), DeviceClass::Flagship);
+        let budget = LatencyModel::new(&zoo::resnet50(), DeviceClass::Budget);
+        assert!(flag.nominal() < mid.nominal());
+        assert!(mid.nominal() < budget.nominal());
+        assert!((flag.nominal().as_millis_f64() / mid.nominal().as_millis_f64() - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_positive_and_bounded_by_tail() {
+        let model = LatencyModel::new(&zoo::inception_v3(), DeviceClass::Budget);
+        let mut rng = SimRng::seed(2);
+        for _ in 0..1_000 {
+            let s = model.sample(&mut rng).as_millis_f64();
+            assert!(s > 0.0);
+            // base 620 × 2.2 ≈ 1364; tail ×2 plus jitter stays under 5 s.
+            assert!(s < 5_000.0, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn throttling_creates_a_visible_tail() {
+        let model = LatencyModel::new(&zoo::resnet50(), DeviceClass::MidRange);
+        let mut rng = SimRng::seed(3);
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| model.sample(&mut rng).as_millis_f64())
+            .collect();
+        let over = samples.iter().filter(|&&s| s > 380.0 * 1.6).count();
+        let frac = over as f64 / samples.len() as f64;
+        // throttle_prob is 5%; jitter alone (σ=0.12) produces essentially
+        // no mass at +60%.
+        assert!((frac - 0.05).abs() < 0.02, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = LatencyModel::new(&zoo::squeezenet(), DeviceClass::MidRange);
+        let a: Vec<u64> = {
+            let mut rng = SimRng::seed(4);
+            (0..10).map(|_| model.sample(&mut rng).as_nanos()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SimRng::seed(4);
+            (0..10).map(|_| model.sample(&mut rng).as_nanos()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Mobile DNN inference simulator.
+//!
+//! The caching system treats on-device inference as an opaque oracle with
+//! three observable properties: it takes *time*, it burns *energy*, and it
+//! is *mostly right*. This crate models all three, calibrated to published
+//! smartphone benchmarks of common image-recognition networks, so that the
+//! latency/energy savings the cache reports are on the scale real
+//! deployments see:
+//!
+//! - [`ModelProfile`] / [`zoo`] — per-network latency, accuracy and energy
+//!   profiles (MobileNetV2, SqueezeNet, ResNet-50, InceptionV3).
+//! - [`DeviceClass`] — flagship / mid-range / budget phones scale latency
+//!   and power.
+//! - [`LatencyModel`] — log-normal inference latency with a thermal
+//!   throttling tail.
+//! - [`EnergyModel`] — inference, feature-extraction, lookup and radio
+//!   energy in millijoules.
+//! - [`DnnClassifier`] — ground-truth-aware stochastic classifier: right
+//!   with the model's top-1 probability, confusably wrong otherwise.
+//! - [`DnnModel`] — the façade the pipeline calls: one
+//!   [`infer`](DnnModel::infer) per cache miss.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnsim::{DeviceClass, DnnModel, zoo};
+//! use scene::{ClassUniverse, SceneConfig};
+//! use simcore::SimRng;
+//!
+//! let mut rng = SimRng::seed(3);
+//! let config = SceneConfig::default();
+//! let universe = ClassUniverse::generate(&config, &mut rng);
+//! let model = DnnModel::new(zoo::mobilenet_v2(), DeviceClass::MidRange, &universe);
+//! let frame = universe.center(scene::ClassId(0)).clone();
+//! let result = model.infer(&frame, &mut rng);
+//! assert!(result.latency.as_millis() > 0);
+//! ```
+
+pub mod cascade;
+pub mod classifier;
+pub mod device;
+pub mod energy;
+pub mod latency;
+pub mod zoo;
+
+pub use cascade::CascadeModel;
+pub use classifier::{DnnClassifier, Prediction};
+pub use device::DeviceClass;
+pub use energy::{EnergyModel, Radio};
+pub use latency::LatencyModel;
+pub use zoo::ModelProfile;
+
+use features::FeatureVector;
+use scene::ClassUniverse;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng};
+
+/// The outcome of one full DNN inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inference {
+    /// Predicted class.
+    pub label: scene::ClassId,
+    /// Classifier confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Wall-clock cost of the inference.
+    pub latency: SimDuration,
+    /// Energy cost, millijoules.
+    pub energy_mj: f64,
+}
+
+/// Anything the caching pipeline can fall back to on a miss: a single
+/// network ([`DnnModel`]) or a big/little cascade ([`CascadeModel`]).
+/// Object-safe so devices can be configured with either at run time.
+pub trait InferenceBackend: Send {
+    /// Runs one inference.
+    fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference;
+    /// The nominal (planning) latency — for cascades, the no-escalation
+    /// case, since budget decisions should not assume the worst.
+    fn nominal_latency(&self) -> SimDuration;
+    /// A short name for reports.
+    fn backend_name(&self) -> String;
+}
+
+impl InferenceBackend for DnnModel {
+    fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference {
+        DnnModel::infer(self, descriptor, rng)
+    }
+    fn nominal_latency(&self) -> SimDuration {
+        DnnModel::nominal_latency(self)
+    }
+    fn backend_name(&self) -> String {
+        self.profile().name.to_owned()
+    }
+}
+
+impl InferenceBackend for CascadeModel {
+    fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference {
+        CascadeModel::infer(self, descriptor, rng)
+    }
+    fn nominal_latency(&self) -> SimDuration {
+        self.little().nominal_latency()
+    }
+    fn backend_name(&self) -> String {
+        format!(
+            "{}+{}",
+            self.little().profile().name,
+            self.big().profile().name
+        )
+    }
+}
+
+/// A deployed network on a specific device: the inference oracle the
+/// caching pipeline falls back to on a miss.
+#[derive(Debug, Clone)]
+pub struct DnnModel {
+    profile: ModelProfile,
+    device: DeviceClass,
+    latency: LatencyModel,
+    energy: EnergyModel,
+    classifier: DnnClassifier,
+}
+
+impl DnnModel {
+    /// Deploys `profile` on a `device`, classifying over `universe`.
+    pub fn new(profile: ModelProfile, device: DeviceClass, universe: &ClassUniverse) -> DnnModel {
+        DnnModel {
+            latency: LatencyModel::new(&profile, device),
+            energy: EnergyModel::new(device),
+            classifier: DnnClassifier::new(&profile, universe),
+            profile,
+            device,
+        }
+    }
+
+    /// The network profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The device class the model runs on.
+    pub fn device(&self) -> DeviceClass {
+        self.device
+    }
+
+    /// The energy model (shared scale for non-inference costs).
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Runs one full inference on `descriptor`.
+    pub fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference {
+        let latency = self.latency.sample(rng);
+        let prediction = self.classifier.predict(descriptor, rng);
+        let energy_mj = self.energy.inference_energy_mj(latency);
+        Inference {
+            label: prediction.label,
+            confidence: prediction.confidence,
+            latency,
+            energy_mj,
+        }
+    }
+
+    /// The mean (un-throttled) inference latency — what latency-budget
+    /// planning uses.
+    pub fn nominal_latency(&self) -> SimDuration {
+        self.latency.nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scene::SceneConfig;
+
+    #[test]
+    fn infer_produces_plausible_costs() {
+        let mut rng = SimRng::seed(1);
+        let config = SceneConfig::default();
+        let universe = ClassUniverse::generate(&config, &mut rng);
+        let model = DnnModel::new(zoo::mobilenet_v2(), DeviceClass::MidRange, &universe);
+        let descriptor = universe.center(scene::ClassId(3)).clone();
+        let result = model.infer(&descriptor, &mut rng);
+        assert!(result.latency.as_millis() >= 20, "latency {}", result.latency);
+        assert!(result.latency.as_millis() < 2_000);
+        assert!(result.energy_mj > 0.0);
+        assert!((0.0..=1.0).contains(&result.confidence));
+        assert!(result.label.as_index() < universe.len());
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let mut rng = SimRng::seed(2);
+        let universe = ClassUniverse::generate(&SceneConfig::default(), &mut rng);
+        let model = DnnModel::new(zoo::resnet50(), DeviceClass::Flagship, &universe);
+        assert_eq!(model.profile().name, "resnet50");
+        assert_eq!(model.device(), DeviceClass::Flagship);
+        assert!(model.nominal_latency().as_millis() > 0);
+    }
+
+    #[test]
+    fn accuracy_tracks_profile_top1() {
+        let mut rng = SimRng::seed(3);
+        let config = SceneConfig::default();
+        let universe = ClassUniverse::generate(&config, &mut rng);
+        let model = DnnModel::new(zoo::mobilenet_v2(), DeviceClass::MidRange, &universe);
+        let trials = 2_000;
+        let mut correct = 0;
+        for i in 0..trials {
+            let truth = scene::ClassId((i % universe.len()) as u32);
+            let result = model.infer(universe.center(truth), &mut rng);
+            if result.label == truth {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / trials as f64;
+        let expected = model.profile().top1_accuracy;
+        assert!(
+            (acc - expected).abs() < 0.04,
+            "measured {acc}, profile {expected}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The model zoo: published mobile profiles of common recognition nets.
+//!
+//! Latency numbers are single-threaded CPU inference on a mid-range
+//! smartphone SoC (Snapdragon 6-series class), in line with the ranges
+//! reported by the TensorFlow-Lite model benchmarks and the MobileNet /
+//! ResNet / Inception papers; top-1 accuracies are the ImageNet numbers of
+//! the corresponding reference models. Absolute values matter less than
+//! their *ratios* — the cache's speedup is relative.
+
+use serde::{Deserialize, Serialize};
+
+/// Static cost/quality profile of one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Short identifier used in tables (`mobilenet_v2`, …).
+    pub name: &'static str,
+    /// Mean inference latency on a mid-range device, milliseconds.
+    pub base_latency_ms: f64,
+    /// Log-normal sigma of latency variation (run-to-run jitter).
+    pub latency_sigma: f64,
+    /// Probability a given inference hits a thermal-throttle tail.
+    pub throttle_prob: f64,
+    /// Latency multiplier when throttled.
+    pub throttle_factor: f64,
+    /// ImageNet-style top-1 accuracy in `[0, 1]`.
+    pub top1_accuracy: f64,
+    /// Average SoC power draw during inference, watts.
+    pub inference_power_w: f64,
+}
+
+impl ModelProfile {
+    /// The int8 post-training-quantized variant of this model: roughly
+    /// 2–3× faster and slightly less accurate, matching published
+    /// TensorFlow-Lite quantization results (≈0.5–2 pp top-1 drop,
+    /// 2.5–3× CPU speedup). Quantization is the *other* standard answer
+    /// to mobile inference cost; the quantization experiment shows the
+    /// two techniques compose rather than compete.
+    pub fn quantized(&self) -> ModelProfile {
+        ModelProfile {
+            name: match self.name {
+                "mobilenet_v2" => "mobilenet_v2_int8",
+                "squeezenet" => "squeezenet_int8",
+                "resnet50" => "resnet50_int8",
+                "inception_v3" => "inception_v3_int8",
+                _ => "quantized",
+            },
+            base_latency_ms: self.base_latency_ms / 2.6,
+            top1_accuracy: (self.top1_accuracy - 0.012).max(0.0),
+            inference_power_w: self.inference_power_w * 0.9,
+            ..*self
+        }
+    }
+
+    /// Validates the profile's ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "ModelProfile: name must be non-empty");
+        assert!(
+            self.base_latency_ms > 0.0 && self.base_latency_ms.is_finite(),
+            "ModelProfile: base_latency_ms must be positive"
+        );
+        assert!(
+            self.latency_sigma >= 0.0 && self.latency_sigma.is_finite(),
+            "ModelProfile: latency_sigma must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.throttle_prob),
+            "ModelProfile: throttle_prob must be in [0, 1]"
+        );
+        assert!(
+            self.throttle_factor >= 1.0,
+            "ModelProfile: throttle_factor must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.top1_accuracy),
+            "ModelProfile: top1_accuracy must be in [0, 1]"
+        );
+        assert!(
+            self.inference_power_w > 0.0,
+            "ModelProfile: inference_power_w must be positive"
+        );
+    }
+}
+
+impl std::fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} ms, top-1 {:.1}%)",
+            self.name,
+            self.base_latency_ms,
+            self.top1_accuracy * 100.0
+        )
+    }
+}
+
+/// MobileNetV2: the paper's "standard mobile neural network".
+pub fn mobilenet_v2() -> ModelProfile {
+    ModelProfile {
+        name: "mobilenet_v2",
+        base_latency_ms: 75.0,
+        latency_sigma: 0.10,
+        throttle_prob: 0.02,
+        throttle_factor: 2.5,
+        top1_accuracy: 0.718,
+        inference_power_w: 2.2,
+    }
+}
+
+/// SqueezeNet 1.1: the fastest, least accurate option.
+pub fn squeezenet() -> ModelProfile {
+    ModelProfile {
+        name: "squeezenet",
+        base_latency_ms: 45.0,
+        latency_sigma: 0.10,
+        throttle_prob: 0.02,
+        throttle_factor: 2.5,
+        top1_accuracy: 0.585,
+        inference_power_w: 2.0,
+    }
+}
+
+/// ResNet-50: a heavyweight server-class net pushed onto the phone.
+pub fn resnet50() -> ModelProfile {
+    ModelProfile {
+        name: "resnet50",
+        base_latency_ms: 380.0,
+        latency_sigma: 0.12,
+        throttle_prob: 0.05,
+        throttle_factor: 2.0,
+        top1_accuracy: 0.761,
+        inference_power_w: 3.2,
+    }
+}
+
+/// InceptionV3: the slowest, most accurate model in the zoo.
+pub fn inception_v3() -> ModelProfile {
+    ModelProfile {
+        name: "inception_v3",
+        base_latency_ms: 620.0,
+        latency_sigma: 0.12,
+        throttle_prob: 0.05,
+        throttle_factor: 2.0,
+        top1_accuracy: 0.772,
+        inference_power_w: 3.4,
+    }
+}
+
+/// Every profile in the zoo, fastest first — the sweep order of the
+/// model-zoo experiment.
+pub fn all() -> Vec<ModelProfile> {
+    vec![squeezenet(), mobilenet_v2(), resnet50(), inception_v3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn zoo_ordering_fastest_first() {
+        let zoo = all();
+        for w in zoo.windows(2) {
+            assert!(w[0].base_latency_ms <= w[1].base_latency_ms);
+        }
+    }
+
+    #[test]
+    fn accuracy_latency_tradeoff_holds() {
+        // Slower nets in the zoo are more accurate (the reason anyone runs
+        // them on a phone at all).
+        let zoo = all();
+        for w in zoo.windows(2) {
+            assert!(w[0].top1_accuracy <= w[1].top1_accuracy);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn quantized_variant_trades_accuracy_for_speed() {
+        for base in all() {
+            let q = base.quantized();
+            q.validate();
+            assert!(q.base_latency_ms < base.base_latency_ms / 2.0, "{}", base.name);
+            assert!(q.top1_accuracy < base.top1_accuracy);
+            assert!(q.top1_accuracy > base.top1_accuracy - 0.02);
+            assert!(q.name.ends_with("_int8"), "{}", q.name);
+            assert!(q.inference_power_w < base.inference_power_w);
+        }
+    }
+
+    #[test]
+    fn display_mentions_name_and_latency() {
+        let s = mobilenet_v2().to_string();
+        assert!(s.contains("mobilenet_v2"));
+        assert!(s.contains("75 ms"));
+    }
+
+    #[test]
+    #[should_panic(expected = "base_latency_ms must be positive")]
+    fn validate_rejects_zero_latency() {
+        ModelProfile {
+            base_latency_ms: 0.0,
+            ..mobilenet_v2()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,275 @@
+//! Distance metrics over feature vectors and hashes.
+//!
+//! The approximate-cache hit test compares a query signature against cached
+//! signatures under one of these metrics. Euclidean distance is the default
+//! (it is what the synthetic feature space and threshold calibration
+//! assume); cosine distance is provided for direction-only signatures, and
+//! Hamming distance serves the perceptual-hash fast path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::FeatureVector;
+
+/// The metric a cache or index compares signatures under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// Straight-line (L2) distance. The default.
+    #[default]
+    Euclidean,
+    /// `1 - cos(angle)`: 0 for parallel vectors, 2 for opposite. Zero
+    /// vectors are treated as maximally distant from everything.
+    Cosine,
+    /// City-block (L1) distance.
+    Manhattan,
+}
+
+impl Metric {
+    /// Distance between `a` and `b` under this metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' dimensions differ (mixing signature spaces in
+    /// one index is a programming error, not a runtime condition).
+    pub fn distance(self, a: &FeatureVector, b: &FeatureVector) -> f64 {
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Cosine => cosine(a, b),
+            Metric::Manhattan => manhattan(a, b),
+        }
+    }
+
+    /// All supported metrics, for sweeps and tests.
+    pub fn all() -> [Metric; 3] {
+        [Metric::Euclidean, Metric::Cosine, Metric::Manhattan]
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Metric::Euclidean => "euclidean",
+            Metric::Cosine => "cosine",
+            Metric::Manhattan => "manhattan",
+        };
+        f.write_str(name)
+    }
+}
+
+fn assert_same_dim(a: &FeatureVector, b: &FeatureVector) {
+    assert_eq!(
+        a.dim(),
+        b.dim(),
+        "distance: dimension mismatch ({} vs {})",
+        a.dim(),
+        b.dim()
+    );
+}
+
+/// Squared Euclidean distance (cheaper than [`euclidean`] when only
+/// comparisons matter, e.g. inside nearest-neighbour search).
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn squared_euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    assert_same_dim(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn manhattan(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    assert_same_dim(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum()
+}
+
+/// Cosine distance `1 - cos(a, b)` in `[0, 2]`. If either vector is
+/// numerically zero the vectors carry no directional information, so the
+/// maximum distance `2.0` is returned.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn cosine(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    assert_same_dim(a, b);
+    let dot = a.dot(b).expect("dimensions checked");
+    let denom = a.l2_norm() * b.l2_norm();
+    if denom < 1e-24 {
+        return 2.0;
+    }
+    // Clamp to guard against floating-point drift outside [-1, 1].
+    1.0 - (dot / denom).clamp(-1.0, 1.0)
+}
+
+/// Hamming distance between two 64-bit hashes (bit positions that differ).
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = fv(&[0.0, 0.0]);
+        let b = fv(&[3.0, 4.0]);
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-9);
+        assert!((squared_euclidean(&a, &b) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        let a = fv(&[1.0, -1.0]);
+        let b = fv(&[4.0, 1.0]);
+        assert!((manhattan(&a, &b) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_of_parallel_orthogonal_opposite() {
+        let x = fv(&[1.0, 0.0]);
+        let x2 = fv(&[5.0, 0.0]);
+        let y = fv(&[0.0, 1.0]);
+        let neg = fv(&[-2.0, 0.0]);
+        assert!(cosine(&x, &x2).abs() < 1e-9);
+        assert!((cosine(&x, &y) - 1.0).abs() < 1e-9);
+        assert!((cosine(&x, &neg) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_max() {
+        let z = FeatureVector::zeros(2);
+        let x = fv(&[1.0, 0.0]);
+        assert_eq!(cosine(&z, &x), 2.0);
+        assert_eq!(cosine(&z, &z), 2.0);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        assert_eq!(hamming(0b1010, 0b1010), 0);
+        assert_eq!(hamming(0b1010, 0b0101), 4);
+        assert_eq!(hamming(u64::MAX, 0), 64);
+    }
+
+    #[test]
+    fn metric_dispatch_agrees_with_functions() {
+        let a = fv(&[1.0, 2.0, 3.0]);
+        let b = fv(&[4.0, 6.0, 8.0]);
+        assert_eq!(Metric::Euclidean.distance(&a, &b), euclidean(&a, &b));
+        assert_eq!(Metric::Cosine.distance(&a, &b), cosine(&a, &b));
+        assert_eq!(Metric::Manhattan.distance(&a, &b), manhattan(&a, &b));
+    }
+
+    #[test]
+    fn metric_display_and_all() {
+        assert_eq!(Metric::Euclidean.to_string(), "euclidean");
+        assert_eq!(Metric::all().len(), 3);
+        assert_eq!(Metric::default(), Metric::Euclidean);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        euclidean(&fv(&[1.0]), &fv(&[1.0, 2.0]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const DIM: usize = 8;
+
+    fn finite_vec() -> impl Strategy<Value = FeatureVector> {
+        proptest::collection::vec(-100.0f32..100.0, DIM)
+            .prop_map(|v| FeatureVector::from_vec(v).unwrap())
+    }
+
+    proptest! {
+        /// d(a, a) == 0 for Euclidean/Manhattan (identity of indiscernibles).
+        #[test]
+        fn self_distance_is_zero(a in finite_vec()) {
+            prop_assert!(euclidean(&a, &a) < 1e-9);
+            prop_assert!(manhattan(&a, &a) < 1e-9);
+        }
+
+        /// Symmetry: d(a, b) == d(b, a) under every metric.
+        #[test]
+        fn symmetry(a in finite_vec(), b in finite_vec()) {
+            for m in Metric::all() {
+                let ab = m.distance(&a, &b);
+                let ba = m.distance(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-9, "{m}: {ab} vs {ba}");
+            }
+        }
+
+        /// Non-negativity under every metric.
+        #[test]
+        fn non_negative(a in finite_vec(), b in finite_vec()) {
+            for m in Metric::all() {
+                prop_assert!(m.distance(&a, &b) >= 0.0);
+            }
+        }
+
+        /// Triangle inequality for the true metrics (Euclidean, Manhattan).
+        #[test]
+        fn triangle_inequality(a in finite_vec(), b in finite_vec(), c in finite_vec()) {
+            let slack = 1e-6; // float tolerance
+            prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + slack);
+            prop_assert!(manhattan(&a, &c) <= manhattan(&a, &b) + manhattan(&b, &c) + slack);
+        }
+
+        /// Cosine distance is scale-invariant.
+        #[test]
+        fn cosine_scale_invariant(a in finite_vec(), b in finite_vec(), s in 0.1f32..10.0) {
+            prop_assume!(a.l2_norm() > 1e-3 && b.l2_norm() > 1e-3);
+            let d1 = cosine(&a, &b);
+            let d2 = cosine(&a.scale(s), &b);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        /// Hamming is a metric on u64: symmetry + triangle inequality.
+        #[test]
+        fn hamming_metric_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            prop_assert_eq!(hamming(a, b), hamming(b, a));
+            prop_assert_eq!(hamming(a, a), 0);
+            prop_assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+        }
+
+        /// Squared Euclidean orders pairs identically to Euclidean.
+        #[test]
+        fn squared_preserves_order(a in finite_vec(), b in finite_vec(), c in finite_vec()) {
+            let closer_sq = squared_euclidean(&a, &b) < squared_euclidean(&a, &c);
+            let closer = euclidean(&a, &b) < euclidean(&a, &c);
+            prop_assert_eq!(closer_sq, closer);
+        }
+    }
+}

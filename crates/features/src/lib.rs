@@ -1,0 +1,43 @@
+//! Locality-preserving cache keys for approximate caching.
+//!
+//! An approximate cache does not key on pixels; it keys on a compact
+//! *signature* of the image such that visually similar inputs land close
+//! together. This crate provides:
+//!
+//! - [`FeatureVector`] — the signature type used everywhere (cache keys,
+//!   ANN indexes, wire messages).
+//! - [`distance`] — the metrics the hit test can use (Euclidean, cosine,
+//!   Manhattan; Hamming for hashes).
+//! - [`RandomProjection`] — a seeded Johnson–Lindenstrauss projection used
+//!   to compress raw frame descriptors into low-dimensional keys while
+//!   approximately preserving relative distances.
+//! - [`PerceptualHash`] — a 64-bit SimHash signature for cheap
+//!   pre-filtering and exact-match caching baselines.
+//! - [`Normalizer`] — per-dimension standardization fitted on sample data,
+//!   so distance thresholds are comparable across feature spaces.
+//!
+//! # Example
+//!
+//! ```
+//! use features::{FeatureVector, RandomProjection, distance};
+//!
+//! let raw = FeatureVector::from_vec(vec![0.5; 256]).unwrap();
+//! let proj = RandomProjection::new(256, 64, 42);
+//! let key = proj.project(&raw);
+//! assert_eq!(key.dim(), 64);
+//! assert!(distance::euclidean(&key, &key) < 1e-6);
+//! ```
+
+pub mod distance;
+pub mod normalize;
+pub mod phash;
+pub mod projection;
+pub mod quantize;
+pub mod vector;
+
+pub use distance::Metric;
+pub use normalize::Normalizer;
+pub use phash::{PerceptualHash, SimHasher};
+pub use projection::RandomProjection;
+pub use quantize::QuantizedVector;
+pub use vector::{FeatureError, FeatureVector};

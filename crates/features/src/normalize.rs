@@ -1,0 +1,234 @@
+//! Per-dimension standardization of feature vectors.
+//!
+//! Distance thresholds (the cache's "how close is close enough") are only
+//! meaningful if the key space has a stable scale. A [`Normalizer`] is
+//! fitted on sample signatures and then applied to every key before it
+//! enters an index, giving each dimension zero mean and unit variance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::{FeatureError, FeatureVector};
+
+/// A fitted per-dimension affine transform `x ↦ (x - mean) / std`.
+///
+/// Dimensions with (numerically) zero variance are passed through centered
+/// but unscaled, so constant features do not explode.
+///
+/// # Example
+///
+/// ```
+/// use features::{FeatureVector, Normalizer};
+///
+/// let data = vec![
+///     FeatureVector::from_vec(vec![0.0, 10.0]).unwrap(),
+///     FeatureVector::from_vec(vec![2.0, 30.0]).unwrap(),
+/// ];
+/// let norm = Normalizer::fit(&data).unwrap();
+/// let z = norm.apply(&data[0]).unwrap();
+/// assert!((z[0] + 1.0).abs() < 1e-6); // (0 - 1) / 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations on `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::Empty`] if `samples` is empty, or
+    /// [`FeatureError::DimensionMismatch`] if samples disagree on dimension.
+    pub fn fit(samples: &[FeatureVector]) -> Result<Normalizer, FeatureError> {
+        let first = samples.first().ok_or(FeatureError::Empty)?;
+        let dim = first.dim();
+        for s in samples {
+            if s.dim() != dim {
+                return Err(FeatureError::DimensionMismatch {
+                    left: dim,
+                    right: s.dim(),
+                });
+            }
+        }
+        let n = samples.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for s in samples {
+            for (m, &c) in means.iter_mut().zip(s.as_slice()) {
+                *m += c as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for s in samples {
+            for ((v, m), &c) in vars.iter_mut().zip(&means).zip(s.as_slice()) {
+                let d = c as f64 - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars.into_iter().map(|v| (v / n).sqrt()).collect();
+        Ok(Normalizer { means, stds })
+    }
+
+    /// An identity normalizer for `dim` dimensions (mean 0, std 1), for
+    /// pipelines configured to skip normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn identity(dim: usize) -> Normalizer {
+        assert!(dim > 0, "identity: dim must be positive");
+        Normalizer {
+            means: vec![0.0; dim],
+            stds: vec![1.0; dim],
+        }
+    }
+
+    /// The dimension this normalizer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Fitted per-dimension means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-dimension standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if `input`'s dimension
+    /// differs from the fitted dimension.
+    pub fn apply(&self, input: &FeatureVector) -> Result<FeatureVector, FeatureError> {
+        if input.dim() != self.dim() {
+            return Err(FeatureError::DimensionMismatch {
+                left: self.dim(),
+                right: input.dim(),
+            });
+        }
+        let out: Vec<f32> = input
+            .as_slice()
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&c, (&m, &s))| {
+                let centered = c as f64 - m;
+                let scaled = if s > 1e-12 { centered / s } else { centered };
+                scaled as f32
+            })
+            .collect();
+        FeatureVector::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn fit_requires_samples() {
+        assert_eq!(Normalizer::fit(&[]), Err(FeatureError::Empty));
+    }
+
+    #[test]
+    fn fit_rejects_mixed_dims() {
+        let err = Normalizer::fit(&[fv(&[1.0]), fv(&[1.0, 2.0])]).unwrap_err();
+        assert_eq!(err, FeatureError::DimensionMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let data: Vec<FeatureVector> = (0..100)
+            .map(|i| fv(&[i as f32, 5.0 * i as f32 + 100.0]))
+            .collect();
+        let norm = Normalizer::fit(&data).unwrap();
+        let transformed: Vec<FeatureVector> =
+            data.iter().map(|v| norm.apply(v).unwrap()).collect();
+        for d in 0..2 {
+            let mean: f64 = transformed.iter().map(|v| v[d] as f64).sum::<f64>() / 100.0;
+            let var: f64 = transformed
+                .iter()
+                .map(|v| (v[d] as f64 - mean).powi(2))
+                .sum::<f64>()
+                / 100.0;
+            assert!(mean.abs() < 1e-5, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_centered_not_scaled() {
+        let data = vec![fv(&[7.0, 1.0]), fv(&[7.0, 3.0])];
+        let norm = Normalizer::fit(&data).unwrap();
+        let z = norm.apply(&fv(&[7.0, 2.0])).unwrap();
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[1], 0.0); // (2 - 2) / 1
+        let z2 = norm.apply(&fv(&[9.0, 2.0])).unwrap();
+        assert_eq!(z2[0], 2.0); // centered only, std was 0
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let norm = Normalizer::identity(3);
+        let v = fv(&[1.0, -2.0, 3.0]);
+        assert_eq!(norm.apply(&v).unwrap(), v);
+        assert_eq!(norm.dim(), 3);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_dim() {
+        let norm = Normalizer::identity(2);
+        assert!(norm.apply(&fv(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_fit() {
+        let data = vec![fv(&[0.0]), fv(&[2.0])];
+        let norm = Normalizer::fit(&data).unwrap();
+        assert_eq!(norm.means(), &[1.0]);
+        assert_eq!(norm.stds(), &[1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Applying a fitted normalizer to its own fitting data always
+        /// yields per-dimension mean ~0; variance ~1 when non-degenerate.
+        #[test]
+        fn fitted_data_standardized(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-50.0f32..50.0, 4), 2..40)
+        ) {
+            let data: Vec<FeatureVector> = raw
+                .into_iter()
+                .map(|v| FeatureVector::from_vec(v).unwrap())
+                .collect();
+            let norm = Normalizer::fit(&data).unwrap();
+            let n = data.len() as f64;
+            for d in 0..4 {
+                let mean: f64 = data
+                    .iter()
+                    .map(|v| norm.apply(v).unwrap()[d] as f64)
+                    .sum::<f64>() / n;
+                prop_assert!(mean.abs() < 1e-3, "dim {} mean {}", d, mean);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! 64-bit SimHash perceptual signatures.
+//!
+//! A [`SimHasher`] draws 64 random hyperplanes; a vector's hash sets bit
+//! *i* when the vector lies on the positive side of hyperplane *i*. Nearby
+//! vectors flip few bits, so Hamming distance over hashes approximates
+//! angular distance over vectors at a fraction of the cost. The exact-match
+//! cache baseline (`ExactCache` in the `approxcache` crate) keys on these
+//! hashes, and the LSH index in the `ann` crate uses the same construction
+//! per table.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::SimRng;
+
+use crate::distance::hamming;
+use crate::vector::FeatureVector;
+
+/// A 64-bit perceptual hash of a feature vector.
+///
+/// # Example
+///
+/// ```
+/// use features::{FeatureVector, SimHasher};
+///
+/// let hasher = SimHasher::new(8, 42);
+/// let a = hasher.hash(&FeatureVector::from_vec(vec![1.0; 8]).unwrap());
+/// let b = hasher.hash(&FeatureVector::from_vec(vec![1.0; 8]).unwrap());
+/// assert_eq!(a.distance(b), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PerceptualHash(pub u64);
+
+impl PerceptualHash {
+    /// Hamming distance to another hash (0..=64).
+    pub fn distance(self, other: PerceptualHash) -> u32 {
+        hamming(self.0, other.0)
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PerceptualHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A seeded bank of 64 hyperplanes mapping vectors to [`PerceptualHash`]es.
+///
+/// Deterministic in `(dim, seed)` so collaborating devices hash
+/// compatibly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimHasher {
+    dim: usize,
+    seed: u64,
+    /// 64 hyperplane normals, row-major `64 × dim`.
+    planes: Vec<f32>,
+}
+
+impl SimHasher {
+    /// Builds the hasher for vectors of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> SimHasher {
+        assert!(dim > 0, "SimHasher: dim must be positive");
+        let mut rng = SimRng::seed(seed).split("simhash-planes");
+        let planes = (0..64 * dim).map(|_| rng.std_normal() as f32).collect();
+        SimHasher { dim, seed, planes }
+    }
+
+    /// The vector dimension this hasher accepts.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The seed the hyperplanes were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hashes `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.dim() != dim`.
+    pub fn hash(&self, input: &FeatureVector) -> PerceptualHash {
+        assert_eq!(
+            input.dim(),
+            self.dim,
+            "hash: input dim {} does not match hasher dim {}",
+            input.dim(),
+            self.dim
+        );
+        let x = input.as_slice();
+        let mut bits = 0u64;
+        for bit in 0..64 {
+            let row = &self.planes[bit * self.dim..(bit + 1) * self.dim];
+            let mut acc = 0.0f64;
+            for (a, b) in row.iter().zip(x) {
+                acc += *a as f64 * *b as f64;
+            }
+            if acc >= 0.0 {
+                bits |= 1 << bit;
+            }
+        }
+        PerceptualHash(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::random_vectors;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut rng = SimRng::seed(1);
+        let v = &random_vectors(1, 16, &mut rng)[0];
+        let a = SimHasher::new(16, 7).hash(v);
+        let b = SimHasher::new(16, 7).hash(v);
+        let c = SimHasher::new(16, 8).hash(v);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn identical_vectors_hash_identically() {
+        let hasher = SimHasher::new(8, 0);
+        let v = FeatureVector::from_vec(vec![0.3; 8]).unwrap();
+        assert_eq!(hasher.hash(&v).distance(hasher.hash(&v.clone())), 0);
+    }
+
+    #[test]
+    fn nearby_vectors_flip_fewer_bits_than_far_ones() {
+        let hasher = SimHasher::new(32, 3);
+        let mut rng = SimRng::seed(4);
+        let base = &random_vectors(1, 32, &mut rng)[0];
+        // Small perturbation vs an unrelated vector; average over draws.
+        let mut near_total = 0u32;
+        let mut far_total = 0u32;
+        for i in 0..50u64 {
+            let mut r = SimRng::seed(1000 + i);
+            let noise: Vec<f32> = (0..32).map(|_| (r.std_normal() * 0.02) as f32).collect();
+            let near_v = base
+                .add(&FeatureVector::from_vec(noise).unwrap())
+                .unwrap();
+            let far_v = &random_vectors(1, 32, &mut r)[0];
+            near_total += hasher.hash(base).distance(hasher.hash(&near_v));
+            far_total += hasher.hash(base).distance(hasher.hash(far_v));
+        }
+        assert!(
+            near_total * 3 < far_total,
+            "near {near_total} should be well below far {far_total}"
+        );
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // SimHash depends only on direction.
+        let hasher = SimHasher::new(16, 5);
+        let mut rng = SimRng::seed(6);
+        let v = &random_vectors(1, 16, &mut rng)[0];
+        assert_eq!(hasher.hash(v), hasher.hash(&v.scale(7.5)));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let h = PerceptualHash(0xdead_beef);
+        assert_eq!(h.to_string(), "00000000deadbeef");
+        assert_eq!(h.as_u64(), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match hasher dim")]
+    fn rejects_wrong_dim() {
+        SimHasher::new(4, 0).hash(&FeatureVector::zeros(5));
+    }
+
+    #[test]
+    fn hashes_spread_across_random_inputs() {
+        // Unrelated vectors should disagree on roughly half the bits.
+        let hasher = SimHasher::new(32, 9);
+        let mut rng = SimRng::seed(10);
+        let vs = random_vectors(40, 32, &mut rng);
+        let mut total = 0u32;
+        let mut pairs = 0u32;
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                total += hasher.hash(&vs[i]).distance(hasher.hash(&vs[j]));
+                pairs += 1;
+            }
+        }
+        let mean = total as f64 / pairs as f64;
+        assert!((mean - 32.0).abs() < 6.0, "mean hamming {mean}");
+    }
+}

@@ -1,0 +1,223 @@
+//! 8-bit linear quantization of feature vectors.
+//!
+//! Peer messages carry keys as `f32` components — 4 bytes per dimension.
+//! Quantizing to 8-bit codes (per-vector min/scale) cuts advertisement
+//! payloads ~4× at a reconstruction error far below the sensor-noise
+//! floor, so the cache's distance structure is unaffected. This is the
+//! standard trick production ANN systems use for storage and transport.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::{FeatureError, FeatureVector};
+
+/// An 8-bit linearly quantized feature vector.
+///
+/// Each component is stored as `code ∈ 0..=255` with
+/// `value ≈ min + code · scale`; `scale` is chosen so the vector's full
+/// range maps onto the code range, giving a worst-case per-component
+/// error of `scale / 2`.
+///
+/// # Example
+///
+/// ```
+/// use features::{FeatureVector, QuantizedVector};
+///
+/// let v = FeatureVector::from_vec(vec![0.0, 1.0, -1.0, 0.5]).unwrap();
+/// let q = QuantizedVector::quantize(&v);
+/// let back = q.dequantize();
+/// for i in 0..4 {
+///     assert!((v[i] - back[i]).abs() <= q.max_error() + 1e-6);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedVector {
+    min: f32,
+    scale: f32,
+    codes: Vec<u8>,
+}
+
+impl QuantizedVector {
+    /// Quantizes `vector`. A constant vector gets `scale == 0` and
+    /// reconstructs exactly.
+    pub fn quantize(vector: &FeatureVector) -> QuantizedVector {
+        let slice = vector.as_slice();
+        let min = slice.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let range = max - min;
+        if range <= 0.0 {
+            return QuantizedVector {
+                min,
+                scale: 0.0,
+                codes: vec![0; vector.dim()],
+            };
+        }
+        let scale = range / 255.0;
+        let codes = slice
+            .iter()
+            .map(|&x| (((x - min) / scale).round() as i32).clamp(0, 255) as u8)
+            .collect();
+        QuantizedVector { min, scale, codes }
+    }
+
+    /// Reconstructs the (approximate) vector.
+    pub fn dequantize(&self) -> FeatureVector {
+        let components: Vec<f32> = self
+            .codes
+            .iter()
+            .map(|&c| self.min + c as f32 * self.scale)
+            .collect();
+        FeatureVector::from_vec(components).expect("finite reconstruction")
+    }
+
+    /// Number of components.
+    pub fn dim(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Worst-case per-component reconstruction error (`scale / 2`).
+    pub fn max_error(&self) -> f32 {
+        self.scale / 2.0
+    }
+
+    /// The quantization minimum.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// The quantization step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The raw codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Rebuilds from raw parts (the wire decoder's entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::Empty`] for empty codes and
+    /// [`FeatureError::NotFinite`] for non-finite `min`/`scale` or
+    /// negative scale.
+    pub fn from_parts(min: f32, scale: f32, codes: Vec<u8>) -> Result<QuantizedVector, FeatureError> {
+        if codes.is_empty() {
+            return Err(FeatureError::Empty);
+        }
+        if !min.is_finite() || !scale.is_finite() || scale < 0.0 {
+            return Err(FeatureError::NotFinite { index: 0 });
+        }
+        Ok(QuantizedVector { min, scale, codes })
+    }
+
+    /// Bytes this vector occupies on the wire (`2 + 4 + 4 + dim`).
+    pub fn encoded_len(&self) -> usize {
+        2 + 4 + 4 + self.codes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+    use crate::projection::random_vectors;
+    use simcore::SimRng;
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let mut rng = SimRng::seed(1);
+        for v in random_vectors(50, 64, &mut rng) {
+            let q = QuantizedVector::quantize(&v);
+            let back = q.dequantize();
+            let bound = q.max_error() + 1e-6;
+            for i in 0..v.dim() {
+                assert!(
+                    (v[i] - back[i]).abs() <= bound,
+                    "component {i}: {} vs {}",
+                    v[i],
+                    back[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_vector_is_exact() {
+        let v = FeatureVector::from_vec(vec![3.5; 16]).unwrap();
+        let q = QuantizedVector::quantize(&v);
+        assert_eq!(q.scale(), 0.0);
+        assert_eq!(q.max_error(), 0.0);
+        assert_eq!(q.dequantize(), v);
+    }
+
+    #[test]
+    fn distance_distortion_is_far_below_noise_floor() {
+        // Keys in this system live at a sensor-noise floor of ≈ 5.7 key
+        // units; quantization must distort distances by an order of
+        // magnitude less.
+        let mut rng = SimRng::seed(2);
+        let vectors = random_vectors(40, 64, &mut rng);
+        let mut worst: f64 = 0.0;
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let exact = euclidean(&vectors[i], &vectors[j]);
+                let approx = euclidean(
+                    &QuantizedVector::quantize(&vectors[i]).dequantize(),
+                    &QuantizedVector::quantize(&vectors[j]).dequantize(),
+                );
+                worst = worst.max((exact - approx).abs());
+            }
+        }
+        assert!(worst < 0.1, "worst distance distortion {worst}");
+    }
+
+    #[test]
+    fn parts_round_trip_and_validate() {
+        let v = FeatureVector::from_vec(vec![1.0, 2.0]).unwrap();
+        let q = QuantizedVector::quantize(&v);
+        let rebuilt =
+            QuantizedVector::from_parts(q.min(), q.scale(), q.codes().to_vec()).unwrap();
+        assert_eq!(rebuilt, q);
+        assert!(QuantizedVector::from_parts(0.0, 1.0, vec![]).is_err());
+        assert!(QuantizedVector::from_parts(f32::NAN, 1.0, vec![0]).is_err());
+        assert!(QuantizedVector::from_parts(0.0, -1.0, vec![0]).is_err());
+    }
+
+    #[test]
+    fn wire_size_is_quarter_of_float() {
+        let v = FeatureVector::from_vec(vec![0.5; 64]).unwrap();
+        let q = QuantizedVector::quantize(&v);
+        assert_eq!(q.encoded_len(), 74);
+        // vs 2 + 4·64 = 258 for float transport.
+        assert!(q.encoded_len() * 3 < 2 + 4 * 64);
+        assert_eq!(q.dim(), 64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quantize→dequantize→quantize is stable (idempotent on codes)
+        /// and error stays within the advertised bound.
+        #[test]
+        fn quantization_contract(
+            raw in proptest::collection::vec(-1000.0f32..1000.0, 1..64)
+        ) {
+            let v = FeatureVector::from_vec(raw).unwrap();
+            let q = QuantizedVector::quantize(&v);
+            let back = q.dequantize();
+            for i in 0..v.dim() {
+                prop_assert!((v[i] - back[i]).abs() <= q.max_error() + 1e-3);
+            }
+            let q2 = QuantizedVector::quantize(&back);
+            let back2 = q2.dequantize();
+            for i in 0..v.dim() {
+                prop_assert!((back[i] - back2[i]).abs() <= q2.max_error() + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The feature-vector signature type.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+/// Error constructing or combining feature vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureError {
+    /// The vector had no components.
+    Empty,
+    /// A component was NaN or infinite.
+    NotFinite {
+        /// Index of the offending component.
+        index: usize,
+    },
+    /// Two vectors that must share a dimension did not.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::Empty => write!(f, "feature vector must have at least one component"),
+            FeatureError::NotFinite { index } => {
+                write!(f, "feature vector component {index} is not finite")
+            }
+            FeatureError::DimensionMismatch { left, right } => {
+                write!(f, "feature dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+/// A dense, finite, non-empty vector of `f32` components: the signature an
+/// approximate cache keys on.
+///
+/// Construction validates the two invariants every consumer relies on
+/// (non-empty, all components finite), so downstream code can index and
+/// take distances without re-checking.
+///
+/// # Example
+///
+/// ```
+/// use features::FeatureVector;
+///
+/// let v = FeatureVector::from_vec(vec![1.0, 2.0, 2.0]).unwrap();
+/// assert_eq!(v.dim(), 3);
+/// assert!((v.l2_norm() - 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    components: Vec<f32>,
+}
+
+impl FeatureVector {
+    /// Creates a vector from raw components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::Empty`] for an empty input and
+    /// [`FeatureError::NotFinite`] if any component is NaN or infinite.
+    pub fn from_vec(components: Vec<f32>) -> Result<FeatureVector, FeatureError> {
+        if components.is_empty() {
+            return Err(FeatureError::Empty);
+        }
+        if let Some(index) = components.iter().position(|c| !c.is_finite()) {
+            return Err(FeatureError::NotFinite { index });
+        }
+        Ok(FeatureVector { components })
+    }
+
+    /// Creates the zero vector of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn zeros(dim: usize) -> FeatureVector {
+        assert!(dim > 0, "zeros: dim must be positive");
+        FeatureVector {
+            components: vec![0.0; dim],
+        }
+    }
+
+    /// Number of components.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.components
+    }
+
+    /// Consumes the vector, returning its components.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.components
+    }
+
+    /// The Euclidean norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if dimensions differ.
+    pub fn dot(&self, other: &FeatureVector) -> Result<f64, FeatureError> {
+        self.check_dim(other)?;
+        Ok(self
+            .components
+            .iter()
+            .zip(&other.components)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum())
+    }
+
+    /// Component-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if dimensions differ.
+    pub fn add(&self, other: &FeatureVector) -> Result<FeatureVector, FeatureError> {
+        self.check_dim(other)?;
+        Ok(FeatureVector {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// The vector scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite.
+    pub fn scale(&self, factor: f32) -> FeatureVector {
+        assert!(factor.is_finite(), "scale: factor must be finite");
+        FeatureVector {
+            components: self.components.iter().map(|&c| c * factor).collect(),
+        }
+    }
+
+    /// A unit-norm copy, or `None` if the vector is (numerically) zero.
+    pub fn normalized(&self) -> Option<FeatureVector> {
+        let norm = self.l2_norm();
+        if norm < 1e-12 {
+            return None;
+        }
+        Some(self.scale((1.0 / norm) as f32))
+    }
+
+    /// The midpoint of `self` and `other` — used when a cache entry absorbs
+    /// a near-duplicate key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if dimensions differ.
+    pub fn midpoint(&self, other: &FeatureVector) -> Result<FeatureVector, FeatureError> {
+        Ok(self.add(other)?.scale(0.5))
+    }
+
+    fn check_dim(&self, other: &FeatureVector) -> Result<(), FeatureError> {
+        if self.dim() != other.dim() {
+            return Err(FeatureError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for FeatureVector {
+    type Output = f32;
+    fn index(&self, index: usize) -> &f32 {
+        &self.components[index]
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fv[{}](", self.dim())?;
+        let preview = self.components.iter().take(4);
+        let mut first = true;
+        for c in preview {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{c:.3}")?;
+        }
+        if self.dim() > 4 {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(FeatureVector::from_vec(vec![]), Err(FeatureError::Empty));
+        assert_eq!(
+            FeatureVector::from_vec(vec![1.0, f32::NAN]),
+            Err(FeatureError::NotFinite { index: 1 })
+        );
+        assert_eq!(
+            FeatureVector::from_vec(vec![f32::INFINITY]),
+            Err(FeatureError::NotFinite { index: 0 })
+        );
+        assert!(FeatureVector::from_vec(vec![0.0]).is_ok());
+    }
+
+    #[test]
+    fn zeros_and_dim() {
+        let z = FeatureVector::zeros(5);
+        assert_eq!(z.dim(), 5);
+        assert_eq!(z.l2_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zeros_rejects_zero_dim() {
+        FeatureVector::zeros(0);
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        let a = fv(&[3.0, 4.0]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-9);
+        let b = fv(&[1.0, 2.0]);
+        assert!((a.dot(&b).unwrap() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = fv(&[1.0]);
+        let b = fv(&[1.0, 2.0]);
+        assert_eq!(
+            a.dot(&b),
+            Err(FeatureError::DimensionMismatch { left: 1, right: 2 })
+        );
+        assert!(a.add(&b).is_err());
+        assert!(a.midpoint(&b).is_err());
+    }
+
+    #[test]
+    fn add_scale_midpoint() {
+        let a = fv(&[1.0, 2.0]);
+        let b = fv(&[3.0, 4.0]);
+        assert_eq!(a.add(&b).unwrap(), fv(&[4.0, 6.0]));
+        assert_eq!(a.scale(2.0), fv(&[2.0, 4.0]));
+        assert_eq!(a.midpoint(&b).unwrap(), fv(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let a = fv(&[3.0, 4.0]).normalized().unwrap();
+        assert!((a.l2_norm() - 1.0).abs() < 1e-6);
+        assert!(FeatureVector::zeros(3).normalized().is_none());
+    }
+
+    #[test]
+    fn indexing_and_slices() {
+        let a = fv(&[1.0, 2.0, 3.0]);
+        assert_eq!(a[1], 2.0);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.clone().into_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_previews_components() {
+        let a = fv(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = a.to_string();
+        assert!(s.starts_with("fv[5]("));
+        assert!(s.contains('…'));
+        let short = fv(&[1.0]).to_string();
+        assert!(!short.contains('…'));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let e = FeatureError::DimensionMismatch { left: 2, right: 3 };
+        assert_eq!(e.to_string(), "feature dimension mismatch: 2 vs 3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = fv(&[1.5, -2.5]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: FeatureVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,147 @@
+//! Parametric device-motion regimes.
+
+use serde::{Deserialize, Serialize};
+
+/// How the (simulated) smartphone moves while the recognition app runs.
+///
+/// Each variant fixes the stochastic process that drives the ground-truth
+/// pose in [`MotionTrace::generate`](crate::MotionTrace::generate); the
+/// numbers below are rough magnitudes from handheld-device motion studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MotionProfile {
+    /// Device propped or held dead still: only physiological tremor
+    /// (~0.2°/s RMS rotation, ~0.02 m/s² residual acceleration).
+    Stationary,
+    /// Held in hand while standing: tremor plus slow involuntary wander.
+    HandheldJitter,
+    /// Deliberate smooth pan at `deg_per_sec` degrees per second of yaw —
+    /// scanning a shelf or a room.
+    SlowPan {
+        /// Yaw rate in degrees per second.
+        deg_per_sec: f64,
+    },
+    /// Walking at `speed_mps` with gait-induced bobbing and occasional
+    /// heading changes.
+    Walking {
+        /// Forward speed in metres per second (typical walk ≈ 1.4).
+        speed_mps: f64,
+    },
+    /// Alternating dwell (look at one thing) and quick reorientation:
+    /// `dwell_secs` of near-stillness, then a fast turn of `turn_deg`.
+    TurnAndLook {
+        /// Seconds spent looking at each subject.
+        dwell_secs: f64,
+        /// Magnitude of each reorientation, degrees of yaw.
+        turn_deg: f64,
+    },
+    /// Mounted in a vehicle at `speed_mps`: fast translation, low rotation,
+    /// road vibration.
+    Vehicle {
+        /// Forward speed in metres per second.
+        speed_mps: f64,
+    },
+}
+
+impl MotionProfile {
+    /// A short stable name used in experiment tables and RNG stream labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MotionProfile::Stationary => "stationary",
+            MotionProfile::HandheldJitter => "handheld",
+            MotionProfile::SlowPan { .. } => "slow-pan",
+            MotionProfile::Walking { .. } => "walking",
+            MotionProfile::TurnAndLook { .. } => "turn-and-look",
+            MotionProfile::Vehicle { .. } => "vehicle",
+        }
+    }
+
+    /// Tremor (white rotational noise) RMS in radians per second.
+    pub(crate) fn tremor_rad_per_sec(&self) -> f64 {
+        match self {
+            MotionProfile::Stationary => 0.2f64.to_radians(),
+            MotionProfile::HandheldJitter => 1.5f64.to_radians(),
+            MotionProfile::SlowPan { .. } => 1.0f64.to_radians(),
+            MotionProfile::Walking { .. } => 4.0f64.to_radians(),
+            MotionProfile::TurnAndLook { .. } => 1.0f64.to_radians(),
+            MotionProfile::Vehicle { .. } => 0.8f64.to_radians(),
+        }
+    }
+
+    /// Residual linear-acceleration RMS in m/s² (gravity already removed).
+    pub(crate) fn accel_rms(&self) -> f64 {
+        match self {
+            MotionProfile::Stationary => 0.02,
+            MotionProfile::HandheldJitter => 0.15,
+            MotionProfile::SlowPan { .. } => 0.10,
+            MotionProfile::Walking { .. } => 1.2,
+            MotionProfile::TurnAndLook { .. } => 0.2,
+            MotionProfile::Vehicle { .. } => 0.6,
+        }
+    }
+
+    /// The four profiles used as standard workload scenarios in the
+    /// experiment suite.
+    pub fn standard_set() -> [MotionProfile; 4] {
+        [
+            MotionProfile::Stationary,
+            MotionProfile::SlowPan { deg_per_sec: 10.0 },
+            MotionProfile::Walking { speed_mps: 1.4 },
+            MotionProfile::TurnAndLook {
+                dwell_secs: 3.0,
+                turn_deg: 45.0,
+            },
+        ]
+    }
+}
+
+impl std::fmt::Display for MotionProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MotionProfile::Stationary.name(), "stationary");
+        assert_eq!(MotionProfile::SlowPan { deg_per_sec: 5.0 }.name(), "slow-pan");
+        assert_eq!(MotionProfile::Walking { speed_mps: 1.0 }.to_string(), "walking");
+    }
+
+    #[test]
+    fn tremor_orders_stationary_below_walking() {
+        assert!(
+            MotionProfile::Stationary.tremor_rad_per_sec()
+                < MotionProfile::Walking { speed_mps: 1.4 }.tremor_rad_per_sec()
+        );
+    }
+
+    #[test]
+    fn accel_orders_stationary_below_vehicle() {
+        assert!(
+            MotionProfile::Stationary.accel_rms()
+                < MotionProfile::Vehicle { speed_mps: 10.0 }.accel_rms()
+        );
+    }
+
+    #[test]
+    fn standard_set_has_four_distinct_scenarios() {
+        let set = MotionProfile::standard_set();
+        let names: Vec<&str> = set.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = MotionProfile::TurnAndLook { dwell_secs: 2.0, turn_deg: 30.0 };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MotionProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

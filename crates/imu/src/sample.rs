@@ -1,0 +1,57 @@
+//! Raw 6-axis sensor samples.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::SimTime;
+
+/// One 6-axis IMU reading: 3-axis gyroscope plus 3-axis linear
+/// accelerometer (gravity already subtracted, as Android's
+/// `TYPE_LINEAR_ACCELERATION` reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImuSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Angular velocity around x/y/z, radians per second.
+    pub gyro: [f64; 3],
+    /// Linear acceleration along x/y/z, metres per second squared.
+    pub accel: [f64; 3],
+}
+
+impl ImuSample {
+    /// Magnitude of the angular-velocity vector, rad/s.
+    pub fn gyro_magnitude(&self) -> f64 {
+        (self.gyro[0].powi(2) + self.gyro[1].powi(2) + self.gyro[2].powi(2)).sqrt()
+    }
+
+    /// Magnitude of the linear-acceleration vector, m/s².
+    pub fn accel_magnitude(&self) -> f64 {
+        (self.accel[0].powi(2) + self.accel[1].powi(2) + self.accel[2].powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitudes_are_euclidean_norms() {
+        let s = ImuSample {
+            at: SimTime::ZERO,
+            gyro: [3.0, 4.0, 0.0],
+            accel: [0.0, 0.0, 2.0],
+        };
+        assert!((s.gyro_magnitude() - 5.0).abs() < 1e-12);
+        assert!((s.accel_magnitude() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_has_zero_magnitudes() {
+        let s = ImuSample {
+            at: SimTime::ZERO,
+            gyro: [0.0; 3],
+            accel: [0.0; 3],
+        };
+        assert_eq!(s.gyro_magnitude(), 0.0);
+        assert_eq!(s.accel_magnitude(), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Beacon-based neighbour discovery.
+//!
+//! The [`ProximityModel`](crate::ProximityModel) answers "who *could* I
+//! talk to" — an oracle a real deployment does not have. Real
+//! infrastructure-less systems discover neighbours by broadcasting
+//! periodic beacons (BLE advertisements / WiFi-Aware publishes) and
+//! aging out peers whose beacons stop arriving. This module implements
+//! that protocol, so experiments can measure what oracle-free discovery
+//! costs: a freshly arrived peer is invisible until its first beacon gets
+//! through, and a departed peer lingers until its table entry expires.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// Discovery protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Interval between a device's beacons.
+    pub beacon_interval: SimDuration,
+    /// Probability an in-range beacon is received (beacons are small and
+    /// unacknowledged; collisions and fading lose some).
+    pub beacon_delivery_prob: f64,
+    /// A neighbour is dropped when no beacon has arrived for this long.
+    pub neighbor_ttl: SimDuration,
+    /// Wire size of one beacon, bytes (charged to the radio).
+    pub beacon_bytes: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            beacon_interval: SimDuration::from_millis(500),
+            beacon_delivery_prob: 0.9,
+            neighbor_ttl: SimDuration::from_millis(1_600),
+            beacon_bytes: 38, // BLE legacy advertisement payload + headers
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval or TTL is zero, the delivery probability is
+    /// outside `[0, 1]`, or the TTL is shorter than the interval (every
+    /// neighbour would expire between its own beacons).
+    pub fn validate(&self) {
+        assert!(
+            !self.beacon_interval.is_zero(),
+            "DiscoveryConfig: beacon_interval must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.beacon_delivery_prob),
+            "DiscoveryConfig: beacon_delivery_prob must be in [0, 1]"
+        );
+        assert!(
+            self.neighbor_ttl >= self.beacon_interval,
+            "DiscoveryConfig: neighbor_ttl must be at least one beacon interval"
+        );
+    }
+}
+
+/// One device's view of who is nearby, built purely from received beacons.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    /// peer id → when its last beacon arrived.
+    last_heard: HashMap<u64, SimTime>,
+}
+
+impl NeighborTable {
+    /// An empty table.
+    pub fn new() -> NeighborTable {
+        NeighborTable::default()
+    }
+
+    /// Records a received beacon from `peer` at `now`.
+    pub fn heard(&mut self, peer: u64, now: SimTime) {
+        self.last_heard.insert(peer, now);
+    }
+
+    /// Drops peers not heard within `ttl` of `now`, returning how many
+    /// were dropped.
+    pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> usize {
+        let before = self.last_heard.len();
+        self.last_heard
+            .retain(|_, &mut at| now.saturating_duration_since(at) <= ttl);
+        before - self.last_heard.len()
+    }
+
+    /// Whether `peer` is currently believed to be in range.
+    pub fn contains(&self, peer: u64) -> bool {
+        self.last_heard.contains_key(&peer)
+    }
+
+    /// The known neighbours, most recently heard first (the order in
+    /// which a device should try them — freshness correlates with still
+    /// being in range).
+    pub fn neighbors(&self) -> Vec<u64> {
+        let mut peers: Vec<(u64, SimTime)> =
+            self.last_heard.iter().map(|(&p, &t)| (p, t)).collect();
+        peers.sort_by_key(|&(p, t)| (std::cmp::Reverse(t), p));
+        peers.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Number of known neighbours.
+    pub fn len(&self) -> usize {
+        self.last_heard.len()
+    }
+
+    /// True when no neighbours are known.
+    pub fn is_empty(&self) -> bool {
+        self.last_heard.is_empty()
+    }
+}
+
+/// The discovery service of one device: emits beacons on schedule and
+/// maintains the [`NeighborTable`] from beacons it receives.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    config: DiscoveryConfig,
+    table: NeighborTable,
+    next_beacon: SimTime,
+    /// Total beacons this device transmitted.
+    beacons_sent: u64,
+    /// Total beacon bytes transmitted.
+    beacon_bytes_sent: u64,
+}
+
+impl Discovery {
+    /// A discovery service with the given configuration. The first beacon
+    /// is due immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: DiscoveryConfig) -> Discovery {
+        config.validate();
+        Discovery {
+            config,
+            table: NeighborTable::new(),
+            next_beacon: SimTime::ZERO,
+            beacons_sent: 0,
+            beacon_bytes_sent: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DiscoveryConfig {
+        self.config
+    }
+
+    /// Beacons transmitted so far.
+    pub fn beacons_sent(&self) -> u64 {
+        self.beacons_sent
+    }
+
+    /// Beacon bytes transmitted so far.
+    pub fn beacon_bytes_sent(&self) -> u64 {
+        self.beacon_bytes_sent
+    }
+
+    /// Whether this device should transmit a beacon at `now`; if so,
+    /// records the transmission and schedules the next one. The caller
+    /// (the simulation) is responsible for delivering the beacon to
+    /// in-range devices via [`receive_beacon`](Self::receive_beacon).
+    pub fn should_beacon(&mut self, now: SimTime) -> bool {
+        if now < self.next_beacon {
+            return false;
+        }
+        // Catch up (a device that was not polled for a while emits one
+        // beacon, not a burst).
+        self.next_beacon = now + self.config.beacon_interval;
+        self.beacons_sent += 1;
+        self.beacon_bytes_sent += self.config.beacon_bytes as u64;
+        true
+    }
+
+    /// Processes a beacon transmitted by `peer` that reached this device's
+    /// radio; applies the delivery probability.
+    pub fn receive_beacon(&mut self, peer: u64, now: SimTime, rng: &mut SimRng) {
+        if rng.chance(self.config.beacon_delivery_prob) {
+            self.table.heard(peer, now);
+        }
+    }
+
+    /// Expires stale neighbours and returns the current neighbour list,
+    /// freshest first.
+    pub fn neighbors(&mut self, now: SimTime) -> Vec<u64> {
+        self.table.expire(now, self.config.neighbor_ttl);
+        self.table.neighbors()
+    }
+
+    /// Read-only view of the table (no expiry side effect).
+    pub fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DiscoveryConfig {
+        DiscoveryConfig::default()
+    }
+
+    #[test]
+    fn beacons_fire_on_schedule() {
+        let mut d = Discovery::new(config());
+        assert!(d.should_beacon(SimTime::ZERO), "first beacon immediate");
+        assert!(!d.should_beacon(SimTime::from_millis(100)));
+        assert!(!d.should_beacon(SimTime::from_millis(499)));
+        assert!(d.should_beacon(SimTime::from_millis(500)));
+        assert_eq!(d.beacons_sent(), 2);
+        assert_eq!(d.beacon_bytes_sent(), 76);
+    }
+
+    #[test]
+    fn missed_polls_do_not_burst() {
+        let mut d = Discovery::new(config());
+        assert!(d.should_beacon(SimTime::ZERO));
+        // Device was asleep for 10 intervals: exactly one beacon now.
+        assert!(d.should_beacon(SimTime::from_secs(5)));
+        assert!(!d.should_beacon(SimTime::from_secs(5)));
+        assert_eq!(d.beacons_sent(), 2);
+    }
+
+    #[test]
+    fn neighbours_appear_and_expire() {
+        let mut d = Discovery::new(DiscoveryConfig {
+            beacon_delivery_prob: 1.0,
+            ..config()
+        });
+        let mut rng = SimRng::seed(1);
+        d.receive_beacon(7, SimTime::from_millis(100), &mut rng);
+        d.receive_beacon(9, SimTime::from_millis(200), &mut rng);
+        assert_eq!(d.neighbors(SimTime::from_millis(300)), vec![9, 7]);
+        // 7's beacon ages out first (ttl 1600 ms).
+        assert_eq!(d.neighbors(SimTime::from_millis(1_750)), vec![9]);
+        assert_eq!(d.neighbors(SimTime::from_millis(2_000)), Vec::<u64>::new());
+        assert!(d.table().is_empty());
+    }
+
+    #[test]
+    fn refreshed_neighbours_survive() {
+        let mut d = Discovery::new(DiscoveryConfig {
+            beacon_delivery_prob: 1.0,
+            ..config()
+        });
+        let mut rng = SimRng::seed(2);
+        for ms in (0..5_000).step_by(500) {
+            d.receive_beacon(3, SimTime::from_millis(ms), &mut rng);
+        }
+        assert_eq!(d.neighbors(SimTime::from_millis(5_100)), vec![3]);
+    }
+
+    #[test]
+    fn delivery_probability_drops_beacons() {
+        let mut d = Discovery::new(DiscoveryConfig {
+            beacon_delivery_prob: 0.5,
+            ..config()
+        });
+        let mut rng = SimRng::seed(3);
+        let mut heard = 0;
+        for i in 0..2_000u64 {
+            d.table = NeighborTable::new();
+            d.receive_beacon(1, SimTime::from_millis(i), &mut rng);
+            if d.table().contains(1) {
+                heard += 1;
+            }
+        }
+        let rate = heard as f64 / 2_000.0;
+        assert!((rate - 0.5).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn freshest_first_ordering_breaks_ties_by_id() {
+        let mut t = NeighborTable::new();
+        t.heard(5, SimTime::from_millis(100));
+        t.heard(2, SimTime::from_millis(100));
+        t.heard(9, SimTime::from_millis(200));
+        assert_eq!(t.neighbors(), vec![9, 2, 5]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn expire_reports_drop_count() {
+        let mut t = NeighborTable::new();
+        t.heard(1, SimTime::from_millis(0));
+        t.heard(2, SimTime::from_millis(900));
+        let dropped = t.expire(SimTime::from_millis(1_000), SimDuration::from_millis(500));
+        assert_eq!(dropped, 1);
+        assert!(t.contains(2));
+        assert!(!t.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor_ttl must be at least one beacon interval")]
+    fn ttl_shorter_than_interval_rejected() {
+        Discovery::new(DiscoveryConfig {
+            neighbor_ttl: SimDuration::from_millis(100),
+            ..config()
+        });
+    }
+}

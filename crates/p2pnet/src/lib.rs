@@ -1,0 +1,41 @@
+//! Infrastructure-less peer-to-peer networking substrate.
+//!
+//! The paper's third reuse signal is "information from nearby,
+//! peer-to-peer devices" — explicitly *without* infrastructure (no edge
+//! server, no AP): devices discover each other over BLE / WiFi-Direct and
+//! exchange cache queries and entries directly. This crate provides what
+//! the pipeline needs from that stack:
+//!
+//! - [`ProximityModel`] — who can talk to whom, from device positions.
+//! - [`LinkSpec`] — per-technology latency/bandwidth/loss
+//!   ([`LinkSpec::ble`], [`LinkSpec::wifi_direct`]).
+//! - [`protocol`] — the wire messages (query / reply / advertise) with a
+//!   compact binary codec, so peer traffic has realistic byte counts.
+//! - [`Transport`] — byte- and message-accounted delivery with sampled
+//!   latency and loss.
+//!
+//! # Example
+//!
+//! ```
+//! use p2pnet::{LinkSpec, Transport};
+//! use simcore::SimRng;
+//!
+//! let mut transport = Transport::new(LinkSpec::wifi_direct());
+//! let mut rng = SimRng::seed(1);
+//! // A 300-byte query and a 40-byte reply: round trip takes ~ms.
+//! let rtt = transport.round_trip(300, 40, &mut rng);
+//! assert!(rtt.is_some());
+//! assert_eq!(transport.counters().messages_sent, 2);
+//! ```
+
+pub mod discovery;
+pub mod link;
+pub mod protocol;
+pub mod proximity;
+pub mod transport;
+
+pub use discovery::{Discovery, DiscoveryConfig, NeighborTable};
+pub use link::LinkSpec;
+pub use protocol::{DecodeError, P2pMessage, RemoteHit, WireEntry};
+pub use proximity::ProximityModel;
+pub use transport::{Transport, TransportCounters};

@@ -1,0 +1,125 @@
+//! Who is in radio range of whom.
+
+use serde::{Deserialize, Serialize};
+
+/// Disk-model connectivity: two devices can talk iff their planar distance
+/// is at most the radio range. Simple, standard, and sufficient — the
+/// caching system only consumes the resulting neighbour lists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProximityModel {
+    range_m: f64,
+}
+
+impl ProximityModel {
+    /// A model with the given radio range in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive and finite.
+    pub fn new(range_m: f64) -> ProximityModel {
+        assert!(
+            range_m > 0.0 && range_m.is_finite(),
+            "ProximityModel: range must be positive, got {range_m}"
+        );
+        ProximityModel { range_m }
+    }
+
+    /// The radio range, metres.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Whether two positions are in range.
+    pub fn in_range(&self, a: (f64, f64), b: (f64, f64)) -> bool {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        dx * dx + dy * dy <= self.range_m * self.range_m
+    }
+
+    /// Indices of all devices in range of device `of` (excluding itself),
+    /// nearest first.
+    pub fn neighbors(&self, positions: &[(f64, f64)], of: usize) -> Vec<usize> {
+        assert!(of < positions.len(), "neighbors: index {of} out of range");
+        let me = positions[of];
+        let mut found: Vec<(usize, f64)> = positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != of)
+            .filter_map(|(i, &p)| {
+                let dx = me.0 - p.0;
+                let dy = me.1 - p.1;
+                let d2 = dx * dx + dy * dy;
+                (d2 <= self.range_m * self.range_m).then_some((i, d2))
+            })
+            .collect();
+        found.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        found.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Full symmetric adjacency: `result[i]` holds `i`'s neighbours.
+    pub fn adjacency(&self, positions: &[(f64, f64)]) -> Vec<Vec<usize>> {
+        (0..positions.len())
+            .map(|i| self.neighbors(positions, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_is_a_disk() {
+        let model = ProximityModel::new(10.0);
+        assert!(model.in_range((0.0, 0.0), (10.0, 0.0)));
+        assert!(!model.in_range((0.0, 0.0), (10.01, 0.0)));
+        assert!(model.in_range((0.0, 0.0), (6.0, 8.0)));
+        assert!(!model.in_range((0.0, 0.0), (8.0, 8.0)));
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance_excluding_self() {
+        let model = ProximityModel::new(100.0);
+        let positions = [(0.0, 0.0), (5.0, 0.0), (1.0, 0.0), (200.0, 0.0)];
+        let n = model.neighbors(&positions, 0);
+        assert_eq!(n, vec![2, 1]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let model = ProximityModel::new(12.0);
+        let positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (40.0, 0.0)];
+        let adj = model.adjacency(&positions);
+        for (i, neighbors) in adj.iter().enumerate() {
+            for &j in neighbors {
+                assert!(adj[j].contains(&i), "{i} -> {j} not symmetric");
+            }
+        }
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert!(adj[3].is_empty());
+    }
+
+    #[test]
+    fn singleton_has_no_neighbours() {
+        let model = ProximityModel::new(5.0);
+        assert!(model.neighbors(&[(0.0, 0.0)], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbors_validates_index() {
+        ProximityModel::new(5.0).neighbors(&[(0.0, 0.0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn rejects_zero_range() {
+        ProximityModel::new(0.0);
+    }
+
+    #[test]
+    fn accessor() {
+        assert_eq!(ProximityModel::new(7.5).range_m(), 7.5);
+    }
+}

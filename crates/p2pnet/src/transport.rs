@@ -1,0 +1,217 @@
+//! Accounted message delivery.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::{SimDuration, SimRng};
+
+use crate::link::LinkSpec;
+use crate::protocol::P2pMessage;
+
+/// Totals of everything a transport carried — the series behind the
+/// network-cost columns of the peer-scaling experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportCounters {
+    /// Messages handed to the link (including ones later lost).
+    pub messages_sent: u64,
+    /// Messages that arrived.
+    pub messages_delivered: u64,
+    /// Messages the link dropped.
+    pub messages_lost: u64,
+    /// Payload bytes handed to the link.
+    pub bytes_sent: u64,
+}
+
+impl TransportCounters {
+    /// Delivery fraction (1.0 when nothing was sent).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Adds another counter block.
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost += other.messages_lost;
+        self.bytes_sent += other.bytes_sent;
+    }
+}
+
+/// A byte-accounted simplex/duplex channel over one [`LinkSpec`].
+///
+/// The pipeline uses [`round_trip`](Transport::round_trip) for query/reply
+/// exchanges (either direction may lose the message — a lost exchange
+/// reads as a peer miss) and [`send_one_way`](Transport::send_one_way) for
+/// advertisements.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    link: LinkSpec,
+    counters: TransportCounters,
+}
+
+impl Transport {
+    /// A transport over `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is invalid.
+    pub fn new(link: LinkSpec) -> Transport {
+        link.validate();
+        Transport {
+            link,
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &LinkSpec {
+        &self.link
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> &TransportCounters {
+        &self.counters
+    }
+
+    /// Sends one message of `bytes` bytes. Returns the delivery delay, or
+    /// `None` if the link lost it.
+    pub fn send_one_way(&mut self, bytes: usize, rng: &mut SimRng) -> Option<SimDuration> {
+        self.counters.messages_sent += 1;
+        self.counters.bytes_sent += bytes as u64;
+        match self.link.sample_one_way(bytes, rng) {
+            Some(delay) => {
+                self.counters.messages_delivered += 1;
+                Some(delay)
+            }
+            None => {
+                self.counters.messages_lost += 1;
+                None
+            }
+        }
+    }
+
+    /// Sends an encoded [`P2pMessage`] one way (charging its exact wire
+    /// size).
+    pub fn send_message(&mut self, message: &P2pMessage, rng: &mut SimRng) -> Option<SimDuration> {
+        self.send_one_way(message.encoded_len(), rng)
+    }
+
+    /// A request/response exchange: `out_bytes` out, `back_bytes` back.
+    /// Returns the total round-trip time, or `None` if either direction
+    /// lost its message.
+    pub fn round_trip(
+        &mut self,
+        out_bytes: usize,
+        back_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        let out = self.send_one_way(out_bytes, rng)?;
+        let back = self.send_one_way(back_bytes, rng)?;
+        Some(out + back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use features::FeatureVector;
+
+    #[test]
+    fn counters_track_sends_and_losses() {
+        let mut t = Transport::new(LinkSpec::ble());
+        let mut rng = SimRng::seed(1);
+        for _ in 0..2_000 {
+            t.send_one_way(100, &mut rng);
+        }
+        let c = *t.counters();
+        assert_eq!(c.messages_sent, 2_000);
+        assert_eq!(c.bytes_sent, 200_000);
+        assert_eq!(c.messages_delivered + c.messages_lost, 2_000);
+        assert!(c.messages_lost > 20, "BLE at 3% should lose some");
+        assert!((c.delivery_rate() - 0.97).abs() < 0.02);
+    }
+
+    #[test]
+    fn round_trip_adds_both_directions() {
+        let mut t = Transport::new(LinkSpec::ideal());
+        let mut rng = SimRng::seed(2);
+        let rtt = t.round_trip(1_000, 100, &mut rng).unwrap();
+        assert_eq!(rtt, SimDuration::ZERO);
+        assert_eq!(t.counters().messages_sent, 2);
+        assert_eq!(t.counters().bytes_sent, 1_100);
+    }
+
+    #[test]
+    fn round_trip_fails_if_either_leg_lost() {
+        let lossy = LinkSpec {
+            loss_prob: 0.5,
+            ..LinkSpec::ble()
+        };
+        let mut t = Transport::new(lossy);
+        let mut rng = SimRng::seed(3);
+        let mut failures = 0;
+        for _ in 0..1_000 {
+            if t.round_trip(10, 10, &mut rng).is_none() {
+                failures += 1;
+            }
+        }
+        // P(fail) = 1 − 0.5² = 0.75.
+        assert!((failures as f64 / 1_000.0 - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn send_message_charges_wire_size() {
+        let mut t = Transport::new(LinkSpec::ideal());
+        let mut rng = SimRng::seed(4);
+        let m = P2pMessage::Query {
+            query_id: 1,
+            key: FeatureVector::from_vec(vec![0.0; 64]).unwrap(),
+        };
+        t.send_message(&m, &mut rng);
+        assert_eq!(t.counters().bytes_sent, m.encoded_len() as u64);
+    }
+
+    #[test]
+    fn conservation_holds_for_every_link_and_size() {
+        // sent == delivered + lost, and bytes equal what was handed in —
+        // across links, sizes and many sends.
+        for link in [LinkSpec::ble(), LinkSpec::wifi_direct(), LinkSpec::ideal()] {
+            let mut t = Transport::new(link);
+            let mut rng = SimRng::seed(77);
+            let mut expected_bytes = 0u64;
+            for i in 0..500usize {
+                let bytes = (i * 37) % 3_000;
+                expected_bytes += bytes as u64;
+                let _ = t.send_one_way(bytes, &mut rng);
+            }
+            let c = t.counters();
+            assert_eq!(c.messages_sent, 500, "{}", t.link());
+            assert_eq!(c.messages_delivered + c.messages_lost, c.messages_sent);
+            assert_eq!(c.bytes_sent, expected_bytes);
+        }
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = TransportCounters {
+            messages_sent: 1,
+            messages_delivered: 1,
+            messages_lost: 0,
+            bytes_sent: 10,
+        };
+        let b = TransportCounters {
+            messages_sent: 3,
+            messages_delivered: 2,
+            messages_lost: 1,
+            bytes_sent: 30,
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 4);
+        assert_eq!(a.bytes_sent, 40);
+        assert!((a.delivery_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TransportCounters::default().delivery_rate(), 1.0);
+    }
+}

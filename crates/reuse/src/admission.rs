@@ -1,0 +1,132 @@
+//! Admission control: what is allowed into the cache.
+//!
+//! Two filters keep the cache useful: a **confidence floor** (caching a
+//! low-confidence label would happily propagate a wrong answer to many
+//! frames and, over peer sharing, to many devices), and **near-duplicate
+//! refresh** (a key nearly identical to an existing same-label entry
+//! refreshes that entry's recency/frequency metadata instead of inserting
+//! a clone that wastes capacity and skews the k-NN vote).
+
+use serde::{Deserialize, Serialize};
+
+/// Admission policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Results below this confidence are not cached.
+    pub min_confidence: f64,
+    /// Peer-provided results below this confidence are not cached (held to
+    /// a stricter bar than local ones, since errors propagate further).
+    pub min_peer_confidence: f64,
+    /// A new key within this distance of an existing entry with the same
+    /// label refreshes that entry instead of inserting.
+    pub dedup_distance: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        // The confidence floors are the accuracy-preserving mechanism of
+        // the whole system: a cached wrong label is served for an entire
+        // dwell (and, via peers, to other devices), so only results the
+        // classifier is confident about may enter. Mobile classifiers
+        // separate correct from confused predictions well by softmax
+        // confidence, which is what these floors exploit.
+        AdmissionPolicy {
+            min_confidence: 0.75,
+            min_peer_confidence: 0.8,
+            dedup_distance: 0.25,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// A policy that admits everything and never dedups — for baselines
+    /// and tests.
+    pub fn admit_all() -> AdmissionPolicy {
+        AdmissionPolicy {
+            min_confidence: 0.0,
+            min_peer_confidence: 0.0,
+            dedup_distance: 0.0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if confidences are outside `[0, 1]` or the dedup distance is
+    /// negative or non-finite.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.min_confidence),
+            "AdmissionPolicy: min_confidence must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.min_peer_confidence),
+            "AdmissionPolicy: min_peer_confidence must be in [0, 1]"
+        );
+        assert!(
+            self.dedup_distance >= 0.0 && self.dedup_distance.is_finite(),
+            "AdmissionPolicy: dedup_distance must be finite and non-negative"
+        );
+    }
+
+    /// Whether a result with `confidence` from the given origin may enter
+    /// the cache.
+    pub fn admits(&self, confidence: f64, from_peer: bool) -> bool {
+        let floor = if from_peer {
+            self.min_peer_confidence
+        } else {
+            self.min_confidence
+        };
+        confidence >= floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        AdmissionPolicy::default().validate();
+        AdmissionPolicy::admit_all().validate();
+    }
+
+    #[test]
+    fn confidence_floor_applies_per_origin() {
+        let policy = AdmissionPolicy {
+            min_confidence: 0.3,
+            min_peer_confidence: 0.6,
+            dedup_distance: 0.0,
+        };
+        assert!(policy.admits(0.4, false));
+        assert!(!policy.admits(0.4, true));
+        assert!(policy.admits(0.6, true));
+        assert!(!policy.admits(0.2, false));
+    }
+
+    #[test]
+    fn admit_all_admits_zero_confidence() {
+        assert!(AdmissionPolicy::admit_all().admits(0.0, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_confidence must be in [0, 1]")]
+    fn rejects_bad_confidence() {
+        AdmissionPolicy {
+            min_confidence: 1.5,
+            ..AdmissionPolicy::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dedup_distance")]
+    fn rejects_negative_dedup() {
+        AdmissionPolicy {
+            dedup_distance: -1.0,
+            ..AdmissionPolicy::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,106 @@
+//! Cache entries and their provenance.
+
+use serde::{Deserialize, Serialize};
+
+use features::FeatureVector;
+use simcore::SimTime;
+
+/// Identifier of a cache entry, unique within one cache for its lifetime
+/// (ids are never recycled, so a stale id can never alias a new entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntryId(pub u64);
+
+impl std::fmt::Display for EntryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "entry-{}", self.0)
+    }
+}
+
+/// Where a cached result came from — reported in the hit-source breakdown
+/// experiment and usable by admission policies (peer results may be held
+/// to a higher confidence bar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntrySource {
+    /// Produced by this device's own DNN.
+    LocalInference,
+    /// Received from a nearby device.
+    Peer,
+}
+
+impl std::fmt::Display for EntrySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EntrySource::LocalInference => "local-inference",
+            EntrySource::Peer => "peer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cached recognition result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry<L> {
+    /// Stable identifier within the owning cache.
+    pub id: EntryId,
+    /// The feature-space key.
+    pub key: FeatureVector,
+    /// The cached recognition label.
+    pub label: L,
+    /// Confidence the producer attached to the result.
+    pub confidence: f64,
+    /// When the entry was first inserted.
+    pub inserted_at: SimTime,
+    /// When the entry last served a hit or was refreshed.
+    pub last_used: SimTime,
+    /// Number of hits served plus refreshes absorbed.
+    pub uses: u64,
+    /// Provenance.
+    pub source: EntrySource,
+}
+
+impl<L> CacheEntry<L> {
+    /// Age since insertion at `now`.
+    pub fn age(&self, now: SimTime) -> simcore::SimDuration {
+        now.saturating_duration_since(self.inserted_at)
+    }
+
+    /// Time since the entry last served a hit.
+    pub fn idle(&self, now: SimTime) -> simcore::SimDuration {
+        now.saturating_duration_since(self.last_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn age_and_idle_track_timestamps() {
+        let e = CacheEntry {
+            id: EntryId(1),
+            key: FeatureVector::zeros(2),
+            label: 3u32,
+            confidence: 0.9,
+            inserted_at: SimTime::from_millis(100),
+            last_used: SimTime::from_millis(400),
+            uses: 2,
+            source: EntrySource::LocalInference,
+        };
+        let now = SimTime::from_millis(1_000);
+        assert_eq!(e.age(now), SimDuration::from_millis(900));
+        assert_eq!(e.idle(now), SimDuration::from_millis(600));
+        // Saturating: clock before insertion yields zero, not panic.
+        assert_eq!(e.age(SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(EntryId(5).to_string(), "entry-5");
+        assert_eq!(EntrySource::Peer.to_string(), "peer");
+        assert_eq!(
+            EntrySource::LocalInference.to_string(),
+            "local-inference"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Thread-safe cache handle.
+//!
+//! Peer queries read *another device's* cache. In the threaded experiment
+//! driver each device owns a [`SharedCache`] clone of its cache handle, so
+//! remote lookups lock briefly instead of requiring message-passing
+//! through the event loop.
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use features::FeatureVector;
+use simcore::SimTime;
+
+use crate::entry::EntrySource;
+use crate::stats::CacheStats;
+use crate::store::{ApproxCache, InsertOutcome, LookupResult};
+
+/// A cloneable, lock-protected handle to an [`ApproxCache`].
+pub struct SharedCache<L> {
+    inner: Arc<Mutex<ApproxCache<L>>>,
+}
+
+impl<L> Clone for SharedCache<L> {
+    fn clone(&self) -> Self {
+        SharedCache {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<L> fmt::Debug for SharedCache<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedCache {{ .. }}")
+    }
+}
+
+impl<L: Copy + Eq + Hash + fmt::Debug> SharedCache<L> {
+    /// Wraps a cache in a shareable handle.
+    pub fn new(cache: ApproxCache<L>) -> SharedCache<L> {
+        SharedCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Locks and looks up (see [`ApproxCache::lookup`]).
+    pub fn lookup(&self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
+        self.inner.lock().lookup(key, now)
+    }
+
+    /// Locks and inserts (see [`ApproxCache::insert`]).
+    pub fn insert(
+        &self,
+        key: FeatureVector,
+        label: L,
+        confidence: f64,
+        source: EntrySource,
+        now: SimTime,
+    ) -> InsertOutcome {
+        self.inner.lock().insert(key, label, confidence, source, now)
+    }
+
+    /// Locks and snapshots the statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.inner.lock().stats()
+    }
+
+    /// Locks and reports the entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Locks and reports emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Runs `f` with exclusive access to the underlying cache — for
+    /// operations not covered by the convenience methods.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ApproxCache<L>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CacheConfig;
+
+    fn fv(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn handle_shares_state_across_clones() {
+        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+        let other = shared.clone();
+        shared.insert(fv(&[0.0, 0.0]), 5, 0.9, EntrySource::LocalInference, SimTime::ZERO);
+        assert_eq!(other.len(), 1);
+        let hit = other.lookup(&fv(&[0.1, 0.0]), SimTime::from_millis(1));
+        assert_eq!(hit.label(), Some(&5));
+        assert_eq!(shared.stats().hits, 1);
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn with_allows_arbitrary_access() {
+        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+        shared.insert(fv(&[1.0]), 2, 0.9, EntrySource::Peer, SimTime::ZERO);
+        let hottest_label = shared.with(|c| c.hottest(1)[0].label);
+        assert_eq!(hottest_label, 2);
+    }
+
+    #[test]
+    fn concurrent_inserts_do_not_lose_entries() {
+        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(
+            CacheConfig::new(1024).with_admission(crate::AdmissionPolicy::admit_all()),
+        ));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let cache = shared.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        let x = (t * 1000 + i) as f32;
+                        cache.insert(
+                            fv(&[x, x]),
+                            t,
+                            0.9,
+                            EntrySource::LocalInference,
+                            SimTime::from_millis(i as u64),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.len(), 200);
+        assert_eq!(shared.stats().inserts, 200);
+    }
+
+    #[test]
+    fn debug_representation_is_nonempty() {
+        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+        assert_eq!(format!("{shared:?}"), "SharedCache { .. }");
+    }
+}

@@ -1,0 +1,216 @@
+//! Recognition classes as clusters in descriptor space.
+
+use serde::{Deserialize, Serialize};
+
+use features::FeatureVector;
+use simcore::SimRng;
+
+use crate::config::SceneConfig;
+
+/// Identifier of a recognition class (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The class index as a usize, for table lookups.
+    pub fn as_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class-{}", self.0)
+    }
+}
+
+/// The set of classes a deployment recognizes, with each class's centre in
+/// descriptor space.
+///
+/// Centres are drawn as `class_spread · u` for a uniformly random unit
+/// vector `u`, giving pairwise distances concentrated around
+/// `√2 · class_spread` in high dimension — well separated relative to the
+/// intra-class scales in [`SceneConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassUniverse {
+    centers: Vec<FeatureVector>,
+    spread: f64,
+}
+
+impl ClassUniverse {
+    /// Generates `config.num_classes` class centres of dimension
+    /// `config.descriptor_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SceneConfig::validate`]).
+    pub fn generate(config: &SceneConfig, rng: &mut SimRng) -> ClassUniverse {
+        config.validate();
+        let mut class_rng = rng.split("class-universe");
+        let centers = (0..config.num_classes)
+            .map(|_| {
+                let u = class_rng.unit_vector(config.descriptor_dim);
+                let scaled: Vec<f32> =
+                    u.into_iter().map(|c| (c * config.class_spread) as f32).collect();
+                FeatureVector::from_vec(scaled).expect("finite scaled unit vector")
+            })
+            .collect();
+        ClassUniverse {
+            centers,
+            spread: config.class_spread,
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True if the universe has no classes (never produced by `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// The centre of class `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn center(&self, id: ClassId) -> &FeatureVector {
+        &self.centers[id.as_index()]
+    }
+
+    /// Iterates over all class ids.
+    pub fn ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.centers.len() as u32).map(ClassId)
+    }
+
+    /// The configured spread (distance scale of the centres).
+    pub fn spread(&self) -> f64 {
+        self.spread
+    }
+
+    /// The class whose centre is nearest to `descriptor` — the "ideal
+    /// classifier" the DNN simulator perturbs.
+    pub fn nearest_class(&self, descriptor: &FeatureVector) -> ClassId {
+        let (best, _) = self
+            .centers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, features::distance::squared_euclidean(c, descriptor)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("universe is non-empty");
+        ClassId(best as u32)
+    }
+
+    /// For class `id`, the other classes ordered by centre distance —
+    /// the "confusable classes" the stochastic classifier prefers when it
+    /// errs.
+    pub fn confusable(&self, id: ClassId) -> Vec<ClassId> {
+        let center = self.center(id);
+        let mut others: Vec<(ClassId, f64)> = self
+            .ids()
+            .filter(|&other| other != id)
+            .map(|other| {
+                (
+                    other,
+                    features::distance::squared_euclidean(self.center(other), center),
+                )
+            })
+            .collect();
+        others.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        others.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use features::distance::euclidean;
+
+    fn universe(seed: u64) -> ClassUniverse {
+        let mut rng = SimRng::seed(seed);
+        ClassUniverse::generate(&SceneConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_count_and_dim() {
+        let u = universe(1);
+        assert_eq!(u.len(), 20);
+        assert!(!u.is_empty());
+        assert_eq!(u.center(ClassId(0)).dim(), 256);
+        assert_eq!(u.ids().count(), 20);
+        assert_eq!(u.spread(), 10.0);
+    }
+
+    #[test]
+    fn centers_lie_on_spread_sphere() {
+        let u = universe(2);
+        for id in u.ids() {
+            let norm = u.center(id).l2_norm();
+            assert!((norm - 10.0).abs() < 0.01, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn centers_are_well_separated() {
+        let u = universe(3);
+        let ids: Vec<ClassId> = u.ids().collect();
+        let expected = 10.0 * 2.0f64.sqrt();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let d = euclidean(u.center(ids[i]), u.center(ids[j]));
+                assert!(
+                    d > expected * 0.6,
+                    "classes {i} and {j} too close: {d} (expected ≈ {expected})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_class_recovers_center() {
+        let u = universe(4);
+        for id in u.ids() {
+            assert_eq!(u.nearest_class(u.center(id)), id);
+        }
+    }
+
+    #[test]
+    fn nearest_class_tolerates_small_perturbation() {
+        let u = universe(5);
+        let mut rng = SimRng::seed(6);
+        for id in u.ids().take(5) {
+            let noise: Vec<f32> = (0..256).map(|_| rng.normal(0.0, 0.3) as f32).collect();
+            let perturbed = u
+                .center(id)
+                .add(&FeatureVector::from_vec(noise).unwrap())
+                .unwrap();
+            assert_eq!(u.nearest_class(&perturbed), id);
+        }
+    }
+
+    #[test]
+    fn confusable_is_sorted_and_excludes_self() {
+        let u = universe(7);
+        let id = ClassId(3);
+        let conf = u.confusable(id);
+        assert_eq!(conf.len(), 19);
+        assert!(!conf.contains(&id));
+        let d = |c: &ClassId| euclidean(u.center(*c), u.center(id));
+        for w in conf.windows(2) {
+            assert!(d(&w[0]) <= d(&w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(universe(8), universe(8));
+    }
+
+    #[test]
+    fn class_id_display_and_index() {
+        assert_eq!(ClassId(4).to_string(), "class-4");
+        assert_eq!(ClassId(4).as_index(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Knobs of the synthetic world.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the class universe, object layout and frame rendering.
+///
+/// The defaults give a world where approximate caching behaves like it
+/// does on real mobile-vision workloads: descriptors of the same subject
+/// from similar views are ~an order of magnitude closer than descriptors
+/// of different classes, so a distance threshold separates them cleanly —
+/// until views diverge or churn replaces the subject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Number of recognition classes.
+    pub num_classes: usize,
+    /// Dimension of raw frame descriptors.
+    pub descriptor_dim: usize,
+    /// Radius of the sphere class centres are drawn on. Larger ⇒ classes
+    /// further apart ⇒ easier recognition and safer reuse.
+    pub class_spread: f64,
+    /// Standard deviation of per-object offsets from the class centre
+    /// (distinct instances of one class are not identical).
+    pub object_offset_std: f64,
+    /// Magnitude of the smooth view-dependent descriptor component (how
+    /// much the appearance changes per radian of viewing-angle change).
+    pub view_dependence: f64,
+    /// Standard deviation of per-shot sensor noise added to every frame.
+    pub sensor_noise_std: f64,
+    /// Number of objects placed in the world.
+    pub num_objects: usize,
+    /// Half-width of the square world, metres (objects placed in
+    /// `[-extent, extent]²`).
+    pub world_extent: f64,
+    /// Camera field of view, radians.
+    pub fov: f64,
+    /// Maximum recognition distance, metres (subjects further away than
+    /// this are not preferred, but the nearest-bearing fallback still
+    /// applies so every frame has a subject).
+    pub max_view_distance: f64,
+    /// Global appearance drift, descriptor units per second: a slow,
+    /// shared shift of every frame's descriptor along a fixed direction,
+    /// modelling gradual lighting change. Ages cached entries — a key
+    /// cached at `t₀` is `drift_rate · (t − t₀)` away from a fresh
+    /// same-view key. `0.0` (the default) disables drift.
+    pub drift_rate: f64,
+    /// Fraction of time the view is blocked by a transient occluder (a
+    /// passer-by, a hand). During an occlusion episode the frame shows —
+    /// and is ground-truth-labelled as — the occluder's class, so cached
+    /// entries for the real subject neither match nor help. `0.0` (the
+    /// default) disables occlusions; episodes last ~[`OCCLUSION_EPISODE_SECS`]
+    /// seconds each.
+    pub occlusion_fraction: f64,
+}
+
+/// Length of one occlusion episode, seconds.
+pub const OCCLUSION_EPISODE_SECS: f64 = 0.7;
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            num_classes: 20,
+            descriptor_dim: 256,
+            class_spread: 10.0,
+            object_offset_std: 0.8,
+            view_dependence: 2.0,
+            sensor_noise_std: 0.25,
+            num_objects: 60,
+            world_extent: 25.0,
+            fov: 70.0f64.to_radians(),
+            max_view_distance: 20.0,
+            drift_rate: 0.0,
+            occlusion_fraction: 0.0,
+        }
+    }
+}
+
+impl SceneConfig {
+    /// Validates the invariants every consumer assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or any scale is negative/non-finite.
+    pub fn validate(&self) {
+        assert!(self.num_classes > 0, "SceneConfig: num_classes must be positive");
+        assert!(self.descriptor_dim > 0, "SceneConfig: descriptor_dim must be positive");
+        assert!(self.num_objects > 0, "SceneConfig: num_objects must be positive");
+        for (name, v) in [
+            ("class_spread", self.class_spread),
+            ("object_offset_std", self.object_offset_std),
+            ("view_dependence", self.view_dependence),
+            ("sensor_noise_std", self.sensor_noise_std),
+            ("world_extent", self.world_extent),
+            ("fov", self.fov),
+            ("max_view_distance", self.max_view_distance),
+            ("drift_rate", self.drift_rate),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "SceneConfig: {name} must be finite and non-negative, got {v}"
+            );
+        }
+        assert!(self.fov > 0.0, "SceneConfig: fov must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.occlusion_fraction),
+            "SceneConfig: occlusion_fraction must be in [0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SceneConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_classes must be positive")]
+    fn zero_classes_rejected() {
+        SceneConfig {
+            num_classes: 0,
+            ..SceneConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor_noise_std")]
+    fn negative_noise_rejected() {
+        SceneConfig {
+            sensor_noise_std: -1.0,
+            ..SceneConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SceneConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<SceneConfig>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,50 @@
+//! The rendered camera frame.
+
+use serde::{Deserialize, Serialize};
+
+use features::FeatureVector;
+use simcore::SimTime;
+
+use crate::camera::ViewGeometry;
+use crate::classes::ClassId;
+use crate::world::ObjectId;
+
+/// One captured frame: what the recognition pipeline consumes, plus the
+/// ground truth the evaluation scores against (the pipeline never reads
+/// `truth` — only the experiment harness does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Capture instant.
+    pub at: SimTime,
+    /// Raw frame descriptor (the stand-in for pixels / an early DNN layer).
+    pub descriptor: FeatureVector,
+    /// Ground-truth class of the viewed subject.
+    pub truth: ClassId,
+    /// Identity of the viewed object instance.
+    pub subject: ObjectId,
+    /// Geometry of the view that produced this frame.
+    pub geometry: ViewGeometry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_is_plain_data() {
+        let f = Frame {
+            at: SimTime::from_millis(33),
+            descriptor: FeatureVector::zeros(4),
+            truth: ClassId(2),
+            subject: ObjectId(9),
+            geometry: ViewGeometry {
+                bearing_offset: 0.1,
+                distance: 3.0,
+            },
+        };
+        let clone = f.clone();
+        assert_eq!(f, clone);
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<Frame>(&json).unwrap(), f);
+    }
+}

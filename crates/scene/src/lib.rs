@@ -1,0 +1,48 @@
+//! A synthetic visual world for approximate-caching experiments.
+//!
+//! Approximate caching exploits exactly one property of camera frames:
+//! *similar views produce nearby feature descriptors, different subjects
+//! produce distant ones*. This crate makes that property explicit and
+//! tunable instead of depending on image files:
+//!
+//! - [`ClassUniverse`] — recognition classes as well-separated cluster
+//!   centres in descriptor space, with controlled intra-class variation.
+//! - [`World`] — class instances placed in a 2-D environment, with
+//!   optional churn (objects being swapped out over time).
+//! - [`Camera`] — resolves which object a pose is looking at.
+//! - [`FrameRenderer`] — produces a [`Frame`]: the descriptor of the
+//!   viewed object under smooth view-dependent variation plus per-shot
+//!   sensor noise, together with the ground-truth label.
+//!
+//! The camera consumes poses from [`imu::MotionTrace`], so synthetic video
+//! and synthetic inertial data always describe the same physical motion.
+//!
+//! # Example
+//!
+//! ```
+//! use scene::{ClassUniverse, FrameRenderer, SceneConfig, World};
+//! use imu::Pose;
+//! use simcore::{SimRng, SimTime};
+//!
+//! let mut rng = SimRng::seed(7);
+//! let config = SceneConfig::default();
+//! let universe = ClassUniverse::generate(&config, &mut rng);
+//! let world = World::generate(&universe, &config, &mut rng);
+//! let renderer = FrameRenderer::new(&config);
+//! let frame = renderer.render(&world, &Pose::default(), SimTime::ZERO, &mut rng);
+//! assert_eq!(frame.descriptor.dim(), config.descriptor_dim);
+//! ```
+
+pub mod camera;
+pub mod classes;
+pub mod config;
+pub mod frame;
+pub mod render;
+pub mod world;
+
+pub use camera::Camera;
+pub use classes::{ClassId, ClassUniverse};
+pub use config::SceneConfig;
+pub use frame::Frame;
+pub use render::FrameRenderer;
+pub use world::{ObjectId, World, WorldObject};

@@ -1,0 +1,322 @@
+//! Run-time measurement collection.
+//!
+//! Simulations record what happened through [`Counter`]s (monotone event
+//! counts) and [`Histogram`]s (distributions of per-event values such as
+//! latency). A [`MetricSet`] groups named metrics for an experiment run and
+//! renders them for reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Summary;
+
+/// A monotonically increasing event count.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.incr();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A distribution of observed values.
+///
+/// Stores every sample (experiments here are small enough that exact
+/// percentiles beat approximate sketches) and summarizes on demand.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Histogram;
+///
+/// let mut lat = Histogram::new();
+/// for ms in [1.0, 2.0, 3.0, 4.0] {
+///     lat.record(ms);
+/// }
+/// assert_eq!(lat.count(), 4);
+/// assert!((lat.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { samples: Vec::new() }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "record: value must be finite, got {value}");
+        self.samples.push(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The recorded samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// A full statistical summary of the recorded values.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.samples)
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// A named collection of counters and histograms for one run.
+///
+/// Metric names are free-form strings; `BTreeMap` keeps report output in a
+/// stable order.
+///
+/// # Example
+///
+/// ```
+/// use simcore::MetricSet;
+///
+/// let mut m = MetricSet::new();
+/// m.counter("cache.hit").incr();
+/// m.histogram("latency_ms").record(12.5);
+/// assert_eq!(m.counter_value("cache.hit"), 1);
+/// assert_eq!(m.counter_value("cache.miss"), 0); // absent reads as zero
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero if absent.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// The histogram named `name`, created empty if absent.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// The current value of counter `name`, or 0 if it was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// A read-only view of histogram `name`, if it exists.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over `(name, count)` for all counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates over `(name, histogram)` for all histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another set into this one: counters add, histograms append.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (name, c) in &other.counters {
+            self.counters.entry(name.clone()).or_default().add(c.get());
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The fraction `numerator / (numerator + …rest)` over counters, a
+    /// convenience for hit-rate style ratios. Returns 0.0 when all counters
+    /// are zero.
+    pub fn ratio(&self, numerator: &str, denominator_terms: &[&str]) -> f64 {
+        let num = self.counter_value(numerator) as f64;
+        let den: f64 = denominator_terms
+            .iter()
+            .map(|n| self.counter_value(n) as f64)
+            .sum();
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, value) in self.counters() {
+            writeln!(f, "  {name} = {value}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (name, h) in self.histograms() {
+            let s = h.summary();
+            writeln!(
+                f,
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.to_string(), "6");
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        h.record(10.0);
+        h.record(20.0);
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_merge_appends() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_autocreates_and_reads_absent_as_zero() {
+        let mut m = MetricSet::new();
+        m.counter("a").add(3);
+        assert_eq!(m.counter_value("a"), 3);
+        assert_eq!(m.counter_value("never"), 0);
+        assert!(m.histogram_ref("never").is_none());
+    }
+
+    #[test]
+    fn metric_set_merge_adds_and_appends() {
+        let mut a = MetricSet::new();
+        a.counter("hits").add(1);
+        a.histogram("lat").record(1.0);
+        let mut b = MetricSet::new();
+        b.counter("hits").add(2);
+        b.counter("misses").add(4);
+        b.histogram("lat").record(3.0);
+        a.merge(&b);
+        assert_eq!(a.counter_value("hits"), 3);
+        assert_eq!(a.counter_value("misses"), 4);
+        assert_eq!(a.histogram_ref("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn ratio_computes_hit_rate() {
+        let mut m = MetricSet::new();
+        m.counter("hit").add(3);
+        m.counter("miss").add(1);
+        let r = m.ratio("hit", &["hit", "miss"]);
+        assert!((r - 0.75).abs() < 1e-12);
+        assert_eq!(MetricSet::new().ratio("hit", &["hit", "miss"]), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_ordered() {
+        let mut m = MetricSet::new();
+        m.counter("b").incr();
+        m.counter("a").incr();
+        m.histogram("lat").record(1.0);
+        let out = m.to_string();
+        let a_pos = out.find("a =").unwrap();
+        let b_pos = out.find("b =").unwrap();
+        assert!(a_pos < b_pos, "BTreeMap order expected");
+        assert!(out.contains("lat:"));
+    }
+}

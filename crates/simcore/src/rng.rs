@@ -1,0 +1,355 @@
+//! Seeded, splittable randomness for reproducible experiments.
+//!
+//! Every experiment takes a single `u64` master seed. Components derive
+//! independent child streams by *splitting* with a label
+//! ([`SimRng::split`]), so adding a new consumer of randomness (say, a 17th
+//! device) never perturbs the streams of existing consumers — a property a
+//! single shared RNG does not have.
+//!
+//! Besides uniform draws (via the [`rand`] traits), this module provides the
+//! handful of distributions the simulators need — normal, log-normal,
+//! exponential — implemented directly so the repository needs no extra
+//! distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Implements [`RngCore`], so it can be used anywhere a `rand` RNG is
+/// expected.
+///
+/// # Example
+///
+/// ```
+/// use simcore::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed(42).split("device-0");
+/// let mut b = SimRng::seed(42).split("device-0");
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // same seed + label => same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates the root stream for a master seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from (the master seed for a root
+    /// stream, a derived seed for a split child).
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Splitting is a pure function of `(parent seed, label)`: it does not
+    /// consume state from the parent, so children can be created in any
+    /// order without affecting each other.
+    pub fn split(&self, label: &str) -> SimRng {
+        let child_seed = derive_seed(self.seed, label.as_bytes());
+        SimRng::seed(child_seed)
+    }
+
+    /// Derives an independent child stream identified by an index, for
+    /// per-entity streams (devices, peers, classes).
+    pub fn split_index(&self, label: &str, index: u64) -> SimRng {
+        let mut bytes = Vec::with_capacity(label.len() + 8);
+        bytes.extend_from_slice(label.as_bytes());
+        bytes.extend_from_slice(&index.to_le_bytes());
+        SimRng::seed(derive_seed(self.seed, &bytes))
+    }
+
+    /// A standard-normal draw (mean 0, variance 1) via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        // Box–Muller: two uniforms -> one normal (the second is discarded to
+        // keep the stream's consumption rate independent of caller pattern).
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "normal: std_dev must be finite and non-negative, got {std_dev}"
+        );
+        mean + std_dev * self.std_normal()
+    }
+
+    /// A log-normal draw parameterized by the mean and standard deviation of
+    /// the *underlying* normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// An exponential draw with the given rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "exponential: lambda must be positive, got {lambda}"
+        );
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / lambda
+    }
+
+    /// A uniform draw in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        self.inner.gen_range(low..high)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: n must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Samples an index from a discrete distribution given by non-negative
+    /// `weights` (not necessarily normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index: weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weighted_index: weight must be finite and non-negative, got {w}"
+                );
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weighted_index: weights must not all be zero");
+        let mut target = self.inner.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A unit vector with `dim` components, drawn uniformly on the sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn unit_vector(&mut self, dim: usize) -> Vec<f64> {
+        assert!(dim > 0, "unit_vector: dim must be positive");
+        loop {
+            let v: Vec<f64> = (0..dim).map(|_| self.std_normal()).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                return v.into_iter().map(|x| x / norm).collect();
+            }
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a-style seed derivation mixing a parent seed with a label.
+fn derive_seed(parent: u64, label: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ parent.rotate_left(17);
+    for &b in label {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Final avalanche (splitmix64 finisher) so nearby labels diverge fully.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_order_independent() {
+        let root = SimRng::seed(99);
+        let mut a1 = root.split("alpha");
+        let _ = root.split("beta");
+        let mut a2 = SimRng::seed(99).split("alpha");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn split_children_are_distinct() {
+        let root = SimRng::seed(99);
+        let mut a = root.split("alpha");
+        let mut b = root.split("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_index_distinguishes_indices() {
+        let root = SimRng::seed(1);
+        let mut d0 = root.split_index("device", 0);
+        let mut d1 = root.split_index("device", 1);
+        assert_ne!(d0.next_u64(), d1.next_u64());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::seed(5);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SimRng::seed(6);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::seed(7);
+        assert!((0..1000).all(|_| rng.log_normal(0.0, 1.0) > 0.0));
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = SimRng::seed(8);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = SimRng::seed(9);
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[1] as f64 / counts[0] as f64 - 3.0).abs() < 0.5);
+        assert!((counts[3] as f64 / counts[0] as f64 - 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn weighted_index_rejects_all_zero() {
+        SimRng::seed(1).weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let mut rng = SimRng::seed(11);
+        for dim in [1, 2, 8, 64] {
+            let v = rng.unit_vector(dim);
+            assert_eq!(v.len(), dim);
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SimRng::seed(12);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

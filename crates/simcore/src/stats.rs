@@ -1,0 +1,413 @@
+//! Statistical summaries for experiment reporting.
+//!
+//! [`Summary`] condenses a sample set into the numbers the paper-style
+//! tables report (mean, std, percentiles); [`Cdf`] produces the series
+//! behind CDF figures; [`OnlineStats`] is a constant-memory Welford
+//! accumulator for hot loops that only need mean/variance.
+
+use serde::{Deserialize, Serialize};
+
+/// Point statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0.0 for an empty set).
+    pub mean: f64,
+    /// Population standard deviation (0.0 for fewer than two samples).
+    pub std_dev: f64,
+    /// Smallest sample (0.0 for an empty set).
+    pub min: f64,
+    /// Largest sample (0.0 for an empty set).
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`. An empty slice yields an all-zero summary with
+    /// `count == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is not finite.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "from_samples: samples must be finite"
+        );
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p90: percentile_sorted(&sorted, 0.90),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of an ascending-sorted slice, using linear
+/// interpolation between adjacent ranks.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile_sorted: empty input");
+    assert!((0.0..=1.0).contains(&q), "percentile_sorted: q out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Cdf;
+///
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!((cdf.fraction_at_or_below(2.0) - 0.5).abs() < 1e-12);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is not finite.
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "from_samples: samples must be finite"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Cdf { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the CDF was built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (0.0 for an empty CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The value at quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q)
+    }
+
+    /// Evaluates the CDF at `points` evenly spaced quantiles, returning
+    /// `(value, cumulative_fraction)` pairs — the series a CDF figure plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `points < 2`.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "series: need at least 2 points");
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+/// Constant-memory running mean/variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use simcore::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "push: value must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0.0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        let expected_std = (1.25f64).sqrt();
+        assert!((s.std_dev - expected_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_set_is_zeroed() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((percentile_sorted(&sorted, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 1.0) - 50.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 0.5) - 30.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 0.25) - 20.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 0.125) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_single_sample() {
+        assert_eq!(percentile_sorted(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q out of range")]
+    fn percentile_rejects_bad_quantile() {
+        percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile_agree() {
+        let cdf = Cdf::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.fraction_at_or_below(3.0) - 0.6).abs() < 1e-12);
+        assert!((cdf.quantile(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let samples: Vec<f64> = (0..100).map(|i| (i * 7 % 100) as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        let series = cdf.series(11);
+        assert_eq!(series.len(), 11);
+        for w in series.windows(2) {
+            assert!(w[1].0 >= w[0].0, "values non-decreasing");
+            assert!(w[1].1 > w[0].1, "fractions increasing");
+        }
+        assert_eq!(series[0].1, 0.0);
+        assert_eq!(series[10].1, 1.0);
+    }
+
+    #[test]
+    fn cdf_empty_behaves() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut online = OnlineStats::new();
+        for &x in &samples {
+            online.push(x);
+        }
+        let batch = Summary::from_samples(&samples);
+        assert_eq!(online.count() as usize, batch.count);
+        assert!((online.mean() - batch.mean).abs() < 1e-12);
+        assert!((online.std_dev() - batch.std_dev).abs() < 1e-12);
+        assert_eq!(online.min(), batch.min);
+        assert_eq!(online.max(), batch.max);
+    }
+
+    #[test]
+    fn online_merge_matches_single_stream() {
+        let a_samples = [1.0, 2.0, 3.0];
+        let b_samples = [10.0, 20.0];
+        let mut a = OnlineStats::new();
+        a_samples.iter().for_each(|&x| a.push(x));
+        let mut b = OnlineStats::new();
+        b_samples.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        let mut all = OnlineStats::new();
+        a_samples.iter().chain(&b_samples).for_each(|&x| all.push(x));
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn online_empty_reads_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Virtual time for the simulation.
+//!
+//! [`SimTime`] is an instant on the simulated clock and [`SimDuration`] a
+//! span between instants. Both have nanosecond resolution backed by `u64`,
+//! which covers ~584 years of simulated time — far beyond any experiment in
+//! this repository.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulated clock, measured in nanoseconds since the
+/// start of the simulation.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(1_500);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use simcore::SimDuration;
+///
+/// let d = SimDuration::from_millis(20) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 20_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after the simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `millis` milliseconds after the simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since the simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span; used as an "infinite" timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from a float number of seconds, saturating below at
+    /// zero (negative inputs become [`SimDuration::ZERO`]).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 || !secs.is_finite() {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Creates a span from a float number of milliseconds, saturating below
+    /// at zero.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1e3)
+    }
+
+    /// The span in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The span in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span in milliseconds, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: returns zero rather than underflowing.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the span by a non-negative float factor, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "mul_f64: factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_nanos(7).as_nanos(), 7);
+        assert_eq!(SimTime::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn duration_construction_and_accessors() {
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros(), 1_000);
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_nanos(1).is_zero());
+    }
+
+    #[test]
+    fn duration_float_round_trip() {
+        let d = SimDuration::from_secs_f64(0.25);
+        assert_eq!(d.as_millis(), 250);
+        assert!((d.as_secs_f64() - 0.25).abs() < 1e-12);
+        let d = SimDuration::from_millis_f64(1.5);
+        assert_eq!(d.as_micros(), 1_500);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_on_garbage() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!((t - SimTime::from_millis(10)).as_millis(), 5);
+        assert_eq!((t - SimDuration::from_millis(15)), SimTime::ZERO);
+        let mut d = SimDuration::from_millis(4);
+        d += SimDuration::from_millis(6);
+        assert_eq!(d.as_millis(), 10);
+        d -= SimDuration::from_millis(3);
+        assert_eq!(d.as_millis(), 7);
+        assert_eq!((SimDuration::from_millis(3) * 4).as_millis(), 12);
+        assert_eq!((SimDuration::from_millis(12) / 4).as_millis(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_reversed_order() {
+        let _ = SimTime::ZERO.duration_since(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let d = SimTime::ZERO.saturating_duration_since(SimTime::from_millis(1));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_nanos(10).mul_f64(0.26);
+        assert_eq!(d.as_nanos(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_f64")]
+    fn mul_f64_rejects_negative() {
+        let _ = SimDuration::from_nanos(10).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats_pick_unit() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", SimDuration::from_nanos(2)), "2ns");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total.as_millis(), 10);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Sweep helpers and the run matrix.
+
+use approxcache::{run_scenario, PipelineConfig, RunReport, Scenario, SystemVariant};
+
+/// One cell of a scenario × variant matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The scenario name.
+    pub scenario: String,
+    /// The variant that ran.
+    pub variant: SystemVariant,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// Runs every `(scenario, variant)` combination with a per-scenario
+/// calibrated configuration and a deterministic seed derived from `seed`,
+/// the scenario index and the variant — so any single cell can be
+/// reproduced in isolation.
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    variants: &[SystemVariant],
+    seed: u64,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(scenarios.len() * variants.len());
+    for (scenario_index, scenario) in scenarios.iter().enumerate() {
+        let config = PipelineConfig::calibrated(scenario, seed);
+        for variant in variants {
+            let cell_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(scenario_index as u64);
+            let report = run_scenario(scenario, &config, *variant, cell_seed);
+            cells.push(MatrixCell {
+                scenario: scenario.name.clone(),
+                variant: *variant,
+                report,
+            });
+        }
+    }
+    cells
+}
+
+/// Like [`run_matrix`] but runs cells on a pool of worker threads. The
+/// result is *identical* to the sequential version (each cell derives its
+/// own seed, so execution order cannot matter) — only wall-clock time
+/// changes; run_all uses this to keep the full suite quick.
+pub fn run_matrix_parallel(
+    scenarios: &[Scenario],
+    variants: &[SystemVariant],
+    seed: u64,
+    workers: usize,
+) -> Vec<MatrixCell> {
+    assert!(workers > 0, "run_matrix_parallel: workers must be positive");
+    let jobs: Vec<(usize, &Scenario, SystemVariant)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| variants.iter().map(move |&v| (i, s, v)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<MatrixCell>> = (0..jobs.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<MatrixCell>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs.len()) {
+            scope.spawn(|_| loop {
+                let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if job >= jobs.len() {
+                    break;
+                }
+                let (scenario_index, scenario, variant) = jobs[job];
+                let config = PipelineConfig::calibrated(scenario, seed);
+                let cell_seed = seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(scenario_index as u64);
+                let report = run_scenario(scenario, &config, variant, cell_seed);
+                **slot_refs[job].lock().expect("slot lock") = Some(MatrixCell {
+                    scenario: scenario.name.clone(),
+                    variant,
+                    report,
+                });
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job filled its slot"))
+        .collect()
+}
+
+/// Finds the cell for a given scenario/variant pair.
+pub fn cell<'a>(
+    cells: &'a [MatrixCell],
+    scenario: &str,
+    variant: SystemVariant,
+) -> Option<&'a MatrixCell> {
+    cells
+        .iter()
+        .find(|c| c.scenario == scenario && c.variant == variant)
+}
+
+/// Geometrically spaced capacity values for the eviction experiment.
+pub fn capacity_sweep(from: usize, to: usize) -> Vec<usize> {
+    assert!(from > 0 && from <= to, "capacity_sweep: need 0 < from <= to");
+    let mut values = Vec::new();
+    let mut v = from;
+    while v < to {
+        values.push(v);
+        v *= 2;
+    }
+    values.push(to);
+    values
+}
+
+/// Evenly spaced multipliers for threshold sweeps: `count` points from
+/// `from` to `to` inclusive.
+pub fn linear_sweep(from: f64, to: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "linear_sweep: need at least 2 points");
+    (0..count)
+        .map(|i| from + (to - from) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video;
+    use simcore::SimDuration;
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let scenarios: Vec<Scenario> = vec![video::stationary()
+            .with_duration(SimDuration::from_secs(3))];
+        let variants = [SystemVariant::NoCache, SystemVariant::Full];
+        let cells = run_matrix(&scenarios, &variants, 1);
+        assert_eq!(cells.len(), 2);
+        assert!(cell(&cells, "stationary", SystemVariant::Full).is_some());
+        assert!(cell(&cells, "stationary", SystemVariant::NoImu).is_none());
+        let no_cache = cell(&cells, "stationary", SystemVariant::NoCache).unwrap();
+        let full = cell(&cells, "stationary", SystemVariant::Full).unwrap();
+        assert!(full.report.latency_ms.mean < no_cache.report.latency_ms.mean);
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let scenarios = vec![video::stationary().with_duration(SimDuration::from_secs(2))];
+        let a = run_matrix(&scenarios, &[SystemVariant::Full], 9);
+        let b = run_matrix(&scenarios, &[SystemVariant::Full], 9);
+        assert_eq!(a[0].report.latencies_ms, b[0].report.latencies_ms);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_exactly() {
+        let scenarios = vec![
+            video::stationary().with_duration(SimDuration::from_secs(3)),
+            video::slow_pan().with_duration(SimDuration::from_secs(3)),
+        ];
+        let variants = [SystemVariant::NoCache, SystemVariant::Full];
+        let sequential = run_matrix(&scenarios, &variants, 5);
+        let parallel = super::run_matrix_parallel(&scenarios, &variants, 5, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.report.latencies_ms, b.report.latencies_ms);
+            assert_eq!(a.report.path_counts, b.report.path_counts);
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_is_geometric_and_inclusive() {
+        assert_eq!(capacity_sweep(16, 256), vec![16, 32, 64, 128, 256]);
+        assert_eq!(capacity_sweep(10, 100), vec![10, 20, 40, 80, 100]);
+        assert_eq!(capacity_sweep(8, 8), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < from <= to")]
+    fn capacity_sweep_validates() {
+        capacity_sweep(0, 8);
+    }
+
+    #[test]
+    fn linear_sweep_hits_endpoints() {
+        let v = linear_sweep(0.5, 2.5, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.5).abs() < 1e-12);
+        assert!((v[4] - 2.5).abs() < 1e-12);
+        assert!((v[2] - 1.5).abs() < 1e-12);
+    }
+}

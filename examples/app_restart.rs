@@ -1,0 +1,106 @@
+//! App restart: mobile apps are killed and relaunched constantly, and an
+//! in-memory cache dies with the process. This example snapshots the
+//! cache to JSON on "pause" and restores it on "resume", comparing a warm
+//! restart against a cold one — the persistence extension on top of the
+//! paper's in-memory design.
+//!
+//! ```sh
+//! cargo run --release --example app_restart
+//! ```
+
+use approx_caching::cache::CacheSnapshot;
+use approx_caching::inertial::{ImuSynthesizer, MotionProfile, MotionTrace};
+use approx_caching::runtime::{SimDuration, SimRng, SimTime};
+use approx_caching::system::{Device, DeviceId, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::vision::{ClassUniverse, FrameRenderer, SceneConfig, World};
+
+/// Runs one 15-second session, returning the device (with its cache) and
+/// how many frames needed full inference.
+fn run_session(
+    device: &mut Device,
+    world: &World,
+    renderer: &FrameRenderer,
+    trace: &MotionTrace,
+    imu: &[approx_caching::inertial::ImuSample],
+    rng: &mut SimRng,
+) -> usize {
+    let mut inferences = 0;
+    let mut prev = SimTime::ZERO;
+    for i in 1..=150u64 {
+        let now = SimTime::from_millis(i * 100);
+        let pose = trace.pose_at(now);
+        let frame = renderer.render(world, &pose, now, rng);
+        let start = ((prev.as_millis() / 10) as usize + 1).min(imu.len());
+        let end = ((now.as_millis() / 10) as usize + 1).min(imu.len());
+        let outcome = device.process_frame(&frame, &imu[start..end], &[], now);
+        if outcome.path == ResolutionPath::FullInference {
+            inferences += 1;
+        }
+        prev = now;
+    }
+    inferences
+}
+
+fn main() {
+    let seed = 17;
+    let root = SimRng::seed(seed);
+    let scene = SceneConfig::default();
+    let mut world_rng = root.split("world");
+    let universe = ClassUniverse::generate(&scene, &mut world_rng);
+    let world = World::generate(&universe, &scene, &mut world_rng);
+    let renderer = FrameRenderer::new(&scene);
+
+    // The same exhibit-inspection motion for every session.
+    let mut motion_rng = root.split("motion");
+    let trace = MotionTrace::generate(
+        MotionProfile::TurnAndLook {
+            dwell_secs: 3.0,
+            turn_deg: 45.0,
+        },
+        SimDuration::from_secs(15),
+        100.0,
+        &mut motion_rng,
+    );
+    let imu = ImuSynthesizer::default().synthesize(&trace, &mut motion_rng);
+    let config = PipelineConfig::new().with_peer(None);
+
+    // Session 1: cold start.
+    let mut first = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
+    let mut rng = root.split("frames-1");
+    let cold_inferences = run_session(&mut first, &world, &renderer, &trace, &imu, &mut rng);
+
+    // "App paused": snapshot the cache to JSON (what would go to disk).
+    let snapshot = first
+        .cache()
+        .with(|c| CacheSnapshot::capture(c, SimTime::from_secs(15)));
+    let json = snapshot.to_json().expect("snapshot serializes");
+    println!(
+        "session 1 (cold): {cold_inferences} inferences; snapshot of {} entries = {} bytes of JSON",
+        snapshot.len(),
+        json.len()
+    );
+
+    // "App relaunched": a fresh process — and a fresh device — restores.
+    let parsed: CacheSnapshot<approx_caching::vision::ClassId> =
+        CacheSnapshot::from_json(&json).expect("snapshot parses");
+    let mut warm = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
+    let restored = warm
+        .cache()
+        .with(|c| parsed.restore_into(c, SimTime::ZERO));
+    let mut rng = root.split("frames-1"); // identical second session
+    let warm_inferences = run_session(&mut warm, &world, &renderer, &trace, &imu, &mut rng);
+
+    // Control: the same second session without restoring.
+    let mut cold2 = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
+    let mut rng = root.split("frames-1");
+    let cold2_inferences = run_session(&mut cold2, &world, &renderer, &trace, &imu, &mut rng);
+
+    println!("session 2 with restored cache ({restored} entries): {warm_inferences} inferences");
+    println!("session 2 cold (control):                       {cold2_inferences} inferences");
+    println!(
+        "warm restart avoided {} of {} cold-start inferences",
+        cold2_inferences - warm_inferences,
+        cold2_inferences
+    );
+    assert!(warm_inferences < cold2_inferences, "restoration must help");
+}

@@ -1,0 +1,53 @@
+//! Museum tour: eight visitors in one gallery, sharing recognition results
+//! over WiFi-Direct with no infrastructure. Shows how peer collaboration
+//! warms cold caches — the third mechanism of the paper.
+//!
+//! ```sh
+//! cargo run --release --example museum_tour
+//! ```
+
+use approx_caching::runtime::table::{fnum, fpct, Table};
+use approx_caching::runtime::SimDuration;
+use approx_caching::system::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::workload::multi;
+
+fn main() {
+    let seed = 7;
+    let scenario = multi::museum(8).with_duration(SimDuration::from_secs(30));
+    let config = PipelineConfig::calibrated(&scenario, seed);
+
+    println!("eight visitors, one gallery, {} exhibits\n", scenario.scene.num_objects);
+
+    let mut table = Table::new(vec![
+        "system",
+        "mean_ms",
+        "p95_ms",
+        "accuracy",
+        "imu",
+        "local",
+        "peer",
+        "dnn",
+        "net_kB",
+    ]);
+    for variant in [
+        SystemVariant::NoCache,
+        SystemVariant::LocalApprox,
+        SystemVariant::Full,
+    ] {
+        let report = run_scenario(&scenario, &config, variant, seed);
+        table.row(vec![
+            variant.to_string(),
+            fnum(report.latency_ms.mean, 2),
+            fnum(report.latency_ms.p95, 2),
+            fpct(report.accuracy),
+            fpct(report.path_fraction(ResolutionPath::ImuReuse)),
+            fpct(report.path_fraction(ResolutionPath::LocalCache)),
+            fpct(report.path_fraction(ResolutionPath::PeerCache)),
+            fpct(report.path_fraction(ResolutionPath::FullInference)),
+            fnum(report.network.bytes_sent as f64 / 1e3, 1),
+        ]);
+    }
+    println!("{table}");
+    println!("local-approx = same system without peers; the peer column is what");
+    println!("infrastructure-less collaboration adds on top of local reuse.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run the full system against the always-infer baseline on a
+//! stationary camera and print what approximate caching buys.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use approx_caching::runtime::SimDuration;
+use approx_caching::system::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::workload::video;
+
+fn main() {
+    let seed = 42;
+
+    // A phone propped on a stand, recognizing whatever it sees, 30 s at
+    // 10 fps.
+    let scenario = video::stationary().with_duration(SimDuration::from_secs(30));
+
+    // Calibrate the cache's distance threshold for this scene, exactly as
+    // a deployment would with a small labelled warm-up set.
+    let config = PipelineConfig::calibrated(&scenario, seed);
+    println!(
+        "model: {} on a {} phone",
+        config.model, config.device_class
+    );
+    println!(
+        "calibrated A-kNN distance threshold: {:.2}\n",
+        config.cache.aknn.distance_threshold
+    );
+
+    let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, seed);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, seed);
+
+    println!("{baseline}");
+    println!("{full}");
+
+    println!(
+        "average latency reduction: {:.1}%  (paper claims up to 94%)",
+        full.latency_reduction_vs(&baseline) * 100.0
+    );
+    println!(
+        "accuracy delta: {:+.1} points  (paper claims minimal loss)",
+        full.accuracy_delta_vs(&baseline) * 100.0
+    );
+    println!(
+        "frames answered without the DNN: {:.1}% (imu {:.1}%, cache {:.1}%)",
+        full.reuse_rate() * 100.0,
+        full.path_fraction(ResolutionPath::ImuReuse) * 100.0,
+        full.path_fraction(ResolutionPath::LocalCache) * 100.0
+    );
+}

@@ -1,0 +1,174 @@
+//! `approx-cache-sim` — command-line simulation runner.
+//!
+//! ```sh
+//! cargo run --release --bin approx_cache_sim -- --scenario museum --devices 8 \
+//!     --variant full --seconds 30 --seed 7
+//! ```
+//!
+//! Prints the run report; `--json <path>` additionally writes the raw
+//! report for post-processing.
+
+use std::process::ExitCode;
+
+use approx_caching::inertial::MotionProfile;
+use approx_caching::runtime::SimDuration;
+use approx_caching::system::{run_scenario, PipelineConfig, Scenario, SystemVariant};
+use approx_caching::workload::{multi, trace, video};
+
+const USAGE: &str = "\
+approx-cache-sim — approximate-caching simulation runner
+
+USAGE:
+  approx_cache_sim [OPTIONS]
+
+OPTIONS:
+  --scenario <name>   stationary | slow-pan | walking | turn-and-look |
+                      object-churn | museum | campus        [default: slow-pan]
+  --variant <name>    no-cache | exact-cache | local-approx | no-imu |
+                      no-peer | no-temporal | full           [default: full]
+  --devices <n>       device count (museum/campus only)      [default: 1]
+  --seconds <n>       simulated stream length                [default: 30]
+  --fps <n>           camera frame rate                      [default: 10]
+  --seed <n>          master seed                            [default: 42]
+  --model <name>      squeezenet | mobilenet_v2 | resnet50 | inception_v3
+                                                             [default: mobilenet_v2]
+  --json <path>       also write the raw report as JSON
+  --help              print this help
+";
+
+struct Args {
+    scenario: String,
+    variant: String,
+    devices: usize,
+    seconds: u64,
+    fps: f64,
+    seed: u64,
+    model: String,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "slow-pan".into(),
+        variant: "full".into(),
+        devices: 1,
+        seconds: 30,
+        fps: 10.0,
+        seed: 42,
+        model: "mobilenet_v2".into(),
+        json: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--scenario" => args.scenario = value,
+            "--variant" => args.variant = value,
+            "--devices" => {
+                args.devices = value.parse().map_err(|_| format!("bad --devices: {value}"))?
+            }
+            "--seconds" => {
+                args.seconds = value.parse().map_err(|_| format!("bad --seconds: {value}"))?
+            }
+            "--fps" => args.fps = value.parse().map_err(|_| format!("bad --fps: {value}"))?,
+            "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed: {value}"))?,
+            "--model" => args.model = value,
+            "--json" => args.json = Some(value),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn scenario_by_name(name: &str, devices: usize) -> Result<Scenario, String> {
+    let scenario = match name {
+        "stationary" => video::stationary(),
+        "slow-pan" => video::slow_pan(),
+        "walking" => video::walking_tour(),
+        "turn-and-look" => video::turn_and_look(),
+        "object-churn" => video::object_churn(),
+        "museum" => multi::museum(devices.max(1)),
+        "campus" => multi::campus(devices.max(1)),
+        "handheld" => Scenario::single_device(MotionProfile::HandheldJitter).with_name("handheld"),
+        other => return Err(format!("unknown scenario: {other}")),
+    };
+    if devices > 1 && scenario.devices == 1 {
+        return Err(format!("scenario {name} is single-device; use museum or campus"));
+    }
+    Ok(scenario)
+}
+
+fn variant_by_name(name: &str) -> Result<SystemVariant, String> {
+    Ok(match name {
+        "no-cache" => SystemVariant::NoCache,
+        "exact-cache" => SystemVariant::ExactCache,
+        "local-approx" => SystemVariant::LocalApprox,
+        "no-imu" => SystemVariant::NoImu,
+        "no-peer" => SystemVariant::NoPeer,
+        "no-temporal" => SystemVariant::NoTemporal,
+        "full" => SystemVariant::Full,
+        other => return Err(format!("unknown variant: {other}")),
+    })
+}
+
+fn model_by_name(name: &str) -> Result<dnnsim::ModelProfile, String> {
+    dnnsim::zoo::all()
+        .into_iter()
+        .find(|m| m.name == name)
+        .ok_or_else(|| format!("unknown model: {name}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprint!("{USAGE}");
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let result = (|| -> Result<(), String> {
+        let scenario = scenario_by_name(&args.scenario, args.devices)?
+            .with_duration(SimDuration::from_secs(args.seconds.max(1)))
+            .with_fps(args.fps);
+        let variant = variant_by_name(&args.variant)?;
+        let model = model_by_name(&args.model)?;
+        let config = PipelineConfig::calibrated(&scenario, args.seed).with_model(model);
+
+        eprintln!(
+            "running {} / {} for {}s at {} fps (seed {})…",
+            scenario.name, variant, args.seconds, args.fps, args.seed
+        );
+        let report = run_scenario(&scenario, &config, variant, args.seed);
+        println!("{report}");
+        println!(
+            "battery: {:.1}%/hour of continuous streaming (15.4 Wh battery)",
+            report.battery_pct_per_hour(15_400.0)
+        );
+        if let Some(path) = &args.json {
+            trace::save_report(&report, path).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Failure injection: the system must degrade gracefully, never
+//! catastrophically, when components misbehave.
+
+use approx_caching::inertial::MotionProfile;
+use approx_caching::network::LinkSpec;
+use approx_caching::runtime::SimDuration;
+use approx_caching::system::{
+    run_scenario, PipelineConfig, ResolutionPath, Scenario, SystemVariant,
+};
+use approx_caching::workload::{multi, video};
+
+#[test]
+fn total_radio_loss_degrades_to_local_only() {
+    // A link that drops everything: peer hits must vanish, but the system
+    // must still beat the no-cache baseline on local reuse alone.
+    let scenario = multi::museum(6).with_duration(SimDuration::from_secs(8));
+    let mut config = PipelineConfig::calibrated(&scenario, 41);
+    config.peer.as_mut().expect("peers configured").link = LinkSpec {
+        loss_prob: 1.0,
+        ..LinkSpec::wifi_direct()
+    };
+    let report = run_scenario(&scenario, &config, SystemVariant::Full, 41);
+    assert_eq!(
+        report.path_fraction(ResolutionPath::PeerCache),
+        0.0,
+        "no peer hits over a dead radio"
+    );
+    let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, 41);
+    assert!(report.latency_ms.mean < baseline.latency_ms.mean / 2.0);
+    // Queries were attempted and lost — they must be accounted.
+    assert!(report.network.messages_lost > 0);
+    assert_eq!(report.network.messages_delivered, 0);
+}
+
+#[test]
+fn slow_radio_does_not_make_full_system_worse_than_local() {
+    // Peer queries over a BLE-class link cost tens of ms; sequential
+    // querying must not blow past the DNN's own latency on miss-heavy
+    // streams. We tolerate a small regression but not a blowup.
+    let scenario = multi::museum(6).with_duration(SimDuration::from_secs(8));
+    let mut config = PipelineConfig::calibrated(&scenario, 42);
+    config.peer.as_mut().expect("peers configured").link = LinkSpec::ble();
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 42);
+    let local = run_scenario(&scenario, &config, SystemVariant::NoPeer, 42);
+    assert!(
+        full.latency_ms.mean < local.latency_ms.mean * 1.5,
+        "BLE peers made things much worse: {} vs {}",
+        full.latency_ms.mean,
+        local.latency_ms.mean
+    );
+}
+
+#[test]
+fn tiny_cache_still_works_correctly() {
+    // Capacity 1: constant eviction, but never a crash and never a wrong
+    // invariant (hit+miss counts etc.).
+    let scenario = video::slow_pan().with_duration(SimDuration::from_secs(8));
+    let mut config = PipelineConfig::calibrated(&scenario, 43);
+    config.cache = reuse::CacheConfig::new(1)
+        .with_aknn(config.cache.aknn)
+        .with_admission(config.cache.admission);
+    let report = run_scenario(&scenario, &config, SystemVariant::Full, 43);
+    assert_eq!(report.cache.lookups, report.cache.hits + report.cache.misses());
+    assert!(report.accuracy > 0.5);
+}
+
+#[test]
+fn violent_motion_stream_never_reuses_wrongly_much() {
+    // A stream that never stops moving: reuse should be low-ish and
+    // accuracy must stay at baseline level (the system must not hurt).
+    let scenario = Scenario::single_device(MotionProfile::TurnAndLook {
+        dwell_secs: 0.2,
+        turn_deg: 170.0,
+    })
+    .with_name("whiplash")
+    .with_duration(SimDuration::from_secs(8));
+    let config = PipelineConfig::calibrated(&scenario, 44);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 44);
+    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 44);
+    assert!(
+        full.accuracy > base.accuracy - 0.1,
+        "whiplash accuracy {} vs baseline {}",
+        full.accuracy,
+        base.accuracy
+    );
+}
+
+#[test]
+fn empty_imu_windows_are_tolerated() {
+    // IMU slower than the camera (window can be empty): the pipeline must
+    // not panic and must still function. We emulate by running a normal
+    // scenario at an fps above the IMU rate.
+    let mut scenario = video::stationary().with_duration(SimDuration::from_secs(4));
+    scenario.fps = 30.0;
+    scenario.imu_rate_hz = 20.0;
+    let config = PipelineConfig::calibrated(&scenario, 45);
+    let report = run_scenario(&scenario, &config, SystemVariant::Full, 45);
+    assert_eq!(report.frames, 120);
+    assert!(report.reuse_rate() > 0.5);
+}
+
+#[test]
+fn heavy_occlusion_degrades_gracefully() {
+    // 30% of the time a passer-by fills the frame with something else:
+    // reuse drops (cached subjects are hidden) but accuracy must track
+    // the baseline — the system must not keep serving the occluded
+    // subject's label while the view shows the occluder.
+    let mut scenario = video::turn_and_look().with_duration(SimDuration::from_secs(10));
+    scenario.scene.occlusion_fraction = 0.3;
+    let config = PipelineConfig::calibrated(&scenario, 47);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 47);
+    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 47);
+    assert!(
+        full.accuracy > base.accuracy - 0.15,
+        "occluded full {} vs base {}",
+        full.accuracy,
+        base.accuracy
+    );
+    // Reuse stays high either way — occluders are themselves temporally
+    // local (an episode spans ~7 frames), so the cache legitimately
+    // serves them too. What occlusion must NOT do is poison accuracy,
+    // which the assertion above covers; here we only sanity-check that
+    // the system still reuses at all under heavy occlusion.
+    assert!(full.reuse_rate() > 0.5, "reuse collapsed: {}", full.reuse_rate());
+}
+
+#[test]
+fn adversarially_low_confidence_model_cannot_poison_caches() {
+    // A model whose errors exceed its correct answers (top-1 40%): the
+    // confidence floor must keep cached labels clean enough that the full
+    // system does not fall meaningfully below the baseline.
+    let scenario = video::slow_pan().with_duration(SimDuration::from_secs(8));
+    let mut config = PipelineConfig::calibrated(&scenario, 46);
+    config.model = dnnsim::ModelProfile {
+        top1_accuracy: 0.40,
+        ..dnnsim::zoo::mobilenet_v2()
+    };
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 46);
+    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 46);
+    assert!(
+        full.accuracy >= base.accuracy - 0.05,
+        "weak-model full {} vs base {}",
+        full.accuracy,
+        base.accuracy
+    );
+}

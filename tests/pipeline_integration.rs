@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the full pipeline over real scenarios.
+
+use approx_caching::runtime::SimDuration;
+use approx_caching::system::{
+    run_scenario, PipelineConfig, ResolutionPath, SystemVariant,
+};
+use approx_caching::workload::{multi, video};
+
+fn quick(scenario: approx_caching::system::Scenario) -> approx_caching::system::Scenario {
+    scenario.with_duration(SimDuration::from_secs(10))
+}
+
+#[test]
+fn full_system_beats_no_cache_on_every_reuse_friendly_scenario() {
+    for scenario in [video::stationary(), video::slow_pan(), video::turn_and_look()] {
+        let scenario = quick(scenario);
+        let config = PipelineConfig::calibrated(&scenario, 21);
+        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 21);
+        let full = run_scenario(&scenario, &config, SystemVariant::Full, 21);
+        let reduction = full.latency_reduction_vs(&base);
+        assert!(
+            reduction > 0.5,
+            "{}: latency reduction only {:.1}%",
+            scenario.name,
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn accuracy_loss_stays_minimal() {
+    // The abstract's second claim: "minimal loss of recognition accuracy".
+    // Confidence-gated admission can even make cached results *better*
+    // than per-frame inference; we assert the delta never drops below a
+    // few points on any standard scenario.
+    for scenario in video::headline_set() {
+        let scenario = quick(scenario);
+        let config = PipelineConfig::calibrated(&scenario, 22);
+        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 22);
+        let full = run_scenario(&scenario, &config, SystemVariant::Full, 22);
+        let delta = full.accuracy_delta_vs(&base);
+        assert!(
+            delta > -0.05,
+            "{}: accuracy delta {:.1} points",
+            scenario.name,
+            delta * 100.0
+        );
+    }
+}
+
+#[test]
+fn exact_cache_barely_reuses() {
+    // The motivating observation: conventional exact-match caching cannot
+    // absorb sensor noise, so it reuses (nearly) nothing.
+    let scenario = quick(video::slow_pan());
+    let config = PipelineConfig::calibrated(&scenario, 23);
+    let exact = run_scenario(&scenario, &config, SystemVariant::ExactCache, 23);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 23);
+    assert!(
+        exact.reuse_rate() < 0.05,
+        "exact cache reused {:.1}%",
+        exact.reuse_rate() * 100.0
+    );
+    assert!(full.reuse_rate() > 0.5);
+}
+
+#[test]
+fn baseline_ordering_holds_in_the_museum() {
+    // NoCache slowest; adding local reuse helps; adding peers helps more
+    // (or at least never hurts) in a shared-world scenario.
+    let scenario = multi::museum(6).with_duration(SimDuration::from_secs(10));
+    let config = PipelineConfig::calibrated(&scenario, 24);
+    let no_cache = run_scenario(&scenario, &config, SystemVariant::NoCache, 24);
+    let local = run_scenario(&scenario, &config, SystemVariant::LocalApprox, 24);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 24);
+    assert!(local.latency_ms.mean < no_cache.latency_ms.mean);
+    assert!(full.latency_ms.mean <= local.latency_ms.mean * 1.1);
+    assert!(full.path_fraction(ResolutionPath::PeerCache) > 0.0);
+}
+
+#[test]
+fn peer_traffic_only_flows_when_peers_enabled() {
+    let scenario = multi::museum(4).with_duration(SimDuration::from_secs(6));
+    let config = PipelineConfig::calibrated(&scenario, 25);
+    let full = run_scenario(&scenario, &config, SystemVariant::Full, 25);
+    let solo = run_scenario(&scenario, &config, SystemVariant::NoPeer, 25);
+    assert!(full.network.bytes_sent > 0);
+    assert_eq!(solo.network.bytes_sent, 0);
+    assert_eq!(solo.path_fraction(ResolutionPath::PeerCache), 0.0);
+}
+
+#[test]
+fn whole_runs_are_reproducible_from_the_seed() {
+    let scenario = multi::museum(3).with_duration(SimDuration::from_secs(6));
+    let config = PipelineConfig::calibrated(&scenario, 26);
+    let a = run_scenario(&scenario, &config, SystemVariant::Full, 26);
+    let b = run_scenario(&scenario, &config, SystemVariant::Full, 26);
+    assert_eq!(a.latencies_ms, b.latencies_ms);
+    assert_eq!(a.path_counts, b.path_counts);
+    assert_eq!(a.network, b.network);
+    assert_eq!(a.cache, b.cache);
+}
+
+#[test]
+fn frame_counts_match_duration_times_fps() {
+    let scenario = quick(video::stationary());
+    let config = PipelineConfig::calibrated(&scenario, 27);
+    let report = run_scenario(&scenario, &config, SystemVariant::Full, 27);
+    assert_eq!(report.frames, 100, "10 s at 10 fps on one device");
+    let multi = multi::museum(4).with_duration(SimDuration::from_secs(5));
+    let report = run_scenario(&multi, &PipelineConfig::calibrated(&multi, 27), SystemVariant::Full, 27);
+    assert_eq!(report.frames, 200, "5 s at 10 fps on four devices");
+}
+
+#[test]
+fn lookup_and_stats_invariants_hold_end_to_end() {
+    let scenario = quick(video::walking_tour());
+    let config = PipelineConfig::calibrated(&scenario, 28);
+    let report = run_scenario(&scenario, &config, SystemVariant::Full, 28);
+    // Cache arithmetic: every lookup is a hit or a categorized miss.
+    assert_eq!(report.cache.lookups, report.cache.hits + report.cache.misses());
+    // Path counts sum to frames.
+    assert_eq!(report.path_counts.iter().sum::<u64>() as usize, report.frames);
+    // Latency percentiles are ordered.
+    let s = &report.latency_ms;
+    assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+}
