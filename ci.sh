@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints, tests, and the headline-claim
+# regression gate. Mirrors what a reviewer runs before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (tier-1: root integration suite) =="
+cargo test -q
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "== verify_claims (headline regression gate) =="
+EXPERIMENT_SECONDS="${EXPERIMENT_SECONDS:-10}" cargo run -q -p bench --bin verify_claims
+
+echo "CI OK"

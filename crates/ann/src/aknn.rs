@@ -47,7 +47,10 @@ impl AknnConfig {
     /// positive/finite, or homogeneity is outside `(0, 1]`.
     pub fn validate(&self) {
         assert!(self.k > 0, "AknnConfig: k must be positive");
-        assert!(self.min_support > 0, "AknnConfig: min_support must be positive");
+        assert!(
+            self.min_support > 0,
+            "AknnConfig: min_support must be positive"
+        );
         assert!(
             self.distance_threshold > 0.0 && self.distance_threshold.is_finite(),
             "AknnConfig: distance_threshold must be positive and finite"
@@ -142,6 +145,25 @@ pub fn decide<L: Eq + std::hash::Hash + Copy>(
     let nearest_distance = sorted[0].0;
     if nearest_distance > config.distance_threshold {
         return AknnOutcome::Miss(MissReason::TooFar);
+    }
+    // Zero-distance neighbours are exact duplicates of the query: the
+    // query *is* a cached key, so a merely-nearby neighbour of another
+    // label must not veto reuse through the homogeneity vote. The
+    // duplicates are authoritative when they agree among themselves (and
+    // clear min_support); disagreeing duplicates are genuinely ambiguous
+    // and fall through to the ordinary vote below.
+    let exact: Vec<L> = sorted
+        .iter()
+        .take_while(|(d, _)| *d == 0.0)
+        .map(|&(_, label)| label)
+        .collect();
+    if exact.len() >= config.min_support && exact.iter().all(|l| *l == exact[0]) {
+        return AknnOutcome::Hit {
+            label: exact[0],
+            nearest_distance,
+            support: exact.len(),
+            homogeneity: 1.0,
+        };
     }
     let in_threshold: Vec<&(f64, L)> = sorted
         .iter()
@@ -276,6 +298,64 @@ mod tests {
         let out = decide(&[(0.9, 2u32), (0.1, 1), (0.2, 1), (0.3, 1)], &config());
         assert!(out.is_hit());
         assert_eq!(out.label(), Some(&1));
+    }
+
+    #[test]
+    fn zero_distance_duplicate_is_authoritative() {
+        // The recorded proptest regression (proptest-regressions/aknn.txt):
+        // an exact duplicate of a cached key must hit even when an
+        // in-threshold neighbour of a different label would otherwise
+        // spoil the homogeneity vote.
+        let out = decide(
+            &[(0.0, 0u8), (0.932_397_294_373_532_9, 1)],
+            &AknnConfig::default(),
+        );
+        match out {
+            AknnOutcome::Hit {
+                label,
+                nearest_distance,
+                support,
+                homogeneity,
+            } => {
+                assert_eq!(label, 0);
+                assert_eq!(nearest_distance, 0.0);
+                assert_eq!(support, 1);
+                assert_eq!(homogeneity, 1.0);
+            }
+            other => panic!("exact duplicate must hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_zero_distance_still_faces_the_vote() {
+        // Boundary contrast to the authoritative-duplicate rule: nudge
+        // the duplicate off zero and it is just a (very) near neighbour,
+        // so the 1-1 tie with the other label rejects as usual.
+        let out = decide(&[(1e-9, 0u8), (0.93, 1)], &AknnConfig::default());
+        assert_eq!(out, AknnOutcome::Miss(MissReason::NotHomogeneous));
+    }
+
+    #[test]
+    fn disagreeing_duplicates_fall_back_to_the_vote() {
+        // Two identical keys with different labels carry no authority;
+        // the ordinary (tied) vote rejects.
+        let out = decide(&[(0.0, 0u8), (0.0, 1)], &AknnConfig::default());
+        assert_eq!(out, AknnOutcome::Miss(MissReason::NotHomogeneous));
+    }
+
+    #[test]
+    fn duplicates_respect_min_support() {
+        // A lone duplicate does not bypass a stricter support floor; two
+        // agreeing duplicates clear it.
+        let strict = AknnConfig {
+            min_support: 2,
+            ..config()
+        };
+        let out = decide(&[(0.0, 0u8)], &strict);
+        assert_eq!(out, AknnOutcome::Miss(MissReason::InsufficientSupport));
+        let out = decide(&[(0.0, 0u8), (0.0, 0)], &strict);
+        assert!(out.is_hit());
+        assert_eq!(out.label(), Some(&0));
     }
 
     #[test]

@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn neighbor_is_plain_data() {
-        let n = Neighbor { id: 7, distance: 1.5 };
+        let n = Neighbor {
+            id: 7,
+            distance: 1.5,
+        };
         assert_eq!(n, n.clone());
         assert_eq!(format!("{n:?}"), "Neighbor { id: 7, distance: 1.5 }");
     }

@@ -155,16 +155,28 @@ impl KdTree {
         Some(node_index)
     }
 
-    fn search(&self, node: Option<usize>, query: &FeatureVector, k: usize, best: &mut Vec<Neighbor>) {
+    fn search(
+        &self,
+        node: Option<usize>,
+        query: &FeatureVector,
+        k: usize,
+        best: &mut Vec<Neighbor>,
+    ) {
         let Some(idx) = node else { return };
         let n = &self.nodes[idx];
         if !n.deleted {
             let d2 = squared_euclidean(&n.key, query);
             if best.len() < k {
-                best.push(Neighbor { id: n.id, distance: d2 });
+                best.push(Neighbor {
+                    id: n.id,
+                    distance: d2,
+                });
                 best.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
             } else if d2 < best[k - 1].distance {
-                best[k - 1] = Neighbor { id: n.id, distance: d2 };
+                best[k - 1] = Neighbor {
+                    id: n.id,
+                    distance: d2,
+                };
                 best.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
             }
         }

@@ -96,10 +96,16 @@ impl NnIndex for LinearScan {
             return Vec::new();
         }
         all.select_nth_unstable_by(k - 1, |a, b| {
-            a.distance.partial_cmp(&b.distance).expect("finite distances")
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
         });
         all.truncate(k);
-        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+        });
         for n in &mut all {
             n.distance = n.distance.sqrt();
         }

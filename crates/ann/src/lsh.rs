@@ -210,7 +210,11 @@ impl NnIndex for LshIndex {
                 distance: squared_euclidean(&self.keys[&id], query),
             })
             .collect();
-        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+        });
         hits.truncate(k);
         for n in &mut hits {
             n.distance = n.distance.sqrt();
@@ -251,7 +255,10 @@ mod tests {
         let index = index_with(&keys);
         for (i, key) in keys.iter().enumerate().step_by(17) {
             let hits = index.nearest(key, 1);
-            assert_eq!(hits[0].id, i as u64, "exact key must hash to its own bucket");
+            assert_eq!(
+                hits[0].id, i as u64,
+                "exact key must hash to its own bucket"
+            );
             assert!(hits[0].distance < 1e-6);
         }
     }

@@ -144,7 +144,10 @@ impl NswIndex {
                 if visited.insert(next) {
                     let d = squared_euclidean(&self.nodes[next].key, query);
                     if best.len() < ef || d <= best[best.len() - 1].0 {
-                        frontier.push(Candidate { distance: d, node: next });
+                        frontier.push(Candidate {
+                            distance: d,
+                            node: next,
+                        });
                     }
                 }
             }

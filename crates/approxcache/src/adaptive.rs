@@ -126,12 +126,7 @@ impl AdaptiveController {
     /// legitimately close to the boundary.)
     ///
     /// Returns the possibly-updated threshold.
-    pub fn on_near_miss(
-        &mut self,
-        nearest_distance: f64,
-        labels_agree: bool,
-        current: f64,
-    ) -> f64 {
+    pub fn on_near_miss(&mut self, nearest_distance: f64, labels_agree: bool, current: f64) -> f64 {
         if labels_agree && nearest_distance > current && nearest_distance <= current * 2.0 {
             (current * self.config.widen)
                 .clamp(self.config.min_threshold, self.config.max_threshold)

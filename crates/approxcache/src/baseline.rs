@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use features::{FeatureVector, SimHasher};
+use features::FeatureVector;
 use scene::ClassId;
 
 use crate::config::PipelineConfig;
@@ -116,24 +116,50 @@ impl std::fmt::Display for SystemVariant {
     }
 }
 
-/// The exact-match cache baseline: keys are 64-bit perceptual hashes and a
-/// lookup succeeds only on hash equality. This is what a conventional
+/// The exact-match cache baseline: keys are 64-bit content digests and a
+/// lookup succeeds only on digest equality. This is what a conventional
 /// memoization layer can do for image recognition — and, as the
-/// experiments show, sensor noise makes identical hashes so rare that it
+/// experiments show, sensor noise makes identical keys so rare that it
 /// barely helps, which is the motivation for *approximate* caching.
+///
+/// The digest is an avalanche hash (FNV-1a over the key's raw `f32` bit
+/// patterns), not a locality-sensitive one: flipping a single bit of any
+/// dimension yields an unrelated digest, exactly like a conventional
+/// content-addressed cache.
 #[derive(Debug, Clone)]
 pub struct ExactCache {
-    hasher: SimHasher,
+    key_dim: usize,
+    salt: u64,
     entries: HashMap<u64, ClassId>,
 }
 
 impl ExactCache {
-    /// Creates the hash cache for keys of dimension `key_dim`.
+    /// Creates the digest cache for keys of dimension `key_dim`.
     pub fn new(key_dim: usize, seed: u64) -> ExactCache {
         ExactCache {
-            hasher: SimHasher::new(key_dim, seed),
+            key_dim,
+            salt: seed,
             entries: HashMap::new(),
         }
+    }
+
+    /// 64-bit FNV-1a content digest of the key, salted by the cache seed.
+    fn digest(&self, key: &FeatureVector) -> u64 {
+        assert_eq!(
+            key.dim(),
+            self.key_dim,
+            "exact-cache key dimension mismatch"
+        );
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ self.salt;
+        for &x in key.as_slice() {
+            for byte in x.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
 
     /// Number of cached hashes.
@@ -146,14 +172,15 @@ impl ExactCache {
         self.entries.is_empty()
     }
 
-    /// Returns the cached label for exactly this key's hash.
+    /// Returns the cached label for exactly this key's digest.
     pub fn lookup(&self, key: &FeatureVector) -> Option<ClassId> {
-        self.entries.get(&self.hasher.hash(key).as_u64()).copied()
+        self.entries.get(&self.digest(key)).copied()
     }
 
-    /// Caches a label under the key's hash.
+    /// Caches a label under the key's digest.
     pub fn insert(&mut self, key: &FeatureVector, label: ClassId) {
-        self.entries.insert(self.hasher.hash(key).as_u64(), label);
+        let digest = self.digest(key);
+        self.entries.insert(digest, label);
     }
 }
 
@@ -239,6 +266,9 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits < 100, "exact cache absorbed {hits}/200 noisy re-renders");
+        assert!(
+            hits < 100,
+            "exact cache absorbed {hits}/200 noisy re-renders"
+        );
     }
 }

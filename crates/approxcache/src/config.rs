@@ -27,6 +27,10 @@ pub struct CostModel {
     pub lookup_per_entry: SimDuration,
     /// Cost of evaluating the IMU gate.
     pub gate_check: SimDuration,
+    /// Cost of the cheap scene-change check guarding the fast path (a
+    /// low-dimensional sketch of the frame, the simulator's analogue of
+    /// frame differencing).
+    pub scene_check: SimDuration,
 }
 
 impl Default for CostModel {
@@ -36,6 +40,7 @@ impl Default for CostModel {
             lookup_base: SimDuration::from_micros(150),
             lookup_per_entry: SimDuration::from_micros(2),
             gate_check: SimDuration::from_micros(80),
+            scene_check: SimDuration::from_micros(300),
         }
     }
 }
@@ -91,6 +96,34 @@ impl Default for PeerConfig {
     }
 }
 
+/// The cheap scene-change check that guards the IMU fast path.
+///
+/// "Inertially still" does not imply "scene unchanged": an occluder can
+/// walk into a stationary camera's view. Real systems guard reuse with a
+/// frame-differencing test; the simulator's analogue is a low-dimensional
+/// random-projection sketch of the frame descriptor, compared against the
+/// sketch taken when the previous result was last *validated*. A large
+/// distance demotes the fast path to a real cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneCheck {
+    /// Sketch dimensionality (small: the check must be much cheaper than
+    /// feature extraction).
+    pub sketch_dim: usize,
+    /// Sketch distance above which the scene is considered changed.
+    /// Same-subject re-renders of the default scene sit well below 10;
+    /// subject changes sit well above 15.
+    pub distance_threshold: f64,
+}
+
+impl Default for SceneCheck {
+    fn default() -> Self {
+        SceneCheck {
+            sketch_dim: 16,
+            distance_threshold: 12.0,
+        }
+    }
+}
+
 /// Periodic age-based cache expiry.
 ///
 /// In a drifting environment (lighting change, object churn) old entries
@@ -136,6 +169,12 @@ pub struct PipelineConfig {
     /// (still/handheld/walking/turning/vehicle) from each IMU window and
     /// swap in the per-activity gate preset, instead of one static gate.
     pub activity_adaptive_gate: bool,
+    /// Scene-change guard on the IMU fast path (None disables the check
+    /// and restores blind "still ⇒ reuse" behaviour).
+    pub scene_check: Option<SceneCheck>,
+    /// Per-device decision-trace ring capacity (None disables tracing;
+    /// the disabled path costs one branch per frame).
+    pub trace_capacity: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -158,6 +197,8 @@ impl PipelineConfig {
             expiry: None,
             adaptive: None,
             activity_adaptive_gate: false,
+            scene_check: Some(SceneCheck::default()),
+            trace_capacity: None,
         }
     }
 
@@ -165,8 +206,12 @@ impl PipelineConfig {
     /// the scenario's scene statistics (see [`calibrate_threshold_for`]).
     pub fn calibrated(scenario: &Scenario, seed: u64) -> PipelineConfig {
         let mut config = PipelineConfig::new();
-        let threshold = calibrate_threshold_for(&scenario.scene, config.key_dim,
-            config.projection_seed, seed);
+        let threshold = calibrate_threshold_for(
+            &scenario.scene,
+            config.key_dim,
+            config.projection_seed,
+            seed,
+        );
         config.cache = config.cache.with_aknn(AknnConfig {
             distance_threshold: threshold,
             ..AknnConfig::default()
@@ -237,6 +282,19 @@ impl PipelineConfig {
         self
     }
 
+    /// Replaces or disables the fast-path scene-change guard.
+    pub fn with_scene_check(mut self, scene_check: Option<SceneCheck>) -> PipelineConfig {
+        self.scene_check = scene_check;
+        self
+    }
+
+    /// Enables per-frame decision tracing with the given ring capacity
+    /// per device (None disables).
+    pub fn with_trace_capacity(mut self, capacity: Option<usize>) -> PipelineConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Builds the shared projection for this configuration over raw
     /// descriptors of `descriptor_dim`.
     pub fn build_projection(&self, descriptor_dim: usize) -> RandomProjection {
@@ -293,11 +351,7 @@ pub fn calibrate_threshold_for(
         same.push(features::distance::euclidean(&ka, &kb));
         // Cross-class pair: this object vs the next object of a different
         // class.
-        if let Some(other) = objects
-            .iter()
-            .skip(i + 1)
-            .find(|o| o.class != obj.class)
-        {
+        if let Some(other) = objects.iter().skip(i + 1).find(|o| o.class != obj.class) {
             let other_pose = imu::Pose {
                 x: other.x - 4.0,
                 y: other.y,

@@ -2,17 +2,26 @@
 
 use serde::{Deserialize, Serialize};
 
+use ann::MissReason;
 use dnnsim::{CascadeModel, DnnModel, EnergyModel, InferenceBackend, Radio};
 use features::{FeatureVector, RandomProjection};
 use imu::{GateDecision, ImuSample, MotionEstimator};
 use p2pnet::{P2pMessage, RemoteHit, Transport, WireEntry};
 use reuse::{ApproxCache, EntrySource, LookupResult, SharedCache};
 use scene::{ClassId, Frame};
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{
+    FrameTrace, SimDuration, SimRng, SimTime, TraceGate, TraceLookup, TraceMissReason, TracePath,
+    TracePeer, TraceRing,
+};
 use std::sync::Arc;
 
 use crate::baseline::{ExactCache, SystemVariant};
 use crate::config::PipelineConfig;
+
+/// Seed of the scene-change sketch projection. Deliberately a constant
+/// distinct from any key-projection seed: the sketch is a private
+/// change detector, not a shared key space.
+const SCENE_SKETCH_SEED: u64 = 0x5ce_17e;
 
 /// Identifier of a device within one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -146,6 +155,17 @@ pub struct Device {
     outcomes: Vec<FrameOutcome>,
     /// Entries queued for advertisement after the current frame.
     pending_advertisement: Option<WireEntry>,
+    /// Scene-change guard parameters (None when the check is off or the
+    /// variant has no fast path to guard).
+    scene_check: Option<crate::config::SceneCheck>,
+    /// The sketch projection backing the scene-change check.
+    scene_sketch: Option<RandomProjection>,
+    /// Sketch taken when the previous result was last validated.
+    validated_sketch: Option<FeatureVector>,
+    /// Sketch of the frame currently being processed.
+    frame_sketch: Option<FeatureVector>,
+    /// Per-frame decision traces (disabled ring unless configured).
+    trace: TraceRing,
 }
 
 impl std::fmt::Debug for Device {
@@ -194,6 +214,13 @@ impl Device {
             .peer
             .as_ref()
             .map_or_else(p2pnet::LinkSpec::ideal, |p| p.link);
+        // The guard only matters where a fast path exists to guard.
+        let scene_check = effective.scene_check.filter(|_| variant.imu_enabled());
+        let scene_sketch = scene_check
+            .map(|sc| RandomProjection::new(descriptor_dim, sc.sketch_dim, SCENE_SKETCH_SEED));
+        let trace = effective
+            .trace_capacity
+            .map_or_else(TraceRing::disabled, TraceRing::new);
         Device {
             id,
             variant,
@@ -221,6 +248,11 @@ impl Device {
             rng: SimRng::seed(seed).split_index("device", id.0 as u64),
             outcomes: Vec::new(),
             pending_advertisement: None,
+            scene_check,
+            scene_sketch,
+            validated_sketch: None,
+            frame_sketch: None,
+            trace,
         }
     }
 
@@ -269,6 +301,13 @@ impl Device {
         self.pending_advertisement.take()
     }
 
+    /// The per-frame decision trace ring (empty unless
+    /// [`PipelineConfig::trace_capacity`](crate::config::PipelineConfig::trace_capacity)
+    /// enabled it).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
     /// Processes one frame. `imu_window` holds the samples since the
     /// previous frame; `peers` are the caches of in-range devices, nearest
     /// first. Returns the recorded outcome.
@@ -286,17 +325,40 @@ impl Device {
         // path in a real app; the sweep itself is microseconds).
         if let Some(expiry) = self.expiry {
             if now.saturating_duration_since(self.last_expiry_sweep) >= expiry.interval {
-                self.cache.with(|c| c.expire_older_than(now, expiry.max_age));
+                self.cache
+                    .with(|c| c.expire_older_than(now, expiry.max_age));
                 self.last_expiry_sweep = now;
             }
         }
 
+        // Sketch for the scene-change guard: computed once per frame; the
+        // cost is charged to scene_check on the fast path and rides inside
+        // the feature-extraction budget everywhere else.
+        self.frame_sketch = self
+            .scene_sketch
+            .as_ref()
+            .map(|p| p.project(&frame.descriptor));
+
+        // Per-frame trace draft (cheap scalars; only materialized into the
+        // ring when tracing is enabled).
+        let mut draft = TraceDraft {
+            motion_score: 0.0,
+            cumulative_motion: 0.0,
+            gate: TraceGate::Disabled,
+            scene_changed: None,
+            local: TraceLookup::NotAttempted,
+            peer_attempts: 0,
+            peer_timeouts: 0,
+            peer_bytes_before: self.transport.counters().bytes_sent,
+        };
+
         // Tier 0: inertial gate.
-        let decision = if self.variant.imu_enabled() {
+        let mut decision = if self.variant.imu_enabled() {
             latency += self.costs.gate_check;
             energy_mj += self.energy.compute_energy_mj(self.costs.gate_check);
             let estimate = self.estimator.estimate(imu_window);
             self.motion_since_validation += estimate.motion_score();
+            draft.motion_score = estimate.motion_score();
             // Activity-adaptive gating: swap in the preset for the
             // current activity, keeping the configured reuse-age bound.
             if let Some(classifier) = &mut self.activity {
@@ -304,12 +366,37 @@ impl Device {
                 self.gate.still_threshold = preset.still_threshold;
                 self.gate.skip_threshold = preset.skip_threshold;
             }
-            let age = self.last_result.map(|(_, at)| now.saturating_duration_since(at));
+            let age = self
+                .last_result
+                .map(|(_, at)| now.saturating_duration_since(at));
             self.gate
                 .decide_with_history(&estimate, self.motion_since_validation, age)
         } else {
             GateDecision::LookupLocal
         };
+        draft.cumulative_motion = self.motion_since_validation;
+        draft.gate = trace_gate(decision, self.variant.imu_enabled());
+
+        // Scene-change guard: "inertially still" does not imply "scene
+        // unchanged" — an occluder can walk into a stationary view. A
+        // cheap sketch comparison against the last *validated* frame
+        // demotes the fast path to a real lookup when the view moved.
+        if decision == GateDecision::ReusePrevious {
+            if let Some(check) = self.scene_check {
+                latency += self.costs.scene_check;
+                energy_mj += self.energy.compute_energy_mj(self.costs.scene_check);
+                let changed = match (&self.validated_sketch, &self.frame_sketch) {
+                    (Some(prev), Some(current)) => {
+                        features::distance::euclidean(prev, current) > check.distance_threshold
+                    }
+                    _ => false,
+                };
+                draft.scene_changed = Some(changed);
+                if changed {
+                    decision = GateDecision::LookupLocal;
+                }
+            }
+        }
 
         if decision == GateDecision::ReusePrevious {
             let (label, _) = self.last_result.expect("gate verified a previous result");
@@ -321,7 +408,7 @@ impl Device {
                 energy_mj,
                 path: ResolutionPath::ImuReuse,
             };
-            self.finish(outcome, label, now);
+            self.finish(outcome, label, now, draft);
             return outcome;
         }
 
@@ -332,7 +419,9 @@ impl Device {
 
         // Tier 1: local cache (approximate or exact depending on variant).
         if decision != GateDecision::SkipLocal {
-            if let Some((label, cost)) = self.local_lookup(&key, now) {
+            let (hit, lookup_trace) = self.local_lookup(&key, now);
+            draft.local = lookup_trace;
+            if let Some((label, cost)) = hit {
                 latency += cost;
                 energy_mj += self.energy.compute_energy_mj(cost);
                 // Sampled audit: run the DNN anyway and use the
@@ -362,7 +451,7 @@ impl Device {
                         energy_mj,
                         path: ResolutionPath::FullInference,
                     };
-                    self.finish(outcome, inference.label, now);
+                    self.finish(outcome, inference.label, now, draft);
                     return outcome;
                 }
                 let outcome = FrameOutcome {
@@ -373,7 +462,7 @@ impl Device {
                     energy_mj,
                     path: ResolutionPath::LocalCache,
                 };
-                self.finish(outcome, label, now);
+                self.finish(outcome, label, now, draft);
                 return outcome;
             } else {
                 let cost = self.local_lookup_cost();
@@ -403,14 +492,14 @@ impl Device {
                     key: key.clone(),
                 };
                 self.next_query_id += 1;
+                draft.peer_attempts += 1;
                 let hit = remote_lookup(peer_cache, &key, now);
-                let reply = P2pMessage::Reply {
-                    query_id: 0,
-                    hit,
-                };
-                let rtt =
-                    self.transport
-                        .round_trip(query.encoded_len(), reply.encoded_len(), &mut self.rng);
+                let reply = P2pMessage::Reply { query_id: 0, hit };
+                let rtt = self.transport.round_trip(
+                    query.encoded_len(),
+                    reply.encoded_len(),
+                    &mut self.rng,
+                );
                 energy_mj += self
                     .energy
                     .radio_energy_mj(radio, query.encoded_len() + reply.encoded_len());
@@ -419,6 +508,7 @@ impl Device {
                         // A lost exchange still consumed the expected
                         // air time from the budget's perspective.
                         peer_latency_spent += expected_rtt;
+                        draft.peer_timeouts += 1;
                         continue; // counts as a peer miss
                     }
                     Some(rtt) => {
@@ -443,7 +533,7 @@ impl Device {
                                 energy_mj,
                                 path: ResolutionPath::PeerCache,
                             };
-                            self.finish(outcome, label, now);
+                            self.finish(outcome, label, now, draft);
                             return outcome;
                         }
                     }
@@ -491,7 +581,7 @@ impl Device {
             energy_mj,
             path: ResolutionPath::FullInference,
         };
-        self.finish(outcome, inference.label, now);
+        self.finish(outcome, inference.label, now, draft);
         outcome
     }
 
@@ -521,18 +611,43 @@ impl Device {
         delay
     }
 
-    fn local_lookup(&mut self, key: &FeatureVector, now: SimTime) -> Option<(ClassId, SimDuration)> {
+    fn local_lookup(
+        &mut self,
+        key: &FeatureVector,
+        now: SimTime,
+    ) -> (Option<(ClassId, SimDuration)>, TraceLookup) {
         if !self.variant.local_cache_enabled() {
-            return None;
+            return (None, TraceLookup::NotAttempted);
         }
         if self.variant.exact_match_only() {
             let cost = self.costs.lookup_base;
-            return self.exact_cache.lookup(key).map(|label| (label, cost));
+            return match self.exact_cache.lookup(key) {
+                Some(label) => (Some((label, cost)), TraceLookup::Hit { distance: 0.0 }),
+                None => {
+                    let reason = if self.exact_cache.is_empty() {
+                        TraceMissReason::EmptyIndex
+                    } else {
+                        // No in-threshold neighbour exists by definition:
+                        // an exact cache's threshold is zero.
+                        TraceMissReason::TooFar
+                    };
+                    (None, TraceLookup::Miss(reason))
+                }
+            };
         }
         let cost = self.local_lookup_cost();
         match self.cache.lookup(key, now) {
-            LookupResult::Hit { label, .. } => Some((label, cost)),
-            LookupResult::Miss(_) => None,
+            LookupResult::Hit {
+                label,
+                nearest_distance,
+                ..
+            } => (
+                Some((label, cost)),
+                TraceLookup::Hit {
+                    distance: nearest_distance,
+                },
+            ),
+            LookupResult::Miss(reason) => (None, TraceLookup::Miss(trace_miss(reason))),
         }
     }
 
@@ -551,12 +666,17 @@ impl Device {
         if self.variant.exact_match_only() {
             self.exact_cache.insert(key, label);
         } else {
-            self.cache
-                .insert(key.clone(), label, confidence, EntrySource::LocalInference, now);
+            self.cache.insert(
+                key.clone(),
+                label,
+                confidence,
+                EntrySource::LocalInference,
+                now,
+            );
         }
     }
 
-    fn finish(&mut self, outcome: FrameOutcome, label: ClassId, now: SimTime) {
+    fn finish(&mut self, outcome: FrameOutcome, label: ClassId, now: SimTime, draft: TraceDraft) {
         if outcome.path == ResolutionPath::ImuReuse {
             // Echoing does not re-validate: keep the previous validation
             // instant so max_reuse_age eventually forces a real lookup.
@@ -565,8 +685,77 @@ impl Device {
         } else {
             self.last_result = Some((label, now));
             self.motion_since_validation = 0.0;
+            // The scene reference follows validation, not echoes: the
+            // guard compares against the view the label was earned on.
+            if self.frame_sketch.is_some() {
+                self.validated_sketch = self.frame_sketch.take();
+            }
+        }
+        if self.trace.is_enabled() {
+            // Peer bytes come from the transport's own counters — the
+            // same registry the run report aggregates — so the trace can
+            // never disagree with the counters.
+            let bytes = self.transport.counters().bytes_sent - draft.peer_bytes_before;
+            self.trace.record(FrameTrace {
+                at: outcome.at,
+                motion_score: draft.motion_score,
+                cumulative_motion: draft.cumulative_motion,
+                gate: draft.gate,
+                scene_changed: draft.scene_changed,
+                local: draft.local,
+                peer: TracePeer {
+                    attempts: draft.peer_attempts,
+                    timeouts: draft.peer_timeouts,
+                    bytes,
+                },
+                path: trace_path(outcome.path),
+                latency: outcome.latency,
+                energy_mj: outcome.energy_mj,
+            });
         }
         self.outcomes.push(outcome);
+    }
+}
+
+/// The per-frame trace fields accumulated while a frame walks the tiers.
+struct TraceDraft {
+    motion_score: f64,
+    cumulative_motion: f64,
+    gate: TraceGate,
+    scene_changed: Option<bool>,
+    local: TraceLookup,
+    peer_attempts: u32,
+    peer_timeouts: u32,
+    peer_bytes_before: u64,
+}
+
+fn trace_gate(decision: GateDecision, imu_enabled: bool) -> TraceGate {
+    if !imu_enabled {
+        return TraceGate::Disabled;
+    }
+    match decision {
+        GateDecision::ReusePrevious => TraceGate::ReusePrevious,
+        GateDecision::LookupLocal => TraceGate::LookupLocal,
+        GateDecision::SkipLocal => TraceGate::SkipLocal,
+    }
+}
+
+fn trace_miss(reason: MissReason) -> TraceMissReason {
+    match reason {
+        MissReason::EmptyIndex => TraceMissReason::EmptyIndex,
+        MissReason::TooFar => TraceMissReason::TooFar,
+        MissReason::NotHomogeneous => TraceMissReason::NotHomogeneous,
+        MissReason::InsufficientSupport => TraceMissReason::InsufficientSupport,
+    }
+}
+
+/// Maps the pipeline's resolution vocabulary onto the trace substrate's.
+pub fn trace_path(path: ResolutionPath) -> TracePath {
+    match path {
+        ResolutionPath::ImuReuse => TracePath::ImuFastPath,
+        ResolutionPath::LocalCache => TracePath::LocalHit,
+        ResolutionPath::PeerCache => TracePath::PeerHit,
+        ResolutionPath::FullInference => TracePath::Infer,
     }
 }
 
@@ -654,7 +843,12 @@ mod tests {
     fn first_frame_runs_inference() {
         let u = universe();
         let mut d = device(SystemVariant::Full, &u);
-        let outcome = d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &still_window(0), &[], SimTime::ZERO);
+        let outcome = d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &still_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         assert_eq!(outcome.path, ResolutionPath::FullInference);
         assert!(outcome.latency.as_millis() > 20, "DNN latency dominates");
     }
@@ -663,7 +857,12 @@ mod tests {
     fn still_device_takes_imu_fast_path() {
         let u = universe();
         let mut d = device(SystemVariant::Full, &u);
-        d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         let t1 = SimTime::from_millis(100);
         let outcome = d.process_frame(&frame_for(&u, 0, t1), &still_window(100), &[], t1);
         assert_eq!(outcome.path, ResolutionPath::ImuReuse);
@@ -675,11 +874,15 @@ mod tests {
     fn moving_device_hits_local_cache() {
         let u = universe();
         let mut d = device(SystemVariant::Full, &u);
-        d.process_frame(&frame_for(&u, 0, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         // Moving (so no fast path) but looking at the same subject.
         let t1 = SimTime::from_millis(100);
-        let outcome =
-            d.process_frame(&frame_for(&u, 0, t1), &moving_window(100), &[], t1);
+        let outcome = d.process_frame(&frame_for(&u, 0, t1), &moving_window(100), &[], t1);
         assert_eq!(outcome.path, ResolutionPath::LocalCache);
         assert!(outcome.latency < SimDuration::from_millis(10));
     }
@@ -688,7 +891,12 @@ mod tests {
     fn peer_cache_answers_before_inference() {
         let u = universe();
         let mut warm = device(SystemVariant::Full, &u);
-        warm.process_frame(&frame_for(&u, 3, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         let mut cold = Device::new(
             DeviceId(1),
             SystemVariant::Full,
@@ -710,8 +918,7 @@ mod tests {
         assert!(outcome.latency < SimDuration::from_millis(30));
         // The adopted entry serves the next frame locally.
         let t2 = SimTime::from_millis(200);
-        let outcome2 =
-            cold.process_frame(&frame_for(&u, 3, t2), &moving_window(200), &[], t2);
+        let outcome2 = cold.process_frame(&frame_for(&u, 3, t2), &moving_window(200), &[], t2);
         assert_eq!(outcome2.path, ResolutionPath::LocalCache);
     }
 
@@ -730,7 +937,12 @@ mod tests {
     fn inference_queues_an_advertisement() {
         let u = universe();
         let mut d = device(SystemVariant::Full, &u);
-        d.process_frame(&frame_for(&u, 2, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        d.process_frame(
+            &frame_for(&u, 2, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         let ad = d.take_advertisement().expect("inference advertises");
         assert_eq!(ad.key.dim(), 64);
         assert!(d.take_advertisement().is_none(), "taken once");
@@ -740,7 +952,12 @@ mod tests {
     fn received_advertisement_warms_cache() {
         let u = universe();
         let mut producer = device(SystemVariant::Full, &u);
-        producer.process_frame(&frame_for(&u, 4, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        producer.process_frame(
+            &frame_for(&u, 4, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         let ad = producer.take_advertisement().unwrap();
         let mut consumer = Device::new(
             DeviceId(1),
@@ -752,8 +969,7 @@ mod tests {
         );
         consumer.receive_advertisement(&ad, SimTime::from_millis(50));
         let t = SimTime::from_millis(100);
-        let outcome =
-            consumer.process_frame(&frame_for(&u, 4, t), &moving_window(100), &[], t);
+        let outcome = consumer.process_frame(&frame_for(&u, 4, t), &moving_window(100), &[], t);
         assert_eq!(outcome.path, ResolutionPath::LocalCache);
     }
 
@@ -777,7 +993,12 @@ mod tests {
         // (budget 190 ms). The budget guard must make that call.
         let u = universe();
         let mut warm = device(SystemVariant::Full, &u);
-        warm.process_frame(&frame_for(&u, 3, SimTime::ZERO), &moving_window(0), &[], SimTime::ZERO);
+        warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
         let warm_cache = warm.cache().clone();
 
         let mut ble_config = PipelineConfig::new();
@@ -786,24 +1007,20 @@ mod tests {
         // Fast model: no peer traffic at all.
         let mut fast = Device::new(DeviceId(1), SystemVariant::Full, &ble_config, &u, 256, 99);
         let t = SimTime::from_millis(100);
-        let outcome = fast.process_frame(
-            &frame_for(&u, 3, t),
-            &moving_window(100),
-            &[&warm_cache],
-            t,
-        );
+        let outcome =
+            fast.process_frame(&frame_for(&u, 3, t), &moving_window(100), &[&warm_cache], t);
         assert_eq!(outcome.path, ResolutionPath::FullInference);
-        assert_eq!(fast.transport_counters().messages_sent, 0, "BLE query skipped");
+        assert_eq!(
+            fast.transport_counters().messages_sent,
+            0,
+            "BLE query skipped"
+        );
 
         // Heavy model: the same query is worth it.
         let heavy_config = ble_config.clone().with_model(dnnsim::zoo::resnet50());
         let mut heavy = Device::new(DeviceId(2), SystemVariant::Full, &heavy_config, &u, 256, 99);
-        let outcome = heavy.process_frame(
-            &frame_for(&u, 3, t),
-            &moving_window(100),
-            &[&warm_cache],
-            t,
-        );
+        let outcome =
+            heavy.process_frame(&frame_for(&u, 3, t), &moving_window(100), &[&warm_cache], t);
         assert_eq!(outcome.path, ResolutionPath::PeerCache);
         assert!(heavy.transport_counters().messages_sent >= 2);
     }
@@ -831,7 +1048,12 @@ mod tests {
         for i in 0..200u64 {
             let t = SimTime::from_millis(i * 100);
             // Rotate subjects so loose-threshold hits are usually wrong.
-            d.process_frame(&frame_for(&u, (i % 20) as u32, t), &moving_window(i * 100), &[], t);
+            d.process_frame(
+                &frame_for(&u, (i % 20) as u32, t),
+                &moving_window(i * 100),
+                &[],
+                t,
+            );
         }
         let controller = d.adaptive().expect("adaptation enabled");
         assert!(controller.audits > 10, "audits {}", controller.audits);
@@ -851,5 +1073,105 @@ mod tests {
         assert_eq!(DeviceId(3).to_string(), "device-3");
         assert_eq!(ResolutionPath::ImuReuse.to_string(), "imu-reuse");
         assert_eq!(ResolutionPath::all().len(), 4);
+    }
+
+    #[test]
+    fn trace_is_disabled_by_default() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &still_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        assert!(!d.trace().is_enabled());
+        assert!(d.trace().is_empty());
+    }
+
+    #[test]
+    fn stationary_run_traces_infer_then_imu_fast_path() {
+        let u = universe();
+        let config = PipelineConfig::new().with_trace_capacity(Some(16));
+        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 99);
+        for i in 0..3u64 {
+            let t = SimTime::from_millis(i * 100);
+            d.process_frame(&frame_for(&u, 0, t), &still_window(i * 100), &[], t);
+        }
+        let traces = d.trace().to_vec();
+        let paths: Vec<simcore::TracePath> = traces.iter().map(|t| t.path).collect();
+        assert_eq!(
+            paths,
+            vec![
+                simcore::TracePath::Infer,
+                simcore::TracePath::ImuFastPath,
+                simcore::TracePath::ImuFastPath,
+            ]
+        );
+        // The first frame has no model to reuse: the gate demands a
+        // lookup and the empty cache reports an empty-index miss.
+        assert_eq!(traces[0].gate, simcore::TraceGate::LookupLocal);
+        assert_eq!(
+            traces[0].local,
+            simcore::TraceLookup::Miss(simcore::TraceMissReason::EmptyIndex)
+        );
+        assert!(traces[0].latency.as_millis() > 20);
+        // Fast-path frames skip the lookup entirely but pass the
+        // scene-change check.
+        for t in &traces[1..] {
+            assert_eq!(t.gate, simcore::TraceGate::ReusePrevious);
+            assert_eq!(t.scene_changed, Some(false));
+            assert_eq!(t.local, simcore::TraceLookup::NotAttempted);
+            assert_eq!(t.peer, simcore::TracePeer::default());
+        }
+    }
+
+    #[test]
+    fn trace_records_local_hit_distance_and_peer_attempts() {
+        let u = universe();
+        let config = PipelineConfig::new().with_trace_capacity(Some(16));
+        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 99);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let t1 = SimTime::from_millis(100);
+        d.process_frame(&frame_for(&u, 0, t1), &moving_window(100), &[], t1);
+        let traces = d.trace().to_vec();
+        assert_eq!(traces.len(), 2);
+        match traces[1].local {
+            simcore::TraceLookup::Hit { distance } => assert!(distance >= 0.0),
+            other => panic!("second frame should hit locally, got {other:?}"),
+        }
+        assert_eq!(traces[1].path, simcore::TracePath::LocalHit);
+
+        // A cold device with a warm peer records the peer attempt and
+        // the bytes it cost.
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let warm_cache = warm.cache().clone();
+        let mut cold = Device::new(DeviceId(1), SystemVariant::Full, &config, &u, 256, 99);
+        let outcome = cold.process_frame(
+            &frame_for(&u, 3, t1),
+            &moving_window(100),
+            &[&warm_cache],
+            t1,
+        );
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+        let trace = cold.trace().to_vec()[0];
+        assert_eq!(trace.path, simcore::TracePath::PeerHit);
+        assert_eq!(trace.peer.attempts, 1);
+        assert_eq!(trace.peer.timeouts, 0);
+        assert!(
+            trace.peer.bytes > 0,
+            "peer bytes must come from the transport counters"
+        );
     }
 }

@@ -53,4 +53,4 @@ pub use baseline::SystemVariant;
 pub use config::{CacheExpiry, CostModel, PeerConfig, PipelineConfig};
 pub use device::{Device, DeviceId, FrameOutcome, ResolutionPath};
 pub use report::RunReport;
-pub use sim::{run_scenario, ChurnSpec, Scenario};
+pub use sim::{run_scenario, run_scenario_detailed, ChurnSpec, Scenario, SimResult};

@@ -31,6 +31,13 @@ pub struct RunReport {
     /// Mean per-frame latency (ms) of each path, same order as
     /// `path_counts` (0.0 for paths that served no frames).
     pub path_mean_latency_ms: [f64; 4],
+    /// Full per-path latency distributions (ms), same order as
+    /// `path_counts` (zero-count summaries for paths that served
+    /// nothing).
+    pub path_latency_summary: [Summary; 4],
+    /// Full per-path energy distributions (mJ/frame), same order as
+    /// `path_counts`.
+    pub path_energy_summary: [Summary; 4],
     /// Merged cache statistics across devices.
     pub cache: CacheStats,
     /// Merged network counters across devices.
@@ -58,27 +65,23 @@ impl RunReport {
         network: TransportCounters,
     ) -> RunReport {
         assert!(!outcomes.is_empty(), "from_outcomes: no frames processed");
-        let latencies_ms: Vec<f64> = outcomes
-            .iter()
-            .map(|o| o.latency.as_millis_f64())
-            .collect();
+        let latencies_ms: Vec<f64> = outcomes.iter().map(|o| o.latency.as_millis_f64()).collect();
         let correct = outcomes.iter().filter(|o| o.is_correct()).count();
         let mut path_counts = [0u64; 4];
-        let mut path_latency_sums = [0.0f64; 4];
+        let mut path_latencies: [Vec<f64>; 4] = Default::default();
+        let mut path_energies: [Vec<f64>; 4] = Default::default();
         for o in outcomes {
             let idx = ResolutionPath::all()
                 .iter()
                 .position(|p| *p == o.path)
                 .expect("all paths enumerated");
             path_counts[idx] += 1;
-            path_latency_sums[idx] += o.latency.as_millis_f64();
+            path_latencies[idx].push(o.latency.as_millis_f64());
+            path_energies[idx].push(o.energy_mj);
         }
-        let mut path_mean_latency_ms = [0.0f64; 4];
-        for i in 0..4 {
-            if path_counts[i] > 0 {
-                path_mean_latency_ms[i] = path_latency_sums[i] / path_counts[i] as f64;
-            }
-        }
+        let path_latency_summary = [0, 1, 2, 3].map(|i| Summary::from_samples(&path_latencies[i]));
+        let path_energy_summary = [0, 1, 2, 3].map(|i| Summary::from_samples(&path_energies[i]));
+        let path_mean_latency_ms = path_latency_summary.map(|s| s.mean);
         let mean_energy_mj =
             outcomes.iter().map(|o| o.energy_mj).sum::<f64>() / outcomes.len() as f64;
         let first = outcomes.iter().map(|o| o.at).min().expect("non-empty");
@@ -94,6 +97,8 @@ impl RunReport {
             mean_energy_mj,
             path_counts,
             path_mean_latency_ms,
+            path_latency_summary,
+            path_energy_summary,
             cache,
             network,
             latencies_ms,
@@ -129,6 +134,50 @@ impl RunReport {
             .position(|p| *p == path)
             .expect("all paths enumerated");
         self.path_mean_latency_ms[idx]
+    }
+
+    /// The full latency distribution (ms) of frames answered by `path`.
+    pub fn path_latency_stats(&self, path: ResolutionPath) -> &Summary {
+        let idx = ResolutionPath::all()
+            .iter()
+            .position(|p| *p == path)
+            .expect("all paths enumerated");
+        &self.path_latency_summary[idx]
+    }
+
+    /// The full energy distribution (mJ/frame) of frames answered by
+    /// `path`.
+    pub fn path_energy_stats(&self, path: ResolutionPath) -> &Summary {
+        let idx = ResolutionPath::all()
+            .iter()
+            .position(|p| *p == path)
+            .expect("all paths enumerated");
+        &self.path_energy_summary[idx]
+    }
+
+    /// The cache-miss breakdown by reason, derived from the merged cache
+    /// statistics (the single registry the per-frame traces also feed).
+    pub fn miss_breakdown(&self) -> [(&'static str, u64); 4] {
+        [
+            ("empty-index", self.cache.miss_empty),
+            ("too-far", self.cache.miss_too_far),
+            ("not-homogeneous", self.cache.miss_not_homogeneous),
+            ("insufficient-support", self.cache.miss_insufficient_support),
+        ]
+    }
+
+    /// The whole report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Writes the report as `<scenario>-<variant>.json` under `dir`
+    /// (created if missing), returning the written path.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}-{}.json", self.scenario, self.variant));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
     }
 
     /// Mean-latency reduction relative to a baseline run:
@@ -169,7 +218,10 @@ impl RunReport {
     ///
     /// Panics if `capacity_mwh` is not positive.
     pub fn battery_pct_per_hour(&self, capacity_mwh: f64) -> f64 {
-        assert!(capacity_mwh > 0.0, "battery_pct_per_hour: capacity must be positive");
+        assert!(
+            capacity_mwh > 0.0,
+            "battery_pct_per_hour: capacity must be positive"
+        );
         self.device_power_mw() / capacity_mwh * 100.0
     }
 }
@@ -200,6 +252,11 @@ impl std::fmt::Display for RunReport {
             self.path_fraction(ResolutionPath::LocalCache) * 100.0,
             self.path_fraction(ResolutionPath::PeerCache) * 100.0,
             self.path_fraction(ResolutionPath::FullInference) * 100.0
+        )?;
+        let [(_, empty), (_, far), (_, hetero), (_, support)] = self.miss_breakdown();
+        writeln!(
+            f,
+            "  misses: empty {empty} far {far} hetero {hetero} support {support}"
         )
     }
 }
@@ -325,5 +382,86 @@ mod tests {
     #[should_panic(expected = "no frames")]
     fn empty_outcomes_rejected() {
         report(&[]);
+    }
+
+    #[test]
+    fn per_path_summaries_cover_only_their_frames() {
+        let outcomes = vec![
+            outcome(ResolutionPath::FullInference, 80, true),
+            outcome(ResolutionPath::FullInference, 120, true),
+            outcome(ResolutionPath::LocalCache, 4, true),
+        ];
+        let r = report(&outcomes);
+        let dnn = r.path_latency_stats(ResolutionPath::FullInference);
+        assert_eq!(dnn.count, 2);
+        assert!((dnn.mean - 100.0).abs() < 1e-9);
+        assert!((dnn.min - 80.0).abs() < 1e-9);
+        assert!((dnn.max - 120.0).abs() < 1e-9);
+        let local = r.path_latency_stats(ResolutionPath::LocalCache);
+        assert_eq!(local.count, 1);
+        assert!((local.mean - 4.0).abs() < 1e-9);
+        // Paths that never resolved a frame report an empty summary.
+        let peer = r.path_latency_stats(ResolutionPath::PeerCache);
+        assert_eq!(peer.count, 0);
+        assert_eq!(peer.mean, 0.0);
+        let energy = r.path_energy_stats(ResolutionPath::FullInference);
+        assert_eq!(energy.count, 2);
+        assert!((energy.mean - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_breakdown_mirrors_cache_stats() {
+        let cache = CacheStats {
+            lookups: 5,
+            hits: 1,
+            miss_too_far: 2,
+            miss_empty: 1,
+            miss_insufficient_support: 1,
+            ..CacheStats::default()
+        };
+        let r = RunReport::from_outcomes(
+            "test",
+            "full",
+            1,
+            &[outcome(ResolutionPath::LocalCache, 4, true)],
+            cache,
+            TransportCounters::default(),
+        );
+        let breakdown = r.miss_breakdown();
+        assert_eq!(breakdown[0], ("empty-index", 1));
+        assert_eq!(breakdown[1], ("too-far", 2));
+        assert_eq!(breakdown[2], ("not-homogeneous", 0));
+        assert_eq!(breakdown[3], ("insufficient-support", 1));
+        let total: u64 = breakdown.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, cache.misses());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(&[
+            outcome(ResolutionPath::LocalCache, 4, true),
+            outcome(ResolutionPath::FullInference, 80, true),
+        ]);
+        let json = r.to_json();
+        assert!(json.contains("\"path_latency_summary\""));
+        let back: RunReport = serde_json::from_str(&json).expect("json parses");
+        assert_eq!(back.frames, r.frames);
+        assert_eq!(back.path_counts, r.path_counts);
+        assert!((back.latency_ms.mean - r.latency_ms.mean).abs() < 1e-9);
+        assert_eq!(
+            back.path_latency_stats(ResolutionPath::LocalCache).count,
+            r.path_latency_stats(ResolutionPath::LocalCache).count
+        );
+    }
+
+    #[test]
+    fn write_json_names_file_after_scenario_and_variant() {
+        let r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        let dir = std::env::temp_dir().join("approxcache-report-test");
+        let path = r.write_json(&dir).expect("write succeeds");
+        assert!(path.ends_with("test-full.json"));
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"frames\": 1"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -131,7 +131,10 @@ impl Scenario {
     pub fn validate(&self) {
         assert!(self.devices > 0, "Scenario: devices must be positive");
         assert!(self.fps > 0.0, "Scenario: fps must be positive");
-        assert!(self.imu_rate_hz > 0.0, "Scenario: imu_rate_hz must be positive");
+        assert!(
+            self.imu_rate_hz > 0.0,
+            "Scenario: imu_rate_hz must be positive"
+        );
         assert!(
             !self.duration.is_zero(),
             "Scenario: duration must be positive"
@@ -141,10 +144,16 @@ impl Scenario {
                 (0.0..=1.0).contains(&churn.fraction),
                 "Scenario: churn fraction must be in [0, 1]"
             );
-            assert!(!churn.interval.is_zero(), "Scenario: churn interval must be positive");
+            assert!(
+                !churn.interval.is_zero(),
+                "Scenario: churn interval must be positive"
+            );
         }
         if let Some(classes) = &self.device_classes {
-            assert!(!classes.is_empty(), "Scenario: device_classes must be non-empty");
+            assert!(
+                !classes.is_empty(),
+                "Scenario: device_classes must be non-empty"
+            );
         }
         self.scene.validate();
     }
@@ -158,6 +167,9 @@ pub struct SimResult {
     pub report: RunReport,
     /// Each device's per-frame log.
     pub per_device: Vec<Vec<FrameOutcome>>,
+    /// Each device's decision trace (empty unless the pipeline config
+    /// sets a `trace_capacity`).
+    pub traces: Vec<Vec<simcore::FrameTrace>>,
 }
 
 /// Runs `scenario` under `variant` and returns the aggregate report.
@@ -232,7 +244,11 @@ pub fn run_scenario_detailed(
         .as_ref()
         .and_then(|p| p.discovery)
         .filter(|_| variant.peers_enabled() && scenario.devices > 1)
-        .map(|d| (0..scenario.devices).map(|_| p2pnet::Discovery::new(d)).collect());
+        .map(|d| {
+            (0..scenario.devices)
+                .map(|_| p2pnet::Discovery::new(d))
+                .collect()
+        });
     let mut beacon_rng = root.split("beacons");
 
     let frame_interval = SimDuration::from_secs_f64(1.0 / scenario.fps);
@@ -385,19 +401,16 @@ pub fn run_scenario_detailed(
         cache,
         network,
     );
+    let traces = devices.iter().map(|d| d.trace().to_vec()).collect();
     SimResult {
         report,
         per_device: devices.into_iter().map(|d| d.outcomes().to_vec()).collect(),
+        traces,
     }
 }
 
 /// The IMU samples strictly after `from` and at or before `to`.
-fn window_of(
-    stream: &[ImuSample],
-    from: SimTime,
-    to: SimTime,
-    rate_hz: f64,
-) -> &[ImuSample] {
+fn window_of(stream: &[ImuSample], from: SimTime, to: SimTime, rate_hz: f64) -> &[ImuSample] {
     let start = ((from.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
     let end = ((to.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
     &stream[start.min(end)..end]
@@ -443,7 +456,11 @@ mod tests {
         let reduction = full.latency_reduction_vs(&base);
         assert!(reduction > 0.5, "latency reduction {reduction}");
         // And accuracy stays close.
-        assert!(full.accuracy_delta_vs(&base) > -0.12, "{}", full.accuracy_delta_vs(&base));
+        assert!(
+            full.accuracy_delta_vs(&base) > -0.12,
+            "{}",
+            full.accuracy_delta_vs(&base)
+        );
     }
 
     #[test]
@@ -522,8 +539,8 @@ mod tests {
         // front of the big one, at comparable accuracy.
         let scenario = Scenario::single_device(MotionProfile::Walking { speed_mps: 1.4 })
             .with_duration(SimDuration::from_secs(10));
-        let big_only = PipelineConfig::calibrated(&scenario, 15)
-            .with_model(dnnsim::zoo::inception_v3());
+        let big_only =
+            PipelineConfig::calibrated(&scenario, 15).with_model(dnnsim::zoo::inception_v3());
         let cascaded = big_only
             .clone()
             .with_cascade(dnnsim::zoo::squeezenet(), 0.8);
@@ -541,10 +558,13 @@ mod tests {
 
     #[test]
     fn compressed_advertisements_save_bytes_without_losing_reuse() {
-        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
-            dwell_secs: 3.0,
-            turn_deg: 45.0,
-        }, 6)
+        let scenario = Scenario::multi_device(
+            MotionProfile::TurnAndLook {
+                dwell_secs: 3.0,
+                turn_deg: 45.0,
+            },
+            6,
+        )
         .with_duration(SimDuration::from_secs(8));
         let config = PipelineConfig::calibrated(&scenario, 14);
         let float_run = run_scenario(&scenario, &config, SystemVariant::Full, 14);
@@ -575,10 +595,13 @@ mod tests {
         // budget phone's misses are often answered by someone else's
         // (cheap) inference instead of its own (expensive) one.
         use dnnsim::DeviceClass;
-        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
-            dwell_secs: 3.0,
-            turn_deg: 45.0,
-        }, 6)
+        let scenario = Scenario::multi_device(
+            MotionProfile::TurnAndLook {
+                dwell_secs: 3.0,
+                turn_deg: 45.0,
+            },
+            6,
+        )
         .with_duration(SimDuration::from_secs(8))
         .with_device_classes(vec![DeviceClass::Budget, DeviceClass::Flagship]);
         let config = PipelineConfig::calibrated(&scenario, 13);
@@ -630,10 +653,13 @@ mod tests {
 
     #[test]
     fn beacon_discovery_finds_peers_and_costs_bytes() {
-        let scenario = Scenario::multi_device(MotionProfile::TurnAndLook {
-            dwell_secs: 3.0,
-            turn_deg: 45.0,
-        }, 4)
+        let scenario = Scenario::multi_device(
+            MotionProfile::TurnAndLook {
+                dwell_secs: 3.0,
+                turn_deg: 45.0,
+            },
+            4,
+        )
         .with_duration(SimDuration::from_secs(8));
         let mut config = PipelineConfig::calibrated(&scenario, 8);
         let peer = config.peer.as_mut().expect("peers enabled");
@@ -673,6 +699,22 @@ mod tests {
             oracle.reuse_rate(),
             discovered.reuse_rate()
         );
+    }
+
+    #[test]
+    fn traces_are_empty_unless_enabled() {
+        let scenario = quick(MotionProfile::Stationary);
+        let config = PipelineConfig::calibrated(&scenario, 30);
+        let plain = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 30);
+        assert_eq!(plain.traces.len(), 1);
+        assert!(plain.traces[0].is_empty());
+
+        let traced_config = config.with_trace_capacity(Some(4096));
+        let traced = run_scenario_detailed(&scenario, &traced_config, SystemVariant::Full, 30);
+        assert_eq!(traced.traces[0].len(), traced.report.frames);
+        // Tracing must not perturb the run itself.
+        assert_eq!(traced.report.path_counts, plain.report.path_counts);
+        assert_eq!(traced.report.latencies_ms, plain.report.latencies_ms);
     }
 
     #[test]

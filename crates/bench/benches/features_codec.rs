@@ -70,7 +70,11 @@ fn bench_codec(c: &mut Criterion) {
             })
             .collect(),
     };
-    for (name, message) in [("query", &query), ("reply", &reply), ("advertise4", &advertise)] {
+    for (name, message) in [
+        ("query", &query),
+        ("reply", &reply),
+        ("advertise4", &advertise),
+    ] {
         let encoded = message.encode();
         group.bench_function(format!("encode_{name}"), |b| {
             b.iter(|| black_box(message.encode()));

@@ -58,6 +58,34 @@ fn bench_process_frame(c: &mut Criterion) {
         });
     });
 
+    // Identical to hit_path but with the decision trace enabled: the
+    // delta between the two is the cost of tracing (the default-off
+    // ring must cost nothing; this pins the enabled cost too).
+    group.bench_function("hit_path_traced", |b| {
+        let traced_config = PipelineConfig::new().with_trace_capacity(Some(4096));
+        let mut device = Device::new(
+            DeviceId(0),
+            SystemVariant::Full,
+            &traced_config,
+            &universe,
+            256,
+            1,
+        );
+        device.process_frame(
+            &frame_for(&universe, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let mut t = 1u64;
+        b.iter(|| {
+            let now = SimTime::from_millis(t * 100);
+            let frame = frame_for(&universe, 0, now);
+            t += 1;
+            black_box(device.process_frame(&frame, &moving_window(t * 100), &[], now))
+        });
+    });
+
     group.bench_function("miss_path", |b| {
         let mut device = Device::new(
             DeviceId(0),

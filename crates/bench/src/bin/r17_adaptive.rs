@@ -3,8 +3,8 @@
 //! controller recover accuracy, compared against the same miscalibration
 //! without adaptation and against an offline-calibrated reference.
 
-use approxcache::{run_scenario, AdaptiveConfig, PipelineConfig, SystemVariant};
 use ann::AknnConfig;
+use approxcache::{run_scenario, AdaptiveConfig, PipelineConfig, SystemVariant};
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::video;

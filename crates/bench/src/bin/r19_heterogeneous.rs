@@ -49,8 +49,11 @@ fn main() {
                 .flatten()
                 .collect();
             let n = outcomes.len() as f64;
-            let mean_ms =
-                outcomes.iter().map(|o| o.latency.as_millis_f64()).sum::<f64>() / n;
+            let mean_ms = outcomes
+                .iter()
+                .map(|o| o.latency.as_millis_f64())
+                .sum::<f64>()
+                / n;
             let accuracy = outcomes.iter().filter(|o| o.is_correct()).count() as f64 / n;
             let energy = outcomes.iter().map(|o| o.energy_mj).sum::<f64>() / n;
             table.row(vec![

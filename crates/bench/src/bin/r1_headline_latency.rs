@@ -16,7 +16,12 @@ fn main() {
         .map(|s| s.with_duration(duration))
         .collect();
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let cells = run_matrix_parallel(&scenarios, &SystemVariant::headline_set(), MASTER_SEED, workers);
+    let cells = run_matrix_parallel(
+        &scenarios,
+        &SystemVariant::headline_set(),
+        MASTER_SEED,
+        workers,
+    );
 
     let mut table = Table::new(vec![
         "scenario",
@@ -34,7 +39,9 @@ fn main() {
             .report
             .clone();
         for variant in SystemVariant::headline_set() {
-            let report = &cell(&cells, &scenario.name, variant).expect("cell ran").report;
+            let report = &cell(&cells, &scenario.name, variant)
+                .expect("cell ran")
+                .report;
             let reduction = report.latency_reduction_vs(&baseline);
             if variant == SystemVariant::Full {
                 best_reduction = best_reduction.max(reduction);
@@ -50,7 +57,11 @@ fn main() {
             ]);
         }
     }
-    emit("r1_headline_latency", "average latency across scenarios", &table);
+    emit(
+        "r1_headline_latency",
+        "average latency across scenarios",
+        &table,
+    );
     println!(
         "best full-system average-latency reduction: {} (paper: up to 94%)",
         fpct(best_reduction)

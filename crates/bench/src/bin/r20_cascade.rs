@@ -13,8 +13,8 @@ fn main() {
     // Walking tour: the most miss-heavy standard scenario, with the
     // heavyweight model where a cascade matters most.
     let scenario = video::walking_tour().with_duration(experiment_duration());
-    let big_only = PipelineConfig::calibrated(&scenario, MASTER_SEED)
-        .with_model(dnnsim::zoo::inception_v3());
+    let big_only =
+        PipelineConfig::calibrated(&scenario, MASTER_SEED).with_model(dnnsim::zoo::inception_v3());
     let cascaded = big_only
         .clone()
         .with_cascade(dnnsim::zoo::squeezenet(), 0.8);
@@ -27,8 +27,10 @@ fn main() {
         "accuracy",
         "energy_mJ",
     ]);
-    for (label, config) in [("inception_v3", &big_only), ("squeezenet+inception_v3", &cascaded)]
-    {
+    for (label, config) in [
+        ("inception_v3", &big_only),
+        ("squeezenet+inception_v3", &cascaded),
+    ] {
         for variant in [SystemVariant::NoCache, SystemVariant::Full] {
             let report = run_scenario(&scenario, config, variant, MASTER_SEED);
             table.row(vec![

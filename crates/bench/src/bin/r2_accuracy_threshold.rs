@@ -26,12 +26,12 @@ fn main() {
     ]);
     for multiplier in sweep::linear_sweep(0.25, 2.5, 10) {
         let threshold = calibrated_threshold * multiplier;
-        let config = calibrated.clone().with_cache(calibrated.cache.clone().with_aknn(
-            AknnConfig {
+        let config = calibrated
+            .clone()
+            .with_cache(calibrated.cache.clone().with_aknn(AknnConfig {
                 distance_threshold: threshold,
                 ..calibrated.cache.aknn
-            },
-        ));
+            }));
         let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             fnum(threshold, 2),

@@ -23,11 +23,7 @@ fn main() {
         "full_latency_ms",
     ]);
     for (b, f) in base_series.iter().zip(&full_series) {
-        table.row(vec![
-            fnum(b.1, 2),
-            fnum(b.0, 2),
-            fnum(f.0, 2),
-        ]);
+        table.row(vec![fnum(b.1, 2), fnum(b.0, 2), fnum(f.0, 2)]);
     }
     emit(
         "r4_latency_cdf",

@@ -4,7 +4,7 @@
 //! access below the working-set size, frequency-aware policies degrade
 //! gracefully).
 
-use approxcache::{ChurnSpec, PipelineConfig, SystemVariant, run_scenario};
+use approxcache::{run_scenario, ChurnSpec, PipelineConfig, SystemVariant};
 use bench::{emit, experiment_duration, MASTER_SEED};
 use reuse::{CacheConfig, EvictionPolicy};
 use simcore::table::{fnum, fpct, Table};

@@ -54,7 +54,12 @@ fn main() {
     // moves on underneath it?).
     let churny = workloads::video::object_churn().with_duration(duration);
     let calibrated = PipelineConfig::calibrated(&churny, MASTER_SEED);
-    let mut age_table = Table::new(vec!["max_reuse_age_ms", "imu_fast_path", "accuracy", "mean_ms"]);
+    let mut age_table = Table::new(vec![
+        "max_reuse_age_ms",
+        "imu_fast_path",
+        "accuracy",
+        "mean_ms",
+    ]);
     for age_ms in [250u64, 500, 1_000, 2_000, 4_000, 8_000] {
         let gate = ImuGate {
             max_reuse_age: SimDuration::from_millis(age_ms),

@@ -14,13 +14,7 @@ fn main() {
     let base_config = PipelineConfig::calibrated(&scenario, MASTER_SEED);
 
     let mut table = Table::new(vec![
-        "model",
-        "device",
-        "base_ms",
-        "full_ms",
-        "speedup",
-        "base_acc",
-        "full_acc",
+        "model", "device", "base_ms", "full_ms", "speedup", "base_acc", "full_acc",
     ]);
     for model in dnnsim::zoo::all() {
         for device in [DeviceClass::MidRange, DeviceClass::Budget] {

@@ -1,0 +1,63 @@
+//! Re-verifies the paper's headline claims against fresh simulations and
+//! exits nonzero if any regressed.
+//!
+//! Checks R-1 (the full system more than halves mean latency on
+//! reuse-friendly scenarios), R-2 (accuracy within five points of
+//! always-infer on the headline set) and peer-tier liveness in the
+//! museum. Failing claims print a trace-derived per-tier breakdown so
+//! the regressed tier is identifiable from the output alone. Reports and
+//! the check summary land as JSON under `results/`.
+
+use bench::verify::run_claim_checks;
+use bench::{experiment_duration, results_dir, MASTER_SEED};
+use simcore::table::{fnum, Table};
+
+fn main() {
+    let outcome = run_claim_checks(experiment_duration(), MASTER_SEED, &|_| {});
+
+    let mut table = Table::new(vec!["claim", "scenario", "observed", "required", "status"]);
+    for check in &outcome.checks {
+        table.row(vec![
+            check.claim.to_owned(),
+            check.scenario.clone(),
+            fnum(check.observed, 3),
+            format!("> {}", fnum(check.required, 3)),
+            if check.passed { "ok" } else { "FAIL" }.to_owned(),
+        ]);
+    }
+    println!("== verify_claims: headline claims vs fresh runs ==\n");
+    println!("{table}");
+
+    let dir = results_dir();
+    for report in &outcome.reports {
+        match report.write_json(&dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write report JSON: {e}"),
+        }
+    }
+    match serde_json::to_string_pretty(&outcome.checks) {
+        Ok(json) => {
+            let path = dir.join("verify_claims.json");
+            match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize checks: {e}"),
+    }
+
+    let failures = outcome.failures();
+    if failures.is_empty() {
+        println!("\nall {} claims hold", outcome.checks.len());
+        return;
+    }
+    eprintln!("\n{} claim(s) REGRESSED:", failures.len());
+    for check in failures {
+        eprintln!(
+            "\n{} on {}: {} (observed {:.3}, required > {:.3})",
+            check.claim, check.scenario, check.requirement, check.observed, check.required
+        );
+        eprintln!("{}", check.breakdown);
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,247 @@
+//! The claim-verification harness behind the `verify_claims` binary.
+//!
+//! Re-runs the headline checks (R-1 latency reduction, R-2 accuracy
+//! retention, plus a peer-tier liveness check) against fresh simulations
+//! and reports each as a [`ClaimCheck`]. Every run is traced, so a
+//! failing claim carries a per-tier breakdown — path counts, per-path
+//! latency, cache-miss reasons and peer-query outcomes — pointing at the
+//! tier that regressed.
+
+use approxcache::{
+    run_scenario_detailed, PipelineConfig, ResolutionPath, RunReport, Scenario, SimResult,
+    SystemVariant,
+};
+use serde::Serialize;
+use simcore::{SimDuration, TracePath};
+use workloads::{multi, video};
+
+/// R-1's bar: the full system must at least halve mean frame latency on
+/// reuse-friendly scenarios.
+pub const R1_MIN_LATENCY_REDUCTION: f64 = 0.5;
+
+/// R-2's bar: accuracy may drop at most five points vs always-infer.
+pub const R2_MIN_ACCURACY_DELTA: f64 = -0.05;
+
+/// One verified claim: `passed` iff `observed > required`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClaimCheck {
+    /// Which headline claim this check belongs to.
+    pub claim: &'static str,
+    /// The scenario it ran on.
+    pub scenario: String,
+    /// Human-readable statement of the bar.
+    pub requirement: String,
+    /// The measured value.
+    pub observed: f64,
+    /// The bar the measured value must exceed.
+    pub required: f64,
+    /// Whether the bar was met.
+    pub passed: bool,
+    /// Trace-derived per-tier breakdown of the full-system run.
+    pub breakdown: String,
+}
+
+/// Everything a verification pass produced: the checks plus the
+/// full-variant reports (for JSON export).
+#[derive(Debug)]
+pub struct ClaimOutcome {
+    /// All checks, in run order.
+    pub checks: Vec<ClaimCheck>,
+    /// The full-system report of every scenario that was verified.
+    pub reports: Vec<RunReport>,
+}
+
+impl ClaimOutcome {
+    /// True when every check met its bar.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The checks that failed.
+    pub fn failures(&self) -> Vec<&ClaimCheck> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+}
+
+fn traced_run(
+    scenario: &Scenario,
+    variant: SystemVariant,
+    seed: u64,
+    mutate: &dyn Fn(&mut PipelineConfig),
+) -> SimResult {
+    let mut config = PipelineConfig::calibrated(scenario, seed).with_trace_capacity(Some(65_536));
+    mutate(&mut config);
+    run_scenario_detailed(scenario, &config, variant, seed)
+}
+
+/// Renders the per-tier breakdown of a traced run: how every frame was
+/// resolved and at what cost, why local lookups missed, and how the peer
+/// tier behaved. This is what a failing claim prints so the regressed
+/// tier is identifiable without re-running anything.
+pub fn tier_breakdown(result: &SimResult) -> String {
+    let report = &result.report;
+    let mut out = String::new();
+    for path in ResolutionPath::all() {
+        let stats = report.path_latency_stats(path);
+        out.push_str(&format!(
+            "  {path}: {} frames ({:.1}%), mean {:.2} ms, p95 {:.2} ms\n",
+            stats.count,
+            report.path_fraction(path) * 100.0,
+            stats.mean,
+            stats.p95,
+        ));
+    }
+    let misses: Vec<String> = report
+        .miss_breakdown()
+        .iter()
+        .map(|(name, n)| format!("{name} {n}"))
+        .collect();
+    out.push_str(&format!("  local misses: {}\n", misses.join(", ")));
+
+    let traces: Vec<_> = result.traces.iter().flatten().collect();
+    let attempts: u64 = traces.iter().map(|t| u64::from(t.peer.attempts)).sum();
+    let timeouts: u64 = traces.iter().map(|t| u64::from(t.peer.timeouts)).sum();
+    let bytes: u64 = traces.iter().map(|t| t.peer.bytes).sum();
+    let peer_hits = traces
+        .iter()
+        .filter(|t| t.path == TracePath::PeerHit)
+        .count();
+    out.push_str(&format!(
+        "  peer tier: {attempts} queries, {peer_hits} hits, {timeouts} timeouts, {bytes} B\n"
+    ));
+    if attempts > 0 && timeouts == attempts {
+        out.push_str("  => peer tier unreachable: every peer query timed out\n");
+    }
+    out
+}
+
+/// Runs every headline claim at `duration` per scenario, seeding from
+/// `seed`. `mutate` is applied to each calibrated config before the run
+/// (the binary passes a no-op; tests use it to break a tier on purpose).
+pub fn run_claim_checks(
+    duration: SimDuration,
+    seed: u64,
+    mutate: &dyn Fn(&mut PipelineConfig),
+) -> ClaimOutcome {
+    let mut checks = Vec::new();
+    let mut reports = Vec::new();
+
+    // R-1 and R-2 share the headline scenarios; the reuse-friendly
+    // subset carries the latency claim, all four carry the accuracy one.
+    let reuse_friendly = ["stationary", "slow-pan", "turn-and-look"];
+    for scenario in video::headline_set() {
+        let scenario = scenario.with_duration(duration);
+        let base = traced_run(&scenario, SystemVariant::NoCache, seed, mutate);
+        let full = traced_run(&scenario, SystemVariant::Full, seed, mutate);
+        let breakdown = tier_breakdown(&full);
+
+        if reuse_friendly.contains(&scenario.name.as_str()) {
+            let reduction = full.report.latency_reduction_vs(&base.report);
+            checks.push(ClaimCheck {
+                claim: "R-1",
+                scenario: scenario.name.clone(),
+                requirement: format!(
+                    "full system cuts mean latency by more than {:.0}% vs no-cache",
+                    R1_MIN_LATENCY_REDUCTION * 100.0
+                ),
+                observed: reduction,
+                required: R1_MIN_LATENCY_REDUCTION,
+                passed: reduction > R1_MIN_LATENCY_REDUCTION,
+                breakdown: breakdown.clone(),
+            });
+        }
+
+        let delta = full.report.accuracy_delta_vs(&base.report);
+        checks.push(ClaimCheck {
+            claim: "R-2",
+            scenario: scenario.name.clone(),
+            requirement: format!(
+                "accuracy drops less than {:.0} points vs always-infer",
+                -R2_MIN_ACCURACY_DELTA * 100.0
+            ),
+            observed: delta,
+            required: R2_MIN_ACCURACY_DELTA,
+            passed: delta > R2_MIN_ACCURACY_DELTA,
+            breakdown,
+        });
+        reports.push(full.report);
+    }
+
+    // Peer-tier liveness: in the museum, collaboration must answer at
+    // least some frames. This is the check that catches a dead radio.
+    let museum = multi::museum(6).with_duration(duration);
+    let full = traced_run(&museum, SystemVariant::Full, seed, mutate);
+    let peer_fraction = full.report.path_fraction(ResolutionPath::PeerCache);
+    checks.push(ClaimCheck {
+        claim: "peer-tier",
+        scenario: museum.name.clone(),
+        requirement: "peers answer a positive fraction of museum frames".to_owned(),
+        observed: peer_fraction,
+        required: 0.0,
+        passed: peer_fraction > 0.0,
+        breakdown: tier_breakdown(&full),
+    });
+    reports.push(full.report);
+
+    ClaimOutcome { checks, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MASTER_SEED;
+    use p2pnet::LinkSpec;
+
+    fn short() -> SimDuration {
+        SimDuration::from_secs(8)
+    }
+
+    #[test]
+    fn healthy_configuration_passes_every_claim() {
+        let outcome = run_claim_checks(short(), MASTER_SEED, &|_| {});
+        assert!(outcome.all_passed(), "failures: {:#?}", outcome.failures());
+        // Three reuse-friendly R-1 checks, four R-2 checks, one peer check.
+        assert_eq!(outcome.checks.len(), 8);
+        assert_eq!(outcome.reports.len(), 5);
+        // Every check carries a usable breakdown.
+        for check in &outcome.checks {
+            assert!(
+                check.breakdown.contains("peer tier:"),
+                "{}",
+                check.breakdown
+            );
+            assert!(check.breakdown.contains("local misses:"));
+        }
+    }
+
+    #[test]
+    fn dead_radio_fails_the_peer_claim_and_names_the_tier() {
+        let outcome = run_claim_checks(short(), MASTER_SEED, &|config| {
+            if let Some(peer) = config.peer.as_mut() {
+                peer.link = LinkSpec {
+                    loss_prob: 1.0,
+                    ..LinkSpec::wifi_direct()
+                };
+            }
+        });
+        assert!(!outcome.all_passed());
+        let peer_check = outcome
+            .checks
+            .iter()
+            .find(|c| c.claim == "peer-tier")
+            .expect("peer claim present");
+        assert!(!peer_check.passed);
+        assert_eq!(peer_check.observed, 0.0);
+        assert!(
+            peer_check.breakdown.contains("every peer query timed out"),
+            "breakdown must identify the dead tier:\n{}",
+            peer_check.breakdown
+        );
+        // The single-device claims are unaffected by a dead radio.
+        assert!(outcome
+            .checks
+            .iter()
+            .filter(|c| c.claim == "R-1")
+            .all(|c| c.passed));
+    }
+}

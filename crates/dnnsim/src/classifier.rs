@@ -71,8 +71,9 @@ impl DnnClassifier {
             } else {
                 // Geometric weight over distance rank: nearest classes
                 // soak up most of the confusion mass.
-                let weights: Vec<f64> =
-                    (0..candidates.len()).map(|r| 0.5f64.powi(r as i32)).collect();
+                let weights: Vec<f64> = (0..candidates.len())
+                    .map(|r| 0.5f64.powi(r as i32))
+                    .collect();
                 candidates[rng.weighted_index(&weights)]
             };
             Prediction {
@@ -117,8 +118,7 @@ mod tests {
         let (universe, classifier, mut rng) = fixture();
         let truth = ClassId(0);
         let confusable = universe.confusable(truth);
-        let near: std::collections::HashSet<u32> =
-            confusable.iter().take(3).map(|c| c.0).collect();
+        let near: std::collections::HashSet<u32> = confusable.iter().take(3).map(|c| c.0).collect();
         let mut near_errors = 0;
         let mut far_errors = 0;
         for _ in 0..20_000 {
@@ -155,7 +155,10 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&correct_conf) > mean(&wrong_conf) + 0.2);
-        assert!(correct_conf.iter().chain(&wrong_conf).all(|&c| (0.0..=1.0).contains(&c)));
+        assert!(correct_conf
+            .iter()
+            .chain(&wrong_conf)
+            .all(|&c| (0.0..=1.0).contains(&c)));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl DeviceClass {
 
     /// All classes, fastest first.
     pub fn all() -> [DeviceClass; 3] {
-        [DeviceClass::Flagship, DeviceClass::MidRange, DeviceClass::Budget]
+        [
+            DeviceClass::Flagship,
+            DeviceClass::MidRange,
+            DeviceClass::Budget,
+        ]
     }
 }
 

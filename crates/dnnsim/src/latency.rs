@@ -101,7 +101,9 @@ mod tests {
         let budget = LatencyModel::new(&zoo::resnet50(), DeviceClass::Budget);
         assert!(flag.nominal() < mid.nominal());
         assert!(mid.nominal() < budget.nominal());
-        assert!((flag.nominal().as_millis_f64() / mid.nominal().as_millis_f64() - 0.45).abs() < 1e-9);
+        assert!(
+            (flag.nominal().as_millis_f64() / mid.nominal().as_millis_f64() - 0.45).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ mod tests {
         let model = DnnModel::new(zoo::mobilenet_v2(), DeviceClass::MidRange, &universe);
         let descriptor = universe.center(scene::ClassId(3)).clone();
         let result = model.infer(&descriptor, &mut rng);
-        assert!(result.latency.as_millis() >= 20, "latency {}", result.latency);
+        assert!(
+            result.latency.as_millis() >= 20,
+            "latency {}",
+            result.latency
+        );
         assert!(result.latency.as_millis() < 2_000);
         assert!(result.energy_mj > 0.0);
         assert!((0.0..=1.0).contains(&result.confidence));

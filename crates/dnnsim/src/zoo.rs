@@ -57,7 +57,10 @@ impl ModelProfile {
     ///
     /// Panics if any field is out of range.
     pub fn validate(&self) {
-        assert!(!self.name.is_empty(), "ModelProfile: name must be non-empty");
+        assert!(
+            !self.name.is_empty(),
+            "ModelProfile: name must be non-empty"
+        );
         assert!(
             self.base_latency_ms > 0.0 && self.base_latency_ms.is_finite(),
             "ModelProfile: base_latency_ms must be positive"
@@ -197,7 +200,11 @@ mod tests {
         for base in all() {
             let q = base.quantized();
             q.validate();
-            assert!(q.base_latency_ms < base.base_latency_ms / 2.0, "{}", base.name);
+            assert!(
+                q.base_latency_ms < base.base_latency_ms / 2.0,
+                "{}",
+                base.name
+            );
             assert!(q.top1_accuracy < base.top1_accuracy);
             assert!(q.top1_accuracy > base.top1_accuracy - 0.02);
             assert!(q.name.ends_with("_int8"), "{}", q.name);

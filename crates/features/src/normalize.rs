@@ -153,8 +153,7 @@ mod tests {
             .map(|i| fv(&[i as f32, 5.0 * i as f32 + 100.0]))
             .collect();
         let norm = Normalizer::fit(&data).unwrap();
-        let transformed: Vec<FeatureVector> =
-            data.iter().map(|v| norm.apply(v).unwrap()).collect();
+        let transformed: Vec<FeatureVector> = data.iter().map(|v| norm.apply(v).unwrap()).collect();
         for d in 0..2 {
             let mean: f64 = transformed.iter().map(|v| v[d] as f64).sum::<f64>() / 100.0;
             let var: f64 = transformed

@@ -146,9 +146,7 @@ mod tests {
         for i in 0..50u64 {
             let mut r = SimRng::seed(1000 + i);
             let noise: Vec<f32> = (0..32).map(|_| (r.std_normal() * 0.02) as f32).collect();
-            let near_v = base
-                .add(&FeatureVector::from_vec(noise).unwrap())
-                .unwrap();
+            let near_v = base.add(&FeatureVector::from_vec(noise).unwrap()).unwrap();
             let far_v = &random_vectors(1, 32, &mut r)[0];
             near_total += hasher.hash(base).distance(hasher.hash(&near_v));
             far_total += hasher.hash(base).distance(hasher.hash(far_v));

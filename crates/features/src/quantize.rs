@@ -101,7 +101,11 @@ impl QuantizedVector {
     /// Returns [`FeatureError::Empty`] for empty codes and
     /// [`FeatureError::NotFinite`] for non-finite `min`/`scale` or
     /// negative scale.
-    pub fn from_parts(min: f32, scale: f32, codes: Vec<u8>) -> Result<QuantizedVector, FeatureError> {
+    pub fn from_parts(
+        min: f32,
+        scale: f32,
+        codes: Vec<u8>,
+    ) -> Result<QuantizedVector, FeatureError> {
         if codes.is_empty() {
             return Err(FeatureError::Empty);
         }
@@ -176,8 +180,7 @@ mod tests {
     fn parts_round_trip_and_validate() {
         let v = FeatureVector::from_vec(vec![1.0, 2.0]).unwrap();
         let q = QuantizedVector::quantize(&v);
-        let rebuilt =
-            QuantizedVector::from_parts(q.min(), q.scale(), q.codes().to_vec()).unwrap();
+        let rebuilt = QuantizedVector::from_parts(q.min(), q.scale(), q.codes().to_vec()).unwrap();
         assert_eq!(rebuilt, q);
         assert!(QuantizedVector::from_parts(0.0, 1.0, vec![]).is_err());
         assert!(QuantizedVector::from_parts(f32::NAN, 1.0, vec![0]).is_err());

@@ -111,7 +111,10 @@ impl ActivityClassifier {
     ///
     /// Panics if `switch_after == 0`.
     pub fn new(switch_after: usize) -> ActivityClassifier {
-        assert!(switch_after > 0, "ActivityClassifier: switch_after must be positive");
+        assert!(
+            switch_after > 0,
+            "ActivityClassifier: switch_after must be positive"
+        );
         ActivityClassifier {
             switch_after,
             ..ActivityClassifier::default()
@@ -189,11 +192,26 @@ mod tests {
 
     #[test]
     fn raw_decision_regions() {
-        assert_eq!(ActivityClassifier::classify_raw(&estimate(0.005, 0.02)), Activity::Still);
-        assert_eq!(ActivityClassifier::classify_raw(&estimate(0.05, 0.15)), Activity::Handheld);
-        assert_eq!(ActivityClassifier::classify_raw(&estimate(0.1, 1.2)), Activity::Walking);
-        assert_eq!(ActivityClassifier::classify_raw(&estimate(1.2, 0.3)), Activity::Turning);
-        assert_eq!(ActivityClassifier::classify_raw(&estimate(0.01, 0.6)), Activity::Vehicle);
+        assert_eq!(
+            ActivityClassifier::classify_raw(&estimate(0.005, 0.02)),
+            Activity::Still
+        );
+        assert_eq!(
+            ActivityClassifier::classify_raw(&estimate(0.05, 0.15)),
+            Activity::Handheld
+        );
+        assert_eq!(
+            ActivityClassifier::classify_raw(&estimate(0.1, 1.2)),
+            Activity::Walking
+        );
+        assert_eq!(
+            ActivityClassifier::classify_raw(&estimate(1.2, 0.3)),
+            Activity::Turning
+        );
+        assert_eq!(
+            ActivityClassifier::classify_raw(&estimate(0.01, 0.6)),
+            Activity::Vehicle
+        );
     }
 
     #[test]
@@ -241,8 +259,7 @@ mod tests {
         ];
         for (profile, expected) in cases {
             let mut rng = SimRng::seed(31);
-            let trace =
-                MotionTrace::generate(profile, SimDuration::from_secs(10), 100.0, &mut rng);
+            let trace = MotionTrace::generate(profile, SimDuration::from_secs(10), 100.0, &mut rng);
             let samples = ImuSynthesizer::default().synthesize(&trace, &mut rng);
             let mut votes = std::collections::HashMap::new();
             for chunk in samples.chunks(10) {

@@ -120,10 +120,18 @@ impl MotionEstimator {
             0.0
         };
         let rotation_rad: f64 = window.iter().map(|s| s.gyro_magnitude() * dt).sum();
-        let gyro_rms =
-            (window.iter().map(|s| s.gyro_magnitude().powi(2)).sum::<f64>() / n).sqrt();
-        let accel_rms =
-            (window.iter().map(|s| s.accel_magnitude().powi(2)).sum::<f64>() / n).sqrt();
+        let gyro_rms = (window
+            .iter()
+            .map(|s| s.gyro_magnitude().powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        let accel_rms = (window
+            .iter()
+            .map(|s| s.accel_magnitude().powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
         MotionEstimate {
             rotation_rad,
             gyro_rms,
@@ -191,7 +199,11 @@ mod tests {
         // 0.5 rad/s over 10 samples spanning 90 ms: the integral counts
         // every sample at the mean spacing (10 ms), so 10·0.5·0.01 rad.
         let est = MotionEstimator::default().estimate(&constant_window(0.5, 0.0, 10));
-        assert!((est.rotation_rad - 0.05).abs() < 1e-9, "{}", est.rotation_rad);
+        assert!(
+            (est.rotation_rad - 0.05).abs() < 1e-9,
+            "{}",
+            est.rotation_rad
+        );
         assert!((est.gyro_rms - 0.5).abs() < 1e-9);
         assert_eq!(est.sample_count, 10);
         assert!((est.window_secs - 0.09).abs() < 1e-9);
@@ -250,7 +262,10 @@ mod tests {
             let score = estimator
                 .estimate(&constant_window(gyro, 0.0, 10))
                 .motion_score();
-            assert!(score >= last_gyro, "gyro step {step}: {score} < {last_gyro}");
+            assert!(
+                score >= last_gyro,
+                "gyro step {step}: {score} < {last_gyro}"
+            );
             last_gyro = score;
         }
         let mut last_accel = -1.0f64;
@@ -259,7 +274,10 @@ mod tests {
             let score = estimator
                 .estimate(&constant_window(0.0, accel, 10))
                 .motion_score();
-            assert!(score >= last_accel, "accel step {step}: {score} < {last_accel}");
+            assert!(
+                score >= last_accel,
+                "accel step {step}: {score} < {last_accel}"
+            );
             last_accel = score;
         }
     }
@@ -270,8 +288,7 @@ mod tests {
         let mut rng = SimRng::seed(21);
         let estimator = MotionEstimator::default();
         let mut score = |profile| {
-            let trace =
-                MotionTrace::generate(profile, SimDuration::from_secs(5), 100.0, &mut rng);
+            let trace = MotionTrace::generate(profile, SimDuration::from_secs(5), 100.0, &mut rng);
             let samples = ImuSynthesizer::default().synthesize(&trace, &mut rng);
             // 100 ms windows at 10 fps.
             let mut scores = Vec::new();

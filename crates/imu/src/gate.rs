@@ -182,16 +182,31 @@ mod tests {
     #[test]
     fn partitions_score_axis() {
         let gate = ImuGate::new(1.0, 20.0);
-        assert_eq!(gate.decide(&estimate_with_score(0.5)), GateDecision::ReusePrevious);
-        assert_eq!(gate.decide(&estimate_with_score(5.0)), GateDecision::LookupLocal);
-        assert_eq!(gate.decide(&estimate_with_score(30.0)), GateDecision::SkipLocal);
+        assert_eq!(
+            gate.decide(&estimate_with_score(0.5)),
+            GateDecision::ReusePrevious
+        );
+        assert_eq!(
+            gate.decide(&estimate_with_score(5.0)),
+            GateDecision::LookupLocal
+        );
+        assert_eq!(
+            gate.decide(&estimate_with_score(30.0)),
+            GateDecision::SkipLocal
+        );
     }
 
     #[test]
     fn boundaries_go_to_lookup() {
         let gate = ImuGate::new(1.0, 20.0);
-        assert_eq!(gate.decide(&estimate_with_score(1.0)), GateDecision::LookupLocal);
-        assert_eq!(gate.decide(&estimate_with_score(20.0)), GateDecision::LookupLocal);
+        assert_eq!(
+            gate.decide(&estimate_with_score(1.0)),
+            GateDecision::LookupLocal
+        );
+        assert_eq!(
+            gate.decide(&estimate_with_score(20.0)),
+            GateDecision::LookupLocal
+        );
     }
 
     #[test]
@@ -229,7 +244,10 @@ mod tests {
             gate.decide_with_age(&estimate_with_score(0.0), Some(SimDuration::ZERO)),
             GateDecision::LookupLocal
         );
-        assert_eq!(gate.decide(&estimate_with_score(1e9)), GateDecision::LookupLocal);
+        assert_eq!(
+            gate.decide(&estimate_with_score(1e9)),
+            GateDecision::LookupLocal
+        );
     }
 
     #[test]

@@ -107,8 +107,14 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(MotionProfile::Stationary.name(), "stationary");
-        assert_eq!(MotionProfile::SlowPan { deg_per_sec: 5.0 }.name(), "slow-pan");
-        assert_eq!(MotionProfile::Walking { speed_mps: 1.0 }.to_string(), "walking");
+        assert_eq!(
+            MotionProfile::SlowPan { deg_per_sec: 5.0 }.name(),
+            "slow-pan"
+        );
+        assert_eq!(
+            MotionProfile::Walking { speed_mps: 1.0 }.to_string(),
+            "walking"
+        );
     }
 
     #[test]
@@ -139,7 +145,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let p = MotionProfile::TurnAndLook { dwell_secs: 2.0, turn_deg: 30.0 };
+        let p = MotionProfile::TurnAndLook {
+            dwell_secs: 2.0,
+            turn_deg: 30.0,
+        };
         let json = serde_json::to_string(&p).unwrap();
         let back: MotionProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);

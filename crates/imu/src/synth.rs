@@ -104,15 +104,15 @@ impl ImuSynthesizer {
 
             let gyro = [
                 gyro_bias[0] + rng.normal(0.0, self.gyro_noise) + rng.normal(0.0, tremor),
-                pitch_rate + gyro_bias[1] + rng.normal(0.0, self.gyro_noise)
+                pitch_rate
+                    + gyro_bias[1]
+                    + rng.normal(0.0, self.gyro_noise)
                     + rng.normal(0.0, tremor),
                 yaw_rate + gyro_bias[2] + rng.normal(0.0, self.gyro_noise),
             ];
             let accel = [
-                ax + accel_bias[0] + rng.normal(0.0, self.accel_noise)
-                    + rng.normal(0.0, vibration),
-                ay + accel_bias[1] + rng.normal(0.0, self.accel_noise)
-                    + rng.normal(0.0, vibration),
+                ax + accel_bias[0] + rng.normal(0.0, self.accel_noise) + rng.normal(0.0, vibration),
+                ay + accel_bias[1] + rng.normal(0.0, self.accel_noise) + rng.normal(0.0, vibration),
                 accel_bias[2] + rng.normal(0.0, self.accel_noise) + rng.normal(0.0, vibration),
             ];
 
@@ -134,8 +134,7 @@ mod tests {
 
     fn synth(profile: MotionProfile, noiseless: bool) -> Vec<ImuSample> {
         let mut rng = SimRng::seed(5);
-        let trace =
-            MotionTrace::generate(profile, SimDuration::from_secs(4), 100.0, &mut rng);
+        let trace = MotionTrace::generate(profile, SimDuration::from_secs(4), 100.0, &mut rng);
         let s = if noiseless {
             ImuSynthesizer::noiseless()
         } else {
@@ -188,8 +187,16 @@ mod tests {
     #[test]
     fn stationary_noise_floor_is_small() {
         let still = synth(MotionProfile::Stationary, false);
-        assert!(mean_gyro_mag(&still) < 0.05, "gyro {}", mean_gyro_mag(&still));
-        assert!(mean_accel_mag(&still) < 0.2, "accel {}", mean_accel_mag(&still));
+        assert!(
+            mean_gyro_mag(&still) < 0.05,
+            "gyro {}",
+            mean_gyro_mag(&still)
+        );
+        assert!(
+            mean_accel_mag(&still) < 0.2,
+            "accel {}",
+            mean_accel_mag(&still)
+        );
     }
 
     #[test]

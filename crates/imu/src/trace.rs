@@ -87,9 +87,8 @@ impl MotionTrace {
                 }
                 MotionProfile::HandheldJitter => {
                     // Ornstein–Uhlenbeck wander around the initial heading.
-                    yaw_wander_rate += (-0.8 * yaw_wander_rate
-                        + rng.normal(0.0, 2.0f64.to_radians()))
-                        * dt;
+                    yaw_wander_rate +=
+                        (-0.8 * yaw_wander_rate + rng.normal(0.0, 2.0f64.to_radians())) * dt;
                     pose.yaw += yaw_wander_rate * dt;
                     pose.pitch += rng.normal(0.0, 0.3f64.to_radians()) * dt;
                 }
@@ -107,7 +106,10 @@ impl MotionTrace {
                     pose.y += speed_mps * pose.yaw.sin() * dt;
                     pose.pitch = 2.0f64.to_radians() * (std::f64::consts::TAU * 2.0 * t).sin();
                 }
-                MotionProfile::TurnAndLook { dwell_secs, turn_deg } => {
+                MotionProfile::TurnAndLook {
+                    dwell_secs,
+                    turn_deg,
+                } => {
                     if turn_remaining_rad > 0.0 {
                         // Mid-turn: rotate at 120°/s until the turn is done.
                         let step_rad = (120.0f64.to_radians() * dt).min(turn_remaining_rad);
@@ -191,10 +193,9 @@ impl MotionTrace {
     /// The pose samples that fall in the half-open window `(from, to]` —
     /// the window an estimator inspects between two frames.
     pub fn window(&self, from: SimTime, to: SimTime) -> &[Pose] {
-        let start = ((from.as_secs_f64() * self.rate_hz).floor() as usize + 1)
-            .min(self.poses.len());
-        let end = ((to.as_secs_f64() * self.rate_hz).floor() as usize + 1)
-            .min(self.poses.len());
+        let start =
+            ((from.as_secs_f64() * self.rate_hz).floor() as usize + 1).min(self.poses.len());
+        let end = ((to.as_secs_f64() * self.rate_hz).floor() as usize + 1).min(self.poses.len());
         &self.poses[start.min(end)..end]
     }
 }
@@ -230,7 +231,10 @@ mod tests {
     fn slow_pan_accumulates_yaw_linearly() {
         let t = gen(MotionProfile::SlowPan { deg_per_sec: 10.0 }, 9);
         let total_yaw = t.poses().last().unwrap().yaw - t.poses()[0].yaw;
-        assert!((total_yaw.to_degrees() - 90.0).abs() < 5.0, "yaw {total_yaw}");
+        assert!(
+            (total_yaw.to_degrees() - 90.0).abs() < 5.0,
+            "yaw {total_yaw}"
+        );
     }
 
     #[test]

@@ -94,8 +94,14 @@ impl LinkSpec {
     /// Panics if bandwidth or range is non-positive, jitter is negative,
     /// or loss is outside `[0, 1]`.
     pub fn validate(&self) {
-        assert!(self.bandwidth_mbps > 0.0, "LinkSpec: bandwidth must be positive");
-        assert!(self.jitter_sigma >= 0.0, "LinkSpec: jitter_sigma must be non-negative");
+        assert!(
+            self.bandwidth_mbps > 0.0,
+            "LinkSpec: bandwidth must be positive"
+        );
+        assert!(
+            self.jitter_sigma >= 0.0,
+            "LinkSpec: jitter_sigma must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&self.loss_prob),
             "LinkSpec: loss_prob must be in [0, 1]"
@@ -124,7 +130,10 @@ impl LinkSpec {
             }
         }
         let jitter = if self.jitter_sigma > 0.0 {
-            rng.log_normal(-self.jitter_sigma * self.jitter_sigma / 2.0, self.jitter_sigma)
+            rng.log_normal(
+                -self.jitter_sigma * self.jitter_sigma / 2.0,
+                self.jitter_sigma,
+            )
         } else {
             1.0
         };
@@ -155,7 +164,10 @@ mod tests {
         // 60 Mbps = 7.5 MB/s; 750 KB takes ~100 ms (+3% fragment headers).
         let t = wifi.transfer_time(750_000);
         assert!((t.as_millis_f64() - 100.0).abs() < 5.0, "{t}");
-        assert_eq!(LinkSpec::ideal().transfer_time(1_000_000), SimDuration::ZERO);
+        assert_eq!(
+            LinkSpec::ideal().transfer_time(1_000_000),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -171,7 +183,10 @@ mod tests {
         let two = ble.transfer_time(488);
         let delta = two.as_secs_f64() - 2.0 * one.as_secs_f64();
         // Tolerance: SimDuration rounds to whole nanoseconds.
-        assert!(delta.abs() < 5e-9, "overhead must scale linearly, delta {delta}");
+        assert!(
+            delta.abs() < 5e-9,
+            "overhead must scale linearly, delta {delta}"
+        );
     }
 
     #[test]
@@ -189,7 +204,10 @@ mod tests {
             }
         }
         // 10 fragments: P(loss) = 1 − 0.97¹⁰ ≈ 26% vs 3%.
-        assert!(lost_long > lost_short * 4, "short {lost_short}, long {lost_long}");
+        assert!(
+            lost_long > lost_short * 4,
+            "short {lost_short}, long {lost_long}"
+        );
     }
 
     #[test]
@@ -232,7 +250,10 @@ mod tests {
         let ideal = LinkSpec::ideal();
         let mut rng = SimRng::seed(3);
         for _ in 0..100 {
-            assert_eq!(ideal.sample_one_way(1_000_000, &mut rng), Some(SimDuration::ZERO));
+            assert_eq!(
+                ideal.sample_one_way(1_000_000, &mut rng),
+                Some(SimDuration::ZERO)
+            );
         }
     }
 

@@ -455,8 +455,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_tag() {
-        assert_eq!(P2pMessage::decode(&[0x00, 1]), Err(DecodeError::BadMagic(0)));
-        assert_eq!(P2pMessage::decode(&[MAGIC, 99]), Err(DecodeError::BadTag(99)));
+        assert_eq!(
+            P2pMessage::decode(&[0x00, 1]),
+            Err(DecodeError::BadMagic(0))
+        );
+        assert_eq!(
+            P2pMessage::decode(&[MAGIC, 99]),
+            Err(DecodeError::BadTag(99))
+        );
         assert_eq!(P2pMessage::decode(&[]), Err(DecodeError::Truncated));
     }
 
@@ -528,7 +534,10 @@ mod proptests {
         prop_oneof![
             (any::<u64>(), arb_key())
                 .prop_map(|(query_id, key)| P2pMessage::Query { query_id, key }),
-            (any::<u64>(), proptest::option::of((any::<u32>(), 0.0f64..1.0, 0.0f64..10.0)))
+            (
+                any::<u64>(),
+                proptest::option::of((any::<u32>(), 0.0f64..1.0, 0.0f64..10.0))
+            )
                 .prop_map(|(query_id, hit)| P2pMessage::Reply {
                     query_id,
                     hit: hit.map(|(label, confidence, distance)| RemoteHit {
@@ -539,7 +548,11 @@ mod proptests {
                 }),
             proptest::collection::vec(
                 (arb_key(), any::<u32>(), 0.0f64..1.0).prop_map(|(key, label, confidence)| {
-                    WireEntry { key, label, confidence }
+                    WireEntry {
+                        key,
+                        label,
+                        confidence,
+                    }
                 }),
                 0..5
             )

@@ -101,7 +101,10 @@ pub fn threshold_from_same_distribution(same_subject: &[f64], sigmas: f64) -> f6
         !same_subject.is_empty(),
         "threshold_from_same_distribution: sample must be non-empty"
     );
-    assert!(sigmas >= 0.0, "threshold_from_same_distribution: sigmas must be non-negative");
+    assert!(
+        sigmas >= 0.0,
+        "threshold_from_same_distribution: sigmas must be non-negative"
+    );
     let summary = simcore::Summary::from_samples(same_subject);
     summary.mean + sigmas * summary.std_dev
 }
@@ -117,7 +120,11 @@ mod tests {
         let same: Vec<f64> = (0..500).map(|_| rng.normal(0.5, 0.1).abs()).collect();
         let cross: Vec<f64> = (0..500).map(|_| rng.normal(5.0, 0.5).abs()).collect();
         let cal = calibrate_threshold(&same, &cross);
-        assert!(cal.threshold > 0.8 && cal.threshold < 4.0, "threshold {}", cal.threshold);
+        assert!(
+            cal.threshold > 0.8 && cal.threshold < 4.0,
+            "threshold {}",
+            cal.threshold
+        );
         assert!(cal.same_acceptance > 0.99);
         assert!(cal.cross_acceptance < 0.01);
     }
@@ -129,7 +136,11 @@ mod tests {
         let cross: Vec<f64> = (0..2000).map(|_| rng.normal(2.0, 0.3).abs()).collect();
         let cal = calibrate_threshold(&same, &cross);
         // Optimal cut for equal-variance Gaussians is the midpoint.
-        assert!((cal.threshold - 1.5).abs() < 0.15, "threshold {}", cal.threshold);
+        assert!(
+            (cal.threshold - 1.5).abs() < 0.15,
+            "threshold {}",
+            cal.threshold
+        );
         assert!(cal.same_acceptance > 0.9);
         assert!(cal.cross_acceptance < 0.1);
     }

@@ -98,9 +98,6 @@ mod tests {
     fn displays() {
         assert_eq!(EntryId(5).to_string(), "entry-5");
         assert_eq!(EntrySource::Peer.to_string(), "peer");
-        assert_eq!(
-            EntrySource::LocalInference.to_string(),
-            "local-inference"
-        );
+        assert_eq!(EntrySource::LocalInference.to_string(), "local-inference");
     }
 }

@@ -58,9 +58,7 @@ impl EvictionPolicy {
         now: SimTime,
     ) -> Option<EntryId> {
         match self {
-            EvictionPolicy::Lru => entries
-                .min_by_key(|e| (e.last_used, e.id))
-                .map(|e| e.id),
+            EvictionPolicy::Lru => entries.min_by_key(|e| (e.last_used, e.id)).map(|e| e.id),
             EvictionPolicy::Lfu => entries
                 .min_by_key(|e| (e.uses, e.last_used, e.id))
                 .map(|e| e.id),
@@ -74,9 +72,7 @@ impl EvictionPolicy {
                     {
                         oldest_expired = Some(e);
                     }
-                    if lru_fallback
-                        .is_none_or(|b| (e.last_used, e.id) < (b.last_used, b.id))
-                    {
+                    if lru_fallback.is_none_or(|b| (e.last_used, e.id) < (b.last_used, b.id)) {
                         lru_fallback = Some(e);
                     }
                 }
@@ -191,15 +187,19 @@ mod tests {
 
     #[test]
     fn empty_iterator_yields_none() {
-        let none: Option<EntryId> =
-            EvictionPolicy::Lru.choose_victim(std::iter::empty::<&CacheEntry<u32>>(), SimTime::ZERO);
+        let none: Option<EntryId> = EvictionPolicy::Lru
+            .choose_victim(std::iter::empty::<&CacheEntry<u32>>(), SimTime::ZERO);
         assert_eq!(none, None);
     }
 
     #[test]
     fn deterministic_tie_break_by_id() {
         // Fully identical metadata: lowest id wins under every policy.
-        let entries = [entry(5, 0, 0, 0, 0.5), entry(2, 0, 0, 0, 0.5), entry(9, 0, 0, 0, 0.5)];
+        let entries = [
+            entry(5, 0, 0, 0, 0.5),
+            entry(2, 0, 0, 0, 0.5),
+            entry(9, 0, 0, 0, 0.5),
+        ];
         for policy in EvictionPolicy::standard_set() {
             let victim = policy
                 .choose_victim(entries.iter(), SimTime::from_millis(10))
@@ -212,7 +212,10 @@ mod tests {
     fn names() {
         assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
         assert_eq!(
-            EvictionPolicy::Ttl { max_age: SimDuration::ZERO }.name(),
+            EvictionPolicy::Ttl {
+                max_age: SimDuration::ZERO
+            }
+            .name(),
             "ttl"
         );
         assert_eq!(EvictionPolicy::standard_set().len(), 4);

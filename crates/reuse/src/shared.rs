@@ -59,7 +59,9 @@ impl<L: Copy + Eq + Hash + fmt::Debug> SharedCache<L> {
         source: EntrySource,
         now: SimTime,
     ) -> InsertOutcome {
-        self.inner.lock().insert(key, label, confidence, source, now)
+        self.inner
+            .lock()
+            .insert(key, label, confidence, source, now)
     }
 
     /// Locks and snapshots the statistics.
@@ -97,7 +99,13 @@ mod tests {
     fn handle_shares_state_across_clones() {
         let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
         let other = shared.clone();
-        shared.insert(fv(&[0.0, 0.0]), 5, 0.9, EntrySource::LocalInference, SimTime::ZERO);
+        shared.insert(
+            fv(&[0.0, 0.0]),
+            5,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::ZERO,
+        );
         assert_eq!(other.len(), 1);
         let hit = other.lookup(&fv(&[0.1, 0.0]), SimTime::from_millis(1));
         assert_eq!(hit.label(), Some(&5));

@@ -193,8 +193,10 @@ mod tests {
         let mut cache = filled_cache(10);
         // Entries were inserted at 0..9 ms; expire everything older than
         // 5 ms as of t=10ms (entries 0..=4).
-        let dropped =
-            cache.expire_older_than(SimTime::from_millis(10), simcore::SimDuration::from_millis(5));
+        let dropped = cache.expire_older_than(
+            SimTime::from_millis(10),
+            simcore::SimDuration::from_millis(5),
+        );
         assert_eq!(dropped, 5);
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.stats().expirations, 5);

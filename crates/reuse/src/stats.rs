@@ -62,6 +62,39 @@ impl CacheStats {
         }
     }
 
+    /// The lookup-accounting invariant: every lookup ended as exactly one
+    /// hit or one categorized miss, and [`misses`](Self::misses) is
+    /// consistent with the hit/lookup totals.
+    pub fn is_balanced(&self) -> bool {
+        self.lookups == self.hits + self.misses()
+            && self.lookups >= self.hits
+            && self.misses() == self.lookups - self.hits
+    }
+
+    /// Debug-build check that [`is_balanced`](Self::is_balanced) holds.
+    /// Called at every lookup-counter increment site so a drifting
+    /// counter panics at the increment that broke it, not at the end of
+    /// a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the invariant is violated.
+    #[inline]
+    pub fn debug_assert_balanced(&self) {
+        debug_assert!(
+            self.is_balanced(),
+            "cache stats out of balance: lookups={} hits={} misses={} \
+             [empty={} far={} hetero={} support={}]",
+            self.lookups,
+            self.hits,
+            self.misses(),
+            self.miss_empty,
+            self.miss_too_far,
+            self.miss_not_homogeneous,
+            self.miss_insufficient_support,
+        );
+    }
+
     /// Adds another stats block (e.g. aggregating across devices).
     pub fn merge(&mut self, other: &CacheStats) {
         self.lookups += other.lookups;
@@ -141,6 +174,33 @@ mod tests {
         assert_eq!(a.hits, 8);
         assert_eq!(a.evictions, 3);
         assert!((a.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_detects_a_drifting_counter() {
+        let mut s = CacheStats::default();
+        assert!(s.is_balanced());
+        s.lookups += 1;
+        s.hits += 1;
+        assert!(s.is_balanced());
+        s.lookups += 1;
+        s.record_miss(MissReason::TooFar);
+        assert!(s.is_balanced());
+        // A lookup whose outcome was never recorded breaks the invariant.
+        s.lookups += 1;
+        assert!(!s.is_balanced());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cache stats out of balance")]
+    fn debug_assert_fires_on_imbalance() {
+        let stats = CacheStats {
+            lookups: 3,
+            hits: 1,
+            ..CacheStats::default()
+        };
+        stats.debug_assert_balanced();
     }
 
     #[test]

@@ -280,6 +280,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
         self.stats.lookups += 1;
         let Some(index) = &self.index else {
             self.stats.record_miss(MissReason::EmptyIndex);
+            self.stats.debug_assert_balanced();
             return LookupResult::Miss(MissReason::EmptyIndex);
         };
         let neighbors = index.nearest(key, self.config.aknn.k);
@@ -307,6 +308,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
                 entry.last_used = now;
                 entry.uses += 1;
                 self.stats.hits += 1;
+                self.stats.debug_assert_balanced();
                 LookupResult::Hit {
                     label,
                     entry: EntryId(served),
@@ -317,6 +319,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
             }
             AknnOutcome::Miss(reason) => {
                 self.stats.record_miss(reason);
+                self.stats.debug_assert_balanced();
                 LookupResult::Miss(reason)
             }
         }
@@ -447,11 +450,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     /// many were dropped. Deployments in drifting environments run this
     /// periodically so stale keys stop occupying capacity (see the
     /// lighting-drift experiment).
-    pub fn expire_older_than(
-        &mut self,
-        now: SimTime,
-        max_age: simcore::SimDuration,
-    ) -> usize {
+    pub fn expire_older_than(&mut self, now: SimTime, max_age: simcore::SimDuration) -> usize {
         let victims: Vec<EntryId> = self
             .entries
             .values()
@@ -558,7 +557,13 @@ mod tests {
     #[test]
     fn admission_rejects_low_confidence() {
         let mut c = cache(4);
-        let out = c.insert(fv(&[0.0, 0.0]), 1, 0.1, EntrySource::LocalInference, SimTime::ZERO);
+        let out = c.insert(
+            fv(&[0.0, 0.0]),
+            1,
+            0.1,
+            EntrySource::LocalInference,
+            SimTime::ZERO,
+        );
         assert_eq!(out, InsertOutcome::Rejected);
         assert_eq!(out.entry(), None);
         assert!(c.is_empty());
@@ -669,8 +674,7 @@ mod tests {
             IndexKind::KdTree,
             IndexKind::Nsw(NswConfig::default()),
         ] {
-            let mut c: ApproxCache<u32> =
-                ApproxCache::new(CacheConfig::new(16).with_index(kind));
+            let mut c: ApproxCache<u32> = ApproxCache::new(CacheConfig::new(16).with_index(kind));
             c.insert(
                 fv(&[1.0, 2.0]),
                 9,
@@ -713,8 +717,11 @@ mod proptests {
 
     fn op() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (-50.0f32..50.0, 0u32..5, 0.0f64..1.0)
-                .prop_map(|(x, label, confidence)| Op::Insert { x, label, confidence }),
+            (-50.0f32..50.0, 0u32..5, 0.0f64..1.0).prop_map(|(x, label, confidence)| Op::Insert {
+                x,
+                label,
+                confidence
+            }),
             (-50.0f32..50.0).prop_map(|x| Op::Lookup { x }),
             (0usize..64).prop_map(|nth| Op::Remove { nth }),
         ]

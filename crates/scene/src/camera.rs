@@ -68,10 +68,12 @@ impl Camera {
             };
             // Score: angular offset dominates; nearer objects win ties.
             let score = bearing_offset.abs() + 0.01 * distance;
-            if bearing_offset.abs() <= self.fov / 2.0 && distance <= self.max_distance
-                && best_in_fov.as_ref().is_none_or(|(_, _, s)| score < *s) {
-                    best_in_fov = Some((obj, geometry, score));
-                }
+            if bearing_offset.abs() <= self.fov / 2.0
+                && distance <= self.max_distance
+                && best_in_fov.as_ref().is_none_or(|(_, _, s)| score < *s)
+            {
+                best_in_fov = Some((obj, geometry, score));
+            }
             if best_any.as_ref().is_none_or(|(_, _, s)| score < *s) {
                 best_any = Some((obj, geometry, score));
             }

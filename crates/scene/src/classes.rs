@@ -50,8 +50,10 @@ impl ClassUniverse {
         let centers = (0..config.num_classes)
             .map(|_| {
                 let u = class_rng.unit_vector(config.descriptor_dim);
-                let scaled: Vec<f32> =
-                    u.into_iter().map(|c| (c * config.class_spread) as f32).collect();
+                let scaled: Vec<f32> = u
+                    .into_iter()
+                    .map(|c| (c * config.class_spread) as f32)
+                    .collect();
                 FeatureVector::from_vec(scaled).expect("finite scaled unit vector")
             })
             .collect();

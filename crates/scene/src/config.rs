@@ -81,9 +81,18 @@ impl SceneConfig {
     ///
     /// Panics if any count is zero or any scale is negative/non-finite.
     pub fn validate(&self) {
-        assert!(self.num_classes > 0, "SceneConfig: num_classes must be positive");
-        assert!(self.descriptor_dim > 0, "SceneConfig: descriptor_dim must be positive");
-        assert!(self.num_objects > 0, "SceneConfig: num_objects must be positive");
+        assert!(
+            self.num_classes > 0,
+            "SceneConfig: num_classes must be positive"
+        );
+        assert!(
+            self.descriptor_dim > 0,
+            "SceneConfig: descriptor_dim must be positive"
+        );
+        assert!(
+            self.num_objects > 0,
+            "SceneConfig: num_objects must be positive"
+        );
         for (name, v) in [
             ("class_spread", self.class_spread),
             ("object_offset_std", self.object_offset_std),

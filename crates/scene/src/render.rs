@@ -144,10 +144,7 @@ impl FrameRenderer {
         let bucket = (at.as_secs_f64() / crate::config::OCCLUSION_EPISODE_SECS).floor() as u64;
         // Coarse viewer cell so co-located devices share the occluder but
         // distant ones do not.
-        let cell = (
-            (pose.x / 2.0).round() as i64,
-            (pose.y / 2.0).round() as i64,
-        );
+        let cell = ((pose.x / 2.0).round() as i64, (pose.y / 2.0).round() as i64);
         let mut episode_rng = SimRng::seed(0x0cc1)
             .split_index("occlusion-bucket", bucket)
             .split_index("cell-x", cell.0 as u64)
@@ -203,8 +200,8 @@ impl FrameRenderer {
         let d = geometry.distance;
         let weights = [
             b.sin(),
-            b.cos() - 1.0,                    // 0 when dead-centre
-            (d / 10.0).tanh() - 0.5,          // distance attenuation
+            b.cos() - 1.0,           // 0 when dead-centre
+            (d / 10.0).tanh() - 0.5, // distance attenuation
             (2.0 * b).sin() * (d / 20.0).tanh(),
         ];
         let mut component = FeatureVector::zeros(dim);
@@ -226,8 +223,7 @@ impl FrameRenderer {
 fn drift_direction(dim: usize) -> FeatureVector {
     let mut rng = SimRng::seed(0x00d1_21f7).split("lighting-drift");
     let v = rng.unit_vector(dim);
-    FeatureVector::from_vec(v.into_iter().map(|c| c as f32).collect())
-        .expect("finite unit vector")
+    FeatureVector::from_vec(v.into_iter().map(|c| c as f32).collect()).expect("finite unit vector")
 }
 
 #[cfg(test)]
@@ -377,8 +373,14 @@ mod tests {
         let t20 = renderer.render(&world, &pose, SimTime::from_secs(20), &mut rng);
         let d10 = euclidean(&t0.descriptor, &t10.descriptor);
         let d20 = euclidean(&t0.descriptor, &t20.descriptor);
-        assert!((d10 - 5.0).abs() < 1e-3, "10 s at 0.5/s should be 5.0, got {d10}");
-        assert!((d20 - 10.0).abs() < 1e-3, "20 s at 0.5/s should be 10.0, got {d20}");
+        assert!(
+            (d10 - 5.0).abs() < 1e-3,
+            "10 s at 0.5/s should be 5.0, got {d10}"
+        );
+        assert!(
+            (d20 - 10.0).abs() < 1e-3,
+            "20 s at 0.5/s should be 10.0, got {d20}"
+        );
         assert_eq!(t0.truth, t20.truth, "drift must not change ground truth");
     }
 
@@ -399,12 +401,7 @@ mod tests {
         let mut prev_occluded = false;
         let total = 2_000;
         for i in 1..=total {
-            let frame = renderer.render(
-                &world,
-                &pose,
-                SimTime::from_millis(i * 100),
-                &mut rng,
-            );
+            let frame = renderer.render(&world, &pose, SimTime::from_millis(i * 100), &mut rng);
             let is_occluded = frame.subject.0 > u64::MAX / 2;
             if is_occluded {
                 occluded += 1;
@@ -415,7 +412,10 @@ mod tests {
             prev_occluded = is_occluded;
         }
         let fraction = occluded as f64 / total as f64;
-        assert!((fraction - 0.3).abs() < 0.06, "occluded fraction {fraction}");
+        assert!(
+            (fraction - 0.3).abs() < 0.06,
+            "occluded fraction {fraction}"
+        );
         // Episodes are ~0.7 s = 7 frames: transition count must be far
         // below what per-frame independence (~2·0.3·0.7·N ≈ 840) gives.
         assert!(

@@ -181,12 +181,10 @@ mod tests {
     #[test]
     fn churn_replaces_exactly_the_requested_fraction() {
         let mut w = make_world(3);
-        let before: std::collections::HashSet<u64> =
-            w.objects().iter().map(|o| o.id.0).collect();
+        let before: std::collections::HashSet<u64> = w.objects().iter().map(|o| o.id.0).collect();
         let mut rng = SimRng::seed(4);
         w.churn(0.25, &mut rng);
-        let after: std::collections::HashSet<u64> =
-            w.objects().iter().map(|o| o.id.0).collect();
+        let after: std::collections::HashSet<u64> = w.objects().iter().map(|o| o.id.0).collect();
         let surviving = before.intersection(&after).count();
         assert_eq!(surviving, 45); // 60 - 15
         assert_eq!(after.len(), 60);

@@ -210,7 +210,9 @@ mod tests {
         // come out sorted by (time, scheduling order).
         let mut state = 0x1234_5678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 1_000
         };
         for round in 0..50 {
@@ -225,7 +227,10 @@ mod tests {
             let mut last = (0u64, 0usize);
             let mut popped = 0;
             while let Some((t, seq)) = q.pop() {
-                let key = (t.as_millis(), scheduled.iter().position(|&(_, s)| s == seq).unwrap());
+                let key = (
+                    t.as_millis(),
+                    scheduled.iter().position(|&(_, s)| s == seq).unwrap(),
+                );
                 assert!(
                     key >= last,
                     "round {round}: out-of-order delivery {key:?} after {last:?}"

@@ -34,9 +34,13 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use rng::SimRng;
 pub use stats::{Cdf, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    FrameTrace, TraceGate, TraceLookup, TraceMissReason, TracePath, TracePeer, TraceRing,
+};

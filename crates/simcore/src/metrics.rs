@@ -80,7 +80,9 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { samples: Vec::new() }
+        Histogram {
+            samples: Vec::new(),
+        }
     }
 
     /// Records one observation.
@@ -89,7 +91,10 @@ impl Histogram {
     ///
     /// Panics if `value` is not finite.
     pub fn record(&mut self, value: f64) {
-        assert!(value.is_finite(), "record: value must be finite, got {value}");
+        assert!(
+            value.is_finite(),
+            "record: value must be finite, got {value}"
+        );
         self.samples.push(value);
     }
 

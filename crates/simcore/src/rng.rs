@@ -144,7 +144,10 @@ impl SimRng {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index: weights must be non-empty");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index: weights must be non-empty"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
@@ -330,7 +333,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity shuffle");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely identity shuffle"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl Summary {
 /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile_sorted: empty input");
-    assert!((0.0..=1.0).contains(&q), "percentile_sorted: q out of range: {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile_sorted: q out of range: {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -277,7 +280,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -384,7 +388,10 @@ mod tests {
         b_samples.iter().for_each(|&x| b.push(x));
         a.merge(&b);
         let mut all = OnlineStats::new();
-        a_samples.iter().chain(&b_samples).for_each(|&x| all.push(x));
+        a_samples
+            .iter()
+            .chain(&b_samples)
+            .for_each(|&x| all.push(x));
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-12);
         assert!((a.variance() - all.variance()).abs() < 1e-9);

@@ -38,7 +38,10 @@ impl Table {
     pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         assert!(!header.is_empty(), "Table::new: header must be non-empty");
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row.

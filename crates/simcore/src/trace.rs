@@ -1,0 +1,275 @@
+//! Per-frame decision traces.
+//!
+//! Aggregate counters say *how often* a pipeline took each path; when a
+//! headline claim regresses they cannot say *why*. A [`FrameTrace`]
+//! records every decision one frame went through — the motion estimate,
+//! the gate's verdict, the cache lookup outcome with its miss reason,
+//! peer-query attempts and their radio bytes, and the final resolution
+//! with its latency and energy — into a fixed-capacity [`TraceRing`].
+//!
+//! The types here are deliberately domain-neutral (plain enums and
+//! numbers) so `simcore` stays at the bottom of the dependency stack;
+//! the pipeline crates map their own vocabulary onto them.
+//!
+//! Tracing is opt-in: a ring built with [`TraceRing::disabled`] drops
+//! every record behind a single branch, so the frame path pays nothing
+//! measurable when observability is off.
+
+use std::collections::VecDeque;
+
+use crate::{SimDuration, SimTime};
+
+/// What the inertial gate decided for a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceGate {
+    /// No gate ran (the variant disables it).
+    Disabled,
+    /// Reuse the previous result without touching the frame.
+    ReusePrevious,
+    /// Proceed to a local cache lookup.
+    LookupLocal,
+    /// Motion too violent even for the cache: skip straight past it.
+    SkipLocal,
+}
+
+/// Why a cache lookup missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceMissReason {
+    /// Nothing cached yet.
+    EmptyIndex,
+    /// The nearest neighbour sat beyond the distance threshold.
+    TooFar,
+    /// In-threshold neighbours disagreed about the label.
+    NotHomogeneous,
+    /// Too few in-threshold neighbours to trust a vote.
+    InsufficientSupport,
+}
+
+impl TraceMissReason {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceMissReason::EmptyIndex => "empty-index",
+            TraceMissReason::TooFar => "too-far",
+            TraceMissReason::NotHomogeneous => "not-homogeneous",
+            TraceMissReason::InsufficientSupport => "insufficient-support",
+        }
+    }
+}
+
+/// Outcome of the local cache tier for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceLookup {
+    /// The frame never reached the local cache (fast path, skip, or the
+    /// variant has no local cache).
+    NotAttempted,
+    /// The cache answered; `distance` is the nearest-neighbour distance
+    /// (0.0 for exact-match caches).
+    Hit {
+        /// Distance to the nearest neighbour that produced the answer.
+        distance: f64,
+    },
+    /// The cache missed for the given reason.
+    Miss(TraceMissReason),
+}
+
+/// Peer-tier activity for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracePeer {
+    /// Queries sent (one per peer tried).
+    pub attempts: u32,
+    /// Exchanges that timed out (message lost either way).
+    pub timeouts: u32,
+    /// Radio bytes charged to this frame's peer queries.
+    pub bytes: u64,
+}
+
+/// How a frame was finally resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePath {
+    /// The inertial fast path echoed the previous result.
+    ImuFastPath,
+    /// The local cache answered.
+    LocalHit,
+    /// A peer's cache answered.
+    PeerHit,
+    /// The full model ran.
+    Infer,
+}
+
+impl TracePath {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TracePath::ImuFastPath => "imu-fast-path",
+            TracePath::LocalHit => "local-hit",
+            TracePath::PeerHit => "peer-hit",
+            TracePath::Infer => "infer",
+        }
+    }
+
+    /// All paths, cheapest first.
+    pub fn all() -> [TracePath; 4] {
+        [
+            TracePath::ImuFastPath,
+            TracePath::LocalHit,
+            TracePath::PeerHit,
+            TracePath::Infer,
+        ]
+    }
+}
+
+/// Everything one frame went through, end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameTrace {
+    /// When the frame arrived.
+    pub at: SimTime,
+    /// Instantaneous motion score from the IMU window.
+    pub motion_score: f64,
+    /// Motion accumulated since the last validated result.
+    pub cumulative_motion: f64,
+    /// The gate's verdict.
+    pub gate: TraceGate,
+    /// Scene-change check verdict on the fast path: `None` when the check
+    /// did not run, `Some(true)` when it demoted the fast path.
+    pub scene_changed: Option<bool>,
+    /// Local cache tier outcome.
+    pub local: TraceLookup,
+    /// Peer tier activity.
+    pub peer: TracePeer,
+    /// Final resolution.
+    pub path: TracePath,
+    /// End-to-end frame latency.
+    pub latency: SimDuration,
+    /// Energy charged to the frame, millijoules.
+    pub energy_mj: f64,
+}
+
+/// A fixed-capacity ring of [`FrameTrace`]s (oldest evicted first).
+///
+/// Capacity 0 is the disabled state: [`record`](TraceRing::record)
+/// returns immediately and callers can skip building traces entirely by
+/// checking [`is_enabled`](TraceRing::is_enabled).
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    capacity: usize,
+    buf: VecDeque<FrameTrace>,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `capacity` traces.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity,
+            // Bound the eager allocation: a huge capacity only ever holds
+            // what is actually recorded.
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// The disabled ring: records nothing, costs one branch per record.
+    pub fn disabled() -> TraceRing {
+        TraceRing::new(0)
+    }
+
+    /// Whether records are kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Maximum traces retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records one trace, evicting the oldest when full. No-op when
+    /// disabled.
+    #[inline]
+    pub fn record(&mut self, trace: FrameTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(trace);
+    }
+
+    /// Iterates retained traces, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FrameTrace> {
+        self.buf.iter()
+    }
+
+    /// Copies the retained traces out, oldest first.
+    pub fn to_vec(&self) -> Vec<FrameTrace> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Drops all retained traces (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_at(ms: u64) -> FrameTrace {
+        FrameTrace {
+            at: SimTime::from_millis(ms),
+            motion_score: 0.0,
+            cumulative_motion: 0.0,
+            gate: TraceGate::LookupLocal,
+            scene_changed: None,
+            local: TraceLookup::Miss(TraceMissReason::EmptyIndex),
+            peer: TracePeer::default(),
+            path: TracePath::Infer,
+            latency: SimDuration::from_millis(80),
+            energy_mj: 1.0,
+        }
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut ring = TraceRing::disabled();
+        assert!(!ring.is_enabled());
+        ring.record(trace_at(0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_traces() {
+        let mut ring = TraceRing::new(3);
+        assert!(ring.is_enabled());
+        for ms in 0..5 {
+            ring.record(trace_at(ms));
+        }
+        assert_eq!(ring.len(), 3);
+        let kept: Vec<u64> = ring.iter().map(|t| t.at.as_millis()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted first");
+        assert_eq!(ring.to_vec().len(), 3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn names_and_orders() {
+        assert_eq!(TracePath::all().len(), 4);
+        assert_eq!(TracePath::ImuFastPath.name(), "imu-fast-path");
+        assert_eq!(TraceMissReason::TooFar.name(), "too-far");
+    }
+}

@@ -101,8 +101,8 @@ impl StreamRecording {
         let mut outcomes = Vec::with_capacity(self.frames.len());
         let mut prev = SimTime::ZERO;
         for frame in &self.frames {
-            let start = ((prev.as_secs_f64() * self.imu_rate_hz).floor() as usize + 1)
-                .min(self.imu.len());
+            let start =
+                ((prev.as_secs_f64() * self.imu_rate_hz).floor() as usize + 1).min(self.imu.len());
             let end = ((frame.at.as_secs_f64() * self.imu_rate_hz).floor() as usize + 1)
                 .min(self.imu.len());
             let window = &self.imu[start.min(end)..end];
@@ -207,7 +207,9 @@ mod tests {
             .filter(|o| o.path != ResolutionPath::FullInference)
             .count();
         assert!(reused > with_cache.len() / 2, "reused {reused}");
-        assert!(without.iter().all(|o| o.path == ResolutionPath::FullInference));
+        assert!(without
+            .iter()
+            .all(|o| o.path == ResolutionPath::FullInference));
         // Same ground truth in both replays.
         for (a, b) in with_cache.iter().zip(&without) {
             assert_eq!(a.truth, b.truth);

@@ -102,7 +102,10 @@ pub fn cell<'a>(
 
 /// Geometrically spaced capacity values for the eviction experiment.
 pub fn capacity_sweep(from: usize, to: usize) -> Vec<usize> {
-    assert!(from > 0 && from <= to, "capacity_sweep: need 0 < from <= to");
+    assert!(
+        from > 0 && from <= to,
+        "capacity_sweep: need 0 < from <= to"
+    );
     let mut values = Vec::new();
     let mut v = from;
     while v < to {
@@ -130,8 +133,8 @@ mod tests {
 
     #[test]
     fn matrix_covers_all_cells() {
-        let scenarios: Vec<Scenario> = vec![video::stationary()
-            .with_duration(SimDuration::from_secs(3))];
+        let scenarios: Vec<Scenario> =
+            vec![video::stationary().with_duration(SimDuration::from_secs(3))];
         let variants = [SystemVariant::NoCache, SystemVariant::Full];
         let cells = run_matrix(&scenarios, &variants, 1);
         assert_eq!(cells.len(), 2);

@@ -65,7 +65,14 @@ fn main() {
     let config = PipelineConfig::new().with_peer(None);
 
     // Session 1: cold start.
-    let mut first = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
+    let mut first = Device::new(
+        DeviceId(0),
+        SystemVariant::Full,
+        &config,
+        &universe,
+        256,
+        seed,
+    );
     let mut rng = root.split("frames-1");
     let cold_inferences = run_session(&mut first, &world, &renderer, &trace, &imu, &mut rng);
 
@@ -83,15 +90,27 @@ fn main() {
     // "App relaunched": a fresh process — and a fresh device — restores.
     let parsed: CacheSnapshot<approx_caching::vision::ClassId> =
         CacheSnapshot::from_json(&json).expect("snapshot parses");
-    let mut warm = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
-    let restored = warm
-        .cache()
-        .with(|c| parsed.restore_into(c, SimTime::ZERO));
+    let mut warm = Device::new(
+        DeviceId(0),
+        SystemVariant::Full,
+        &config,
+        &universe,
+        256,
+        seed,
+    );
+    let restored = warm.cache().with(|c| parsed.restore_into(c, SimTime::ZERO));
     let mut rng = root.split("frames-1"); // identical second session
     let warm_inferences = run_session(&mut warm, &world, &renderer, &trace, &imu, &mut rng);
 
     // Control: the same second session without restoring.
-    let mut cold2 = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, seed);
+    let mut cold2 = Device::new(
+        DeviceId(0),
+        SystemVariant::Full,
+        &config,
+        &universe,
+        256,
+        seed,
+    );
     let mut rng = root.split("frames-1");
     let cold2_inferences = run_session(&mut cold2, &world, &renderer, &trace, &imu, &mut rng);
 

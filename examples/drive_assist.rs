@@ -47,7 +47,9 @@ fn main() {
     println!("{table}");
     println!("a car at constant speed is gyro-quiet, so the inertial gate reuses");
     println!("aggressively even though the scene drifts — the bounded reuse age");
-    println!("(revalidation every {} ms) is what keeps stale labels in check,",
-        config.gate.max_reuse_age.as_millis());
+    println!(
+        "(revalidation every {} ms) is what keeps stale labels in check,",
+        config.gate.max_reuse_age.as_millis()
+    );
     println!("visible here as the gap between mean and p99 latency.");
 }

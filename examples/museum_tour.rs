@@ -16,18 +16,13 @@ fn main() {
     let scenario = multi::museum(8).with_duration(SimDuration::from_secs(30));
     let config = PipelineConfig::calibrated(&scenario, seed);
 
-    println!("eight visitors, one gallery, {} exhibits\n", scenario.scene.num_objects);
+    println!(
+        "eight visitors, one gallery, {} exhibits\n",
+        scenario.scene.num_objects
+    );
 
     let mut table = Table::new(vec![
-        "system",
-        "mean_ms",
-        "p95_ms",
-        "accuracy",
-        "imu",
-        "local",
-        "peer",
-        "dnn",
-        "net_kB",
+        "system", "mean_ms", "p95_ms", "accuracy", "imu", "local", "peer", "dnn", "net_kB",
     ]);
     for variant in [
         SystemVariant::NoCache,

@@ -19,10 +19,7 @@ fn main() {
     // Calibrate the cache's distance threshold for this scene, exactly as
     // a deployment would with a small labelled warm-up set.
     let config = PipelineConfig::calibrated(&scenario, seed);
-    println!(
-        "model: {} on a {} phone",
-        config.model, config.device_class
-    );
+    println!("model: {} on a {} phone", config.model, config.device_class);
     println!(
         "calibrated A-kNN distance threshold: {:.2}\n",
         config.cache.aknn.distance_threshold

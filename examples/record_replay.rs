@@ -61,10 +61,11 @@ fn main() {
         ),
         (
             "half threshold",
-            base.clone().with_cache(base.cache.clone().with_aknn(AknnConfig {
-                distance_threshold: base.cache.aknn.distance_threshold * 0.5,
-                ..base.cache.aknn
-            })),
+            base.clone()
+                .with_cache(base.cache.clone().with_aknn(AknnConfig {
+                    distance_threshold: base.cache.aknn.distance_threshold * 0.5,
+                    ..base.cache.aknn
+                })),
         ),
     ];
 

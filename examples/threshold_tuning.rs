@@ -22,15 +22,12 @@ fn main() {
     let mut table = Table::new(vec!["threshold", "reuse", "accuracy", "mean_ms"]);
     for multiplier in sweep::linear_sweep(0.25, 2.0, 8) {
         let threshold = calibrated_threshold * multiplier;
-        let config = calibrated.clone().with_cache(
-            calibrated
-                .cache
-                .clone()
-                .with_aknn(AknnConfig {
-                    distance_threshold: threshold,
-                    ..calibrated.cache.aknn
-                }),
-        );
+        let config = calibrated
+            .clone()
+            .with_cache(calibrated.cache.clone().with_aknn(AknnConfig {
+                distance_threshold: threshold,
+                ..calibrated.cache.aknn
+            }));
         let report = run_scenario(&scenario, &config, SystemVariant::Full, seed);
         table.row(vec![
             fnum(threshold, 2),

@@ -70,10 +70,14 @@ fn parse_args() -> Result<Args, String> {
             "--scenario" => args.scenario = value,
             "--variant" => args.variant = value,
             "--devices" => {
-                args.devices = value.parse().map_err(|_| format!("bad --devices: {value}"))?
+                args.devices = value
+                    .parse()
+                    .map_err(|_| format!("bad --devices: {value}"))?
             }
             "--seconds" => {
-                args.seconds = value.parse().map_err(|_| format!("bad --seconds: {value}"))?
+                args.seconds = value
+                    .parse()
+                    .map_err(|_| format!("bad --seconds: {value}"))?
             }
             "--fps" => args.fps = value.parse().map_err(|_| format!("bad --fps: {value}"))?,
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed: {value}"))?,
@@ -98,7 +102,9 @@ fn scenario_by_name(name: &str, devices: usize) -> Result<Scenario, String> {
         other => return Err(format!("unknown scenario: {other}")),
     };
     if devices > 1 && scenario.devices == 1 {
-        return Err(format!("scenario {name} is single-device; use museum or campus"));
+        return Err(format!(
+            "scenario {name} is single-device; use museum or campus"
+        ));
     }
     Ok(scenario)
 }

@@ -36,23 +36,23 @@
 //! assert!(full.latency_ms.mean < baseline.latency_ms.mean);
 //! ```
 
-/// The pipeline, baselines, simulator and reports.
-pub use approxcache as system;
-/// The approximate cache data structure.
-pub use reuse as cache;
 /// Nearest-neighbour indexes and the adaptive k-NN hit test.
 pub use ann as search;
+/// The pipeline, baselines, simulator and reports.
+pub use approxcache as system;
+/// The mobile DNN inference simulator.
+pub use dnnsim as inference;
 /// Feature vectors, random projections and perceptual hashes.
 pub use features as keys;
 /// IMU trace synthesis, motion estimation and the reuse gate.
 pub use imu as inertial;
-/// The synthetic visual world.
-pub use scene as vision;
-/// The mobile DNN inference simulator.
-pub use dnnsim as inference;
 /// Infrastructure-less peer-to-peer networking.
 pub use p2pnet as network;
-/// Named scenarios, sweeps and persistence.
-pub use workloads as workload;
+/// The approximate cache data structure.
+pub use reuse as cache;
+/// The synthetic visual world.
+pub use scene as vision;
 /// Simulation substrate: virtual time, seeded RNG, metrics, tables.
 pub use simcore as runtime;
+/// Named scenarios, sweeps and persistence.
+pub use workloads as workload;

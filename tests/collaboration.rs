@@ -6,6 +6,8 @@ use approx_caching::network::{LinkSpec, P2pMessage, Transport, WireEntry};
 use approx_caching::runtime::{SimRng, SimTime};
 use approx_caching::vision::ClassId;
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn wire_protocol_carries_cache_entries_between_caches() {
     // Device A caches a result, serializes it, "sends" it through the
@@ -47,6 +49,8 @@ fn wire_protocol_carries_cache_entries_between_caches() {
     assert_eq!(hit.label(), Some(&ClassId(7)));
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn peer_entries_respect_stricter_admission() {
     let mut cache: ApproxCache<ClassId> = ApproxCache::new(CacheConfig::new(16));
@@ -59,6 +63,8 @@ fn peer_entries_respect_stricter_admission() {
     assert!(matches!(accepted, approx_caching::cache::InsertOutcome::Inserted(_)));
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn query_reply_round_trip_over_lossy_link() {
     // A full query/reply exchange: the querying side encodes, the remote
@@ -114,6 +120,8 @@ fn query_reply_round_trip_over_lossy_link() {
     assert!((rate - 0.36).abs() < 0.05, "round-trip failure rate {rate}");
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn shared_projection_makes_keys_compatible_across_devices() {
     // Two devices must produce identical keys for identical frames, or

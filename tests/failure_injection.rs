@@ -50,6 +50,8 @@ fn slow_radio_does_not_make_full_system_worse_than_local() {
     );
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn tiny_cache_still_works_correctly() {
     // Capacity 1: constant eviction, but never a crash and never a wrong
@@ -99,6 +101,8 @@ fn empty_imu_windows_are_tolerated() {
     assert!(report.reuse_rate() > 0.5);
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn heavy_occlusion_degrades_gracefully() {
     // 30% of the time a passer-by fills the frame with something else:

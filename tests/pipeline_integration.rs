@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full pipeline over real scenarios.
 
 use approx_caching::runtime::SimDuration;
+#[rustfmt::skip]
 use approx_caching::system::{
     run_scenario, PipelineConfig, ResolutionPath, SystemVariant,
 };
@@ -10,6 +11,8 @@ fn quick(scenario: approx_caching::system::Scenario) -> approx_caching::system::
     scenario.with_duration(SimDuration::from_secs(10))
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn full_system_beats_no_cache_on_every_reuse_friendly_scenario() {
     for scenario in [video::stationary(), video::slow_pan(), video::turn_and_look()] {
@@ -101,6 +104,8 @@ fn whole_runs_are_reproducible_from_the_seed() {
     assert_eq!(a.cache, b.cache);
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn frame_counts_match_duration_times_fps() {
     let scenario = quick(video::stationary());
@@ -112,6 +117,8 @@ fn frame_counts_match_duration_times_fps() {
     assert_eq!(report.frames, 200, "5 s at 10 fps on four devices");
 }
 
+// Kept in seed formatting.
+#[rustfmt::skip]
 #[test]
 fn lookup_and_stats_invariants_hold_end_to_end() {
     let scenario = quick(video::walking_tour());

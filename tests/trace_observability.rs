@@ -1,0 +1,89 @@
+//! Cross-crate checks that the per-frame decision traces agree with the
+//! aggregate report: both views are derived from the same counters, so a
+//! traced run must reconcile exactly with its own summary.
+
+use approx_caching::runtime::{SimDuration, TraceGate, TraceLookup, TracePath};
+use approx_caching::system::{
+    run_scenario_detailed, PipelineConfig, ResolutionPath, SystemVariant,
+};
+use approx_caching::workload::video;
+
+fn traced_run(
+    scenario: approx_caching::system::Scenario,
+    seed: u64,
+) -> approx_caching::system::SimResult {
+    let scenario = scenario.with_duration(SimDuration::from_secs(10));
+    let config = PipelineConfig::calibrated(&scenario, seed).with_trace_capacity(Some(8192));
+    run_scenario_detailed(&scenario, &config, SystemVariant::Full, seed)
+}
+
+#[test]
+fn per_path_trace_counts_match_the_report() {
+    for (scenario, seed) in [
+        (video::stationary(), 61),
+        (video::slow_pan(), 62),
+        (video::turn_and_look(), 63),
+    ] {
+        let name = scenario.name.clone();
+        let result = traced_run(scenario, seed);
+        let traces: Vec<_> = result.traces.iter().flatten().collect();
+        assert_eq!(
+            traces.len(),
+            result.report.frames,
+            "{name}: every frame must be traced"
+        );
+        for (path, trace_path) in [
+            (ResolutionPath::ImuReuse, TracePath::ImuFastPath),
+            (ResolutionPath::LocalCache, TracePath::LocalHit),
+            (ResolutionPath::PeerCache, TracePath::PeerHit),
+            (ResolutionPath::FullInference, TracePath::Infer),
+        ] {
+            let idx = ResolutionPath::all()
+                .iter()
+                .position(|p| *p == path)
+                .expect("path enumerated");
+            let traced = traces.iter().filter(|t| t.path == trace_path).count();
+            assert_eq!(
+                traced, result.report.path_counts[idx] as usize,
+                "{name}: trace count for {path} disagrees with the report"
+            );
+        }
+    }
+}
+
+#[test]
+fn traces_reconcile_with_cache_and_latency_totals() {
+    let result = traced_run(video::slow_pan(), 64);
+    let traces: Vec<_> = result.traces.iter().flatten().collect();
+
+    // Local lookup outcomes in the trace must sum to the cache counters
+    // in the report — both sides read the same registry.
+    let hits = traces
+        .iter()
+        .filter(|t| matches!(t.local, TraceLookup::Hit { .. }))
+        .count() as u64;
+    let misses = traces
+        .iter()
+        .filter(|t| matches!(t.local, TraceLookup::Miss(_)))
+        .count() as u64;
+    assert_eq!(hits, result.report.cache.hits);
+    assert_eq!(hits + misses, result.report.cache.lookups);
+
+    // Every traced fast-path frame passed the gate and the scene check.
+    for t in traces.iter().filter(|t| t.path == TracePath::ImuFastPath) {
+        assert_eq!(t.gate, TraceGate::ReusePrevious);
+        assert_eq!(t.scene_changed, Some(false));
+    }
+
+    // Per-frame latencies in the trace aggregate to the report's mean.
+    let mean_ms = traces
+        .iter()
+        .map(|t| t.latency.as_millis_f64())
+        .sum::<f64>()
+        / traces.len() as f64;
+    assert!(
+        (mean_ms - result.report.latency_ms.mean).abs() < 1e-9,
+        "trace mean {mean_ms} vs report mean {}",
+        result.report.latency_ms.mean
+    );
+}

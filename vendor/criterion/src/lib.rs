@@ -1,0 +1,170 @@
+//! Offline API-compatible subset of `criterion`: a minimal wall-clock
+//! benchmark harness with the same calling convention. It runs each
+//! benchmark for a fixed sample count, prints mean per-iteration time,
+//! and does no statistical analysis or HTML reporting.
+
+use std::time::{Duration, Instant};
+
+/// Identifies a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    /// Mean per-iteration duration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample to get a
+    /// stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the inner loop so one sample is ~1ms.
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(10));
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_sample as u64;
+        }
+        self.last_mean = total / iters.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    samples: u32,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} {:>12.3?}/iter",
+            self.name,
+            id.to_string(),
+            bencher.last_mean
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        println!(
+            "{}/{:<40} {:>12.3?}/iter",
+            self.name,
+            id.to_string(),
+            bencher.last_mean
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            samples: 30,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value (same contract as
+/// `std::hint::black_box`, re-exported for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

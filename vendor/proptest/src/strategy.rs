@@ -1,0 +1,267 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A generator of values for property tests (no shrinking in the shim).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The combinator returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy handle.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies ([`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.index(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- Numeric ranges --------------------------------------------------
+//
+// `lo..hi` is itself a strategy. ~10% of draws pin the low boundary so
+// edge values (0.0 distances, empty budgets) show up reliably; the rest
+// are uniform over the range.
+
+const LOW_EDGE_BIAS: f64 = 0.10;
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                if rng.chance(LOW_EDGE_BIAS) {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                if rng.chance(LOW_EDGE_BIAS) {
+                    return self.start;
+                }
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; stay inside.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// --- Tuples ----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_low_edge() {
+        let mut r = rng();
+        let s = 0.0f64..3.0;
+        let mut saw_zero = false;
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((0.0..3.0).contains(&v));
+            saw_zero |= v == 0.0;
+        }
+        assert!(saw_zero, "low-boundary bias should produce exact 0.0");
+
+        let s = 0u8..4;
+        for _ in 0..200 {
+            assert!(s.generate(&mut r) < 4);
+        }
+        let s = -50.0f32..50.0;
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((-50.0..50.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_union_uses_every_arm() {
+        let u = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let s = crate::collection::vec((0.0f64..1.0, 0u8..4), 1..12).prop_map(|v| v.len());
+        let mut r = rng();
+        for _ in 0..100 {
+            let n = s.generate(&mut r);
+            assert!((1..12).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! A minimal, self-contained subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a value-tree flavoured serde: [`Serialize`] lowers a type to a
+//! [`Value`] and [`Deserialize`] rebuilds it. `serde_json` (also
+//! vendored) renders that tree to JSON text and back. The data model is a
+//! faithful subset of upstream serde's: structs become objects, newtype
+//! structs are transparent, enums are externally tagged.
+//!
+//! The derive macros live in the vendored `serde_derive` and are
+//! re-exported here, so `use serde::{Serialize, Deserialize}` works
+//! exactly as with upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Error produced while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself to a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the tree does not fit.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization-side helpers, mirroring upstream `serde::de`.
+pub mod de {
+    pub use crate::DeError as Error;
+
+    /// A type deserializable without borrowing from the input.
+    ///
+    /// This shim has no zero-copy deserialization, so every
+    /// [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected unsigned integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // The shim cannot borrow from the transient `Value`, so static
+        // string fields (short preset names in configs) are leaked.
+        // Interning common cases keeps repeated round-trips bounded.
+        let s = String::from_value(v)?;
+        Ok(intern_static(s))
+    }
+}
+
+fn intern_static(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    match set.get(s.as_str()) {
+        Some(existing) => existing,
+        None => {
+            let leaked: &'static str = Box::leak(s.into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let tuple = ($(
+                            {
+                                let _ = $idx;
+                                $name::from_value(it.next().ok_or_else(|| {
+                                    DeError::custom("tuple too short")
+                                })?)?
+                            },
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::custom("tuple too long"));
+                        }
+                        Ok(tuple)
+                    }
+                    other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = match k.to_value() {
+                Value::String(s) => s,
+                other => other.render_compact(),
+            };
+            map.insert(key, v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = match k.to_value() {
+                Value::String(s) => s,
+                other => other.render_compact(),
+            };
+            map.insert(key, v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Codec for map keys, which JSON objects force to be strings.
+pub trait MapKey: Sized {
+    /// Renders the key as an object key.
+    fn to_map_key(&self) -> String;
+    /// Parses the key back from an object key.
+    fn from_map_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_map_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_map_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_map_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_map_key(key: &str) -> Result<$t, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::custom(format!(
+                        "invalid {} map key `{key}`", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom("HashMap: expected object"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((K::from_map_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom("BTreeMap: expected object"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((K::from_map_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive-macro support (hidden from docs; not a public API)
+// ---------------------------------------------------------------------
+
+/// Fetches and deserializes a struct field from an object value.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &Map, ty: &str, name: &str) -> Result<T, DeError> {
+    let v = obj
+        .get(name)
+        .ok_or_else(|| DeError::custom(format!("{ty}: missing field `{name}`")))?;
+    T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{name}: {e}")))
+}
+
+/// Interprets an externally tagged enum value as `(tag, payload)`.
+#[doc(hidden)]
+pub fn __enum_parts<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), DeError> {
+    match v {
+        Value::String(tag) => Ok((tag, None)),
+        Value::Object(map) if map.len() == 1 => {
+            let (tag, payload) = map.iter().next().expect("len checked");
+            Ok((tag, Some(payload)))
+        }
+        other => Err(DeError::custom(format!(
+            "{ty}: expected variant tag, got {other:?}"
+        ))),
+    }
+}
+
+/// Extracts the `n`-th element of a tuple-variant payload array.
+#[doc(hidden)]
+pub fn __tuple_elem<T: Deserialize>(
+    v: &Value,
+    ty: &str,
+    n: usize,
+    arity: usize,
+) -> Result<T, DeError> {
+    if arity == 1 && n == 0 {
+        return T::from_value(v).map_err(|e| DeError::custom(format!("{ty}: {e}")));
+    }
+    match v {
+        Value::Array(items) if items.len() == arity => {
+            T::from_value(&items[n]).map_err(|e| DeError::custom(format!("{ty}[{n}]: {e}")))
+        }
+        other => Err(DeError::custom(format!(
+            "{ty}: expected {arity}-element array, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Number(Number::U(4))).unwrap(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let arr = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let t = (1u32, 2.5f64, "x".to_string());
+        assert_eq!(<(u32, f64, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn cross_type_numbers_deserialize() {
+        // A JSON reader may produce I or F where a U is expected.
+        assert_eq!(u64::from_value(&Value::Number(Number::I(4))).unwrap(), 4);
+        assert_eq!(f64::from_value(&Value::Number(Number::U(4))).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! The JSON-shaped value tree shared by the vendored serde stack.
+
+/// A JSON number, keeping integer identity where possible.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An unsigned integer.
+    U(u64),
+    /// A signed integer.
+    I(i64),
+    /// A float.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, may lose precision).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(n) => n,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) => u64::try_from(n).ok(),
+            Number::F(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(n) => i64::try_from(n).ok(),
+            Number::I(n) => Some(n),
+            Number::F(n) if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 => {
+                Some(n as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            // Mixed or float comparisons go through f64 (serialization
+            // and parsing may disagree about integer flavour).
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// An order-preserving string-keyed map of values.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value under `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces `key`, returning the previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.get_mut(&key) {
+            Some(slot) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Map) -> bool {
+        // Key order is a serialization artifact, not part of the value.
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, when an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the array, when an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the object map, when an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Compact single-line JSON rendering (used for non-string map keys;
+    /// `serde_json` has the full pretty printer).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        render(self, &mut out);
+        out
+    }
+}
+
+fn render(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&render_number(*n)),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a number as shortest round-trip JSON.
+pub fn render_number(n: Number) -> String {
+    match n {
+        Number::U(u) => u.to_string(),
+        Number::I(i) => i.to_string(),
+        Number::F(f) if f.is_finite() => {
+            // Rust's Debug for f64 is the shortest representation that
+            // round-trips; it is valid JSON except for integral values
+            // ("1.0"), which JSON also accepts.
+            format!("{f:?}")
+        }
+        // JSON cannot express NaN/infinities; match serde_json's null.
+        Number::F(_) => "null".to_owned(),
+    }
+}
+
+/// Renders a string with JSON escaping.
+pub fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_value_from_num {
+    ($($t:ty => $variant:ident as $repr:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::$variant(v as $repr))
+            }
+        }
+    )*};
+}
+impl_value_from_num!(
+    u8 => U as u64, u16 => U as u64, u32 => U as u64, u64 => U as u64,
+    usize => U as u64,
+    i8 => I as i64, i16 => I as i64, i32 => I as i64, i64 => I as i64,
+    isize => I as i64,
+    f32 => F as f64, f64 => F as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_object().and_then(|m| m.get(key)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        let map = match self {
+            Value::Object(m) => m,
+            other => panic!("cannot index non-object value {other:?} by string"),
+        };
+        if map.get(key).is_none() {
+            map.insert(key.to_owned(), Value::Null);
+        }
+        map.get_mut(key).expect("just inserted")
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_replaces_on_reinsert() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(true));
+        let old = m.insert("a".into(), Value::Bool(false));
+        assert_eq!(old, Some(Value::Bool(true)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn map_equality_ignores_order() {
+        let mut a = Map::new();
+        a.insert("x".into(), Value::Null);
+        a.insert("y".into(), Value::Bool(true));
+        let mut b = Map::new();
+        b.insert("y".into(), Value::Bool(true));
+        b.insert("x".into(), Value::Null);
+        assert_eq!(Value::Object(a), Value::Object(b));
+    }
+
+    #[test]
+    fn index_mut_creates_keys() {
+        let mut v = Value::Object(Map::new());
+        v["k"] = Value::Bool(true);
+        assert_eq!(v["k"], Value::Bool(true));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn number_comparisons_cross_flavours() {
+        assert_eq!(Number::U(4), Number::F(4.0));
+        assert_eq!(Number::I(-1), Number::F(-1.0));
+        assert!(Number::U(4) != Number::F(4.5));
+    }
+}

@@ -1,0 +1,531 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-tree data model of the vendored `serde` crate, with no
+//! dependency on `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro` token stream (the workspace's types are plain structs and
+//! externally-taggable enums, which keeps the grammar small).
+//!
+//! Supported shapes: unit/tuple/named structs, enums with unit, tuple and
+//! struct variants, one level of type generics, and the `#[serde(skip)]`
+//! field attribute (omitted on serialize, `Default::default()` on
+//! deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    UnitStruct,
+    TupleStruct(Vec<Field>),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    pos += 1;
+
+    let type_params = parse_generics(&tokens, &mut pos);
+
+    // Skip a `where` clause if present (none of the workspace's derived
+    // types have one, but be tolerant).
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while pos < tokens.len() && !matches!(&tokens[pos], TokenTree::Group(_)) {
+            pos += 1;
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            None | Some(TokenTree::Punct(_)) => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            other => panic!("unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        type_params,
+        body,
+    }
+}
+
+/// Advances past leading `#[...]` attributes, returning whether any of
+/// them was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                skip |= attr_is_serde_skip(g.stream());
+                *pos += 2;
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `<...>` after the type name, returning the type-parameter
+/// idents (lifetimes and bounds are skipped).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(&tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut in_lifetime = false;
+    while *pos < tokens.len() && depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+                in_lifetime = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => in_lifetime = true,
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                if in_lifetime {
+                    in_lifetime = false;
+                } else if id.to_string() == "const" {
+                    // const generics unsupported in derived types.
+                } else {
+                    params.push(id.to_string());
+                    expecting_param = false;
+                }
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        pos += 1;
+        assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket
+/// depth aware; `(...)`, `[...]` arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0usize;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while pos < tokens.len()
+                && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.type_params.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.type_params.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            plain
+        )
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_owned(),
+        Body::TupleStruct(fields) => {
+            let live: Vec<usize> = (0..fields.len()).filter(|&i| !fields[i].skip).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Body::NamedStruct(fields) => emit_named_to_object(fields, "self.", ""),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_owned()),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => {{ \
+                                   let mut __m = ::serde::Map::new(); \
+                                   __m.insert(\"{vname}\".to_owned(), {payload}); \
+                                   ::serde::Value::Object(__m) \
+                                 }},",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| f.name.clone().expect("named"))
+                                .collect();
+                            let payload = emit_named_to_object(fields, "", "__v_");
+                            let renames: Vec<String> =
+                                binds.iter().map(|b| format!("{b}: __v_{b}")).collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {{ \
+                                   let mut __m = ::serde::Map::new(); \
+                                   __m.insert(\"{vname}\".to_owned(), {payload}); \
+                                   ::serde::Value::Object(__m) \
+                                 }},",
+                                renames.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+/// Builds a `Value::Object` expression from named fields, reading each
+/// field as `{access}{prefix}{field}` (skip fields omitted).
+fn emit_named_to_object(fields: &[Field], access: &str, prefix: &str) -> String {
+    let mut out = String::from("{ let mut __map = ::serde::Map::new(); ");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let fname = f.name.as_ref().expect("named field");
+        out.push_str(&format!(
+            "__map.insert(\"{fname}\".to_owned(), \
+             ::serde::Serialize::to_value(&{access}{prefix}{fname})); "
+        ));
+    }
+    out.push_str("::serde::Value::Object(__map) }");
+    out
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{{ let _ = __v; Ok({name}) }}"),
+        Body::TupleStruct(fields) => {
+            let live: Vec<usize> = (0..fields.len()).filter(|&i| !fields[i].skip).collect();
+            let arity = live.len();
+            let mut args: Vec<String> = Vec::new();
+            let mut live_seen = 0usize;
+            for (i, f) in fields.iter().enumerate() {
+                if f.skip {
+                    args.push("::std::default::Default::default()".to_owned());
+                } else {
+                    let _ = i;
+                    args.push(format!(
+                        "::serde::__tuple_elem(__v, \"{name}\", {live_seen}, {arity})?"
+                    ));
+                    live_seen += 1;
+                }
+            }
+            format!("Ok({name}({}))", args.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let inits = emit_named_inits(fields, name);
+            format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| \
+                   ::serde::DeError::custom(\"{name}: expected object\"))?; \
+                   Ok({name} {{ {inits} }}) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("\"{vname}\" => Ok({name}::{vname}),")
+                        }
+                        VariantFields::Tuple(n) => {
+                            let args: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::__tuple_elem(__p, \
+                                         \"{name}::{vname}\", {i}, {n})?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let __p = __payload.ok_or_else(|| \
+                                     ::serde::DeError::custom(\
+                                       \"{name}::{vname}: missing payload\"))?; \
+                                   Ok({name}::{vname}({})) \
+                                 }},",
+                                args.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits = emit_named_inits(fields, &format!("{name}::{vname}"));
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let __p = __payload.ok_or_else(|| \
+                                     ::serde::DeError::custom(\
+                                       \"{name}::{vname}: missing payload\"))?; \
+                                   let __obj = __p.as_object().ok_or_else(|| \
+                                     ::serde::DeError::custom(\
+                                       \"{name}::{vname}: expected object\"))?; \
+                                   Ok({name}::{vname} {{ {inits} }}) \
+                                 }},",
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let (__tag, __payload) = ::serde::__enum_parts(__v, \"{name}\")?; \
+                   match __tag {{ {} __other => Err(::serde::DeError::custom(format!(\
+                     \"{name}: unknown variant `{{}}`\", __other))) }} }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn emit_named_inits(fields: &[Field], ty: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_ref().expect("named field");
+            if f.skip {
+                format!("{fname}: ::std::default::Default::default()")
+            } else {
+                format!("{fname}: ::serde::__field(__obj, \"{ty}\", \"{fname}\")?")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
