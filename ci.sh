@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== xtask lint (determinism / units / counters / panic budget) =="
+cargo run -q -p xtask -- lint
+
 echo "== cargo test (tier-1: root integration suite) =="
 cargo test -q
 

@@ -220,6 +220,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: a unanimous vote is exactly 1.0.
+    #[allow(clippy::float_cmp)]
     fn close_unanimous_neighbours_hit() {
         let out = decide(&[(0.1, 7u32), (0.2, 7), (0.3, 7)], &config());
         match out {
@@ -301,6 +303,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: the duplicate's distance is exactly 0.0.
+    #[allow(clippy::float_cmp)]
     fn zero_distance_duplicate_is_authoritative() {
         // The recorded proptest regression (proptest-regressions/aknn.txt):
         // an exact duplicate of a cached key must hit even when an

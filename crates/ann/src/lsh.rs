@@ -306,6 +306,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: an empty index has exactly zero mean.
+    #[allow(clippy::float_cmp)]
     fn remove_purges_all_tables() {
         let mut rng = SimRng::seed(4);
         let keys = random_vectors(50, 8, &mut rng);

@@ -137,6 +137,8 @@ impl AdaptiveController {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -418,6 +418,8 @@ fn offset_trace(trace: MotionTrace, (dx, dy): (f64, f64)) -> MotionTrace {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -9,6 +9,7 @@ use imu::{GateDecision, ImuSample, MotionEstimator};
 use p2pnet::{P2pMessage, RemoteHit, Transport, WireEntry};
 use reuse::{ApproxCache, EntrySource, LookupResult, SharedCache};
 use scene::{ClassId, Frame};
+use simcore::units::Millijoules;
 use simcore::{
     FrameTrace, SimDuration, SimRng, SimTime, TraceGate, TraceLookup, TraceMissReason, TracePath,
     TracePeer, TraceRing,
@@ -85,8 +86,9 @@ pub struct FrameOutcome {
     pub truth: ClassId,
     /// End-to-end frame latency.
     pub latency: SimDuration,
-    /// Energy charged to this frame, millijoules.
-    pub energy_mj: f64,
+    /// Energy charged to this frame.
+    #[serde(rename = "energy_mj")]
+    pub energy: Millijoules,
     /// Which tier answered.
     pub path: ResolutionPath,
 }
@@ -319,7 +321,7 @@ impl Device {
         now: SimTime,
     ) -> FrameOutcome {
         let mut latency = SimDuration::ZERO;
-        let mut energy_mj = 0.0;
+        let mut energy = Millijoules::ZERO;
 
         // Housekeeping: periodic age-based expiry (runs off the frame
         // path in a real app; the sweep itself is microseconds).
@@ -355,7 +357,7 @@ impl Device {
         // Tier 0: inertial gate.
         let mut decision = if self.variant.imu_enabled() {
             latency += self.costs.gate_check;
-            energy_mj += self.energy.compute_energy_mj(self.costs.gate_check);
+            energy += self.energy.compute_energy(self.costs.gate_check);
             let estimate = self.estimator.estimate(imu_window);
             self.motion_since_validation += estimate.motion_score();
             draft.motion_score = estimate.motion_score();
@@ -384,7 +386,7 @@ impl Device {
         if decision == GateDecision::ReusePrevious {
             if let Some(check) = self.scene_check {
                 latency += self.costs.scene_check;
-                energy_mj += self.energy.compute_energy_mj(self.costs.scene_check);
+                energy += self.energy.compute_energy(self.costs.scene_check);
                 let changed = match (&self.validated_sketch, &self.frame_sketch) {
                     (Some(prev), Some(current)) => {
                         features::distance::euclidean(prev, current) > check.distance_threshold
@@ -399,22 +401,27 @@ impl Device {
         }
 
         if decision == GateDecision::ReusePrevious {
-            let (label, _) = self.last_result.expect("gate verified a previous result");
-            let outcome = FrameOutcome {
-                at: now,
-                label,
-                truth: frame.truth,
-                latency,
-                energy_mj,
-                path: ResolutionPath::ImuReuse,
-            };
-            self.finish(outcome, label, now, draft);
-            return outcome;
+            if let Some((label, _)) = self.last_result {
+                let outcome = FrameOutcome {
+                    at: now,
+                    label,
+                    truth: frame.truth,
+                    latency,
+                    energy,
+                    path: ResolutionPath::ImuReuse,
+                };
+                self.finish(outcome, label, now, draft);
+                return outcome;
+            }
+            // The gate only votes to echo after a validated result exists;
+            // if that invariant ever breaks, a real lookup is the safe
+            // degradation, not a panic mid-stream.
+            decision = GateDecision::LookupLocal;
         }
 
         // Feature extraction (needed by every remaining tier).
         latency += self.costs.feature_extract;
-        energy_mj += self.energy.compute_energy_mj(self.costs.feature_extract);
+        energy += self.energy.compute_energy(self.costs.feature_extract);
         let key = self.projection.project(&frame.descriptor);
 
         // Tier 1: local cache (approximate or exact depending on variant).
@@ -423,7 +430,7 @@ impl Device {
             draft.local = lookup_trace;
             if let Some((label, cost)) = hit {
                 latency += cost;
-                energy_mj += self.energy.compute_energy_mj(cost);
+                energy += self.energy.compute_energy(cost);
                 // Sampled audit: run the DNN anyway and use the
                 // disagreement signal to adapt the distance threshold.
                 let audit_due = self
@@ -433,13 +440,14 @@ impl Device {
                 if audit_due {
                     let inference = self.dnn.infer(&frame.descriptor, &mut self.rng);
                     latency += inference.latency;
-                    energy_mj += inference.energy_mj;
-                    let controller = self.adaptive.as_mut().expect("audit implies controller");
-                    let agreed = inference.label == label;
-                    self.cache.with(|c| {
-                        let updated = controller.on_audit(agreed, c.distance_threshold());
-                        c.set_distance_threshold(updated);
-                    });
+                    energy += inference.energy;
+                    if let Some(controller) = self.adaptive.as_mut() {
+                        let agreed = inference.label == label;
+                        self.cache.with(|c| {
+                            let updated = controller.on_audit(agreed, c.distance_threshold());
+                            c.set_distance_threshold(updated);
+                        });
+                    }
                     // The audit's inference is authoritative for this
                     // frame (it was paid for) and refreshes the cache.
                     self.store_result(&key, inference.label, inference.confidence, now);
@@ -448,7 +456,7 @@ impl Device {
                         label: inference.label,
                         truth: frame.truth,
                         latency,
-                        energy_mj,
+                        energy,
                         path: ResolutionPath::FullInference,
                     };
                     self.finish(outcome, inference.label, now, draft);
@@ -459,7 +467,7 @@ impl Device {
                     label,
                     truth: frame.truth,
                     latency,
-                    energy_mj,
+                    energy,
                     path: ResolutionPath::LocalCache,
                 };
                 self.finish(outcome, label, now, draft);
@@ -467,13 +475,16 @@ impl Device {
             } else {
                 let cost = self.local_lookup_cost();
                 latency += cost;
-                energy_mj += self.energy.compute_energy_mj(cost);
+                energy += self.energy.compute_energy(cost);
             }
         }
 
         // Tier 2: peers.
-        if self.variant.peers_enabled() && self.peer.is_some() && !peers.is_empty() {
-            let peer_config = self.peer.clone().expect("checked");
+        if let Some(peer_config) = self
+            .peer
+            .clone()
+            .filter(|_| self.variant.peers_enabled() && !peers.is_empty())
+        {
             let radio = radio_of(&peer_config.link);
             // Peer economics: querying only makes sense while the expected
             // radio time stays well below the inference it might avoid.
@@ -500,9 +511,9 @@ impl Device {
                     reply.encoded_len(),
                     &mut self.rng,
                 );
-                energy_mj += self
+                energy += self
                     .energy
-                    .radio_energy_mj(radio, query.encoded_len() + reply.encoded_len());
+                    .radio_energy(radio, query.encoded_len() + reply.encoded_len());
                 match rtt {
                     None => {
                         // A lost exchange still consumed the expected
@@ -530,7 +541,7 @@ impl Device {
                                 label,
                                 truth: frame.truth,
                                 latency,
-                                energy_mj,
+                                energy,
                                 path: ResolutionPath::PeerCache,
                             };
                             self.finish(outcome, label, now, draft);
@@ -544,7 +555,7 @@ impl Device {
         // Tier 3: full inference.
         let inference = self.dnn.infer(&frame.descriptor, &mut self.rng);
         latency += inference.latency;
-        energy_mj += inference.energy_mj;
+        energy += inference.energy;
         // Free adaptation evidence: a same-label entry just beyond the
         // threshold means this inference was a spurious miss.
         if let Some(controller) = &mut self.adaptive {
@@ -578,7 +589,7 @@ impl Device {
             label: inference.label,
             truth: frame.truth,
             latency,
-            energy_mj,
+            energy,
             path: ResolutionPath::FullInference,
         };
         self.finish(outcome, inference.label, now, draft);
@@ -607,7 +618,7 @@ impl Device {
         let radio = self.peer.as_ref().map(|p| radio_of(&p.link))?;
         let delay = self.transport.send_message(message, &mut self.rng);
         // Radio energy is charged to the device battery, not to any frame.
-        let _ = self.energy.radio_energy_mj(radio, message.encoded_len());
+        let _ = self.energy.radio_energy(radio, message.encoded_len());
         delay
     }
 
@@ -680,7 +691,7 @@ impl Device {
         if outcome.path == ResolutionPath::ImuReuse {
             // Echoing does not re-validate: keep the previous validation
             // instant so max_reuse_age eventually forces a real lookup.
-            let validated_at = self.last_result.expect("fast path had a previous result").1;
+            let validated_at = self.last_result.map_or(now, |(_, at)| at);
             self.last_result = Some((label, validated_at));
         } else {
             self.last_result = Some((label, now));
@@ -710,7 +721,7 @@ impl Device {
                 },
                 path: trace_path(outcome.path),
                 latency: outcome.latency,
-                energy_mj: outcome.energy_mj,
+                energy: outcome.energy,
             });
         }
         self.outcomes.push(outcome);

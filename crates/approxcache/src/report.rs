@@ -1,11 +1,17 @@
 //! Aggregated run results.
+//!
+//! Aggregation is where raw counters turn into the numbers the paper's
+//! claims are checked against, so this module denies truncating casts
+//! outright (see the workspace lint policy in `DESIGN.md`).
+#![deny(clippy::cast_possible_truncation)]
 
 use serde::{Deserialize, Serialize};
 
 use p2pnet::TransportCounters;
 use reuse::CacheStats;
 use simcore::stats::Summary;
-use simcore::Cdf;
+use simcore::units::{Millijoules, Millis};
+use simcore::{Cdf, SimTime};
 
 use crate::device::{FrameOutcome, ResolutionPath};
 
@@ -24,13 +30,15 @@ pub struct RunReport {
     pub latency_ms: Summary,
     /// Fraction of frames whose emitted label matched the ground truth.
     pub accuracy: f64,
-    /// Mean per-frame energy, millijoules.
-    pub mean_energy_mj: f64,
+    /// Mean per-frame energy.
+    #[serde(rename = "mean_energy_mj")]
+    pub mean_energy: Millijoules,
     /// Frames answered by each path: `[imu, local, peer, inference]`.
     pub path_counts: [u64; 4],
-    /// Mean per-frame latency (ms) of each path, same order as
-    /// `path_counts` (0.0 for paths that served no frames).
-    pub path_mean_latency_ms: [f64; 4],
+    /// Mean per-frame latency of each path, same order as
+    /// `path_counts` (zero for paths that served no frames).
+    #[serde(rename = "path_mean_latency_ms")]
+    pub path_mean_latency: [Millis; 4],
     /// Full per-path latency distributions (ms), same order as
     /// `path_counts` (zero-count summaries for paths that served
     /// nothing).
@@ -71,21 +79,19 @@ impl RunReport {
         let mut path_latencies: [Vec<f64>; 4] = Default::default();
         let mut path_energies: [Vec<f64>; 4] = Default::default();
         for o in outcomes {
-            let idx = ResolutionPath::all()
-                .iter()
-                .position(|p| *p == o.path)
-                .expect("all paths enumerated");
-            path_counts[idx] += 1;
-            path_latencies[idx].push(o.latency.as_millis_f64());
-            path_energies[idx].push(o.energy_mj);
+            *path_slot_mut(&mut path_counts, o.path) += 1;
+            path_slot_mut(&mut path_latencies, o.path).push(o.latency.as_millis_f64());
+            path_slot_mut(&mut path_energies, o.path).push(o.energy.value());
         }
-        let path_latency_summary = [0, 1, 2, 3].map(|i| Summary::from_samples(&path_latencies[i]));
-        let path_energy_summary = [0, 1, 2, 3].map(|i| Summary::from_samples(&path_energies[i]));
-        let path_mean_latency_ms = path_latency_summary.map(|s| s.mean);
-        let mean_energy_mj =
-            outcomes.iter().map(|o| o.energy_mj).sum::<f64>() / outcomes.len() as f64;
-        let first = outcomes.iter().map(|o| o.at).min().expect("non-empty");
-        let last = outcomes.iter().map(|o| o.at).max().expect("non-empty");
+        let path_latency_summary = ResolutionPath::all()
+            .map(|p| Summary::from_samples(path_slot(&path_latencies, p).as_slice()));
+        let path_energy_summary = ResolutionPath::all()
+            .map(|p| Summary::from_samples(path_slot(&path_energies, p).as_slice()));
+        let path_mean_latency = path_latency_summary.map(|s| Millis::new(s.mean));
+        let mean_energy =
+            outcomes.iter().map(|o| o.energy).sum::<Millijoules>() / outcomes.len() as f64;
+        let first = outcomes.iter().map(|o| o.at).min().unwrap_or(SimTime::ZERO);
+        let last = outcomes.iter().map(|o| o.at).max().unwrap_or(SimTime::ZERO);
         let stream_seconds = last.saturating_duration_since(first).as_secs_f64();
         RunReport {
             scenario: scenario.to_owned(),
@@ -94,9 +100,9 @@ impl RunReport {
             frames: outcomes.len(),
             latency_ms: Summary::from_samples(&latencies_ms),
             accuracy: correct as f64 / outcomes.len() as f64,
-            mean_energy_mj,
+            mean_energy,
             path_counts,
-            path_mean_latency_ms,
+            path_mean_latency,
             path_latency_summary,
             path_energy_summary,
             cache,
@@ -119,40 +125,24 @@ impl RunReport {
         if self.frames == 0 {
             return 0.0;
         }
-        let idx = ResolutionPath::all()
-            .iter()
-            .position(|p| *p == path)
-            .expect("all paths enumerated");
-        self.path_counts[idx] as f64 / self.frames as f64
+        *path_slot(&self.path_counts, path) as f64 / self.frames as f64
     }
 
-    /// The mean latency (ms) of frames answered by `path` (0.0 if that
-    /// path served nothing).
-    pub fn path_mean_latency(&self, path: ResolutionPath) -> f64 {
-        let idx = ResolutionPath::all()
-            .iter()
-            .position(|p| *p == path)
-            .expect("all paths enumerated");
-        self.path_mean_latency_ms[idx]
+    /// The mean latency of frames answered by `path` (zero if that path
+    /// served nothing).
+    pub fn path_mean_latency(&self, path: ResolutionPath) -> Millis {
+        *path_slot(&self.path_mean_latency, path)
     }
 
     /// The full latency distribution (ms) of frames answered by `path`.
     pub fn path_latency_stats(&self, path: ResolutionPath) -> &Summary {
-        let idx = ResolutionPath::all()
-            .iter()
-            .position(|p| *p == path)
-            .expect("all paths enumerated");
-        &self.path_latency_summary[idx]
+        path_slot(&self.path_latency_summary, path)
     }
 
     /// The full energy distribution (mJ/frame) of frames answered by
     /// `path`.
     pub fn path_energy_stats(&self, path: ResolutionPath) -> &Summary {
-        let idx = ResolutionPath::all()
-            .iter()
-            .position(|p| *p == path)
-            .expect("all paths enumerated");
-        &self.path_energy_summary[idx]
+        path_slot(&self.path_energy_summary, path)
     }
 
     /// The cache-miss breakdown by reason, derived from the merged cache
@@ -207,7 +197,7 @@ impl RunReport {
             return 0.0;
         }
         let frames_per_device = self.frames as f64 / self.devices as f64;
-        self.mean_energy_mj * frames_per_device / self.stream_seconds
+        (self.mean_energy * (frames_per_device / self.stream_seconds)).value()
     }
 
     /// Projected battery percentage consumed per hour of continuous
@@ -223,6 +213,32 @@ impl RunReport {
             "battery_pct_per_hour: capacity must be positive"
         );
         self.device_power_mw() / capacity_mwh * 100.0
+    }
+}
+
+/// The report-array slot of each resolution path — the arrays hold
+/// `[imu, local, peer, inference]`, the same order as
+/// [`ResolutionPath::all`]. Array destructuring plus a total match means
+/// report lookups can neither panic at run time nor silently skip a
+/// future path variant (adding one fails to compile instead).
+fn path_slot<T>(slots: &[T; 4], path: ResolutionPath) -> &T {
+    let [imu, local, peer, infer] = slots;
+    match path {
+        ResolutionPath::ImuReuse => imu,
+        ResolutionPath::LocalCache => local,
+        ResolutionPath::PeerCache => peer,
+        ResolutionPath::FullInference => infer,
+    }
+}
+
+/// Mutable variant of [`path_slot`], for accumulation.
+fn path_slot_mut<T>(slots: &mut [T; 4], path: ResolutionPath) -> &mut T {
+    let [imu, local, peer, infer] = slots;
+    match path {
+        ResolutionPath::ImuReuse => imu,
+        ResolutionPath::LocalCache => local,
+        ResolutionPath::PeerCache => peer,
+        ResolutionPath::FullInference => infer,
     }
 }
 
@@ -242,7 +258,7 @@ impl std::fmt::Display for RunReport {
             f,
             "  accuracy {:.1}%  energy {:.1} mJ/frame  reuse {:.1}%",
             self.accuracy * 100.0,
-            self.mean_energy_mj,
+            self.mean_energy.value(),
             self.reuse_rate() * 100.0
         )?;
         writeln!(
@@ -262,10 +278,12 @@ impl std::fmt::Display for RunReport {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use scene::ClassId;
-    use simcore::{SimDuration, SimTime};
+    use simcore::SimDuration;
 
     fn outcome(path: ResolutionPath, latency_ms: u64, correct: bool) -> FrameOutcome {
         FrameOutcome {
@@ -273,7 +291,7 @@ mod tests {
             label: ClassId(if correct { 1 } else { 2 }),
             truth: ClassId(1),
             latency: SimDuration::from_millis(latency_ms),
-            energy_mj: 10.0,
+            energy: Millijoules::new(10.0),
             path,
         }
     }
@@ -304,9 +322,9 @@ mod tests {
         assert!((r.latency_ms.mean - 23.5).abs() < 1e-9);
         assert!((r.reuse_rate() - 0.75).abs() < 1e-12);
         assert!((r.path_fraction(ResolutionPath::ImuReuse) - 0.25).abs() < 1e-12);
-        assert!((r.mean_energy_mj - 10.0).abs() < 1e-12);
-        assert!((r.path_mean_latency(ResolutionPath::FullInference) - 80.0).abs() < 1e-9);
-        assert!((r.path_mean_latency(ResolutionPath::LocalCache) - 4.0).abs() < 1e-9);
+        assert!((r.mean_energy.value() - 10.0).abs() < 1e-12);
+        assert!((r.path_mean_latency(ResolutionPath::FullInference).value() - 80.0).abs() < 1e-9);
+        assert!((r.path_mean_latency(ResolutionPath::LocalCache).value() - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -347,12 +365,12 @@ mod tests {
         let outcomes = vec![
             FrameOutcome {
                 at: SimTime::ZERO,
-                energy_mj: 100.0,
+                energy: Millijoules::new(100.0),
                 ..outcome(ResolutionPath::FullInference, 80, true)
             },
             FrameOutcome {
                 at: SimTime::from_secs(1),
-                energy_mj: 100.0,
+                energy: Millijoules::new(100.0),
                 ..outcome(ResolutionPath::FullInference, 80, true)
             },
         ];

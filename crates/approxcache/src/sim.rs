@@ -266,7 +266,9 @@ pub fn run_scenario_detailed(
 
         // Deliver due advertisements.
         while ad_queue.peek_time().is_some_and(|at| at <= now) {
-            let (at, (target, entry)) = ad_queue.pop().expect("peeked");
+            let Some((at, (target, entry))) = ad_queue.pop() else {
+                break;
+            };
             devices[target].receive_advertisement(&entry, at);
         }
 
@@ -290,8 +292,7 @@ pub fn run_scenario_detailed(
         // Beacon exchange: every due transmitter reaches every device
         // currently in physical range; reception applies the configured
         // delivery probability.
-        if let Some(discoveries) = &mut discoveries {
-            let model = proximity.as_ref().expect("peers enabled implies proximity");
+        if let (Some(discoveries), Some(model)) = (&mut discoveries, &proximity) {
             for sender in 0..scenario.devices {
                 if discoveries[sender].should_beacon(now) {
                     for receiver in model.neighbors(&positions, sender) {
@@ -388,9 +389,7 @@ pub fn run_scenario_detailed(
     // Beacon traffic is network cost too.
     if let Some(discoveries) = &discoveries {
         for disc in discoveries {
-            network.messages_sent += disc.beacons_sent();
-            network.messages_delivered += disc.beacons_sent();
-            network.bytes_sent += disc.beacon_bytes_sent();
+            network.record_beacons(disc.beacons_sent(), disc.beacon_bytes_sent());
         }
     }
     let report = RunReport::from_outcomes(
@@ -417,6 +416,8 @@ fn window_of(stream: &[ImuSample], from: SimTime, to: SimTime, rate_hz: f64) -> 
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::device::ResolutionPath;

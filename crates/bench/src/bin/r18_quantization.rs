@@ -39,7 +39,7 @@ fn main() {
                 variant.to_string(),
                 fnum(report.latency_ms.mean, 2),
                 fpct(report.accuracy),
-                fnum(report.mean_energy_mj, 1),
+                fnum(report.mean_energy.value(), 1),
                 fpct(report.latency_reduction_vs(&reference)),
             ]);
         }

@@ -9,6 +9,7 @@ use dnnsim::DeviceClass;
 use imu::MotionProfile;
 use scene::SceneConfig;
 use simcore::table::{fnum, fpct, Table};
+use simcore::units::Millijoules;
 
 fn main() {
     let scenario = Scenario::multi_device(
@@ -55,7 +56,7 @@ fn main() {
                 .sum::<f64>()
                 / n;
             let accuracy = outcomes.iter().filter(|o| o.is_correct()).count() as f64 / n;
-            let energy = outcomes.iter().map(|o| o.energy_mj).sum::<f64>() / n;
+            let energy = (outcomes.iter().map(|o| o.energy).sum::<Millijoules>() / n).value();
             table.row(vec![
                 class_name.into(),
                 label.into(),

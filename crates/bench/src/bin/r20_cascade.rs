@@ -37,9 +37,14 @@ fn main() {
                 label.into(),
                 variant.to_string(),
                 fnum(report.latency_ms.mean, 2),
-                fnum(report.path_mean_latency(ResolutionPath::FullInference), 1),
+                fnum(
+                    report
+                        .path_mean_latency(ResolutionPath::FullInference)
+                        .value(),
+                    1,
+                ),
                 fpct(report.accuracy),
-                fnum(report.mean_energy_mj, 1),
+                fnum(report.mean_energy.value(), 1),
             ]);
         }
     }

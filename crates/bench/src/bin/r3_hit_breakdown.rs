@@ -45,10 +45,24 @@ fn main() {
         ]);
         latency_table.row(vec![
             scenario.name.clone(),
-            simcore::table::fnum(report.path_mean_latency(ResolutionPath::ImuReuse), 3),
-            simcore::table::fnum(report.path_mean_latency(ResolutionPath::LocalCache), 3),
-            simcore::table::fnum(report.path_mean_latency(ResolutionPath::PeerCache), 3),
-            simcore::table::fnum(report.path_mean_latency(ResolutionPath::FullInference), 2),
+            simcore::table::fnum(
+                report.path_mean_latency(ResolutionPath::ImuReuse).value(),
+                3,
+            ),
+            simcore::table::fnum(
+                report.path_mean_latency(ResolutionPath::LocalCache).value(),
+                3,
+            ),
+            simcore::table::fnum(
+                report.path_mean_latency(ResolutionPath::PeerCache).value(),
+                3,
+            ),
+            simcore::table::fnum(
+                report
+                    .path_mean_latency(ResolutionPath::FullInference)
+                    .value(),
+                2,
+            ),
         ]);
     }
     emit(

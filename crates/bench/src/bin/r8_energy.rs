@@ -26,11 +26,11 @@ fn main() {
         let config = base_config.clone().with_model(model.clone());
         let base = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
         let full = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
-        let reduction = 1.0 - full.mean_energy_mj / base.mean_energy_mj;
+        let reduction = 1.0 - full.mean_energy / base.mean_energy;
         table.row(vec![
             model.name.to_string(),
-            fnum(base.mean_energy_mj, 1),
-            fnum(full.mean_energy_mj, 1),
+            fnum(base.mean_energy.value(), 1),
+            fnum(full.mean_energy.value(), 1),
             fpct(reduction),
             fnum(base.battery_pct_per_hour(BATTERY_MWH), 1),
             fnum(full.battery_pct_per_hour(BATTERY_MWH), 1),

@@ -12,6 +12,7 @@ use approxcache::{
     SystemVariant,
 };
 use serde::Serialize;
+use simcore::units::Millis;
 use simcore::{SimDuration, TracePath};
 use workloads::{multi, video};
 
@@ -84,11 +85,11 @@ pub fn tier_breakdown(result: &SimResult) -> String {
     for path in ResolutionPath::all() {
         let stats = report.path_latency_stats(path);
         out.push_str(&format!(
-            "  {path}: {} frames ({:.1}%), mean {:.2} ms, p95 {:.2} ms\n",
+            "  {path}: {} frames ({:.1}%), mean {}, p95 {}\n",
             stats.count,
             report.path_fraction(path) * 100.0,
-            stats.mean,
-            stats.p95,
+            Millis::new(stats.mean),
+            Millis::new(stats.p95),
         ));
     }
     let misses: Vec<String> = report
@@ -187,6 +188,8 @@ pub fn run_claim_checks(
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::MASTER_SEED;

@@ -10,6 +10,7 @@
 
 use features::FeatureVector;
 use scene::ClassUniverse;
+use simcore::units::Millis;
 use simcore::SimRng;
 
 use crate::device::DeviceClass;
@@ -45,7 +46,7 @@ impl CascadeModel {
             "CascadeModel: escalation_threshold must be in [0, 1]"
         );
         assert!(
-            little.base_latency_ms < big.base_latency_ms,
+            little.base_latency < big.base_latency,
             "CascadeModel: little ({}) must be faster than big ({})",
             little.name,
             big.name
@@ -79,14 +80,14 @@ impl CascadeModel {
             label: second.label,
             confidence: second.confidence,
             latency: first.latency + second.latency,
-            energy_mj: first.energy_mj + second.energy_mj,
+            energy: first.energy + second.energy,
         }
     }
 
     /// The long-run expected latency for an escalation probability `p`.
-    pub fn expected_latency_ms(&self, escalation_prob: f64) -> f64 {
-        self.little.nominal_latency().as_millis_f64()
-            + escalation_prob * self.big.nominal_latency().as_millis_f64()
+    pub fn expected_latency(&self, escalation_prob: f64) -> Millis {
+        Millis::from_duration(self.little.nominal_latency())
+            + Millis::from_duration(self.big.nominal_latency()) * escalation_prob
     }
 }
 
@@ -187,10 +188,10 @@ mod tests {
     #[test]
     fn expected_latency_formula() {
         let (_, cascade, _) = fixture();
-        let never = cascade.expected_latency_ms(0.0);
-        assert!((never - 45.0).abs() < 1e-9);
-        let always = cascade.expected_latency_ms(1.0);
-        assert!((always - 665.0).abs() < 1e-9);
+        let never = cascade.expected_latency(0.0);
+        assert!((never.value() - 45.0).abs() < 1e-9);
+        let always = cascade.expected_latency(1.0);
+        assert!((always.value() - 665.0).abs() < 1e-9);
     }
 
     #[test]

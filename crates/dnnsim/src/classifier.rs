@@ -85,6 +85,8 @@ impl DnnClassifier {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::zoo;

@@ -60,6 +60,8 @@ impl std::fmt::Display for DeviceClass {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

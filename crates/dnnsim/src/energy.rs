@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use simcore::units::Millijoules;
 use simcore::SimDuration;
 
 use crate::device::DeviceClass;
@@ -34,14 +35,18 @@ pub struct EnergyModel {
     inference_power_w: f64,
     /// SoC power during feature extraction / cache search, watts.
     compute_power_w: f64,
-    /// WiFi energy per byte, millijoules.
-    wifi_mj_per_byte: f64,
-    /// WiFi per-exchange wake overhead, millijoules.
-    wifi_wake_mj: f64,
-    /// BLE energy per byte, millijoules.
-    ble_mj_per_byte: f64,
-    /// BLE per-exchange wake overhead, millijoules.
-    ble_wake_mj: f64,
+    /// WiFi energy per byte.
+    #[serde(rename = "wifi_mj_per_byte")]
+    wifi_per_byte: Millijoules,
+    /// WiFi per-exchange wake overhead.
+    #[serde(rename = "wifi_wake_mj")]
+    wifi_wake: Millijoules,
+    /// BLE energy per byte.
+    #[serde(rename = "ble_mj_per_byte")]
+    ble_per_byte: Millijoules,
+    /// BLE per-exchange wake overhead.
+    #[serde(rename = "ble_wake_mj")]
+    ble_wake: Millijoules,
 }
 
 impl EnergyModel {
@@ -51,10 +56,10 @@ impl EnergyModel {
             device,
             inference_power_w: 2.5,
             compute_power_w: 1.2,
-            wifi_mj_per_byte: 1.0e-4,
-            wifi_wake_mj: 8.0,
-            ble_mj_per_byte: 2.0e-5,
-            ble_wake_mj: 1.0,
+            wifi_per_byte: Millijoules::new(1.0e-4),
+            wifi_wake: Millijoules::new(8.0),
+            ble_per_byte: Millijoules::new(2.0e-5),
+            ble_wake: Millijoules::new(1.0),
         }
     }
 
@@ -64,21 +69,26 @@ impl EnergyModel {
     }
 
     /// Energy of a DNN inference that ran for `latency`.
-    pub fn inference_energy_mj(&self, latency: SimDuration) -> f64 {
-        self.inference_power_w * self.device.power_factor() * latency.as_millis_f64()
+    ///
+    /// Watts times milliseconds is millijoules, so the wall-clock sample
+    /// converts directly into the energy charge.
+    pub fn inference_energy(&self, latency: SimDuration) -> Millijoules {
+        Millijoules::new(self.inference_power_w * self.device.power_factor())
+            * latency.as_millis_f64()
     }
 
     /// Energy of CPU work (feature extraction, cache lookup) that ran for
     /// `latency`.
-    pub fn compute_energy_mj(&self, latency: SimDuration) -> f64 {
-        self.compute_power_w * self.device.power_factor() * latency.as_millis_f64()
+    pub fn compute_energy(&self, latency: SimDuration) -> Millijoules {
+        Millijoules::new(self.compute_power_w * self.device.power_factor())
+            * latency.as_millis_f64()
     }
 
     /// Energy of one radio exchange moving `bytes` payload bytes.
-    pub fn radio_energy_mj(&self, radio: Radio, bytes: usize) -> f64 {
+    pub fn radio_energy(&self, radio: Radio, bytes: usize) -> Millijoules {
         match radio {
-            Radio::Ble => self.ble_wake_mj + self.ble_mj_per_byte * bytes as f64,
-            Radio::WifiDirect => self.wifi_wake_mj + self.wifi_mj_per_byte * bytes as f64,
+            Radio::Ble => self.ble_wake + self.ble_per_byte * bytes as f64,
+            Radio::WifiDirect => self.wifi_wake + self.wifi_per_byte * bytes as f64,
         }
     }
 }
@@ -96,27 +106,27 @@ mod tests {
     #[test]
     fn inference_energy_scales_with_latency_and_power() {
         let model = EnergyModel::new(DeviceClass::MidRange);
-        let short = model.inference_energy_mj(SimDuration::from_millis(50));
-        let long = model.inference_energy_mj(SimDuration::from_millis(100));
+        let short = model.inference_energy(SimDuration::from_millis(50));
+        let long = model.inference_energy(SimDuration::from_millis(100));
         assert!((long / short - 2.0).abs() < 1e-9);
         // 2.5 W × 1.0 × 100 ms = 250 mJ.
-        assert!((long - 250.0).abs() < 1e-9);
+        assert!((long.value() - 250.0).abs() < 1e-9);
     }
 
     #[test]
     fn compute_is_cheaper_than_inference() {
         let model = EnergyModel::default();
         let d = SimDuration::from_millis(10);
-        assert!(model.compute_energy_mj(d) < model.inference_energy_mj(d));
+        assert!(model.compute_energy(d) < model.inference_energy(d));
     }
 
     #[test]
     fn radio_wake_dominates_small_payloads() {
         let model = EnergyModel::default();
-        let small = model.radio_energy_mj(Radio::WifiDirect, 100);
-        assert!((small - 8.01).abs() < 1e-9);
-        let big = model.radio_energy_mj(Radio::WifiDirect, 1_000_000);
-        assert!(big > 100.0);
+        let small = model.radio_energy(Radio::WifiDirect, 100);
+        assert!((small.value() - 8.01).abs() < 1e-9);
+        let big = model.radio_energy(Radio::WifiDirect, 1_000_000);
+        assert!(big.value() > 100.0);
     }
 
     #[test]
@@ -124,8 +134,8 @@ mod tests {
         let model = EnergyModel::default();
         for bytes in [0usize, 300, 4096] {
             assert!(
-                model.radio_energy_mj(Radio::Ble, bytes)
-                    < model.radio_energy_mj(Radio::WifiDirect, bytes)
+                model.radio_energy(Radio::Ble, bytes)
+                    < model.radio_energy(Radio::WifiDirect, bytes)
             );
         }
     }
@@ -135,7 +145,7 @@ mod tests {
         let flagship = EnergyModel::new(DeviceClass::Flagship);
         let budget = EnergyModel::new(DeviceClass::Budget);
         let d = SimDuration::from_millis(100);
-        assert!(flagship.inference_energy_mj(d) > budget.inference_energy_mj(d));
+        assert!(flagship.inference_energy(d) > budget.inference_energy(d));
         assert_eq!(flagship.device(), DeviceClass::Flagship);
     }
 
@@ -145,9 +155,9 @@ mod tests {
         // plus even a WiFi peer exchange costs less than one MobileNet
         // inference (75 ms at 2.5 W ≈ 188 mJ).
         let model = EnergyModel::default();
-        let lookup = model.compute_energy_mj(SimDuration::from_millis(1));
-        let peer = model.radio_energy_mj(Radio::WifiDirect, 600);
-        let inference = model.inference_energy_mj(SimDuration::from_millis(75));
+        let lookup = model.compute_energy(SimDuration::from_millis(1));
+        let peer = model.radio_energy(Radio::WifiDirect, 600);
+        let inference = model.inference_energy(SimDuration::from_millis(75));
         assert!(lookup + peer < inference / 10.0);
     }
 }

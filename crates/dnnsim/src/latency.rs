@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use simcore::units::Millis;
 use simcore::{SimDuration, SimRng};
 
 use crate::device::DeviceClass;
@@ -27,7 +28,8 @@ use crate::zoo::ModelProfile;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyModel {
-    base_ms: f64,
+    #[serde(rename = "base_ms")]
+    base: Millis,
     sigma: f64,
     throttle_prob: f64,
     throttle_factor: f64,
@@ -42,7 +44,7 @@ impl LatencyModel {
     pub fn new(profile: &ModelProfile, device: DeviceClass) -> LatencyModel {
         profile.validate();
         LatencyModel {
-            base_ms: profile.base_latency_ms * device.latency_factor(),
+            base: profile.base_latency * device.latency_factor(),
             sigma: profile.latency_sigma,
             throttle_prob: profile.throttle_prob,
             throttle_factor: profile.throttle_factor,
@@ -51,7 +53,7 @@ impl LatencyModel {
 
     /// The un-jittered, un-throttled latency.
     pub fn nominal(&self) -> SimDuration {
-        SimDuration::from_millis_f64(self.base_ms)
+        self.base.to_duration()
     }
 
     /// Draws one inference latency.
@@ -64,12 +66,12 @@ impl LatencyModel {
         } else {
             1.0
         };
-        SimDuration::from_millis_f64(self.base_ms * jitter * throttle)
+        (self.base * (jitter * throttle)).to_duration()
     }
 
-    /// The long-run mean latency including the throttle tail, milliseconds.
-    pub fn expected_ms(&self) -> f64 {
-        self.base_ms * (1.0 + self.throttle_prob * (self.throttle_factor - 1.0))
+    /// The long-run mean latency including the throttle tail.
+    pub fn expected(&self) -> Millis {
+        self.base * (1.0 + self.throttle_prob * (self.throttle_factor - 1.0))
     }
 }
 
@@ -87,7 +89,7 @@ mod tests {
             .map(|_| model.sample(&mut rng).as_millis_f64())
             .sum::<f64>()
             / n as f64;
-        let expected = model.expected_ms();
+        let expected = model.expected().value();
         assert!(
             (mean_ms - expected).abs() / expected < 0.03,
             "mean {mean_ms}, expected {expected}"

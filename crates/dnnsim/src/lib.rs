@@ -53,6 +53,7 @@ pub use zoo::ModelProfile;
 use features::FeatureVector;
 use scene::ClassUniverse;
 use serde::{Deserialize, Serialize};
+use simcore::units::Millijoules;
 use simcore::{SimDuration, SimRng};
 
 /// The outcome of one full DNN inference.
@@ -64,8 +65,9 @@ pub struct Inference {
     pub confidence: f64,
     /// Wall-clock cost of the inference.
     pub latency: SimDuration,
-    /// Energy cost, millijoules.
-    pub energy_mj: f64,
+    /// Energy cost.
+    #[serde(rename = "energy_mj")]
+    pub energy: Millijoules,
 }
 
 /// Anything the caching pipeline can fall back to on a miss: a single
@@ -151,12 +153,12 @@ impl DnnModel {
     pub fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference {
         let latency = self.latency.sample(rng);
         let prediction = self.classifier.predict(descriptor, rng);
-        let energy_mj = self.energy.inference_energy_mj(latency);
+        let energy = self.energy.inference_energy(latency);
         Inference {
             label: prediction.label,
             confidence: prediction.confidence,
             latency,
-            energy_mj,
+            energy,
         }
     }
 
@@ -186,7 +188,7 @@ mod tests {
             result.latency
         );
         assert!(result.latency.as_millis() < 2_000);
-        assert!(result.energy_mj > 0.0);
+        assert!(result.energy > Millijoules::ZERO);
         assert!((0.0..=1.0).contains(&result.confidence));
         assert!(result.label.as_index() < universe.len());
     }

@@ -9,13 +9,16 @@
 
 use serde::{Deserialize, Serialize};
 
+use simcore::units::Millis;
+
 /// Static cost/quality profile of one network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelProfile {
     /// Short identifier used in tables (`mobilenet_v2`, …).
     pub name: &'static str,
-    /// Mean inference latency on a mid-range device, milliseconds.
-    pub base_latency_ms: f64,
+    /// Mean inference latency on a mid-range device.
+    #[serde(rename = "base_latency_ms")]
+    pub base_latency: Millis,
     /// Log-normal sigma of latency variation (run-to-run jitter).
     pub latency_sigma: f64,
     /// Probability a given inference hits a thermal-throttle tail.
@@ -44,7 +47,7 @@ impl ModelProfile {
                 "inception_v3" => "inception_v3_int8",
                 _ => "quantized",
             },
-            base_latency_ms: self.base_latency_ms / 2.6,
+            base_latency: self.base_latency / 2.6,
             top1_accuracy: (self.top1_accuracy - 0.012).max(0.0),
             inference_power_w: self.inference_power_w * 0.9,
             ..*self
@@ -62,8 +65,8 @@ impl ModelProfile {
             "ModelProfile: name must be non-empty"
         );
         assert!(
-            self.base_latency_ms > 0.0 && self.base_latency_ms.is_finite(),
-            "ModelProfile: base_latency_ms must be positive"
+            self.base_latency > Millis::ZERO && self.base_latency.value().is_finite(),
+            "ModelProfile: base_latency must be positive"
         );
         assert!(
             self.latency_sigma >= 0.0 && self.latency_sigma.is_finite(),
@@ -94,7 +97,7 @@ impl std::fmt::Display for ModelProfile {
             f,
             "{} ({:.0} ms, top-1 {:.1}%)",
             self.name,
-            self.base_latency_ms,
+            self.base_latency.value(),
             self.top1_accuracy * 100.0
         )
     }
@@ -104,7 +107,7 @@ impl std::fmt::Display for ModelProfile {
 pub fn mobilenet_v2() -> ModelProfile {
     ModelProfile {
         name: "mobilenet_v2",
-        base_latency_ms: 75.0,
+        base_latency: Millis::new(75.0),
         latency_sigma: 0.10,
         throttle_prob: 0.02,
         throttle_factor: 2.5,
@@ -117,7 +120,7 @@ pub fn mobilenet_v2() -> ModelProfile {
 pub fn squeezenet() -> ModelProfile {
     ModelProfile {
         name: "squeezenet",
-        base_latency_ms: 45.0,
+        base_latency: Millis::new(45.0),
         latency_sigma: 0.10,
         throttle_prob: 0.02,
         throttle_factor: 2.5,
@@ -130,7 +133,7 @@ pub fn squeezenet() -> ModelProfile {
 pub fn resnet50() -> ModelProfile {
     ModelProfile {
         name: "resnet50",
-        base_latency_ms: 380.0,
+        base_latency: Millis::new(380.0),
         latency_sigma: 0.12,
         throttle_prob: 0.05,
         throttle_factor: 2.0,
@@ -143,7 +146,7 @@ pub fn resnet50() -> ModelProfile {
 pub fn inception_v3() -> ModelProfile {
     ModelProfile {
         name: "inception_v3",
-        base_latency_ms: 620.0,
+        base_latency: Millis::new(620.0),
         latency_sigma: 0.12,
         throttle_prob: 0.05,
         throttle_factor: 2.0,
@@ -173,7 +176,7 @@ mod tests {
     fn zoo_ordering_fastest_first() {
         let zoo = all();
         for w in zoo.windows(2) {
-            assert!(w[0].base_latency_ms <= w[1].base_latency_ms);
+            assert!(w[0].base_latency <= w[1].base_latency);
         }
     }
 
@@ -200,11 +203,7 @@ mod tests {
         for base in all() {
             let q = base.quantized();
             q.validate();
-            assert!(
-                q.base_latency_ms < base.base_latency_ms / 2.0,
-                "{}",
-                base.name
-            );
+            assert!(q.base_latency < base.base_latency / 2.0, "{}", base.name);
             assert!(q.top1_accuracy < base.top1_accuracy);
             assert!(q.top1_accuracy > base.top1_accuracy - 0.02);
             assert!(q.name.ends_with("_int8"), "{}", q.name);
@@ -220,10 +219,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "base_latency_ms must be positive")]
+    #[should_panic(expected = "base_latency must be positive")]
     fn validate_rejects_zero_latency() {
         ModelProfile {
-            base_latency_ms: 0.0,
+            base_latency: Millis::new(0.0),
             ..mobilenet_v2()
         }
         .validate();

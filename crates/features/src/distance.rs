@@ -6,6 +6,11 @@
 //! assume); cosine distance is provided for direction-only signatures, and
 //! Hamming distance serves the perceptual-hash fast path.
 
+// The one module where bit-exact float comparison is the point: metric
+// identities (d(x, x) == 0, symmetry) and calibrated thresholds are
+// checked for exact equality. The workspace denies `float_cmp` elsewhere.
+#![allow(clippy::float_cmp)]
+
 use serde::{Deserialize, Serialize};
 
 use crate::vector::FeatureVector;

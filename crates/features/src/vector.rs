@@ -215,6 +215,8 @@ impl fmt::Display for FeatureVector {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -188,6 +188,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: an empty window is exactly zero.
+    #[allow(clippy::float_cmp)]
     fn empty_window_is_zero_motion() {
         let est = MotionEstimator::default().estimate(&[]);
         assert_eq!(est, MotionEstimate::default());
@@ -226,6 +228,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: one sample integrates exactly zero.
+    #[allow(clippy::float_cmp)]
     fn single_sample_window_has_zero_duration() {
         let est = MotionEstimator::default().estimate(&constant_window(1.0, 1.0, 1));
         assert_eq!(est.window_secs, 0.0);

@@ -45,6 +45,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: zero vectors have exactly zero norm.
+    #[allow(clippy::float_cmp)]
     fn zero_sample_has_zero_magnitudes() {
         let s = ImuSample {
             at: SimTime::ZERO,

@@ -210,6 +210,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: the rate accessor round-trips.
+    #[allow(clippy::float_cmp)]
     fn sample_count_matches_duration_and_rate() {
         let t = gen(MotionProfile::Stationary, 2);
         assert_eq!(t.len(), 201);

@@ -39,8 +39,9 @@ impl ProximityModel {
     /// Indices of all devices in range of device `of` (excluding itself),
     /// nearest first.
     pub fn neighbors(&self, positions: &[(f64, f64)], of: usize) -> Vec<usize> {
-        assert!(of < positions.len(), "neighbors: index {of} out of range");
-        let me = positions[of];
+        let Some(&me) = positions.get(of) else {
+            panic!("neighbors: index {of} out of range");
+        };
         let mut found: Vec<(usize, f64)> = positions
             .iter()
             .enumerate()
@@ -52,7 +53,7 @@ impl ProximityModel {
                 (d2 <= self.range_m * self.range_m).then_some((i, d2))
             })
             .collect();
-        found.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        found.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         found.into_iter().map(|(i, _)| i).collect()
     }
 
@@ -119,6 +120,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: the accessor round-trips the value.
+    #[allow(clippy::float_cmp)]
     fn accessor() {
         assert_eq!(ProximityModel::new(7.5).range_m(), 7.5);
     }

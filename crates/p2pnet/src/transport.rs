@@ -31,6 +31,14 @@ impl TransportCounters {
         }
     }
 
+    /// Folds one device's beacon traffic in: beacons are fire-and-forget
+    /// local broadcasts, so each counts as both sent and delivered.
+    pub fn record_beacons(&mut self, beacons: u64, bytes: u64) {
+        self.messages_sent += beacons;
+        self.messages_delivered += beacons;
+        self.bytes_sent += bytes;
+    }
+
     /// Adds another counter block.
     pub fn merge(&mut self, other: &TransportCounters) {
         self.messages_sent += other.messages_sent;
@@ -195,6 +203,8 @@ mod tests {
     }
 
     #[test]
+    // Exact comparison is intentional: an empty counter's rate is exactly 1.0.
+    #[allow(clippy::float_cmp)]
     fn counters_merge() {
         let mut a = TransportCounters {
             messages_sent: 1,

@@ -41,18 +41,19 @@ pub fn calibrate_threshold(same_subject: &[f64], cross_class: &[f64]) -> Calibra
     );
     let mut same = same_subject.to_vec();
     let mut cross = cross_class.to_vec();
-    same.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    cross.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    same.sort_by(f64::total_cmp);
+    cross.sort_by(f64::total_cmp);
 
     // Candidate cuts: all observed distances (the error function only
     // changes at sample points) plus the midpoint between the supports.
     let mut candidates: Vec<f64> = same.iter().chain(cross.iter()).copied().collect();
     candidates.push((percentile_sorted(&same, 0.99) + percentile_sorted(&cross, 0.01)) / 2.0);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
 
     let mut best = Calibration {
-        threshold: candidates[0],
+        // Non-empty by the asserts above; 0.0 is an inert fallback.
+        threshold: candidates.first().copied().unwrap_or(0.0),
         same_acceptance: 0.0,
         cross_acceptance: 0.0,
     };
@@ -110,6 +111,8 @@ pub fn threshold_from_same_distribution(same_subject: &[f64], sigmas: f64) -> f6
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use simcore::SimRng;

@@ -84,11 +84,7 @@ impl EvictionPolicy {
                     let utility = (e.uses as f64 + 1.0) * e.confidence / (idle + 1.0);
                     (e, utility)
                 })
-                .min_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("finite utility")
-                        .then(a.0.id.cmp(&b.0.id))
-                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)))
                 .map(|(e, _)| e.id),
         }
     }

@@ -62,6 +62,50 @@ impl CacheStats {
         }
     }
 
+    /// Records the start of a lookup. The matching outcome —
+    /// [`record_hit`](Self::record_hit) or
+    /// [`record_miss`](Self::record_miss) — must land before the stats
+    /// are read, or [`is_balanced`](Self::is_balanced) reports drift.
+    pub fn record_lookup(&mut self) {
+        self.lookups += 1;
+    }
+
+    /// Records a lookup that hit, checking the balance invariant.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+        self.debug_assert_balanced();
+    }
+
+    /// Records a successful insert of a new entry.
+    pub fn record_insert(&mut self) {
+        self.inserts += 1;
+    }
+
+    /// Records an insert absorbed as a refresh of a near-duplicate.
+    pub fn record_refresh(&mut self) {
+        self.refreshes += 1;
+    }
+
+    /// Records an insert rejected by admission control.
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Records a capacity eviction.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Records an explicit removal.
+    pub fn record_removal(&mut self) {
+        self.removals += 1;
+    }
+
+    /// Records `n` entries dropped by one age-based expiry sweep.
+    pub fn record_expirations(&mut self, n: u64) {
+        self.expirations += n;
+    }
+
     /// The lookup-accounting invariant: every lookup ended as exactly one
     /// hit or one categorized miss, and [`misses`](Self::misses) is
     /// consistent with the hit/lookup totals.
@@ -136,6 +180,8 @@ impl std::fmt::Display for CacheStats {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

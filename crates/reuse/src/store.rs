@@ -259,6 +259,8 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
 
     /// Iterates over all cached entries (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &CacheEntry<L>> {
+        // xtask-allow(determinism): callers are documented to treat the
+        // order as arbitrary; every aggregation over it is order-free.
         self.entries.values()
     }
 
@@ -268,7 +270,8 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     pub fn peek_nearest(&self, key: &FeatureVector) -> Option<(f64, L)> {
         let index = self.index.as_ref()?;
         let nearest = index.nearest(key, 1).into_iter().next()?;
-        Some((nearest.distance, self.entries[&nearest.id].label))
+        let entry = self.entries.get(&nearest.id)?;
+        Some((nearest.distance, entry.label))
     }
 
     /// Looks up `key` at time `now`, updating recency metadata on a hit.
@@ -277,38 +280,47 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     ///
     /// Panics if `key`'s dimension differs from previously inserted keys.
     pub fn lookup(&mut self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
-        self.stats.lookups += 1;
+        self.stats.record_lookup();
         let Some(index) = &self.index else {
             self.stats.record_miss(MissReason::EmptyIndex);
             self.stats.debug_assert_balanced();
             return LookupResult::Miss(MissReason::EmptyIndex);
         };
         let neighbors = index.nearest(key, self.config.aknn.k);
-        let labeled: Vec<(f64, L)> = neighbors
+        // Neighbours without a backing entry (an index/store desync) are
+        // dropped from the vote instead of crashing the device.
+        let labeled: Vec<(f64, L, u64)> = neighbors
             .iter()
-            .map(|n| {
-                let entry = &self.entries[&n.id];
-                (n.distance, entry.label)
+            .filter_map(|n| {
+                let entry = self.entries.get(&n.id)?;
+                Some((n.distance, entry.label, n.id))
             })
             .collect();
-        match ann::aknn::decide(&labeled, &self.config.aknn) {
+        let votes: Vec<(f64, L)> = labeled.iter().map(|&(d, label, _)| (d, label)).collect();
+        match ann::aknn::decide(&votes, &self.config.aknn) {
             AknnOutcome::Hit {
                 label,
                 nearest_distance,
                 support,
                 homogeneity,
             } => {
-                // Touch the nearest entry carrying the winning label.
-                let served = neighbors
+                // Touch the nearest entry carrying the winning label. The
+                // winner came from `labeled`, so a carrier exists; degrade
+                // to a miss if that ever stops holding.
+                let served = labeled
                     .iter()
-                    .find(|n| self.entries[&n.id].label == label)
-                    .expect("dominant label has at least one neighbour")
-                    .id;
-                let entry = self.entries.get_mut(&served).expect("indexed entry exists");
-                entry.last_used = now;
-                entry.uses += 1;
-                self.stats.hits += 1;
-                self.stats.debug_assert_balanced();
+                    .find(|&&(_, candidate, _)| candidate == label)
+                    .map(|&(_, _, id)| id);
+                let Some(served) = served else {
+                    self.stats.record_miss(MissReason::InsufficientSupport);
+                    self.stats.debug_assert_balanced();
+                    return LookupResult::Miss(MissReason::InsufficientSupport);
+                };
+                if let Some(entry) = self.entries.get_mut(&served) {
+                    entry.last_used = now;
+                    entry.uses += 1;
+                }
+                self.stats.record_hit();
                 LookupResult::Hit {
                     label,
                     entry: EntryId(served),
@@ -342,7 +354,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
         assert!(confidence.is_finite(), "insert: confidence must be finite");
         let from_peer = source == EntrySource::Peer;
         if !self.config.admission.admits(confidence, from_peer) {
-            self.stats.rejected += 1;
+            self.stats.record_rejected();
             return InsertOutcome::Rejected;
         }
         let index = self
@@ -353,34 +365,38 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
         if self.config.admission.dedup_distance > 0.0 {
             if let Some(nearest) = index.nearest(&key, 1).first() {
                 if nearest.distance <= self.config.admission.dedup_distance {
-                    let entry = self.entries.get_mut(&nearest.id).expect("indexed entry");
-                    if entry.label == label {
-                        entry.last_used = now;
-                        entry.uses += 1;
-                        entry.confidence = entry.confidence.max(confidence);
-                        self.stats.refreshes += 1;
-                        return InsertOutcome::Refreshed(EntryId(nearest.id));
+                    if let Some(entry) = self.entries.get_mut(&nearest.id) {
+                        if entry.label == label {
+                            entry.last_used = now;
+                            entry.uses += 1;
+                            entry.confidence = entry.confidence.max(confidence);
+                            self.stats.record_refresh();
+                            return InsertOutcome::Refreshed(EntryId(nearest.id));
+                        }
                     }
                 }
             }
         }
 
-        // Capacity: evict before inserting.
+        // Capacity: evict before inserting. The victim choice is a pure
+        // minimum with an id tie-break, so the map's iteration order
+        // cannot influence it.
         if self.entries.len() >= self.config.capacity {
+            // xtask-allow(determinism): order-free minimum, see above.
             let victim = self
                 .config
                 .eviction
-                .choose_victim(self.entries.values(), now)
-                .expect("cache at capacity is non-empty");
-            self.remove_internal(victim);
-            self.stats.evictions += 1;
+                .choose_victim(self.entries.values(), now);
+            if let Some(victim) = victim {
+                self.remove_internal(victim);
+                self.stats.record_eviction();
+            }
         }
 
         let id = EntryId(self.next_id);
         self.next_id += 1;
         self.index
-            .as_mut()
-            .expect("index built above")
+            .get_or_insert_with(|| self.config.index.build(key.dim()))
             .insert(id.0, key.clone());
         self.entries.insert(
             id.0,
@@ -395,7 +411,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
                 source,
             },
         );
-        self.stats.inserts += 1;
+        self.stats.record_insert();
         InsertOutcome::Inserted(id)
     }
 
@@ -403,7 +419,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     pub fn remove(&mut self, id: EntryId) -> bool {
         let removed = self.remove_internal(id);
         if removed {
-            self.stats.removals += 1;
+            self.stats.record_removal();
         }
         removed
     }
@@ -411,10 +427,9 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     fn remove_internal(&mut self, id: EntryId) -> bool {
         let existed = self.entries.remove(&id.0).is_some();
         if existed {
-            self.index
-                .as_mut()
-                .expect("entries imply an index")
-                .remove(id.0);
+            if let Some(index) = self.index.as_mut() {
+                index.remove(id.0);
+            }
         }
         existed
     }
@@ -451,6 +466,8 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
     /// periodically so stale keys stop occupying capacity (see the
     /// lighting-drift experiment).
     pub fn expire_older_than(&mut self, now: SimTime, max_age: simcore::SimDuration) -> usize {
+        // xtask-allow(determinism): set-semantics filter; removal order
+        // does not affect the surviving entries or the count.
         let victims: Vec<EntryId> = self
             .entries
             .values()
@@ -460,13 +477,14 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
         for id in &victims {
             self.remove_internal(*id);
         }
-        self.stats.expirations += victims.len() as u64;
+        self.stats.record_expirations(victims.len() as u64);
         victims.len()
     }
 
     /// The entries most recently used, up to `limit`, newest first — what
     /// a device offers when a peer asks it to share its hot set.
     pub fn hottest(&self, limit: usize) -> Vec<&CacheEntry<L>> {
+        // xtask-allow(determinism): sorted by a total key before use.
         let mut entries: Vec<&CacheEntry<L>> = self.entries.values().collect();
         entries.sort_by_key(|e| std::cmp::Reverse((e.last_used, e.uses, e.id)));
         entries.truncate(limit);
@@ -475,6 +493,8 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

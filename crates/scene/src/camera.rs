@@ -96,6 +96,8 @@ pub fn wrap_angle(angle: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::classes::ClassUniverse;

@@ -126,6 +126,8 @@ impl ClassUniverse {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use features::distance::euclidean;

@@ -35,6 +35,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 pub mod trace;
+pub mod units;
 
 pub use event::EventQueue;
 pub use metrics::{Counter, Histogram, MetricSet};
@@ -44,3 +45,4 @@ pub use time::{SimDuration, SimTime};
 pub use trace::{
     FrameTrace, TraceGate, TraceLookup, TraceMissReason, TracePath, TracePeer, TraceRing,
 };
+pub use units::{Micros, Millijoules, Millis};

@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 
+use crate::units::Millijoules;
 use crate::{SimDuration, SimTime};
 
 /// What the inertial gate decided for a frame.
@@ -141,8 +142,8 @@ pub struct FrameTrace {
     pub path: TracePath,
     /// End-to-end frame latency.
     pub latency: SimDuration,
-    /// Energy charged to the frame, millijoules.
-    pub energy_mj: f64,
+    /// Energy charged to the frame.
+    pub energy: Millijoules,
 }
 
 /// A fixed-capacity ring of [`FrameTrace`]s (oldest evicted first).
@@ -237,7 +238,7 @@ mod tests {
             peer: TracePeer::default(),
             path: TracePath::Infer,
             latency: SimDuration::from_millis(80),
-            energy_mj: 1.0,
+            energy: Millijoules::new(1.0),
         }
     }
 

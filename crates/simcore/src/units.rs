@@ -1,0 +1,231 @@
+//! Physical-unit newtypes for latency and energy figures.
+//!
+//! Raw `f64`s with a unit baked into the *name* (`base_ms`, `energy_mj`)
+//! are the classic source of silent unit-mixing bugs: nothing stops a
+//! millisecond value from being added to a microsecond one. These
+//! newtypes move the unit into the *type*, so mixing units is a compile
+//! error and the `xtask lint` unit-safety rule (U) can insist that raw
+//! suffix-named floats never participate in arithmetic outside this
+//! module.
+//!
+//! All three wrap an `f64` with `#[serde(transparent)]`, so serialized
+//! reports (the golden JSON files under `results/`) are byte-identical
+//! to the pre-newtype encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::units::{Micros, Millijoules, Millis};
+//!
+//! let base = Millis::new(45.0);
+//! let throttled = base * 2.6;
+//! assert_eq!(throttled.value(), 117.0);
+//! assert_eq!(Micros::from(base).value(), 45_000.0);
+//!
+//! let total: Millijoules = [Millijoules::new(8.0), Millijoules::new(0.5)]
+//!     .into_iter()
+//!     .sum();
+//! assert_eq!(total.value(), 8.5);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw magnitude.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw magnitude (in this type's unit).
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        /// Scaling by a dimensionless factor.
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        /// Scaling by a dimensionless divisor.
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// The dimensionless ratio of two quantities of the same unit.
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.3}", $suffix), self.0)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A latency figure in milliseconds.
+    Millis,
+    "ms"
+);
+unit_newtype!(
+    /// A latency figure in microseconds.
+    Micros,
+    "us"
+);
+unit_newtype!(
+    /// An energy figure in millijoules.
+    Millijoules,
+    "mJ"
+);
+
+impl From<Millis> for Micros {
+    fn from(ms: Millis) -> Micros {
+        Micros(ms.0 * 1e3)
+    }
+}
+
+impl From<Micros> for Millis {
+    fn from(us: Micros) -> Millis {
+        Millis(us.0 / 1e3)
+    }
+}
+
+impl Millis {
+    /// Converts to a [`SimDuration`], saturating below at zero.
+    pub fn to_duration(self) -> SimDuration {
+        SimDuration::from_millis_f64(self.0)
+    }
+
+    /// The exact float milliseconds of a [`SimDuration`].
+    pub fn from_duration(d: SimDuration) -> Millis {
+        Millis(d.as_millis_f64())
+    }
+}
+
+impl Micros {
+    /// Converts to a [`SimDuration`], saturating below at zero.
+    pub fn to_duration(self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0 / 1e6)
+    }
+
+    /// The exact float microseconds of a [`SimDuration`].
+    pub fn from_duration(d: SimDuration) -> Micros {
+        Micros(d.as_nanos() as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_between_scales() {
+        assert_eq!(Micros::from(Millis::new(1.5)).value(), 1_500.0);
+        assert_eq!(Millis::from(Micros::new(250.0)).value(), 0.25);
+    }
+
+    #[test]
+    fn arithmetic_and_ratio() {
+        let mut total = Millijoules::ZERO;
+        total += Millijoules::new(2.0);
+        total += Millijoules::new(0.5);
+        assert_eq!(total.value(), 2.5);
+        assert_eq!((total - Millijoules::new(0.5)).value(), 2.0);
+        assert_eq!((total * 2.0).value(), 5.0);
+        assert_eq!((total / 2.0).value(), 1.25);
+        assert_eq!(Millijoules::new(1.0) / Millijoules::new(4.0), 0.25);
+    }
+
+    #[test]
+    fn summation_matches_fold() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let sum: Millijoules = xs.iter().map(|&x| Millijoules::new(x)).sum();
+        assert_eq!(sum.value(), xs.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn duration_bridges() {
+        let ms = Millis::new(20.5);
+        assert_eq!(ms.to_duration().as_micros(), 20_500);
+        assert_eq!(
+            Millis::from_duration(SimDuration::from_micros(1_500)).value(),
+            1.5
+        );
+        assert_eq!(Micros::new(750.0).to_duration().as_nanos(), 750_000);
+        assert_eq!(
+            Micros::from_duration(SimDuration::from_nanos(2_500)).value(),
+            2.5
+        );
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let j = serde_json::to_string(&Millis::new(45.0)).unwrap();
+        assert_eq!(j, "45.0");
+        let back: Millis = serde_json::from_str("45.0").unwrap();
+        assert_eq!(back, Millis::new(45.0));
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(format!("{}", Millis::new(1.5)), "1.500ms");
+        assert_eq!(format!("{}", Micros::new(2.0)), "2.000us");
+        assert_eq!(format!("{}", Millijoules::new(3.25)), "3.250mJ");
+    }
+}

@@ -47,6 +47,8 @@ pub fn peer_scaling_set(counts: &[usize]) -> Vec<Scenario> {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

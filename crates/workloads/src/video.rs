@@ -65,6 +65,8 @@ pub fn all() -> Vec<Scenario> {
 }
 
 #[cfg(test)]
+// Tests compare exactly-constructed floats; exact equality is intentional.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,16 @@
+//! Known-bad fixture for rule T (linted as if in crates/reuse/src/).
+
+struct Cache {
+    stats: CacheStats,
+}
+
+impl Cache {
+    fn lookup(&mut self) {
+        self.stats.lookups += 1;
+        self.stats.hits += 1;
+    }
+
+    fn network(&mut self, counters: &mut TransportCounters) {
+        counters.messages_sent += 1;
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for rule D (linted as if in crates/simcore/src/).
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Tally {
+    by_label: HashMap<u32, u64>,
+}
+
+impl Tally {
+    fn elapsed_and_sum(&self) -> (u128, u64) {
+        let started = Instant::now();
+        let mut rng = SimRng::default();
+        let _ = thread_rng();
+        let mut order_sensitive = Vec::new();
+        for (label, count) in self.by_label.iter() {
+            order_sensitive.push((*label, *count + rng.next()));
+        }
+        (started.elapsed().as_nanos(), order_sensitive.len() as u64)
+    }
+}

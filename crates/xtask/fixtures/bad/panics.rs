@@ -1,0 +1,9 @@
+//! Known-bad fixture for rule P (linted as if in crates/reuse/src/,
+//! with a budget of zero).
+
+fn hot_path(entries: &std::collections::HashMap<u64, u64>, order: &[u64]) -> u64 {
+    let first = order[0];
+    let entry = entries.get(&first).expect("indexed entry exists");
+    let doubled = Some(*entry).map(|e| e * 2).unwrap();
+    doubled
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture for rule U (linted as if in crates/dnnsim/src/).
+
+fn frame_cost(base_ms: f64, throttle: f64, radio_mj: f64) -> (f64, f64) {
+    let total_ms = base_ms * throttle;
+    let energy_mj = radio_mj + 1.5;
+    (total_ms, energy_mj)
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture for rule P (linted as if in crates/reuse/src/,
+//! with a budget of zero).
+
+fn hot_path(entries: &std::collections::HashMap<u64, u64>, order: &[u64]) -> Option<u64> {
+    let first = order.first()?;
+    let entry = entries.get(first)?;
+    Some(*entry * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let entries = std::collections::HashMap::from([(1u64, 2u64)]);
+        assert_eq!(hot_path(&entries, &[1]).unwrap(), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-good fixture for rule U (linted as if in crates/dnnsim/src/).
+use simcore::units::{Millijoules, Millis};
+
+fn frame_cost(base: Millis, throttle: f64, radio: Millijoules) -> (Millis, Millijoules) {
+    // Arithmetic on newtyped values: the unit is in the type.
+    let total = base * throttle;
+    let energy = radio + Millijoules::new(1.5);
+    (total, energy)
+}
+
+fn serialize(latency_ms: f64) -> f64 {
+    // Plain mention of a unit-suffixed name (no arithmetic) is fine:
+    // wire formats and JSON keys keep their suffixes.
+    latency_ms
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_arithmetic_is_fine_in_tests() {
+        let base_ms = 40.0;
+        assert!(base_ms * 2.0 > 79.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The panic-site budget: a checked-in per-file allowance that only
+//! ratchets downward.
+//!
+//! Stored as a tiny TOML subset (`crates/xtask/panic_budget.toml`):
+//! comments, a `[budget]` header, and `"path" = count` lines. Parsed by
+//! hand — the vendored workspace has no TOML crate, and the format is
+//! deliberately too small to need one.
+
+use std::collections::BTreeMap;
+
+/// Per-file allowed panic-site counts, keyed by repo-relative path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PanicBudget {
+    entries: BTreeMap<String, usize>,
+}
+
+impl PanicBudget {
+    /// Parses the budget file. Unknown lines are errors — a malformed
+    /// budget silently allowing everything would defeat the ratchet.
+    pub fn parse(text: &str) -> Result<PanicBudget, String> {
+        let mut entries = BTreeMap::new();
+        let mut in_budget = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[budget]" {
+                in_budget = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "panic_budget.toml:{}: unknown table {line}",
+                    idx + 1
+                ));
+            }
+            if !in_budget {
+                return Err(format!(
+                    "panic_budget.toml:{}: entry outside [budget]",
+                    idx + 1
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "panic_budget.toml:{}: expected `\"path\" = n`",
+                    idx + 1
+                ));
+            };
+            let key = key.trim();
+            let key = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("panic_budget.toml:{}: path must be quoted", idx + 1))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("panic_budget.toml:{}: bad count {value}", idx + 1))?;
+            entries.insert(key.to_string(), count);
+        }
+        Ok(PanicBudget { entries })
+    }
+
+    /// Serializes back to the canonical file text (sorted, commented).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# Per-file allowance of panic sites (`unwrap`/`expect`/indexing) in\n\
+             # non-test hot-path code, enforced by `cargo run -p xtask -- lint`.\n\
+             # The budget only shrinks: burn a site down, then run\n\
+             # `cargo run -p xtask -- lint --fix-budget` to lock in the gain.\n\
+             \n[budget]\n",
+        );
+        for (path, count) in &self.entries {
+            out.push_str(&format!("\"{path}\" = {count}\n"));
+        }
+        out
+    }
+
+    /// The allowance for `path` (0 when absent).
+    pub fn allowed(&self, path: &str) -> usize {
+        self.entries.get(path).copied().unwrap_or(0)
+    }
+
+    /// Total allowance across all files.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Ratchets against observed `counts`: existing entries may only
+    /// shrink (`min(old, observed)`); files new to the census enter at
+    /// their observed count; files with zero observed sites drop out.
+    pub fn ratchet(&self, counts: &BTreeMap<String, usize>) -> PanicBudget {
+        let mut entries = BTreeMap::new();
+        for (path, &count) in counts {
+            if count == 0 {
+                continue;
+            }
+            let new = match self.entries.get(path) {
+                Some(&old) => old.min(count),
+                None => count,
+            };
+            entries.insert(path.clone(), new);
+        }
+        PanicBudget { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let text = "# comment\n\n[budget]\n\"crates/a/src/x.rs\" = 3\n\"crates/b/src/y.rs\" = 1\n";
+        let budget = PanicBudget::parse(text).unwrap();
+        assert_eq!(budget.allowed("crates/a/src/x.rs"), 3);
+        assert_eq!(budget.allowed("crates/missing.rs"), 0);
+        assert_eq!(budget.total(), 4);
+        let reparsed = PanicBudget::parse(&budget.to_toml()).unwrap();
+        assert_eq!(reparsed, budget);
+    }
+
+    #[test]
+    fn ratchet_only_shrinks() {
+        let budget = PanicBudget::parse("[budget]\n\"a.rs\" = 3\n\"gone.rs\" = 2\n").unwrap();
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 5); // grew: keep the old cap
+        counts.insert("new.rs".to_string(), 2); // new file: enters as-is
+        counts.insert("gone.rs".to_string(), 0); // clean now: drops out
+        let next = budget.ratchet(&counts);
+        assert_eq!(next.allowed("a.rs"), 3);
+        assert_eq!(next.allowed("new.rs"), 2);
+        assert_eq!(next.allowed("gone.rs"), 0);
+        assert_eq!(next.total(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_budgets() {
+        assert!(PanicBudget::parse("\"a.rs\" = 1\n").is_err());
+        assert!(PanicBudget::parse("[budget]\na.rs = 1\n").is_err());
+        assert!(PanicBudget::parse("[budget]\n\"a.rs\" = x\n").is_err());
+        assert!(PanicBudget::parse("[other]\n").is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint rules need just enough structure to reason about source
+//! without parsing it: identifiers and punctuation with line numbers,
+//! comments separated out (so `xtask-allow` markers and doc text never
+//! look like code), and string/char literals collapsed to opaque tokens
+//! (so `"unwrap"` inside a message is not an unwrap). No dependencies —
+//! this must build offline from the vendored workspace alone.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A string, char, byte, or numeric literal (content opaque).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// 1-indexed source line the token starts on.
+    pub line: usize,
+    /// The token text (a single char for punctuation; literals keep
+    /// their raw text).
+    pub text: String,
+}
+
+impl Token {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed source line the comment starts on.
+    pub line: usize,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs are tolerated (the rest of
+/// the file becomes one literal/comment) — a linter must never panic on
+/// the code it inspects.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Raw (byte) strings: r"..", r#".."#, br##".."##.
+        if c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r') {
+            let r_at = if c == 'r' { i } else { i + 1 };
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                let start = i;
+                let start_line = line;
+                j += 1;
+                // Scan for the closing quote followed by `hashes` #s.
+                'raw: while j < n {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    } else if chars[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                    text: chars[start..j.min(n)].iter().collect(),
+                });
+                i = j;
+                continue;
+            }
+            // Not a raw string: fall through to the ident path.
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            i += if c == '"' { 1 } else { 2 };
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_lifetime = i + 1 < n
+                && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                && !(i + 2 < n && chars[i + 2] == '\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Numeric literal (digits, underscores, a dot, exponents, and
+        // type suffixes are swallowed greedily — the rules never look
+        // inside numbers).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (chars[i].is_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            line,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_code_comments_and_strings() {
+        let lexed = lex("let x = \"unwrap()\"; // xtask-allow(determinism): ok\nx.unwrap();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("xtask-allow"));
+        // The string is one opaque literal; the real unwrap is an ident.
+        let unwraps: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lexed = lex("fn f<'a>(s: &'a str) { let _ = r#\"expect(\"#; }");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("expect")));
+    }
+
+    #[test]
+    fn line_numbers_survive_block_comments() {
+        let lexed = lex("/* one\ntwo\nthree */\nfoo");
+        let foo = lexed.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 4);
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let lexed = lex("let c = 'x'; let nl = '\\n';");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+}

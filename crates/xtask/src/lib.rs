@@ -1,0 +1,146 @@
+//! Workspace lint driver: static checks the compiler cannot express.
+//!
+//! `cargo run -p xtask -- lint` walks every `crates/*/src/**/*.rs` and
+//! enforces four repo invariants (see DESIGN.md, "Invariants & static
+//! checks"):
+//!
+//! - **D determinism** — no wall clock, ambient RNG, or hash-order
+//!   dependence in simulation crates.
+//! - **U unit-safety** — no raw arithmetic on `_ms`/`_us`/`_mj`-suffixed
+//!   identifiers; units live in `simcore::units` newtypes.
+//! - **T trace-counter discipline** — counter fields increment only
+//!   through their registry helpers.
+//! - **P panic hygiene** — `unwrap`/`expect`/indexing on hot paths is
+//!   budgeted by `panic_budget.toml`, and the budget only shrinks.
+//!
+//! Escape hatch: `// xtask-allow(<rule>): <reason>` on the line above a
+//! flagged statement. Built dependency-free on a hand-rolled lexer so it
+//! works offline from the vendored workspace alone.
+
+pub mod budget;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use budget::PanicBudget;
+use rules::{FileContext, Rule, Violation};
+
+/// Where the panic budget lives, relative to the repo root.
+pub const BUDGET_PATH: &str = "crates/xtask/panic_budget.toml";
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Observed panic-site counts per in-scope file (including zeros).
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Files inspected.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// True when the run found nothing.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints one file's source against all rules. `allowed_panics` is the
+/// budget for this path. Returns the violations plus the observed
+/// panic-site count (`None` when the file is outside rule P's scope) so
+/// callers can ratchet.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    allowed_panics: usize,
+) -> (Vec<Violation>, Option<usize>) {
+    let ctx = FileContext::new(rel_path, source);
+    let mut violations = Vec::new();
+    rules::check_file(&ctx, &mut violations);
+    if !rules::in_panic_scope(&ctx) {
+        return (violations, None);
+    }
+    let count = rules::count_panic_sites(&ctx);
+    if count > allowed_panics {
+        violations.push(Violation {
+            file: ctx.rel_path.clone(),
+            line: 1,
+            rule: Rule::Panics,
+            message: format!(
+                "{count} panic sites (unwrap/expect/indexing) exceed the budget of \
+                 {allowed_panics}"
+            ),
+            hint: "restructure with if-let/get/total_cmp; the budget in \
+                   crates/xtask/panic_budget.toml only shrinks",
+        });
+    }
+    (violations, Some(count))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// output.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut children: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            rs_files(&child, out)?;
+        } else if child.extension().is_some_and(|e| e == "rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full lint over `repo_root`, using `budget` for rule P.
+pub fn lint_repo(repo_root: &Path, budget: &PanicBudget) -> std::io::Result<LintReport> {
+    let crates_dir = repo_root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = LintReport::default();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&src, &mut files)?;
+        for file in files {
+            let rel = file
+                .strip_prefix(repo_root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&file)?;
+            let (violations, count) = lint_source(&rel, &source, budget.allowed(&rel));
+            if let Some(count) = count {
+                report.panic_counts.insert(rel, count);
+            }
+            report.violations.extend(violations);
+            report.files_checked += 1;
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Loads the checked-in budget (empty when the file does not exist yet).
+pub fn load_budget(repo_root: &Path) -> Result<PanicBudget, String> {
+    let path = repo_root.join(BUDGET_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => PanicBudget::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(PanicBudget::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,81 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--fix-budget]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // The binary lives at crates/xtask; the repo root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--fix-budget]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, flags) = match args.split_first() {
+        Some((cmd, flags)) => (cmd.as_str(), flags),
+        None => return usage(),
+    };
+    if cmd != "lint" || flags.iter().any(|f| f != "--fix-budget") {
+        return usage();
+    }
+    let fix_budget = flags.iter().any(|f| f == "--fix-budget");
+
+    let root = repo_root();
+    let budget = match xtask::load_budget(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match xtask::lint_repo(&root, &budget) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: walking crates/: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if fix_budget {
+        let next = budget.ratchet(&report.panic_counts);
+        let path = root.join(xtask::BUDGET_PATH);
+        if next == budget {
+            println!("xtask: budget already tight (total {})", budget.total());
+        } else if let Err(e) = std::fs::write(&path, next.to_toml()) {
+            eprintln!("xtask: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        } else {
+            println!(
+                "xtask: budget ratcheted {} -> {} across {} files",
+                budget.total(),
+                next.total(),
+                report.panic_counts.values().filter(|&&c| c > 0).count()
+            );
+        }
+    }
+
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    let observed: usize = report.panic_counts.values().sum();
+    println!(
+        "xtask lint: {} files, {} violations, panic sites {} (budget {})",
+        report.files_checked,
+        report.violations.len(),
+        observed,
+        budget.total()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

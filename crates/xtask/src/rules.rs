@@ -1,0 +1,555 @@
+//! The lint rules: determinism (D), unit-safety (U), trace-counter
+//! discipline (T), and panic hygiene (P).
+//!
+//! All rules are lexical. They run on the token stream from
+//! [`crate::lexer`], skip `#[cfg(test)]` / `#[test]` regions, and honour
+//! `// xtask-allow(<rule>): <reason>` escape hatches. The heuristics are
+//! deliberately simple; where a rule cannot be sure, it prefers a
+//! justified allow-comment over silence, because every allow carries its
+//! reason in the diff.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D: no wall-clock, ambient randomness, or hash-order dependence in
+    /// simulation crates.
+    Determinism,
+    /// U: no raw arithmetic on unit-suffixed identifiers; the unit lives
+    /// in the type, not the name.
+    Units,
+    /// T: counter fields are incremented through registry helpers only.
+    Counters,
+    /// P: panic sites on hot paths are budgeted and only shrink.
+    Panics,
+}
+
+impl Rule {
+    /// The id used in reports and `xtask-allow(...)` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Units => "units",
+            Rule::Counters => "counters",
+            Rule::Panics => "panics",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.hint
+        )
+    }
+}
+
+/// Simulation crates where rule D applies: anything whose output feeds a
+/// seeded, replayable run.
+const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "approxcache",
+    "reuse",
+    "dnnsim",
+    "scene",
+    "workloads",
+];
+
+/// Hot-path crates where rule P applies.
+const PANIC_CRATES: &[&str] = &["reuse", "approxcache", "p2pnet"];
+
+/// Files that *define* unit newtypes: raw-number arithmetic on unit
+/// names is their job.
+const UNIT_HOME_FILES: &[&str] = &["crates/simcore/src/units.rs", "crates/simcore/src/time.rs"];
+
+/// Files that *are* the counter registries: the helpers themselves
+/// mutate fields directly.
+const COUNTER_HOME_FILES: &[&str] = &[
+    "crates/reuse/src/stats.rs",
+    "crates/p2pnet/src/transport.rs",
+];
+
+/// Counter-registry fields whose increments must go through helpers.
+const COUNTER_FIELDS: &[&str] = &[
+    // reuse::CacheStats
+    "lookups",
+    "hits",
+    "miss_empty",
+    "miss_too_far",
+    "miss_not_homogeneous",
+    "miss_insufficient_support",
+    "inserts",
+    "refreshes",
+    "rejected",
+    "evictions",
+    "removals",
+    "expirations",
+    // p2pnet::TransportCounters
+    "messages_sent",
+    "messages_delivered",
+    "messages_lost",
+    "bytes_sent",
+];
+
+/// Everything the rules know about one file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    lexed: Lexed,
+    /// Token-index ranges that are test code.
+    test_ranges: Vec<(usize, usize)>,
+    /// `(rule, first_line, last_line)` spans suppressed by allows.
+    allows: Vec<(String, usize, usize)>,
+}
+
+impl FileContext {
+    /// Lexes `source` and precomputes test regions and allow spans.
+    pub fn new(rel_path: &str, source: &str) -> FileContext {
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let allows = find_allows(&lexed, source);
+        FileContext {
+            rel_path: rel_path.replace('\\', "/"),
+            lexed,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// The crate name (`crates/<name>/…`), or "" outside `crates/`.
+    fn crate_name(&self) -> &str {
+        let mut parts = self.rel_path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some("crates"), Some(name)) => name,
+            _ => "",
+        }
+    }
+
+    fn in_test(&self, token_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| token_idx >= lo && token_idx <= hi)
+    }
+
+    fn allowed(&self, rule: Rule, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, lo, hi)| r == rule.id() && line >= *lo && line <= *hi)
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Finds `#[cfg(test)]` / `#[test]` regions as token-index ranges
+/// covering the gated item (attribute through matching close brace, or
+/// the terminating semicolon for brace-less items).
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Collect idents inside the attribute.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].kind == TokenKind::Ident {
+                    idents.push(&tokens[j].text);
+                }
+                j += 1;
+            }
+            let gates_test =
+                idents.iter().any(|s| *s == "test" || *s == "bench") && !idents.contains(&"not");
+            if gates_test {
+                // Skip to the item body: first `{` begins brace matching;
+                // a `;` first means a brace-less item.
+                let start = i;
+                let mut k = j;
+                let mut end = None;
+                while k < tokens.len() {
+                    if tokens[k].is_punct(';') {
+                        end = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct('{') {
+                        let mut brace = 1usize;
+                        let mut m = k + 1;
+                        while m < tokens.len() && brace > 0 {
+                            if tokens[m].is_punct('{') {
+                                brace += 1;
+                            } else if tokens[m].is_punct('}') {
+                                brace -= 1;
+                            }
+                            m += 1;
+                        }
+                        end = Some(m.saturating_sub(1));
+                        break;
+                    }
+                    k += 1;
+                }
+                let end = end.unwrap_or(tokens.len().saturating_sub(1));
+                ranges.push((start, end));
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Extracts `// xtask-allow(<rule>): <reason>` markers. The allow spans
+/// its own line through the end of the statement that follows: the first
+/// subsequent non-comment line whose trimmed text ends with `;`, `{` or
+/// `}` (multi-line builder chains stay covered).
+fn find_allows(lexed: &Lexed, source: &str) -> Vec<(String, usize, usize)> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        let Some(pos) = comment.text.find("xtask-allow(") else {
+            continue;
+        };
+        let rest = &comment.text[pos + "xtask-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let mut last = comment.line;
+        for (offset, text) in lines.iter().enumerate().skip(comment.line) {
+            let trimmed = text.trim();
+            last = offset + 1;
+            if trimmed.starts_with("//") || trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.ends_with(';') || trimmed.ends_with('{') || trimmed.ends_with('}') {
+                break;
+            }
+        }
+        allows.push((rule, comment.line, last));
+    }
+    allows
+}
+
+/// Runs rules D, U and T on one file, appending to `out`.
+pub fn check_file(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if ctx.crate_name() == "xtask" {
+        return;
+    }
+    check_determinism(ctx, out);
+    check_units(ctx, out);
+    check_counters(ctx, out);
+}
+
+fn push(
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+    rule: Rule,
+    line: usize,
+    message: String,
+    hint: &'static str,
+) {
+    out.push(Violation {
+        file: ctx.rel_path.clone(),
+        line,
+        rule,
+        message,
+        hint,
+    });
+}
+
+/// Rule D. Flags wall-clock types, ambient RNG construction, and
+/// iteration over identifiers declared as `HashMap`/`HashSet`.
+fn check_determinism(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !SIM_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    let tokens = ctx.tokens();
+
+    // Names declared with a HashMap/HashSet type ascription anywhere in
+    // the file (fields and lets): `name : … HashMap`.
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over `path::` segments to the ascription colon, then
+        // record the ascribed name: `name: [std::collections::]HashMap`.
+        let mut j = i;
+        while j >= 3
+            && tokens[j - 1].is_punct(':')
+            && tokens[j - 2].is_punct(':')
+            && tokens[j - 3].kind == TokenKind::Ident
+        {
+            j -= 3;
+        }
+        if j >= 2
+            && tokens[j - 1].is_punct(':')
+            && !tokens[j - 2].is_punct(':')
+            && tokens[j - 2].kind == TokenKind::Ident
+        {
+            hash_names.insert(&tokens[j - 2].text);
+        }
+    }
+
+    const ORDERED_ITERS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "values",
+        "values_mut",
+        "keys",
+        "drain",
+        "into_iter",
+        "into_values",
+        "into_keys",
+    ];
+
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let line = t.line;
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && !ctx.allowed(Rule::Determinism, line)
+        {
+            push(
+                ctx,
+                out,
+                Rule::Determinism,
+                line,
+                format!("wall-clock `{}` in a simulation crate", t.text),
+                "use the simulated clock (simcore::SimTime) so runs replay bit-identically",
+            );
+        }
+        if (t.is_ident("thread_rng") || t.is_ident("from_entropy"))
+            && !ctx.allowed(Rule::Determinism, line)
+        {
+            push(
+                ctx,
+                out,
+                Rule::Determinism,
+                line,
+                format!("ambient randomness `{}` in a simulation crate", t.text),
+                "derive randomness from the run seed: SimRng::seed(..) or rng.split(..)",
+            );
+        }
+        // `SomethingRng::default()` — an unseeded generator.
+        if t.kind == TokenKind::Ident
+            && t.text.ends_with("Rng")
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("default")
+            && !ctx.allowed(Rule::Determinism, line)
+        {
+            push(
+                ctx,
+                out,
+                Rule::Determinism,
+                line,
+                format!("argless `{}::default()` hides the seed", t.text),
+                "construct RNGs from an explicit seed derived from the run seed",
+            );
+        }
+        // `hash_name.iter()` and friends.
+        if t.kind == TokenKind::Ident
+            && hash_names.contains(t.text.as_str())
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_punct('.')
+            && tokens[i + 2].kind == TokenKind::Ident
+            && ORDERED_ITERS.contains(&tokens[i + 2].text.as_str())
+            && tokens[i + 3].is_punct('(')
+            && !ctx.allowed(Rule::Determinism, tokens[i + 2].line)
+            && !ctx.allowed(Rule::Determinism, line)
+        {
+            push(
+                ctx,
+                out,
+                Rule::Determinism,
+                tokens[i + 2].line,
+                format!(
+                    "iteration over hash-ordered `{}.{}()` can leak HashMap order into results",
+                    t.text,
+                    tokens[i + 2].text
+                ),
+                "aggregate order-free, sort before use, switch to BTreeMap, or justify with \
+                 `// xtask-allow(determinism): <reason>`",
+            );
+        }
+    }
+}
+
+/// True when `name` encodes a physical unit this workspace newtypes.
+///
+/// Deliberately suffix-only: a unit suffix marks a *raw* magnitude (the
+/// naming convention for bare `f64`s), which is the trap. Bare
+/// `latency`/`energy` identifiers are the refactored state — values of
+/// `SimDuration`/`Millis`/`Millijoules` whose operator arithmetic is
+/// type-checked — and a lexical rule cannot tell those apart from raw
+/// floats, so matching them would flag exactly the code the newtypes
+/// fixed.
+fn is_unit_name(name: &str) -> bool {
+    name.ends_with("_ms") || name.ends_with("_us") || name.ends_with("_mj")
+}
+
+/// Rule U. Flags `+ - * /` adjacent to unit-suffixed identifiers outside
+/// the newtype home modules: raw numbers named `_ms`/`_us`/`_mj` are the
+/// trap the `Millis`/`Micros`/`Millijoules` newtypes exist to remove.
+fn check_units(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if UNIT_HOME_FILES.contains(&ctx.rel_path.as_str())
+        || ctx.rel_path.starts_with("crates/bench/src/bin/")
+    {
+        return;
+    }
+    let tokens = ctx.tokens();
+    let ops = ['+', '-', '*', '/'];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !is_unit_name(&t.text) || ctx.in_test(i) {
+            continue;
+        }
+        let prev_op = i > 0
+            && ops
+                .iter()
+                .any(|&c| tokens[i - 1].is_punct(c))
+            // `*const`/`*mut`-style derefs and `->` arrows are not math.
+            && !(tokens[i - 1].is_punct('-')
+                && i > 1
+                && (tokens[i - 2].is_punct(',')
+                    || tokens[i - 2].is_punct('(')
+                    || tokens[i - 2].is_punct('=')));
+        let next_op = i + 1 < tokens.len()
+            && ops.iter().any(|&c| tokens[i + 1].is_punct(c))
+            // `a_ms / 2` is math; `a_ms ->` or `a_ms *=`-less contexts
+            // like `..` are filtered by the single-char match already.
+            && !(tokens[i + 1].is_punct('-')
+                && i + 2 < tokens.len()
+                && tokens[i + 2].is_punct('>'));
+        if (prev_op || next_op) && !ctx.allowed(Rule::Units, t.line) {
+            push(
+                ctx,
+                out,
+                Rule::Units,
+                t.line,
+                format!("raw arithmetic on unit-suffixed `{}`", t.text),
+                "wrap the value in simcore::units (Millis/Micros/Millijoules) — the unit \
+                 belongs in the type, not the name",
+            );
+        }
+    }
+}
+
+/// Rule T. Flags `.field += …` for counter-registry fields outside the
+/// registries themselves: stats must flow through `record_*` helpers so
+/// balance invariants run at every increment.
+fn check_counters(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if COUNTER_HOME_FILES.contains(&ctx.rel_path.as_str()) {
+        return;
+    }
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') || i + 3 >= tokens.len() || ctx.in_test(i) {
+            continue;
+        }
+        let field = &tokens[i + 1];
+        if field.kind != TokenKind::Ident || !COUNTER_FIELDS.contains(&field.text.as_str()) {
+            continue;
+        }
+        if tokens[i + 2].is_punct('+') && tokens[i + 3].is_punct('=') {
+            if ctx.allowed(Rule::Counters, field.line) {
+                continue;
+            }
+            push(
+                ctx,
+                out,
+                Rule::Counters,
+                field.line,
+                format!(
+                    "direct counter increment `.{} +=` bypasses the registry",
+                    field.text
+                ),
+                "call the matching CacheStats::record_* / TransportCounters::record_* helper",
+            );
+        }
+    }
+}
+
+/// Rule P's site census for one file: `.unwrap()`, `.expect(`, and index
+/// expressions in non-test code. Returns the count (the caller compares
+/// it against the checked-in budget).
+pub fn count_panic_sites(ctx: &FileContext) -> usize {
+    if !PANIC_CRATES.contains(&ctx.crate_name()) {
+        return 0;
+    }
+    let tokens = ctx.tokens();
+    let mut count = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`.
+        if t.is_punct('.')
+            && i + 2 < tokens.len()
+            && (tokens[i + 1].is_ident("unwrap") || tokens[i + 1].is_ident("expect"))
+            && tokens[i + 2].is_punct('(')
+            && !ctx.allowed(Rule::Panics, tokens[i + 1].line)
+        {
+            count += 1;
+        }
+        // Index expressions: `[` directly after an ident, `)` or `]`.
+        // Attributes (`#[…]`, `#![…]`) and macros (`vec![…]`) put a
+        // punct before the bracket; `let [a, b] = …` destructuring and
+        // array literals after keywords are not index expressions.
+        const KEYWORDS: &[&str] = &[
+            "let", "mut", "ref", "return", "in", "match", "if", "else", "as", "box", "move",
+            "break", "continue", "while", "for", "loop", "where", "yield",
+        ];
+        if t.is_punct('[') && i > 0 && !ctx.allowed(Rule::Panics, t.line) {
+            let prev = &tokens[i - 1];
+            let indexes = (prev.kind == TokenKind::Ident
+                && !KEYWORDS.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if indexes {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// True when rule P applies to this file at all.
+pub fn in_panic_scope(ctx: &FileContext) -> bool {
+    PANIC_CRATES.contains(&ctx.crate_name())
+}

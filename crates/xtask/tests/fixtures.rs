@@ -1,0 +1,148 @@
+//! Fixture-based rule tests: every rule has a known-bad fixture that
+//! must fire and a known-good fixture that must stay silent.
+
+use xtask::lint_source;
+use xtask::rules::Rule;
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = format!("{}/fixtures/{kind}/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Lints a fixture as if it lived at `rel_path`, with a rule-P budget.
+fn lint(kind: &str, name: &str, rel_path: &str, budget: usize) -> Vec<(Rule, usize)> {
+    let (violations, _) = lint_source(rel_path, &fixture(kind, name), budget);
+    violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn bad_determinism_fires() {
+    let hits = lint("bad", "determinism", "crates/simcore/src/fixture.rs", 0);
+    let rules: Vec<Rule> = hits.iter().map(|&(r, _)| r).collect();
+    assert!(rules.contains(&Rule::Determinism), "got {hits:?}");
+    // Wall clock, ambient rng, argless default rng, and hash iteration
+    // must each be caught.
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Determinism)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(lines.contains(&11), "Instant::now line, got {lines:?}");
+    assert!(lines.contains(&12), "SimRng::default line, got {lines:?}");
+    assert!(lines.contains(&13), "thread_rng line, got {lines:?}");
+    assert!(lines.contains(&15), "HashMap iteration line, got {lines:?}");
+}
+
+#[test]
+fn good_determinism_is_clean() {
+    let hits = lint("good", "determinism", "crates/simcore/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn determinism_only_applies_to_sim_crates() {
+    // The same bad source in a non-simulation crate is out of scope.
+    let hits = lint("bad", "determinism", "crates/features/src/fixture.rs", 0);
+    assert!(
+        !hits.iter().any(|&(r, _)| r == Rule::Determinism),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn bad_units_fires() {
+    let hits = lint("bad", "units", "crates/dnnsim/src/fixture.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Units)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(lines.contains(&4), "base_ms * throttle, got {lines:?}");
+    assert!(lines.contains(&5), "radio_mj + 1.5, got {lines:?}");
+}
+
+#[test]
+fn good_units_is_clean() {
+    let hits = lint("good", "units", "crates/dnnsim/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn units_exempts_the_newtype_home() {
+    let hits = lint("bad", "units", "crates/simcore/src/units.rs", 0);
+    assert!(!hits.iter().any(|&(r, _)| r == Rule::Units), "got {hits:?}");
+}
+
+#[test]
+fn bad_counters_fires() {
+    let hits = lint("bad", "counters", "crates/reuse/src/fixture.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Counters)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(lines, vec![9, 10, 14], "lookups, hits, messages_sent");
+}
+
+#[test]
+fn good_counters_is_clean() {
+    let hits = lint("good", "counters", "crates/reuse/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn counters_exempts_the_registry_itself() {
+    let hits = lint("bad", "counters", "crates/reuse/src/stats.rs", 0);
+    assert!(
+        !hits.iter().any(|&(r, _)| r == Rule::Counters),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn bad_panics_exceeds_a_zero_budget() {
+    let hits = lint("bad", "panics", "crates/reuse/src/fixture.rs", 0);
+    assert!(hits.iter().any(|&(r, _)| r == Rule::Panics), "got {hits:?}");
+}
+
+#[test]
+fn bad_panics_fits_a_sufficient_budget() {
+    // The fixture has exactly three sites: one index, one expect, one
+    // unwrap. A budget of three admits it; two does not.
+    let hits = lint("bad", "panics", "crates/reuse/src/fixture.rs", 3);
+    assert!(
+        !hits.iter().any(|&(r, _)| r == Rule::Panics),
+        "got {hits:?}"
+    );
+    let hits = lint("bad", "panics", "crates/reuse/src/fixture.rs", 2);
+    assert!(hits.iter().any(|&(r, _)| r == Rule::Panics), "got {hits:?}");
+}
+
+#[test]
+fn good_panics_is_clean_at_zero() {
+    let hits = lint("good", "panics", "crates/reuse/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn panics_only_applies_to_hot_path_crates() {
+    let (hits, count) = lint_source(
+        "crates/workloads/src/fixture.rs",
+        &fixture("bad", "panics"),
+        0,
+    );
+    assert!(count.is_none());
+    assert!(!hits.iter().any(|v| v.rule == Rule::Panics), "got {hits:?}");
+}
+
+#[test]
+fn violations_render_with_location_rule_and_hint() {
+    let (violations, _) = lint_source(
+        "crates/reuse/src/fixture.rs",
+        &fixture("bad", "counters"),
+        0,
+    );
+    let rendered = violations[0].to_string();
+    assert!(rendered.starts_with("crates/reuse/src/fixture.rs:9: [counters]"));
+    assert!(rendered.contains("fix:"), "{rendered}");
+}

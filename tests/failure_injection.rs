@@ -10,6 +10,8 @@ use approx_caching::system::{
 use approx_caching::workload::{multi, video};
 
 #[test]
+// Exact comparison is intentional: zero peer hits yields exactly 0.0.
+#[allow(clippy::float_cmp)]
 fn total_radio_loss_degrades_to_local_only() {
     // A link that drops everything: peer hits must vanish, but the system
     // must still beat the no-cache baseline on local reuse alone.

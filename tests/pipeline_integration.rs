@@ -82,6 +82,8 @@ fn baseline_ordering_holds_in_the_museum() {
 }
 
 #[test]
+// Exact comparison is intentional: zero peer hits yields exactly 0.0.
+#[allow(clippy::float_cmp)]
 fn peer_traffic_only_flows_when_peers_enabled() {
     let scenario = multi::museum(4).with_duration(SimDuration::from_secs(6));
     let config = PipelineConfig::calibrated(&scenario, 25);

@@ -1,0 +1,79 @@
+//! The unit newtypes (`Millis`/`Micros`/`Millijoules`) must be
+//! numerically and serially indistinguishable from the raw `f64`s they
+//! replaced: golden reports under `results/` pin the serialized form,
+//! and property tests pin the arithmetic bit-for-bit.
+
+use approx_caching::runtime::{Micros, Millijoules, Millis};
+use approx_caching::system::RunReport;
+use proptest::prelude::*;
+
+fn golden(name: &str) -> (RunReport, serde_json::Value) {
+    let raw = std::fs::read_to_string(format!("results/{name}-full.json"))
+        .unwrap_or_else(|e| panic!("reading results/{name}-full.json: {e}"));
+    let value = serde_json::from_str(&raw).expect("golden parses as JSON");
+    let report = serde_json::from_str(&raw).expect("golden parses as RunReport");
+    (report, value)
+}
+
+const GOLDENS: [&str; 5] = [
+    "stationary",
+    "slow-pan",
+    "turn-and-look",
+    "walking-tour",
+    "museum-x6",
+];
+
+/// Deserialize → reserialize must reproduce every golden report
+/// value-for-value: the `#[serde(transparent)]` newtypes may not change
+/// a single number or key relative to the pre-newtype encoding.
+#[test]
+fn golden_reports_reserialize_value_identical() {
+    for name in GOLDENS {
+        let (report, original) = golden(name);
+        let back = serde_json::to_value(&report).expect("report reserializes");
+        assert_eq!(original, back, "{name}: re-serialization drifted");
+    }
+}
+
+/// Spot-check that a newtype field carries the exact golden magnitude —
+/// bit-for-bit the f64 in the file, not a rounded or rescaled one.
+#[test]
+// Exact comparison is intentional: the golden value must survive untouched.
+#[allow(clippy::float_cmp)]
+fn golden_energy_magnitude_is_bit_exact() {
+    let (report, value) = golden("stationary");
+    let raw = value["mean_energy_mj"].as_f64().expect("energy present");
+    assert_eq!(report.mean_energy.value().to_bits(), raw.to_bits());
+    assert_eq!(report.mean_energy, Millijoules::new(raw));
+}
+
+proptest! {
+    /// Millis -> Micros -> Millis performs exactly the raw-f64
+    /// computation `(x * 1e3) / 1e3` — same rounding, same bits.
+    #[test]
+    fn millis_micros_round_trip_matches_raw_f64(x in -1e9f64..1e9) {
+        let via_newtype = Millis::from(Micros::from(Millis::new(x))).value();
+        let via_raw = (x * 1e3) / 1e3;
+        prop_assert_eq!(via_newtype.to_bits(), via_raw.to_bits());
+    }
+
+    /// Summing Millijoules is exactly the left fold over the raw f64s:
+    /// the newtype adds no reordering and no extra rounding.
+    #[test]
+    fn millijoule_sum_matches_raw_fold(
+        xs in proptest::collection::vec(0.0f64..1e6, 0..64),
+    ) {
+        let via_newtype: Millijoules = xs.iter().map(|&x| Millijoules::new(x)).sum();
+        let via_raw = xs.iter().fold(0.0f64, |acc, &x| acc + x);
+        prop_assert_eq!(via_newtype.value().to_bits(), via_raw.to_bits());
+    }
+
+    /// Serde stays transparent for any finite magnitude: the newtype
+    /// serializes to exactly what the raw f64 would.
+    #[test]
+    fn serde_matches_raw_f64(x in -1e12f64..1e12) {
+        let newtype = serde_json::to_string(&Millis::new(x)).expect("serializes");
+        let raw = serde_json::to_string(&x).expect("serializes");
+        prop_assert_eq!(newtype, raw);
+    }
+}

@@ -7,9 +7,12 @@
 //! externally-taggable enums, which keeps the grammar small).
 //!
 //! Supported shapes: unit/tuple/named structs, enums with unit, tuple and
-//! struct variants, one level of type generics, and the `#[serde(skip)]`
-//! field attribute (omitted on serialize, `Default::default()` on
-//! deserialize).
+//! struct variants, one level of type generics, and the field attributes
+//! `#[serde(skip)]` (omitted on serialize, `Default::default()` on
+//! deserialize) and `#[serde(rename = "...")]` (the string replaces the
+//! field name as the object key in both directions). Container-level
+//! `#[serde(transparent)]` needs no handling: single-field tuple structs
+//! already serialize as their inner value.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -17,6 +20,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: Option<String>,
     skip: bool,
+    rename: Option<String>,
+}
+
+impl Field {
+    /// The object key this field reads from / writes to.
+    fn key(&self) -> &str {
+        self.rename
+            .as_deref()
+            .or(self.name.as_deref())
+            .expect("named field")
+    }
 }
 
 #[derive(Debug)]
@@ -124,31 +138,54 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Advances past leading `#[...]` attributes, returning whether any of
-/// them was `#[serde(skip)]`.
-fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
-    let mut skip = false;
+/// The `#[serde(...)]` field attributes this shim understands.
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    skip: bool,
+    rename: Option<String>,
+}
+
+/// Advances past leading `#[...]` attributes, collecting any recognized
+/// `#[serde(...)]` field attributes along the way.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match (tokens.get(*pos), tokens.get(*pos + 1)) {
             (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                skip |= attr_is_serde_skip(g.stream());
+                merge_serde_attr(g.stream(), &mut attrs);
                 *pos += 2;
             }
-            _ => return skip,
+            _ => return attrs,
         }
     }
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Folds one `#[...]` attribute body into `attrs`: recognizes
+/// `serde(skip)` and `serde(rename = "...")`; anything else is ignored.
+fn merge_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    match (tokens.first(), tokens.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+    let inner = match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => return,
+    };
+    for (i, t) in inner.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "rename" => {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        attrs.rename = Some(lit.to_string().trim_matches('"').to_owned());
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -207,7 +244,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = skip_attributes(&tokens, &mut pos);
+        let attrs = skip_attributes(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -228,7 +265,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         fields.push(Field {
             name: Some(name),
-            skip,
+            skip: attrs.skip,
+            rename: attrs.rename,
         });
     }
     fields
@@ -239,7 +277,7 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = skip_attributes(&tokens, &mut pos);
+        let attrs = skip_attributes(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -248,7 +286,11 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
         if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             pos += 1;
         }
-        fields.push(Field { name: None, skip });
+        fields.push(Field {
+            name: None,
+            skip: attrs.skip,
+            rename: None,
+        });
     }
     fields
 }
@@ -416,8 +458,9 @@ fn emit_named_to_object(fields: &[Field], access: &str, prefix: &str) -> String 
             continue;
         }
         let fname = f.name.as_ref().expect("named field");
+        let key = f.key();
         out.push_str(&format!(
-            "__map.insert(\"{fname}\".to_owned(), \
+            "__map.insert(\"{key}\".to_owned(), \
              ::serde::Serialize::to_value(&{access}{prefix}{fname})); "
         ));
     }
@@ -523,7 +566,8 @@ fn emit_named_inits(fields: &[Field], ty: &str) -> String {
             if f.skip {
                 format!("{fname}: ::std::default::Default::default()")
             } else {
-                format!("{fname}: ::serde::__field(__obj, \"{ty}\", \"{fname}\")?")
+                let key = f.key();
+                format!("{fname}: ::serde::__field(__obj, \"{ty}\", \"{key}\")?")
             }
         })
         .collect::<Vec<_>>()
