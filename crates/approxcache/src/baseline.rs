@@ -182,6 +182,12 @@ impl ExactCache {
         let digest = self.digest(key);
         self.entries.insert(digest, label);
     }
+
+    /// Drops every cached digest (what a process crash does to an
+    /// in-memory cache).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,12 @@ pub struct PeerConfig {
     /// freshly arrived peers are invisible until a beacon lands and
     /// beaconing costs radio bytes.
     pub discovery: Option<p2pnet::DiscoveryConfig>,
+    /// Resilience machinery (advertisement retry, dead-peer circuit
+    /// breaker, dark-peer fallback — see [`p2pnet::faults`]). `None`
+    /// disables all of it: the hardened pipeline is byte-identical to the
+    /// pre-resilience one until this is set.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<p2pnet::ResilienceConfig>,
 }
 
 impl Default for PeerConfig {
@@ -92,6 +98,7 @@ impl Default for PeerConfig {
             advertise_fanout: 2,
             compress_advertisements: false,
             discovery: None,
+            resilience: None,
         }
     }
 }
@@ -252,6 +259,18 @@ impl PipelineConfig {
     /// Replaces or disables peer collaboration.
     pub fn with_peer(mut self, peer: Option<PeerConfig>) -> PipelineConfig {
         self.peer = peer;
+        self
+    }
+
+    /// Sets the peer tier's resilience machinery (no-op when peers are
+    /// disabled; `None` turns the machinery off again).
+    pub fn with_resilience(
+        mut self,
+        resilience: Option<p2pnet::ResilienceConfig>,
+    ) -> PipelineConfig {
+        if let Some(peer) = self.peer.as_mut() {
+            peer.resilience = resilience;
+        }
         self
     }
 

@@ -6,7 +6,7 @@ use ann::MissReason;
 use dnnsim::{CascadeModel, DnnModel, EnergyModel, InferenceBackend, Radio};
 use features::{FeatureVector, RandomProjection};
 use imu::{GateDecision, ImuSample, MotionEstimator};
-use p2pnet::{P2pMessage, RemoteHit, Transport, WireEntry};
+use p2pnet::{P2pMessage, RemoteHit, ResilienceConfig, ResilienceCounters, Transport, WireEntry};
 use reuse::{ApproxCache, EntrySource, LookupResult, SharedCache};
 use scene::{ClassId, Frame};
 use simcore::units::Millijoules;
@@ -108,7 +108,7 @@ impl FrameOutcome {
 /// exactly this, plus peers and advertisements):
 ///
 /// ```
-/// use approxcache::{Device, DeviceId, PipelineConfig, SystemVariant};
+/// use approxcache::{DeviceBuilder, DeviceId, PipelineConfig, SystemVariant};
 /// use scene::{ClassUniverse, FrameRenderer, SceneConfig, World};
 /// use simcore::{SimRng, SimTime};
 ///
@@ -118,8 +118,9 @@ impl FrameOutcome {
 /// let world = World::generate(&universe, &scene, &mut rng);
 /// let renderer = FrameRenderer::new(&scene);
 /// let config = PipelineConfig::new().with_peer(None);
-/// let mut device = Device::new(
-///     DeviceId(0), SystemVariant::Full, &config, &universe, scene.descriptor_dim, 1);
+/// let mut device = DeviceBuilder::new(DeviceId(0), &config, &universe, scene.descriptor_dim, 1)
+///     .variant(SystemVariant::Full)
+///     .build();
 ///
 /// let frame = renderer.render(&world, &imu::Pose::default(), SimTime::ZERO, &mut rng);
 /// let outcome = device.process_frame(&frame, &[], &[], SimTime::ZERO);
@@ -168,6 +169,26 @@ pub struct Device {
     frame_sketch: Option<FeatureVector>,
     /// Per-frame decision traces (disabled ring unless configured).
     trace: TraceRing,
+    /// Resilience machinery configuration (all members `None` by default,
+    /// in which case the device behaves exactly like the pre-resilience
+    /// pipeline).
+    resilience: ResilienceConfig,
+    /// Whether the simulation marked this device's radio inside an
+    /// injected outage for the current frame.
+    radio_dark: bool,
+    /// Consecutive peer-tier frames that produced no reply (every
+    /// exchange timed out, or the radio was dark while peers were
+    /// wanted). Drives the dark-peer fallback.
+    dark_streak: u32,
+    /// While set, the dark-peer fallback suppresses the peer tier
+    /// entirely — graceful degradation without paying peer-wait latency.
+    fallback_until: Option<SimTime>,
+    /// Fault events seen and resilience actions taken.
+    counters: ResilienceCounters,
+    /// Peer query outcomes of the current frame, as `(slice index,
+    /// delivered)` pairs; drained by the simulation for circuit-breaker
+    /// feedback. Only recorded when a breaker is configured.
+    peer_outcomes: Vec<(usize, bool)>,
 }
 
 impl std::fmt::Debug for Device {
@@ -180,35 +201,95 @@ impl std::fmt::Debug for Device {
     }
 }
 
-impl Device {
-    /// Builds a device from a pipeline configuration.
-    ///
-    /// `universe` defines the label space the DNN classifies over;
-    /// `descriptor_dim` is the raw frame-descriptor dimension the shared
-    /// projection compresses.
+/// Typed constructor for [`Device`].
+///
+/// The old six-positional-argument constructor made call sites
+/// unreadable (`Device::new(id, variant, &config, &universe, 256, 99)` —
+/// which number is the seed?). The builder names every required input up
+/// front and keeps the optional knobs chainable:
+///
+/// ```
+/// # use approxcache::{DeviceBuilder, DeviceId, PipelineConfig, SystemVariant};
+/// # use simcore::SimRng;
+/// # let mut rng = SimRng::seed(1);
+/// # let universe = scene::ClassUniverse::generate(&scene::SceneConfig::default(), &mut rng);
+/// let config = PipelineConfig::new();
+/// let device = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, 99)
+///     .variant(SystemVariant::LocalApprox)
+///     .device_class(dnnsim::DeviceClass::Budget)
+///     .build();
+/// assert_eq!(device.variant(), SystemVariant::LocalApprox);
+/// ```
+#[derive(Debug)]
+pub struct DeviceBuilder<'a> {
+    id: DeviceId,
+    config: &'a PipelineConfig,
+    universe: &'a scene::ClassUniverse,
+    descriptor_dim: usize,
+    seed: u64,
+    variant: SystemVariant,
+    device_class: Option<dnnsim::DeviceClass>,
+}
+
+impl<'a> DeviceBuilder<'a> {
+    /// Starts a builder from the inputs every device needs: its identity,
+    /// the pipeline configuration, the label universe the DNN classifies
+    /// over, the raw frame-descriptor dimension the shared projection
+    /// compresses, and the simulation seed. The variant defaults to
+    /// [`SystemVariant::Full`].
     pub fn new(
         id: DeviceId,
-        variant: SystemVariant,
-        config: &PipelineConfig,
-        universe: &scene::ClassUniverse,
+        config: &'a PipelineConfig,
+        universe: &'a scene::ClassUniverse,
         descriptor_dim: usize,
         seed: u64,
-    ) -> Device {
-        let effective = variant.apply(config);
-        let projection = Arc::new(effective.build_projection(descriptor_dim));
+    ) -> DeviceBuilder<'a> {
+        DeviceBuilder {
+            id,
+            config,
+            universe,
+            descriptor_dim,
+            seed,
+            variant: SystemVariant::Full,
+            device_class: None,
+        }
+    }
+
+    /// Selects the system variant this device runs (default `Full`).
+    pub fn variant(mut self, variant: SystemVariant) -> DeviceBuilder<'a> {
+        self.variant = variant;
+        self
+    }
+
+    /// Overrides the phone class for this one device (heterogeneous
+    /// fleets), leaving the shared configuration untouched.
+    pub fn device_class(mut self, class: dnnsim::DeviceClass) -> DeviceBuilder<'a> {
+        self.device_class = Some(class);
+        self
+    }
+
+    /// Builds the device.
+    pub fn build(self) -> Device {
+        let variant = self.variant;
+        let mut config = self.config.clone();
+        if let Some(class) = self.device_class {
+            config.device_class = class;
+        }
+        let effective = variant.apply(&config);
+        let projection = Arc::new(effective.build_projection(self.descriptor_dim));
         let cache = SharedCache::new(ApproxCache::new(effective.cache.clone()));
         let dnn: Box<dyn InferenceBackend> = match &effective.cascade_little {
             None => Box::new(DnnModel::new(
                 effective.model.clone(),
                 effective.device_class,
-                universe,
+                self.universe,
             )),
             Some((little, threshold)) => Box::new(CascadeModel::new(
                 little.clone(),
                 effective.model.clone(),
                 *threshold,
                 effective.device_class,
-                universe,
+                self.universe,
             )),
         };
         let energy = EnergyModel::new(effective.device_class);
@@ -219,12 +300,17 @@ impl Device {
         // The guard only matters where a fast path exists to guard.
         let scene_check = effective.scene_check.filter(|_| variant.imu_enabled());
         let scene_sketch = scene_check
-            .map(|sc| RandomProjection::new(descriptor_dim, sc.sketch_dim, SCENE_SKETCH_SEED));
+            .map(|sc| RandomProjection::new(self.descriptor_dim, sc.sketch_dim, SCENE_SKETCH_SEED));
         let trace = effective
             .trace_capacity
             .map_or_else(TraceRing::disabled, TraceRing::new);
+        let resilience = effective
+            .peer
+            .as_ref()
+            .and_then(|p| p.resilience)
+            .unwrap_or_default();
         Device {
-            id,
+            id: self.id,
             variant,
             projection,
             cache,
@@ -247,7 +333,7 @@ impl Device {
             last_result: None,
             motion_since_validation: 0.0,
             next_query_id: 0,
-            rng: SimRng::seed(seed).split_index("device", id.0 as u64),
+            rng: SimRng::seed(self.seed).split_index("device", self.id.0 as u64),
             outcomes: Vec::new(),
             pending_advertisement: None,
             scene_check,
@@ -255,7 +341,34 @@ impl Device {
             validated_sketch: None,
             frame_sketch: None,
             trace,
+            resilience,
+            radio_dark: false,
+            dark_streak: 0,
+            fallback_until: None,
+            counters: ResilienceCounters::default(),
+            peer_outcomes: Vec::new(),
         }
+    }
+}
+
+impl Device {
+    /// Builds a device from a pipeline configuration.
+    ///
+    /// `universe` defines the label space the DNN classifies over;
+    /// `descriptor_dim` is the raw frame-descriptor dimension the shared
+    /// projection compresses.
+    #[deprecated(note = "use `DeviceBuilder::new(...).variant(...).build()`")]
+    pub fn new(
+        id: DeviceId,
+        variant: SystemVariant,
+        config: &PipelineConfig,
+        universe: &scene::ClassUniverse,
+        descriptor_dim: usize,
+        seed: u64,
+    ) -> Device {
+        DeviceBuilder::new(id, config, universe, descriptor_dim, seed)
+            .variant(variant)
+            .build()
     }
 
     /// This device's id.
@@ -310,6 +423,56 @@ impl Device {
         &self.trace
     }
 
+    /// Fault events seen and resilience actions taken so far.
+    pub fn resilience_counters(&self) -> &ResilienceCounters {
+        &self.counters
+    }
+
+    /// Marks the radio as inside (or out of) an injected outage. While
+    /// dark, the device records outage frames and never queries peers,
+    /// whatever the caller passes as `peers`.
+    pub fn set_radio_dark(&mut self, dark: bool) {
+        self.radio_dark = dark;
+    }
+
+    /// Applies (or clears, with `None`) a degraded-link episode to this
+    /// device's transport: latency ×`latency_factor`, loss ×`loss_factor`.
+    pub fn set_link_degradation(&mut self, degradation: Option<(f64, f64)>) {
+        match degradation {
+            Some((latency_factor, loss_factor)) => {
+                self.transport.set_degradation(latency_factor, loss_factor);
+            }
+            None => self.transport.clear_degradation(),
+        }
+    }
+
+    /// Simulates a process crash and restart: everything held in device
+    /// memory is lost — both caches, the validated last result, the
+    /// pending advertisement and the fallback state. The run's accounting
+    /// (outcome log, transport and resilience counters) survives, because
+    /// it models the experiment's books, not the phone's RAM.
+    pub fn crash(&mut self) {
+        self.cache.with(|c| c.clear());
+        self.exact_cache.clear();
+        self.last_result = None;
+        self.motion_since_validation = 0.0;
+        self.validated_sketch = None;
+        self.frame_sketch = None;
+        self.pending_advertisement = None;
+        self.dark_streak = 0;
+        self.fallback_until = None;
+        self.peer_outcomes.clear();
+        self.counters.record_crash();
+    }
+
+    /// Drains the peer query outcomes of the last processed frame, as
+    /// `(peer slice index, delivered)` pairs — the feedback stream the
+    /// simulation routes into the discovery circuit breaker. Empty unless
+    /// [`ResilienceConfig::breaker`] is configured.
+    pub fn take_peer_outcomes(&mut self) -> Vec<(usize, bool)> {
+        std::mem::take(&mut self.peer_outcomes)
+    }
+
     /// Processes one frame. `imu_window` holds the samples since the
     /// previous frame; `peers` are the caches of in-range devices, nearest
     /// first. Returns the recorded outcome.
@@ -352,7 +515,12 @@ impl Device {
             peer_attempts: 0,
             peer_timeouts: 0,
             peer_bytes_before: self.transport.counters().bytes_sent,
+            radio_dark: self.radio_dark,
+            peer_fallback: false,
         };
+        if self.radio_dark {
+            self.counters.record_outage_frame();
+        }
 
         // Tier 0: inertial gate.
         let mut decision = if self.variant.imu_enabled() {
@@ -479,12 +647,24 @@ impl Device {
             }
         }
 
-        // Tier 2: peers.
-        if let Some(peer_config) = self
-            .peer
-            .clone()
-            .filter(|_| self.variant.peers_enabled() && !peers.is_empty())
+        // Tier 2: peers. A dark radio cannot reach anyone; an active
+        // dark-peer fallback window skips the tier outright — graceful
+        // degradation to Local/Infer without paying peer-wait latency.
+        let fallback_active = self.fallback_until.is_some_and(|until| now < until);
+        if fallback_active
+            && self.variant.peers_enabled()
+            && self.peer.is_some()
+            && !self.radio_dark
         {
+            draft.peer_fallback = true;
+            self.counters.record_peer_fallback();
+        }
+        if let Some(peer_config) = self.peer.clone().filter(|_| {
+            self.variant.peers_enabled()
+                && !peers.is_empty()
+                && !self.radio_dark
+                && !fallback_active
+        }) {
             let radio = radio_of(&peer_config.link);
             // Peer economics: querying only makes sense while the expected
             // radio time stays well below the inference it might avoid.
@@ -494,7 +674,7 @@ impl Device {
                 .mul_f64(peer_config.query_budget_fraction.max(0.0));
             let expected_rtt = peer_config.link.base_latency * 2;
             let mut peer_latency_spent = SimDuration::ZERO;
-            for peer_cache in peers.iter().take(peer_config.max_peers_queried) {
+            for (slot, peer_cache) in peers.iter().enumerate().take(peer_config.max_peers_queried) {
                 if peer_latency_spent + expected_rtt > budget {
                     break;
                 }
@@ -514,6 +694,9 @@ impl Device {
                 energy += self
                     .energy
                     .radio_energy(radio, query.encoded_len() + reply.encoded_len());
+                if self.resilience.breaker.is_some() {
+                    self.peer_outcomes.push((slot, rtt.is_some()));
+                }
                 match rtt {
                     None => {
                         // A lost exchange still consumed the expected
@@ -523,6 +706,10 @@ impl Device {
                         continue; // counts as a peer miss
                     }
                     Some(rtt) => {
+                        // A delivered exchange proves the peer tier is
+                        // alive: clear any dark-fallback momentum.
+                        self.dark_streak = 0;
+                        self.fallback_until = None;
                         latency += rtt;
                         peer_latency_spent += rtt;
                         if let Some(hit) = hit {
@@ -548,6 +735,25 @@ impl Device {
                             return outcome;
                         }
                     }
+                }
+            }
+        }
+
+        // Dark-peer fallback bookkeeping: a frame that wanted peers but
+        // got nothing back (radio dark, or every exchange timed out)
+        // advances the streak; enough consecutive dark frames open the
+        // fallback window. Delivered exchanges reset it (above).
+        if let Some(fallback) = self.resilience.dark_fallback {
+            let peers_wanted = self.variant.peers_enabled() && self.peer.is_some();
+            let frame_dark = peers_wanted
+                && !draft.peer_fallback
+                && (self.radio_dark
+                    || (draft.peer_attempts > 0 && draft.peer_timeouts == draft.peer_attempts));
+            if frame_dark {
+                self.dark_streak += 1;
+                if self.dark_streak >= fallback.threshold {
+                    self.fallback_until = Some(now + fallback.cooldown);
+                    self.dark_streak = 0;
                 }
             }
         }
@@ -616,7 +822,20 @@ impl Device {
     /// simulation when it actually transmits).
     pub fn charge_advertisement(&mut self, message: &P2pMessage) -> Option<SimDuration> {
         let radio = self.peer.as_ref().map(|p| radio_of(&p.link))?;
-        let delay = self.transport.send_message(message, &mut self.rng);
+        let delay = match self.resilience.ad_retry {
+            // Fire-and-forget: the pre-resilience behaviour, bit for bit.
+            None => self.transport.send_message(message, &mut self.rng),
+            Some(policy) => {
+                let outcome = self
+                    .transport
+                    .send_with_retry(message, &policy, &mut self.rng);
+                self.counters.record_ad_retries(outcome.retries);
+                if outcome.delay.is_none() {
+                    self.counters.record_ad_abandoned();
+                }
+                outcome.delay
+            }
+        };
         // Radio energy is charged to the device battery, not to any frame.
         let _ = self.energy.radio_energy(radio, message.encoded_len());
         delay
@@ -719,6 +938,8 @@ impl Device {
                     timeouts: draft.peer_timeouts,
                     bytes,
                 },
+                radio_dark: draft.radio_dark,
+                peer_fallback: draft.peer_fallback,
                 path: trace_path(outcome.path),
                 latency: outcome.latency,
                 energy: outcome.energy,
@@ -738,6 +959,8 @@ struct TraceDraft {
     peer_attempts: u32,
     peer_timeouts: u32,
     peer_bytes_before: u64,
+    radio_dark: bool,
+    peer_fallback: bool,
 }
 
 fn trace_gate(decision: GateDecision, imu_enabled: bool) -> TraceGate {
@@ -847,7 +1070,9 @@ mod tests {
 
     fn device(variant: SystemVariant, universe: &ClassUniverse) -> Device {
         let config = PipelineConfig::new();
-        Device::new(DeviceId(0), variant, &config, universe, 256, 99)
+        DeviceBuilder::new(DeviceId(0), &config, universe, 256, 99)
+            .variant(variant)
+            .build()
     }
 
     #[test]
@@ -908,14 +1133,8 @@ mod tests {
             &[],
             SimTime::ZERO,
         );
-        let mut cold = Device::new(
-            DeviceId(1),
-            SystemVariant::Full,
-            &PipelineConfig::new(),
-            &u,
-            256,
-            99,
-        );
+        let config = PipelineConfig::new();
+        let mut cold = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99).build();
         let t1 = SimTime::from_millis(100);
         let warm_cache = warm.cache().clone();
         let outcome = cold.process_frame(
@@ -970,14 +1189,8 @@ mod tests {
             SimTime::ZERO,
         );
         let ad = producer.take_advertisement().unwrap();
-        let mut consumer = Device::new(
-            DeviceId(1),
-            SystemVariant::Full,
-            &PipelineConfig::new(),
-            &u,
-            256,
-            99,
-        );
+        let config = PipelineConfig::new();
+        let mut consumer = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99).build();
         consumer.receive_advertisement(&ad, SimTime::from_millis(50));
         let t = SimTime::from_millis(100);
         let outcome = consumer.process_frame(&frame_for(&u, 4, t), &moving_window(100), &[], t);
@@ -1016,7 +1229,7 @@ mod tests {
         ble_config.peer.as_mut().expect("peers").link = p2pnet::LinkSpec::ble();
 
         // Fast model: no peer traffic at all.
-        let mut fast = Device::new(DeviceId(1), SystemVariant::Full, &ble_config, &u, 256, 99);
+        let mut fast = DeviceBuilder::new(DeviceId(1), &ble_config, &u, 256, 99).build();
         let t = SimTime::from_millis(100);
         let outcome =
             fast.process_frame(&frame_for(&u, 3, t), &moving_window(100), &[&warm_cache], t);
@@ -1029,7 +1242,7 @@ mod tests {
 
         // Heavy model: the same query is worth it.
         let heavy_config = ble_config.clone().with_model(dnnsim::zoo::resnet50());
-        let mut heavy = Device::new(DeviceId(2), SystemVariant::Full, &heavy_config, &u, 256, 99);
+        let mut heavy = DeviceBuilder::new(DeviceId(2), &heavy_config, &u, 256, 99).build();
         let outcome =
             heavy.process_frame(&frame_for(&u, 3, t), &moving_window(100), &[&warm_cache], t);
         assert_eq!(outcome.path, ResolutionPath::PeerCache);
@@ -1054,7 +1267,7 @@ mod tests {
             audit_prob: 0.5,
             ..crate::adaptive::AdaptiveConfig::default()
         });
-        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 7);
+        let mut d = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 7).build();
         let start_threshold = d.current_threshold();
         for i in 0..200u64 {
             let t = SimTime::from_millis(i * 100);
@@ -1104,7 +1317,7 @@ mod tests {
     fn stationary_run_traces_infer_then_imu_fast_path() {
         let u = universe();
         let config = PipelineConfig::new().with_trace_capacity(Some(16));
-        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 99);
+        let mut d = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99).build();
         for i in 0..3u64 {
             let t = SimTime::from_millis(i * 100);
             d.process_frame(&frame_for(&u, 0, t), &still_window(i * 100), &[], t);
@@ -1141,7 +1354,7 @@ mod tests {
     fn trace_records_local_hit_distance_and_peer_attempts() {
         let u = universe();
         let config = PipelineConfig::new().with_trace_capacity(Some(16));
-        let mut d = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 99);
+        let mut d = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99).build();
         d.process_frame(
             &frame_for(&u, 0, SimTime::ZERO),
             &moving_window(0),
@@ -1168,7 +1381,7 @@ mod tests {
             SimTime::ZERO,
         );
         let warm_cache = warm.cache().clone();
-        let mut cold = Device::new(DeviceId(1), SystemVariant::Full, &config, &u, 256, 99);
+        let mut cold = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99).build();
         let outcome = cold.process_frame(
             &frame_for(&u, 3, t1),
             &moving_window(100),
@@ -1183,6 +1396,176 @@ mod tests {
         assert!(
             trace.peer.bytes > 0,
             "peer bytes must come from the transport counters"
+        );
+        assert!(!trace.radio_dark);
+        assert!(!trace.peer_fallback);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder() {
+        let u = universe();
+        let config = PipelineConfig::new();
+        let mut old = Device::new(DeviceId(0), SystemVariant::Full, &config, &u, 256, 99);
+        let mut new = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99).build();
+        let t = SimTime::ZERO;
+        let a = old.process_frame(&frame_for(&u, 0, t), &still_window(0), &[], t);
+        let b = new.process_frame(&frame_for(&u, 0, t), &still_window(0), &[], t);
+        assert_eq!(a, b, "the shim must be behaviour-identical");
+    }
+
+    #[test]
+    fn radio_dark_frames_never_query_peers() {
+        let u = universe();
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let warm_cache = warm.cache().clone();
+        let config = PipelineConfig::new().with_trace_capacity(Some(16));
+        let mut cold = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99).build();
+        cold.set_radio_dark(true);
+        let t1 = SimTime::from_millis(100);
+        let outcome = cold.process_frame(
+            &frame_for(&u, 3, t1),
+            &moving_window(100),
+            &[&warm_cache],
+            t1,
+        );
+        // The peer held the answer, but the radio was dark.
+        assert_eq!(outcome.path, ResolutionPath::FullInference);
+        assert_eq!(cold.transport_counters().messages_sent, 0);
+        assert_eq!(cold.resilience_counters().outage_frames, 1);
+        let trace = cold.trace().to_vec()[0];
+        assert!(trace.radio_dark);
+        assert_eq!(trace.peer.attempts, 0);
+
+        // Out of the outage, the same query goes through again.
+        cold.set_radio_dark(false);
+        let t2 = SimTime::from_millis(200);
+        let outcome = cold.process_frame(
+            &frame_for(&u, 3, t2),
+            &moving_window(200),
+            &[&warm_cache],
+            t2,
+        );
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+    }
+
+    #[test]
+    fn dark_fallback_opens_after_consecutive_timeouts() {
+        let u = universe();
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let warm_cache = warm.cache().clone();
+
+        // Every exchange is lost, so every peer-tier frame is a timeout.
+        let mut config = PipelineConfig::new().with_trace_capacity(Some(64));
+        let peer = config.peer.as_mut().expect("peers enabled");
+        peer.link.loss_prob = 1.0;
+        peer.resilience = Some(p2pnet::ResilienceConfig {
+            dark_fallback: Some(p2pnet::DarkFallback {
+                threshold: 2,
+                cooldown: SimDuration::from_secs(30),
+            }),
+            ..p2pnet::ResilienceConfig::default()
+        });
+        let mut d = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99).build();
+        // Distinct subjects so the local cache never short-circuits the
+        // peer tier.
+        for i in 0..6u64 {
+            let t = SimTime::from_millis((i + 1) * 100);
+            d.process_frame(
+                &frame_for(&u, (i % 20) as u32, t),
+                &moving_window((i + 1) * 100),
+                &[&warm_cache],
+                t,
+            );
+        }
+        let counters = d.resilience_counters();
+        assert!(
+            counters.peer_fallbacks >= 3,
+            "fallback must suppress the peer tier after 2 dark frames: {counters:?}"
+        );
+        let traces = d.trace().to_vec();
+        let fallback_frames = traces.iter().filter(|t| t.peer_fallback).count() as u64;
+        assert_eq!(fallback_frames, counters.peer_fallbacks);
+        // Suppressed frames really skipped the radio.
+        for t in traces.iter().filter(|t| t.peer_fallback) {
+            assert_eq!(t.peer.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn crash_loses_cache_and_last_result() {
+        let u = universe();
+        let mut d = device(SystemVariant::Full, &u);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let t1 = SimTime::from_millis(100);
+        let hit = d.process_frame(&frame_for(&u, 0, t1), &moving_window(100), &[], t1);
+        assert_eq!(hit.path, ResolutionPath::LocalCache);
+
+        d.crash();
+        assert_eq!(d.resilience_counters().crashes, 1);
+        // Even a perfectly still device must re-infer: the validated
+        // result died with the process.
+        let t2 = SimTime::from_millis(200);
+        let cold = d.process_frame(&frame_for(&u, 0, t2), &still_window(200), &[], t2);
+        assert_eq!(cold.path, ResolutionPath::FullInference);
+    }
+
+    #[test]
+    fn ad_retry_recovers_lost_advertisements() {
+        let u = universe();
+        let mut config = PipelineConfig::new();
+        let peer = config.peer.as_mut().expect("peers enabled");
+        peer.link.loss_prob = 0.6;
+        peer.resilience = Some(p2pnet::ResilienceConfig {
+            ad_retry: Some(p2pnet::RetryPolicy::default()),
+            ..p2pnet::ResilienceConfig::default()
+        });
+        let mut d = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99).build();
+        let mut attempts = 0u32;
+        let mut delivered = 0u32;
+        for i in 0..60u64 {
+            let t = SimTime::from_millis((i + 1) * 100);
+            d.process_frame(
+                &frame_for(&u, (i % 20) as u32, t),
+                &moving_window((i + 1) * 100),
+                &[],
+                t,
+            );
+            if let Some(entry) = d.take_advertisement() {
+                let message = P2pMessage::Advertise {
+                    entries: vec![entry],
+                };
+                attempts += 1;
+                if d.charge_advertisement(&message).is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        let counters = d.resilience_counters();
+        assert!(counters.ad_retries > 0, "60% loss must trigger retries");
+        // 2 retries turn p=0.4 per attempt into ~78% delivery — well
+        // above the 40% a single attempt would manage.
+        assert!(attempts >= 20, "only {attempts} ads attempted");
+        assert!(
+            delivered * 2 > attempts,
+            "delivered {delivered}/{attempts}; retries should beat 50%"
         );
     }
 }

@@ -1,0 +1,102 @@
+//! Typed configuration errors.
+//!
+//! Scenario and pipeline validation used to panic mid-setup; experiment
+//! harnesses that sweep generated configurations need to *reject* a bad
+//! point and move on instead. [`ConfigError`] carries enough structure to
+//! name the offending field, and wraps the network layer's own
+//! [`p2pnet::ConfigError`] so one error type covers the whole stack.
+
+/// Why a scenario or pipeline configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A field that must be strictly positive was zero or negative.
+    NotPositive {
+        /// The validated type ("Scenario", …).
+        context: &'static str,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field fell outside its closed range.
+    OutOfRange {
+        /// The validated type.
+        context: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Fields are individually fine but mutually inconsistent.
+    Inconsistent {
+        /// The validated type.
+        context: &'static str,
+        /// What is inconsistent.
+        message: &'static str,
+    },
+    /// The network layer rejected its part of the configuration.
+    Network(p2pnet::ConfigError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotPositive { context, field } => {
+                write!(f, "{context}: {field} must be positive")
+            }
+            ConfigError::OutOfRange {
+                context,
+                field,
+                min,
+                max,
+            } => {
+                write!(f, "{context}: {field} must be in [{min}, {max}]")
+            }
+            ConfigError::Inconsistent { context, message } => {
+                write!(f, "{context}: {message}")
+            }
+            ConfigError::Network(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<p2pnet::ConfigError> for ConfigError {
+    fn from(inner: p2pnet::ConfigError) -> ConfigError {
+        ConfigError::Network(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_field() {
+        let e = ConfigError::NotPositive {
+            context: "Scenario",
+            field: "devices",
+        };
+        assert_eq!(e.to_string(), "Scenario: devices must be positive");
+        let e = ConfigError::OutOfRange {
+            context: "Scenario",
+            field: "churn fraction",
+            min: 0.0,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("churn fraction"));
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn network_errors_pass_through() {
+        let inner = p2pnet::ConfigError::NotPositive {
+            context: "LinkSpec",
+            field: "bandwidth",
+        };
+        let wrapped = ConfigError::from(inner);
+        assert_eq!(wrapped, ConfigError::Network(inner));
+        assert_eq!(wrapped.to_string(), inner.to_string());
+    }
+}

@@ -18,24 +18,28 @@
 //!
 //! - [`PipelineConfig`] — every knob of the system, with calibrated
 //!   defaults ([`PipelineConfig::calibrated`]).
-//! - [`Device`] — one smartphone running the full pipeline.
+//! - [`Device`] / [`DeviceBuilder`] — one smartphone running the full
+//!   pipeline.
 //! - [`SystemVariant`] — the baselines every experiment compares against
 //!   (no cache, exact-match cache, local-only, ablations).
-//! - [`Scenario`] / [`run_scenario`] — the multi-device collaborative
-//!   simulation driver.
+//! - [`Scenario`] / [`run`] — the multi-device collaborative simulation
+//!   driver, with deterministic fault injection
+//!   ([`Scenario::with_faults`]) and the resilience machinery that
+//!   answers it ([`p2pnet::ResilienceConfig`]).
 //! - [`RunReport`] — latency / accuracy / energy / traffic summaries.
+//! - [`ConfigError`] — the typed rejection every validation returns.
 //!
 //! # Example
 //!
 //! ```
-//! use approxcache::{PipelineConfig, Scenario, SystemVariant, run_scenario};
-//! use imu::MotionProfile;
-//! use simcore::SimDuration;
+//! use approxcache::prelude::*;
 //!
 //! let scenario = Scenario::single_device(MotionProfile::Stationary)
 //!     .with_duration(SimDuration::from_secs(10));
 //! let config = PipelineConfig::calibrated(&scenario, 42);
-//! let report = run_scenario(&scenario, &config, SystemVariant::Full, 42);
+//! let report = run(&scenario, &config, SystemVariant::Full, 42, Detail::Summary)
+//!     .expect("valid scenario")
+//!     .report;
 //! assert!(report.frames > 0);
 //! // A stationary camera reuses almost everything.
 //! assert!(report.reuse_rate() > 0.8);
@@ -45,12 +49,17 @@ pub mod adaptive;
 pub mod baseline;
 pub mod config;
 pub mod device;
+pub mod error;
+pub mod prelude;
 pub mod report;
 pub mod sim;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
 pub use baseline::SystemVariant;
 pub use config::{CacheExpiry, CostModel, PeerConfig, PipelineConfig};
-pub use device::{Device, DeviceId, FrameOutcome, ResolutionPath};
+pub use device::{Device, DeviceBuilder, DeviceId, FrameOutcome, ResolutionPath};
+pub use error::ConfigError;
 pub use report::RunReport;
-pub use sim::{run_scenario, run_scenario_detailed, ChurnSpec, Scenario, SimResult};
+pub use sim::{run, ChurnSpec, Detail, Scenario, SimResult};
+#[allow(deprecated)]
+pub use sim::{run_scenario, run_scenario_detailed};

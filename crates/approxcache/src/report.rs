@@ -55,6 +55,11 @@ pub struct RunReport {
     /// Span of simulated time the frames cover, seconds (first to last
     /// frame).
     pub stream_seconds: f64,
+    /// Merged fault/resilience counters across devices. All-zero (and
+    /// omitted from JSON) unless the scenario injected faults or the
+    /// pipeline armed resilience machinery.
+    #[serde(default, skip_serializing_if = "p2pnet::ResilienceCounters::is_idle")]
+    pub faults: p2pnet::ResilienceCounters,
 }
 
 impl RunReport {
@@ -109,6 +114,7 @@ impl RunReport {
             network,
             latencies_ms,
             stream_seconds,
+            faults: p2pnet::ResilienceCounters::default(),
         }
     }
 
@@ -273,7 +279,22 @@ impl std::fmt::Display for RunReport {
         writeln!(
             f,
             "  misses: empty {empty} far {far} hetero {hetero} support {support}"
-        )
+        )?;
+        if !self.faults.is_idle() {
+            writeln!(
+                f,
+                "  faults: dark-frames {} crashes {} poisoned {} retries {} \
+                 abandoned {} quarantines {} fallbacks {}",
+                self.faults.outage_frames,
+                self.faults.crashes,
+                self.faults.poisoned_ads,
+                self.faults.ad_retries,
+                self.faults.ad_abandoned,
+                self.faults.quarantines,
+                self.faults.peer_fallbacks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -470,6 +491,34 @@ mod tests {
             back.path_latency_stats(ResolutionPath::LocalCache).count,
             r.path_latency_stats(ResolutionPath::LocalCache).count
         );
+    }
+
+    #[test]
+    fn idle_fault_counters_stay_out_of_json() {
+        let r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        assert!(r.faults.is_idle());
+        assert!(
+            !r.to_json().contains("\"faults\""),
+            "idle counters must not appear in serialized reports"
+        );
+        assert!(!r.to_string().contains("faults:"));
+    }
+
+    #[test]
+    fn fault_counters_round_trip_and_display() {
+        let mut r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        r.faults.record_outage_frame();
+        r.faults.record_crash();
+        r.faults.record_ad_retries(3);
+        let json = r.to_json();
+        assert!(json.contains("\"faults\""));
+        let back: RunReport = serde_json::from_str(&json).expect("json parses");
+        assert_eq!(back.faults.outage_frames, 1);
+        assert_eq!(back.faults.crashes, 1);
+        assert_eq!(back.faults.ad_retries, 3);
+        let text = r.to_string();
+        assert!(text.contains("faults:"), "{text}");
+        assert!(text.contains("dark-frames 1"), "{text}");
     }
 
     #[test]

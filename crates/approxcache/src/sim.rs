@@ -1,25 +1,31 @@
 //! The multi-device collaborative simulation driver.
 //!
 //! A scenario fixes the world, the devices' motion and the stream
-//! parameters; [`run_scenario`] plays it out frame by frame:
+//! parameters; [`run`] plays it out frame by frame:
 //!
 //! 1. every device renders its frame from its own pose (all devices share
 //!    one [`World`], so nearby devices see the same objects);
 //! 2. each device runs the pipeline, querying in-range neighbours'
 //!    caches (nearest first) on local misses;
 //! 3. advertisement pushes are delivered with sampled link delay;
-//! 4. optional churn replaces world objects at fixed intervals.
+//! 4. optional churn replaces world objects at fixed intervals;
+//! 5. optional deterministic fault injection (radio outages, partitions,
+//!    degraded links, crashes, advertisement poisoning — see
+//!    [`p2pnet::faults`]) gates every radio interaction above.
 
 use serde::{Deserialize, Serialize};
 
 use imu::{ImuSample, ImuSynthesizer, MotionProfile, MotionTrace};
-use p2pnet::{P2pMessage, ProximityModel, WireEntry};
+use p2pnet::{
+    FaultConfig, FaultSchedule, P2pMessage, ProximityModel, ResilienceCounters, WireEntry,
+};
 use scene::{ClassUniverse, FrameRenderer, SceneConfig, World};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::baseline::SystemVariant;
 use crate::config::{device_traces, PipelineConfig};
-use crate::device::{Device, DeviceId, FrameOutcome};
+use crate::device::{Device, DeviceBuilder, DeviceId, FrameOutcome};
+use crate::error::ConfigError;
 use crate::report::RunReport;
 
 /// Periodic world churn: every `interval`, replace `fraction` of objects.
@@ -57,6 +63,12 @@ pub struct Scenario {
     /// every device the pipeline config's class; a non-empty vector is
     /// cycled over devices (`device i` gets `classes[i % len]`).
     pub device_classes: Option<Vec<dnnsim::DeviceClass>>,
+    /// Deterministic fault injection (radio outages, partitions, degraded
+    /// links, crashes, advertisement poisoning). The default injects
+    /// nothing, and an idle config is provably zero-impact: it is skipped
+    /// from serialized scenarios and consumes no randomness.
+    #[serde(default, skip_serializing_if = "FaultConfig::is_idle")]
+    pub faults: FaultConfig,
 }
 
 impl Scenario {
@@ -74,6 +86,7 @@ impl Scenario {
             churn: None,
             spawn_spacing: 4.0,
             device_classes: None,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -123,39 +136,72 @@ impl Scenario {
         self
     }
 
-    /// Validates the scenario's ranges.
+    /// Adds fault injection.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Validates the scenario's ranges: zero devices, non-positive rates,
+    /// invalid churn and invalid fault configs are all rejected with a
+    /// typed error naming the field.
     ///
     /// # Panics
     ///
-    /// Panics on zero devices, non-positive rates or invalid churn.
-    pub fn validate(&self) {
-        assert!(self.devices > 0, "Scenario: devices must be positive");
-        assert!(self.fps > 0.0, "Scenario: fps must be positive");
-        assert!(
-            self.imu_rate_hz > 0.0,
-            "Scenario: imu_rate_hz must be positive"
-        );
-        assert!(
-            !self.duration.is_zero(),
-            "Scenario: duration must be positive"
-        );
+    /// Panics on an invalid *scene* config ([`SceneConfig::validate`] is
+    /// owned by the `scene` crate and still asserts).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.devices == 0 {
+            return Err(ConfigError::NotPositive {
+                context: "Scenario",
+                field: "devices",
+            });
+        }
+        if self.fps <= 0.0 || self.fps.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "Scenario",
+                field: "fps",
+            });
+        }
+        if self.imu_rate_hz <= 0.0 || self.imu_rate_hz.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "Scenario",
+                field: "imu_rate_hz",
+            });
+        }
+        if self.duration.is_zero() {
+            return Err(ConfigError::NotPositive {
+                context: "Scenario",
+                field: "duration",
+            });
+        }
         if let Some(churn) = &self.churn {
-            assert!(
-                (0.0..=1.0).contains(&churn.fraction),
-                "Scenario: churn fraction must be in [0, 1]"
-            );
-            assert!(
-                !churn.interval.is_zero(),
-                "Scenario: churn interval must be positive"
-            );
+            if !(0.0..=1.0).contains(&churn.fraction) {
+                return Err(ConfigError::OutOfRange {
+                    context: "Scenario",
+                    field: "churn fraction",
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+            if churn.interval.is_zero() {
+                return Err(ConfigError::NotPositive {
+                    context: "Scenario",
+                    field: "churn interval",
+                });
+            }
         }
         if let Some(classes) = &self.device_classes {
-            assert!(
-                !classes.is_empty(),
-                "Scenario: device_classes must be non-empty"
-            );
+            if classes.is_empty() {
+                return Err(ConfigError::Inconsistent {
+                    context: "Scenario",
+                    message: "device_classes must be non-empty",
+                });
+            }
         }
+        self.faults.validate()?;
         self.scene.validate();
+        Ok(())
     }
 }
 
@@ -172,25 +218,90 @@ pub struct SimResult {
     pub traces: Vec<Vec<simcore::FrameTrace>>,
 }
 
+/// How much per-frame detail [`run`] retains.
+///
+/// `Summary` drops the per-device outcome and trace logs (the aggregate
+/// [`RunReport`] is always produced); `Full` keeps both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detail {
+    /// Aggregate report only; `per_device` and `traces` come back empty.
+    Summary,
+    /// Keep every device's outcome log and decision trace.
+    Full,
+}
+
 /// Runs `scenario` under `variant` and returns the aggregate report.
+#[deprecated(
+    note = "use `run(scenario, config, variant, seed, Detail::Summary)` and handle the `Result`"
+)]
 pub fn run_scenario(
     scenario: &Scenario,
     config: &PipelineConfig,
     variant: SystemVariant,
     seed: u64,
 ) -> RunReport {
-    run_scenario_detailed(scenario, config, variant, seed).report
+    match run(scenario, config, variant, seed, Detail::Summary) {
+        Ok(result) => result.report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs `scenario` and returns per-device detail alongside the aggregate.
+#[deprecated(
+    note = "use `run(scenario, config, variant, seed, Detail::Full)` and handle the `Result`"
+)]
 pub fn run_scenario_detailed(
     scenario: &Scenario,
     config: &PipelineConfig,
     variant: SystemVariant,
     seed: u64,
 ) -> SimResult {
-    scenario.validate();
+    match run(scenario, config, variant, seed, Detail::Full) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Plays `scenario` out frame by frame under `variant` and returns the
+/// result, rejecting invalid scenario or network configuration up front
+/// instead of panicking mid-run.
+///
+/// `detail` picks how much per-frame data survives: [`Detail::Summary`]
+/// keeps only the aggregate report, [`Detail::Full`] also the per-device
+/// outcome logs and decision traces.
+pub fn run(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    variant: SystemVariant,
+    seed: u64,
+    detail: Detail,
+) -> Result<SimResult, ConfigError> {
+    scenario.validate()?;
+    if let Some(peer) = &config.peer {
+        peer.link.validate()?;
+        if let Some(discovery) = &peer.discovery {
+            discovery.validate()?;
+        }
+        if let Some(resilience) = &peer.resilience {
+            resilience.validate()?;
+        }
+    }
     let root = SimRng::seed(seed);
+    // Fault timeline: materialized only when the scenario injects
+    // anything; splits are non-consuming, so an idle scenario draws the
+    // exact same random stream as before this layer existed.
+    let schedule = if scenario.faults.is_idle() {
+        FaultSchedule::idle()
+    } else {
+        FaultSchedule::generate(
+            &scenario.faults,
+            scenario.devices,
+            scenario.duration,
+            &root.split("faults"),
+        )
+    };
+    let mut poison_rng = root.split("faults").split("poison");
+    let mut fault_totals = ResilienceCounters::default();
     let mut world_rng = root.split("world");
     let universe = ClassUniverse::generate(&scenario.scene, &mut world_rng);
     let mut world = World::generate(&universe, &scenario.scene, &mut world_rng);
@@ -217,18 +328,20 @@ pub fn run_scenario_detailed(
 
     let mut devices: Vec<Device> = (0..scenario.devices)
         .map(|d| {
-            let mut device_config = config.clone();
-            if let Some(classes) = &scenario.device_classes {
-                device_config.device_class = classes[d % classes.len()];
-            }
-            Device::new(
+            let mut builder = DeviceBuilder::new(
                 DeviceId(d),
-                variant,
-                &device_config,
+                config,
                 &universe,
                 scenario.scene.descriptor_dim,
                 seed,
             )
+            .variant(variant);
+            if let Some(classes) = &scenario.device_classes {
+                if let Some(&class) = classes.get(d % classes.len()) {
+                    builder = builder.device_class(class);
+                }
+            }
+            builder.build()
         })
         .collect();
 
@@ -238,7 +351,13 @@ pub fn run_scenario_detailed(
         .map(|p| ProximityModel::new(p.link.range_m.min(1e6)));
     let fanout = config.peer.as_ref().map_or(0, |p| p.advertise_fanout);
 
-    // Optional beacon-based discovery (instead of oracle proximity).
+    // Optional beacon-based discovery (instead of oracle proximity),
+    // breaker-armed when the resilience config asks for it.
+    let breaker_config = config
+        .peer
+        .as_ref()
+        .and_then(|p| p.resilience)
+        .and_then(|r| r.breaker);
     let mut discoveries: Option<Vec<p2pnet::Discovery>> = config
         .peer
         .as_ref()
@@ -246,7 +365,10 @@ pub fn run_scenario_detailed(
         .filter(|_| variant.peers_enabled() && scenario.devices > 1)
         .map(|d| {
             (0..scenario.devices)
-                .map(|_| p2pnet::Discovery::new(d))
+                .map(|_| match breaker_config {
+                    Some(breaker) => p2pnet::Discovery::with_breaker(d, breaker),
+                    None => p2pnet::Discovery::new(d),
+                })
                 .collect()
         });
     let mut beacon_rng = root.split("beacons");
@@ -263,6 +385,26 @@ pub fn run_scenario_detailed(
     let mut prev_frame_time = SimTime::ZERO;
     for frame_index in 1..=total_frames {
         let now = SimTime::ZERO + frame_interval * frame_index as u64;
+
+        // Fault bookkeeping: crash devices whose crash instant fell inside
+        // this frame window (the discovery table dies with the process),
+        // and propagate the degraded-link factor to every transport.
+        if !schedule.is_idle() {
+            for (d, device) in devices.iter_mut().enumerate() {
+                if schedule.crash_between(d, prev_frame_time, now) {
+                    device.crash();
+                    if let Some(discoveries) = &mut discoveries {
+                        if let Some(disc) = discoveries.get_mut(d) {
+                            disc.reset();
+                        }
+                    }
+                }
+            }
+            let degradation = schedule.degradation(now);
+            for device in devices.iter_mut() {
+                device.set_link_degradation(degradation);
+            }
+        }
 
         // Deliver due advertisements.
         while ad_queue.peek_time().is_some_and(|at| at <= now) {
@@ -294,8 +436,14 @@ pub fn run_scenario_detailed(
         // delivery probability.
         if let (Some(discoveries), Some(model)) = (&mut discoveries, &proximity) {
             for sender in 0..scenario.devices {
+                if schedule.radio_dark(sender, now) {
+                    continue;
+                }
                 if discoveries[sender].should_beacon(now) {
                     for receiver in model.neighbors(&positions, sender) {
+                        if !schedule.reachable(sender, receiver, now) {
+                            continue;
+                        }
                         discoveries[receiver].receive_beacon(sender as u64, now, &mut beacon_rng);
                     }
                 }
@@ -307,11 +455,15 @@ pub fn run_scenario_detailed(
             let frame = renderer.render(&world, &pose, now, &mut frame_rng);
             let window = window_of(&imu_streams[d], prev_frame_time, now, scenario.imu_rate_hz);
 
+            let dark = schedule.radio_dark(d, now);
+
             // Neighbour caches: from the discovery table when configured
             // (freshest beacon first, filtered to devices actually still
             // in range), otherwise from the proximity oracle (nearest
-            // first).
-            let neighbor_indices: Vec<usize> = match (&mut discoveries, &proximity) {
+            // first). A dark radio reaches nobody, and partitioned
+            // neighbours drop out.
+            let mut neighbor_indices: Vec<usize> = match (&mut discoveries, &proximity) {
+                _ if dark => Vec::new(),
                 (Some(discoveries), Some(model)) => {
                     let in_range = model.neighbors(&positions, d);
                     discoveries[d]
@@ -324,6 +476,9 @@ pub fn run_scenario_detailed(
                 (None, Some(model)) if variant.peers_enabled() => model.neighbors(&positions, d),
                 _ => Vec::new(),
             };
+            if !schedule.is_idle() {
+                neighbor_indices.retain(|&n| schedule.reachable(d, n, now));
+            }
             let neighbor_caches: Vec<reuse::SharedCache<scene::ClassId>> = neighbor_indices
                 .iter()
                 .map(|&n| devices[n].cache().clone())
@@ -331,10 +486,23 @@ pub fn run_scenario_detailed(
             let cache_refs: Vec<&reuse::SharedCache<scene::ClassId>> =
                 neighbor_caches.iter().collect();
 
-            devices[d].process_frame(&frame, window, &cache_refs, now);
+            let device = &mut devices[d];
+            device.set_radio_dark(dark);
+            device.process_frame(&frame, window, &cache_refs, now);
+
+            // Feed this frame's per-peer delivery outcomes to the
+            // device's breaker (slots map back through neighbor_indices).
+            let peer_outcomes = device.take_peer_outcomes();
+            if let Some(discoveries) = &mut discoveries {
+                for (slot, delivered) in peer_outcomes {
+                    if let Some(&peer) = neighbor_indices.get(slot) {
+                        discoveries[d].record_query_outcome(peer as u64, delivered, now);
+                    }
+                }
+            }
 
             // Advertise fresh inference results to the nearest neighbours.
-            if let Some(entry) = devices[d].take_advertisement() {
+            if let Some(entry) = device.take_advertisement() {
                 let compress = config
                     .peer
                     .as_ref()
@@ -367,8 +535,16 @@ pub fn run_scenario_detailed(
                     )
                 };
                 for &target in neighbor_indices.iter().take(fanout) {
-                    if let Some(delay) = devices[d].charge_advertisement(&message) {
-                        ad_queue.schedule(now + delay, (target, delivered_entry.clone()));
+                    if let Some(delay) = device.charge_advertisement(&message) {
+                        let mut entry = delivered_entry.clone();
+                        // Adversarial ad poisoning: corrupt the label so
+                        // the receiver caches a wrong answer.
+                        if schedule.poison_prob() > 0.0 && poison_rng.chance(schedule.poison_prob())
+                        {
+                            entry.label = entry.label.wrapping_add(1);
+                            fault_totals.record_poisoned_ad();
+                        }
+                        ad_queue.schedule(now + delay, (target, entry));
                     }
                 }
             }
@@ -385,14 +561,18 @@ pub fn run_scenario_detailed(
     for d in &devices {
         cache.merge(&d.cache().stats());
         network.merge(&d.transport_counters());
+        fault_totals.merge(d.resilience_counters());
     }
     // Beacon traffic is network cost too.
     if let Some(discoveries) = &discoveries {
         for disc in discoveries {
             network.record_beacons(disc.beacons_sent(), disc.beacon_bytes_sent());
+            if let Some(breaker) = disc.breaker() {
+                fault_totals.record_breaker(breaker);
+            }
         }
     }
-    let report = RunReport::from_outcomes(
+    let mut report = RunReport::from_outcomes(
         &scenario.name,
         variant.name(),
         scenario.devices,
@@ -400,12 +580,19 @@ pub fn run_scenario_detailed(
         cache,
         network,
     );
-    let traces = devices.iter().map(|d| d.trace().to_vec()).collect();
-    SimResult {
+    report.faults = fault_totals;
+    let (per_device, traces) = match detail {
+        Detail::Summary => (Vec::new(), Vec::new()),
+        Detail::Full => (
+            devices.iter().map(|d| d.outcomes().to_vec()).collect(),
+            devices.iter().map(|d| d.trace().to_vec()).collect(),
+        ),
+    };
+    Ok(SimResult {
         report,
-        per_device: devices.into_iter().map(|d| d.outcomes().to_vec()).collect(),
+        per_device,
         traces,
-    }
+    })
 }
 
 /// The IMU samples strictly after `from` and at or before `to`.
@@ -426,11 +613,31 @@ mod tests {
         Scenario::single_device(profile).with_duration(SimDuration::from_secs(8))
     }
 
+    fn summary(
+        scenario: &Scenario,
+        config: &PipelineConfig,
+        variant: SystemVariant,
+        seed: u64,
+    ) -> RunReport {
+        run(scenario, config, variant, seed, Detail::Summary)
+            .expect("valid scenario")
+            .report
+    }
+
+    fn detailed(
+        scenario: &Scenario,
+        config: &PipelineConfig,
+        variant: SystemVariant,
+        seed: u64,
+    ) -> SimResult {
+        run(scenario, config, variant, seed, Detail::Full).expect("valid scenario")
+    }
+
     #[test]
     fn stationary_full_system_reuses_heavily() {
         let scenario = quick(MotionProfile::Stationary);
         let config = PipelineConfig::calibrated(&scenario, 1);
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, 1);
+        let report = summary(&scenario, &config, SystemVariant::Full, 1);
         assert_eq!(report.frames, 80);
         assert!(report.reuse_rate() > 0.85, "reuse {}", report.reuse_rate());
         assert!(
@@ -443,7 +650,7 @@ mod tests {
     fn no_cache_baseline_always_infers() {
         let scenario = quick(MotionProfile::Stationary);
         let config = PipelineConfig::calibrated(&scenario, 2);
-        let report = run_scenario(&scenario, &config, SystemVariant::NoCache, 2);
+        let report = summary(&scenario, &config, SystemVariant::NoCache, 2);
         assert_eq!(report.reuse_rate(), 0.0);
         assert!(report.latency_ms.mean > 50.0);
     }
@@ -452,8 +659,8 @@ mod tests {
     fn full_system_is_much_faster_than_no_cache() {
         let scenario = quick(MotionProfile::SlowPan { deg_per_sec: 10.0 });
         let config = PipelineConfig::calibrated(&scenario, 3);
-        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 3);
-        let full = run_scenario(&scenario, &config, SystemVariant::Full, 3);
+        let base = summary(&scenario, &config, SystemVariant::NoCache, 3);
+        let full = summary(&scenario, &config, SystemVariant::Full, 3);
         let reduction = full.latency_reduction_vs(&base);
         assert!(reduction > 0.5, "latency reduction {reduction}");
         // And accuracy stays close.
@@ -469,8 +676,8 @@ mod tests {
         let scenario = Scenario::multi_device(MotionProfile::SlowPan { deg_per_sec: 15.0 }, 4)
             .with_duration(SimDuration::from_secs(8));
         let config = PipelineConfig::calibrated(&scenario, 4);
-        let full = run_scenario(&scenario, &config, SystemVariant::Full, 4);
-        let solo = run_scenario(&scenario, &config, SystemVariant::NoPeer, 4);
+        let full = summary(&scenario, &config, SystemVariant::Full, 4);
+        let solo = summary(&scenario, &config, SystemVariant::NoPeer, 4);
         let peer_frac = full.path_fraction(ResolutionPath::PeerCache);
         assert!(peer_frac > 0.0, "some frames must be answered by peers");
         assert!(
@@ -493,8 +700,8 @@ mod tests {
                 fraction: 0.5,
             })
             .with_name("churn");
-        let calm_report = run_scenario(&calm, &config, SystemVariant::Full, 5);
-        let churn_report = run_scenario(&churny, &config, SystemVariant::Full, 5);
+        let calm_report = summary(&calm, &config, SystemVariant::Full, 5);
+        let churn_report = summary(&churny, &config, SystemVariant::Full, 5);
         assert!(
             churn_report.reuse_rate() < calm_report.reuse_rate(),
             "churn {} !< calm {}",
@@ -507,8 +714,8 @@ mod tests {
     fn runs_are_deterministic_in_seed() {
         let scenario = quick(MotionProfile::Walking { speed_mps: 1.4 });
         let config = PipelineConfig::calibrated(&scenario, 6);
-        let a = run_scenario(&scenario, &config, SystemVariant::Full, 6);
-        let b = run_scenario(&scenario, &config, SystemVariant::Full, 6);
+        let a = summary(&scenario, &config, SystemVariant::Full, 6);
+        let b = summary(&scenario, &config, SystemVariant::Full, 6);
         assert_eq!(a.latencies_ms, b.latencies_ms);
         assert_eq!(a.path_counts, b.path_counts);
         assert_eq!(a.accuracy, b.accuracy);
@@ -519,18 +726,83 @@ mod tests {
         let scenario = Scenario::multi_device(MotionProfile::Stationary, 3)
             .with_duration(SimDuration::from_secs(4));
         let config = PipelineConfig::calibrated(&scenario, 7);
-        let result = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 7);
+        let result = detailed(&scenario, &config, SystemVariant::Full, 7);
         assert_eq!(result.per_device.len(), 3);
         let per_device_total: usize = result.per_device.iter().map(|d| d.len()).sum();
         assert_eq!(per_device_total, result.report.frames);
     }
 
     #[test]
-    #[should_panic(expected = "devices must be positive")]
     fn zero_devices_rejected() {
         let mut scenario = quick(MotionProfile::Stationary);
         scenario.devices = 0;
-        scenario.validate();
+        let err = scenario.validate().expect_err("zero devices");
+        assert_eq!(err.to_string(), "Scenario: devices must be positive");
+    }
+
+    #[test]
+    fn invalid_faults_rejected_before_running() {
+        let mut scenario = quick(MotionProfile::Stationary);
+        scenario.faults.outage_fraction = 1.5;
+        let config = PipelineConfig::calibrated(&scenario, 40);
+        let err = run(&scenario, &config, SystemVariant::Full, 40, Detail::Summary)
+            .expect_err("invalid fault config");
+        assert!(
+            err.to_string().contains("outage_fraction"),
+            "error must name the field: {err}"
+        );
+    }
+
+    #[test]
+    fn idle_faults_leave_no_counter_residue() {
+        let scenario = quick(MotionProfile::Stationary);
+        let config = PipelineConfig::calibrated(&scenario, 41);
+        let report = summary(&scenario, &config, SystemVariant::Full, 41);
+        assert!(report.faults.is_idle(), "idle run recorded faults");
+        assert!(
+            !report.to_json().contains("\"faults\""),
+            "idle runs must serialize without a faults section"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_in_seed() {
+        let scenario = Scenario::multi_device(MotionProfile::Stationary, 4)
+            .with_duration(SimDuration::from_secs(8))
+            .with_faults(FaultConfig {
+                outage_fraction: 0.3,
+                outage_mean: SimDuration::from_secs(2),
+                crashes_per_device_minute: 2.0,
+                poison_prob: 0.1,
+                ..FaultConfig::default()
+            });
+        let mut config = PipelineConfig::calibrated(&scenario, 42);
+        if let Some(peer) = config.peer.as_mut() {
+            peer.resilience = Some(p2pnet::ResilienceConfig::recommended());
+        }
+        let a = summary(&scenario, &config, SystemVariant::Full, 42);
+        let b = summary(&scenario, &config, SystemVariant::Full, 42);
+        assert_eq!(a.to_json(), b.to_json(), "fault runs must be reproducible");
+        assert!(
+            !a.faults.is_idle(),
+            "a 30% outage run must record fault activity"
+        );
+        assert!(a.faults.outage_frames > 0, "outage frames must be counted");
+    }
+
+    #[test]
+    fn summary_detail_drops_per_device_logs() {
+        let scenario = quick(MotionProfile::Stationary);
+        let config = PipelineConfig::calibrated(&scenario, 43).with_trace_capacity(Some(4096));
+        let lean = run(&scenario, &config, SystemVariant::Full, 43, Detail::Summary)
+            .expect("valid scenario");
+        assert!(lean.per_device.is_empty());
+        assert!(lean.traces.is_empty());
+        let full = detailed(&scenario, &config, SystemVariant::Full, 43);
+        assert_eq!(full.per_device.len(), 1);
+        assert_eq!(full.traces[0].len(), full.report.frames);
+        // The retained detail level must not perturb the run.
+        assert_eq!(lean.report.to_json(), full.report.to_json());
     }
 
     #[test]
@@ -545,8 +817,8 @@ mod tests {
         let cascaded = big_only
             .clone()
             .with_cascade(dnnsim::zoo::squeezenet(), 0.8);
-        let single = run_scenario(&scenario, &big_only, SystemVariant::Full, 15);
-        let cascade = run_scenario(&scenario, &cascaded, SystemVariant::Full, 15);
+        let single = summary(&scenario, &big_only, SystemVariant::Full, 15);
+        let cascade = summary(&scenario, &cascaded, SystemVariant::Full, 15);
         // Miss-path latency must drop materially.
         let single_miss = single.path_mean_latency(ResolutionPath::FullInference);
         let cascade_miss = cascade.path_mean_latency(ResolutionPath::FullInference);
@@ -568,14 +840,14 @@ mod tests {
         )
         .with_duration(SimDuration::from_secs(8));
         let config = PipelineConfig::calibrated(&scenario, 14);
-        let float_run = run_scenario(&scenario, &config, SystemVariant::Full, 14);
+        let float_run = summary(&scenario, &config, SystemVariant::Full, 14);
         let mut compressed_config = config.clone();
         compressed_config
             .peer
             .as_mut()
             .expect("peers enabled")
             .compress_advertisements = true;
-        let compact_run = run_scenario(&scenario, &compressed_config, SystemVariant::Full, 14);
+        let compact_run = summary(&scenario, &compressed_config, SystemVariant::Full, 14);
         assert!(
             (compact_run.network.bytes_sent as f64) < float_run.network.bytes_sent as f64 * 0.8,
             "compact {} !< 0.8 × float {}",
@@ -606,8 +878,8 @@ mod tests {
         .with_duration(SimDuration::from_secs(8))
         .with_device_classes(vec![DeviceClass::Budget, DeviceClass::Flagship]);
         let config = PipelineConfig::calibrated(&scenario, 13);
-        let full = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 13);
-        let solo = run_scenario_detailed(&scenario, &config, SystemVariant::NoPeer, 13);
+        let full = detailed(&scenario, &config, SystemVariant::Full, 13);
+        let solo = detailed(&scenario, &config, SystemVariant::NoPeer, 13);
         let budget_mean = |result: &SimResult| {
             let frames: Vec<f64> = result
                 .per_device
@@ -634,9 +906,9 @@ mod tests {
         let scenario = Scenario::single_device(MotionProfile::Walking { speed_mps: 1.4 })
             .with_duration(SimDuration::from_secs(10));
         let config = PipelineConfig::calibrated(&scenario, 12);
-        let static_gate = run_scenario(&scenario, &config, SystemVariant::Full, 12);
+        let static_gate = summary(&scenario, &config, SystemVariant::Full, 12);
         let adaptive_config = config.clone().with_activity_adaptive_gate(true);
-        let adaptive = run_scenario(&scenario, &adaptive_config, SystemVariant::Full, 12);
+        let adaptive = summary(&scenario, &adaptive_config, SystemVariant::Full, 12);
         assert!(
             adaptive.path_fraction(ResolutionPath::ImuReuse)
                 > static_gate.path_fraction(ResolutionPath::ImuReuse),
@@ -665,7 +937,7 @@ mod tests {
         let mut config = PipelineConfig::calibrated(&scenario, 8);
         let peer = config.peer.as_mut().expect("peers enabled");
         peer.discovery = Some(p2pnet::DiscoveryConfig::default());
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, 8);
+        let report = summary(&scenario, &config, SystemVariant::Full, 8);
         // Discovery still enables collaboration…
         assert!(
             report.path_fraction(ResolutionPath::PeerCache) > 0.0,
@@ -688,12 +960,12 @@ mod tests {
         let scenario = Scenario::multi_device(MotionProfile::Stationary, 4)
             .with_duration(SimDuration::from_secs(8));
         let mut config = PipelineConfig::calibrated(&scenario, 9);
-        let oracle = run_scenario(&scenario, &config, SystemVariant::Full, 9);
+        let oracle = summary(&scenario, &config, SystemVariant::Full, 9);
         config.peer.as_mut().expect("peers").discovery = Some(p2pnet::DiscoveryConfig {
             beacon_delivery_prob: 1.0,
             ..p2pnet::DiscoveryConfig::default()
         });
-        let discovered = run_scenario(&scenario, &config, SystemVariant::Full, 9);
+        let discovered = summary(&scenario, &config, SystemVariant::Full, 9);
         assert!(
             (oracle.reuse_rate() - discovered.reuse_rate()).abs() < 0.05,
             "oracle {} vs discovered {}",
@@ -706,12 +978,12 @@ mod tests {
     fn traces_are_empty_unless_enabled() {
         let scenario = quick(MotionProfile::Stationary);
         let config = PipelineConfig::calibrated(&scenario, 30);
-        let plain = run_scenario_detailed(&scenario, &config, SystemVariant::Full, 30);
+        let plain = detailed(&scenario, &config, SystemVariant::Full, 30);
         assert_eq!(plain.traces.len(), 1);
         assert!(plain.traces[0].is_empty());
 
         let traced_config = config.with_trace_capacity(Some(4096));
-        let traced = run_scenario_detailed(&scenario, &traced_config, SystemVariant::Full, 30);
+        let traced = detailed(&scenario, &traced_config, SystemVariant::Full, 30);
         assert_eq!(traced.traces[0].len(), traced.report.frames);
         // Tracing must not perturb the run itself.
         assert_eq!(traced.report.path_counts, plain.report.path_counts);

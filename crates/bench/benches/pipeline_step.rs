@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use approxcache::{run_scenario, Device, DeviceId, PipelineConfig, Scenario, SystemVariant};
+use approxcache::{run, Detail, DeviceBuilder, DeviceId, PipelineConfig, Scenario, SystemVariant};
 use imu::{ImuSample, MotionProfile};
 use scene::{ClassId, ClassUniverse, Frame, ObjectId, SceneConfig};
 use simcore::{SimRng, SimTime};
@@ -41,7 +41,9 @@ fn bench_process_frame(c: &mut Criterion) {
     let config = PipelineConfig::new();
 
     group.bench_function("hit_path", |b| {
-        let mut device = Device::new(DeviceId(0), SystemVariant::Full, &config, &universe, 256, 1);
+        let mut device = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, 1)
+            .variant(SystemVariant::Full)
+            .build();
         // Warm: one inference caches class 0.
         device.process_frame(
             &frame_for(&universe, 0, SimTime::ZERO),
@@ -63,14 +65,9 @@ fn bench_process_frame(c: &mut Criterion) {
     // ring must cost nothing; this pins the enabled cost too).
     group.bench_function("hit_path_traced", |b| {
         let traced_config = PipelineConfig::new().with_trace_capacity(Some(4096));
-        let mut device = Device::new(
-            DeviceId(0),
-            SystemVariant::Full,
-            &traced_config,
-            &universe,
-            256,
-            1,
-        );
+        let mut device = DeviceBuilder::new(DeviceId(0), &traced_config, &universe, 256, 1)
+            .variant(SystemVariant::Full)
+            .build();
         device.process_frame(
             &frame_for(&universe, 0, SimTime::ZERO),
             &moving_window(0),
@@ -87,14 +84,9 @@ fn bench_process_frame(c: &mut Criterion) {
     });
 
     group.bench_function("miss_path", |b| {
-        let mut device = Device::new(
-            DeviceId(0),
-            SystemVariant::NoCache,
-            &config,
-            &universe,
-            256,
-            1,
-        );
+        let mut device = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, 1)
+            .variant(SystemVariant::NoCache)
+            .build();
         let mut t = 1u64;
         b.iter(|| {
             let now = SimTime::from_millis(t * 100);
@@ -113,7 +105,12 @@ fn bench_whole_scenario_second(c: &mut Criterion) {
         .with_duration(simcore::SimDuration::from_secs(1));
     let config = PipelineConfig::calibrated(&scenario, 1);
     group.bench_function("slow_pan_1s_full", |b| {
-        b.iter(|| black_box(run_scenario(&scenario, &config, SystemVariant::Full, 1)));
+        b.iter(|| {
+            black_box(
+                run(&scenario, &config, SystemVariant::Full, 1, Detail::Summary)
+                    .expect("valid scenario"),
+            )
+        });
     });
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! (where all three mechanisms contribute). Shows what each mechanism is
 //! worth and that no single one explains the result.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::multi;
@@ -10,7 +10,7 @@ use workloads::multi;
 fn main() {
     let scenario = multi::museum(8).with_duration(experiment_duration());
     let config = PipelineConfig::calibrated(&scenario, MASTER_SEED);
-    let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
+    let baseline = bench::summary_run(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
 
     let mut table = Table::new(vec![
         "variant",
@@ -23,7 +23,7 @@ fn main() {
         "dnn",
     ]);
     for variant in SystemVariant::ablation_set() {
-        let report = run_scenario(&scenario, &config, variant, MASTER_SEED);
+        let report = bench::summary_run(&scenario, &config, variant, MASTER_SEED);
         table.row(vec![
             variant.to_string(),
             fnum(report.latency_ms.mean, 2),

@@ -4,7 +4,8 @@
 //! (dropping stale entries that would otherwise dilute k-NN votes)
 //! without hurting the no-drift case.
 
-use approxcache::{run_scenario, CacheExpiry, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
+use approxcache::CacheExpiry;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use scene::SceneConfig;
 use simcore::table::{fnum, fpct, Table};
@@ -42,7 +43,7 @@ fn main() {
             ),
         ] {
             let config = base.clone().with_expiry(expiry);
-            let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+            let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
             table.row(vec![
                 fnum(drift, 1),
                 label.into(),

@@ -3,7 +3,7 @@
 //! neighbour discovery at several beacon rates. Slower beacons delay peer
 //! visibility (fewer peer hits) but cost less radio.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use p2pnet::DiscoveryConfig;
 use simcore::table::{fnum, fpct, Table};
@@ -24,7 +24,7 @@ fn main() {
         "msgs_total",
     ]);
 
-    let oracle = run_scenario(&scenario, &base, SystemVariant::Full, MASTER_SEED);
+    let oracle = bench::summary_run(&scenario, &base, SystemVariant::Full, MASTER_SEED);
     table.row(vec![
         "oracle".into(),
         "-".into(),
@@ -42,7 +42,7 @@ fn main() {
             neighbor_ttl: SimDuration::from_millis(beacon_ms * 3 + 100),
             ..DiscoveryConfig::default()
         });
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             "beacons".into(),
             beacon_ms.to_string(),

@@ -4,7 +4,8 @@
 //! without adaptation and against an offline-calibrated reference.
 
 use ann::AknnConfig;
-use approxcache::{run_scenario, AdaptiveConfig, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
+use approxcache::AdaptiveConfig;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::video;
@@ -30,7 +31,7 @@ fn main() {
                 ..calibrated.cache.aknn
             }))
             .with_adaptive(adaptive);
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             label.into(),
             fnum(start, 2),

@@ -5,7 +5,7 @@
 //! two stack: the cached int8 system is the fastest configuration while
 //! keeping accuracy above the uncached fp32 baseline.
 
-use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::video;
@@ -24,7 +24,7 @@ fn main() {
     ]);
     let fp32 = dnnsim::zoo::mobilenet_v2();
     let int8 = fp32.quantized();
-    let reference = run_scenario(
+    let reference = bench::summary_run(
         &scenario,
         &base.clone().with_model(fp32.clone()),
         SystemVariant::NoCache,
@@ -33,7 +33,7 @@ fn main() {
     for model in [fp32, int8] {
         for variant in [SystemVariant::NoCache, SystemVariant::Full] {
             let config = base.clone().with_model(model.clone());
-            let report = run_scenario(&scenario, &config, variant, MASTER_SEED);
+            let report = bench::summary_run(&scenario, &config, variant, MASTER_SEED);
             table.row(vec![
                 model.name.to_string(),
                 variant.to_string(),

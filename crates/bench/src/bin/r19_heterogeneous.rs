@@ -3,7 +3,7 @@
 //! gain the most because their avoided inferences are the most expensive,
 //! while flagships lose almost nothing by sharing.
 
-use approxcache::{sim::run_scenario_detailed, PipelineConfig, Scenario, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use dnnsim::DeviceClass;
 use imu::MotionProfile;
@@ -40,7 +40,7 @@ fn main() {
         ("no-peer", SystemVariant::NoPeer),
         ("full", SystemVariant::Full),
     ] {
-        let result = run_scenario_detailed(&scenario, &config, variant, MASTER_SEED);
+        let result = bench::detailed_run(&scenario, &config, variant, MASTER_SEED);
         for (class_name, offset) in [("budget", 0usize), ("flagship", 1)] {
             let outcomes: Vec<_> = result
                 .per_device

@@ -4,7 +4,7 @@
 //! combination is strictly better than either alone on miss-heavy
 //! streams.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::video;
@@ -32,7 +32,7 @@ fn main() {
         ("squeezenet+inception_v3", &cascaded),
     ] {
         for variant in [SystemVariant::NoCache, SystemVariant::Full] {
-            let report = run_scenario(&scenario, config, variant, MASTER_SEED);
+            let report = bench::summary_run(&scenario, config, variant, MASTER_SEED);
             table.row(vec![
                 label.into(),
                 variant.to_string(),

@@ -4,7 +4,7 @@
 //! and the accuracy delta vs always-infer.
 
 use ann::AknnConfig;
-use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::{sweep, video};
@@ -13,7 +13,7 @@ fn main() {
     let scenario = video::slow_pan().with_duration(experiment_duration());
     let calibrated = PipelineConfig::calibrated(&scenario, MASTER_SEED);
     let calibrated_threshold = calibrated.cache.aknn.distance_threshold;
-    let baseline = run_scenario(&scenario, &calibrated, SystemVariant::NoCache, MASTER_SEED);
+    let baseline = bench::summary_run(&scenario, &calibrated, SystemVariant::NoCache, MASTER_SEED);
 
     let mut table = Table::new(vec![
         "threshold",
@@ -32,7 +32,7 @@ fn main() {
                 distance_threshold: threshold,
                 ..calibrated.cache.aknn
             }));
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             fnum(threshold, 2),
             fnum(multiplier, 2),

@@ -1,7 +1,7 @@
 //! R-3 — where reuse comes from: per-scenario breakdown of frames answered
 //! by the IMU fast path, the local approximate cache, peers, and the DNN.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fpct, Table};
 use workloads::{multi, video};
@@ -33,7 +33,7 @@ fn main() {
     ]);
     for scenario in &scenarios {
         let config = PipelineConfig::calibrated(scenario, MASTER_SEED);
-        let report = run_scenario(scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             scenario.name.clone(),
             scenario.devices.to_string(),

@@ -2,7 +2,7 @@
 //! (the hardest single-device scenario, so the CDF shows both the reuse
 //! mass near zero and the inference tail).
 
-use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, Table};
 use workloads::video;
@@ -10,8 +10,8 @@ use workloads::video;
 fn main() {
     let scenario = video::walking_tour().with_duration(experiment_duration());
     let config = PipelineConfig::calibrated(&scenario, MASTER_SEED);
-    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+    let base = bench::summary_run(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
+    let full = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
 
     let points = 21;
     let base_series = base.latency_cdf().series(points);

@@ -1,7 +1,7 @@
 //! R-5 — the value of neighbours: hit rate, latency and network cost as
 //! the number of co-located devices grows in the museum scenario.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::multi;
@@ -21,7 +21,7 @@ fn main() {
     for &count in &counts {
         let scenario = multi::museum(count).with_duration(duration);
         let config = PipelineConfig::calibrated(&scenario, MASTER_SEED);
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         table.row(vec![
             count.to_string(),
             fpct(report.path_fraction(ResolutionPath::PeerCache)),

@@ -4,7 +4,7 @@
 //! access below the working-set size, frequency-aware policies degrade
 //! gracefully).
 
-use approxcache::{run_scenario, ChurnSpec, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use reuse::{CacheConfig, EvictionPolicy};
 use simcore::table::{fnum, fpct, Table};
@@ -46,7 +46,7 @@ fn main() {
                 .with_admission(calibrated.cache.admission)
                 .with_eviction(policy);
             let config = calibrated.clone().with_cache(cache);
-            let report = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+            let report = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
             table.row(vec![
                 capacity.to_string(),
                 policy.to_string(),

@@ -2,7 +2,7 @@
 //! maximum reuse age on stationary and handheld streams, reporting the
 //! fast-path share, the wrong-reuse rate it induces, and mean latency.
 
-use approxcache::{run_scenario, PipelineConfig, ResolutionPath, Scenario, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use imu::{ImuGate, MotionProfile};
 use simcore::table::{fnum, fpct, Table};
@@ -33,7 +33,7 @@ fn main() {
                 ..ImuGate::default()
             };
             let config = calibrated.clone().with_gate(gate);
-            let report = run_scenario(scenario, &config, SystemVariant::Full, MASTER_SEED);
+            let report = bench::summary_run(scenario, &config, SystemVariant::Full, MASTER_SEED);
             table.row(vec![
                 scenario.name.clone(),
                 fnum(threshold, 2),
@@ -66,7 +66,7 @@ fn main() {
             ..ImuGate::default()
         };
         let config = calibrated.clone().with_gate(gate);
-        let report = run_scenario(&churny, &config, SystemVariant::Full, MASTER_SEED);
+        let report = bench::summary_run(&churny, &config, SystemVariant::Full, MASTER_SEED);
         age_table.row(vec![
             age_ms.to_string(),
             fpct(report.path_fraction(ResolutionPath::ImuReuse)),

@@ -2,7 +2,7 @@
 //! slow pan. Inference power dominates, so energy savings track latency
 //! savings minus the (small) radio cost of collaboration.
 
-use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use simcore::table::{fnum, fpct, Table};
 use workloads::video;
@@ -24,8 +24,8 @@ fn main() {
     ]);
     for model in dnnsim::zoo::all() {
         let config = base_config.clone().with_model(model.clone());
-        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
-        let full = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+        let base = bench::summary_run(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
+        let full = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
         let reduction = 1.0 - full.mean_energy / base.mean_energy;
         table.row(vec![
             model.name.to_string(),

@@ -3,7 +3,7 @@
 //! Heavier models benefit *more* from caching — the avoided work is
 //! bigger while the lookup cost is constant.
 
-use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+use approxcache::prelude::*;
 use bench::{emit, experiment_duration, MASTER_SEED};
 use dnnsim::DeviceClass;
 use simcore::table::{fnum, fpct, Table};
@@ -20,8 +20,8 @@ fn main() {
         for device in [DeviceClass::MidRange, DeviceClass::Budget] {
             let mut config = base_config.clone().with_model(model.clone());
             config.device_class = device;
-            let base = run_scenario(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
-            let full = run_scenario(&scenario, &config, SystemVariant::Full, MASTER_SEED);
+            let base = bench::summary_run(&scenario, &config, SystemVariant::NoCache, MASTER_SEED);
+            let full = bench::summary_run(&scenario, &config, SystemVariant::Full, MASTER_SEED);
             table.row(vec![
                 model.name.to_string(),
                 device.to_string(),

@@ -26,6 +26,7 @@ fn main() {
         "r18_quantization",
         "r19_heterogeneous",
         "r20_cascade",
+        "r21_resilience",
     ];
     let mut failures = Vec::new();
     for name in experiments {

@@ -3,10 +3,12 @@
 //!
 //! Checks R-1 (the full system more than halves mean latency on
 //! reuse-friendly scenarios), R-2 (accuracy within five points of
-//! always-infer on the headline set) and peer-tier liveness in the
-//! museum. Failing claims print a trace-derived per-tier breakdown so
-//! the regressed tier is identifiable from the output alone. Reports and
-//! the check summary land as JSON under `results/`.
+//! always-infer on the headline set), peer-tier liveness in the museum,
+//! and R-21 (the resilient system still clearly beats no-cache under 30%
+//! radio outage with crashes and poisoned advertisements). Failing
+//! claims print a trace-derived per-tier breakdown so the regressed tier
+//! is identifiable from the output alone. Reports and the check summary
+//! land as JSON under `results/`.
 
 use bench::verify::run_claim_checks;
 use bench::{experiment_duration, results_dir, MASTER_SEED};

@@ -42,6 +42,62 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Runs a scenario at summary detail, treating an invalid configuration
+/// as a programming error (experiment configs are hand-written).
+///
+/// # Panics
+///
+/// Panics when the scenario or network configuration fails validation.
+pub fn summary_run(
+    scenario: &approxcache::Scenario,
+    config: &approxcache::PipelineConfig,
+    variant: approxcache::SystemVariant,
+    seed: u64,
+) -> approxcache::RunReport {
+    match approxcache::run(
+        scenario,
+        config,
+        variant,
+        seed,
+        approxcache::Detail::Summary,
+    ) {
+        Ok(result) => result.report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`summary_run`] but keeps per-device outcome logs and traces.
+///
+/// # Panics
+///
+/// Panics when the scenario or network configuration fails validation.
+pub fn detailed_run(
+    scenario: &approxcache::Scenario,
+    config: &approxcache::PipelineConfig,
+    variant: approxcache::SystemVariant,
+    seed: u64,
+) -> approxcache::SimResult {
+    match approxcache::run(scenario, config, variant, seed, approxcache::Detail::Full) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The fault regime of the R-21 resilience experiment: outages covering
+/// the given fraction of each device's timeline, occasional crashes, and
+/// a sprinkle of poisoned advertisements. Shared between the `verify`
+/// harness and the `r21_resilience` binary so the claim checks exactly
+/// what the experiment sweeps.
+pub fn r21_faults(outage_fraction: f64) -> p2pnet::FaultConfig {
+    p2pnet::FaultConfig {
+        outage_fraction,
+        outage_mean: SimDuration::from_secs(2),
+        crashes_per_device_minute: 1.0,
+        poison_prob: 0.02,
+        ..p2pnet::FaultConfig::default()
+    }
+}
+
 /// Prints the experiment header, the table, and writes the CSV.
 pub fn emit(experiment: &str, title: &str, table: &Table) {
     println!("== {experiment}: {title} ==\n");

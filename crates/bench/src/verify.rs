@@ -8,8 +8,7 @@
 //! tier that regressed.
 
 use approxcache::{
-    run_scenario_detailed, PipelineConfig, ResolutionPath, RunReport, Scenario, SimResult,
-    SystemVariant,
+    run, Detail, PipelineConfig, ResolutionPath, RunReport, Scenario, SimResult, SystemVariant,
 };
 use serde::Serialize;
 use simcore::units::Millis;
@@ -22,6 +21,15 @@ pub const R1_MIN_LATENCY_REDUCTION: f64 = 0.5;
 
 /// R-2's bar: accuracy may drop at most five points vs always-infer.
 pub const R2_MIN_ACCURACY_DELTA: f64 = -0.05;
+
+/// R-21's bar: with 30% of each device's timeline spent in radio
+/// outages (plus crashes and poisoned advertisements), the resilient
+/// full system must still cut mean latency by more than this vs
+/// no-cache under the *same* faults.
+pub const R21_MIN_OUTAGE_LATENCY_REDUCTION: f64 = 0.3;
+
+/// The outage fraction the R-21 claim runs at.
+pub const R21_OUTAGE_FRACTION: f64 = 0.3;
 
 /// One verified claim: `passed` iff `observed > required`.
 #[derive(Debug, Clone, Serialize)]
@@ -72,7 +80,10 @@ fn traced_run(
 ) -> SimResult {
     let mut config = PipelineConfig::calibrated(scenario, seed).with_trace_capacity(Some(65_536));
     mutate(&mut config);
-    run_scenario_detailed(scenario, &config, variant, seed)
+    match run(scenario, &config, variant, seed, Detail::Full) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Renders the per-tier breakdown of a traced run: how every frame was
@@ -184,6 +195,48 @@ pub fn run_claim_checks(
     });
     reports.push(full.report);
 
+    // R-21 resilience: the same museum under 30% radio outage, crashes
+    // and ad poisoning, with the resilience machinery armed. The system
+    // must still clearly beat no-cache, and the fault counters in the
+    // breakdown prove the faults actually fired.
+    let stormy = multi::museum(6)
+        .with_name("museum-x6-outage30")
+        .with_duration(duration)
+        .with_faults(crate::r21_faults(R21_OUTAGE_FRACTION));
+    let resilient = |config: &mut PipelineConfig| {
+        mutate(config);
+        if let Some(peer) = config.peer.as_mut() {
+            peer.resilience = Some(p2pnet::ResilienceConfig::recommended());
+        }
+    };
+    let base = traced_run(&stormy, SystemVariant::NoCache, seed, &resilient);
+    let full = traced_run(&stormy, SystemVariant::Full, seed, &resilient);
+    let reduction = full.report.latency_reduction_vs(&base.report);
+    let mut breakdown = tier_breakdown(&full);
+    let faults = &full.report.faults;
+    breakdown.push_str(&format!(
+        "  faults: dark-frames {} crashes {} poisoned {} retries {} fallbacks {}\n",
+        faults.outage_frames,
+        faults.crashes,
+        faults.poisoned_ads,
+        faults.ad_retries,
+        faults.peer_fallbacks
+    ));
+    checks.push(ClaimCheck {
+        claim: "R-21",
+        scenario: stormy.name.clone(),
+        requirement: format!(
+            "under {:.0}% outage the resilient system cuts mean latency by more than {:.0}% vs no-cache",
+            R21_OUTAGE_FRACTION * 100.0,
+            R21_MIN_OUTAGE_LATENCY_REDUCTION * 100.0
+        ),
+        observed: reduction,
+        required: R21_MIN_OUTAGE_LATENCY_REDUCTION,
+        passed: reduction > R21_MIN_OUTAGE_LATENCY_REDUCTION && faults.outage_frames > 0,
+        breakdown,
+    });
+    reports.push(full.report);
+
     ClaimOutcome { checks, reports }
 }
 
@@ -203,9 +256,28 @@ mod tests {
     fn healthy_configuration_passes_every_claim() {
         let outcome = run_claim_checks(short(), MASTER_SEED, &|_| {});
         assert!(outcome.all_passed(), "failures: {:#?}", outcome.failures());
-        // Three reuse-friendly R-1 checks, four R-2 checks, one peer check.
-        assert_eq!(outcome.checks.len(), 8);
-        assert_eq!(outcome.reports.len(), 5);
+        // Three reuse-friendly R-1 checks, four R-2 checks, one peer
+        // check, one R-21 resilience check.
+        assert_eq!(outcome.checks.len(), 9);
+        assert_eq!(outcome.reports.len(), 6);
+        // The R-21 run must have actually injected faults — its report
+        // carries the reconciling counters.
+        let stormy = outcome
+            .reports
+            .iter()
+            .find(|r| r.scenario == "museum-x6-outage30")
+            .expect("R-21 report present");
+        assert!(stormy.faults.outage_frames > 0, "outage never fired");
+        // Every other report stays fault-free.
+        for report in &outcome.reports {
+            if report.scenario != "museum-x6-outage30" {
+                assert!(
+                    report.faults.is_idle(),
+                    "{}: unexpected faults",
+                    report.scenario
+                );
+            }
+        }
         // Every check carries a usable breakdown.
         for check in &outcome.checks {
             assert!(

@@ -15,6 +15,9 @@ use serde::{Deserialize, Serialize};
 
 use simcore::{SimDuration, SimRng, SimTime};
 
+use crate::error::ConfigError;
+use crate::faults::{BreakerConfig, CircuitBreaker};
+
 /// Discovery protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DiscoveryConfig {
@@ -41,26 +44,32 @@ impl Default for DiscoveryConfig {
 }
 
 impl DiscoveryConfig {
-    /// Validates parameter ranges.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the interval or TTL is zero, the delivery probability is
-    /// outside `[0, 1]`, or the TTL is shorter than the interval (every
-    /// neighbour would expire between its own beacons).
-    pub fn validate(&self) {
-        assert!(
-            !self.beacon_interval.is_zero(),
-            "DiscoveryConfig: beacon_interval must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.beacon_delivery_prob),
-            "DiscoveryConfig: beacon_delivery_prob must be in [0, 1]"
-        );
-        assert!(
-            self.neighbor_ttl >= self.beacon_interval,
-            "DiscoveryConfig: neighbor_ttl must be at least one beacon interval"
-        );
+    /// Validates parameter ranges: the interval must be positive, the
+    /// delivery probability inside `[0, 1]`, and the TTL at least one
+    /// beacon interval (every neighbour would otherwise expire between
+    /// its own beacons).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.beacon_interval.is_zero() {
+            return Err(ConfigError::NotPositive {
+                context: "DiscoveryConfig",
+                field: "beacon_interval",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.beacon_delivery_prob) {
+            return Err(ConfigError::OutOfRange {
+                context: "DiscoveryConfig",
+                field: "beacon_delivery_prob",
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if self.neighbor_ttl < self.beacon_interval {
+            return Err(ConfigError::Inconsistent {
+                context: "DiscoveryConfig",
+                message: "neighbor_ttl must be at least one beacon interval",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +137,9 @@ pub struct Discovery {
     beacons_sent: u64,
     /// Total beacon bytes transmitted.
     beacon_bytes_sent: u64,
+    /// Optional dead-peer circuit breaker: quarantined peers are hidden
+    /// from [`neighbors`](Self::neighbors) until their re-probe is due.
+    breaker: Option<CircuitBreaker>,
 }
 
 impl Discovery {
@@ -138,14 +150,32 @@ impl Discovery {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: DiscoveryConfig) -> Discovery {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         Discovery {
             config,
             table: NeighborTable::new(),
             next_beacon: SimTime::ZERO,
             beacons_sent: 0,
             beacon_bytes_sent: 0,
+            breaker: None,
         }
+    }
+
+    /// A discovery service with a dead-peer circuit breaker: after
+    /// `breaker.failure_threshold` consecutive failed exchanges
+    /// (reported via [`record_query_outcome`](Self::record_query_outcome))
+    /// a peer is quarantined out of the neighbour list, then re-probed at
+    /// a decaying rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn with_breaker(config: DiscoveryConfig, breaker: BreakerConfig) -> Discovery {
+        let mut discovery = Discovery::new(config);
+        discovery.breaker = Some(CircuitBreaker::new(breaker));
+        discovery
     }
 
     /// The configuration.
@@ -188,10 +218,47 @@ impl Discovery {
     }
 
     /// Expires stale neighbours and returns the current neighbour list,
-    /// freshest first.
+    /// freshest first. Peers quarantined by the circuit breaker are
+    /// filtered out; a peer whose quarantine just lapsed stays listed for
+    /// exactly one probe.
     pub fn neighbors(&mut self, now: SimTime) -> Vec<u64> {
         self.table.expire(now, self.config.neighbor_ttl);
-        self.table.neighbors()
+        let mut peers = self.table.neighbors();
+        if let Some(breaker) = &mut self.breaker {
+            peers.retain(|&p| breaker.allows(p, now));
+        }
+        peers
+    }
+
+    /// Feeds one peer-exchange outcome to the circuit breaker (no-op
+    /// without one): successes close the breaker, consecutive failures
+    /// open it.
+    pub fn record_query_outcome(&mut self, peer: u64, delivered: bool, now: SimTime) {
+        if let Some(breaker) = &mut self.breaker {
+            if delivered {
+                breaker.record_success(peer);
+            } else {
+                breaker.record_failure(peer, now);
+            }
+        }
+    }
+
+    /// The circuit breaker, when one is configured.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// Discards the neighbour table and breaker state — what a peer
+    /// crash/restart costs this device's view of the network.
+    pub fn reset(&mut self) {
+        self.table = NeighborTable::new();
+        if let Some(breaker) = &self.breaker {
+            // A restarted device forgets which peers were quarantined but
+            // keeps its lifetime event counts for reporting.
+            let mut fresh = breaker.clone();
+            fresh.forget_peers();
+            self.breaker = Some(fresh);
+        }
     }
 
     /// Read-only view of the table (no expiry side effect).
@@ -305,5 +372,69 @@ mod tests {
             neighbor_ttl: SimDuration::from_millis(100),
             ..config()
         });
+    }
+
+    #[test]
+    fn breaker_quarantines_and_reprobes_through_discovery() {
+        use crate::faults::BreakerConfig;
+        let mut d = Discovery::with_breaker(
+            DiscoveryConfig {
+                beacon_delivery_prob: 1.0,
+                ..config()
+            },
+            BreakerConfig {
+                failure_threshold: 2,
+                quarantine: SimDuration::from_secs(2),
+                backoff_factor: 2.0,
+                max_quarantine: SimDuration::from_secs(8),
+            },
+        );
+        let mut rng = SimRng::seed(5);
+        let now = SimTime::from_millis(100);
+        d.receive_beacon(7, now, &mut rng);
+        d.receive_beacon(9, now, &mut rng);
+        assert_eq!(d.neighbors(now), vec![7, 9], "tie broken by id");
+        // Two consecutive failures quarantine peer 7; peer 9 stays.
+        d.record_query_outcome(7, false, now);
+        d.record_query_outcome(7, false, now);
+        let later = now + SimDuration::from_millis(100);
+        d.receive_beacon(7, later, &mut rng);
+        d.receive_beacon(9, later, &mut rng);
+        assert_eq!(d.neighbors(later), vec![9]);
+        assert_eq!(d.breaker().expect("breaker").quarantines(), 1);
+        // After the quarantine lapses the peer reappears for one probe.
+        let probe_at = now + SimDuration::from_secs(2);
+        d.receive_beacon(7, probe_at, &mut rng);
+        d.receive_beacon(9, probe_at, &mut rng);
+        assert!(d.neighbors(probe_at).contains(&7));
+        assert_eq!(d.breaker().expect("breaker").reprobes(), 1);
+        // The probe succeeds: the breaker closes and 7 stays visible.
+        d.record_query_outcome(7, true, probe_at);
+        assert!(d.neighbors(probe_at).contains(&7));
+    }
+
+    #[test]
+    fn reset_wipes_the_table_but_keeps_breaker_totals() {
+        use crate::faults::BreakerConfig;
+        let mut d = Discovery::with_breaker(
+            DiscoveryConfig {
+                beacon_delivery_prob: 1.0,
+                ..config()
+            },
+            BreakerConfig {
+                failure_threshold: 1,
+                ..BreakerConfig::default()
+            },
+        );
+        let mut rng = SimRng::seed(6);
+        let now = SimTime::from_millis(50);
+        d.receive_beacon(3, now, &mut rng);
+        d.record_query_outcome(3, false, now);
+        assert_eq!(d.breaker().expect("breaker").quarantines(), 1);
+        d.reset();
+        assert!(d.table().is_empty());
+        let b = d.breaker().expect("breaker survives reset");
+        assert_eq!(b.quarantines(), 1, "lifetime totals survive");
+        assert!(!b.is_quarantined(3, now), "per-peer state forgotten");
     }
 }

@@ -1,0 +1,87 @@
+//! Typed configuration errors.
+//!
+//! Validation used to panic at the first bad knob; every `validate`
+//! method in this crate now returns `Result<(), ConfigError>` so callers
+//! can surface the problem as a value (the simulation front-end wraps
+//! these in its own `ConfigError`). Constructors that take a validated
+//! config (`Transport::new`, `Discovery::new`) still panic, preserving
+//! the old fail-fast behaviour for infallible call sites.
+
+use std::fmt;
+
+/// Why a network-layer configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NotPositive {
+        /// The type being validated (e.g. `"LinkSpec"`).
+        context: &'static str,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A numeric parameter fell outside its legal closed range.
+    OutOfRange {
+        /// The type being validated.
+        context: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Two parameters are individually legal but mutually inconsistent.
+    Inconsistent {
+        /// The type being validated.
+        context: &'static str,
+        /// Human-readable description of the conflict.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPositive { context, field } => {
+                write!(f, "{context}: {field} must be positive")
+            }
+            ConfigError::OutOfRange {
+                context,
+                field,
+                min,
+                max,
+            } => write!(f, "{context}: {field} must be in [{min}, {max}]"),
+            ConfigError::Inconsistent { context, message } => {
+                write!(f, "{context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_field() {
+        let e = ConfigError::OutOfRange {
+            context: "LinkSpec",
+            field: "loss_prob",
+            min: 0.0,
+            max: 1.0,
+        };
+        assert_eq!(e.to_string(), "LinkSpec: loss_prob must be in [0, 1]");
+        let e = ConfigError::NotPositive {
+            context: "LinkSpec",
+            field: "mtu",
+        };
+        assert_eq!(e.to_string(), "LinkSpec: mtu must be positive");
+        let e = ConfigError::Inconsistent {
+            context: "DiscoveryConfig",
+            message: "neighbor_ttl must be at least one beacon interval",
+        };
+        assert!(e.to_string().contains("neighbor_ttl"));
+    }
+}

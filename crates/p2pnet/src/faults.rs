@@ -1,0 +1,1108 @@
+//! Deterministic fault injection and resilience for the peer tier.
+//!
+//! The baseline network model is unrealistically well-behaved: a static
+//! per-fragment loss probability and nothing else. Real
+//! infrastructure-less deployments see radios go dark, groups of devices
+//! partition, links degrade for seconds at a time, peers crash and
+//! restart, and stale peers advertise entries for world state that has
+//! churned away. This module provides both halves of that story:
+//!
+//! - **Fault side** — [`FaultConfig`] describes episode statistics;
+//!   [`FaultSchedule::generate`] expands them into concrete
+//!   time-windowed episodes from a [`SimRng`] split stream, so the same
+//!   seed always produces byte-identical fault timelines (and a default
+//!   config produces none at all).
+//! - **Resilience side** — [`RetryPolicy`] (bounded retransmission with
+//!   exponential backoff), [`BreakerConfig`]/[`CircuitBreaker`] (dead
+//!   peers are quarantined after N consecutive failures and re-probed at
+//!   a decaying rate), [`DarkFallback`] (skip the peer tier while it is
+//!   dark instead of paying its latency), and [`ResilienceCounters`]
+//!   (the counter registry every fault event and recovery action is
+//!   recorded through).
+//!
+//! Everything defaults to *off*: `FaultConfig::default()` schedules no
+//! episodes and `ResilienceConfig::default()` enables no machinery, so
+//! an un-faulted run consumes exactly the same random draws and produces
+//! exactly the same bytes as before this module existed.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::error::ConfigError;
+
+// ---------------------------------------------------------------------
+// Fault side
+// ---------------------------------------------------------------------
+
+/// Statistical description of the faults to inject into one run.
+///
+/// Fractions are long-run duty cycles: `outage_fraction = 0.3` means each
+/// device's radio spends ~30% of the run dark, in episodes whose lengths
+/// are exponential with mean `outage_mean`. The default config is
+/// entirely idle — no episodes of any kind are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Fraction of each device's run spent with its radio dark.
+    pub outage_fraction: f64,
+    /// Mean length of one radio-outage episode.
+    pub outage_mean: SimDuration,
+    /// Number of groups devices partition into during partition episodes
+    /// (round-robin by device index). `0` or `1` disables partitions.
+    pub partition_groups: u32,
+    /// Fraction of the run during which the partition is in force.
+    pub partition_fraction: f64,
+    /// Mean length of one partition episode.
+    pub partition_mean: SimDuration,
+    /// Fraction of the run during which every link runs degraded.
+    pub degraded_fraction: f64,
+    /// Mean length of one degraded-link episode.
+    pub degraded_mean: SimDuration,
+    /// Base-latency multiplier while degraded (≥ 1 slows links down).
+    pub degraded_latency_factor: f64,
+    /// Loss-probability multiplier while degraded (capped at loss 1.0).
+    pub degraded_loss_factor: f64,
+    /// Expected crash/restart events per device per minute. A crash
+    /// wipes the device's caches and its discovery table mid-run.
+    pub crashes_per_device_minute: f64,
+    /// Probability an advertisement's label is poisoned in flight —
+    /// modelling a stale peer advertising entries for churned-away world
+    /// state.
+    pub poison_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            outage_fraction: 0.0,
+            outage_mean: SimDuration::from_secs(2),
+            partition_groups: 0,
+            partition_fraction: 0.0,
+            partition_mean: SimDuration::from_secs(5),
+            degraded_fraction: 0.0,
+            degraded_mean: SimDuration::from_secs(5),
+            degraded_latency_factor: 1.0,
+            degraded_loss_factor: 1.0,
+            crashes_per_device_minute: 0.0,
+            poison_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when this config injects nothing — the provably zero-impact
+    /// state every scenario starts from.
+    pub fn is_idle(&self) -> bool {
+        !(self.outage_fraction > 0.0
+            || (self.partition_groups >= 2 && self.partition_fraction > 0.0)
+            || self.degraded_fraction > 0.0
+            || self.crashes_per_device_minute > 0.0
+            || self.poison_prob > 0.0)
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("outage_fraction", self.outage_fraction),
+            ("partition_fraction", self.partition_fraction),
+            ("degraded_fraction", self.degraded_fraction),
+            ("poison_prob", self.poison_prob),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::OutOfRange {
+                    context: "FaultConfig",
+                    field,
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+        }
+        for (field, fraction, mean) in [
+            ("outage_mean", self.outage_fraction, self.outage_mean),
+            (
+                "partition_mean",
+                self.partition_fraction,
+                self.partition_mean,
+            ),
+            ("degraded_mean", self.degraded_fraction, self.degraded_mean),
+        ] {
+            if fraction > 0.0 && mean.is_zero() {
+                return Err(ConfigError::NotPositive {
+                    context: "FaultConfig",
+                    field,
+                });
+            }
+        }
+        if self.degraded_latency_factor <= 0.0 || self.degraded_latency_factor.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "FaultConfig",
+                field: "degraded_latency_factor",
+            });
+        }
+        if self.degraded_loss_factor <= 0.0 || self.degraded_loss_factor.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "FaultConfig",
+                field: "degraded_loss_factor",
+            });
+        }
+        if self.crashes_per_device_minute < 0.0 {
+            return Err(ConfigError::NotPositive {
+                context: "FaultConfig",
+                field: "crashes_per_device_minute",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One contiguous fault window, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEpisode {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault clears (exclusive).
+    pub end: SimTime,
+}
+
+impl FaultEpisode {
+    /// Whether `at` falls inside this episode.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start <= at && at < self.end
+    }
+}
+
+/// The concrete fault timeline of one run: every episode of every kind,
+/// fully materialized up front so queries are pure reads.
+///
+/// Built by [`FaultSchedule::generate`] from a dedicated [`SimRng`]
+/// split stream — generation never touches any other stream, so adding
+/// faults to a scenario perturbs nothing outside the faults themselves.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    outages: Vec<Vec<FaultEpisode>>,
+    partitions: Vec<FaultEpisode>,
+    groups: Vec<u32>,
+    degraded: Vec<FaultEpisode>,
+    crashes: Vec<Vec<SimTime>>,
+    latency_factor: f64,
+    loss_factor: f64,
+    poison_prob: f64,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        FaultSchedule {
+            outages: Vec::new(),
+            partitions: Vec::new(),
+            groups: Vec::new(),
+            degraded: Vec::new(),
+            crashes: Vec::new(),
+            latency_factor: 1.0,
+            loss_factor: 1.0,
+            poison_prob: 0.0,
+        }
+    }
+}
+
+/// Draws alternating up/down episodes with the requested duty cycle.
+fn draw_episodes(
+    fraction: f64,
+    mean_down: SimDuration,
+    duration: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<FaultEpisode> {
+    if fraction <= 0.0 {
+        return Vec::new();
+    }
+    let run = duration.as_secs_f64();
+    if fraction >= 1.0 {
+        return vec![FaultEpisode {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + duration,
+        }];
+    }
+    let mean_down_secs = mean_down.as_secs_f64();
+    let mean_up_secs = mean_down_secs * (1.0 - fraction) / fraction;
+    let mut episodes = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        t += rng.exponential(1.0 / mean_up_secs);
+        if t >= run {
+            return episodes;
+        }
+        let down = rng.exponential(1.0 / mean_down_secs);
+        episodes.push(FaultEpisode {
+            start: SimTime::ZERO + SimDuration::from_secs_f64(t),
+            end: SimTime::ZERO + SimDuration::from_secs_f64((t + down).min(run)),
+        });
+        t += down;
+        if t >= run {
+            return episodes;
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// The empty schedule: no episodes, pristine links.
+    pub fn idle() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Materializes the fault timeline for `devices` devices over
+    /// `duration`, drawing every episode from split children of `rng`
+    /// (`"outage"/d`, `"partition"`, `"degraded"`, `"crash"/d`). The
+    /// config must already be validated.
+    pub fn generate(
+        config: &FaultConfig,
+        devices: usize,
+        duration: SimDuration,
+        rng: &SimRng,
+    ) -> FaultSchedule {
+        debug_assert!(config.validate().is_ok(), "FaultConfig must be validated");
+        if config.is_idle() {
+            return FaultSchedule::idle();
+        }
+        let outages: Vec<Vec<FaultEpisode>> = (0..devices)
+            .map(|d| {
+                draw_episodes(
+                    config.outage_fraction,
+                    config.outage_mean,
+                    duration,
+                    &mut rng.split_index("outage", d as u64),
+                )
+            })
+            .collect();
+        let (partitions, groups) =
+            if config.partition_groups >= 2 && config.partition_fraction > 0.0 {
+                (
+                    draw_episodes(
+                        config.partition_fraction,
+                        config.partition_mean,
+                        duration,
+                        &mut rng.split("partition"),
+                    ),
+                    (0..devices)
+                        .map(|d| (d as u32) % config.partition_groups)
+                        .collect(),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
+        let degraded = draw_episodes(
+            config.degraded_fraction,
+            config.degraded_mean,
+            duration,
+            &mut rng.split("degraded"),
+        );
+        let crashes: Vec<Vec<SimTime>> = (0..devices)
+            .map(|d| {
+                let mut crash_rng = rng.split_index("crash", d as u64);
+                let mut times = Vec::new();
+                if config.crashes_per_device_minute > 0.0 {
+                    let mean_gap = 60.0 / config.crashes_per_device_minute;
+                    let run = duration.as_secs_f64();
+                    let mut t = 0.0f64;
+                    loop {
+                        t += crash_rng.exponential(1.0 / mean_gap);
+                        if t >= run {
+                            break;
+                        }
+                        times.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+                    }
+                }
+                times
+            })
+            .collect();
+        FaultSchedule {
+            outages,
+            partitions,
+            groups,
+            degraded,
+            crashes,
+            latency_factor: config.degraded_latency_factor,
+            loss_factor: config.degraded_loss_factor,
+            poison_prob: config.poison_prob,
+        }
+    }
+
+    /// True when no episode of any kind was scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.outages.iter().all(Vec::is_empty)
+            && self.partitions.is_empty()
+            && self.degraded.is_empty()
+            && self.crashes.iter().all(Vec::is_empty)
+            && self.poison_prob <= 0.0
+    }
+
+    /// Whether `device`'s radio is dark at `at`.
+    pub fn radio_dark(&self, device: usize, at: SimTime) -> bool {
+        self.outages
+            .get(device)
+            .is_some_and(|eps| eps.iter().any(|e| e.contains(at)))
+    }
+
+    /// Whether devices `a` and `b` sit in different partition groups
+    /// while a partition episode covers `at`.
+    pub fn partitioned(&self, a: usize, b: usize, at: SimTime) -> bool {
+        if self.groups.is_empty() || !self.partitions.iter().any(|e| e.contains(at)) {
+            return false;
+        }
+        match (self.groups.get(a), self.groups.get(b)) {
+            (Some(ga), Some(gb)) => ga != gb,
+            _ => false,
+        }
+    }
+
+    /// Whether `a` and `b` can exchange messages at `at`: both radios up
+    /// and no partition between them.
+    pub fn reachable(&self, a: usize, b: usize, at: SimTime) -> bool {
+        !self.radio_dark(a, at) && !self.radio_dark(b, at) && !self.partitioned(a, b, at)
+    }
+
+    /// Whether a degraded-link episode covers `at`.
+    pub fn link_degraded(&self, at: SimTime) -> bool {
+        self.degraded.iter().any(|e| e.contains(at))
+    }
+
+    /// `(latency_factor, loss_factor)` in force at `at` — `(1.0, 1.0)`
+    /// outside degraded episodes.
+    pub fn degradation(&self, at: SimTime) -> Option<(f64, f64)> {
+        if self.link_degraded(at) {
+            Some((self.latency_factor, self.loss_factor))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `device` crashes in the window `(after, upto]` — polled
+    /// once per frame by the simulation driver.
+    pub fn crash_between(&self, device: usize, after: SimTime, upto: SimTime) -> bool {
+        self.crashes
+            .get(device)
+            .is_some_and(|times| times.iter().any(|&t| after < t && t <= upto))
+    }
+
+    /// Advertisement-poisoning probability.
+    pub fn poison_prob(&self) -> f64 {
+        self.poison_prob
+    }
+
+    /// Outage episodes scheduled for `device` (for tests and reports).
+    pub fn outages(&self, device: usize) -> &[FaultEpisode] {
+        self.outages.get(device).map_or(&[], Vec::as_slice)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resilience side
+// ---------------------------------------------------------------------
+
+/// Bounded retransmission with exponential backoff, applied to
+/// advertisement delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retransmissions after the first attempt (0 = fire-and-forget).
+    pub max_retries: u32,
+    /// Wait before the first retransmission.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimDuration::from_millis(40),
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `retry` (0-based):
+    /// `base_backoff · backoff_factor^retry`.
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        self.base_backoff
+            .mul_f64(self.backoff_factor.powi(retry.min(16) as i32))
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_retries > 0 && self.base_backoff.is_zero() {
+            return Err(ConfigError::NotPositive {
+                context: "RetryPolicy",
+                field: "base_backoff",
+            });
+        }
+        if self.backoff_factor < 1.0 || self.backoff_factor.is_nan() {
+            return Err(ConfigError::Inconsistent {
+                context: "RetryPolicy",
+                message: "backoff_factor must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dead-peer circuit-breaker parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures before a peer is quarantined.
+    pub failure_threshold: u32,
+    /// Initial quarantine length.
+    pub quarantine: SimDuration,
+    /// Quarantine growth factor after each failed re-probe (the re-probe
+    /// rate decays while a peer stays dead).
+    pub backoff_factor: f64,
+    /// Quarantine ceiling.
+    pub max_quarantine: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            quarantine: SimDuration::from_secs(2),
+            backoff_factor: 2.0,
+            max_quarantine: SimDuration::from_secs(16),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.failure_threshold == 0 {
+            return Err(ConfigError::NotPositive {
+                context: "BreakerConfig",
+                field: "failure_threshold",
+            });
+        }
+        if self.quarantine.is_zero() {
+            return Err(ConfigError::NotPositive {
+                context: "BreakerConfig",
+                field: "quarantine",
+            });
+        }
+        if self.backoff_factor < 1.0 || self.backoff_factor.is_nan() {
+            return Err(ConfigError::Inconsistent {
+                context: "BreakerConfig",
+                message: "backoff_factor must be at least 1",
+            });
+        }
+        if self.max_quarantine < self.quarantine {
+            return Err(ConfigError::Inconsistent {
+                context: "BreakerConfig",
+                message: "max_quarantine must be at least quarantine",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-peer breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerState {
+    /// Healthy: counting consecutive failures.
+    Closed { failures: u32 },
+    /// Quarantined until `until`; `quarantine` is the span that was
+    /// applied (doubled on the next failure).
+    Open {
+        until: SimTime,
+        quarantine: SimDuration,
+    },
+    /// Quarantine expired; one probe is in flight.
+    HalfOpen { quarantine: SimDuration },
+}
+
+/// The dead-peer circuit breaker: after `failure_threshold` consecutive
+/// failures a peer is quarantined (it disappears from the neighbour
+/// list); when the quarantine lapses the peer gets exactly one probe —
+/// success closes the breaker, failure re-opens it with a longer
+/// quarantine, up to `max_quarantine`.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    peers: HashMap<u64, PeerState>,
+    quarantines: u64,
+    reprobes: u64,
+    suppressed: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
+        CircuitBreaker {
+            config,
+            peers: HashMap::new(),
+            quarantines: 0,
+            reprobes: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Whether `peer` may be queried at `now`. An expired quarantine
+    /// transitions to half-open and allows exactly one probe.
+    pub fn allows(&mut self, peer: u64, now: SimTime) -> bool {
+        match self.peers.get(&peer).copied() {
+            Some(PeerState::Open { until, quarantine }) => {
+                if now >= until {
+                    self.peers.insert(peer, PeerState::HalfOpen { quarantine });
+                    self.reprobes += 1;
+                    true
+                } else {
+                    self.suppressed += 1;
+                    false
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Read-only: whether `peer` is quarantined at `now`.
+    pub fn is_quarantined(&self, peer: u64, now: SimTime) -> bool {
+        matches!(
+            self.peers.get(&peer),
+            Some(PeerState::Open { until, .. }) if now < *until
+        )
+    }
+
+    /// Records a successful exchange with `peer`: the breaker closes and
+    /// the failure count and quarantine reset.
+    pub fn record_success(&mut self, peer: u64) {
+        self.peers.insert(peer, PeerState::Closed { failures: 0 });
+    }
+
+    /// Records a failed exchange with `peer`. Returns `true` when this
+    /// failure opened (or re-opened) the breaker.
+    pub fn record_failure(&mut self, peer: u64, now: SimTime) -> bool {
+        let state = self
+            .peers
+            .entry(peer)
+            .or_insert(PeerState::Closed { failures: 0 });
+        match *state {
+            PeerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = PeerState::Open {
+                        until: now + self.config.quarantine,
+                        quarantine: self.config.quarantine,
+                    };
+                    self.quarantines += 1;
+                    true
+                } else {
+                    *state = PeerState::Closed { failures };
+                    false
+                }
+            }
+            PeerState::HalfOpen { quarantine } => {
+                let next = quarantine
+                    .mul_f64(self.config.backoff_factor)
+                    .min(self.config.max_quarantine);
+                *state = PeerState::Open {
+                    until: now + next,
+                    quarantine: next,
+                };
+                self.quarantines += 1;
+                true
+            }
+            PeerState::Open { .. } => false,
+        }
+    }
+
+    /// Drops all per-peer state (as a device restart would) while
+    /// keeping the lifetime event totals for reporting.
+    pub fn forget_peers(&mut self) {
+        self.peers.clear();
+    }
+
+    /// Quarantine (breaker-open) transitions so far.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Half-open probes granted so far.
+    pub fn reprobes(&self) -> u64 {
+        self.reprobes
+    }
+
+    /// Queries suppressed by an open breaker so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+/// Graceful-degradation policy: when every peer exchange has failed for
+/// `threshold` consecutive peer-tier frames, the device declares the
+/// peer tier dark and skips it (falling through to Local/Infer without
+/// paying peer-wait latency) for `cooldown`, then probes again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DarkFallback {
+    /// Consecutive all-timeout peer frames before going dark.
+    pub threshold: u32,
+    /// How long to skip the peer tier before re-probing.
+    pub cooldown: SimDuration,
+}
+
+impl Default for DarkFallback {
+    fn default() -> Self {
+        DarkFallback {
+            threshold: 3,
+            cooldown: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl DarkFallback {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threshold == 0 {
+            return Err(ConfigError::NotPositive {
+                context: "DarkFallback",
+                field: "threshold",
+            });
+        }
+        if self.cooldown.is_zero() {
+            return Err(ConfigError::NotPositive {
+                context: "DarkFallback",
+                field: "cooldown",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The resilience machinery a device runs on top of the peer tier. Every
+/// member defaults to `None` (off): an un-faulted, un-hardened run is
+/// byte-identical to the pre-resilience pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Advertisement retransmission policy (`None` = fire-and-forget).
+    pub ad_retry: Option<RetryPolicy>,
+    /// Dead-peer circuit breaker in discovery (`None` = disabled).
+    pub breaker: Option<BreakerConfig>,
+    /// Peer-tier graceful degradation (`None` = always pay peer latency).
+    pub dark_fallback: Option<DarkFallback>,
+}
+
+impl ResilienceConfig {
+    /// Everything enabled at its default tuning — the configuration the
+    /// resilience experiments run with.
+    pub fn recommended() -> ResilienceConfig {
+        ResilienceConfig {
+            ad_retry: Some(RetryPolicy::default()),
+            breaker: Some(BreakerConfig::default()),
+            dark_fallback: Some(DarkFallback::default()),
+        }
+    }
+
+    /// Validates every enabled member.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(retry) = &self.ad_retry {
+            retry.validate()?;
+        }
+        if let Some(breaker) = &self.breaker {
+            breaker.validate()?;
+        }
+        if let Some(fallback) = &self.dark_fallback {
+            fallback.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Totals of every fault event injected and every resilience action
+/// taken — the registry behind the `faults` section of a run report.
+///
+/// Like `CacheStats` and `TransportCounters`, fields are only ever
+/// incremented through the `record_*` helpers (enforced by `xtask lint`
+/// rule T).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Device-frames whose radio an outage episode covered.
+    pub outage_frames: u64,
+    /// Crash/restart events applied (caches and discovery wiped).
+    pub crashes: u64,
+    /// Advertisements whose labels were poisoned in flight.
+    pub poisoned_ads: u64,
+    /// Advertisement retransmissions sent.
+    pub ad_retries: u64,
+    /// Advertisements abandoned after the retry budget ran out.
+    pub ad_abandoned: u64,
+    /// Circuit-breaker open transitions.
+    pub quarantines: u64,
+    /// Half-open re-probes granted by the breaker.
+    pub reprobes: u64,
+    /// Peer queries suppressed by an open breaker.
+    pub breaker_skips: u64,
+    /// Frames that skipped the peer tier because it was declared dark.
+    pub peer_fallbacks: u64,
+}
+
+impl ResilienceCounters {
+    /// True when nothing was recorded — the section is omitted from
+    /// serialized reports in this state.
+    pub fn is_idle(&self) -> bool {
+        *self == ResilienceCounters::default()
+    }
+
+    /// Records one device-frame spent inside a radio outage.
+    pub fn record_outage_frame(&mut self) {
+        self.outage_frames += 1;
+    }
+
+    /// Records one crash/restart event.
+    pub fn record_crash(&mut self) {
+        self.crashes += 1;
+    }
+
+    /// Records one poisoned advertisement.
+    pub fn record_poisoned_ad(&mut self) {
+        self.poisoned_ads += 1;
+    }
+
+    /// Records `n` advertisement retransmissions.
+    pub fn record_ad_retries(&mut self, n: u32) {
+        self.ad_retries += u64::from(n);
+    }
+
+    /// Records one advertisement abandoned after exhausting retries.
+    pub fn record_ad_abandoned(&mut self) {
+        self.ad_abandoned += 1;
+    }
+
+    /// Folds one circuit breaker's lifetime totals in.
+    pub fn record_breaker(&mut self, breaker: &CircuitBreaker) {
+        self.quarantines += breaker.quarantines();
+        self.reprobes += breaker.reprobes();
+        self.breaker_skips += breaker.suppressed();
+    }
+
+    /// Records one frame that skipped the dark peer tier.
+    pub fn record_peer_fallback(&mut self) {
+        self.peer_fallbacks += 1;
+    }
+
+    /// Adds another counter block.
+    pub fn merge(&mut self, other: &ResilienceCounters) {
+        self.outage_frames += other.outage_frames;
+        self.crashes += other.crashes;
+        self.poisoned_ads += other.poisoned_ads;
+        self.ad_retries += other.ad_retries;
+        self.ad_abandoned += other.ad_abandoned;
+        self.quarantines += other.quarantines;
+        self.reprobes += other.reprobes;
+        self.breaker_skips += other.breaker_skips;
+        self.peer_fallbacks += other.peer_fallbacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_idle_and_schedules_nothing() {
+        let config = FaultConfig::default();
+        assert!(config.is_idle());
+        assert!(config.validate().is_ok());
+        let rng = SimRng::seed(7);
+        let schedule = FaultSchedule::generate(&config, 4, SimDuration::from_secs(30), &rng);
+        assert!(schedule.is_idle());
+        for d in 0..4 {
+            assert!(!schedule.radio_dark(d, SimTime::from_secs(3)));
+            assert!(schedule.outages(d).is_empty());
+        }
+        assert!(!schedule.partitioned(0, 1, SimTime::from_secs(3)));
+        assert!(schedule.degradation(SimTime::from_secs(3)).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = FaultConfig {
+            outage_fraction: 0.3,
+            partition_groups: 2,
+            partition_fraction: 0.2,
+            degraded_fraction: 0.25,
+            degraded_latency_factor: 3.0,
+            degraded_loss_factor: 5.0,
+            crashes_per_device_minute: 2.0,
+            poison_prob: 0.1,
+            ..FaultConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        let a = FaultSchedule::generate(&config, 6, SimDuration::from_secs(60), &SimRng::seed(9));
+        let b = FaultSchedule::generate(&config, 6, SimDuration::from_secs(60), &SimRng::seed(9));
+        for d in 0..6 {
+            assert_eq!(a.outages(d), b.outages(d));
+        }
+        // Spot-check pointwise equality over the whole run.
+        for ms in (0..60_000).step_by(97) {
+            let at = SimTime::from_millis(ms);
+            assert_eq!(a.link_degraded(at), b.link_degraded(at));
+            assert_eq!(a.partitioned(0, 1, at), b.partitioned(0, 1, at));
+            assert_eq!(
+                a.crash_between(2, SimTime::ZERO, at),
+                b.crash_between(2, SimTime::ZERO, at)
+            );
+        }
+        let c = FaultSchedule::generate(&config, 6, SimDuration::from_secs(60), &SimRng::seed(10));
+        assert_ne!(
+            a.outages(0),
+            c.outages(0),
+            "different seed, different timeline"
+        );
+    }
+
+    #[test]
+    fn outage_duty_cycle_tracks_fraction() {
+        let config = FaultConfig {
+            outage_fraction: 0.3,
+            ..FaultConfig::default()
+        };
+        let schedule =
+            FaultSchedule::generate(&config, 8, SimDuration::from_secs(600), &SimRng::seed(1));
+        let mut dark = 0u32;
+        let mut total = 0u32;
+        for d in 0..8 {
+            for s in 0..600 {
+                total += 1;
+                if schedule.radio_dark(d, SimTime::from_secs(s)) {
+                    dark += 1;
+                }
+            }
+        }
+        let fraction = f64::from(dark) / f64::from(total);
+        assert!(
+            (fraction - 0.3).abs() < 0.08,
+            "dark fraction {fraction}, want ~0.3"
+        );
+    }
+
+    #[test]
+    fn partitions_split_groups_only_during_episodes() {
+        let config = FaultConfig {
+            partition_groups: 2,
+            partition_fraction: 1.0,
+            ..FaultConfig::default()
+        };
+        let schedule =
+            FaultSchedule::generate(&config, 4, SimDuration::from_secs(10), &SimRng::seed(2));
+        let at = SimTime::from_secs(5);
+        // Round-robin: 0,2 in group 0; 1,3 in group 1.
+        assert!(schedule.partitioned(0, 1, at));
+        assert!(!schedule.partitioned(0, 2, at));
+        assert!(schedule.partitioned(2, 3, at));
+        assert!(!schedule.reachable(0, 1, at));
+        assert!(schedule.reachable(0, 2, at));
+        // Outside the run there is no episode.
+        assert!(!schedule.partitioned(0, 1, SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn degradation_reports_factors_inside_episodes() {
+        let config = FaultConfig {
+            degraded_fraction: 1.0,
+            degraded_latency_factor: 4.0,
+            degraded_loss_factor: 10.0,
+            ..FaultConfig::default()
+        };
+        let schedule =
+            FaultSchedule::generate(&config, 1, SimDuration::from_secs(5), &SimRng::seed(3));
+        let (lat, loss) = schedule
+            .degradation(SimTime::from_secs(2))
+            .expect("degraded");
+        assert!((lat - 4.0).abs() < 1e-12);
+        assert!((loss - 10.0).abs() < 1e-12);
+        assert!(schedule.degradation(SimTime::from_secs(6)).is_none());
+    }
+
+    #[test]
+    fn crash_polling_finds_each_crash_once() {
+        let config = FaultConfig {
+            crashes_per_device_minute: 6.0,
+            ..FaultConfig::default()
+        };
+        let schedule =
+            FaultSchedule::generate(&config, 1, SimDuration::from_secs(120), &SimRng::seed(4));
+        let mut seen = 0;
+        let mut prev = SimTime::ZERO;
+        for ms in (100..120_100).step_by(100) {
+            let now = SimTime::from_millis(ms);
+            if schedule.crash_between(0, prev, now) {
+                seen += 1;
+            }
+            prev = now;
+        }
+        // ~6/min over 2 minutes ⇒ around a dozen crashes.
+        assert!((4..=30).contains(&seen), "saw {seen} crashes");
+    }
+
+    #[test]
+    fn fault_config_rejects_bad_ranges() {
+        let bad = FaultConfig {
+            outage_fraction: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "outage_fraction",
+                ..
+            })
+        ));
+        let bad = FaultConfig {
+            degraded_fraction: 0.5,
+            degraded_mean: SimDuration::ZERO,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FaultConfig {
+            degraded_latency_factor: 0.0,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_millis(40),
+            backoff_factor: 2.0,
+        };
+        assert_eq!(policy.backoff(0), SimDuration::from_millis(40));
+        assert_eq!(policy.backoff(1), SimDuration::from_millis(80));
+        assert_eq!(policy.backoff(2), SimDuration::from_millis(160));
+        assert!(policy.validate().is_ok());
+        let bad = RetryPolicy {
+            backoff_factor: 0.5,
+            ..policy
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        let now = SimTime::from_secs(1);
+        assert!(!b.record_failure(7, now));
+        assert!(!b.record_failure(7, now));
+        assert!(b.record_failure(7, now), "third failure opens");
+        assert!(b.is_quarantined(7, now));
+        assert!(!b.allows(7, now + SimDuration::from_millis(500)));
+        assert_eq!(b.quarantines(), 1);
+        assert_eq!(b.suppressed(), 1);
+        // Another peer is unaffected.
+        assert!(b.allows(8, now));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        let now = SimTime::from_secs(1);
+        b.record_failure(7, now);
+        b.record_failure(7, now);
+        b.record_success(7);
+        assert!(!b.record_failure(7, now), "count restarted after success");
+    }
+
+    #[test]
+    fn reprobe_backoff_decays_and_success_closes() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            quarantine: SimDuration::from_secs(1),
+            backoff_factor: 2.0,
+            max_quarantine: SimDuration::from_secs(4),
+        };
+        let mut b = CircuitBreaker::new(config);
+        let t0 = SimTime::from_secs(10);
+        assert!(b.record_failure(5, t0), "threshold 1 opens immediately");
+        // Quarantined for 1 s, then exactly one probe is allowed.
+        assert!(!b.allows(5, t0 + SimDuration::from_millis(999)));
+        assert!(b.allows(5, t0 + SimDuration::from_secs(1)), "re-probe");
+        assert_eq!(b.reprobes(), 1);
+        // The probe fails: quarantine doubles to 2 s.
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert!(b.record_failure(5, t1));
+        assert!(!b.allows(5, t1 + SimDuration::from_millis(1_999)));
+        assert!(b.allows(5, t1 + SimDuration::from_secs(2)));
+        // Fails again: 4 s; again: capped at max_quarantine (4 s).
+        let t2 = t1 + SimDuration::from_secs(2);
+        assert!(b.record_failure(5, t2));
+        assert!(b.allows(5, t2 + SimDuration::from_secs(4)));
+        let t3 = t2 + SimDuration::from_secs(4);
+        assert!(b.record_failure(5, t3));
+        assert!(!b.allows(5, t3 + SimDuration::from_millis(3_999)));
+        assert!(b.allows(5, t3 + SimDuration::from_secs(4)), "capped");
+        // The probe succeeds: breaker closes, failures reset.
+        b.record_success(5);
+        assert!(b.allows(5, t3 + SimDuration::from_secs(4)));
+        assert!(
+            b.record_failure(5, t3 + SimDuration::from_secs(5)),
+            "fresh open uses base quarantine"
+        );
+        assert!(b.allows(
+            5,
+            t3 + SimDuration::from_secs(5) + SimDuration::from_secs(1)
+        ));
+    }
+
+    #[test]
+    fn resilience_counters_record_and_merge() {
+        let mut c = ResilienceCounters::default();
+        assert!(c.is_idle());
+        c.record_outage_frame();
+        c.record_crash();
+        c.record_poisoned_ad();
+        c.record_ad_retries(3);
+        c.record_ad_abandoned();
+        c.record_peer_fallback();
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            ..BreakerConfig::default()
+        });
+        b.record_failure(1, SimTime::from_secs(1));
+        let _ = b.allows(1, SimTime::from_secs(1));
+        let _ = b.allows(1, SimTime::from_secs(100));
+        c.record_breaker(&b);
+        assert!(!c.is_idle());
+        assert_eq!(c.ad_retries, 3);
+        assert_eq!(c.quarantines, 1);
+        assert_eq!(c.breaker_skips, 1);
+        assert_eq!(c.reprobes, 1);
+        let mut total = ResilienceCounters::default();
+        total.merge(&c);
+        total.merge(&c);
+        assert_eq!(total.ad_retries, 6);
+        assert_eq!(total.outage_frames, 2);
+    }
+
+    #[test]
+    fn resilience_config_defaults_off_and_validates() {
+        let off = ResilienceConfig::default();
+        assert!(off.ad_retry.is_none() && off.breaker.is_none() && off.dark_fallback.is_none());
+        assert!(off.validate().is_ok());
+        let on = ResilienceConfig::recommended();
+        assert!(on.ad_retry.is_some() && on.breaker.is_some() && on.dark_fallback.is_some());
+        assert!(on.validate().is_ok());
+        let bad = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 0,
+                ..BreakerConfig::default()
+            }),
+            ..ResilienceConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -29,13 +29,20 @@
 //! ```
 
 pub mod discovery;
+pub mod error;
+pub mod faults;
 pub mod link;
 pub mod protocol;
 pub mod proximity;
 pub mod transport;
 
 pub use discovery::{Discovery, DiscoveryConfig, NeighborTable};
+pub use error::ConfigError;
+pub use faults::{
+    BreakerConfig, CircuitBreaker, DarkFallback, FaultConfig, FaultEpisode, FaultSchedule,
+    ResilienceConfig, ResilienceCounters, RetryPolicy,
+};
 pub use link::LinkSpec;
 pub use protocol::{DecodeError, P2pMessage, RemoteHit, WireEntry};
 pub use proximity::ProximityModel;
-pub use transport::{Transport, TransportCounters};
+pub use transport::{RetryOutcome, Transport, TransportCounters};

@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use simcore::{SimDuration, SimRng};
 
+use crate::error::ConfigError;
+
 /// Latency/bandwidth/loss parameters of one radio technology.
 ///
 /// A one-way delivery of `n` bytes takes
@@ -87,27 +89,42 @@ impl LinkSpec {
         bytes.div_ceil(self.mtu)
     }
 
-    /// Validates parameter ranges.
-    ///
-    /// # Panics
-    ///
-    /// Panics if bandwidth or range is non-positive, jitter is negative,
-    /// or loss is outside `[0, 1]`.
-    pub fn validate(&self) {
-        assert!(
-            self.bandwidth_mbps > 0.0,
-            "LinkSpec: bandwidth must be positive"
-        );
-        assert!(
-            self.jitter_sigma >= 0.0,
-            "LinkSpec: jitter_sigma must be non-negative"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.loss_prob),
-            "LinkSpec: loss_prob must be in [0, 1]"
-        );
-        assert!(self.range_m > 0.0, "LinkSpec: range must be positive");
-        assert!(self.mtu > 0, "LinkSpec: mtu must be positive");
+    /// Validates parameter ranges: bandwidth, range and MTU must be
+    /// positive, jitter non-negative, and loss inside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bandwidth_mbps <= 0.0 || self.bandwidth_mbps.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "LinkSpec",
+                field: "bandwidth",
+            });
+        }
+        if self.jitter_sigma < 0.0 || self.jitter_sigma.is_nan() {
+            return Err(ConfigError::Inconsistent {
+                context: "LinkSpec",
+                message: "jitter_sigma must be non-negative",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return Err(ConfigError::OutOfRange {
+                context: "LinkSpec",
+                field: "loss_prob",
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if self.range_m <= 0.0 || self.range_m.is_nan() {
+            return Err(ConfigError::NotPositive {
+                context: "LinkSpec",
+                field: "range",
+            });
+        }
+        if self.mtu == 0 {
+            return Err(ConfigError::NotPositive {
+                context: "LinkSpec",
+                field: "mtu",
+            });
+        }
+        Ok(())
     }
 
     /// Pure serialization time for `bytes` at the link bandwidth,
@@ -153,9 +170,9 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        LinkSpec::ble().validate();
-        LinkSpec::wifi_direct().validate();
-        LinkSpec::ideal().validate();
+        assert!(LinkSpec::ble().validate().is_ok());
+        assert!(LinkSpec::wifi_direct().validate().is_ok());
+        assert!(LinkSpec::ideal().validate().is_ok());
     }
 
     #[test]
@@ -258,13 +275,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss_prob")]
     fn validates_loss() {
-        LinkSpec {
+        let err = LinkSpec {
             loss_prob: 1.5,
             ..LinkSpec::ble()
         }
-        .validate();
+        .validate()
+        .expect_err("loss outside [0, 1] must be rejected");
+        assert!(err.to_string().contains("loss_prob"), "{err}");
     }
 
     #[test]

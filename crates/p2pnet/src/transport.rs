@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use simcore::{SimDuration, SimRng};
 
+use crate::faults::RetryPolicy;
 use crate::link::LinkSpec;
 use crate::protocol::P2pMessage;
 
@@ -58,6 +59,21 @@ impl TransportCounters {
 pub struct Transport {
     link: LinkSpec,
     counters: TransportCounters,
+    /// `(latency_factor, loss_factor)` while a degraded-link fault
+    /// episode is in force; `None` is the pristine link (and the exact
+    /// pre-fault code path, draw for draw).
+    degradation: Option<(f64, f64)>,
+}
+
+/// Result of a retried send: the cumulative delay until delivery (backoff
+/// waits included), or `None` with the number of retries burned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Delay from first transmission to delivery; `None` when every
+    /// attempt was lost.
+    pub delay: Option<SimDuration>,
+    /// Retransmissions sent after the first attempt.
+    pub retries: u32,
 }
 
 impl Transport {
@@ -67,10 +83,13 @@ impl Transport {
     ///
     /// Panics if `link` is invalid.
     pub fn new(link: LinkSpec) -> Transport {
-        link.validate();
+        if let Err(e) = link.validate() {
+            panic!("{e}");
+        }
         Transport {
             link,
             counters: TransportCounters::default(),
+            degradation: None,
         }
     }
 
@@ -84,12 +103,39 @@ impl Transport {
         &self.counters
     }
 
+    /// Applies a degraded-link fault episode: base latency ×
+    /// `latency_factor`, loss probability × `loss_factor` (capped at 1).
+    pub fn set_degradation(&mut self, latency_factor: f64, loss_factor: f64) {
+        self.degradation = Some((latency_factor, loss_factor));
+    }
+
+    /// Restores the pristine link.
+    pub fn clear_degradation(&mut self) {
+        self.degradation = None;
+    }
+
+    /// Whether a degraded-link episode is in force.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_some()
+    }
+
     /// Sends one message of `bytes` bytes. Returns the delivery delay, or
     /// `None` if the link lost it.
     pub fn send_one_way(&mut self, bytes: usize, rng: &mut SimRng) -> Option<SimDuration> {
         self.counters.messages_sent += 1;
         self.counters.bytes_sent += bytes as u64;
-        match self.link.sample_one_way(bytes, rng) {
+        let sampled = match self.degradation {
+            None => self.link.sample_one_way(bytes, rng),
+            Some((latency_factor, loss_factor)) => {
+                let degraded = LinkSpec {
+                    base_latency: self.link.base_latency.mul_f64(latency_factor),
+                    loss_prob: (self.link.loss_prob * loss_factor).min(1.0),
+                    ..self.link
+                };
+                degraded.sample_one_way(bytes, rng)
+            }
+        };
+        match sampled {
             Some(delay) => {
                 self.counters.messages_delivered += 1;
                 Some(delay)
@@ -98,6 +144,34 @@ impl Transport {
                 self.counters.messages_lost += 1;
                 None
             }
+        }
+    }
+
+    /// Sends an encoded message with bounded retransmission: each lost
+    /// attempt waits `policy.backoff(attempt)` and tries again, up to
+    /// `policy.max_retries` retransmissions. Every attempt is charged to
+    /// the counters (retransmissions cost real radio bytes).
+    pub fn send_with_retry(
+        &mut self,
+        message: &P2pMessage,
+        policy: &RetryPolicy,
+        rng: &mut SimRng,
+    ) -> RetryOutcome {
+        let mut waited = SimDuration::ZERO;
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                waited += policy.backoff(attempt - 1);
+            }
+            if let Some(delay) = self.send_message(message, rng) {
+                return RetryOutcome {
+                    delay: Some(waited + delay),
+                    retries: attempt,
+                };
+            }
+        }
+        RetryOutcome {
+            delay: None,
+            retries: policy.max_retries,
         }
     }
 
@@ -199,6 +273,112 @@ mod tests {
             assert_eq!(c.messages_sent, 500, "{}", t.link());
             assert_eq!(c.messages_delivered + c.messages_lost, c.messages_sent);
             assert_eq!(c.bytes_sent, expected_bytes);
+        }
+    }
+
+    #[test]
+    fn degradation_multiplies_latency_and_loss() {
+        let mut t = Transport::new(LinkSpec::wifi_direct());
+        assert!(!t.is_degraded());
+        t.set_degradation(10.0, 30.0);
+        assert!(t.is_degraded());
+        let mut rng = SimRng::seed(11);
+        let mut lost = 0;
+        let mut sum_ms = 0.0;
+        let mut delivered = 0;
+        for _ in 0..2_000 {
+            match t.send_one_way(100, &mut rng) {
+                Some(d) => {
+                    sum_ms += d.as_millis_f64();
+                    delivered += 1;
+                }
+                None => lost += 1,
+            }
+        }
+        // 1% loss × 30 = 30%; 3 ms base × 10 = ~30 ms one-way.
+        let loss_rate = f64::from(lost) / 2_000.0;
+        assert!((loss_rate - 0.30).abs() < 0.04, "loss rate {loss_rate}");
+        let mean = sum_ms / f64::from(delivered);
+        assert!((mean - 30.0).abs() < 5.0, "mean one-way {mean} ms");
+        // Clearing restores the pristine link.
+        t.clear_degradation();
+        let mut lost = 0;
+        for _ in 0..2_000 {
+            if t.send_one_way(100, &mut rng).is_none() {
+                lost += 1;
+            }
+        }
+        assert!(f64::from(lost) / 2_000.0 < 0.04);
+    }
+
+    #[test]
+    fn retry_recovers_losses_and_charges_every_attempt() {
+        let lossy = LinkSpec {
+            loss_prob: 0.5,
+            ..LinkSpec::wifi_direct()
+        };
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_millis(40),
+            backoff_factor: 2.0,
+        };
+        let mut t = Transport::new(lossy);
+        let mut rng = SimRng::seed(12);
+        let m = P2pMessage::Query {
+            query_id: 1,
+            key: FeatureVector::from_vec(vec![0.0; 8]).unwrap(),
+        };
+        let mut delivered = 0u32;
+        let mut retries = 0u64;
+        for _ in 0..1_000 {
+            let outcome = t.send_with_retry(&m, &policy, &mut rng);
+            if outcome.delay.is_some() {
+                delivered += 1;
+            }
+            retries += u64::from(outcome.retries);
+        }
+        // P(all 4 attempts lost) = 0.5⁴ = 6.25%.
+        let rate = f64::from(delivered) / 1_000.0;
+        assert!((rate - 0.9375).abs() < 0.03, "delivery rate {rate}");
+        assert!(retries > 300, "lossy link must retry often, got {retries}");
+        let c = t.counters();
+        assert_eq!(c.messages_sent, 1_000 + retries, "every attempt counted");
+    }
+
+    #[test]
+    fn retry_delay_includes_backoff_waits() {
+        // First leg always lost, second always delivered: delay must be
+        // the 40 ms backoff plus the link latency.
+        let flaky = LinkSpec {
+            loss_prob: 0.5,
+            jitter_sigma: 0.0,
+            ..LinkSpec::wifi_direct()
+        };
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: SimDuration::from_millis(40),
+            backoff_factor: 2.0,
+        };
+        let mut t = Transport::new(flaky);
+        let mut rng = SimRng::seed(13);
+        let m = P2pMessage::Query {
+            query_id: 2,
+            key: FeatureVector::from_vec(vec![0.0; 8]).unwrap(),
+        };
+        for _ in 0..200 {
+            let outcome = t.send_with_retry(&m, &policy, &mut rng);
+            if let Some(delay) = outcome.delay {
+                let mut expected_backoff = SimDuration::ZERO;
+                for r in 0..outcome.retries {
+                    expected_backoff += policy.backoff(r);
+                }
+                assert!(
+                    delay >= expected_backoff,
+                    "delay {delay} must include {expected_backoff} of backoff"
+                );
+            } else {
+                assert_eq!(outcome.retries, policy.max_retries);
+            }
         }
     }
 

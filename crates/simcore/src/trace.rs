@@ -138,6 +138,12 @@ pub struct FrameTrace {
     pub local: TraceLookup,
     /// Peer tier activity.
     pub peer: TracePeer,
+    /// Whether an injected radio outage covered this frame (the peer
+    /// tier was unreachable regardless of what the device wanted).
+    pub radio_dark: bool,
+    /// Whether the device skipped the peer tier because its dark-peer
+    /// fallback was in force (graceful degradation, no peer-wait paid).
+    pub peer_fallback: bool,
     /// Final resolution.
     pub path: TracePath,
     /// End-to-end frame latency.
@@ -236,6 +242,8 @@ mod tests {
             scene_changed: None,
             local: TraceLookup::Miss(TraceMissReason::EmptyIndex),
             peer: TracePeer::default(),
+            radio_dark: false,
+            peer_fallback: false,
             path: TracePath::Infer,
             latency: SimDuration::from_millis(80),
             energy: Millijoules::new(1.0),

@@ -55,7 +55,7 @@ mod tests {
     #[test]
     fn museum_is_dense_and_collaborative() {
         let s = museum(8);
-        s.validate();
+        s.validate().expect("scenario validates");
         assert_eq!(s.devices, 8);
         assert_eq!(s.scene.world_extent, 12.0);
         assert!(s.name.contains("x8"));
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn campus_is_spread_out() {
         let s = campus(4);
-        s.validate();
+        s.validate().expect("scenario validates");
         assert!(s.spawn_spacing > museum(4).spawn_spacing);
         assert!(s.scene.world_extent > museum(4).scene.world_extent);
     }

@@ -157,14 +157,15 @@ mod tests {
             distance_threshold: threshold,
             ..ann::AknnConfig::default()
         });
-        Device::new(
+        approxcache::DeviceBuilder::new(
             DeviceId(0),
-            variant,
             &config,
             &recording.universe(),
             recording.scene.descriptor_dim,
             33,
         )
+        .variant(variant)
+        .build()
     }
 
     #[test]

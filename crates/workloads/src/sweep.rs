@@ -1,6 +1,6 @@
 //! Sweep helpers and the run matrix.
 
-use approxcache::{run_scenario, PipelineConfig, RunReport, Scenario, SystemVariant};
+use approxcache::{run, Detail, PipelineConfig, RunReport, Scenario, SystemVariant};
 
 /// One cell of a scenario × variant matrix.
 #[derive(Debug, Clone)]
@@ -29,7 +29,9 @@ pub fn run_matrix(
             let cell_seed = seed
                 .wrapping_mul(1_000_003)
                 .wrapping_add(scenario_index as u64);
-            let report = run_scenario(scenario, &config, *variant, cell_seed);
+            let report = run(scenario, &config, *variant, cell_seed, Detail::Summary)
+                .expect("valid scenario")
+                .report;
             cells.push(MatrixCell {
                 scenario: scenario.name.clone(),
                 variant: *variant,
@@ -73,7 +75,9 @@ pub fn run_matrix_parallel(
                 let cell_seed = seed
                     .wrapping_mul(1_000_003)
                     .wrapping_add(scenario_index as u64);
-                let report = run_scenario(scenario, &config, variant, cell_seed);
+                let report = run(scenario, &config, variant, cell_seed, Detail::Summary)
+                    .expect("valid scenario")
+                    .report;
                 **slot_refs[job].lock().expect("slot lock") = Some(MatrixCell {
                     scenario: scenario.name.clone(),
                     variant,

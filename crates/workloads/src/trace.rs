@@ -61,7 +61,7 @@ fn write_json<P: AsRef<Path>, T: serde::Serialize>(path: P, value: &T) -> io::Re
 mod tests {
     use super::*;
     use crate::video;
-    use approxcache::{run_scenario, PipelineConfig, SystemVariant};
+    use approxcache::{run, Detail, PipelineConfig, SystemVariant};
     use simcore::SimDuration;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -82,7 +82,9 @@ mod tests {
     fn report_round_trip() {
         let scenario = video::stationary().with_duration(SimDuration::from_secs(2));
         let config = PipelineConfig::calibrated(&scenario, 1);
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, 1);
+        let report = run(&scenario, &config, SystemVariant::Full, 1, Detail::Summary)
+            .expect("valid scenario")
+            .report;
         let path = temp_path("report.json");
         save_report(&report, &path).unwrap();
         let loaded = load_report(&path).unwrap();

@@ -75,7 +75,7 @@ mod tests {
         let scenarios = all();
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         for s in &scenarios {
-            s.validate();
+            s.validate().expect("scenario validates");
             assert_eq!(s.devices, 1);
         }
         names.sort_unstable();

@@ -91,6 +91,7 @@ const UNIT_HOME_FILES: &[&str] = &["crates/simcore/src/units.rs", "crates/simcor
 const COUNTER_HOME_FILES: &[&str] = &[
     "crates/reuse/src/stats.rs",
     "crates/p2pnet/src/transport.rs",
+    "crates/p2pnet/src/faults.rs",
 ];
 
 /// Counter-registry fields whose increments must go through helpers.
@@ -113,6 +114,16 @@ const COUNTER_FIELDS: &[&str] = &[
     "messages_delivered",
     "messages_lost",
     "bytes_sent",
+    // p2pnet::ResilienceCounters
+    "outage_frames",
+    "crashes",
+    "poisoned_ads",
+    "ad_retries",
+    "ad_abandoned",
+    "quarantines",
+    "reprobes",
+    "breaker_skips",
+    "peer_fallbacks",
 ];
 
 /// Everything the rules know about one file.

@@ -11,7 +11,9 @@
 use approx_caching::cache::CacheSnapshot;
 use approx_caching::inertial::{ImuSynthesizer, MotionProfile, MotionTrace};
 use approx_caching::runtime::{SimDuration, SimRng, SimTime};
-use approx_caching::system::{Device, DeviceId, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::system::{
+    Device, DeviceBuilder, DeviceId, PipelineConfig, ResolutionPath, SystemVariant,
+};
 use approx_caching::vision::{ClassUniverse, FrameRenderer, SceneConfig, World};
 
 /// Runs one 15-second session, returning the device (with its cache) and
@@ -65,14 +67,9 @@ fn main() {
     let config = PipelineConfig::new().with_peer(None);
 
     // Session 1: cold start.
-    let mut first = Device::new(
-        DeviceId(0),
-        SystemVariant::Full,
-        &config,
-        &universe,
-        256,
-        seed,
-    );
+    let mut first = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, seed)
+        .variant(SystemVariant::Full)
+        .build();
     let mut rng = root.split("frames-1");
     let cold_inferences = run_session(&mut first, &world, &renderer, &trace, &imu, &mut rng);
 
@@ -90,27 +87,17 @@ fn main() {
     // "App relaunched": a fresh process — and a fresh device — restores.
     let parsed: CacheSnapshot<approx_caching::vision::ClassId> =
         CacheSnapshot::from_json(&json).expect("snapshot parses");
-    let mut warm = Device::new(
-        DeviceId(0),
-        SystemVariant::Full,
-        &config,
-        &universe,
-        256,
-        seed,
-    );
+    let mut warm = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, seed)
+        .variant(SystemVariant::Full)
+        .build();
     let restored = warm.cache().with(|c| parsed.restore_into(c, SimTime::ZERO));
     let mut rng = root.split("frames-1"); // identical second session
     let warm_inferences = run_session(&mut warm, &world, &renderer, &trace, &imu, &mut rng);
 
     // Control: the same second session without restoring.
-    let mut cold2 = Device::new(
-        DeviceId(0),
-        SystemVariant::Full,
-        &config,
-        &universe,
-        256,
-        seed,
-    );
+    let mut cold2 = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, seed)
+        .variant(SystemVariant::Full)
+        .build();
     let mut rng = root.split("frames-1");
     let cold2_inferences = run_session(&mut cold2, &world, &renderer, &trace, &imu, &mut rng);
 

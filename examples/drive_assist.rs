@@ -12,7 +12,7 @@ use approx_caching::inertial::MotionProfile;
 use approx_caching::inference::zoo;
 use approx_caching::runtime::table::{fnum, fpct, Table};
 use approx_caching::runtime::SimDuration;
-use approx_caching::system::{run_scenario, PipelineConfig, Scenario, SystemVariant};
+use approx_caching::system::{run, Detail, PipelineConfig, Scenario, SystemVariant};
 use approx_caching::vision::SceneConfig;
 
 fn main() {
@@ -35,7 +35,9 @@ fn main() {
 
     let mut table = Table::new(vec!["system", "mean_ms", "p99_ms", "accuracy", "reuse"]);
     for variant in [SystemVariant::NoCache, SystemVariant::LocalApprox] {
-        let report = run_scenario(&scenario, &config, variant, seed);
+        let report = run(&scenario, &config, variant, seed, Detail::Summary)
+            .expect("valid scenario")
+            .report;
         table.row(vec![
             variant.to_string(),
             fnum(report.latency_ms.mean, 1),

@@ -8,7 +8,7 @@
 
 use approx_caching::runtime::table::{fnum, fpct, Table};
 use approx_caching::runtime::SimDuration;
-use approx_caching::system::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::system::{run, Detail, PipelineConfig, ResolutionPath, SystemVariant};
 use approx_caching::workload::multi;
 
 fn main() {
@@ -29,7 +29,9 @@ fn main() {
         SystemVariant::LocalApprox,
         SystemVariant::Full,
     ] {
-        let report = run_scenario(&scenario, &config, variant, seed);
+        let report = run(&scenario, &config, variant, seed, Detail::Summary)
+            .expect("valid scenario")
+            .report;
         table.row(vec![
             variant.to_string(),
             fnum(report.latency_ms.mean, 2),

@@ -6,7 +6,7 @@
 //! ```
 
 use approx_caching::runtime::SimDuration;
-use approx_caching::system::{run_scenario, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::system::{run, Detail, PipelineConfig, ResolutionPath, SystemVariant};
 use approx_caching::workload::video;
 
 fn main() {
@@ -25,8 +25,24 @@ fn main() {
         config.cache.aknn.distance_threshold
     );
 
-    let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, seed);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, seed);
+    let baseline = run(
+        &scenario,
+        &config,
+        SystemVariant::NoCache,
+        seed,
+        Detail::Summary,
+    )
+    .expect("valid scenario")
+    .report;
+    let full = run(
+        &scenario,
+        &config,
+        SystemVariant::Full,
+        seed,
+        Detail::Summary,
+    )
+    .expect("valid scenario")
+    .report;
 
     println!("{baseline}");
     println!("{full}");

@@ -12,7 +12,9 @@ use approx_caching::inertial::MotionProfile;
 use approx_caching::runtime::table::{fpct, Table};
 use approx_caching::runtime::SimDuration;
 use approx_caching::search::AknnConfig;
-use approx_caching::system::{Device, DeviceId, PipelineConfig, ResolutionPath, SystemVariant};
+use approx_caching::system::{
+    DeviceBuilder, DeviceId, PipelineConfig, ResolutionPath, SystemVariant,
+};
 use approx_caching::vision::SceneConfig;
 use approx_caching::workload::StreamRecording;
 
@@ -71,14 +73,15 @@ fn main() {
 
     let mut table = Table::new(vec!["configuration", "reuse", "accuracy", "inferences"]);
     for (label, config) in candidates {
-        let mut device = Device::new(
+        let mut device = DeviceBuilder::new(
             DeviceId(0),
-            SystemVariant::Full,
             &config,
             &universe,
             recording.scene.descriptor_dim,
             seed,
-        );
+        )
+        .variant(SystemVariant::Full)
+        .build();
         let outcomes = recording.replay_on(&mut device);
         let inferences = outcomes
             .iter()

@@ -10,7 +10,7 @@
 use approx_caching::runtime::table::{fnum, fpct, Table};
 use approx_caching::runtime::SimDuration;
 use approx_caching::search::AknnConfig;
-use approx_caching::system::{run_scenario, PipelineConfig, SystemVariant};
+use approx_caching::system::{run, Detail, PipelineConfig, SystemVariant};
 use approx_caching::workload::{sweep, video};
 
 fn main() {
@@ -28,7 +28,15 @@ fn main() {
                 distance_threshold: threshold,
                 ..calibrated.cache.aknn
             }));
-        let report = run_scenario(&scenario, &config, SystemVariant::Full, seed);
+        let report = run(
+            &scenario,
+            &config,
+            SystemVariant::Full,
+            seed,
+            Detail::Summary,
+        )
+        .expect("valid scenario")
+        .report;
         table.row(vec![
             fnum(threshold, 2),
             fpct(report.reuse_rate()),

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 use approx_caching::inertial::MotionProfile;
 use approx_caching::runtime::SimDuration;
-use approx_caching::system::{run_scenario, PipelineConfig, Scenario, SystemVariant};
+use approx_caching::system::{run, Detail, PipelineConfig, Scenario, SystemVariant};
 use approx_caching::workload::{multi, trace, video};
 
 const USAGE: &str = "\
@@ -157,7 +157,9 @@ fn main() -> ExitCode {
             "running {} / {} for {}s at {} fps (seed {})…",
             scenario.name, variant, args.seconds, args.fps, args.seed
         );
-        let report = run_scenario(&scenario, &config, variant, args.seed);
+        let report = run(&scenario, &config, variant, args.seed, Detail::Summary)
+            .map_err(|e| e.to_string())?
+            .report;
         println!("{report}");
         println!(
             "battery: {:.1}%/hour of continuous streaming (15.4 Wh battery)",

@@ -25,14 +25,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use approx_caching::system::{run_scenario, PipelineConfig, SystemVariant};
+//! use approx_caching::system::{run, Detail, PipelineConfig, SystemVariant};
 //! use approx_caching::workload::video;
 //! use approx_caching::runtime::SimDuration;
 //!
 //! let scenario = video::stationary().with_duration(SimDuration::from_secs(5));
 //! let config = PipelineConfig::calibrated(&scenario, 42);
-//! let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, 42);
-//! let full = run_scenario(&scenario, &config, SystemVariant::Full, 42);
+//! let baseline = run(&scenario, &config, SystemVariant::NoCache, 42, Detail::Summary)
+//!     .expect("valid scenario")
+//!     .report;
+//! let full = run(&scenario, &config, SystemVariant::Full, 42, Detail::Summary)
+//!     .expect("valid scenario")
+//!     .report;
 //! assert!(full.latency_ms.mean < baseline.latency_ms.mean);
 //! ```
 

@@ -2,12 +2,23 @@
 //! catastrophically, when components misbehave.
 
 use approx_caching::inertial::MotionProfile;
-use approx_caching::network::LinkSpec;
-use approx_caching::runtime::SimDuration;
+use approx_caching::network::{FaultConfig, LinkSpec, ResilienceConfig};
+use approx_caching::runtime::{SimDuration, TracePath};
 use approx_caching::system::{
-    run_scenario, PipelineConfig, ResolutionPath, Scenario, SystemVariant,
+    run, Detail, PipelineConfig, ResolutionPath, RunReport, Scenario, SystemVariant,
 };
 use approx_caching::workload::{multi, video};
+
+fn run_summary(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    variant: SystemVariant,
+    seed: u64,
+) -> RunReport {
+    run(scenario, config, variant, seed, Detail::Summary)
+        .expect("valid scenario")
+        .report
+}
 
 #[test]
 // Exact comparison is intentional: zero peer hits yields exactly 0.0.
@@ -21,13 +32,13 @@ fn total_radio_loss_degrades_to_local_only() {
         loss_prob: 1.0,
         ..LinkSpec::wifi_direct()
     };
-    let report = run_scenario(&scenario, &config, SystemVariant::Full, 41);
+    let report = run_summary(&scenario, &config, SystemVariant::Full, 41);
     assert_eq!(
         report.path_fraction(ResolutionPath::PeerCache),
         0.0,
         "no peer hits over a dead radio"
     );
-    let baseline = run_scenario(&scenario, &config, SystemVariant::NoCache, 41);
+    let baseline = run_summary(&scenario, &config, SystemVariant::NoCache, 41);
     assert!(report.latency_ms.mean < baseline.latency_ms.mean / 2.0);
     // Queries were attempted and lost — they must be accounted.
     assert!(report.network.messages_lost > 0);
@@ -42,8 +53,8 @@ fn slow_radio_does_not_make_full_system_worse_than_local() {
     let scenario = multi::museum(6).with_duration(SimDuration::from_secs(8));
     let mut config = PipelineConfig::calibrated(&scenario, 42);
     config.peer.as_mut().expect("peers configured").link = LinkSpec::ble();
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 42);
-    let local = run_scenario(&scenario, &config, SystemVariant::NoPeer, 42);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 42);
+    let local = run_summary(&scenario, &config, SystemVariant::NoPeer, 42);
     assert!(
         full.latency_ms.mean < local.latency_ms.mean * 1.5,
         "BLE peers made things much worse: {} vs {}",
@@ -63,7 +74,7 @@ fn tiny_cache_still_works_correctly() {
     config.cache = reuse::CacheConfig::new(1)
         .with_aknn(config.cache.aknn)
         .with_admission(config.cache.admission);
-    let report = run_scenario(&scenario, &config, SystemVariant::Full, 43);
+    let report = run_summary(&scenario, &config, SystemVariant::Full, 43);
     assert_eq!(report.cache.lookups, report.cache.hits + report.cache.misses());
     assert!(report.accuracy > 0.5);
 }
@@ -79,8 +90,8 @@ fn violent_motion_stream_never_reuses_wrongly_much() {
     .with_name("whiplash")
     .with_duration(SimDuration::from_secs(8));
     let config = PipelineConfig::calibrated(&scenario, 44);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 44);
-    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 44);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 44);
+    let base = run_summary(&scenario, &config, SystemVariant::NoCache, 44);
     assert!(
         full.accuracy > base.accuracy - 0.1,
         "whiplash accuracy {} vs baseline {}",
@@ -98,7 +109,7 @@ fn empty_imu_windows_are_tolerated() {
     scenario.fps = 30.0;
     scenario.imu_rate_hz = 20.0;
     let config = PipelineConfig::calibrated(&scenario, 45);
-    let report = run_scenario(&scenario, &config, SystemVariant::Full, 45);
+    let report = run_summary(&scenario, &config, SystemVariant::Full, 45);
     assert_eq!(report.frames, 120);
     assert!(report.reuse_rate() > 0.5);
 }
@@ -114,8 +125,8 @@ fn heavy_occlusion_degrades_gracefully() {
     let mut scenario = video::turn_and_look().with_duration(SimDuration::from_secs(10));
     scenario.scene.occlusion_fraction = 0.3;
     let config = PipelineConfig::calibrated(&scenario, 47);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 47);
-    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 47);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 47);
+    let base = run_summary(&scenario, &config, SystemVariant::NoCache, 47);
     assert!(
         full.accuracy > base.accuracy - 0.15,
         "occluded full {} vs base {}",
@@ -141,12 +152,103 @@ fn adversarially_low_confidence_model_cannot_poison_caches() {
         top1_accuracy: 0.40,
         ..dnnsim::zoo::mobilenet_v2()
     };
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 46);
-    let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 46);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 46);
+    let base = run_summary(&scenario, &config, SystemVariant::NoCache, 46);
     assert!(
         full.accuracy >= base.accuracy - 0.05,
         "weak-model full {} vs base {}",
         full.accuracy,
         base.accuracy
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults (the deterministic p2pnet fault schedule, not config
+// sabotage): the system must absorb radio outages, crashes and poisoned
+// advertisements without ever cheating — a dark radio yields no peer
+// hits — and without collapsing below the no-cache floor.
+// ---------------------------------------------------------------------------
+
+fn stormy_museum(seconds: u64) -> Scenario {
+    multi::museum(6)
+        .with_duration(SimDuration::from_secs(seconds))
+        .with_faults(FaultConfig {
+            outage_fraction: 0.3,
+            outage_mean: SimDuration::from_secs(2),
+            crashes_per_device_minute: 1.0,
+            poison_prob: 0.05,
+            ..FaultConfig::default()
+        })
+}
+
+fn armed(mut config: PipelineConfig) -> PipelineConfig {
+    if let Some(peer) = config.peer.as_mut() {
+        peer.resilience = Some(ResilienceConfig::recommended());
+    }
+    config
+}
+
+#[test]
+fn dark_frames_never_resolve_via_peers() {
+    // The invariant the fault layer must uphold: a frame processed while
+    // the device's radio is dark can never be answered from a peer cache.
+    let scenario = stormy_museum(12);
+    let config = armed(PipelineConfig::calibrated(&scenario, 48).with_trace_capacity(Some(16_384)));
+    let result =
+        run(&scenario, &config, SystemVariant::Full, 48, Detail::Full).expect("valid scenario");
+    let dark: Vec<_> = result
+        .traces
+        .iter()
+        .flatten()
+        .filter(|t| t.radio_dark)
+        .collect();
+    assert!(!dark.is_empty(), "30% outage must darken some frames");
+    for trace in &dark {
+        assert_ne!(
+            trace.path,
+            TracePath::PeerHit,
+            "frame at {:?} resolved via a peer while its radio was dark",
+            trace.at
+        );
+    }
+}
+
+#[test]
+fn injected_faults_degrade_gracefully_not_catastrophically() {
+    // Under 30% outage, crashes and ad poisoning, the resilient full
+    // system must still beat no-cache under the *same* faults, and the
+    // run's counters must prove the faults actually fired.
+    let scenario = stormy_museum(12);
+    let config = armed(PipelineConfig::calibrated(&scenario, 49));
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 49);
+    let base = run_summary(&scenario, &config, SystemVariant::NoCache, 49);
+    assert!(
+        full.latency_ms.mean < base.latency_ms.mean * 0.7,
+        "resilient full {} vs no-cache {}",
+        full.latency_ms.mean,
+        base.latency_ms.mean
+    );
+    assert!(full.faults.outage_frames > 0, "outages never fired");
+    assert!(full.faults.crashes > 0, "crashes never fired");
+    assert!(base.faults.outage_frames > 0, "baseline dodged the storm");
+}
+
+#[test]
+fn fault_injection_is_deterministic_in_seed() {
+    // Same scenario + seed under heavy faults => byte-identical reports;
+    // a different seed must actually move the fault episodes.
+    let scenario = stormy_museum(10);
+    let config = armed(PipelineConfig::calibrated(&scenario, 50));
+    let a = run_summary(&scenario, &config, SystemVariant::Full, 50);
+    let b = run_summary(&scenario, &config, SystemVariant::Full, 50);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "identical seeds must replay identical faulted runs"
+    );
+    let c = run_summary(&scenario, &config, SystemVariant::Full, 51);
+    assert_ne!(
+        a.faults, c.faults,
+        "a different seed must draw different fault episodes"
     );
 }

@@ -3,9 +3,20 @@
 use approx_caching::runtime::SimDuration;
 #[rustfmt::skip]
 use approx_caching::system::{
-    run_scenario, PipelineConfig, ResolutionPath, SystemVariant,
+    run, Detail, PipelineConfig, ResolutionPath, RunReport, Scenario, SystemVariant,
 };
 use approx_caching::workload::{multi, video};
+
+fn run_summary(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    variant: SystemVariant,
+    seed: u64,
+) -> RunReport {
+    run(scenario, config, variant, seed, Detail::Summary)
+        .expect("valid scenario")
+        .report
+}
 
 fn quick(scenario: approx_caching::system::Scenario) -> approx_caching::system::Scenario {
     scenario.with_duration(SimDuration::from_secs(10))
@@ -18,8 +29,8 @@ fn full_system_beats_no_cache_on_every_reuse_friendly_scenario() {
     for scenario in [video::stationary(), video::slow_pan(), video::turn_and_look()] {
         let scenario = quick(scenario);
         let config = PipelineConfig::calibrated(&scenario, 21);
-        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 21);
-        let full = run_scenario(&scenario, &config, SystemVariant::Full, 21);
+        let base = run_summary(&scenario, &config, SystemVariant::NoCache, 21);
+        let full = run_summary(&scenario, &config, SystemVariant::Full, 21);
         let reduction = full.latency_reduction_vs(&base);
         assert!(
             reduction > 0.5,
@@ -39,8 +50,8 @@ fn accuracy_loss_stays_minimal() {
     for scenario in video::headline_set() {
         let scenario = quick(scenario);
         let config = PipelineConfig::calibrated(&scenario, 22);
-        let base = run_scenario(&scenario, &config, SystemVariant::NoCache, 22);
-        let full = run_scenario(&scenario, &config, SystemVariant::Full, 22);
+        let base = run_summary(&scenario, &config, SystemVariant::NoCache, 22);
+        let full = run_summary(&scenario, &config, SystemVariant::Full, 22);
         let delta = full.accuracy_delta_vs(&base);
         assert!(
             delta > -0.05,
@@ -57,8 +68,8 @@ fn exact_cache_barely_reuses() {
     // absorb sensor noise, so it reuses (nearly) nothing.
     let scenario = quick(video::slow_pan());
     let config = PipelineConfig::calibrated(&scenario, 23);
-    let exact = run_scenario(&scenario, &config, SystemVariant::ExactCache, 23);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 23);
+    let exact = run_summary(&scenario, &config, SystemVariant::ExactCache, 23);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 23);
     assert!(
         exact.reuse_rate() < 0.05,
         "exact cache reused {:.1}%",
@@ -73,9 +84,9 @@ fn baseline_ordering_holds_in_the_museum() {
     // (or at least never hurts) in a shared-world scenario.
     let scenario = multi::museum(6).with_duration(SimDuration::from_secs(10));
     let config = PipelineConfig::calibrated(&scenario, 24);
-    let no_cache = run_scenario(&scenario, &config, SystemVariant::NoCache, 24);
-    let local = run_scenario(&scenario, &config, SystemVariant::LocalApprox, 24);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 24);
+    let no_cache = run_summary(&scenario, &config, SystemVariant::NoCache, 24);
+    let local = run_summary(&scenario, &config, SystemVariant::LocalApprox, 24);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 24);
     assert!(local.latency_ms.mean < no_cache.latency_ms.mean);
     assert!(full.latency_ms.mean <= local.latency_ms.mean * 1.1);
     assert!(full.path_fraction(ResolutionPath::PeerCache) > 0.0);
@@ -87,8 +98,8 @@ fn baseline_ordering_holds_in_the_museum() {
 fn peer_traffic_only_flows_when_peers_enabled() {
     let scenario = multi::museum(4).with_duration(SimDuration::from_secs(6));
     let config = PipelineConfig::calibrated(&scenario, 25);
-    let full = run_scenario(&scenario, &config, SystemVariant::Full, 25);
-    let solo = run_scenario(&scenario, &config, SystemVariant::NoPeer, 25);
+    let full = run_summary(&scenario, &config, SystemVariant::Full, 25);
+    let solo = run_summary(&scenario, &config, SystemVariant::NoPeer, 25);
     assert!(full.network.bytes_sent > 0);
     assert_eq!(solo.network.bytes_sent, 0);
     assert_eq!(solo.path_fraction(ResolutionPath::PeerCache), 0.0);
@@ -98,8 +109,8 @@ fn peer_traffic_only_flows_when_peers_enabled() {
 fn whole_runs_are_reproducible_from_the_seed() {
     let scenario = multi::museum(3).with_duration(SimDuration::from_secs(6));
     let config = PipelineConfig::calibrated(&scenario, 26);
-    let a = run_scenario(&scenario, &config, SystemVariant::Full, 26);
-    let b = run_scenario(&scenario, &config, SystemVariant::Full, 26);
+    let a = run_summary(&scenario, &config, SystemVariant::Full, 26);
+    let b = run_summary(&scenario, &config, SystemVariant::Full, 26);
     assert_eq!(a.latencies_ms, b.latencies_ms);
     assert_eq!(a.path_counts, b.path_counts);
     assert_eq!(a.network, b.network);
@@ -112,10 +123,10 @@ fn whole_runs_are_reproducible_from_the_seed() {
 fn frame_counts_match_duration_times_fps() {
     let scenario = quick(video::stationary());
     let config = PipelineConfig::calibrated(&scenario, 27);
-    let report = run_scenario(&scenario, &config, SystemVariant::Full, 27);
+    let report = run_summary(&scenario, &config, SystemVariant::Full, 27);
     assert_eq!(report.frames, 100, "10 s at 10 fps on one device");
     let multi = multi::museum(4).with_duration(SimDuration::from_secs(5));
-    let report = run_scenario(&multi, &PipelineConfig::calibrated(&multi, 27), SystemVariant::Full, 27);
+    let report = run_summary(&multi, &PipelineConfig::calibrated(&multi, 27), SystemVariant::Full, 27);
     assert_eq!(report.frames, 200, "5 s at 10 fps on four devices");
 }
 
@@ -125,7 +136,7 @@ fn frame_counts_match_duration_times_fps() {
 fn lookup_and_stats_invariants_hold_end_to_end() {
     let scenario = quick(video::walking_tour());
     let config = PipelineConfig::calibrated(&scenario, 28);
-    let report = run_scenario(&scenario, &config, SystemVariant::Full, 28);
+    let report = run_summary(&scenario, &config, SystemVariant::Full, 28);
     // Cache arithmetic: every lookup is a hit or a categorized miss.
     assert_eq!(report.cache.lookups, report.cache.hits + report.cache.misses());
     // Path counts sum to frames.

@@ -3,9 +3,7 @@
 //! traced run must reconcile exactly with its own summary.
 
 use approx_caching::runtime::{SimDuration, TraceGate, TraceLookup, TracePath};
-use approx_caching::system::{
-    run_scenario_detailed, PipelineConfig, ResolutionPath, SystemVariant,
-};
+use approx_caching::system::{run, Detail, PipelineConfig, ResolutionPath, SystemVariant};
 use approx_caching::workload::video;
 
 fn traced_run(
@@ -14,7 +12,7 @@ fn traced_run(
 ) -> approx_caching::system::SimResult {
     let scenario = scenario.with_duration(SimDuration::from_secs(10));
     let config = PipelineConfig::calibrated(&scenario, seed).with_trace_capacity(Some(8192));
-    run_scenario_detailed(&scenario, &config, SystemVariant::Full, seed)
+    run(&scenario, &config, SystemVariant::Full, seed, Detail::Full).expect("valid scenario")
 }
 
 #[test]
@@ -86,4 +84,48 @@ fn traces_reconcile_with_cache_and_latency_totals() {
         "trace mean {mean_ms} vs report mean {}",
         result.report.latency_ms.mean
     );
+}
+
+#[test]
+fn fault_counters_reconcile_with_traces() {
+    // Under injected faults, the per-frame trace flags and the report's
+    // aggregate resilience counters are two views of the same events:
+    // dark-frame traces must count exactly `outage_frames`, and
+    // fallback-flagged traces exactly `peer_fallbacks`.
+    let mut scenario = approx_caching::workload::multi::museum(4)
+        .with_duration(SimDuration::from_secs(12))
+        .with_faults(approx_caching::network::FaultConfig {
+            outage_fraction: 0.3,
+            outage_mean: SimDuration::from_secs(2),
+            ..approx_caching::network::FaultConfig::default()
+        });
+    scenario.name = "museum-trace-faults".to_owned();
+    let mut config = PipelineConfig::calibrated(&scenario, 65).with_trace_capacity(Some(16_384));
+    if let Some(peer) = config.peer.as_mut() {
+        peer.resilience = Some(approx_caching::network::ResilienceConfig::recommended());
+    }
+    let result =
+        run(&scenario, &config, SystemVariant::Full, 65, Detail::Full).expect("valid scenario");
+    let traces: Vec<_> = result.traces.iter().flatten().collect();
+    assert_eq!(
+        traces.len(),
+        result.report.frames,
+        "every frame must be traced"
+    );
+    let dark = traces.iter().filter(|t| t.radio_dark).count() as u64;
+    let fallbacks = traces.iter().filter(|t| t.peer_fallback).count() as u64;
+    assert!(dark > 0, "30% outage must darken some traced frames");
+    assert_eq!(
+        dark, result.report.faults.outage_frames,
+        "dark-frame traces disagree with the outage counter"
+    );
+    assert_eq!(
+        fallbacks, result.report.faults.peer_fallbacks,
+        "fallback traces disagree with the fallback counter"
+    );
+    // A dark or fallback frame never pays peer-tier latency: its trace
+    // records zero peer attempts.
+    for t in traces.iter().filter(|t| t.radio_dark || t.peer_fallback) {
+        assert_eq!(t.peer.attempts, 0, "dark/fallback frame queried peers");
+    }
 }

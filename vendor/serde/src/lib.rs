@@ -439,6 +439,21 @@ pub fn __field<T: Deserialize>(obj: &Map, ty: &str, name: &str) -> Result<T, DeE
     T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{name}: {e}")))
 }
 
+/// Fetches and deserializes a struct field from an object value, falling
+/// back to `Default::default()` when the key is absent (the derive's
+/// `#[serde(default)]` support).
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &Map,
+    ty: &str,
+    name: &str,
+) -> Result<T, DeError> {
+    match obj.get(name) {
+        None => Ok(T::default()),
+        Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{name}: {e}"))),
+    }
+}
+
 /// Interprets an externally tagged enum value as `(tag, payload)`.
 #[doc(hidden)]
 pub fn __enum_parts<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), DeError> {

@@ -9,8 +9,12 @@
 //! Supported shapes: unit/tuple/named structs, enums with unit, tuple and
 //! struct variants, one level of type generics, and the field attributes
 //! `#[serde(skip)]` (omitted on serialize, `Default::default()` on
-//! deserialize) and `#[serde(rename = "...")]` (the string replaces the
-//! field name as the object key in both directions). Container-level
+//! deserialize), `#[serde(rename = "...")]` (the string replaces the
+//! field name as the object key in both directions),
+//! `#[serde(default)]` (a missing key deserializes as
+//! `Default::default()` instead of erroring), and
+//! `#[serde(skip_serializing_if = "path")]` (the field is omitted from
+//! the serialized object when `path(&field)` is true). Container-level
 //! `#[serde(transparent)]` needs no handling: single-field tuple structs
 //! already serialize as their inner value.
 
@@ -21,6 +25,8 @@ struct Field {
     name: Option<String>,
     skip: bool,
     rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
 impl Field {
@@ -143,6 +149,8 @@ fn parse_item(input: TokenStream) -> Item {
 struct FieldAttrs {
     skip: bool,
     rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
 /// Advances past leading `#[...]` attributes, collecting any recognized
@@ -163,7 +171,8 @@ fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
 }
 
 /// Folds one `#[...]` attribute body into `attrs`: recognizes
-/// `serde(skip)` and `serde(rename = "...")`; anything else is ignored.
+/// `serde(skip)`, `serde(rename = "...")`, `serde(default)` and
+/// `serde(skip_serializing_if = "...")`; anything else is ignored.
 fn merge_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let inner = match (tokens.first(), tokens.get(1)) {
@@ -175,12 +184,23 @@ fn merge_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
     for (i, t) in inner.iter().enumerate() {
         match t {
             TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => attrs.default = true,
             TokenTree::Ident(id) if id.to_string() == "rename" => {
                 if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
                     (inner.get(i + 1), inner.get(i + 2))
                 {
                     if eq.as_char() == '=' {
                         attrs.rename = Some(lit.to_string().trim_matches('"').to_owned());
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        attrs.skip_serializing_if =
+                            Some(lit.to_string().trim_matches('"').to_owned());
                     }
                 }
             }
@@ -267,6 +287,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             name: Some(name),
             skip: attrs.skip,
             rename: attrs.rename,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
     fields
@@ -290,6 +312,8 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
             name: None,
             skip: attrs.skip,
             rename: None,
+            default: attrs.default,
+            skip_serializing_if: None,
         });
     }
     fields
@@ -459,10 +483,16 @@ fn emit_named_to_object(fields: &[Field], access: &str, prefix: &str) -> String 
         }
         let fname = f.name.as_ref().expect("named field");
         let key = f.key();
-        out.push_str(&format!(
+        let insert = format!(
             "__map.insert(\"{key}\".to_owned(), \
              ::serde::Serialize::to_value(&{access}{prefix}{fname})); "
-        ));
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => out.push_str(&format!(
+                "if !{pred}(&{access}{prefix}{fname}) {{ {insert} }} "
+            )),
+            None => out.push_str(&insert),
+        }
     }
     out.push_str("::serde::Value::Object(__map) }");
     out
@@ -565,6 +595,9 @@ fn emit_named_inits(fields: &[Field], ty: &str) -> String {
             let fname = f.name.as_ref().expect("named field");
             if f.skip {
                 format!("{fname}: ::std::default::Default::default()")
+            } else if f.default {
+                let key = f.key();
+                format!("{fname}: ::serde::__field_or_default(__obj, \"{ty}\", \"{key}\")?")
             } else {
                 let key = f.key();
                 format!("{fname}: ::serde::__field(__obj, \"{ty}\", \"{key}\")?")
