@@ -22,4 +22,9 @@ cargo test --workspace -q
 echo "== verify_claims (headline regression gate) =="
 EXPERIMENT_SECONDS="${EXPERIMENT_SECONDS:-10}" cargo run -q -p bench --bin verify_claims
 
+echo "== perf_smoke (informational: hot-path timings -> BENCH.json) =="
+# Never gates: absolute times depend on the runner; the recorded
+# trajectory across PRs is the signal.
+cargo run --release -q -p bench --bin perf_smoke || true
+
 echo "CI OK"

@@ -121,7 +121,39 @@ impl<L> AknnOutcome<L> {
     }
 }
 
+/// Reusable buffers for [`decide_in`], so a steady-state caller (one
+/// hit test per frame) performs no allocation once the buffers reach
+/// their working size.
+#[derive(Debug, Clone)]
+pub struct DecideScratch<L> {
+    /// Candidate `(distance, label)` pairs, sorted ascending in place.
+    sorted: Vec<(f64, L)>,
+    /// Per-label vote tallies in first-seen order. A linear scan beats a
+    /// `HashMap` at hit-test sizes (k ≤ a dozen) and is deterministic.
+    counts: Vec<(L, usize)>,
+}
+
+impl<L> Default for DecideScratch<L> {
+    fn default() -> Self {
+        DecideScratch {
+            sorted: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+}
+
+impl<L> DecideScratch<L> {
+    /// Empty scratch buffers.
+    pub fn new() -> DecideScratch<L> {
+        DecideScratch::default()
+    }
+}
+
 /// Runs the hit test over `(distance, label)` pairs sorted or unsorted.
+///
+/// Convenience wrapper over [`decide_in`] that allocates its own
+/// scratch; per-frame callers should hold a [`DecideScratch`] and call
+/// [`decide_in`] directly.
 ///
 /// # Panics
 ///
@@ -130,16 +162,31 @@ pub fn decide<L: Eq + std::hash::Hash + Copy>(
     neighbors: &[(f64, L)],
     config: &AknnConfig,
 ) -> AknnOutcome<L> {
+    decide_in(neighbors.iter().copied(), config, &mut DecideScratch::new())
+}
+
+/// The hit test proper, writing all intermediate state into `scratch`.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or any distance is negative/non-finite.
+pub fn decide_in<L: Eq + Copy>(
+    neighbors: impl IntoIterator<Item = (f64, L)>,
+    config: &AknnConfig,
+    scratch: &mut DecideScratch<L>,
+) -> AknnOutcome<L> {
     config.validate();
+    let sorted = &mut scratch.sorted;
+    sorted.clear();
+    sorted.extend(neighbors);
     assert!(
-        neighbors.iter().all(|(d, _)| d.is_finite() && *d >= 0.0),
+        sorted.iter().all(|(d, _)| d.is_finite() && *d >= 0.0),
         "decide: distances must be finite and non-negative"
     );
-    if neighbors.is_empty() {
+    if sorted.is_empty() {
         return AknnOutcome::Miss(MissReason::EmptyIndex);
     }
-    let mut sorted: Vec<(f64, L)> = neighbors.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     sorted.truncate(config.k);
 
     let nearest_distance = sorted[0].0;
@@ -152,41 +199,47 @@ pub fn decide<L: Eq + std::hash::Hash + Copy>(
     // duplicates are authoritative when they agree among themselves (and
     // clear min_support); disagreeing duplicates are genuinely ambiguous
     // and fall through to the ordinary vote below.
-    let exact: Vec<L> = sorted
-        .iter()
-        .take_while(|(d, _)| *d == 0.0)
-        .map(|&(_, label)| label)
-        .collect();
-    if exact.len() >= config.min_support && exact.iter().all(|l| *l == exact[0]) {
-        return AknnOutcome::Hit {
-            label: exact[0],
-            nearest_distance,
-            support: exact.len(),
-            homogeneity: 1.0,
-        };
+    let exact_len = sorted.iter().take_while(|(d, _)| *d == 0.0).count();
+    if exact_len >= config.min_support {
+        let first = sorted[0].1;
+        if sorted[..exact_len].iter().all(|&(_, label)| label == first) {
+            return AknnOutcome::Hit {
+                label: first,
+                nearest_distance,
+                support: exact_len,
+                homogeneity: 1.0,
+            };
+        }
     }
-    let in_threshold: Vec<&(f64, L)> = sorted
-        .iter()
-        .filter(|(d, _)| *d <= config.distance_threshold)
-        .collect();
-    if in_threshold.len() < config.min_support {
+    // `sorted` is ascending, so the in-threshold neighbours are exactly
+    // the prefix the threshold partitions off.
+    let in_threshold = sorted.partition_point(|(d, _)| *d <= config.distance_threshold);
+    if in_threshold < config.min_support {
         return AknnOutcome::Miss(MissReason::InsufficientSupport);
     }
-    let mut votes: std::collections::HashMap<L, usize> = std::collections::HashMap::new();
-    for (_, label) in &in_threshold {
-        *votes.entry(*label).or_insert(0) += 1;
+    let counts = &mut scratch.counts;
+    counts.clear();
+    for &(_, label) in &sorted[..in_threshold] {
+        match counts.iter_mut().find(|(seen, _)| *seen == label) {
+            Some((_, count)) => *count += 1,
+            None => counts.push((label, 1)),
+        }
     }
-    let (&dominant, &count) = votes
-        .iter()
-        .max_by_key(|(_, &count)| count)
-        .expect("non-empty votes");
-    let fraction = count as f64 / in_threshold.len() as f64;
+    let mut dominant = sorted[0].1;
+    let mut count = 0usize;
+    for &(label, votes) in counts.iter() {
+        if votes > count {
+            dominant = label;
+            count = votes;
+        }
+    }
+    let fraction = count as f64 / in_threshold as f64;
     if fraction < config.homogeneity {
         return AknnOutcome::Miss(MissReason::NotHomogeneous);
     }
     // Tie-break: if another label has the same count, the vote is not
     // decisive — treat as non-homogeneous unless the dominant strictly wins.
-    let tied = votes.values().filter(|&&c| c == count).count() > 1;
+    let tied = counts.iter().filter(|&&(_, c)| c == count).count() > 1;
     if tied && fraction < 1.0 {
         return AknnOutcome::Miss(MissReason::NotHomogeneous);
     }
@@ -448,6 +501,20 @@ mod proptests {
             let lax_hit = decide(&ns, &lax).is_hit();
             let strict_hit = decide(&ns, &strict).is_hit();
             prop_assert!(!strict_hit || lax_hit);
+        }
+
+        /// `decide_in` with a scratch reused across hit tests is
+        /// indistinguishable from the allocating wrapper, regardless of
+        /// what ran through the scratch before.
+        #[test]
+        fn scratch_reuse_matches_fresh(batches in proptest::collection::vec(neighbors(), 1..6)) {
+            let config = AknnConfig::default();
+            let mut scratch = DecideScratch::new();
+            for ns in &batches {
+                let fresh = decide(ns, &config);
+                let reused = decide_in(ns.iter().copied(), &config, &mut scratch);
+                prop_assert_eq!(fresh, reused);
+            }
         }
     }
 }

@@ -50,6 +50,20 @@ pub trait NnIndex: Send {
     /// Panics if `query.dim() != self.dim()` or `k == 0`.
     fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor>;
 
+    /// Like [`nearest`](NnIndex::nearest) but writes the results into a
+    /// caller-owned buffer (cleared first), so a steady-state caller that
+    /// reuses the buffer pays no allocation per query. The default
+    /// implementation delegates to `nearest`; indexes on the hot path
+    /// override it with a genuinely allocation-free scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `k == 0`.
+    fn nearest_into(&self, query: &FeatureVector, k: usize, out: &mut Vec<Neighbor>) {
+        out.clear();
+        out.extend(self.nearest(query, k));
+    }
+
     /// Removes all entries.
     fn clear(&mut self);
 

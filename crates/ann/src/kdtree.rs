@@ -127,11 +127,7 @@ impl KdTree {
             return None;
         }
         let axis = depth % self.dim;
-        entries.sort_by(|a, b| {
-            a.1[axis]
-                .partial_cmp(&b.1[axis])
-                .expect("finite components")
-        });
+        entries.sort_by(|a, b| a.1[axis].total_cmp(&b.1[axis]));
         let mid = entries.len() / 2;
         let (id, key) = entries[mid].clone();
         let node_index = self.nodes.len();
@@ -171,13 +167,13 @@ impl KdTree {
                     id: n.id,
                     distance: d2,
                 });
-                best.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+                best.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             } else if d2 < best[k - 1].distance {
                 best[k - 1] = Neighbor {
                     id: n.id,
                     distance: d2,
                 };
-                best.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+                best.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             }
         }
         let diff = query[n.axis] as f64 - n.key[n.axis] as f64;

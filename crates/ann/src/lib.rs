@@ -35,9 +35,9 @@ pub mod linear;
 pub mod lsh;
 pub mod nsw;
 
-pub use aknn::{AknnConfig, AknnOutcome, MissReason};
+pub use aknn::{AknnConfig, AknnOutcome, DecideScratch, MissReason};
 pub use index::{Neighbor, NnIndex};
 pub use kdtree::KdTree;
-pub use linear::LinearScan;
+pub use linear::{LinearScan, ReferenceLinearScan};
 pub use lsh::{LshConfig, LshIndex};
 pub use nsw::{NswConfig, NswIndex};

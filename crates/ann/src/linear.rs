@@ -2,15 +2,49 @@
 
 use std::collections::HashMap;
 
-use features::{distance::squared_euclidean, FeatureVector};
+use features::distance::{squared_euclidean_flat_within, squared_euclidean_ref};
+use features::FeatureVector;
 
 use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+
+/// Strict `(distance, id)` order: ascending distance, ids breaking ties.
+/// Distances here are sums of squares, so `-0.0` never occurs and
+/// `total_cmp` agrees with the naive `<` on every value that can appear.
+fn closer(a: &Neighbor, b: &Neighbor) -> bool {
+    a.distance
+        .total_cmp(&b.distance)
+        .then(a.id.cmp(&b.id))
+        .is_lt()
+}
+
+/// Keeps `out` as the up-to-`k` smallest neighbours seen so far, sorted
+/// ascending by `(distance, id)` — a bounded max-heap where the current
+/// maximum sits at the tail. Once the buffer is full, most candidates
+/// fail the single tail comparison and cost nothing more.
+fn push_bounded(out: &mut Vec<Neighbor>, k: usize, candidate: Neighbor) {
+    if out.len() == k {
+        match out.last() {
+            Some(worst) if closer(&candidate, worst) => {
+                out.pop();
+            }
+            _ => return,
+        }
+    }
+    let pos = out.partition_point(|n| closer(n, &candidate));
+    out.insert(pos, candidate);
+}
 
 /// The exact reference index: a flat array scanned per query.
 ///
 /// `O(n)` per lookup but with an excellent constant — below a few hundred
 /// entries (the common regime for a per-app mobile cache) nothing beats
 /// it, which is why it is the cache's default index.
+///
+/// Keys live in one contiguous `f32` buffer (structure-of-arrays,
+/// row-major, kept dense by swap-remove) so a scan walks memory linearly
+/// and the chunked distance kernel auto-vectorizes; candidates go through
+/// a bounded selection buffer instead of scoring every entry into a fresh
+/// `Vec`. See DESIGN.md "Performance model & hot path".
 ///
 /// # Example
 ///
@@ -27,8 +61,11 @@ use crate::index::{check_insert, check_query, Neighbor, NnIndex};
 #[derive(Debug, Clone, Default)]
 pub struct LinearScan {
     dim: usize,
-    entries: Vec<(u64, FeatureVector)>,
-    /// id → position in `entries` (swap-remove keeps this dense).
+    /// Row `r`'s id; swap-remove keeps this parallel to `keys`.
+    ids: Vec<u64>,
+    /// All keys, row-major: row `r` occupies `keys[r*dim .. (r+1)*dim]`.
+    keys: Vec<f32>,
+    /// id → row (swap-remove keeps this dense).
     positions: HashMap<u64, usize>,
 }
 
@@ -42,13 +79,135 @@ impl LinearScan {
         assert!(dim > 0, "LinearScan: dim must be positive");
         LinearScan {
             dim,
-            entries: Vec::new(),
+            ids: Vec::new(),
+            keys: Vec::new(),
             positions: HashMap::new(),
         }
     }
 }
 
 impl NnIndex for LinearScan {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: u64, key: FeatureVector) {
+        check_insert(self.dim, &key);
+        match self.positions.get(&id) {
+            Some(&row) => {
+                self.keys[row * self.dim..(row + 1) * self.dim].copy_from_slice(key.as_slice());
+            }
+            None => {
+                self.positions.insert(id, self.ids.len());
+                self.ids.push(id);
+                self.keys.extend_from_slice(key.as_slice());
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(row) = self.positions.remove(&id) else {
+            return false;
+        };
+        self.ids.swap_remove(row);
+        if row < self.ids.len() {
+            self.positions.insert(self.ids[row], row);
+        }
+        // Mirror the swap-remove in the flat buffer: the last row moves
+        // into the vacated slot, the buffer shrinks by one row.
+        let last = self.ids.len();
+        if row < last {
+            self.keys
+                .copy_within(last * self.dim..(last + 1) * self.dim, row * self.dim);
+        }
+        self.keys.truncate(last * self.dim);
+        true
+    }
+
+    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.nearest_into(query, k, &mut out);
+        out
+    }
+
+    fn nearest_into(&self, query: &FeatureVector, k: usize, out: &mut Vec<Neighbor>) {
+        check_query(self.dim, query, k);
+        out.clear();
+        let q = query.as_slice();
+        for (row, key) in self.keys.chunks_exact(self.dim).enumerate() {
+            // Once the selection buffer is full, its tail is the current
+            // k-th best: rows whose partial sum already exceeds it can be
+            // abandoned mid-kernel without changing the result (squared
+            // terms only grow the sum, and the exit is strict so distance
+            // ties still reach the id tie-break).
+            let bound = match out.last() {
+                Some(worst) if out.len() == k => worst.distance,
+                _ => f64::INFINITY,
+            };
+            let Some(distance) = squared_euclidean_flat_within(key, q, bound) else {
+                continue;
+            };
+            push_bounded(
+                out,
+                k,
+                Neighbor {
+                    id: self.ids[row],
+                    distance,
+                },
+            );
+        }
+        for n in out {
+            n.distance = n.distance.sqrt();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.keys.clear();
+        self.positions.clear();
+    }
+
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// The pre-optimisation linear scan: one `(id, FeatureVector)` pair per
+/// entry, every query scoring all entries into a fresh `Vec` and
+/// partial-sorting it. Kept as the equivalence oracle for [`LinearScan`]
+/// (the proptests below pin them to identical results) and as the
+/// baseline the `perf_smoke` binary measures the flat-buffer scan
+/// against.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceLinearScan {
+    dim: usize,
+    entries: Vec<(u64, FeatureVector)>,
+    /// id → position in `entries` (swap-remove keeps this dense).
+    positions: HashMap<u64, usize>,
+}
+
+impl ReferenceLinearScan {
+    /// Creates an empty index for keys of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> ReferenceLinearScan {
+        assert!(dim > 0, "ReferenceLinearScan: dim must be positive");
+        ReferenceLinearScan {
+            dim,
+            entries: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+}
+
+impl NnIndex for ReferenceLinearScan {
     fn dim(&self) -> usize {
         self.dim
     }
@@ -87,25 +246,24 @@ impl NnIndex for LinearScan {
             .iter()
             .map(|(id, key)| Neighbor {
                 id: *id,
-                distance: squared_euclidean(key, query),
+                // The scalar kernel, deliberately: this scan is the
+                // pre-optimisation path, so it must not borrow the
+                // chunked kernel's speed (bit-equality between the two
+                // kernels is pinned in features::distance).
+                distance: squared_euclidean_ref(key.as_slice(), query.as_slice()),
             })
             .collect();
-        // Partial sort: select the k smallest, then order them.
+        // Partial sort: select the k smallest, then order them. Ties are
+        // broken by id so the reference agrees with the bounded scan.
         let k = k.min(all.len());
         if k == 0 {
             return Vec::new();
         }
         all.select_nth_unstable_by(k - 1, |a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
+            a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id))
         });
         all.truncate(k);
-        all.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-        });
+        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
         for n in &mut all {
             n.distance = n.distance.sqrt();
         }
@@ -118,7 +276,7 @@ impl NnIndex for LinearScan {
     }
 
     fn kind(&self) -> &'static str {
-        "linear"
+        "linear-reference"
     }
 }
 
@@ -187,6 +345,53 @@ mod tests {
     }
 
     #[test]
+    fn remove_keeps_flat_buffer_dense() {
+        let mut index = LinearScan::new(2);
+        for id in 0..6u64 {
+            index.insert(id, fv(&[id as f32, -(id as f32)]));
+        }
+        // Remove from the middle, the front and the back.
+        for id in [2u64, 0, 5] {
+            assert!(index.remove(id));
+        }
+        assert_eq!(index.len(), 3);
+        for id in [1u64, 3, 4] {
+            let hits = index.nearest(&fv(&[id as f32, -(id as f32)]), 1);
+            assert_eq!(hits[0].id, id);
+            assert!(hits[0].distance < 1e-6);
+        }
+    }
+
+    #[test]
+    fn equal_distances_break_ties_by_id() {
+        let mut index = LinearScan::new(1);
+        for id in [9u64, 3, 7] {
+            index.insert(id, fv(&[1.0]));
+        }
+        let hits = index.nearest(&fv(&[0.0]), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 7);
+    }
+
+    #[test]
+    fn nearest_into_reuses_the_buffer() {
+        let mut index = LinearScan::new(1);
+        for id in 0..8u64 {
+            index.insert(id, fv(&[id as f32]));
+        }
+        let mut out = Vec::new();
+        index.nearest_into(&fv(&[0.0]), 3, &mut out);
+        assert_eq!(out.len(), 3);
+        let capacity = out.capacity();
+        // A second query must not grow the buffer.
+        index.nearest_into(&fv(&[7.0]), 3, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].id, 7);
+        assert_eq!(out.capacity(), capacity);
+    }
+
+    #[test]
     fn clear_empties() {
         let mut index = LinearScan::new(1);
         index.insert(1, fv(&[1.0]));
@@ -200,5 +405,71 @@ mod tests {
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
         LinearScan::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const DIM: usize = 3;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert { id: u64, key: Vec<f32> },
+        Remove { id: u64 },
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..32, proptest::collection::vec(-10.0f32..10.0, DIM))
+                .prop_map(|(id, key)| Op::Insert { id, key }),
+            (0u64..32, proptest::collection::vec(-10.0f32..10.0, DIM))
+                .prop_map(|(id, key)| Op::Insert { id, key }),
+            (0u64..32, proptest::collection::vec(-10.0f32..10.0, DIM))
+                .prop_map(|(id, key)| Op::Insert { id, key }),
+            (0u64..32).prop_map(|id| Op::Remove { id }),
+        ]
+    }
+
+    proptest! {
+        /// Under random insert/remove interleavings the flat-buffer scan
+        /// and the pre-optimisation reference return *identical* results
+        /// (same ids, bit-equal distances, same order) — and
+        /// `nearest_into` agrees with `nearest`.
+        #[test]
+        fn flat_scan_matches_reference(
+            ops in proptest::collection::vec(op(), 1..60),
+            query in proptest::collection::vec(-10.0f32..10.0, DIM),
+            k in 1usize..6,
+        ) {
+            let mut fast = LinearScan::new(DIM);
+            let mut reference = ReferenceLinearScan::new(DIM);
+            for op in ops {
+                match op {
+                    Op::Insert { id, key } => {
+                        let key = FeatureVector::from_vec(key).unwrap();
+                        fast.insert(id, key.clone());
+                        reference.insert(id, key);
+                    }
+                    Op::Remove { id } => {
+                        prop_assert_eq!(fast.remove(id), reference.remove(id));
+                    }
+                }
+                prop_assert_eq!(fast.len(), reference.len());
+            }
+            let query = FeatureVector::from_vec(query).unwrap();
+            let a = fast.nearest(&query, k);
+            let b = reference.nearest(&query, k);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.id, y.id);
+                prop_assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+            let mut reused = Vec::new();
+            fast.nearest_into(&query, k, &mut reused);
+            prop_assert_eq!(reused, a);
+        }
     }
 }

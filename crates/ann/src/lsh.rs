@@ -210,11 +210,7 @@ impl NnIndex for LshIndex {
                 distance: squared_euclidean(&self.keys[&id], query),
             })
             .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-        });
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         hits.truncate(k);
         for n in &mut hits {
             n.distance = n.distance.sqrt();

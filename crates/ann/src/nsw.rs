@@ -66,10 +66,7 @@ impl Eq for Candidate {}
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap: closer first.
-        other
-            .distance
-            .partial_cmp(&self.distance)
-            .expect("finite distances")
+        other.distance.total_cmp(&self.distance)
     }
 }
 impl PartialOrd for Candidate {
@@ -201,7 +198,7 @@ impl NswIndex {
                     .iter()
                     .map(|&l| (squared_euclidean(&self.nodes[l].key, &anchor), l))
                     .collect();
-                with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                with_d.sort_by(|a, b| a.0.total_cmp(&b.0));
                 with_d.truncate(2 * self.config.m);
                 self.nodes[linked].links = with_d.into_iter().map(|(_, l)| l).collect();
             }

@@ -419,21 +419,10 @@ pub fn device_traces(
         .map(|d| {
             let mut device_rng = rng.split_index("motion-trace", d as u64);
             let trace = MotionTrace::generate(profile, duration, imu_rate_hz, &mut device_rng);
-            offset_trace(trace, spawn_position(d, devices, spacing))
+            let (dx, dy) = spawn_position(d, devices, spacing);
+            trace.translated(dx, dy)
         })
         .collect()
-}
-
-fn offset_trace(trace: MotionTrace, (dx, dy): (f64, f64)) -> MotionTrace {
-    // MotionTrace has no mutation API (by design); rebuild through serde.
-    let mut value = serde_json::to_value(&trace).expect("trace serializes");
-    if let Some(poses) = value["poses"].as_array_mut() {
-        for pose in poses {
-            pose["x"] = (pose["x"].as_f64().expect("x") + dx).into();
-            pose["y"] = (pose["y"].as_f64().expect("y") + dy).into();
-        }
-    }
-    serde_json::from_value(value).expect("trace deserializes")
 }
 
 #[cfg(test)]

@@ -1,0 +1,282 @@
+//! Hot-path perf smoke test: the recorded perf trajectory.
+//!
+//! Times the per-frame hot path (index lookup, insert, and the raw
+//! distance kernel) at cache sizes 16/256/4096 — against the vendored
+//! pre-optimisation reference path in the same binary — plus one
+//! end-to-end experiment wall-clock, and appends the measurements as a
+//! run entry to `BENCH.json` at the workspace root. Purely
+//! informational: the binary always exits 0, so CI never gates on
+//! absolute times (they depend on the runner); the *trajectory* across
+//! PRs is the signal. See EXPERIMENTS.md "Perf smoke".
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use ann::{LinearScan, NnIndex, ReferenceLinearScan};
+use bench::perf::{best_of_ns, time_once_ms, time_per_op_ns};
+use bench::{parallel, results_dir, MASTER_SEED};
+use features::distance::{squared_euclidean_flat, squared_euclidean_ref};
+use features::FeatureVector;
+use serde::Serialize;
+use simcore::{SimDuration, SimRng};
+
+/// Key dimension the pipeline uses (`PipelineConfig::key_dim`).
+const DIM: usize = 64;
+/// Neighbours per lookup (`AknnConfig::default().k`).
+const K: usize = 4;
+/// Cache sizes the hot path is profiled at.
+const SIZES: [usize; 3] = [16, 256, 4096];
+/// Measurement rounds per point; the fastest round is kept.
+const ROUNDS: u32 = 3;
+/// Simulated seconds of the end-to-end run.
+const E2E_SECONDS: u64 = 5;
+/// Entries per label cluster in the synthetic cache content. The reuse
+/// cache holds several near-duplicate keys per recognized item (that is
+/// the A-kNN homogeneity premise), so the benchmark population is
+/// clustered, not uniform — which is also what makes the scan's
+/// early-exit bound representative.
+const CLUSTER_SIZE: usize = 8;
+/// Within-cluster per-component noise.
+const CLUSTER_SIGMA: f64 = 0.05;
+
+/// One cache-size measurement point.
+#[derive(Debug, Serialize)]
+struct SizePoint {
+    size: usize,
+    /// ns per `LinearScan::nearest_into` (flat buffer, reused scratch).
+    lookup_ns: f64,
+    /// ns per `ReferenceLinearScan::nearest` (pre-change path).
+    lookup_reference_ns: f64,
+    /// `lookup_reference_ns / lookup_ns`.
+    lookup_speedup: f64,
+    /// Amortized ns per insert when filling the index from empty.
+    insert_ns: f64,
+}
+
+/// One `BENCH.json` run entry.
+#[derive(Debug, Serialize)]
+struct BenchRun {
+    label: String,
+    dim: usize,
+    k: usize,
+    threads: usize,
+    sizes: Vec<SizePoint>,
+    /// ns per chunked flat-kernel distance at `dim`.
+    distance_flat_ns: f64,
+    /// ns per reference scalar-kernel distance at `dim`.
+    distance_reference_ns: f64,
+    e2e_scenario: String,
+    e2e_seconds: u64,
+    e2e_wall_ms: f64,
+}
+
+fn random_key(rng: &mut SimRng) -> FeatureVector {
+    let components: Vec<f32> = (0..DIM).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+    match FeatureVector::from_vec(components) {
+        Ok(key) => key,
+        Err(e) => unreachable!("uniform components are finite: {e}"),
+    }
+}
+
+fn near(center: &[f32], rng: &mut SimRng) -> FeatureVector {
+    let components: Vec<f32> = center
+        .iter()
+        .map(|&c| c + rng.normal(0.0, CLUSTER_SIGMA) as f32)
+        .collect();
+    match FeatureVector::from_vec(components) {
+        Ok(key) => key,
+        Err(e) => unreachable!("perturbed components are finite: {e}"),
+    }
+}
+
+/// Synthetic cache content: `size / CLUSTER_SIZE` label clusters, each a
+/// center with near-duplicate members, plus queries that land near a
+/// random center (a frame of something the cache has seen).
+fn keys_and_queries(size: usize, rng: &mut SimRng) -> (Vec<FeatureVector>, Vec<FeatureVector>) {
+    let clusters = (size / CLUSTER_SIZE).max(1);
+    let centers: Vec<FeatureVector> = (0..clusters).map(|_| random_key(rng)).collect();
+    let keys = (0..size)
+        .map(|i| near(centers[i % clusters].as_slice(), rng))
+        .collect();
+    let queries = (0..64)
+        .map(|_| {
+            let center = &centers[rng.index(clusters)];
+            near(center.as_slice(), rng)
+        })
+        .collect();
+    (keys, queries)
+}
+
+/// Iterations per measurement round, scaled so every size lands in the
+/// tens-of-milliseconds regime.
+fn lookup_iters(size: usize) -> u64 {
+    match size {
+        0..=31 => 20_000,
+        32..=1023 => 4_000,
+        _ => 400,
+    }
+}
+
+fn measure_size(size: usize, rng: &mut SimRng) -> SizePoint {
+    let (keys, queries) = keys_and_queries(size, rng);
+
+    let mut fast = LinearScan::new(DIM);
+    let mut reference = ReferenceLinearScan::new(DIM);
+    for (id, key) in keys.iter().enumerate() {
+        fast.insert(id as u64, key.clone());
+        reference.insert(id as u64, key.clone());
+    }
+
+    let iters = lookup_iters(size);
+    let mut scratch = Vec::new();
+    let mut qi = 0usize;
+    let lookup_ns = best_of_ns(ROUNDS, || {
+        time_per_op_ns(iters, || {
+            let query = &queries[qi % queries.len()];
+            qi = qi.wrapping_add(1);
+            fast.nearest_into(query, K, &mut scratch);
+            black_box(scratch.last());
+        })
+    });
+    let lookup_reference_ns = best_of_ns(ROUNDS, || {
+        time_per_op_ns(iters, || {
+            let query = &queries[qi % queries.len()];
+            qi = qi.wrapping_add(1);
+            black_box(reference.nearest(query, K));
+        })
+    });
+
+    let insert_ns = best_of_ns(ROUNDS, || {
+        let mut fresh = LinearScan::new(DIM);
+        let ms = time_once_ms(|| {
+            for (id, key) in keys.iter().enumerate() {
+                fresh.insert(id as u64, key.clone());
+            }
+            black_box(fresh.len());
+        });
+        ms * 1e6 / size as f64
+    });
+
+    SizePoint {
+        size,
+        lookup_ns,
+        lookup_reference_ns,
+        lookup_speedup: lookup_reference_ns / lookup_ns,
+        insert_ns,
+    }
+}
+
+fn measure_distance_kernels(rng: &mut SimRng) -> (f64, f64) {
+    let a = random_key(rng);
+    let b = random_key(rng);
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let flat = best_of_ns(ROUNDS, || {
+        time_per_op_ns(1_000_000, || {
+            black_box(squared_euclidean_flat(black_box(a), black_box(b)));
+        })
+    });
+    let reference = best_of_ns(ROUNDS, || {
+        time_per_op_ns(1_000_000, || {
+            black_box(squared_euclidean_ref(black_box(a), black_box(b)));
+        })
+    });
+    (flat, reference)
+}
+
+fn bench_json_path() -> PathBuf {
+    results_dir()
+        .parent()
+        .map(|workspace| workspace.join("BENCH.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH.json"))
+}
+
+fn append_run(run: &BenchRun) -> Result<PathBuf, String> {
+    let path = bench_json_path();
+    let mut doc: serde_json::Value = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?,
+        Err(_) => serde_json::from_str(r#"{"schema": 1, "runs": []}"#)
+            .map_err(|e| format!("empty document: {e}"))?,
+    };
+    let entry = serde_json::to_value(run).map_err(|e| format!("serialize run: {e}"))?;
+    match doc["runs"].as_array_mut() {
+        Some(runs) => runs.push(entry),
+        None => return Err(format!("{}: no \"runs\" array", path.display())),
+    }
+    let text =
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize document: {e}"))?;
+    std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn main() {
+    println!("== perf_smoke: hot-path timings (informational — never gates CI) ==\n");
+    let mut rng = SimRng::seed(MASTER_SEED).split("perf-smoke");
+
+    let mut sizes = Vec::new();
+    println!(
+        "{:>6}  {:>12} {:>12} {:>8} {:>10}",
+        "size", "lookup ns", "ref ns", "speedup", "insert ns"
+    );
+    for size in SIZES {
+        let point = measure_size(size, &mut rng);
+        println!(
+            "{:>6}  {:>12.1} {:>12.1} {:>7.2}x {:>10.1}",
+            point.size,
+            point.lookup_ns,
+            point.lookup_reference_ns,
+            point.lookup_speedup,
+            point.insert_ns
+        );
+        sizes.push(point);
+    }
+
+    let (distance_flat_ns, distance_reference_ns) = measure_distance_kernels(&mut rng);
+    println!(
+        "\ndistance kernel (dim {DIM}): flat {distance_flat_ns:.2} ns, reference {distance_reference_ns:.2} ns"
+    );
+
+    let scenario =
+        workloads::video::stationary().with_duration(SimDuration::from_secs(E2E_SECONDS));
+    let config = approxcache::PipelineConfig::calibrated(&scenario, MASTER_SEED);
+    let e2e_wall_ms = time_once_ms(|| {
+        black_box(bench::summary_run(
+            &scenario,
+            &config,
+            approxcache::SystemVariant::Full,
+            MASTER_SEED,
+        ));
+    });
+    println!(
+        "e2e: {} x {E2E_SECONDS}s (Full) in {e2e_wall_ms:.1} ms wall",
+        scenario.name
+    );
+
+    let run = BenchRun {
+        label: std::env::var("BENCH_LABEL").unwrap_or_else(|_| "dev".to_owned()),
+        dim: DIM,
+        k: K,
+        threads: parallel::default_threads().get(),
+        sizes,
+        distance_flat_ns,
+        distance_reference_ns,
+        e2e_scenario: scenario.name.clone(),
+        e2e_seconds: E2E_SECONDS,
+        e2e_wall_ms,
+    };
+
+    if let Some(big) = run.sizes.iter().find(|p| p.size == 4096) {
+        if big.lookup_speedup < 2.0 {
+            println!(
+                "\nnote: lookup speedup at 4096 is {:.2}x (< 2x — expected only in \
+                 unoptimized or heavily loaded builds)",
+                big.lookup_speedup
+            );
+        }
+    }
+
+    match append_run(&run) {
+        Ok(path) => println!("\nappended run to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not record run: {e}"),
+    }
+}

@@ -1,0 +1,88 @@
+//! Wall-clock measurement helpers for the `perf_smoke` binary.
+//!
+//! This is the one corner of the workspace where reading the host clock
+//! is legitimate: the perf trajectory measures *real* execution cost of
+//! the hot path, not simulated time. xtask rule D bans `Instant` /
+//! `SystemTime` everywhere else in the sim and harness crates; this file
+//! and the `perf_smoke` binary are the only allowed homes.
+
+use std::time::Instant;
+
+/// Nanoseconds per call of `op`, averaged over `iters` back-to-back
+/// calls (one clock read before, one after — the op itself must not
+/// read the clock).
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn time_per_op_ns<F: FnMut()>(iters: u64, mut op: F) -> f64 {
+    assert!(iters > 0, "time_per_op_ns: iters must be positive");
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The minimum over `rounds` measurements — the standard way to strip
+/// scheduler noise from a microbenchmark (the fastest round is the one
+/// with the least interference).
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn best_of_ns<F: FnMut() -> f64>(rounds: u32, mut measure: F) -> f64 {
+    assert!(rounds > 0, "best_of_ns: rounds must be positive");
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        best = best.min(measure());
+    }
+    best
+}
+
+/// Milliseconds of wall-clock spent running `op` once.
+pub fn time_once_ms<F: FnOnce()>(op: F) -> f64 {
+    let start = Instant::now();
+    op();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_time_is_finite_and_positive() {
+        let ns = time_per_op_ns(1000, || {
+            std::hint::black_box(42u64);
+        });
+        assert!(ns.is_finite());
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn best_of_takes_the_minimum() {
+        let mut calls = 0u32;
+        let best = best_of_ns(3, || {
+            calls += 1;
+            calls as f64 * 10.0
+        });
+        assert!((best - 10.0).abs() < 1e-9);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn once_timer_reports_milliseconds() {
+        let ms = time_once_ms(|| {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(ms.is_finite());
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "iters must be positive")]
+    fn zero_iters_rejected() {
+        time_per_op_ns(0, || {});
+    }
+}

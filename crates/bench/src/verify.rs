@@ -7,6 +7,8 @@
 //! latency, cache-miss reasons and peer-query outcomes — pointing at the
 //! tier that regressed.
 
+use std::num::NonZeroUsize;
+
 use approxcache::{
     run, Detail, PipelineConfig, ResolutionPath, RunReport, Scenario, SimResult, SystemVariant,
 };
@@ -128,23 +130,81 @@ pub fn tier_breakdown(result: &SimResult) -> String {
 }
 
 /// Runs every headline claim at `duration` per scenario, seeding from
-/// `seed`. `mutate` is applied to each calibrated config before the run
-/// (the binary passes a no-op; tests use it to break a tier on purpose).
+/// `seed`, fanning the simulations across one worker per available core.
+/// `mutate` is applied to each calibrated config before the run (the
+/// binary passes a no-op; tests use it to break a tier on purpose).
 pub fn run_claim_checks(
     duration: SimDuration,
     seed: u64,
-    mutate: &dyn Fn(&mut PipelineConfig),
+    mutate: &(dyn Fn(&mut PipelineConfig) + Sync),
 ) -> ClaimOutcome {
+    run_claim_checks_on(crate::parallel::default_threads(), duration, seed, mutate)
+}
+
+/// [`run_claim_checks`] on an explicit worker count. Every simulation is
+/// an independent seeded job, so the outcome is byte-identical whatever
+/// `threads` is — only the wall-clock changes.
+pub fn run_claim_checks_on(
+    threads: NonZeroUsize,
+    duration: SimDuration,
+    seed: u64,
+    mutate: &(dyn Fn(&mut PipelineConfig) + Sync),
+) -> ClaimOutcome {
+    // Stage every scenario up front, submit all eleven simulations as one
+    // batch, then assemble the checks from the in-order results. The
+    // assembly below mirrors the sequential structure one-to-one; only
+    // the execution is fanned out.
+    let headline: Vec<Scenario> = video::headline_set()
+        .into_iter()
+        .map(|s| s.with_duration(duration))
+        .collect();
+    let museum = multi::museum(6).with_duration(duration);
+    let stormy = multi::museum(6)
+        .with_name("museum-x6-outage30")
+        .with_duration(duration)
+        .with_faults(crate::r21_faults(R21_OUTAGE_FRACTION));
+    // R-21 runs with the resilience machinery armed on top of `mutate`.
+    let resilient = |config: &mut PipelineConfig| {
+        mutate(config);
+        if let Some(peer) = config.peer.as_mut() {
+            peer.resilience = Some(p2pnet::ResilienceConfig::recommended());
+        }
+    };
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> SimResult + Send + '_>> = Vec::new();
+    for scenario in &headline {
+        jobs.push(Box::new(move || {
+            traced_run(scenario, SystemVariant::NoCache, seed, mutate)
+        }));
+        jobs.push(Box::new(move || {
+            traced_run(scenario, SystemVariant::Full, seed, mutate)
+        }));
+    }
+    jobs.push(Box::new(|| {
+        traced_run(&museum, SystemVariant::Full, seed, mutate)
+    }));
+    jobs.push(Box::new(|| {
+        traced_run(&stormy, SystemVariant::NoCache, seed, &resilient)
+    }));
+    jobs.push(Box::new(|| {
+        traced_run(&stormy, SystemVariant::Full, seed, &resilient)
+    }));
+
+    let mut results = crate::parallel::run_jobs_on(threads, jobs).into_iter();
+    let mut next = || match results.next() {
+        Some(result) => result,
+        None => unreachable!("one result per submitted job"),
+    };
+
     let mut checks = Vec::new();
     let mut reports = Vec::new();
 
     // R-1 and R-2 share the headline scenarios; the reuse-friendly
     // subset carries the latency claim, all four carry the accuracy one.
     let reuse_friendly = ["stationary", "slow-pan", "turn-and-look"];
-    for scenario in video::headline_set() {
-        let scenario = scenario.with_duration(duration);
-        let base = traced_run(&scenario, SystemVariant::NoCache, seed, mutate);
-        let full = traced_run(&scenario, SystemVariant::Full, seed, mutate);
+    for scenario in &headline {
+        let base = next();
+        let full = next();
         let breakdown = tier_breakdown(&full);
 
         if reuse_friendly.contains(&scenario.name.as_str()) {
@@ -181,8 +241,7 @@ pub fn run_claim_checks(
 
     // Peer-tier liveness: in the museum, collaboration must answer at
     // least some frames. This is the check that catches a dead radio.
-    let museum = multi::museum(6).with_duration(duration);
-    let full = traced_run(&museum, SystemVariant::Full, seed, mutate);
+    let full = next();
     let peer_fraction = full.report.path_fraction(ResolutionPath::PeerCache);
     checks.push(ClaimCheck {
         claim: "peer-tier",
@@ -199,18 +258,8 @@ pub fn run_claim_checks(
     // and ad poisoning, with the resilience machinery armed. The system
     // must still clearly beat no-cache, and the fault counters in the
     // breakdown prove the faults actually fired.
-    let stormy = multi::museum(6)
-        .with_name("museum-x6-outage30")
-        .with_duration(duration)
-        .with_faults(crate::r21_faults(R21_OUTAGE_FRACTION));
-    let resilient = |config: &mut PipelineConfig| {
-        mutate(config);
-        if let Some(peer) = config.peer.as_mut() {
-            peer.resilience = Some(p2pnet::ResilienceConfig::recommended());
-        }
-    };
-    let base = traced_run(&stormy, SystemVariant::NoCache, seed, &resilient);
-    let full = traced_run(&stormy, SystemVariant::Full, seed, &resilient);
+    let base = next();
+    let full = next();
     let reduction = full.report.latency_reduction_vs(&base.report);
     let mut breakdown = tier_breakdown(&full);
     let faults = &full.report.faults;
@@ -287,6 +336,29 @@ mod tests {
             );
             assert!(check.breakdown.contains("local misses:"));
         }
+    }
+
+    #[test]
+    fn parallel_checks_match_sequential_byte_for_byte() {
+        let duration = SimDuration::from_secs(5);
+        let sequential = run_claim_checks_on(
+            NonZeroUsize::new(1).expect("positive"),
+            duration,
+            MASTER_SEED,
+            &|_| {},
+        );
+        let parallel = run_claim_checks_on(
+            NonZeroUsize::new(4).expect("positive"),
+            duration,
+            MASTER_SEED,
+            &|_| {},
+        );
+        let as_json = |outcome: &ClaimOutcome| {
+            let checks = serde_json::to_string(&outcome.checks).expect("serialize checks");
+            let reports = serde_json::to_string(&outcome.reports).expect("serialize reports");
+            (checks, reports)
+        };
+        assert_eq!(as_json(&sequential), as_json(&parallel));
     }
 
     #[test]

@@ -78,9 +78,122 @@ fn assert_same_dim(a: &FeatureVector, b: &FeatureVector) {
 /// Panics if the dimensions differ.
 pub fn squared_euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
     assert_same_dim(a, b);
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
+    squared_euclidean_flat(a.as_slice(), b.as_slice())
+}
+
+/// How many difference terms [`squared_euclidean_flat`] evaluates per
+/// chunk before folding them into the accumulator.
+const LANES: usize = 8;
+
+/// Squared Euclidean distance over raw `f32` slices — the hot-path kernel
+/// behind every nearest-neighbour scan.
+///
+/// The per-component work (widen to `f64`, subtract, square) is done in
+/// chunks of [`LANES`] independent terms so the compiler can vectorize
+/// it, but the terms are folded into the single `f64` accumulator in
+/// strict index order. That keeps the result bit-identical to the naive
+/// sequential loop (see `squared_euclidean_ref`): f64 addition is not
+/// associative, so a multi-accumulator kernel would drift from the
+/// recorded golden results. A lane-reordered variant was measured and
+/// dropped for exactly that reason.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn squared_euclidean_flat(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance: dimension mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let split = a.len() - a.len() % LANES;
+    let (a_main, a_tail) = a.split_at(split);
+    let (b_main, b_tail) = b.split_at(split);
+    let mut acc = 0.0f64;
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        let mut terms = [0.0f64; LANES];
+        for ((term, &x), &y) in terms.iter_mut().zip(ca).zip(cb) {
+            let d = x as f64 - y as f64;
+            *term = d * d;
+        }
+        // In-order fold: keeps bit-equality with the reference kernel.
+        for term in terms {
+            acc += term;
+        }
+    }
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// [`squared_euclidean_flat`] with a monotone early exit: returns `None`
+/// as soon as the partial sum strictly exceeds `bound`.
+///
+/// Every term is a square, so the accumulator only grows — once a prefix
+/// exceeds `bound` the full sum must too, and a caller that would discard
+/// any distance above `bound` (a bounded k-selection holding its current
+/// k-th best) loses nothing by skipping the rest of the row. When the sum
+/// *does* complete, it was accumulated in exactly the reference order, so
+/// `Some(d)` is bit-identical to the unbounded kernel. Ties are safe:
+/// `bound` itself never exits early (the exit is strict), so a candidate
+/// equal to the current worst still surfaces for id-order tie-breaking.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn squared_euclidean_flat_within(a: &[f32], b: &[f32], bound: f64) -> Option<f64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance: dimension mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let split = a.len() - a.len() % LANES;
+    let (a_main, a_tail) = a.split_at(split);
+    let (b_main, b_tail) = b.split_at(split);
+    let mut acc = 0.0f64;
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        let mut terms = [0.0f64; LANES];
+        for ((term, &x), &y) in terms.iter_mut().zip(ca).zip(cb) {
+            let d = x as f64 - y as f64;
+            *term = d * d;
+        }
+        for term in terms {
+            acc += term;
+        }
+        if acc > bound {
+            return None;
+        }
+    }
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    if acc > bound {
+        return None;
+    }
+    Some(acc)
+}
+
+/// The pre-optimisation scalar kernel, kept as the equivalence oracle for
+/// the chunked kernel (proptests pin bit-equality) and as the perf
+/// baseline the `perf_smoke` binary measures speedups against.
+#[doc(hidden)]
+pub fn squared_euclidean_ref(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance: dimension mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b)
         .map(|(&x, &y)| {
             let d = x as f64 - y as f64;
             d * d
@@ -275,6 +388,57 @@ mod proptests {
             let closer_sq = squared_euclidean(&a, &b) < squared_euclidean(&a, &c);
             let closer = euclidean(&a, &b) < euclidean(&a, &c);
             prop_assert_eq!(closer_sq, closer);
+        }
+
+        /// The chunked hot-path kernel is bit-identical to the reference
+        /// scalar kernel at every dimension — including lengths around
+        /// the chunk boundary, which the 1..64 sweep covers. This is the
+        /// proptest that lets the optimized kernel replace the reference
+        /// without perturbing the golden results.
+        #[test]
+        fn flat_kernel_is_bit_exact(
+            a in proptest::collection::vec(-100.0f32..100.0, 64),
+            b in proptest::collection::vec(-100.0f32..100.0, 64),
+            dim in 1usize..64,
+        ) {
+            let flat = squared_euclidean_flat(&a[..dim], &b[..dim]);
+            let reference = squared_euclidean_ref(&a[..dim], &b[..dim]);
+            prop_assert_eq!(flat.to_bits(), reference.to_bits());
+        }
+
+        /// The bounded kernel either completes with the exact same bits as
+        /// the unbounded one, or proves (by monotonicity) that the full
+        /// distance exceeds the bound.
+        #[test]
+        fn bounded_kernel_is_exact_or_provably_over(
+            a in proptest::collection::vec(-100.0f32..100.0, 64),
+            b in proptest::collection::vec(-100.0f32..100.0, 64),
+            dim in 1usize..64,
+            bound in 0.0f64..200_000.0,
+        ) {
+            let full = squared_euclidean_flat(&a[..dim], &b[..dim]);
+            match squared_euclidean_flat_within(&a[..dim], &b[..dim], bound) {
+                Some(d) => {
+                    prop_assert_eq!(d.to_bits(), full.to_bits());
+                    prop_assert!(d <= bound);
+                }
+                None => prop_assert!(full > bound),
+            }
+        }
+
+        /// The cached norm is the norm: caching must not change the value,
+        /// and clones/serde round-trips must agree.
+        #[test]
+        fn cached_norm_matches_recomputation(a in finite_vec()) {
+            let expected = a.as_slice()
+                .iter()
+                .map(|&c| (c as f64) * (c as f64))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert_eq!(a.l2_norm().to_bits(), expected.to_bits());
+            // Second read comes from the cache; clone carries it along.
+            prop_assert_eq!(a.l2_norm().to_bits(), expected.to_bits());
+            prop_assert_eq!(a.clone().l2_norm().to_bits(), expected.to_bits());
         }
     }
 }

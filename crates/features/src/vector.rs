@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -56,9 +57,21 @@ impl std::error::Error for FeatureError {}
 /// assert_eq!(v.dim(), 3);
 /// assert!((v.l2_norm() - 3.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FeatureVector {
     components: Vec<f32>,
+    /// Lazily computed L2 norm. Deriving it from the (immutable)
+    /// components keeps it out of equality and serialization.
+    #[serde(skip)]
+    norm: OnceLock<f64>,
+}
+
+impl PartialEq for FeatureVector {
+    fn eq(&self, other: &FeatureVector) -> bool {
+        // The cached norm is derived state: two vectors with the same
+        // components are equal whether or not a norm was computed yet.
+        self.components == other.components
+    }
 }
 
 impl FeatureVector {
@@ -75,7 +88,10 @@ impl FeatureVector {
         if let Some(index) = components.iter().position(|c| !c.is_finite()) {
             return Err(FeatureError::NotFinite { index });
         }
-        Ok(FeatureVector { components })
+        Ok(FeatureVector {
+            components,
+            norm: OnceLock::new(),
+        })
     }
 
     /// Creates the zero vector of dimension `dim`.
@@ -87,6 +103,7 @@ impl FeatureVector {
         assert!(dim > 0, "zeros: dim must be positive");
         FeatureVector {
             components: vec![0.0; dim],
+            norm: OnceLock::new(),
         }
     }
 
@@ -105,13 +122,17 @@ impl FeatureVector {
         self.components
     }
 
-    /// The Euclidean norm.
+    /// The Euclidean norm, computed once and cached (components are
+    /// immutable, so the cache can never go stale). Cosine distance hits
+    /// this on every comparison.
     pub fn l2_norm(&self) -> f64 {
-        self.components
-            .iter()
-            .map(|&c| (c as f64) * (c as f64))
-            .sum::<f64>()
-            .sqrt()
+        *self.norm.get_or_init(|| {
+            self.components
+                .iter()
+                .map(|&c| (c as f64) * (c as f64))
+                .sum::<f64>()
+                .sqrt()
+        })
     }
 
     /// Dot product with another vector.
@@ -143,6 +164,7 @@ impl FeatureVector {
                 .zip(&other.components)
                 .map(|(&a, &b)| a + b)
                 .collect(),
+            norm: OnceLock::new(),
         })
     }
 
@@ -155,6 +177,7 @@ impl FeatureVector {
         assert!(factor.is_finite(), "scale: factor must be finite");
         FeatureVector {
             components: self.components.iter().map(|&c| c * factor).collect(),
+            norm: OnceLock::new(),
         }
     }
 

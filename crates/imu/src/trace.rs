@@ -168,6 +168,26 @@ impl MotionTrace {
         SimDuration::from_secs_f64((self.poses.len().saturating_sub(1)) as f64 / self.rate_hz)
     }
 
+    /// The same trajectory rigidly translated by `(dx, dy)` metres —
+    /// how a multi-device scenario gives each device its own spawn point
+    /// while keeping the shared motion profile. Orientation and timing
+    /// are untouched.
+    pub fn translated(&self, dx: f64, dy: f64) -> MotionTrace {
+        MotionTrace {
+            profile: self.profile,
+            rate_hz: self.rate_hz,
+            poses: self
+                .poses
+                .iter()
+                .map(|p| Pose {
+                    x: p.x + dx,
+                    y: p.y + dy,
+                    ..*p
+                })
+                .collect(),
+        }
+    }
+
     /// The pose samples in time order.
     pub fn poses(&self) -> &[Pose] {
         &self.poses
@@ -207,6 +227,24 @@ mod tests {
     fn gen(profile: MotionProfile, secs: u64) -> MotionTrace {
         let mut rng = SimRng::seed(11);
         MotionTrace::generate(profile, SimDuration::from_secs(secs), 100.0, &mut rng)
+    }
+
+    #[test]
+    // Exact comparison is intentional: a rigid translation must not
+    // perturb any coordinate beyond the added offset.
+    #[allow(clippy::float_cmp)]
+    fn translated_shifts_positions_only() {
+        let t = gen(MotionProfile::Walking { speed_mps: 1.4 }, 2);
+        let shifted = t.translated(3.0, -2.0);
+        assert_eq!(shifted.poses().len(), t.poses().len());
+        assert_eq!(shifted.rate_hz(), t.rate_hz());
+        assert_eq!(shifted.profile(), t.profile());
+        for (a, b) in t.poses().iter().zip(shifted.poses()) {
+            assert_eq!(b.x, a.x + 3.0);
+            assert_eq!(b.y, a.y - 2.0);
+            assert_eq!(b.yaw, a.yaw);
+            assert_eq!(b.pitch, a.pitch);
+        }
     }
 
     #[test]

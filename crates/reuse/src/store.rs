@@ -7,8 +7,8 @@ use std::hash::Hash;
 use serde::{Deserialize, Serialize};
 
 use ann::{
-    AknnConfig, AknnOutcome, KdTree, LinearScan, LshConfig, LshIndex, MissReason, NnIndex,
-    NswConfig, NswIndex,
+    AknnConfig, AknnOutcome, DecideScratch, KdTree, LinearScan, LshConfig, LshIndex, MissReason,
+    Neighbor, NnIndex, NswConfig, NswIndex,
 };
 use features::FeatureVector;
 use simcore::SimTime;
@@ -183,6 +183,29 @@ impl InsertOutcome {
     }
 }
 
+/// Reusable per-lookup buffers. Lookups run once per frame; after the
+/// buffers reach their working size (bounded by the hit test's `k`), the
+/// whole lookup path is allocation-free.
+#[derive(Debug)]
+struct LookupScratch<L> {
+    /// Raw index results, filled by `nearest_into`.
+    neighbors: Vec<Neighbor>,
+    /// Neighbours joined with their entry's label: `(distance, label, id)`.
+    labeled: Vec<(f64, L, u64)>,
+    /// The hit test's own buffers.
+    decide: DecideScratch<L>,
+}
+
+impl<L> Default for LookupScratch<L> {
+    fn default() -> Self {
+        LookupScratch {
+            neighbors: Vec::new(),
+            labeled: Vec::new(),
+            decide: DecideScratch::new(),
+        }
+    }
+}
+
 /// A bounded in-memory map from approximate feature keys to recognition
 /// labels.
 ///
@@ -196,6 +219,7 @@ pub struct ApproxCache<L> {
     entries: HashMap<u64, CacheEntry<L>>,
     next_id: u64,
     stats: CacheStats,
+    scratch: LookupScratch<L>,
 }
 
 impl<L> fmt::Debug for ApproxCache<L> {
@@ -224,6 +248,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
             entries: HashMap::new(),
             next_id: 0,
             stats: CacheStats::default(),
+            scratch: LookupScratch::default(),
         }
     }
 
@@ -286,18 +311,27 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
             self.stats.debug_assert_balanced();
             return LookupResult::Miss(MissReason::EmptyIndex);
         };
-        let neighbors = index.nearest(key, self.config.aknn.k);
+        let LookupScratch {
+            neighbors,
+            labeled,
+            decide,
+        } = &mut self.scratch;
+        index.nearest_into(key, self.config.aknn.k, neighbors);
         // Neighbours without a backing entry (an index/store desync) are
-        // dropped from the vote instead of crashing the device.
-        let labeled: Vec<(f64, L, u64)> = neighbors
-            .iter()
-            .filter_map(|n| {
-                let entry = self.entries.get(&n.id)?;
-                Some((n.distance, entry.label, n.id))
-            })
-            .collect();
-        let votes: Vec<(f64, L)> = labeled.iter().map(|&(d, label, _)| (d, label)).collect();
-        match ann::aknn::decide(&votes, &self.config.aknn) {
+        // dropped from the vote instead of crashing the device. One pass
+        // builds the labelled list that both the vote and the
+        // served-entry choice read from.
+        labeled.clear();
+        for n in neighbors.iter() {
+            if let Some(entry) = self.entries.get(&n.id) {
+                labeled.push((n.distance, entry.label, n.id));
+            }
+        }
+        match ann::aknn::decide_in(
+            labeled.iter().map(|&(d, label, _)| (d, label)),
+            &self.config.aknn,
+            decide,
+        ) {
             AknnOutcome::Hit {
                 label,
                 nearest_distance,
@@ -363,7 +397,8 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ApproxCache<L> {
 
         // Near-duplicate refresh.
         if self.config.admission.dedup_distance > 0.0 {
-            if let Some(nearest) = index.nearest(&key, 1).first() {
+            index.nearest_into(&key, 1, &mut self.scratch.neighbors);
+            if let Some(nearest) = self.scratch.neighbors.first() {
                 if nearest.distance <= self.config.admission.dedup_distance {
                     if let Some(entry) = self.entries.get_mut(&nearest.id) {
                         if entry.label == label {

@@ -79,6 +79,19 @@ const SIM_CRATES: &[&str] = &[
     "workloads",
 ];
 
+/// Harness crates where only rule D's wall-clock check applies: their
+/// results must not depend on host timing, but they orchestrate rather
+/// than simulate, so the RNG and hash-order checks stay out.
+const WALL_CLOCK_CRATES: &[&str] = &["bench"];
+
+/// The one legitimate home of wall-clock reads: perf measurement code,
+/// whose whole job is timing real execution. Everything else in
+/// [`WALL_CLOCK_CRATES`] must stay on simulated time.
+const WALL_CLOCK_MEASUREMENT_FILES: &[&str] = &[
+    "crates/bench/src/perf.rs",
+    "crates/bench/src/bin/perf_smoke.rs",
+];
+
 /// Hot-path crates where rule P applies.
 const PANIC_CRATES: &[&str] = &["reuse", "approxcache", "p2pnet"];
 
@@ -302,9 +315,15 @@ fn push(
 }
 
 /// Rule D. Flags wall-clock types, ambient RNG construction, and
-/// iteration over identifiers declared as `HashMap`/`HashSet`.
+/// iteration over identifiers declared as `HashMap`/`HashSet`. The full
+/// rule applies to simulation crates; harness crates get the wall-clock
+/// half only, with the perf measurement files carved out.
 fn check_determinism(ctx: &FileContext, out: &mut Vec<Violation>) {
-    if !SIM_CRATES.contains(&ctx.crate_name()) {
+    let sim = SIM_CRATES.contains(&ctx.crate_name());
+    let wall_clock = sim
+        || (WALL_CLOCK_CRATES.contains(&ctx.crate_name())
+            && !WALL_CLOCK_MEASUREMENT_FILES.contains(&ctx.rel_path.as_str()));
+    if !sim && !wall_clock {
         return;
     }
     let tokens = ctx.tokens();
@@ -352,7 +371,8 @@ fn check_determinism(ctx: &FileContext, out: &mut Vec<Violation>) {
             continue;
         }
         let line = t.line;
-        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+        if wall_clock
+            && (t.is_ident("Instant") || t.is_ident("SystemTime"))
             && !ctx.allowed(Rule::Determinism, line)
         {
             push(
@@ -360,9 +380,13 @@ fn check_determinism(ctx: &FileContext, out: &mut Vec<Violation>) {
                 out,
                 Rule::Determinism,
                 line,
-                format!("wall-clock `{}` in a simulation crate", t.text),
-                "use the simulated clock (simcore::SimTime) so runs replay bit-identically",
+                format!("wall-clock `{}` outside the perf measurement files", t.text),
+                "use the simulated clock (simcore::SimTime); real timing belongs in \
+                 crates/bench/src/perf.rs or the perf_smoke binary",
             );
+        }
+        if !sim {
+            continue;
         }
         if (t.is_ident("thread_rng") || t.is_ident("from_entropy"))
             && !ctx.allowed(Rule::Determinism, line)

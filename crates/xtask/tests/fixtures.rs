@@ -50,6 +50,42 @@ fn determinism_only_applies_to_sim_crates() {
 }
 
 #[test]
+fn harness_crate_gets_the_wall_clock_half_only() {
+    // In the bench crate only the wall-clock check applies: Instant
+    // (line 11) fires, while ambient RNG (13) and hash-order iteration
+    // (15) are the simulation crates' concern.
+    let hits = lint("bad", "determinism", "crates/bench/src/lib.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Determinism)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(lines.contains(&11), "Instant::now line, got {lines:?}");
+    assert!(
+        !lines.contains(&13),
+        "thread_rng out of scope, got {lines:?}"
+    );
+    assert!(
+        !lines.contains(&15),
+        "hash iteration out of scope, got {lines:?}"
+    );
+}
+
+#[test]
+fn perf_measurement_files_may_read_the_wall_clock() {
+    for home in [
+        "crates/bench/src/perf.rs",
+        "crates/bench/src/bin/perf_smoke.rs",
+    ] {
+        let hits = lint("bad", "determinism", home, 0);
+        assert!(
+            !hits.iter().any(|&(r, _)| r == Rule::Determinism),
+            "{home}: got {hits:?}"
+        );
+    }
+}
+
+#[test]
 fn bad_units_fires() {
     let hits = lint("bad", "units", "crates/dnnsim/src/fixture.rs", 0);
     let lines: Vec<usize> = hits
