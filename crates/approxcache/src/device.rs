@@ -7,7 +7,7 @@ use dnnsim::{CascadeModel, DnnModel, EnergyModel, InferenceBackend, Radio};
 use features::{FeatureVector, RandomProjection};
 use imu::{GateDecision, ImuSample, MotionEstimator};
 use p2pnet::{P2pMessage, RemoteHit, ResilienceConfig, ResilienceCounters, Transport, WireEntry};
-use reuse::{ApproxCache, EntrySource, LookupResult, SharedCache};
+use reuse::{EntrySource, LookupResult, SharedCache};
 use scene::{ClassId, Frame};
 use simcore::units::Millijoules;
 use simcore::{
@@ -277,7 +277,25 @@ impl<'a> DeviceBuilder<'a> {
         }
         let effective = variant.apply(&config);
         let projection = Arc::new(effective.build_projection(self.descriptor_dim));
-        let cache = SharedCache::new(ApproxCache::new(effective.cache.clone()));
+        // The admission sketch's seed derives from the sim seed through
+        // per-device splits so fleets stay deterministic yet devices
+        // don't share sketch collisions.
+        let sketch_seed = SimRng::seed(self.seed)
+            .split_index("device", self.id.0 as u64)
+            .split("admission-sketch")
+            .seed_value();
+        let mut concurrency = reuse::ConcurrentConfig::new(effective.cache.clone())
+            .with_shards(effective.cache_shards)
+            .with_sketch_seed(sketch_seed);
+        if let Some(frequency) = effective.frequency_admission {
+            concurrency = concurrency.with_frequency(frequency);
+        }
+        let cache = SharedCache::with_concurrency(concurrency);
+        if effective.cost_aware_eviction {
+            cache.set_weighter(Some(Arc::new(reuse::RecomputeCostWeighter::new(
+                effective.model.base_latency.to_duration(),
+            ))));
+        }
         let dnn: Box<dyn InferenceBackend> = match &effective.cascade_little {
             None => Box::new(DnnModel::new(
                 effective.model.clone(),
@@ -408,7 +426,7 @@ impl Device {
 
     /// The cache's current A-kNN distance threshold.
     pub fn current_threshold(&self) -> f64 {
-        self.cache.with(|c| c.distance_threshold())
+        self.cache.distance_threshold()
     }
 
     /// Takes the advertisement queued by the last processed frame, if any.
@@ -452,7 +470,7 @@ impl Device {
     /// (outcome log, transport and resilience counters) survives, because
     /// it models the experiment's books, not the phone's RAM.
     pub fn crash(&mut self) {
-        self.cache.with(|c| c.clear());
+        self.cache.clear();
         self.exact_cache.clear();
         self.last_result = None;
         self.motion_since_validation = 0.0;
@@ -490,8 +508,7 @@ impl Device {
         // path in a real app; the sweep itself is microseconds).
         if let Some(expiry) = self.expiry {
             if now.saturating_duration_since(self.last_expiry_sweep) >= expiry.interval {
-                self.cache
-                    .with(|c| c.expire_older_than(now, expiry.max_age));
+                self.cache.expire_older_than(now, expiry.max_age);
                 self.last_expiry_sweep = now;
             }
         }
@@ -611,10 +628,8 @@ impl Device {
                     energy += inference.energy;
                     if let Some(controller) = self.adaptive.as_mut() {
                         let agreed = inference.label == label;
-                        self.cache.with(|c| {
-                            let updated = controller.on_audit(agreed, c.distance_threshold());
-                            c.set_distance_threshold(updated);
-                        });
+                        let updated = controller.on_audit(agreed, self.cache.distance_threshold());
+                        self.cache.set_distance_threshold(updated);
                     }
                     // The audit's inference is authoritative for this
                     // frame (it was paid for) and refreshes the cache.
@@ -766,15 +781,13 @@ impl Device {
         // threshold means this inference was a spurious miss.
         if let Some(controller) = &mut self.adaptive {
             if self.variant.local_cache_enabled() && !self.variant.exact_match_only() {
-                if let Some((distance, label)) = self.cache.with(|c| c.peek_nearest(&key)) {
-                    self.cache.with(|c| {
-                        let updated = controller.on_near_miss(
-                            distance,
-                            label == inference.label,
-                            c.distance_threshold(),
-                        );
-                        c.set_distance_threshold(updated);
-                    });
+                if let Some((distance, label)) = self.cache.peek_nearest(&key) {
+                    let updated = controller.on_near_miss(
+                        distance,
+                        label == inference.label,
+                        self.cache.distance_threshold(),
+                    );
+                    self.cache.set_distance_threshold(updated);
                 }
             }
         }
@@ -1014,7 +1027,7 @@ fn remote_lookup(
             entry,
             ..
         } => {
-            let confidence = cache.with(|c| c.entry(entry).map_or(0.5, |e| e.confidence));
+            let confidence = cache.entry_confidence(entry).unwrap_or(0.5);
             Some(RemoteHit {
                 label: label.0,
                 confidence,

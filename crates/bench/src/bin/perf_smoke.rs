@@ -2,23 +2,29 @@
 //!
 //! Times the per-frame hot path (index lookup, insert, and the raw
 //! distance kernel) at cache sizes 16/256/4096 — against the vendored
-//! pre-optimisation reference path in the same binary — plus one
+//! pre-optimisation reference path in the same binary — plus a
+//! concurrent-throughput series over the sharded store and one
 //! end-to-end experiment wall-clock, and appends the measurements as a
-//! run entry to `BENCH.json` at the workspace root. Purely
+//! run entry to `BENCH.json` at the workspace root. Each run is also
+//! mirrored as a per-run `BENCH_<n>.json` snapshot (see
+//! [`bench::trajectory`]) — the form the trajectory readers consume —
+//! and missing snapshots for older runs are backfilled. Purely
 //! informational: the binary always exits 0, so CI never gates on
 //! absolute times (they depend on the runner); the *trajectory* across
 //! PRs is the signal. See EXPERIMENTS.md "Perf smoke".
 
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 
 use ann::{LinearScan, NnIndex, ReferenceLinearScan};
 use bench::perf::{best_of_ns, time_once_ms, time_per_op_ns};
-use bench::{parallel, results_dir, MASTER_SEED};
+use bench::{parallel, results_dir, trajectory, MASTER_SEED};
 use features::distance::{squared_euclidean_flat, squared_euclidean_ref};
 use features::FeatureVector;
+use reuse::{AdmissionPolicy, CacheConfig, ConcurrentConfig, EntrySource, SharedCache};
 use serde::Serialize;
-use simcore::{SimDuration, SimRng};
+use simcore::{SimDuration, SimRng, SimTime};
 
 /// Key dimension the pipeline uses (`PipelineConfig::key_dim`).
 const DIM: usize = 64;
@@ -38,6 +44,17 @@ const E2E_SECONDS: u64 = 5;
 const CLUSTER_SIZE: usize = 8;
 /// Within-cluster per-component noise.
 const CLUSTER_SIGMA: f64 = 0.05;
+/// Entries pre-populated into each concurrent-throughput cache.
+const CONCURRENT_ENTRIES: usize = 4096;
+/// Worker threads driving the concurrent series.
+const CONCURRENT_THREADS: usize = 4;
+/// Shard count of the sharded point (vs the 1-shard single-lock
+/// baseline).
+const CONCURRENT_SHARDS: usize = 4;
+/// Lookups per worker per concurrent measurement round.
+const CONCURRENT_LOOKUPS: usize = 1024;
+/// Re-inserts per worker per concurrent measurement round.
+const CONCURRENT_INSERTS: usize = 256;
 
 /// One cache-size measurement point.
 #[derive(Debug, Serialize)]
@@ -53,6 +70,16 @@ struct SizePoint {
     insert_ns: f64,
 }
 
+/// One point of the concurrent-throughput series: a shard count and the
+/// aggregate operation rate `CONCURRENT_THREADS` workers sustain on it.
+#[derive(Debug, Serialize)]
+struct ConcurrentPoint {
+    shards: usize,
+    threads: usize,
+    /// Aggregate lookup+insert operations per wall millisecond.
+    ops_per_ms: f64,
+}
+
 /// One `BENCH.json` run entry.
 #[derive(Debug, Serialize)]
 struct BenchRun {
@@ -65,6 +92,11 @@ struct BenchRun {
     distance_flat_ns: f64,
     /// ns per reference scalar-kernel distance at `dim`.
     distance_reference_ns: f64,
+    /// Sharded-store throughput at 1 shard (single-lock baseline) and at
+    /// `CONCURRENT_SHARDS`.
+    concurrent: Vec<ConcurrentPoint>,
+    /// `ops_per_ms` at `CONCURRENT_SHARDS` over the 1-shard baseline.
+    concurrent_speedup: f64,
     e2e_scenario: String,
     e2e_seconds: u64,
     e2e_wall_ms: f64,
@@ -183,6 +215,73 @@ fn measure_distance_kernels(rng: &mut SimRng) -> (f64, f64) {
     (flat, reference)
 }
 
+/// Aggregate lookup+insert throughput of the shared store at `shards`
+/// shards under `CONCURRENT_THREADS` workers. The caches are
+/// pre-populated with the same `CONCURRENT_ENTRIES` random keys, so the
+/// 1-shard point is the old single-lock store and the sharded point
+/// shows what bucket routing buys: each worker's lookups probe a
+/// `~1/shards`-size index and writers on different buckets never
+/// contend.
+fn measure_concurrent(shards: usize, rng: &mut SimRng) -> ConcurrentPoint {
+    let cache: SharedCache<u32> = SharedCache::with_concurrency(
+        ConcurrentConfig::new(
+            CacheConfig::new(CONCURRENT_ENTRIES * 2).with_admission(AdmissionPolicy::admit_all()),
+        )
+        .with_shards(shards),
+    );
+    let keys: Vec<FeatureVector> = (0..CONCURRENT_ENTRIES).map(|_| random_key(rng)).collect();
+    for (i, key) in keys.iter().enumerate() {
+        cache.insert(
+            key.clone(),
+            (i % 64) as u32,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::from_millis(i as u64),
+        );
+    }
+
+    let threads = NonZeroUsize::new(CONCURRENT_THREADS).unwrap_or(NonZeroUsize::MIN);
+    let mut wall_ms = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let jobs: Vec<_> = (0..CONCURRENT_THREADS)
+            .map(|w| {
+                let cache = cache.clone();
+                let keys = keys.clone();
+                move || {
+                    let stride = w * keys.len() / CONCURRENT_THREADS;
+                    for i in 0..CONCURRENT_LOOKUPS {
+                        let key = &keys[(stride + i) % keys.len()];
+                        black_box(cache.lookup(key, SimTime::from_secs(60)));
+                    }
+                    // Re-inserts refresh existing entries, so the cache
+                    // stays the same size across rounds.
+                    for i in 0..CONCURRENT_INSERTS {
+                        let key = keys[(stride + i * CONCURRENT_THREADS) % keys.len()].clone();
+                        cache.insert(
+                            key,
+                            w as u32,
+                            0.9,
+                            EntrySource::LocalInference,
+                            SimTime::from_secs(61),
+                        );
+                    }
+                }
+            })
+            .collect();
+        let ms = time_once_ms(|| {
+            black_box(parallel::run_jobs_on(threads, jobs));
+        });
+        wall_ms = wall_ms.min(ms);
+    }
+
+    let total_ops = (CONCURRENT_THREADS * (CONCURRENT_LOOKUPS + CONCURRENT_INSERTS)) as f64;
+    ConcurrentPoint {
+        shards,
+        threads: CONCURRENT_THREADS,
+        ops_per_ms: total_ops / wall_ms,
+    }
+}
+
 fn bench_json_path() -> PathBuf {
     results_dir()
         .parent()
@@ -190,7 +289,7 @@ fn bench_json_path() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("BENCH.json"))
 }
 
-fn append_run(run: &BenchRun) -> Result<PathBuf, String> {
+fn append_run(run: &BenchRun) -> Result<(PathBuf, serde_json::Value), String> {
     let path = bench_json_path();
     let mut doc: serde_json::Value = match std::fs::read_to_string(&path) {
         Ok(text) => serde_json::from_str(&text)
@@ -206,7 +305,52 @@ fn append_run(run: &BenchRun) -> Result<PathBuf, String> {
     let text =
         serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize document: {e}"))?;
     std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
-    Ok(path)
+    Ok((path, doc))
+}
+
+/// Mirrors the cumulative document into per-run `BENCH_<n>.json`
+/// snapshots (filling any gaps from runs recorded before the snapshot
+/// scheme existed) and prints the trajectory those snapshots encode.
+fn record_and_print_trajectory(dir: &Path, doc: &serde_json::Value) {
+    match trajectory::backfill(dir, doc) {
+        Ok(written) => {
+            for n in written {
+                println!(
+                    "wrote snapshot {}",
+                    trajectory::snapshot_path(dir, n).display()
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: could not write run snapshots: {e}"),
+    }
+    let points = match trajectory::read(dir) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("warning: could not read trajectory: {e}");
+            return;
+        }
+    };
+    if points.is_empty() {
+        println!("\nperf trajectory: empty (no BENCH_<n>.json snapshots)");
+        return;
+    }
+    let ratio = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.2}x"));
+    println!("\n== perf trajectory ({} runs) ==", points.len());
+    println!(
+        "{:>4}  {:<20} {:>12} {:>11} {:>8}",
+        "run", "label", "4096 lookup", "concurrent", "e2e ms"
+    );
+    for p in points {
+        println!(
+            "{:>4}  {:<20} {:>12} {:>11} {:>8}",
+            p.run,
+            p.label,
+            ratio(p.lookup_speedup_at_4096),
+            ratio(p.concurrent_speedup),
+            p.e2e_wall_ms
+                .map_or_else(|| "-".to_owned(), |x| format!("{x:.1}")),
+        );
+    }
 }
 
 fn main() {
@@ -236,6 +380,21 @@ fn main() {
         "\ndistance kernel (dim {DIM}): flat {distance_flat_ns:.2} ns, reference {distance_reference_ns:.2} ns"
     );
 
+    println!(
+        "\nconcurrent store ({CONCURRENT_ENTRIES} entries, {CONCURRENT_THREADS} threads, \
+         lookups+inserts):"
+    );
+    let single_lock = measure_concurrent(1, &mut rng);
+    let sharded = measure_concurrent(CONCURRENT_SHARDS, &mut rng);
+    let concurrent_speedup = sharded.ops_per_ms / single_lock.ops_per_ms;
+    for point in [&single_lock, &sharded] {
+        println!(
+            "  {:>2} shard(s): {:>10.1} ops/ms",
+            point.shards, point.ops_per_ms
+        );
+    }
+    println!("  aggregate speedup at {CONCURRENT_SHARDS} shards: {concurrent_speedup:.2}x");
+
     let scenario =
         workloads::video::stationary().with_duration(SimDuration::from_secs(E2E_SECONDS));
     let config = approxcache::PipelineConfig::calibrated(&scenario, MASTER_SEED);
@@ -260,6 +419,8 @@ fn main() {
         sizes,
         distance_flat_ns,
         distance_reference_ns,
+        concurrent: vec![single_lock, sharded],
+        concurrent_speedup,
         e2e_scenario: scenario.name.clone(),
         e2e_seconds: E2E_SECONDS,
         e2e_wall_ms,
@@ -274,9 +435,21 @@ fn main() {
             );
         }
     }
+    if run.concurrent_speedup < 2.0 {
+        println!(
+            "\nnote: concurrent speedup at {CONCURRENT_SHARDS} shards is {:.2}x (< 2x — \
+             expected only on heavily loaded runners; the win comes from per-shard \
+             indexes being ~{CONCURRENT_SHARDS}x smaller, not from parallelism)",
+            run.concurrent_speedup
+        );
+    }
 
     match append_run(&run) {
-        Ok(path) => println!("\nappended run to {}", path.display()),
+        Ok((path, doc)) => {
+            println!("\nappended run to {}", path.display());
+            let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+            record_and_print_trajectory(&dir, &doc);
+        }
         Err(e) => eprintln!("\nwarning: could not record run: {e}"),
     }
 }

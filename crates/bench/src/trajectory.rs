@@ -1,0 +1,251 @@
+//! Per-run perf snapshots: the `BENCH_<n>.json` trajectory.
+//!
+//! `perf_smoke` appends every run to the cumulative `BENCH.json`, but the
+//! trajectory readers scan for *per-run* `BENCH_<n>.json` snapshots — for
+//! a while nothing wrote those, so the recorded speedups were invisible
+//! (the trajectory read back empty). This module is now the single home
+//! of the snapshot naming scheme: it writes one snapshot per run,
+//! backfills snapshots for runs that predate the scheme, and reads the
+//! ordered trajectory back.
+//!
+//! Snapshot `BENCH_<n>.json` holds run `n` (1-indexed, matching its
+//! position in the cumulative `runs` array) wrapped as
+//! `{"schema": 1, "run_index": n, "run": {…}}`. Snapshots are immutable
+//! once written: [`backfill`] only fills gaps, never rewrites.
+
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+/// Builds a JSON object in entry order (the vendored `serde_json` has no
+/// `json!` macro).
+fn object(entries: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_owned(), value);
+    }
+    Value::Object(map)
+}
+
+/// One point of the recorded perf trajectory, extracted from a run
+/// snapshot. Fields that a (possibly older) run never measured are
+/// `None`, not zero — absence and "measured as zero" must not alias.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TrajectoryPoint {
+    /// 1-indexed run number (`n` in `BENCH_<n>.json`).
+    pub run: usize,
+    /// The run's `BENCH_LABEL` (or "dev").
+    pub label: String,
+    /// Flat-vs-reference lookup speedup at the 4096-entry point.
+    pub lookup_speedup_at_4096: Option<f64>,
+    /// Aggregate 4-shard/4-thread over single-lock throughput ratio.
+    pub concurrent_speedup: Option<f64>,
+    /// End-to-end experiment wall clock, milliseconds.
+    pub e2e_wall_ms: Option<f64>,
+}
+
+/// The snapshot path for 1-indexed run `n` under `dir`.
+pub fn snapshot_path(dir: &Path, n: usize) -> PathBuf {
+    dir.join(format!("BENCH_{n}.json"))
+}
+
+/// Run numbers that have a snapshot under `dir`, ascending. Non-matching
+/// files are ignored; an unreadable directory reads as empty (the
+/// trajectory is informational, never load-bearing).
+pub fn discover(dir: &Path) -> Vec<usize> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut runs: Vec<usize> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let middle = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            middle.parse::<usize>().ok()
+        })
+        .collect();
+    runs.sort_unstable();
+    runs.dedup();
+    runs
+}
+
+/// Writes `run` (one entry of the cumulative `runs` array) as the
+/// snapshot for 1-indexed run `n`, returning the path written.
+///
+/// # Errors
+///
+/// Returns a message when serialization or the write fails.
+pub fn write_snapshot(dir: &Path, n: usize, run: &serde_json::Value) -> Result<PathBuf, String> {
+    let path = snapshot_path(dir, n);
+    let doc = object([
+        ("schema", Value::from(1u64)),
+        ("run_index", Value::from(n)),
+        ("run", run.clone()),
+    ]);
+    let text =
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize snapshot {n}: {e}"))?;
+    std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Writes a snapshot for every run in the cumulative document that does
+/// not have one yet, returning the run numbers written (ascending).
+/// Existing snapshots are left untouched.
+///
+/// # Errors
+///
+/// Returns a message when the document has no `runs` array or a write
+/// fails.
+pub fn backfill(dir: &Path, cumulative: &serde_json::Value) -> Result<Vec<usize>, String> {
+    let runs = cumulative["runs"]
+        .as_array()
+        .ok_or_else(|| "cumulative document has no \"runs\" array".to_string())?;
+    let mut written = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        let n = i + 1;
+        if snapshot_path(dir, n).exists() {
+            continue;
+        }
+        write_snapshot(dir, n, run)?;
+        written.push(n);
+    }
+    Ok(written)
+}
+
+/// Reads the ordered trajectory back from the snapshots under `dir`.
+///
+/// # Errors
+///
+/// Returns a message when a discovered snapshot cannot be read or
+/// parsed — a present-but-broken snapshot is worth surfacing, unlike a
+/// merely absent one.
+pub fn read(dir: &Path) -> Result<Vec<TrajectoryPoint>, String> {
+    discover(dir)
+        .into_iter()
+        .map(|n| {
+            let path = snapshot_path(dir, n);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let doc: serde_json::Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+            Ok(point_from_run(n, &doc["run"]))
+        })
+        .collect()
+}
+
+/// Extracts the trajectory fields from one run entry.
+fn point_from_run(n: usize, run: &serde_json::Value) -> TrajectoryPoint {
+    let lookup_speedup_at_4096 = run["sizes"]
+        .as_array()
+        .and_then(|sizes| sizes.iter().find(|p| p["size"].as_u64() == Some(4096)))
+        .and_then(|p| p["lookup_speedup"].as_f64());
+    TrajectoryPoint {
+        run: n,
+        label: run["label"].as_str().unwrap_or("?").to_owned(),
+        lookup_speedup_at_4096,
+        concurrent_speedup: run["concurrent_speedup"].as_f64(),
+        e2e_wall_ms: run["e2e_wall_ms"].as_f64(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact round-trip through JSON is the point
+mod tests {
+    use super::*;
+
+    /// A fresh scratch directory per test (process id plus test name, so
+    /// parallel tests in one binary never collide).
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bench-trajectory-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_value(label: &str, speedup: f64) -> Value {
+        object([
+            ("label", Value::from(label)),
+            (
+                "sizes",
+                Value::Array(vec![
+                    object([
+                        ("size", Value::from(16u64)),
+                        ("lookup_speedup", Value::from(1.5)),
+                    ]),
+                    object([
+                        ("size", Value::from(4096u64)),
+                        ("lookup_speedup", Value::from(speedup)),
+                    ]),
+                ]),
+            ),
+            ("concurrent_speedup", Value::from(2.4)),
+            ("e2e_wall_ms", Value::from(4.2)),
+        ])
+    }
+
+    #[test]
+    fn discover_ignores_noise_and_sorts() {
+        let dir = scratch("discover");
+        for name in ["BENCH_2.json", "BENCH_1.json", "BENCH_10.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        for noise in ["BENCH.json", "BENCH_x.json", "BENCH_3.txt", "notes.md"] {
+            std::fs::write(dir.join(noise), "{}").unwrap();
+        }
+        assert_eq!(discover(&dir), vec![1, 2, 10]);
+        assert!(discover(&dir.join("missing")).is_empty());
+    }
+
+    #[test]
+    fn backfill_fills_gaps_without_rewriting() {
+        let dir = scratch("backfill");
+        let cumulative = object([
+            ("schema", Value::from(1u64)),
+            (
+                "runs",
+                Value::Array(vec![run_value("first", 3.1), run_value("second", 3.2)]),
+            ),
+        ]);
+        // Pre-write run 1 with sentinel content; backfill must keep it.
+        std::fs::write(snapshot_path(&dir, 1), "{\"sentinel\": true}\n").unwrap();
+        assert_eq!(backfill(&dir, &cumulative).unwrap(), vec![2]);
+        let kept = std::fs::read_to_string(snapshot_path(&dir, 1)).unwrap();
+        assert!(
+            kept.contains("sentinel"),
+            "existing snapshots are immutable"
+        );
+        // A second backfill is a no-op.
+        assert_eq!(backfill(&dir, &cumulative).unwrap(), Vec::<usize>::new());
+        let missing_runs = object([("schema", Value::from(1u64))]);
+        assert!(backfill(&dir, &missing_runs).is_err());
+    }
+
+    #[test]
+    fn read_round_trips_written_snapshots() {
+        let dir = scratch("read");
+        write_snapshot(&dir, 1, &run_value("kernels", 3.19)).unwrap();
+        write_snapshot(&dir, 2, &run_value("sharded", 3.05)).unwrap();
+        let points = read(&dir).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].run, 1);
+        assert_eq!(points[0].label, "kernels");
+        assert_eq!(points[0].lookup_speedup_at_4096, Some(3.19));
+        assert_eq!(points[1].concurrent_speedup, Some(2.4));
+        assert_eq!(points[1].e2e_wall_ms, Some(4.2));
+    }
+
+    #[test]
+    fn read_tolerates_missing_fields_but_not_broken_files() {
+        let dir = scratch("partial");
+        // An old run that predates the concurrent series.
+        write_snapshot(&dir, 1, &object([("label", Value::from("old"))])).unwrap();
+        let points = read(&dir).unwrap();
+        assert_eq!(points[0].label, "old");
+        assert!(points[0].lookup_speedup_at_4096.is_none());
+        assert!(points[0].concurrent_speedup.is_none());
+        std::fs::write(snapshot_path(&dir, 2), "not json").unwrap();
+        assert!(read(&dir).is_err(), "broken snapshots must surface");
+    }
+}

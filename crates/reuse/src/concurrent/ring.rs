@@ -1,0 +1,125 @@
+//! A lossy ring buffer of access events.
+//!
+//! Recording every access in the count-min sketch would put four hashed
+//! counter increments on the lookup hot path. Instead each access pushes
+//! its routing signature into a fixed-capacity ring — one store, no
+//! hashing — and the sketch catches up in batches at the next insert.
+//! When the ring overflows, the *oldest* pending events are overwritten:
+//! losing a sample only makes the frequency estimate slightly stale,
+//! never wrong, which is the TinyLFU bargain.
+
+/// Fixed-capacity, overwrite-oldest buffer of routing signatures.
+#[derive(Debug)]
+pub(crate) struct AccessRing {
+    slots: Vec<u64>,
+    /// Index of the oldest pending event once the ring has wrapped.
+    start: usize,
+    capacity: usize,
+    /// Events overwritten before they were drained.
+    dropped: u64,
+}
+
+impl AccessRing {
+    /// A ring holding up to `capacity` pending events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub(crate) fn new(capacity: usize) -> AccessRing {
+        assert!(capacity > 0, "AccessRing: capacity must be positive");
+        AccessRing {
+            slots: Vec::with_capacity(capacity),
+            start: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one access; overwrites the oldest pending event when full.
+    pub(crate) fn push(&mut self, sig: u64) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(sig);
+            return;
+        }
+        if let Some(slot) = self.slots.get_mut(self.start) {
+            *slot = sig;
+        }
+        self.start = (self.start + 1) % self.capacity;
+        self.dropped += 1;
+    }
+
+    /// Drains all pending events in arrival order into `f`, emptying the
+    /// ring.
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(u64)) {
+        let len = self.slots.len();
+        for i in 0..len {
+            if let Some(&sig) = self.slots.get((self.start + i) % len) {
+                f(sig);
+            }
+        }
+        self.slots.clear();
+        self.start = 0;
+    }
+
+    /// Number of pending events.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events lost to overwrites so far.
+    #[cfg(test)]
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_arrival_order() {
+        let mut ring = AccessRing::new(4);
+        for sig in [10, 20, 30] {
+            ring.push(sig);
+        }
+        assert_eq!(ring.len(), 3);
+        let mut seen = Vec::new();
+        ring.drain(|s| seen.push(s));
+        assert_eq!(seen, vec![10, 20, 30]);
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first() {
+        let mut ring = AccessRing::new(3);
+        for sig in [1, 2, 3, 4, 5] {
+            ring.push(sig);
+        }
+        let mut seen = Vec::new();
+        ring.drain(|s| seen.push(s));
+        assert_eq!(seen, vec![3, 4, 5], "events 1 and 2 were overwritten");
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn reusable_after_drain() {
+        let mut ring = AccessRing::new(2);
+        ring.push(7);
+        ring.drain(|_| {});
+        ring.push(8);
+        ring.push(9);
+        ring.push(10);
+        let mut seen = Vec::new();
+        ring.drain(|s| seen.push(s));
+        assert_eq!(seen, vec![9, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        AccessRing::new(0);
+    }
+}

@@ -1,0 +1,665 @@
+//! The sharded store: per-shard locks, per-shard indexes, deterministic
+//! routing and merging.
+
+use std::cmp::Reverse;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use features::FeatureVector;
+use simcore::{SimDuration, SimRng, SimTime};
+
+use super::sketch::{mix, FrequencyConfig, TinyLfu};
+use crate::entry::{CacheEntry, EntryId, EntrySource};
+use crate::snapshot::CacheSnapshot;
+use crate::stats::CacheStats;
+use crate::store::{ApproxCache, CacheConfig, FrequencyGate, InsertOutcome, LookupResult};
+use crate::weight::Weighter;
+
+/// Protocol constant seeding the Rademacher routing projection. Fixed —
+/// not derived from the sim seed — because two devices must route
+/// identical keys identically or peer-shared entries would land in the
+/// wrong shard.
+const ROUTE_SEED: u64 = 0x1cdc_5202_1a6b_cafe;
+
+/// The key's routing signature: project onto a fixed ±1 direction,
+/// quantize the 1-D projection into cells of width `cell`, hash the cell
+/// index. Near keys (within a cell) share a signature; the signature
+/// picks both the home shard and the TinyLFU frequency key.
+///
+/// A full per-dimension grid hash would break locality — two keys a
+/// hair's breadth apart almost surely differ in *some* dimension's cell
+/// at 64 dimensions — while a 1-D projection only splits neighbours that
+/// straddle one cell boundary.
+pub fn route_signature(key: &FeatureVector, cell: f64) -> u64 {
+    let mut dot = 0.0f64;
+    for (i, &c) in key.as_slice().iter().enumerate() {
+        if mix(ROUTE_SEED ^ i as u64) & 1 == 0 {
+            dot += c as f64;
+        } else {
+            dot -= c as f64;
+        }
+    }
+    let bucket = (dot / cell).floor() as i64;
+    mix(bucket as u64)
+}
+
+/// Configuration of a [`ShardedCache`]: the per-store cache config plus
+/// the concurrency and admission knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentConfig {
+    /// The logical cache configuration (total capacity, hit test,
+    /// eviction, admission, index kind — each shard gets its own index).
+    pub cache: CacheConfig,
+    /// Number of shards. 1 (the default) reproduces the single-threaded
+    /// store exactly.
+    pub shards: usize,
+    /// TinyLFU frequency admission; `None` (the default) admits at the
+    /// eviction point unconditionally, like the plain store.
+    pub frequency: Option<FrequencyConfig>,
+    /// Seed for the frequency sketches, derived from the sim seed split
+    /// by the caller (per-shard seeds split off it by shard index).
+    pub sketch_seed: u64,
+    /// Routing projection cell width. Wider cells put more of the key
+    /// space in one shard (fewer boundary misses, less spread).
+    pub bucket_cell: f64,
+}
+
+impl ConcurrentConfig {
+    /// Single-shard, no-frequency defaults around `cache` — the
+    /// configuration that is operation-for-operation identical to
+    /// `ApproxCache::new(cache)`.
+    pub fn new(cache: CacheConfig) -> ConcurrentConfig {
+        ConcurrentConfig {
+            cache,
+            shards: 1,
+            frequency: None,
+            sketch_seed: 0,
+            bucket_cell: 4.0,
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> ConcurrentConfig {
+        self.shards = shards;
+        self.validate();
+        self
+    }
+
+    /// Enables TinyLFU frequency admission.
+    pub fn with_frequency(mut self, frequency: FrequencyConfig) -> ConcurrentConfig {
+        self.frequency = Some(frequency);
+        self.validate();
+        self
+    }
+
+    /// Sets the sketch seed (derive it from the sim seed split).
+    pub fn with_sketch_seed(mut self, seed: u64) -> ConcurrentConfig {
+        self.sketch_seed = seed;
+        self
+    }
+
+    /// Sets the routing cell width.
+    pub fn with_bucket_cell(mut self, cell: f64) -> ConcurrentConfig {
+        self.bucket_cell = cell;
+        self.validate();
+        self
+    }
+
+    /// Validates all knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count is zero, the cell width is not positive
+    /// and finite, or a nested config is invalid.
+    pub fn validate(&self) {
+        self.cache.validate();
+        assert!(self.shards > 0, "ConcurrentConfig: shards must be positive");
+        assert!(
+            self.bucket_cell > 0.0 && self.bucket_cell.is_finite(),
+            "ConcurrentConfig: bucket_cell must be positive and finite, got {}",
+            self.bucket_cell
+        );
+        if let Some(frequency) = &self.frequency {
+            frequency.validate();
+        }
+    }
+}
+
+/// One shard: a plain store plus its admission filter, together behind
+/// one lock.
+#[derive(Debug)]
+struct Shard<L> {
+    cache: ApproxCache<L>,
+    lfu: Option<TinyLfu>,
+}
+
+/// A concurrent approximate cache: `S` independently locked shards, keys
+/// routed by [`route_signature`]. All cross-shard reads (stats, length,
+/// snapshots) visit shards in ascending index order, so merged results
+/// are deterministic. See the [module docs](super) for the full
+/// contract.
+pub struct ShardedCache<L> {
+    config: ConcurrentConfig,
+    shards: Vec<Mutex<Shard<L>>>,
+}
+
+impl<L> fmt::Debug for ShardedCache<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.config.cache.capacity)
+            .field("frequency", &self.config.frequency.is_some())
+            .finish()
+    }
+}
+
+impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
+    /// Builds the sharded store. Total capacity splits evenly across
+    /// shards (rounded up, so `S > 1` can hold slightly more than the
+    /// configured total); shard `i` mints entry ids `i, i+S, i+2S, …` so
+    /// ids stay globally unique — and `id % S` names an entry's shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(config: ConcurrentConfig) -> ShardedCache<L> {
+        config.validate();
+        let shard_count = config.shards;
+        let per_shard = config.cache.capacity.div_ceil(shard_count);
+        let sketch_root = SimRng::seed(config.sketch_seed);
+        let shards = (0..shard_count)
+            .map(|i| {
+                let mut shard_config = config.cache.clone();
+                shard_config.capacity = per_shard;
+                let mut cache = ApproxCache::new(shard_config);
+                cache.set_id_namespace(i as u64, shard_count as u64);
+                let lfu = config.frequency.map(|f| {
+                    TinyLfu::new(
+                        f,
+                        sketch_root
+                            .split_index("shard-sketch", i as u64)
+                            .seed_value(),
+                    )
+                });
+                Mutex::new(Shard { cache, lfu })
+            })
+            .collect();
+        ShardedCache { config, shards }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ConcurrentConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, idx: usize) -> &Mutex<Shard<L>> {
+        // xtask-allow(panics): idx is always `sig % shards.len()` or an
+        // id residue, in range by construction.
+        &self.shards[idx]
+    }
+
+    /// The key's home shard index and routing signature.
+    fn home_of(&self, key: &FeatureVector) -> (usize, u64) {
+        let sig = route_signature(key, self.config.bucket_cell);
+        ((sig % self.shards.len() as u64) as usize, sig)
+    }
+
+    /// Looks up `key` in its home shard only — the point of sharding:
+    /// the probed index holds ~`n/S` entries. A neighbourhood straddling
+    /// a routing-cell boundary can miss entries cached in the adjacent
+    /// shard; that locality loss is the documented price of per-shard
+    /// indexes (zero at `S = 1`).
+    pub fn lookup(&self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
+        let (idx, sig) = self.home_of(key);
+        let mut shard = self.shard(idx).lock();
+        if let Some(lfu) = &mut shard.lfu {
+            lfu.note(sig);
+        }
+        shard.cache.lookup(key, now)
+    }
+
+    /// Inserts a result into the key's home shard. With frequency
+    /// admission enabled, the pending access ring is flushed into the
+    /// sketch first and the eviction point applies the TinyLFU gate.
+    pub fn insert(
+        &self,
+        key: FeatureVector,
+        label: L,
+        confidence: f64,
+        source: EntrySource,
+        now: SimTime,
+    ) -> InsertOutcome {
+        let (idx, sig) = self.home_of(&key);
+        let mut guard = self.shard(idx).lock();
+        let Shard { cache, lfu } = &mut *guard;
+        match lfu {
+            Some(lfu) => {
+                lfu.note(sig);
+                lfu.flush();
+                let lfu = &*lfu;
+                let cell = self.config.bucket_cell;
+                let estimate = move |k: &FeatureVector| lfu.estimate(route_signature(k, cell));
+                let gate = FrequencyGate {
+                    candidate: lfu.estimate(sig),
+                    estimate: &estimate,
+                };
+                cache.insert_gated(key, label, confidence, source, now, Some(gate))
+            }
+            None => cache.insert(key, label, confidence, source, now),
+        }
+    }
+
+    /// Merged operation counters, accumulated in ascending shard order.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            total.merge(guard.cache.stats());
+        }
+        total
+    }
+
+    /// Total number of cached entries.
+    pub fn len(&self) -> usize {
+        let mut total = 0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            total += guard.cache.len();
+        }
+        total
+    }
+
+    /// True if nothing is cached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry from every shard (statistics retained).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.cache.clear();
+        }
+    }
+
+    /// Sweeps every shard for entries older than `max_age`, returning
+    /// the total dropped.
+    pub fn expire_older_than(&self, now: SimTime, max_age: SimDuration) -> usize {
+        let mut total = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            total += guard.cache.expire_older_than(now, max_age);
+        }
+        total
+    }
+
+    /// The current A-kNN distance threshold (uniform across shards; read
+    /// from shard 0).
+    pub fn distance_threshold(&self) -> f64 {
+        let guard = self.shard(0).lock();
+        guard.cache.distance_threshold()
+    }
+
+    /// Sets the A-kNN distance threshold on every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    pub fn set_distance_threshold(&self, threshold: f64) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.cache.set_distance_threshold(threshold);
+        }
+    }
+
+    /// Switches cost-aware eviction on or off on every shard.
+    pub fn set_weighter(&self, weighter: Option<Arc<dyn Weighter<L>>>) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.cache.set_weighter(weighter.clone());
+        }
+    }
+
+    /// The nearest cached entry to `key` across *all* shards (read-only
+    /// probe: no statistics, no recency update). Ties break to the
+    /// lowest shard index.
+    pub fn peek_nearest(&self, key: &FeatureVector) -> Option<(f64, L)> {
+        let mut best: Option<(f64, L)> = None;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            if let Some((distance, label)) = guard.cache.peek_nearest(key) {
+                if best.is_none_or(|(b, _)| distance < b) {
+                    best = Some((distance, label));
+                }
+            }
+        }
+        best
+    }
+
+    /// The confidence of the entry with `id`, if still cached. The id's
+    /// residue names its shard, so only one shard is locked.
+    pub fn entry_confidence(&self, id: EntryId) -> Option<f64> {
+        let idx = (id.0 % self.shards.len() as u64) as usize;
+        let guard = self.shard(idx).lock();
+        guard.cache.entry(id).map(|e| e.confidence)
+    }
+
+    /// The `limit` most recently used entries across all shards, newest
+    /// first (cloned: the per-shard locks are released before returning).
+    pub fn hottest(&self, limit: usize) -> Vec<CacheEntry<L>> {
+        let mut all: Vec<CacheEntry<L>> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            all.extend(guard.cache.hottest(limit).into_iter().cloned());
+        }
+        all.sort_by_key(|e| Reverse((e.last_used, e.uses, e.id)));
+        all.truncate(limit);
+        all
+    }
+
+    /// A snapshot of every shard's entries, sorted by entry id — a
+    /// deterministic merged view for persistence.
+    pub fn snapshot(&self, now: SimTime) -> CacheSnapshot<L> {
+        let mut entries: Vec<CacheEntry<L>> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            entries.extend(guard.cache.iter().cloned());
+        }
+        entries.sort_by_key(|e| e.id);
+        CacheSnapshot {
+            taken_at: now,
+            entries,
+        }
+    }
+
+    /// [`snapshot`](Self::snapshot) normalized for cross-run comparison:
+    /// entry ids are zeroed (they encode per-shard arrival order, which
+    /// legitimately varies across thread interleavings) and entries sort
+    /// by key bits. Two runs that cached the same *contents* produce
+    /// byte-identical canonical snapshots regardless of worker count.
+    pub fn canonical_snapshot(&self, now: SimTime) -> CacheSnapshot<L> {
+        let mut snap = self.snapshot(now);
+        for e in &mut snap.entries {
+            e.id = EntryId(0);
+        }
+        snap.entries.sort_by_key(|e| {
+            (
+                e.key
+                    .as_slice()
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<u32>>(),
+                e.inserted_at,
+                e.last_used,
+                e.uses,
+            )
+        });
+        snap
+    }
+
+    /// Restores a snapshot through the normal insert path (routing,
+    /// admission, eviction all apply), hottest entries first. Returns
+    /// how many entries were inserted or absorbed as refreshes.
+    pub fn restore(&self, snapshot: &CacheSnapshot<L>, now: SimTime) -> usize {
+        let mut ordered: Vec<&CacheEntry<L>> = snapshot.entries.iter().collect();
+        ordered.sort_by_key(|e| Reverse((e.last_used, e.uses, e.id)));
+        let mut restored = 0;
+        for entry in ordered.into_iter().take(self.config.cache.capacity) {
+            let outcome = self.insert(
+                entry.key.clone(),
+                entry.label,
+                entry.confidence,
+                entry.source,
+                now,
+            );
+            if outcome.entry().is_some() {
+                restored += 1;
+            }
+        }
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use ann::AknnConfig;
+
+    fn fv(x: f32, y: f32) -> FeatureVector {
+        FeatureVector::from_vec(vec![x, y]).unwrap()
+    }
+
+    fn base_config(capacity: usize) -> CacheConfig {
+        CacheConfig::new(capacity)
+            .with_aknn(AknnConfig {
+                k: 3,
+                distance_threshold: 1.0,
+                homogeneity: 0.6,
+                min_support: 1,
+            })
+            .with_admission(AdmissionPolicy::admit_all())
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_locality_preserving() {
+        let key = fv(3.2, -1.5);
+        assert_eq!(route_signature(&key, 4.0), route_signature(&key, 4.0));
+        // The same point in a different cell width may differ, but within
+        // one call the signature is a pure function of (key, cell).
+        let near = fv(3.2001, -1.5001);
+        assert_eq!(
+            route_signature(&key, 4.0),
+            route_signature(&near, 4.0),
+            "keys a hair apart share a routing cell (away from boundaries)"
+        );
+        let far = fv(300.0, -150.0);
+        assert_ne!(route_signature(&key, 4.0), route_signature(&far, 4.0));
+    }
+
+    #[test]
+    fn far_keys_spread_across_shards() {
+        let cache: ShardedCache<u32> =
+            ShardedCache::new(ConcurrentConfig::new(base_config(256)).with_shards(4));
+        for i in 0..64 {
+            cache.insert(
+                fv(i as f32 * 25.0, -(i as f32) * 13.0),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+        // Ids encode their shard as `id % 4`; a healthy routing function
+        // puts 64 well-spread keys in more than one shard.
+        let snap = cache.snapshot(SimTime::from_secs(1));
+        let shards_used: std::collections::BTreeSet<u64> =
+            snap.entries.iter().map(|e| e.id.0 % 4).collect();
+        assert!(shards_used.len() > 1, "all keys routed to one shard");
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.stats().inserts, 64);
+    }
+
+    #[test]
+    fn single_shard_mints_dense_ids() {
+        let cache: ShardedCache<u32> = ShardedCache::new(ConcurrentConfig::new(base_config(16)));
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let out = cache.insert(
+                fv(i as f32 * 50.0, 0.0),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+            ids.push(out.entry().unwrap().0);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(cache.shard_count(), 1);
+    }
+
+    #[test]
+    fn lookup_hits_in_home_shard() {
+        let cache: ShardedCache<u32> =
+            ShardedCache::new(ConcurrentConfig::new(base_config(64)).with_shards(4));
+        let key = fv(1.0, 2.0);
+        cache.insert(
+            key.clone(),
+            9,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::ZERO,
+        );
+        let hit = cache.lookup(&fv(1.05, 2.0), SimTime::from_millis(5));
+        assert!(hit.is_hit());
+        assert_eq!(hit.label(), Some(&9));
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn frequency_admission_protects_hot_working_set() {
+        // Capacity-1 shardless cache with TinyLFU: a hot key's entry
+        // survives a burst of cold keys because each cold candidate's
+        // frequency estimate loses to the victim's.
+        let cache: ShardedCache<u32> = ShardedCache::new(
+            ConcurrentConfig::new(base_config(1))
+                .with_frequency(FrequencyConfig::default())
+                .with_sketch_seed(7),
+        );
+        let hot = fv(0.0, 0.0);
+        cache.insert(
+            hot.clone(),
+            1,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::ZERO,
+        );
+        for i in 0..10 {
+            let _ = cache.lookup(&hot, SimTime::from_millis(i));
+        }
+        for i in 0..5u32 {
+            let cold = fv(100.0 + i as f32 * 40.0, 0.0);
+            let out = cache.insert(
+                cold,
+                10 + i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(100 + i as u64),
+            );
+            assert_eq!(out, InsertOutcome::Rejected, "cold burst key {i}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.sketch_rejected, 5);
+        assert_eq!(stats.evictions, 0);
+        assert!(
+            cache.lookup(&hot, SimTime::from_secs(1)).is_hit(),
+            "hot entry survived the burst"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_across_shard_counts() {
+        let source: ShardedCache<u32> =
+            ShardedCache::new(ConcurrentConfig::new(base_config(64)).with_shards(4));
+        for i in 0..12 {
+            source.insert(
+                fv(i as f32 * 30.0, 5.0),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+        let snap = source.snapshot(SimTime::from_secs(1));
+        assert_eq!(snap.len(), 12);
+        // Snapshot is sorted by id (deterministic merged view).
+        let ids: Vec<u64> = snap.entries.iter().map(|e| e.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+
+        let dest: ShardedCache<u32> = ShardedCache::new(ConcurrentConfig::new(base_config(64)));
+        let restored = dest.restore(&snap, SimTime::from_secs(2));
+        assert_eq!(restored, 12);
+        for i in 0..12u32 {
+            let hit = dest.lookup(&fv(i as f32 * 30.0, 5.0), SimTime::from_secs(3));
+            assert_eq!(hit.label(), Some(&i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn canonical_snapshot_is_interleaving_independent() {
+        // Same contents inserted in different orders (ids differ) yield
+        // identical canonical snapshots.
+        let make = |order: &[u32]| {
+            let cache: ShardedCache<u32> =
+                ShardedCache::new(ConcurrentConfig::new(base_config(64)).with_shards(4));
+            for &i in order {
+                cache.insert(
+                    fv(i as f32 * 30.0, 5.0),
+                    i,
+                    0.9,
+                    EntrySource::LocalInference,
+                    SimTime::from_millis(100),
+                );
+            }
+            cache.canonical_snapshot(SimTime::from_secs(1))
+        };
+        let forward = make(&[0, 1, 2, 3, 4, 5]);
+        let reverse = make(&[5, 4, 3, 2, 1, 0]);
+        assert_eq!(forward, reverse);
+    }
+
+    #[test]
+    fn threshold_and_weighter_apply_to_every_shard() {
+        let cache: ShardedCache<u32> =
+            ShardedCache::new(ConcurrentConfig::new(base_config(64)).with_shards(4));
+        cache.set_distance_threshold(2.5);
+        assert!((cache.distance_threshold() - 2.5).abs() < 1e-12);
+        cache.set_weighter(Some(Arc::new(crate::weight::RecomputeCostWeighter::new(
+            SimDuration::from_millis(100),
+        ))));
+        cache.set_weighter(None);
+        assert!(cache.is_empty());
+        let debug = format!("{cache:?}");
+        assert!(debug.contains("ShardedCache"));
+    }
+
+    #[test]
+    fn expire_and_clear_cover_all_shards() {
+        let cache: ShardedCache<u32> =
+            ShardedCache::new(ConcurrentConfig::new(base_config(64)).with_shards(4));
+        for i in 0..8 {
+            cache.insert(
+                fv(i as f32 * 30.0, 5.0),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+        let dropped =
+            cache.expire_older_than(SimTime::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(dropped, 5, "entries inserted at 0..=4 ms expired");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().expirations, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be positive")]
+    fn zero_shards_rejected() {
+        ConcurrentConfig::new(base_config(4)).with_shards(0);
+    }
+}

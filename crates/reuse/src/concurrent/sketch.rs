@@ -1,0 +1,369 @@
+//! TinyLFU frequency estimation: count-min sketch + bloom doorkeeper.
+//!
+//! The admission question is "is the candidate accessed more often than
+//! the entry it would evict?". Answering it exactly would need a counter
+//! per signature ever seen; TinyLFU answers it approximately in O(1)
+//! space: a count-min sketch of 8-bit counters estimates frequencies
+//! (over-counting only, never under), a bloom-filter *doorkeeper*
+//! absorbs the long tail of once-seen signatures so they never pollute
+//! the sketch, and a periodic *reset* halves every counter so the
+//! estimate tracks the recent window rather than all history.
+//!
+//! Determinism: row seeds derive from the sim seed via
+//! `SimRng::split_index` and all hashing is the splitmix64 finisher —
+//! no ambient randomness, no hash-order dependence.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::SimRng;
+
+use super::ring::AccessRing;
+
+/// Tuning for the TinyLFU admission filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyConfig {
+    /// Pending-access ring capacity (events buffered between inserts).
+    pub ring_capacity: usize,
+    /// Count-min sketch width per row; must be a power of two.
+    pub sketch_width: usize,
+    /// Count-min sketch depth (independent rows).
+    pub sketch_depth: usize,
+    /// Recorded accesses between counter-halving resets.
+    pub sample_window: u64,
+}
+
+impl Default for FrequencyConfig {
+    fn default() -> FrequencyConfig {
+        FrequencyConfig {
+            ring_capacity: 256,
+            sketch_width: 1024,
+            sketch_depth: 4,
+            sample_window: 4096,
+        }
+    }
+}
+
+impl FrequencyConfig {
+    /// Validates the tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the width is not a power of
+    /// two.
+    pub fn validate(&self) {
+        assert!(
+            self.sketch_width.is_power_of_two(),
+            "FrequencyConfig: sketch_width must be a power of two, got {}",
+            self.sketch_width
+        );
+        assert!(self.sketch_depth > 0, "FrequencyConfig: depth must be > 0");
+        assert!(
+            self.ring_capacity > 0,
+            "FrequencyConfig: ring_capacity must be > 0"
+        );
+        assert!(
+            self.sample_window > 0,
+            "FrequencyConfig: sample_window must be > 0"
+        );
+    }
+}
+
+/// The splitmix64 finisher: a fast, well-mixed `u64 -> u64` permutation.
+pub(crate) fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Count-min sketch over 8-bit saturating counters.
+#[derive(Debug)]
+struct CountMinSketch {
+    /// `depth` rows of `width` counters, row-major.
+    counters: Vec<u8>,
+    width: usize,
+    row_seeds: Vec<u64>,
+}
+
+impl CountMinSketch {
+    fn new(width: usize, depth: usize, seed: u64) -> CountMinSketch {
+        let root = SimRng::seed(seed);
+        CountMinSketch {
+            counters: vec![0; width * depth],
+            width,
+            row_seeds: (0..depth)
+                .map(|row| root.split_index("cm-row", row as u64).seed_value())
+                .collect(),
+        }
+    }
+
+    fn slot(&self, row: usize, row_seed: u64, sig: u64) -> usize {
+        row * self.width + (mix(sig ^ row_seed) as usize & (self.width - 1))
+    }
+
+    fn record(&mut self, sig: u64) {
+        for row in 0..self.row_seeds.len() {
+            let row_seed = self.row_seeds.get(row).copied().unwrap_or(0);
+            let slot = self.slot(row, row_seed, sig);
+            if let Some(c) = self.counters.get_mut(slot) {
+                *c = c.saturating_add(1);
+            }
+        }
+    }
+
+    fn estimate(&self, sig: u64) -> u64 {
+        self.row_seeds
+            .iter()
+            .enumerate()
+            .map(|(row, &row_seed)| {
+                self.counters
+                    .get(self.slot(row, row_seed, sig))
+                    .copied()
+                    .unwrap_or(0) as u64
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The reset operation: halve every counter so old history decays.
+    fn halve(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+    }
+}
+
+/// A small bloom filter guarding the sketch against one-hit wonders.
+#[derive(Debug)]
+struct Doorkeeper {
+    bits: Vec<u64>,
+    mask: u64,
+    seed_a: u64,
+    seed_b: u64,
+}
+
+impl Doorkeeper {
+    fn new(width: usize, seed: u64) -> Doorkeeper {
+        let root = SimRng::seed(seed);
+        Doorkeeper {
+            // One bit per sketch-width slot, packed into words.
+            bits: vec![0; width.div_ceil(64)],
+            mask: width as u64 - 1,
+            seed_a: root.split("door-a").seed_value(),
+            seed_b: root.split("door-b").seed_value(),
+        }
+    }
+
+    fn probes(&self, sig: u64) -> (u64, u64) {
+        (
+            mix(sig ^ self.seed_a) & self.mask,
+            mix(sig ^ self.seed_b) & self.mask,
+        )
+    }
+
+    fn bit(&self, pos: u64) -> bool {
+        self.bits
+            .get((pos / 64) as usize)
+            .is_some_and(|w| w & (1 << (pos % 64)) != 0)
+    }
+
+    fn set(&mut self, pos: u64) {
+        if let Some(w) = self.bits.get_mut((pos / 64) as usize) {
+            *w |= 1 << (pos % 64);
+        }
+    }
+
+    fn contains(&self, sig: u64) -> bool {
+        let (a, b) = self.probes(sig);
+        self.bit(a) && self.bit(b)
+    }
+
+    /// Inserts `sig`; returns whether it was (probably) already present.
+    fn insert(&mut self, sig: u64) -> bool {
+        let (a, b) = self.probes(sig);
+        let present = self.bit(a) && self.bit(b);
+        self.set(a);
+        self.set(b);
+        present
+    }
+
+    fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+/// The assembled admission filter: lossy ring in front, doorkeeper and
+/// sketch behind, periodic halving reset.
+#[derive(Debug)]
+pub(crate) struct TinyLfu {
+    ring: AccessRing,
+    doorkeeper: Doorkeeper,
+    sketch: CountMinSketch,
+    /// Accesses recorded since the last reset.
+    samples: u64,
+    sample_window: u64,
+}
+
+impl TinyLfu {
+    /// Builds the filter; `seed` must derive from the sim seed split so
+    /// two runs with the same master seed agree on every estimate.
+    pub(crate) fn new(config: FrequencyConfig, seed: u64) -> TinyLfu {
+        config.validate();
+        let root = SimRng::seed(seed);
+        TinyLfu {
+            ring: AccessRing::new(config.ring_capacity),
+            doorkeeper: Doorkeeper::new(config.sketch_width, root.split("doorkeeper").seed_value()),
+            sketch: CountMinSketch::new(
+                config.sketch_width,
+                config.sketch_depth,
+                root.split("sketch").seed_value(),
+            ),
+            samples: 0,
+            sample_window: config.sample_window,
+        }
+    }
+
+    /// Hot-path access note: one ring push, no hashing.
+    pub(crate) fn note(&mut self, sig: u64) {
+        self.ring.push(sig);
+    }
+
+    /// Drains the ring into the sketch (called off the lookup hot path,
+    /// at the next insert).
+    pub(crate) fn flush(&mut self) {
+        // Split borrow: drain the ring while recording into the
+        // doorkeeper/sketch fields.
+        let mut pending = std::mem::replace(&mut self.ring, AccessRing::new(1));
+        pending.drain(|sig| self.record(sig));
+        self.ring = pending;
+    }
+
+    /// Records one access immediately (doorkeeper first: a signature's
+    /// first occurrence only sets the doorkeeper bit, so one-hit wonders
+    /// never reach the sketch).
+    pub(crate) fn record(&mut self, sig: u64) {
+        if self.doorkeeper.insert(sig) {
+            self.sketch.record(sig);
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_window {
+            self.sketch.halve();
+            self.doorkeeper.clear();
+            self.samples /= 2;
+        }
+    }
+
+    /// Estimated access frequency of `sig` over the recent window.
+    pub(crate) fn estimate(&self, sig: u64) -> u64 {
+        self.sketch.estimate(sig) + u64::from(self.doorkeeper.contains(sig))
+    }
+
+    /// Pending (un-flushed) access events.
+    #[cfg(test)]
+    pub(crate) fn pending(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfu() -> TinyLfu {
+        TinyLfu::new(FrequencyConfig::default(), 42)
+    }
+
+    #[test]
+    fn repeated_signature_estimates_higher_than_one_off() {
+        let mut lfu = lfu();
+        for _ in 0..10 {
+            lfu.record(111);
+        }
+        lfu.record(222);
+        assert!(lfu.estimate(111) > lfu.estimate(222));
+        assert_eq!(lfu.estimate(333), 0, "never-seen signature estimates 0");
+    }
+
+    #[test]
+    fn doorkeeper_absorbs_first_occurrence() {
+        let mut lfu = lfu();
+        lfu.record(7);
+        // One occurrence: doorkeeper only, estimate exactly 1.
+        assert_eq!(lfu.estimate(7), 1);
+        lfu.record(7);
+        // Second occurrence reaches the sketch.
+        assert_eq!(lfu.estimate(7), 2);
+    }
+
+    #[test]
+    fn note_is_deferred_until_flush() {
+        let mut lfu = lfu();
+        lfu.note(5);
+        lfu.note(5);
+        assert_eq!(lfu.pending(), 2);
+        assert_eq!(lfu.estimate(5), 0, "notes invisible before flush");
+        lfu.flush();
+        assert_eq!(lfu.pending(), 0);
+        assert_eq!(lfu.estimate(5), 2);
+    }
+
+    #[test]
+    fn reset_halves_history() {
+        let mut lfu = TinyLfu::new(
+            FrequencyConfig {
+                sample_window: 16,
+                ..FrequencyConfig::default()
+            },
+            42,
+        );
+        for _ in 0..15 {
+            lfu.record(9);
+        }
+        let before = lfu.estimate(9);
+        lfu.record(9); // 16th sample triggers the reset
+        let after = lfu.estimate(9);
+        assert!(
+            after < before,
+            "reset must decay the estimate ({before} -> {after})"
+        );
+        assert!(after > 0, "but not erase it");
+    }
+
+    #[test]
+    fn same_seed_same_estimates() {
+        let mut a = TinyLfu::new(FrequencyConfig::default(), 1234);
+        let mut b = TinyLfu::new(FrequencyConfig::default(), 1234);
+        for sig in [3, 3, 5, 7, 7, 7, 11] {
+            a.record(sig);
+            b.record(sig);
+        }
+        for sig in [3, 5, 7, 11, 13] {
+            assert_eq!(a.estimate(sig), b.estimate(sig), "sig {sig}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_may_disagree_without_breaking_ordering() {
+        let mut a = TinyLfu::new(FrequencyConfig::default(), 1);
+        let mut b = TinyLfu::new(FrequencyConfig::default(), 2);
+        for _ in 0..20 {
+            a.record(42);
+            b.record(42);
+        }
+        a.record(43);
+        b.record(43);
+        assert!(a.estimate(42) > a.estimate(43));
+        assert!(b.estimate(42) > b.estimate(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_width_rejected() {
+        FrequencyConfig {
+            sketch_width: 1000,
+            ..FrequencyConfig::default()
+        }
+        .validate();
+    }
+}

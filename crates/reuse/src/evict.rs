@@ -63,20 +63,23 @@ impl EvictionPolicy {
                 .min_by_key(|e| (e.uses, e.last_used, e.id))
                 .map(|e| e.id),
             EvictionPolicy::Ttl { max_age } => {
-                let mut oldest_expired: Option<&CacheEntry<L>> = None;
-                let mut lru_fallback: Option<&CacheEntry<L>> = None;
+                // One pass, each ordering key built exactly once per
+                // entry: the oldest expired entry wins outright; with
+                // nothing expired the fallback is the same `(last_used,
+                // id)` minimum Lru computes.
+                let mut oldest_expired: Option<(SimTime, EntryId)> = None;
+                let mut lru_fallback: Option<(SimTime, EntryId)> = None;
                 for e in entries {
-                    if e.age(now) > *max_age
-                        && oldest_expired
-                            .is_none_or(|b| (e.inserted_at, e.id) < (b.inserted_at, b.id))
-                    {
-                        oldest_expired = Some(e);
+                    let by_age = (e.inserted_at, e.id);
+                    let by_recency = (e.last_used, e.id);
+                    if e.age(now) > *max_age && oldest_expired.is_none_or(|b| by_age < b) {
+                        oldest_expired = Some(by_age);
                     }
-                    if lru_fallback.is_none_or(|b| (e.last_used, e.id) < (b.last_used, b.id)) {
-                        lru_fallback = Some(e);
+                    if lru_fallback.is_none_or(|b| by_recency < b) {
+                        lru_fallback = Some(by_recency);
                     }
                 }
-                oldest_expired.or(lru_fallback).map(|e| e.id)
+                oldest_expired.or(lru_fallback).map(|(_, id)| id)
             }
             EvictionPolicy::Utility => entries
                 .map(|e| {
@@ -154,6 +157,57 @@ mod tests {
             .choose_victim(entries.iter(), SimTime::from_millis(1_000))
             .unwrap();
         assert_eq!(victim, EntryId(1), "expired entry beats cold fresh one");
+    }
+
+    #[test]
+    fn ttl_expired_entry_that_is_also_the_lru_entry() {
+        // Regression: an entry can be both expired *and* the LRU minimum.
+        // The expiry branch must claim it via the `(inserted_at, id)`
+        // ordering without the fallback bookkeeping interfering, and the
+        // choice must stay stable when a second expired entry with a
+        // larger id but older insertion exists.
+        let policy = EvictionPolicy::Ttl {
+            max_age: SimDuration::from_millis(300),
+        };
+        let entries = [
+            entry(4, 100, 150, 1, 0.9), // expired (age 900), also the LRU entry
+            entry(7, 50, 700, 5, 0.9),  // expired (age 950), older insertion
+            entry(9, 900, 950, 0, 0.9), // fresh
+        ];
+        let victim = policy
+            .choose_victim(entries.iter(), SimTime::from_millis(1_000))
+            .unwrap();
+        assert_eq!(
+            victim,
+            EntryId(7),
+            "oldest insertion wins among expired entries, even when another \
+             expired entry is the LRU minimum"
+        );
+        // With only the doubly-minimal entry expired, it is still chosen.
+        let entries = [entry(4, 100, 150, 1, 0.9), entry(9, 900, 950, 0, 0.9)];
+        let victim = policy
+            .choose_victim(entries.iter(), SimTime::from_millis(1_000))
+            .unwrap();
+        assert_eq!(victim, EntryId(4));
+    }
+
+    #[test]
+    fn ttl_fallback_matches_lru_exactly_when_nothing_expired() {
+        // The fallback ordering must be *identical* to Lru's, including
+        // the id tiebreak on equal `last_used`.
+        let entries = [
+            entry(8, 0, 100, 3, 0.9),
+            entry(2, 0, 100, 9, 0.9), // ties on last_used; lower id wins
+            entry(5, 0, 400, 0, 0.9),
+        ];
+        let now = SimTime::from_millis(1_000);
+        let ttl = EvictionPolicy::Ttl {
+            max_age: SimDuration::from_secs(100),
+        };
+        let lru_pick = EvictionPolicy::Lru.choose_victim(entries.iter(), now);
+        let ttl_pick = ttl.choose_victim(entries.iter(), now);
+        assert_eq!(ttl_pick, lru_pick);
+        assert_eq!(ttl_pick, Some(EntryId(2)));
     }
 
     #[test]

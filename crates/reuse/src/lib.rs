@@ -15,6 +15,12 @@
 //!   polluting the index with clones).
 //! - [`calibrate`] — distance-threshold calibration from sample
 //!   same-subject vs cross-class distances.
+//! - [`concurrent`] — the sharded concurrent core: per-shard locks and
+//!   indexes, TinyLFU frequency admission (lossy access ring → count-min
+//!   sketch behind a bloom doorkeeper), deterministic shard routing.
+//! - [`weight`] — cost-aware eviction weights (entry bytes × expected
+//!   recompute latency), so an expensive model's result outlives a cheap
+//!   one's.
 //!
 //! # Example
 //!
@@ -35,17 +41,22 @@
 
 pub mod admission;
 pub mod calibrate;
+pub mod concurrent;
 pub mod entry;
 pub mod evict;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+mod victim;
+pub mod weight;
 
 pub use admission::AdmissionPolicy;
+pub use concurrent::{ConcurrentConfig, FrequencyConfig, ShardedCache};
 pub use entry::{CacheEntry, EntryId, EntrySource};
 pub use evict::EvictionPolicy;
 pub use shared::SharedCache;
 pub use snapshot::CacheSnapshot;
 pub use stats::CacheStats;
-pub use store::{ApproxCache, CacheConfig, IndexKind, InsertOutcome, LookupResult};
+pub use store::{ApproxCache, CacheConfig, FrequencyGate, IndexKind, InsertOutcome, LookupResult};
+pub use weight::{RecomputeCostWeighter, Weighter};

@@ -4,23 +4,32 @@
 //! driver each device owns a [`SharedCache`] clone of its cache handle, so
 //! remote lookups lock briefly instead of requiring message-passing
 //! through the event loop.
+//!
+//! Since the store rebuild, the handle wraps a
+//! [`ShardedCache`](crate::concurrent::ShardedCache) rather than one
+//! mutex around the whole store: with `S` shards, threads touching
+//! different routing buckets never contend, and each lookup probes a
+//! `~n/S`-entry index. [`SharedCache::new`] keeps the single-shard,
+//! no-frequency configuration whose behaviour is operation-for-operation
+//! identical to the old `Mutex<ApproxCache>` handle.
 
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use features::FeatureVector;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
-use crate::entry::EntrySource;
+use crate::concurrent::{ConcurrentConfig, ShardedCache};
+use crate::entry::{CacheEntry, EntryId, EntrySource};
+use crate::snapshot::CacheSnapshot;
 use crate::stats::CacheStats;
-use crate::store::{ApproxCache, InsertOutcome, LookupResult};
+use crate::store::{CacheConfig, InsertOutcome, LookupResult};
+use crate::weight::Weighter;
 
-/// A cloneable, lock-protected handle to an [`ApproxCache`].
+/// A cloneable handle to a sharded concurrent cache.
 pub struct SharedCache<L> {
-    inner: Arc<Mutex<ApproxCache<L>>>,
+    inner: Arc<ShardedCache<L>>,
 }
 
 impl<L> Clone for SharedCache<L> {
@@ -38,19 +47,39 @@ impl<L> fmt::Debug for SharedCache<L> {
 }
 
 impl<L: Copy + Eq + Hash + fmt::Debug> SharedCache<L> {
-    /// Wraps a cache in a shareable handle.
-    pub fn new(cache: ApproxCache<L>) -> SharedCache<L> {
+    /// A shareable handle over a single-shard store with no frequency
+    /// admission — behaviourally identical to the plain
+    /// [`ApproxCache`](crate::ApproxCache) it replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(config: CacheConfig) -> SharedCache<L> {
+        SharedCache::with_concurrency(ConcurrentConfig::new(config))
+    }
+
+    /// A shareable handle with explicit sharding/admission configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn with_concurrency(config: ConcurrentConfig) -> SharedCache<L> {
         SharedCache {
-            inner: Arc::new(Mutex::new(cache)),
+            inner: Arc::new(ShardedCache::new(config)),
         }
     }
 
-    /// Locks and looks up (see [`ApproxCache::lookup`]).
-    pub fn lookup(&self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
-        self.inner.lock().lookup(key, now)
+    /// Number of shards behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
-    /// Locks and inserts (see [`ApproxCache::insert`]).
+    /// Looks up `key` in its home shard (see [`ShardedCache::lookup`]).
+    pub fn lookup(&self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
+        self.inner.lookup(key, now)
+    }
+
+    /// Inserts a result (see [`ShardedCache::insert`]).
     pub fn insert(
         &self,
         key: FeatureVector,
@@ -59,37 +88,90 @@ impl<L: Copy + Eq + Hash + fmt::Debug> SharedCache<L> {
         source: EntrySource,
         now: SimTime,
     ) -> InsertOutcome {
-        self.inner
-            .lock()
-            .insert(key, label, confidence, source, now)
+        self.inner.insert(key, label, confidence, source, now)
     }
 
-    /// Locks and snapshots the statistics.
+    /// Merged operation counters across all shards.
     pub fn stats(&self) -> CacheStats {
-        *self.inner.lock().stats()
+        self.inner.stats()
     }
 
-    /// Locks and reports the entry count.
+    /// Total entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.len()
     }
 
-    /// Locks and reports emptiness.
+    /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.is_empty()
     }
 
-    /// Runs `f` with exclusive access to the underlying cache — for
-    /// operations not covered by the convenience methods.
-    pub fn with<R>(&self, f: impl FnOnce(&mut ApproxCache<L>) -> R) -> R {
-        f(&mut self.inner.lock())
+    /// Removes every entry (statistics retained).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Sweeps all shards for entries older than `max_age`.
+    pub fn expire_older_than(&self, now: SimTime, max_age: SimDuration) -> usize {
+        self.inner.expire_older_than(now, max_age)
+    }
+
+    /// The current A-kNN distance threshold.
+    pub fn distance_threshold(&self) -> f64 {
+        self.inner.distance_threshold()
+    }
+
+    /// Sets the A-kNN distance threshold on every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    pub fn set_distance_threshold(&self, threshold: f64) {
+        self.inner.set_distance_threshold(threshold);
+    }
+
+    /// Switches cost-aware eviction on or off.
+    pub fn set_weighter(&self, weighter: Option<Arc<dyn Weighter<L>>>) {
+        self.inner.set_weighter(weighter);
+    }
+
+    /// The nearest cached entry to `key` across all shards (read-only
+    /// probe).
+    pub fn peek_nearest(&self, key: &FeatureVector) -> Option<(f64, L)> {
+        self.inner.peek_nearest(key)
+    }
+
+    /// The confidence of the entry with `id`, if still cached.
+    pub fn entry_confidence(&self, id: EntryId) -> Option<f64> {
+        self.inner.entry_confidence(id)
+    }
+
+    /// The `limit` most recently used entries, newest first.
+    pub fn hottest(&self, limit: usize) -> Vec<CacheEntry<L>> {
+        self.inner.hottest(limit)
+    }
+
+    /// A deterministic merged snapshot of all shards.
+    pub fn snapshot(&self, now: SimTime) -> CacheSnapshot<L> {
+        self.inner.snapshot(now)
+    }
+
+    /// The snapshot normalized for cross-run comparison (ids erased,
+    /// entries sorted by key bits) — see
+    /// [`ShardedCache::canonical_snapshot`].
+    pub fn canonical_snapshot(&self, now: SimTime) -> CacheSnapshot<L> {
+        self.inner.canonical_snapshot(now)
+    }
+
+    /// Restores a snapshot through the normal insert path.
+    pub fn restore(&self, snapshot: &CacheSnapshot<L>, now: SimTime) -> usize {
+        self.inner.restore(snapshot, now)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::CacheConfig;
 
     fn fv(components: &[f32]) -> FeatureVector {
         FeatureVector::from_vec(components.to_vec()).unwrap()
@@ -97,7 +179,7 @@ mod tests {
 
     #[test]
     fn handle_shares_state_across_clones() {
-        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+        let shared: SharedCache<u32> = SharedCache::new(CacheConfig::new(4));
         let other = shared.clone();
         shared.insert(
             fv(&[0.0, 0.0]),
@@ -111,21 +193,61 @@ mod tests {
         assert_eq!(hit.label(), Some(&5));
         assert_eq!(shared.stats().hits, 1);
         assert!(!shared.is_empty());
+        assert_eq!(shared.shard_count(), 1);
     }
 
     #[test]
-    fn with_allows_arbitrary_access() {
-        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+    fn convenience_methods_cover_the_old_with_escape_hatch() {
+        let shared: SharedCache<u32> = SharedCache::new(CacheConfig::new(4));
         shared.insert(fv(&[1.0]), 2, 0.9, EntrySource::Peer, SimTime::ZERO);
-        let hottest_label = shared.with(|c| c.hottest(1)[0].label);
-        assert_eq!(hottest_label, 2);
+        let hottest = shared.hottest(1);
+        assert_eq!(hottest.first().map(|e| e.label), Some(2));
+        let id = hottest.first().map(|e| e.id).unwrap();
+        assert_eq!(shared.entry_confidence(id), Some(0.9));
+        assert_eq!(shared.entry_confidence(EntryId(999)), None);
+        shared.set_distance_threshold(3.0);
+        assert!((shared.distance_threshold() - 3.0).abs() < 1e-12);
+        let (distance, label) = shared.peek_nearest(&fv(&[1.0])).unwrap();
+        assert!(distance < 1e-9);
+        assert_eq!(label, 2);
+        shared.clear();
+        assert!(shared.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let shared: SharedCache<u32> = SharedCache::new(
+            CacheConfig::new(16).with_admission(crate::AdmissionPolicy::admit_all()),
+        );
+        for i in 0..6 {
+            shared.insert(
+                fv(&[i as f32 * 10.0, 0.0]),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+        let snap = shared.snapshot(SimTime::from_secs(1));
+        assert_eq!(snap.len(), 6);
+        let warm: SharedCache<u32> = SharedCache::new(
+            CacheConfig::new(16).with_admission(crate::AdmissionPolicy::admit_all()),
+        );
+        assert_eq!(warm.restore(&snap, SimTime::from_secs(2)), 6);
+        for i in 0..6u32 {
+            let hit = warm.lookup(&fv(&[i as f32 * 10.0, 0.0]), SimTime::from_secs(3));
+            assert_eq!(hit.label(), Some(&i), "restored key {i}");
+        }
     }
 
     #[test]
     fn concurrent_inserts_do_not_lose_entries() {
-        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(
-            CacheConfig::new(1024).with_admission(crate::AdmissionPolicy::admit_all()),
-        ));
+        let shared: SharedCache<u32> = SharedCache::with_concurrency(
+            ConcurrentConfig::new(
+                CacheConfig::new(1024).with_admission(crate::AdmissionPolicy::admit_all()),
+            )
+            .with_shards(4),
+        );
         let handles: Vec<_> = (0..4u32)
             .map(|t| {
                 let cache = shared.clone();
@@ -152,7 +274,7 @@ mod tests {
 
     #[test]
     fn debug_representation_is_nonempty() {
-        let shared: SharedCache<u32> = SharedCache::new(ApproxCache::new(CacheConfig::new(4)));
+        let shared: SharedCache<u32> = SharedCache::new(CacheConfig::new(4));
         assert_eq!(format!("{shared:?}"), "SharedCache { .. }");
     }
 }

@@ -1,0 +1,108 @@
+//! Cost-aware entry weights for eviction.
+//!
+//! A cache slot holding an InceptionV3 result is worth more than one
+//! holding a SqueezeNet result: losing it costs a 620 ms recompute
+//! instead of 45 ms. The [`Weighter`] trait turns that intuition into an
+//! eviction key — the store (in weighted mode) evicts the entry with the
+//! *lowest* weight first, so expensive-to-recompute results outlive
+//! cheap ones.
+//!
+//! Weights are plain `u64`s so they can live inside an ordered set
+//! (`f64` is not `Ord`) and must be a pure function of the entry: the
+//! store caches the weight at insert time and only re-keys on
+//! recency/frequency changes.
+
+use simcore::SimDuration;
+
+use crate::entry::CacheEntry;
+
+/// Assigns an eviction weight to a cache entry. Higher weight = more
+/// valuable = evicted later.
+pub trait Weighter<L>: Send + Sync + std::fmt::Debug {
+    /// The entry's weight. Must be deterministic and depend only on
+    /// fields that are fixed at insert time (key, label, source,
+    /// confidence) — *not* on `last_used`/`uses`, which change without
+    /// the store re-querying the weighter.
+    fn weight(&self, entry: &CacheEntry<L>) -> u64;
+}
+
+/// The paper-motivated default: weight = entry bytes × expected
+/// recompute latency. Entry bytes are the key's storage footprint
+/// (4 bytes per f32 dimension plus a fixed metadata overhead);
+/// recompute latency comes from the model profile in `dnnsim::zoo`
+/// that produced the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecomputeCostWeighter {
+    /// Expected latency to regenerate this entry by running the model.
+    recompute: SimDuration,
+}
+
+/// Fixed per-entry metadata footprint (id, label, confidence, two
+/// timestamps, use count, source tag) added to the key bytes.
+const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+impl RecomputeCostWeighter {
+    /// Weighter for entries produced by a model with the given expected
+    /// inference latency.
+    pub fn new(recompute: SimDuration) -> RecomputeCostWeighter {
+        RecomputeCostWeighter { recompute }
+    }
+
+    /// The configured recompute latency.
+    pub fn recompute(&self) -> SimDuration {
+        self.recompute
+    }
+}
+
+impl<L> Weighter<L> for RecomputeCostWeighter {
+    fn weight(&self, entry: &CacheEntry<L>) -> u64 {
+        let bytes = entry.key.dim() as u64 * 4 + ENTRY_OVERHEAD_BYTES;
+        // Clamp to ≥ 1 ms so a zero-latency profile still distinguishes
+        // big entries from small ones.
+        let millis = self.recompute.as_millis().max(1);
+        bytes.saturating_mul(millis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{EntryId, EntrySource};
+    use features::FeatureVector;
+    use simcore::SimTime;
+
+    fn entry(dim: usize) -> CacheEntry<u32> {
+        CacheEntry {
+            id: EntryId(0),
+            key: FeatureVector::zeros(dim),
+            label: 0,
+            confidence: 0.9,
+            inserted_at: SimTime::ZERO,
+            last_used: SimTime::ZERO,
+            uses: 0,
+            source: EntrySource::LocalInference,
+        }
+    }
+
+    #[test]
+    fn expensive_model_outweighs_cheap_model() {
+        let inception = RecomputeCostWeighter::new(SimDuration::from_millis(620));
+        let squeeze = RecomputeCostWeighter::new(SimDuration::from_millis(45));
+        let e = entry(64);
+        assert!(Weighter::<u32>::weight(&inception, &e) > Weighter::<u32>::weight(&squeeze, &e));
+        assert_eq!(inception.recompute(), SimDuration::from_millis(620));
+    }
+
+    #[test]
+    fn bigger_keys_weigh_more_at_equal_latency() {
+        let w = RecomputeCostWeighter::new(SimDuration::from_millis(100));
+        assert!(Weighter::<u32>::weight(&w, &entry(256)) > Weighter::<u32>::weight(&w, &entry(8)));
+    }
+
+    #[test]
+    fn zero_latency_clamps_to_one_milli() {
+        let w = RecomputeCostWeighter::new(SimDuration::ZERO);
+        let e = entry(16);
+        assert_eq!(Weighter::<u32>::weight(&w, &e), 16 * 4 + 64);
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic concurrency tests for the sharded store.
+//!
+//! Thread scheduling is the one source of nondeterminism the store
+//! cannot remove, so these tests pin down exactly what *is* guaranteed
+//! under it:
+//!
+//! - writers touching **disjoint** routing buckets never contend, and the
+//!   merged snapshot — ids included — is byte-identical whatever the
+//!   worker count, because each shard sees a single writer's sequence;
+//! - writers touching **overlapping** buckets may interleave (so ids may
+//!   differ run to run), but the canonical snapshot (ids erased) and the
+//!   merged operation counters must match a sequential execution exactly.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use features::FeatureVector;
+use reuse::concurrent::route_signature;
+use reuse::{AdmissionPolicy, CacheConfig, ConcurrentConfig, EntrySource, SharedCache};
+use simcore::SimTime;
+
+const DIM: usize = 4;
+const SHARDS: usize = 4;
+const KEYS_PER_SHARD: usize = 40;
+const BUCKET_CELL: f64 = 4.0;
+
+fn config() -> ConcurrentConfig {
+    ConcurrentConfig::new(CacheConfig::new(1024).with_admission(AdmissionPolicy::admit_all()))
+        .with_shards(SHARDS)
+        .with_bucket_cell(BUCKET_CELL)
+}
+
+/// Deterministic keys grouped by their home shard: walk distinct
+/// projection cells until every shard owns `KEYS_PER_SHARD` keys. Only
+/// dimension 0 varies — its Rademacher sign is ±1, never zero, so the
+/// projection genuinely moves with the walk (a constant vector could sit
+/// in the projection's null space and pin every key to one bucket).
+fn keys_by_home_shard() -> BTreeMap<usize, Vec<FeatureVector>> {
+    let mut by_shard: BTreeMap<usize, Vec<FeatureVector>> = BTreeMap::new();
+    for cell in 0..100_000u64 {
+        if by_shard.len() == SHARDS && by_shard.values().all(|keys| keys.len() >= KEYS_PER_SHARD) {
+            return by_shard;
+        }
+        // Spread cells far apart so each key occupies its own bucket.
+        let mut components = vec![0.0f32; DIM];
+        components[0] = cell as f32 * 100.0;
+        let key = FeatureVector::from_vec(components).unwrap();
+        let shard = (route_signature(&key, BUCKET_CELL) % SHARDS as u64) as usize;
+        let keys = by_shard.entry(shard).or_default();
+        if keys.len() < KEYS_PER_SHARD {
+            keys.push(key);
+        }
+    }
+    panic!("signature walk failed to cover all {SHARDS} shards");
+}
+
+/// Inserts each shard's key list from `threads` workers (worker `i` owns
+/// shard `i`'s keys when threads == SHARDS; one worker does everything
+/// sequentially when threads == 1) and returns the snapshot JSON.
+fn run_disjoint(threads: usize) -> String {
+    let cache: SharedCache<u32> = SharedCache::with_concurrency(config());
+    let by_shard = keys_by_home_shard();
+    let jobs: Vec<(usize, Vec<FeatureVector>)> = by_shard.into_iter().collect();
+    if threads == 1 {
+        for (shard, keys) in &jobs {
+            for (i, key) in keys.iter().enumerate() {
+                cache.insert(
+                    key.clone(),
+                    *shard as u32,
+                    0.9,
+                    EntrySource::LocalInference,
+                    SimTime::from_millis(i as u64),
+                );
+            }
+        }
+    } else {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(shard, keys)| {
+                let cache = cache.clone();
+                thread::spawn(move || {
+                    for (i, key) in keys.iter().enumerate() {
+                        cache.insert(
+                            key.clone(),
+                            shard as u32,
+                            0.9,
+                            EntrySource::LocalInference,
+                            SimTime::from_millis(i as u64),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+    cache.snapshot(SimTime::from_secs(60)).to_json().unwrap()
+}
+
+#[test]
+fn disjoint_shard_writers_produce_byte_identical_snapshots() {
+    let sequential = run_disjoint(1);
+    let concurrent = run_disjoint(SHARDS);
+    assert_eq!(
+        sequential, concurrent,
+        "per-shard writer order is deterministic, so even entry ids must match"
+    );
+    // And re-running concurrently is stable too.
+    assert_eq!(concurrent, run_disjoint(SHARDS));
+}
+
+#[test]
+fn overlapping_writers_balance_counters_and_canonical_state() {
+    // Every worker inserts every shard's keys, labelled per worker, so
+    // all workers contend on all four shards.
+    let by_shard = keys_by_home_shard();
+    let all_keys: Vec<FeatureVector> = by_shard.into_values().flatten().collect();
+    let workers = 4usize;
+
+    let concurrent: SharedCache<u32> = SharedCache::with_concurrency(config());
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let cache = concurrent.clone();
+            let keys = all_keys.clone();
+            thread::spawn(move || {
+                for (i, key) in keys.iter().enumerate() {
+                    // Offset each worker's keys into its own cells so the
+                    // total entry count is exact (no cross-worker dedup).
+                    let shifted: Vec<f32> = key
+                        .as_slice()
+                        .iter()
+                        .map(|c| c + w as f32 * 1_000_000.0)
+                        .collect();
+                    let shifted = FeatureVector::from_vec(shifted).unwrap();
+                    cache.insert(
+                        shifted,
+                        w as u32,
+                        0.9,
+                        EntrySource::LocalInference,
+                        SimTime::from_millis(i as u64),
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let sequential: SharedCache<u32> = SharedCache::with_concurrency(config());
+    for w in 0..workers {
+        for (i, key) in all_keys.iter().enumerate() {
+            let shifted: Vec<f32> = key
+                .as_slice()
+                .iter()
+                .map(|c| c + w as f32 * 1_000_000.0)
+                .collect();
+            sequential.insert(
+                FeatureVector::from_vec(shifted).unwrap(),
+                w as u32,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+    }
+
+    let total = workers * all_keys.len();
+    assert_eq!(concurrent.len(), total, "no insert may be lost");
+    assert_eq!(concurrent.stats().inserts, total as u64);
+    assert_eq!(
+        concurrent.stats(),
+        sequential.stats(),
+        "counters must balance"
+    );
+    // Interleaving may permute entry ids, but nothing else: the
+    // id-erased canonical snapshots must be identical.
+    let at = SimTime::from_secs(60);
+    assert_eq!(
+        serde_json::to_string(&concurrent.canonical_snapshot(at)).unwrap(),
+        serde_json::to_string(&sequential.canonical_snapshot(at)).unwrap(),
+        "canonical state must be schedule-independent"
+    );
+}
+
+#[test]
+fn lookups_and_inserts_interleave_without_counter_drift() {
+    let cache: SharedCache<u32> = SharedCache::with_concurrency(config());
+    let by_shard = keys_by_home_shard();
+    let all_keys: Vec<FeatureVector> = by_shard.into_values().flatten().collect();
+    for (i, key) in all_keys.iter().enumerate() {
+        cache.insert(
+            key.clone(),
+            1,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::from_millis(i as u64),
+        );
+    }
+    let rounds = 25usize;
+    let handles: Vec<_> = (0..4usize)
+        .map(|_| {
+            let cache = cache.clone();
+            let keys = all_keys.clone();
+            thread::spawn(move || {
+                let mut hits = 0u64;
+                for _ in 0..rounds {
+                    for key in &keys {
+                        if cache.lookup(key, SimTime::from_secs(1)).is_hit() {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let expected = (4 * rounds * all_keys.len()) as u64;
+    assert_eq!(hits, expected, "every self-lookup must hit");
+    assert_eq!(cache.stats().hits, expected);
+    assert_eq!(cache.stats().lookups, expected);
+}

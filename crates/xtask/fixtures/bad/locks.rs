@@ -1,0 +1,21 @@
+//! Known-bad fixture for rule L (linted as if in
+//! crates/reuse/src/concurrent/).
+
+impl Sharded {
+    fn transfer(&self, from: usize, to: usize) {
+        let src = self.shard(from).lock();
+        let dst = self.shard(to).lock();
+        drop((src, dst));
+    }
+
+    fn double(&self) -> usize {
+        self.first.lock().len() + self.second.lock().len()
+    }
+
+    fn allowed_pair(&self) {
+        let first = self.shard(0).lock();
+        // xtask-allow(locks): fixture justification for a deliberate pair
+        let second = self.shard(1).lock();
+        drop((first, second));
+    }
+}

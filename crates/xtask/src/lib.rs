@@ -1,7 +1,7 @@
 //! Workspace lint driver: static checks the compiler cannot express.
 //!
 //! `cargo run -p xtask -- lint` walks every `crates/*/src/**/*.rs` and
-//! enforces four repo invariants (see DESIGN.md, "Invariants & static
+//! enforces five repo invariants (see DESIGN.md, "Invariants & static
 //! checks"):
 //!
 //! - **D determinism** — no wall clock, ambient RNG, or hash-order
@@ -12,6 +12,8 @@
 //!   through their registry helpers.
 //! - **P panic hygiene** — `unwrap`/`expect`/indexing on hot paths is
 //!   budgeted by `panic_budget.toml`, and the budget only shrinks.
+//! - **L lock discipline** — the sharded store's concurrent core never
+//!   holds two shard locks at once (its deadlock-freedom argument).
 //!
 //! Escape hatch: `// xtask-allow(<rule>): <reason>` on the line above a
 //! flagged statement. Built dependency-free on a hand-rolled lexer so it

@@ -1,5 +1,5 @@
 //! The lint rules: determinism (D), unit-safety (U), trace-counter
-//! discipline (T), and panic hygiene (P).
+//! discipline (T), panic hygiene (P), and lock discipline (L).
 //!
 //! All rules are lexical. They run on the token stream from
 //! [`crate::lexer`], skip `#[cfg(test)]` / `#[test]` regions, and honour
@@ -25,6 +25,8 @@ pub enum Rule {
     Counters,
     /// P: panic sites on hot paths are budgeted and only shrink.
     Panics,
+    /// L: the concurrent store never holds two shard locks at once.
+    Locks,
 }
 
 impl Rule {
@@ -35,6 +37,7 @@ impl Rule {
             Rule::Units => "units",
             Rule::Counters => "counters",
             Rule::Panics => "panics",
+            Rule::Locks => "locks",
         }
     }
 }
@@ -95,6 +98,11 @@ const WALL_CLOCK_MEASUREMENT_FILES: &[&str] = &[
 /// Hot-path crates where rule P applies.
 const PANIC_CRATES: &[&str] = &["reuse", "approxcache", "p2pnet"];
 
+/// Directory where rule L applies: the sharded store's concurrent core.
+/// Its deadlock-freedom argument is that no thread ever holds two shard
+/// locks at once, so every acquisition must be the only live one.
+const LOCK_SCOPE_PREFIX: &str = "crates/reuse/src/concurrent/";
+
 /// Files that *define* unit newtypes: raw-number arithmetic on unit
 /// names is their job.
 const UNIT_HOME_FILES: &[&str] = &["crates/simcore/src/units.rs", "crates/simcore/src/time.rs"];
@@ -122,6 +130,8 @@ const COUNTER_FIELDS: &[&str] = &[
     "evictions",
     "removals",
     "expirations",
+    "sketch_rejected",
+    "weight_evictions",
     // p2pnet::TransportCounters
     "messages_sent",
     "messages_delivered",
@@ -287,7 +297,7 @@ fn find_allows(lexed: &Lexed, source: &str) -> Vec<(String, usize, usize)> {
     allows
 }
 
-/// Runs rules D, U and T on one file, appending to `out`.
+/// Runs rules D, U, T and L on one file, appending to `out`.
 pub fn check_file(ctx: &FileContext, out: &mut Vec<Violation>) {
     if ctx.crate_name() == "xtask" {
         return;
@@ -295,6 +305,7 @@ pub fn check_file(ctx: &FileContext, out: &mut Vec<Violation>) {
     check_determinism(ctx, out);
     check_units(ctx, out);
     check_counters(ctx, out);
+    check_locks(ctx, out);
 }
 
 fn push(
@@ -536,6 +547,101 @@ fn check_counters(ctx: &FileContext, out: &mut Vec<Violation>) {
                 ),
                 "call the matching CacheStats::record_* / TransportCounters::record_* helper",
             );
+        }
+    }
+}
+
+/// Rule L. Flags a `.lock(` call while another guard binding is live in
+/// an enclosing (or the same) scope, and a second `.lock(` within one
+/// statement. The sharded store's per-shard mutexes are deadlock-free
+/// precisely because no thread ever holds two of them; this rule makes
+/// that invariant survive refactors.
+///
+/// A guard is considered live from the end of a statement of the exact
+/// shape `let … = <expr>.lock();` until its enclosing block closes.
+/// Statement-scoped temporaries (`…lock().len();`, chained in a larger
+/// expression) are not registered — they die at the `;` — but still
+/// count toward the one-lock-per-statement limit.
+fn check_locks(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !ctx.rel_path.starts_with(LOCK_SCOPE_PREFIX) {
+        return;
+    }
+    let tokens = ctx.tokens();
+    let mut depth = 0usize;
+    // Registration depths of live guard bindings.
+    let mut guards: Vec<usize> = Vec::new();
+    // `.lock(` calls seen in the current statement so far.
+    let mut locks_this_stmt = 0usize;
+    // The current statement is a guard binding; register at its `;`.
+    let mut register_at_semi = false;
+    let mut has_let = false;
+
+    // Depth bookkeeping must see every brace (including test code), so
+    // only the violation reports are gated on `in_test`.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            (locks_this_stmt, register_at_semi, has_let) = (0, false, false);
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|&d| depth >= d);
+            (locks_this_stmt, register_at_semi, has_let) = (0, false, false);
+            continue;
+        }
+        if t.is_punct(';') {
+            if register_at_semi {
+                guards.push(depth);
+            }
+            (locks_this_stmt, register_at_semi, has_let) = (0, false, false);
+            continue;
+        }
+        if t.is_ident("let") {
+            has_let = true;
+            continue;
+        }
+        if !(t.is_punct('.')
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_ident("lock")
+            && tokens[i + 2].is_punct('('))
+        {
+            continue;
+        }
+        let line = tokens[i + 1].line;
+        if (!guards.is_empty() || locks_this_stmt > 0)
+            && !ctx.in_test(i)
+            && !ctx.allowed(Rule::Locks, line)
+        {
+            push(
+                ctx,
+                out,
+                Rule::Locks,
+                line,
+                "`.lock()` while another shard guard is live — holding two shard locks \
+                 risks deadlock"
+                    .to_owned(),
+                "release the first guard before locking again (shard methods take exactly \
+                 one lock), or justify with `// xtask-allow(locks): <reason>`",
+            );
+        }
+        locks_this_stmt += 1;
+        // Guard-binding shape: the lock call's matching `)` is followed
+        // directly by `;`.
+        if has_let {
+            let mut j = i + 3;
+            let mut paren = 1usize;
+            while j < tokens.len() && paren > 0 {
+                if tokens[j].is_punct('(') {
+                    paren += 1;
+                } else if tokens[j].is_punct(')') {
+                    paren -= 1;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct(';') {
+                register_at_semi = true;
+            }
         }
     }
 }

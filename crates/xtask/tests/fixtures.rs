@@ -172,6 +172,38 @@ fn panics_only_applies_to_hot_path_crates() {
 }
 
 #[test]
+fn bad_locks_fires() {
+    let hits = lint("bad", "locks", "crates/reuse/src/concurrent/fixture.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Locks)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(lines.contains(&7), "lock under a live guard, got {lines:?}");
+    assert!(
+        lines.contains(&12),
+        "second lock in one statement, got {lines:?}"
+    );
+    assert!(
+        !lines.contains(&18),
+        "allow marker must cover the justified pair, got {lines:?}"
+    );
+}
+
+#[test]
+fn good_locks_is_clean() {
+    let hits = lint("good", "locks", "crates/reuse/src/concurrent/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn locks_only_applies_to_the_concurrent_core() {
+    // The same bad source elsewhere in reuse is out of scope.
+    let hits = lint("bad", "locks", "crates/reuse/src/store.rs", 0);
+    assert!(!hits.iter().any(|&(r, _)| r == Rule::Locks), "got {hits:?}");
+}
+
+#[test]
 fn violations_render_with_location_rule_and_hint() {
     let (violations, _) = lint_source(
         "crates/reuse/src/fixture.rs",

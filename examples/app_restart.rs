@@ -74,9 +74,7 @@ fn main() {
     let cold_inferences = run_session(&mut first, &world, &renderer, &trace, &imu, &mut rng);
 
     // "App paused": snapshot the cache to JSON (what would go to disk).
-    let snapshot = first
-        .cache()
-        .with(|c| CacheSnapshot::capture(c, SimTime::from_secs(15)));
+    let snapshot = first.cache().snapshot(SimTime::from_secs(15));
     let json = snapshot.to_json().expect("snapshot serializes");
     println!(
         "session 1 (cold): {cold_inferences} inferences; snapshot of {} entries = {} bytes of JSON",
@@ -90,7 +88,7 @@ fn main() {
     let mut warm = DeviceBuilder::new(DeviceId(0), &config, &universe, 256, seed)
         .variant(SystemVariant::Full)
         .build();
-    let restored = warm.cache().with(|c| parsed.restore_into(c, SimTime::ZERO));
+    let restored = warm.cache().restore(&parsed, SimTime::ZERO);
     let mut rng = root.split("frames-1"); // identical second session
     let warm_inferences = run_session(&mut warm, &world, &renderer, &trace, &imu, &mut rng);
 
