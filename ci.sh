@@ -10,8 +10,14 @@ cargo fmt --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== xtask lint (determinism / units / counters / panic budget) =="
-cargo run -q -p xtask -- lint
+echo "== xtask lint (structural: lock graph / seeds / allocs / counters / budget) =="
+LINT_JSON="$(cargo run -q -p xtask -- lint --json)"
+echo "$LINT_JSON"
+# The lock-order graph must certify acyclic on every merge.
+echo "$LINT_JSON" | grep -q '"acyclic": true' || {
+    echo "lock-order graph is NOT acyclic" >&2
+    exit 1
+}
 
 echo "== cargo test (tier-1: root integration suite) =="
 cargo test -q
@@ -26,5 +32,17 @@ echo "== perf_smoke (informational: hot-path timings -> BENCH.json) =="
 # Never gates: absolute times depend on the runner; the recorded
 # trajectory across PRs is the signal.
 cargo run --release -q -p bench --bin perf_smoke || true
+
+echo "== miri (informational: concurrent store under the interpreter) =="
+# Never gates: nightly + Miri are optional on CI boxes. When present,
+# interprets the sharded-store suite to catch UB the type system can't.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'miri.*(installed)'; then
+    cargo +nightly miri test -p reuse --test concurrent_store || true
+else
+    echo "nightly/miri not installed; skipping"
+fi
 
 echo "CI OK"

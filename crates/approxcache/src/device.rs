@@ -277,13 +277,12 @@ impl<'a> DeviceBuilder<'a> {
         }
         let effective = variant.apply(&config);
         let projection = Arc::new(effective.build_projection(self.descriptor_dim));
-        // The admission sketch's seed derives from the sim seed through
-        // per-device splits so fleets stay deterministic yet devices
-        // don't share sketch collisions.
-        let sketch_seed = SimRng::seed(self.seed)
-            .split_index("device", self.id.0 as u64)
-            .split("admission-sketch")
-            .seed_value();
+        // The device's stream is derived from the sim seed exactly once
+        // (rule S: one derivation per sibling label); the admission
+        // sketch splits a child off it so fleets stay deterministic yet
+        // devices don't share sketch collisions.
+        let device_rng = SimRng::seed(self.seed).split_index("device", self.id.0 as u64);
+        let sketch_seed = device_rng.split("admission-sketch").seed_value();
         let mut concurrency = reuse::ConcurrentConfig::new(effective.cache.clone())
             .with_shards(effective.cache_shards)
             .with_sketch_seed(sketch_seed);
@@ -351,7 +350,7 @@ impl<'a> DeviceBuilder<'a> {
             last_result: None,
             motion_since_validation: 0.0,
             next_query_id: 0,
-            rng: SimRng::seed(self.seed).split_index("device", self.id.0 as u64),
+            rng: device_rng,
             outcomes: Vec::new(),
             pending_advertisement: None,
             scene_check,

@@ -290,6 +290,7 @@ pub fn run(
     // Fault timeline: materialized only when the scenario injects
     // anything; splits are non-consuming, so an idle scenario draws the
     // exact same random stream as before this layer existed.
+    let faults_rng = root.split("faults");
     let schedule = if scenario.faults.is_idle() {
         FaultSchedule::idle()
     } else {
@@ -297,10 +298,10 @@ pub fn run(
             &scenario.faults,
             scenario.devices,
             scenario.duration,
-            &root.split("faults"),
+            &faults_rng,
         )
     };
-    let mut poison_rng = root.split("faults").split("poison");
+    let mut poison_rng = faults_rng.split("poison");
     let mut fault_totals = ResilienceCounters::default();
     let mut world_rng = root.split("world");
     let universe = ClassUniverse::generate(&scenario.scene, &mut world_rng);
@@ -411,7 +412,9 @@ pub fn run(
             let Some((at, (target, entry))) = ad_queue.pop() else {
                 break;
             };
-            devices[target].receive_advertisement(&entry, at);
+            if let Some(device) = devices.get_mut(target) {
+                device.receive_advertisement(&entry, at);
+            }
         }
 
         // Churn the world on schedule.
@@ -439,12 +442,17 @@ pub fn run(
                 if schedule.radio_dark(sender, now) {
                     continue;
                 }
-                if discoveries[sender].should_beacon(now) {
+                let due = discoveries
+                    .get_mut(sender)
+                    .is_some_and(|d| d.should_beacon(now));
+                if due {
                     for receiver in model.neighbors(&positions, sender) {
                         if !schedule.reachable(sender, receiver, now) {
                             continue;
                         }
-                        discoveries[receiver].receive_beacon(sender as u64, now, &mut beacon_rng);
+                        if let Some(d) = discoveries.get_mut(receiver) {
+                            d.receive_beacon(sender as u64, now, &mut beacon_rng);
+                        }
                     }
                 }
             }
@@ -599,7 +607,7 @@ pub fn run(
 fn window_of(stream: &[ImuSample], from: SimTime, to: SimTime, rate_hz: f64) -> &[ImuSample] {
     let start = ((from.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
     let end = ((to.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
-    &stream[start.min(end)..end]
+    stream.get(start.min(end)..end).unwrap_or(&[])
 }
 
 #[cfg(test)]

@@ -32,12 +32,29 @@ impl TransportCounters {
         }
     }
 
+    /// Charges `messages` messages totalling `bytes` payload bytes to
+    /// the link. The single increment site for `messages_sent` /
+    /// `bytes_sent` (rule T: one `record_*` helper per field).
+    pub fn record_sent(&mut self, messages: u64, bytes: u64) {
+        self.messages_sent += messages;
+        self.bytes_sent += bytes;
+    }
+
+    /// Marks `messages` previously sent messages as arrived.
+    pub fn record_delivered(&mut self, messages: u64) {
+        self.messages_delivered += messages;
+    }
+
+    /// Marks `messages` previously sent messages as dropped by the link.
+    pub fn record_lost(&mut self, messages: u64) {
+        self.messages_lost += messages;
+    }
+
     /// Folds one device's beacon traffic in: beacons are fire-and-forget
     /// local broadcasts, so each counts as both sent and delivered.
     pub fn record_beacons(&mut self, beacons: u64, bytes: u64) {
-        self.messages_sent += beacons;
-        self.messages_delivered += beacons;
-        self.bytes_sent += bytes;
+        self.record_sent(beacons, bytes);
+        self.record_delivered(beacons);
     }
 
     /// Adds another counter block.
@@ -122,8 +139,7 @@ impl Transport {
     /// Sends one message of `bytes` bytes. Returns the delivery delay, or
     /// `None` if the link lost it.
     pub fn send_one_way(&mut self, bytes: usize, rng: &mut SimRng) -> Option<SimDuration> {
-        self.counters.messages_sent += 1;
-        self.counters.bytes_sent += bytes as u64;
+        self.counters.record_sent(1, bytes as u64);
         let sampled = match self.degradation {
             None => self.link.sample_one_way(bytes, rng),
             Some((latency_factor, loss_factor)) => {
@@ -137,11 +153,11 @@ impl Transport {
         };
         match sampled {
             Some(delay) => {
-                self.counters.messages_delivered += 1;
+                self.counters.record_delivered(1);
                 Some(delay)
             }
             None => {
-                self.counters.messages_lost += 1;
+                self.counters.record_lost(1);
                 None
             }
         }

@@ -55,6 +55,12 @@ impl SimRng {
     /// Splitting is a pure function of `(parent seed, label)`: it does not
     /// consume state from the parent, so children can be created in any
     /// order without affecting each other.
+    ///
+    /// Sibling labels must be unique within one derivation scope: calling
+    /// `split("x")` twice on the same parent yields the *same* stream, not
+    /// two independent ones, silently correlating whatever the two copies
+    /// feed (`xtask lint` rule S flags duplicate sibling labels). Derive
+    /// once and bind the child, or disambiguate via [`SimRng::split_index`].
     pub fn split(&self, label: &str) -> SimRng {
         let child_seed = derive_seed(self.seed, label.as_bytes());
         SimRng::seed(child_seed)
@@ -62,6 +68,10 @@ impl SimRng {
 
     /// Derives an independent child stream identified by an index, for
     /// per-entity streams (devices, peers, classes).
+    ///
+    /// The same sibling-uniqueness rule as [`SimRng::split`] applies to the
+    /// `(label, index)` pair: repeating a pair on one parent re-derives the
+    /// identical stream.
     pub fn split_index(&self, label: &str, index: u64) -> SimRng {
         let mut bytes = Vec::with_capacity(label.len() + 8);
         bytes.extend_from_slice(label.as_bytes());
@@ -270,6 +280,24 @@ mod tests {
         let mut d0 = root.split_index("device", 0);
         let mut d1 = root.split_index("device", 1);
         assert_ne!(d0.next_u64(), d1.next_u64());
+    }
+
+    #[test]
+    fn duplicate_sibling_labels_correlate_streams() {
+        // The hazard rule S exists for: two derivations under the same
+        // label are the same stream, so components that believe they hold
+        // independent randomness draw identical sequences.
+        let root = SimRng::seed(42);
+        let mut first = root.split("noise");
+        let mut second = root.split("noise");
+        for _ in 0..16 {
+            assert_eq!(first.next_u64(), second.next_u64());
+        }
+        let mut a = root.split_index("peer", 3);
+        let mut b = root.split_index("peer", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Known-bad fixture for rule A (linted as if in the concurrent core).
+
+impl Shard {
+    fn lookup(&self, key: &Key) -> Vec<f64> {
+        let mut out = Vec::new();
+        let copy = key.components.to_vec();
+        out.extend(copy);
+        out
+    }
+
+    fn insert(&mut self, key: Key) -> String {
+        let label = format!("{key:?}");
+        self.entries.push(Box::new(key));
+        label
+    }
+}
+
+fn nearest_into(candidates: &[f64]) -> Vec<f64> {
+    candidates.iter().map(|c| c * 2.0).collect()
+}
+
+fn decide_in(votes: &[Vote]) -> Vec<Vote> {
+    let v = votes.clone();
+    v.to_vec()
+}

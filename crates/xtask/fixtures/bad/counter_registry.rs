@@ -1,0 +1,26 @@
+//! Known-bad fixture for the rule T census (linted as if it were
+//! crates/reuse/src/stats.rs, the CacheStats registry home).
+
+impl CacheStats {
+    pub fn record_lookup(&mut self) {
+        self.lookups += 1;
+    }
+
+    pub fn record_lookup_again(&mut self) {
+        // A second helper for the same field: the census wants exactly
+        // one, so every increment funnels through one audited site.
+        self.lookups += 1;
+    }
+
+    pub fn note_hit(&mut self) {
+        // Increment outside a record_* helper, inside the registry.
+        self.hits += 1;
+    }
+}
+
+impl Device {
+    fn bump(&mut self) {
+        // Reaching through a path into an embedded registry.
+        self.stats.inserts += 1;
+    }
+}

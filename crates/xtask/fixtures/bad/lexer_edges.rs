@@ -1,0 +1,17 @@
+//! Known-bad fixture for the lexer edge cases: real panic sites that a
+//! line-drifting or token-splitting lexer would hide or misplace.
+
+fn real_sites(x: Option<u32>, v: &[u32]) -> u32 {
+    let s = "a\
+ continued";
+    let first = x.r#unwrap();
+    first + v[0] + s.len() as u32
+}
+
+fn allowed_site(y: Option<u32>) -> u32 {
+    let s = "x\
+ y";
+    // xtask-allow(panics): fixture justification pinned after a continuation
+    let v = y.unwrap();
+    v + s.len() as u32
+}

@@ -1,0 +1,30 @@
+//! Known-bad fixture for rule G: an A->B / B->A ordering cycle built
+//! through one level of calls. Each fn textually acquires only one lock,
+//! so the lexical rule L stays silent — but `forward` holds `alpha`
+//! while `grab_beta` takes `beta`, and `backward` holds `beta` while
+//! `grab_alpha` takes `alpha`: two threads running them concurrently
+//! deadlock. Only the cross-file graph sees it.
+
+impl Pair {
+    fn forward(&self) {
+        let guard = self.alpha.lock();
+        self.grab_beta();
+        drop(guard);
+    }
+
+    fn backward(&self) {
+        let guard = self.beta.lock();
+        self.grab_alpha();
+        drop(guard);
+    }
+
+    fn grab_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+
+    fn grab_alpha(&self) {
+        let a = self.alpha.lock();
+        drop(a);
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture for rule S: sibling splits sharing a label.
+
+fn build(root: &SimRng) {
+    let a = root.split("device");
+    let b = root.split("device");
+    let c = root.split_index("peer", 0);
+    let d = root.split_index("peer", 0);
+    let ok = root.split_index("peer", 1);
+    drop((a, b, c, d, ok));
+}
+
+fn justified(root: &SimRng) {
+    let a = root.split("twin");
+    // xtask-allow(seed-split): fixture justification for a deliberate twin
+    let b = root.split("twin");
+    drop((a, b));
+}

@@ -1,0 +1,32 @@
+//! Known-good fixture for rule A: hot paths reuse scratch buffers; cold
+//! paths and justified one-offs may still allocate.
+
+impl Shard {
+    fn lookup(&self, key: &Key, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&key.components);
+    }
+
+    fn insert(&mut self, key: Key) {
+        self.scratch.clear();
+        self.entries.push(key);
+    }
+
+    fn cold_rebuild(&mut self) -> Vec<Entry> {
+        // Not a designated hot fn: allocation is fine here.
+        self.entries.to_vec()
+    }
+}
+
+fn nearest_into(candidates: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for c in candidates {
+        out.push(c * 2.0);
+    }
+}
+
+fn decide_in(votes: &[Vote]) -> usize {
+    // xtask-allow(alloc): fixture justification for a measured one-off
+    let snapshot = votes.to_vec();
+    snapshot.len()
+}

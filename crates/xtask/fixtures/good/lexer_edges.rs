@@ -1,0 +1,11 @@
+//! Known-good fixture for the lexer edge cases: panic-looking text in
+//! places where it cannot execute — raw strings, nested block comments,
+//! multi-line strings — must stay invisible to every rule.
+
+/* outer /* nested .unwrap( */ still one comment with v[0] inside */
+fn no_sites() -> usize {
+    let raw = r#"x.unwrap() and v[0] and "quoted" inside"#;
+    let multi = "line one
+        line two .expect( not code";
+    raw.len() + multi.len()
+}

@@ -1,0 +1,25 @@
+//! Known-good fixture for rule G: every guard is released before the
+//! next acquisition — including across calls — so the graph has nodes
+//! but no acquired-while-held edges.
+
+impl Pair {
+    fn forward(&self) {
+        {
+            let guard = self.alpha.lock();
+            drop(guard);
+        }
+        self.grab_beta();
+    }
+
+    fn backward(&self) {
+        let len = self.beta.lock().len();
+        if len > 0 {
+            self.grab_beta();
+        }
+    }
+
+    fn grab_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-good fixture for rule S: sibling labels are unique per parent
+//! scope — distinct labels, distinct indexes, or distinct fns.
+
+fn build(root: &SimRng) {
+    let a = root.split("world");
+    let b = root.split("faults");
+    let c = root.split_index("device", 0);
+    let d = root.split_index("device", 1);
+    let child = b.split("world");
+    drop((a, c, d, child));
+}
+
+fn other(root: &SimRng) {
+    let w = root.split("world");
+    drop(w);
+}

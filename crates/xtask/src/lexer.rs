@@ -33,9 +33,15 @@ pub struct Token {
 }
 
 impl Token {
-    /// True when the token is the identifier `name`.
+    /// True when the token is the identifier `name`. Raw identifiers
+    /// compare by their unprefixed name: `r#unwrap` is `unwrap`.
     pub fn is_ident(&self, name: &str) -> bool {
-        self.kind == TokenKind::Ident && self.text == name
+        self.kind == TokenKind::Ident && self.ident_name() == name
+    }
+
+    /// The identifier text with any raw-identifier prefix stripped.
+    pub fn ident_name(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
     }
 
     /// True when the token is the punctuation character `c`.
@@ -160,6 +166,22 @@ pub fn lex(source: &str) -> Lexed {
                 i = j;
                 continue;
             }
+            // Raw identifier `r#name`: one Ident token, so `.r#unwrap()`
+            // still reads as an unwrap call and `r` `#` `name` never
+            // masquerade as three tokens.
+            if c == 'r' && hashes == 1 && j < n && (chars[j].is_alphabetic() || chars[j] == '_') {
+                let start = i;
+                i = j;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+                continue;
+            }
             // Not a raw string: fall through to the ident path.
         }
         // Plain and byte strings.
@@ -169,7 +191,15 @@ pub fn lex(source: &str) -> Lexed {
             i += if c == '"' { 1 } else { 2 };
             while i < n {
                 match chars[i] {
-                    '\\' => i += 2,
+                    // An escape consumes the next char — which may be the
+                    // newline of a `\`-continuation and must still count,
+                    // or every later line number drifts by one.
+                    '\\' => {
+                        if i + 1 < n && chars[i + 1] == '\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
                     '"' => {
                         i += 1;
                         break;
@@ -211,12 +241,22 @@ pub fn lex(source: &str) -> Lexed {
             i += 1;
             while i < n {
                 match chars[i] {
-                    '\\' => i += 2,
+                    '\\' => {
+                        if i + 1 < n && chars[i + 1] == '\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
                     '\'' => {
                         i += 1;
                         break;
                     }
-                    _ => i += 1,
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
                 }
             }
             out.tokens.push(Token {
@@ -300,6 +340,39 @@ mod tests {
         let lexed = lex("/* one\ntwo\nthree */\nfoo");
         let foo = lexed.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
         assert_eq!(foo.line, 4);
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers() {
+        // `"x\` + newline continues the string; the skipped newline must
+        // still advance the line counter or every later token drifts.
+        let lexed = lex("let a = \"x\\\n y\";\nb.unwrap();");
+        let unwrap = lexed.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token() {
+        let lexed = lex("x.r#unwrap()");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["x", ".", "r#unwrap", "(", ")"]);
+        assert!(lexed.tokens[2].is_ident("unwrap"), "raw prefix stripped");
+    }
+
+    #[test]
+    fn nested_block_comments_stay_comments() {
+        let lexed = lex("/* a /* b */ still comment .unwrap( */ ok");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("ok")));
+    }
+
+    #[test]
+    fn multiline_raw_strings_count_their_lines() {
+        let lexed = lex("let s = r#\"one\ntwo\nexpect(\"#;\nz");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("expect")));
+        let z = lexed.tokens.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 4);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--fix-budget]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--fix-budget] [--json]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,7 +13,7 @@ fn repo_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--fix-budget]");
+    eprintln!("usage: cargo run -p xtask -- lint [--fix-budget] [--json]");
     ExitCode::from(2)
 }
 
@@ -23,10 +23,11 @@ fn main() -> ExitCode {
         Some((cmd, flags)) => (cmd.as_str(), flags),
         None => return usage(),
     };
-    if cmd != "lint" || flags.iter().any(|f| f != "--fix-budget") {
+    if cmd != "lint" || flags.iter().any(|f| f != "--fix-budget" && f != "--json") {
         return usage();
     }
     let fix_budget = flags.iter().any(|f| f == "--fix-budget");
+    let json = flags.iter().any(|f| f == "--json");
 
     let root = repo_root();
     let budget = match xtask::load_budget(&root) {
@@ -62,16 +63,36 @@ fn main() -> ExitCode {
         }
     }
 
+    if json {
+        println!("{}", report.to_json());
+        return if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     for violation in &report.violations {
         println!("{violation}");
     }
     let observed: usize = report.panic_counts.values().sum();
+    let cycles = report.lock_graph.cycles();
     println!(
         "xtask lint: {} files, {} violations, panic sites {} (budget {})",
         report.files_checked,
         report.violations.len(),
         observed,
         budget.total()
+    );
+    println!(
+        "lock-order graph: {} nodes, {} edges, {}",
+        report.lock_graph.nodes.len(),
+        report.lock_graph.edges.len(),
+        if cycles.is_empty() {
+            "acyclic".to_string()
+        } else {
+            format!("{} cycle(s)", cycles.len())
+        }
     );
     if report.clean() {
         ExitCode::SUCCESS

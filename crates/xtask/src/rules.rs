@@ -1,16 +1,22 @@
 //! The lint rules: determinism (D), unit-safety (U), trace-counter
-//! discipline (T), panic hygiene (P), and lock discipline (L).
+//! discipline (T), panic hygiene (P), lock discipline (L), seed-split
+//! discipline (S), and hot-path allocations (A). The cross-file rules —
+//! the lock-order graph (G) and the counter census behind the upgraded
+//! rule T — live in [`crate::model`].
 //!
-//! All rules are lexical. They run on the token stream from
-//! [`crate::lexer`], skip `#[cfg(test)]` / `#[test]` regions, and honour
+//! Per-file rules run on the token stream from [`crate::lexer`], with
+//! the structural rules consulting the token tree ([`crate::tree`]) for
+//! fn/impl boundaries and receiver chains. All rules skip
+//! `#[cfg(test)]` / `#[test]` regions and honour
 //! `// xtask-allow(<rule>): <reason>` escape hatches. The heuristics are
 //! deliberately simple; where a rule cannot be sure, it prefers a
 //! justified allow-comment over silence, because every allow carries its
 //! reason in the diff.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::tree::{receiver_chain, Tree};
 
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,8 +31,17 @@ pub enum Rule {
     Counters,
     /// P: panic sites on hot paths are budgeted and only shrink.
     Panics,
-    /// L: the concurrent store never holds two shard locks at once.
+    /// L: fast-path lexical pre-check — the concurrent store never
+    /// holds two shard locks in one statement / under a live guard.
     Locks,
+    /// G: the cross-file lock-order graph over the concurrent core is
+    /// acyclic (subsumes L's heuristic; L stays as the cheap pre-check).
+    LockGraph,
+    /// S: sibling `split(..)` / `split_index(..)` labels are unique per
+    /// parent scope — a duplicate silently correlates two RNG streams.
+    SeedSplit,
+    /// A: no allocation in the designated hot-path fns.
+    Alloc,
 }
 
 impl Rule {
@@ -38,6 +53,9 @@ impl Rule {
             Rule::Counters => "counters",
             Rule::Panics => "panics",
             Rule::Locks => "locks",
+            Rule::LockGraph => "lock-graph",
+            Rule::SeedSplit => "seed-split",
+            Rule::Alloc => "alloc",
         }
     }
 }
@@ -98,56 +116,90 @@ const WALL_CLOCK_MEASUREMENT_FILES: &[&str] = &[
 /// Hot-path crates where rule P applies.
 const PANIC_CRATES: &[&str] = &["reuse", "approxcache", "p2pnet"];
 
-/// Directory where rule L applies: the sharded store's concurrent core.
-/// Its deadlock-freedom argument is that no thread ever holds two shard
-/// locks at once, so every acquisition must be the only live one.
-const LOCK_SCOPE_PREFIX: &str = "crates/reuse/src/concurrent/";
+/// Directory where rules L and G apply: the sharded store's concurrent
+/// core. Its deadlock-freedom argument is that no thread ever holds two
+/// shard locks at once, so every acquisition must be the only live one.
+pub(crate) const LOCK_SCOPE_PREFIX: &str = "crates/reuse/src/concurrent/";
 
 /// Files that *define* unit newtypes: raw-number arithmetic on unit
 /// names is their job.
 const UNIT_HOME_FILES: &[&str] = &["crates/simcore/src/units.rs", "crates/simcore/src/time.rs"];
 
-/// Files that *are* the counter registries: the helpers themselves
-/// mutate fields directly.
-const COUNTER_HOME_FILES: &[&str] = &[
-    "crates/reuse/src/stats.rs",
-    "crates/p2pnet/src/transport.rs",
-    "crates/p2pnet/src/faults.rs",
+/// One counter registry: the struct that owns the fields, the file it
+/// lives in, and the fields whose increments must go through `record_*`
+/// helpers. The per-file half of rule T uses the field names; the
+/// cross-file census in [`crate::model`] additionally checks that each
+/// field has exactly one helper and a reconciliation assertion site.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterRegistry {
+    /// Struct name (`impl` blocks are matched by this name).
+    pub name: &'static str,
+    /// Repo-relative path of the registry's home file.
+    pub home: &'static str,
+    /// The counter fields.
+    pub fields: &'static [&'static str],
+}
+
+/// The three counter registries of the workspace.
+pub const COUNTER_REGISTRIES: &[CounterRegistry] = &[
+    CounterRegistry {
+        name: "CacheStats",
+        home: "crates/reuse/src/stats.rs",
+        fields: &[
+            "lookups",
+            "hits",
+            "miss_empty",
+            "miss_too_far",
+            "miss_not_homogeneous",
+            "miss_insufficient_support",
+            "inserts",
+            "refreshes",
+            "rejected",
+            "evictions",
+            "removals",
+            "expirations",
+            "sketch_rejected",
+            "weight_evictions",
+        ],
+    },
+    CounterRegistry {
+        name: "TransportCounters",
+        home: "crates/p2pnet/src/transport.rs",
+        fields: &[
+            "messages_sent",
+            "messages_delivered",
+            "messages_lost",
+            "bytes_sent",
+        ],
+    },
+    CounterRegistry {
+        name: "ResilienceCounters",
+        home: "crates/p2pnet/src/faults.rs",
+        fields: &[
+            "outage_frames",
+            "crashes",
+            "poisoned_ads",
+            "ad_retries",
+            "ad_abandoned",
+            "quarantines",
+            "reprobes",
+            "breaker_skips",
+            "peer_fallbacks",
+        ],
+    },
 ];
 
-/// Counter-registry fields whose increments must go through helpers.
-const COUNTER_FIELDS: &[&str] = &[
-    // reuse::CacheStats
-    "lookups",
-    "hits",
-    "miss_empty",
-    "miss_too_far",
-    "miss_not_homogeneous",
-    "miss_insufficient_support",
-    "inserts",
-    "refreshes",
-    "rejected",
-    "evictions",
-    "removals",
-    "expirations",
-    "sketch_rejected",
-    "weight_evictions",
-    // p2pnet::TransportCounters
-    "messages_sent",
-    "messages_delivered",
-    "messages_lost",
-    "bytes_sent",
-    // p2pnet::ResilienceCounters
-    "outage_frames",
-    "crashes",
-    "poisoned_ads",
-    "ad_retries",
-    "ad_abandoned",
-    "quarantines",
-    "reprobes",
-    "breaker_skips",
-    "peer_fallbacks",
-];
+/// True when `path` is a counter registry's home file.
+pub(crate) fn is_counter_home(path: &str) -> bool {
+    COUNTER_REGISTRIES.iter().any(|r| r.home == path)
+}
+
+/// The registry owning `field`, if any.
+pub(crate) fn registry_of(field: &str) -> Option<&'static CounterRegistry> {
+    COUNTER_REGISTRIES
+        .iter()
+        .find(|r| r.fields.contains(&field))
+}
 
 /// Everything the rules know about one file.
 #[derive(Debug)]
@@ -155,6 +207,8 @@ pub struct FileContext {
     /// Repo-relative path with `/` separators.
     pub rel_path: String,
     lexed: Lexed,
+    /// The token tree (delimiter matches, fn/impl boundaries).
+    tree: Tree,
     /// Token-index ranges that are test code.
     test_ranges: Vec<(usize, usize)>,
     /// `(rule, first_line, last_line)` spans suppressed by allows.
@@ -162,14 +216,17 @@ pub struct FileContext {
 }
 
 impl FileContext {
-    /// Lexes `source` and precomputes test regions and allow spans.
+    /// Lexes `source` and precomputes the token tree, test regions and
+    /// allow spans.
     pub fn new(rel_path: &str, source: &str) -> FileContext {
         let lexed = lex(source);
+        let tree = Tree::new(&lexed.tokens);
         let test_ranges = find_test_ranges(&lexed.tokens);
         let allows = find_allows(&lexed, source);
         FileContext {
             rel_path: rel_path.replace('\\', "/"),
             lexed,
+            tree,
             test_ranges,
             allows,
         }
@@ -184,20 +241,24 @@ impl FileContext {
         }
     }
 
-    fn in_test(&self, token_idx: usize) -> bool {
+    pub(crate) fn in_test(&self, token_idx: usize) -> bool {
         self.test_ranges
             .iter()
             .any(|&(lo, hi)| token_idx >= lo && token_idx <= hi)
     }
 
-    fn allowed(&self, rule: Rule, line: usize) -> bool {
+    pub(crate) fn allowed(&self, rule: Rule, line: usize) -> bool {
         self.allows
             .iter()
             .any(|(r, lo, hi)| r == rule.id() && line >= *lo && line <= *hi)
     }
 
-    fn tokens(&self) -> &[Token] {
+    pub(crate) fn tokens(&self) -> &[Token] {
         &self.lexed.tokens
+    }
+
+    pub(crate) fn tree(&self) -> &Tree {
+        &self.tree
     }
 }
 
@@ -297,7 +358,9 @@ fn find_allows(lexed: &Lexed, source: &str) -> Vec<(String, usize, usize)> {
     allows
 }
 
-/// Runs rules D, U, T and L on one file, appending to `out`.
+/// Runs the per-file rules (D, U, T's lexical half, L, S, A) on one
+/// file, appending to `out`. The cross-file rules (G, T's census) run
+/// in [`crate::model`] over the whole workspace.
 pub fn check_file(ctx: &FileContext, out: &mut Vec<Violation>) {
     if ctx.crate_name() == "xtask" {
         return;
@@ -306,6 +369,8 @@ pub fn check_file(ctx: &FileContext, out: &mut Vec<Violation>) {
     check_units(ctx, out);
     check_counters(ctx, out);
     check_locks(ctx, out);
+    check_seed_splits(ctx, out);
+    check_alloc(ctx, out);
 }
 
 fn push(
@@ -516,11 +581,12 @@ fn check_units(ctx: &FileContext, out: &mut Vec<Violation>) {
     }
 }
 
-/// Rule T. Flags `.field += …` for counter-registry fields outside the
-/// registries themselves: stats must flow through `record_*` helpers so
-/// balance invariants run at every increment.
+/// Rule T (lexical half). Flags `.field += …` for counter-registry
+/// fields outside the registry home files: stats must flow through
+/// `record_*` helpers so balance invariants run at every increment. The
+/// home files get the sharper impl-scoped census in [`crate::model`].
 fn check_counters(ctx: &FileContext, out: &mut Vec<Violation>) {
-    if COUNTER_HOME_FILES.contains(&ctx.rel_path.as_str()) {
+    if is_counter_home(&ctx.rel_path) {
         return;
     }
     let tokens = ctx.tokens();
@@ -529,7 +595,7 @@ fn check_counters(ctx: &FileContext, out: &mut Vec<Violation>) {
             continue;
         }
         let field = &tokens[i + 1];
-        if field.kind != TokenKind::Ident || !COUNTER_FIELDS.contains(&field.text.as_str()) {
+        if field.kind != TokenKind::Ident || registry_of(field.ident_name()).is_none() {
             continue;
         }
         if tokens[i + 2].is_punct('+') && tokens[i + 3].is_punct('=') {
@@ -642,6 +708,147 @@ fn check_locks(ctx: &FileContext, out: &mut Vec<Violation>) {
             if j < tokens.len() && tokens[j].is_punct(';') {
                 register_at_semi = true;
             }
+        }
+    }
+}
+
+/// Rule S. The seed-split registry: every `split("…")` /
+/// `split_index("…", i)` site is keyed by (enclosing fn, receiver
+/// chain, method, label — plus the index argument for `split_index`);
+/// two sites sharing a key derive the *same* child stream from the same
+/// parent, silently correlating the RNG draws downstream. Non-literal
+/// labels cannot be checked lexically and are skipped.
+fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
+    let tokens = ctx.tokens();
+    let tree = ctx.tree();
+    // key -> (first line, sites so far)
+    let mut sites: BTreeMap<(String, String, String, String), (usize, usize)> = BTreeMap::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') || i + 3 >= tokens.len() || ctx.in_test(i) {
+            continue;
+        }
+        let method = &tokens[i + 1];
+        if !(method.is_ident("split") || method.is_ident("split_index"))
+            || !tokens[i + 2].is_punct('(')
+        {
+            continue;
+        }
+        let label_tok = &tokens[i + 3];
+        if label_tok.kind != TokenKind::Literal || !label_tok.text.starts_with('"') {
+            continue;
+        }
+        let mut label = label_tok.text.clone();
+        if method.is_ident("split_index") {
+            // The index argument disambiguates: `("device", 0)` and
+            // `("device", 1)` are distinct child streams.
+            if let (Some(comma), Some(arg)) = (tokens.get(i + 4), tokens.get(i + 5)) {
+                if comma.is_punct(',') {
+                    label.push(',');
+                    label.push_str(&arg.text);
+                }
+            }
+        }
+        let scope = tree
+            .enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<file>".to_string());
+        let recv = receiver_chain(tokens, tree, i);
+        let line = method.line;
+        let key = (scope, recv, method.ident_name().to_string(), label);
+        match sites.get_mut(&key) {
+            None => {
+                sites.insert(key, (line, 1));
+            }
+            Some((first, n)) => {
+                *n += 1;
+                if ctx.allowed(Rule::SeedSplit, line) {
+                    continue;
+                }
+                let (scope, recv, method, label) = &key;
+                push(
+                    ctx,
+                    out,
+                    Rule::SeedSplit,
+                    line,
+                    format!(
+                        "duplicate sibling seed split `{recv}.{method}({label})` in `{scope}` \
+                         — first at line {first}; identical labels derive identical child \
+                         streams"
+                    ),
+                    "give every sibling split a unique label (or index); a duplicate \
+                     silently correlates two RNG streams",
+                );
+            }
+        }
+    }
+}
+
+/// Fns that are hot-path everywhere (the per-frame A-kNN kernels).
+const HOT_FNS_ANYWHERE: &[&str] = &["nearest_into", "decide_in"];
+
+/// Fns that are hot-path within the concurrent core (shard operations
+/// executed under the shard lock).
+const HOT_FNS_CONCURRENT: &[&str] = &["lookup", "insert"];
+
+/// Allocation patterns rule A flags inside hot fns.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "collect"];
+
+/// Rule A. Flags allocations (`Vec::new`, `Box::new`, `format!`,
+/// `vec!`, `.clone()`, `.to_vec()`, `.collect()`) inside the designated
+/// hot-path fn bodies. These fns run per frame — `nearest_into` /
+/// `decide_in` on every lookup, shard `lookup` / `insert` under the
+/// shard lock — and the flat-buffer kernels exist precisely so they
+/// stay allocation-free.
+fn check_alloc(ctx: &FileContext, out: &mut Vec<Violation>) {
+    let tokens = ctx.tokens();
+    let concurrent = ctx.rel_path.starts_with(LOCK_SCOPE_PREFIX);
+    for f in ctx.tree().fns() {
+        let hot = HOT_FNS_ANYWHERE.contains(&f.name.as_str())
+            || (concurrent && HOT_FNS_CONCURRENT.contains(&f.name.as_str()));
+        let Some((lo, hi)) = f.body.filter(|_| hot) else {
+            continue;
+        };
+        for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let t = &tokens[i];
+            let what = if (t.is_ident("Vec") || t.is_ident("Box"))
+                && i + 3 < tokens.len()
+                && tokens[i + 1].is_punct(':')
+                && tokens[i + 2].is_punct(':')
+                && tokens[i + 3].is_ident("new")
+            {
+                Some(format!("{}::new", t.ident_name()))
+            } else if (t.is_ident("format") || t.is_ident("vec"))
+                && i + 1 < tokens.len()
+                && tokens[i + 1].is_punct('!')
+            {
+                Some(format!("{}!", t.ident_name()))
+            } else if t.is_punct('.')
+                && i + 2 < tokens.len()
+                && tokens[i + 1].kind == TokenKind::Ident
+                && ALLOC_METHODS.contains(&tokens[i + 1].ident_name())
+                && tokens[i + 2].is_punct('(')
+            {
+                Some(format!(".{}()", tokens[i + 1].ident_name()))
+            } else {
+                None
+            };
+            let Some(what) = what else { continue };
+            let line = t.line;
+            if ctx.allowed(Rule::Alloc, line) {
+                continue;
+            }
+            push(
+                ctx,
+                out,
+                Rule::Alloc,
+                line,
+                format!("allocation `{what}` in hot-path fn `{}`", f.name),
+                "reuse a caller-provided or member scratch buffer (clear + extend); \
+                 justify unavoidable cases with `// xtask-allow(alloc): <reason>`",
+            );
         }
     }
 }

@@ -2,7 +2,8 @@
 //! must fire and a known-good fixture that must stay silent.
 
 use xtask::lint_source;
-use xtask::rules::Rule;
+use xtask::model;
+use xtask::rules::{FileContext, Rule};
 
 fn fixture(kind: &str, name: &str) -> String {
     let path = format!("{}/fixtures/{kind}/{name}.rs", env!("CARGO_MANIFEST_DIR"));
@@ -201,6 +202,243 @@ fn locks_only_applies_to_the_concurrent_core() {
     // The same bad source elsewhere in reuse is out of scope.
     let hits = lint("bad", "locks", "crates/reuse/src/store.rs", 0);
     assert!(!hits.iter().any(|&(r, _)| r == Rule::Locks), "got {hits:?}");
+}
+
+/// Runs the cross-file lock-graph pass over one fixture.
+fn graph_of(kind: &str, name: &str, rel_path: &str) -> (model::LockGraph, Vec<(Rule, usize)>) {
+    let ctx = FileContext::new(rel_path, &fixture(kind, name));
+    let (graph, violations) = model::lock_graph(&[&ctx]);
+    (graph, violations.iter().map(|v| (v.rule, v.line)).collect())
+}
+
+#[test]
+fn lock_graph_catches_the_ordering_cycle_rule_l_misses() {
+    // The lexical rule first: each fn textually takes one lock, so L
+    // stays silent on this fixture.
+    let hits = lint(
+        "bad",
+        "lock_graph",
+        "crates/reuse/src/concurrent/fixture.rs",
+        9,
+    );
+    assert!(!hits.iter().any(|&(r, _)| r == Rule::Locks), "got {hits:?}");
+    // The graph propagates through the calls: alpha->beta (via
+    // grab_beta) and beta->alpha (via grab_alpha) close a cycle.
+    let (graph, violations) = graph_of(
+        "bad",
+        "lock_graph",
+        "crates/reuse/src/concurrent/fixture.rs",
+    );
+    assert!(graph.nodes.contains(&"self.alpha".to_string()), "{graph:?}");
+    assert!(graph.nodes.contains(&"self.beta".to_string()), "{graph:?}");
+    assert!(!graph.cycles().is_empty(), "{graph:?}");
+    assert!(
+        violations.iter().any(|&(r, _)| r == Rule::LockGraph),
+        "got {violations:?}"
+    );
+}
+
+#[test]
+fn good_lock_graph_has_nodes_but_no_cycles() {
+    let (graph, violations) = graph_of(
+        "good",
+        "lock_graph",
+        "crates/reuse/src/concurrent/fixture.rs",
+    );
+    assert!(!graph.nodes.is_empty(), "{graph:?}");
+    assert!(graph.cycles().is_empty(), "{graph:?}");
+    assert!(violations.is_empty(), "got {violations:?}");
+}
+
+#[test]
+fn lock_graph_subsumes_the_legacy_lock_fixture() {
+    // Rule L's known-bad fixture also trips rule G: two acquisitions of
+    // the `self.shard(_)` family under one guard are a self-edge, the
+    // degenerate ordering cycle.
+    let (graph, violations) = graph_of("bad", "locks", "crates/reuse/src/concurrent/fixture.rs");
+    assert!(
+        violations.iter().any(|&(r, _)| r == Rule::LockGraph),
+        "got {violations:?}"
+    );
+    assert!(
+        graph
+            .cycles()
+            .iter()
+            .any(|c| c.iter().all(|n| n == "self.shard(_)")),
+        "{graph:?}"
+    );
+    // And the known-good fixture stays acyclic under the graph too.
+    let (graph, violations) = graph_of("good", "locks", "crates/reuse/src/concurrent/fixture.rs");
+    assert!(graph.cycles().is_empty(), "{graph:?}");
+    assert!(violations.is_empty(), "got {violations:?}");
+}
+
+#[test]
+fn lock_graph_honours_the_locks_allow_marker() {
+    // bad/locks.rs `allowed_pair` carries an xtask-allow(locks) span;
+    // the graph must not manufacture an edge from the justified pair, so
+    // the only cycle is the `transfer` self-edge.
+    let (graph, _) = graph_of("bad", "locks", "crates/reuse/src/concurrent/fixture.rs");
+    assert!(
+        !graph
+            .edges
+            .iter()
+            .any(|e| e.from == "self.shard(_)" && e.to == "self.shard(_)" && e.line > 15),
+        "allowed pair leaked an edge: {graph:?}"
+    );
+}
+
+#[test]
+fn bad_seed_split_fires() {
+    let hits = lint("bad", "seed_split", "crates/approxcache/src/fixture.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::SeedSplit)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![5, 7],
+        "duplicate label and duplicate (label, index), got {hits:?}"
+    );
+}
+
+#[test]
+fn good_seed_split_is_clean() {
+    let hits = lint("good", "seed_split", "crates/approxcache/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn bad_alloc_fires_in_the_concurrent_core() {
+    let hits = lint("bad", "alloc", "crates/reuse/src/concurrent/fixture.rs", 9);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Alloc)
+        .map(|&(_, l)| l)
+        .collect();
+    for line in [5, 6, 12, 13, 19, 23, 24] {
+        assert!(lines.contains(&line), "line {line} missing from {lines:?}");
+    }
+}
+
+#[test]
+fn alloc_shard_fns_are_hot_only_in_the_concurrent_core() {
+    // Outside concurrent/, `lookup`/`insert` are ordinary fns; the
+    // A-kNN kernels (`nearest_into`, `decide_in`) stay hot everywhere.
+    let hits = lint("bad", "alloc", "crates/reuse/src/fixture.rs", 9);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Alloc)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(
+        !lines.iter().any(|&l| l < 17),
+        "shard fns flagged outside the core: {lines:?}"
+    );
+    for line in [19, 23, 24] {
+        assert!(lines.contains(&line), "line {line} missing from {lines:?}");
+    }
+}
+
+#[test]
+fn good_alloc_is_clean() {
+    let hits = lint("good", "alloc", "crates/reuse/src/concurrent/fixture.rs", 9);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn bad_counter_registry_census_fires() {
+    let ctx = FileContext::new(
+        "crates/reuse/src/stats.rs",
+        &fixture("bad", "counter_registry"),
+    );
+    let violations = model::check_counter_registry(&[&ctx], &[]);
+    let messages: Vec<&str> = violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`lookups` has 2 record_* helpers")),
+        "got {messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`.hits` outside a `record_*` helper")),
+        "got {messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`self.stats.inserts +=` bypasses")),
+        "got {messages:?}"
+    );
+}
+
+#[test]
+fn good_counter_registry_census_is_clean() {
+    let ctx = FileContext::new(
+        "crates/reuse/src/stats.rs",
+        &fixture("good", "counter_registry"),
+    );
+    let violations = model::check_counter_registry(&[&ctx], &[]);
+    assert!(violations.is_empty(), "got {violations:#?}");
+}
+
+#[test]
+fn counter_census_requires_reconciliation_sites() {
+    // With a reconcile file in play, every field must appear inside an
+    // assert-family span; here only `lookups` does.
+    let ctx = FileContext::new(
+        "crates/reuse/src/stats.rs",
+        &fixture("good", "counter_registry"),
+    );
+    let reconcile = FileContext::new(
+        "tests/trace_observability.rs",
+        "fn t() { assert_eq!(stats.lookups, 1); }",
+    );
+    let violations = model::check_counter_registry(&[&ctx], &[&reconcile]);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("`hits` has no reconciliation")),
+        "got {violations:#?}"
+    );
+    assert!(
+        !violations
+            .iter()
+            .any(|v| v.message.contains("`lookups` has no reconciliation")),
+        "got {violations:#?}"
+    );
+}
+
+#[test]
+fn lexer_edges_panic_sites_are_counted_and_placed() {
+    // Two real sites: a raw-identifier `r#unwrap` and an index. The
+    // allow marker in `allowed_site` sits after a string continuation,
+    // so it only covers its unwrap if line numbers survive `\`-escaped
+    // newlines.
+    let (_, count) = lint_source(
+        "crates/reuse/src/fixture.rs",
+        &fixture("bad", "lexer_edges"),
+        9,
+    );
+    assert_eq!(count, Some(2));
+    let hits = lint("bad", "lexer_edges", "crates/reuse/src/fixture.rs", 1);
+    assert!(hits.iter().any(|&(r, _)| r == Rule::Panics), "got {hits:?}");
+}
+
+#[test]
+fn good_lexer_edges_hides_panic_text_in_literals_and_comments() {
+    // Raw strings, nested block comments, and multi-line strings carry
+    // unwrap/index-looking text that must stay opaque.
+    let (hits, count) = lint_source(
+        "crates/reuse/src/fixture.rs",
+        &fixture("good", "lexer_edges"),
+        0,
+    );
+    assert_eq!(count, Some(0));
+    assert!(hits.is_empty(), "got {hits:?}");
 }
 
 #[test]

@@ -129,3 +129,159 @@ fn fault_counters_reconcile_with_traces() {
         assert_eq!(t.peer.attempts, 0, "dark/fallback frame queried peers");
     }
 }
+
+// The three tests below are the counter-registry reconciliation sites
+// the xtask census (rule T) requires: every registry field appears in at
+// least one conservation assertion here or in the registry's own balance
+// invariant, so a counter that drifts from the events it claims to count
+// fails a test rather than silently skewing a report.
+
+#[test]
+fn cache_counters_conserve_over_insert_remove_expire() {
+    use approx_caching::cache::{ApproxCache, CacheConfig, EntrySource, InsertOutcome};
+    use approx_caching::keys::FeatureVector;
+    use approx_caching::runtime::SimTime;
+
+    // Drive the store directly and count the outcomes ourselves; the
+    // stats block must agree event for event. The default admission
+    // policy supplies all three insert outcomes: a 0.75 confidence floor
+    // (rejections) and a 0.25 dedup distance (refreshes).
+    let mut cache: ApproxCache<u32> = ApproxCache::new(CacheConfig::new(64));
+    let t0 = SimTime::ZERO;
+    let (mut inserted, mut refreshed, mut rejected) = (0u64, 0u64, 0u64);
+    let mut ids = Vec::new();
+    for i in 0..24u32 {
+        // Keys 10 apart never dedup against each other; repeating each
+        // admitted key a second time refreshes it.
+        for _ in 0..2 {
+            let key =
+                FeatureVector::from_vec(vec![i as f32 * 10.0, 0.0, 0.0, 0.0]).expect("finite key");
+            let confidence = if i % 3 == 0 { 0.5 } else { 0.9 };
+            match cache.insert(key, i, confidence, EntrySource::LocalInference, t0) {
+                InsertOutcome::Inserted(id) => {
+                    inserted += 1;
+                    ids.push(id);
+                }
+                InsertOutcome::Refreshed(_) => refreshed += 1,
+                InsertOutcome::Rejected => rejected += 1,
+            }
+        }
+    }
+    assert!(
+        inserted > 0 && refreshed > 0 && rejected > 0,
+        "all outcomes exercised"
+    );
+
+    let removed = ids.iter().take(3).filter(|id| cache.remove(**id)).count() as u64;
+    assert_eq!(removed, 3, "freshly inserted ids must be removable");
+    let expired =
+        cache.expire_older_than(t0 + SimDuration::from_secs(100), SimDuration::from_secs(1)) as u64;
+    assert_eq!(expired, inserted - removed, "everything left expires");
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.inserts, inserted,
+        "inserts counter vs observed outcomes"
+    );
+    assert_eq!(
+        stats.refreshes, refreshed,
+        "refreshes counter vs observed outcomes"
+    );
+    assert_eq!(
+        stats.rejected, rejected,
+        "rejected counter vs observed outcomes"
+    );
+    assert_eq!(
+        stats.removals, removed,
+        "removals counter vs successful removes"
+    );
+    assert_eq!(
+        stats.expirations, expired,
+        "expirations counter vs sweep return"
+    );
+}
+
+#[test]
+fn transport_counters_conserve_sent_against_outcomes() {
+    use approx_caching::network::{LinkSpec, Transport};
+    use approx_caching::runtime::SimRng;
+
+    // Every message handed to the link is either delivered or lost —
+    // the counters must partition exactly, and bytes follow sends.
+    let mut transport = Transport::new(LinkSpec::ble());
+    let mut rng = SimRng::seed(97).split("transport-conservation");
+    const MESSAGES: u64 = 400;
+    const BYTES: usize = 180;
+    let (mut delivered, mut lost) = (0u64, 0u64);
+    for _ in 0..MESSAGES {
+        match transport.send_one_way(BYTES, &mut rng) {
+            Some(_) => delivered += 1,
+            None => lost += 1,
+        }
+    }
+    let counters = transport.counters();
+    assert_eq!(counters.messages_sent, MESSAGES);
+    assert_eq!(counters.bytes_sent, MESSAGES * BYTES as u64);
+    assert_eq!(counters.messages_delivered, delivered);
+    assert_eq!(counters.messages_lost, lost);
+    assert_eq!(
+        counters.messages_sent,
+        counters.messages_delivered + counters.messages_lost,
+        "sent must partition into delivered + lost"
+    );
+    assert!(lost > 0, "3% BLE loss must drop some of 400 messages");
+}
+
+#[test]
+fn resilience_counters_reconcile_with_breaker_and_merge() {
+    use approx_caching::network::{BreakerConfig, CircuitBreaker, ResilienceCounters};
+    use approx_caching::runtime::SimTime;
+
+    // Drive a breaker through every transition: threshold failures open
+    // it (quarantine), queries while open are suppressed (skips), the
+    // lapsed quarantine grants one probe (reprobe), and a failed probe
+    // re-opens it.
+    let mut breaker = CircuitBreaker::new(BreakerConfig::default());
+    let t0 = SimTime::ZERO;
+    for _ in 0..3 {
+        assert!(breaker.allows(7, t0));
+        breaker.record_failure(7, t0);
+    }
+    assert!(!breaker.allows(7, t0), "freshly opened breaker suppresses");
+    let later = t0 + SimDuration::from_secs(3);
+    assert!(breaker.allows(7, later), "lapsed quarantine grants a probe");
+    breaker.record_failure(7, later);
+    assert_eq!(breaker.quarantines(), 2);
+    assert_eq!(breaker.reprobes(), 1);
+    assert_eq!(breaker.suppressed(), 1);
+
+    // `record_breaker` folds the lifetime totals into the registry 1:1.
+    let mut folded = ResilienceCounters::default();
+    folded.record_breaker(&breaker);
+    assert_eq!(folded.quarantines, breaker.quarantines());
+    assert_eq!(folded.reprobes, breaker.reprobes());
+    assert_eq!(folded.breaker_skips, breaker.suppressed());
+
+    // `merge` must be linear in every field: folding one block twice
+    // doubles each counter, so a field skipped by merge fails here.
+    let mut unit = ResilienceCounters::default();
+    unit.record_outage_frame();
+    unit.record_crash();
+    unit.record_poisoned_ad();
+    unit.record_ad_retries(3);
+    unit.record_ad_abandoned();
+    unit.record_peer_fallback();
+    unit.merge(&folded);
+    let mut doubled = ResilienceCounters::default();
+    doubled.merge(&unit);
+    doubled.merge(&unit);
+    assert_eq!(doubled.outage_frames, 2 * unit.outage_frames);
+    assert_eq!(doubled.crashes, 2 * unit.crashes);
+    assert_eq!(doubled.poisoned_ads, 2 * unit.poisoned_ads);
+    assert_eq!(doubled.ad_retries, 2 * unit.ad_retries);
+    assert_eq!(doubled.ad_abandoned, 2 * unit.ad_abandoned);
+    assert_eq!(doubled.quarantines, 2 * unit.quarantines);
+    assert_eq!(doubled.reprobes, 2 * unit.reprobes);
+    assert_eq!(doubled.breaker_skips, 2 * unit.breaker_skips);
+    assert_eq!(doubled.peer_fallbacks, 2 * unit.peer_fallbacks);
+}
