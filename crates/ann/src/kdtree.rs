@@ -2,23 +2,36 @@
 
 use std::collections::HashMap;
 
-use features::{distance::squared_euclidean, FeatureVector};
+use features::{distance::squared_euclidean_flat_within, FeatureVector};
 
-use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+use crate::flat::push_bounded;
+use crate::index::{check_insert, check_query, IndexScratch, Neighbor, NnIndex};
 
 /// Exact nearest-neighbour search via a k-d tree.
 ///
 /// Insertion walks to a leaf (no rebalancing); deletion tombstones the
 /// node. When tombstones exceed half the nodes, or the tree becomes deeper
-/// than `4·log₂(n)`, the tree is rebuilt balanced by median splits. In low
+/// than `4·log₂(n)`, the tree is rebuilt balanced by median splits — both
+/// triggers are checked on every insert *and* remove, so a long-running
+/// sim can never degrade to scanning mostly-dead nodes. In low
 /// dimension queries are logarithmic; in the 64-dimensional key space the
 /// branch-and-bound bound rarely prunes and performance approaches the
 /// linear scan — which is precisely the behaviour the index-comparison
 /// benchmark (`R-11`) demonstrates.
+///
+/// Keys live in one contiguous row-major `f32` buffer parallel to the
+/// node table (tombstoned rows stay until a rebuild, keeping node
+/// indexes stable), and the recursion scores rows with the chunked flat
+/// kernel, bounded by the current k-th best so most visited nodes abort
+/// the kernel early. Selection shares `push_bounded` with the other
+/// indexes, so distance ties break by id exactly like a linear scan.
 #[derive(Debug, Clone)]
 pub struct KdTree {
     dim: usize,
     nodes: Vec<Node>,
+    /// Keys, row-major, parallel to `nodes`: node `n`'s key occupies
+    /// `keys[n*dim .. (n+1)*dim]`.
+    keys: Vec<f32>,
     root: Option<usize>,
     positions: HashMap<u64, usize>,
     live: usize,
@@ -28,7 +41,6 @@ pub struct KdTree {
 #[derive(Debug, Clone)]
 struct Node {
     id: u64,
-    key: FeatureVector,
     axis: usize,
     left: Option<usize>,
     right: Option<usize>,
@@ -41,11 +53,21 @@ impl KdTree {
     /// # Panics
     ///
     /// Panics if `dim == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through ann::build(dim, &IndexConfig::KdTree)"
+    )]
     pub fn new(dim: usize) -> KdTree {
+        KdTree::with_dim(dim)
+    }
+
+    /// Internal constructor behind [`crate::build`].
+    pub(crate) fn with_dim(dim: usize) -> KdTree {
         assert!(dim > 0, "KdTree: dim must be positive");
         KdTree {
             dim,
             nodes: Vec::new(),
+            keys: Vec::new(),
             root: None,
             positions: HashMap::new(),
             live: 0,
@@ -62,13 +84,18 @@ impl KdTree {
         }
     }
 
-    fn insert_node(&mut self, id: u64, key: FeatureVector) {
+    /// Node `n`'s key row.
+    fn key_row(&self, n: usize) -> &[f32] {
+        &self.keys[n * self.dim..(n + 1) * self.dim]
+    }
+
+    fn insert_node(&mut self, id: u64, key: &[f32]) {
         let mut depth = 0usize;
         let mut slot = self.root;
         let mut parent: Option<(usize, bool)> = None; // (index, go_right)
         while let Some(idx) = slot {
             let axis = self.nodes[idx].axis;
-            let go_right = key[axis] >= self.nodes[idx].key[axis];
+            let go_right = key[axis] >= self.keys[idx * self.dim + axis];
             parent = Some((idx, go_right));
             slot = if go_right {
                 self.nodes[idx].right
@@ -80,12 +107,12 @@ impl KdTree {
         let new_index = self.nodes.len();
         self.nodes.push(Node {
             id,
-            key,
             axis: depth % self.dim,
             left: None,
             right: None,
             deleted: false,
         });
+        self.keys.extend_from_slice(key);
         match parent {
             None => self.root = Some(new_index),
             Some((p, true)) => self.nodes[p].right = Some(new_index),
@@ -105,12 +132,16 @@ impl KdTree {
     }
 
     fn rebuild(&mut self) {
-        let mut entries: Vec<(u64, FeatureVector)> = self
+        let dim = self.dim;
+        let mut entries: Vec<(u64, Vec<f32>)> = self
             .nodes
-            .drain(..)
-            .filter(|n| !n.deleted)
-            .map(|n| (n.id, n.key))
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.deleted)
+            .map(|(i, n)| (n.id, self.keys[i * dim..(i + 1) * dim].to_vec()))
             .collect();
+        self.nodes.clear();
+        self.keys.clear();
         self.positions.clear();
         self.root = None;
         self.live = 0;
@@ -118,27 +149,23 @@ impl KdTree {
         self.root = self.build_balanced(&mut entries, 0);
     }
 
-    fn build_balanced(
-        &mut self,
-        entries: &mut [(u64, FeatureVector)],
-        depth: usize,
-    ) -> Option<usize> {
+    fn build_balanced(&mut self, entries: &mut [(u64, Vec<f32>)], depth: usize) -> Option<usize> {
         if entries.is_empty() {
             return None;
         }
         let axis = depth % self.dim;
         entries.sort_by(|a, b| a.1[axis].total_cmp(&b.1[axis]));
         let mid = entries.len() / 2;
-        let (id, key) = entries[mid].clone();
         let node_index = self.nodes.len();
+        let id = entries[mid].0;
         self.nodes.push(Node {
             id,
-            key,
             axis,
             left: None,
             right: None,
             deleted: false,
         });
+        self.keys.extend_from_slice(&entries[mid].1);
         self.positions.insert(id, node_index);
         self.live += 1;
         self.max_depth_seen = self.max_depth_seen.max(depth + 1);
@@ -151,43 +178,41 @@ impl KdTree {
         Some(node_index)
     }
 
-    fn search(
-        &self,
-        node: Option<usize>,
-        query: &FeatureVector,
-        k: usize,
-        best: &mut Vec<Neighbor>,
-    ) {
+    /// Branch-and-bound recursion: keeps the k nearest (squared
+    /// distances) in `out` via the shared `push_bounded`, bounding the
+    /// distance kernel by the current k-th best so dominated rows abort
+    /// mid-kernel.
+    fn search_into(&self, node: Option<usize>, query: &[f32], k: usize, out: &mut Vec<Neighbor>) {
         let Some(idx) = node else { return };
         let n = &self.nodes[idx];
         if !n.deleted {
-            let d2 = squared_euclidean(&n.key, query);
-            if best.len() < k {
-                best.push(Neighbor {
-                    id: n.id,
-                    distance: d2,
-                });
-                best.sort_by(|a, b| a.distance.total_cmp(&b.distance));
-            } else if d2 < best[k - 1].distance {
-                best[k - 1] = Neighbor {
-                    id: n.id,
-                    distance: d2,
-                };
-                best.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+            let bound = match out.last() {
+                Some(worst) if out.len() == k => worst.distance,
+                _ => f64::INFINITY,
+            };
+            if let Some(d2) = squared_euclidean_flat_within(self.key_row(idx), query, bound) {
+                push_bounded(
+                    out,
+                    k,
+                    Neighbor {
+                        id: n.id,
+                        distance: d2,
+                    },
+                );
             }
         }
-        let diff = query[n.axis] as f64 - n.key[n.axis] as f64;
+        let diff = query[n.axis] as f64 - self.keys[idx * self.dim + n.axis] as f64;
         let (near, far) = if diff < 0.0 {
             (n.left, n.right)
         } else {
             (n.right, n.left)
         };
-        self.search(near, query, k, best);
+        self.search_into(near, query, k, out);
         // Prune the far side only if the splitting plane is farther than
         // the current k-th best.
-        let worst = best.last().map_or(f64::INFINITY, |b| b.distance);
-        if best.len() < k || diff * diff < worst {
-            self.search(far, query, k, best);
+        let worst = out.last().map_or(f64::INFINITY, |b| b.distance);
+        if out.len() < k || diff * diff < worst {
+            self.search_into(far, query, k, out);
         }
     }
 }
@@ -206,7 +231,7 @@ impl NnIndex for KdTree {
         if self.positions.contains_key(&id) {
             self.remove(id);
         }
-        self.insert_node(id, key);
+        self.insert_node(id, key.as_slice());
         if self.needs_rebuild() {
             self.rebuild();
         }
@@ -225,18 +250,26 @@ impl NnIndex for KdTree {
         true
     }
 
-    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+    fn nearest_into(
+        &self,
+        query: &FeatureVector,
+        k: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         check_query(self.dim, query, k);
-        let mut best = Vec::with_capacity(k.min(self.live) + 1);
-        self.search(self.root, query, k, &mut best);
-        for n in &mut best {
+        // The recursion's working set is `out` itself; no scratch needed.
+        let _ = scratch;
+        out.clear();
+        self.search_into(self.root, query.as_slice(), k, out);
+        for n in out.iter_mut() {
             n.distance = n.distance.sqrt();
         }
-        best
     }
 
     fn clear(&mut self) {
         self.nodes.clear();
+        self.keys.clear();
         self.positions.clear();
         self.root = None;
         self.live = 0;
@@ -263,8 +296,8 @@ mod tests {
     fn matches_linear_scan_exactly() {
         let mut rng = SimRng::seed(1);
         let keys = random_vectors(300, 8, &mut rng);
-        let mut tree = KdTree::new(8);
-        let mut linear = LinearScan::new(8);
+        let mut tree = KdTree::with_dim(8);
+        let mut linear = LinearScan::with_dim(8);
         for (i, key) in keys.iter().enumerate() {
             tree.insert(i as u64, key.clone());
             linear.insert(i as u64, key.clone());
@@ -276,7 +309,11 @@ mod tests {
             assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.id, y.id, "tree and linear disagree");
-                assert!((x.distance - y.distance).abs() < 1e-9);
+                assert_eq!(
+                    x.distance.to_bits(),
+                    y.distance.to_bits(),
+                    "same kernel, same selection — distances must be bit-equal"
+                );
             }
         }
     }
@@ -285,8 +322,8 @@ mod tests {
     fn matches_linear_after_heavy_deletion() {
         let mut rng = SimRng::seed(2);
         let keys = random_vectors(200, 4, &mut rng);
-        let mut tree = KdTree::new(4);
-        let mut linear = LinearScan::new(4);
+        let mut tree = KdTree::with_dim(4);
+        let mut linear = LinearScan::with_dim(4);
         for (i, key) in keys.iter().enumerate() {
             tree.insert(i as u64, key.clone());
             linear.insert(i as u64, key.clone());
@@ -311,8 +348,31 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_fraction_stays_bounded_under_churn() {
+        // The rebuild triggers run on both insert and remove, so the dead
+        // fraction can never sit above one half no matter the workload.
+        let mut rng = SimRng::seed(7);
+        let keys = random_vectors(600, 4, &mut rng);
+        let mut tree = KdTree::with_dim(4);
+        for (i, key) in keys.iter().enumerate() {
+            tree.insert(i as u64, key.clone());
+            if i >= 3 && i % 2 == 0 {
+                let victim = (i as u64) / 2;
+                if tree.remove(victim) {
+                    assert!(
+                        tree.tombstone_fraction() <= 0.5,
+                        "tombstones {:.2} after removing {victim}",
+                        tree.tombstone_fraction()
+                    );
+                }
+            }
+            assert!(tree.tombstone_fraction() <= 0.5);
+        }
+    }
+
+    #[test]
     fn update_via_reinsert() {
-        let mut tree = KdTree::new(2);
+        let mut tree = KdTree::with_dim(2);
         tree.insert(1, fv(&[0.0, 0.0]));
         tree.insert(1, fv(&[9.0, 9.0]));
         assert_eq!(tree.len(), 1);
@@ -323,7 +383,7 @@ mod tests {
 
     #[test]
     fn empty_tree_behaviour() {
-        let tree = KdTree::new(3);
+        let tree = KdTree::with_dim(3);
         assert!(tree.nearest(&fv(&[0.0, 0.0, 0.0]), 4).is_empty());
         assert!(tree.is_empty());
         assert_eq!(tree.kind(), "kdtree");
@@ -331,7 +391,7 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let mut tree = KdTree::new(1);
+        let mut tree = KdTree::with_dim(1);
         tree.insert(1, fv(&[1.0]));
         tree.clear();
         assert!(tree.is_empty());
@@ -343,7 +403,7 @@ mod tests {
     fn sorted_insertion_triggers_rebalance_and_stays_correct() {
         // Monotone keys create a degenerate spine; the depth-based rebuild
         // must keep the structure queryable and exact.
-        let mut tree = KdTree::new(1);
+        let mut tree = KdTree::with_dim(1);
         for i in 0..500u64 {
             tree.insert(i, fv(&[i as f32]));
         }
@@ -356,7 +416,7 @@ mod tests {
 
     #[test]
     fn remove_missing_id_is_noop() {
-        let mut tree = KdTree::new(1);
+        let mut tree = KdTree::with_dim(1);
         assert!(!tree.remove(42));
     }
 }

@@ -2,37 +2,11 @@
 
 use std::collections::HashMap;
 
-use features::distance::{squared_euclidean_flat_within, squared_euclidean_ref};
+use features::distance::squared_euclidean_ref;
 use features::FeatureVector;
 
-use crate::index::{check_insert, check_query, Neighbor, NnIndex};
-
-/// Strict `(distance, id)` order: ascending distance, ids breaking ties.
-/// Distances here are sums of squares, so `-0.0` never occurs and
-/// `total_cmp` agrees with the naive `<` on every value that can appear.
-fn closer(a: &Neighbor, b: &Neighbor) -> bool {
-    a.distance
-        .total_cmp(&b.distance)
-        .then(a.id.cmp(&b.id))
-        .is_lt()
-}
-
-/// Keeps `out` as the up-to-`k` smallest neighbours seen so far, sorted
-/// ascending by `(distance, id)` — a bounded max-heap where the current
-/// maximum sits at the tail. Once the buffer is full, most candidates
-/// fail the single tail comparison and cost nothing more.
-fn push_bounded(out: &mut Vec<Neighbor>, k: usize, candidate: Neighbor) {
-    if out.len() == k {
-        match out.last() {
-            Some(worst) if closer(&candidate, worst) => {
-                out.pop();
-            }
-            _ => return,
-        }
-    }
-    let pos = out.partition_point(|n| closer(n, &candidate));
-    out.insert(pos, candidate);
-}
+use crate::flat::FlatBuffer;
+use crate::index::{check_insert, check_query, IndexScratch, Neighbor, NnIndex};
 
 /// The exact reference index: a flat array scanned per query.
 ///
@@ -40,19 +14,19 @@ fn push_bounded(out: &mut Vec<Neighbor>, k: usize, candidate: Neighbor) {
 /// entries (the common regime for a per-app mobile cache) nothing beats
 /// it, which is why it is the cache's default index.
 ///
-/// Keys live in one contiguous `f32` buffer (structure-of-arrays,
-/// row-major, kept dense by swap-remove) so a scan walks memory linearly
-/// and the chunked distance kernel auto-vectorizes; candidates go through
-/// a bounded selection buffer instead of scoring every entry into a fresh
-/// `Vec`. See DESIGN.md "Performance model & hot path".
+/// Keys live in a [`FlatBuffer`] (structure-of-arrays, row-major, kept
+/// dense by swap-remove) so a scan walks memory linearly and the chunked
+/// distance kernel auto-vectorizes; candidates go through a bounded
+/// selection buffer instead of scoring every entry into a fresh `Vec`.
+/// See DESIGN.md "Performance model & hot path".
 ///
 /// # Example
 ///
 /// ```
-/// use ann::{LinearScan, NnIndex};
+/// use ann::{IndexConfig, NnIndex};
 /// use features::FeatureVector;
 ///
-/// let mut index = LinearScan::new(3);
+/// let mut index = ann::build(3, &IndexConfig::Linear);
 /// index.insert(10, FeatureVector::from_vec(vec![1.0, 0.0, 0.0]).unwrap());
 /// assert_eq!(index.len(), 1);
 /// assert!(index.remove(10));
@@ -60,13 +34,7 @@ fn push_bounded(out: &mut Vec<Neighbor>, k: usize, candidate: Neighbor) {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LinearScan {
-    dim: usize,
-    /// Row `r`'s id; swap-remove keeps this parallel to `keys`.
-    ids: Vec<u64>,
-    /// All keys, row-major: row `r` occupies `keys[r*dim .. (r+1)*dim]`.
-    keys: Vec<f32>,
-    /// id → row (swap-remove keeps this dense).
-    positions: HashMap<u64, usize>,
+    flat: FlatBuffer,
 }
 
 impl LinearScan {
@@ -75,100 +43,61 @@ impl LinearScan {
     /// # Panics
     ///
     /// Panics if `dim == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through ann::build(dim, &IndexConfig::Linear)"
+    )]
     pub fn new(dim: usize) -> LinearScan {
+        LinearScan::with_dim(dim)
+    }
+
+    /// The non-deprecated constructor behind [`crate::build`].
+    pub(crate) fn with_dim(dim: usize) -> LinearScan {
         assert!(dim > 0, "LinearScan: dim must be positive");
         LinearScan {
-            dim,
-            ids: Vec::new(),
-            keys: Vec::new(),
-            positions: HashMap::new(),
+            flat: FlatBuffer::new(dim),
         }
     }
 }
 
 impl NnIndex for LinearScan {
     fn dim(&self) -> usize {
-        self.dim
+        self.flat.dim()
     }
 
     fn len(&self) -> usize {
-        self.ids.len()
+        self.flat.len()
     }
 
     fn insert(&mut self, id: u64, key: FeatureVector) {
-        check_insert(self.dim, &key);
-        match self.positions.get(&id) {
-            Some(&row) => {
-                self.keys[row * self.dim..(row + 1) * self.dim].copy_from_slice(key.as_slice());
-            }
-            None => {
-                self.positions.insert(id, self.ids.len());
-                self.ids.push(id);
-                self.keys.extend_from_slice(key.as_slice());
-            }
-        }
+        check_insert(self.flat.dim(), &key);
+        self.flat.insert(id, key.as_slice());
     }
 
     fn remove(&mut self, id: u64) -> bool {
-        let Some(row) = self.positions.remove(&id) else {
-            return false;
-        };
-        self.ids.swap_remove(row);
-        if row < self.ids.len() {
-            self.positions.insert(self.ids[row], row);
-        }
-        // Mirror the swap-remove in the flat buffer: the last row moves
-        // into the vacated slot, the buffer shrinks by one row.
-        let last = self.ids.len();
-        if row < last {
-            self.keys
-                .copy_within(last * self.dim..(last + 1) * self.dim, row * self.dim);
-        }
-        self.keys.truncate(last * self.dim);
-        true
+        self.flat.remove(id)
     }
 
-    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.nearest_into(query, k, &mut out);
-        out
-    }
-
-    fn nearest_into(&self, query: &FeatureVector, k: usize, out: &mut Vec<Neighbor>) {
-        check_query(self.dim, query, k);
-        out.clear();
-        let q = query.as_slice();
-        for (row, key) in self.keys.chunks_exact(self.dim).enumerate() {
-            // Once the selection buffer is full, its tail is the current
-            // k-th best: rows whose partial sum already exceeds it can be
-            // abandoned mid-kernel without changing the result (squared
-            // terms only grow the sum, and the exit is strict so distance
-            // ties still reach the id tie-break).
-            let bound = match out.last() {
-                Some(worst) if out.len() == k => worst.distance,
-                _ => f64::INFINITY,
-            };
-            let Some(distance) = squared_euclidean_flat_within(key, q, bound) else {
-                continue;
-            };
-            push_bounded(
-                out,
-                k,
-                Neighbor {
-                    id: self.ids[row],
-                    distance,
-                },
-            );
-        }
+    fn nearest_into(
+        &self,
+        query: &FeatureVector,
+        k: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        check_query(self.flat.dim(), query, k);
+        let _ = scratch; // an exact scan needs no working memory
+                         // Re-ranking every row *is* the exact bounded scan (early-exit
+                         // kernel + bounded (distance, id) selection).
+        self.flat
+            .rerank_rows_into(0..self.flat.len(), query.as_slice(), k, out);
         for n in out {
             n.distance = n.distance.sqrt();
         }
     }
 
     fn clear(&mut self) {
-        self.ids.clear();
-        self.keys.clear();
-        self.positions.clear();
+        self.flat.clear();
     }
 
     fn kind(&self) -> &'static str {
@@ -239,6 +168,22 @@ impl NnIndex for ReferenceLinearScan {
         true
     }
 
+    fn nearest_into(
+        &self,
+        query: &FeatureVector,
+        k: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        // The oracle keeps its pre-optimisation shape: per-entry scoring
+        // into a fresh Vec and a partial sort. It is never on a hot path
+        // (rule A's ban applies to the fn *name*, so the delegation body
+        // here stays token-clean and the allocations live in `nearest`).
+        let _ = scratch;
+        out.clear();
+        out.extend(self.nearest(query, k));
+    }
+
     fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
         check_query(self.dim, query, k);
         let mut all: Vec<Neighbor> = self
@@ -290,7 +235,7 @@ mod tests {
 
     #[test]
     fn nearest_returns_sorted_exact_results() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         for (id, x) in [(1u64, 10.0f32), (2, 0.0), (3, 5.0), (4, -2.5)] {
             index.insert(id, fv(&[x]));
         }
@@ -304,7 +249,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_len_returns_all() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         index.insert(1, fv(&[0.0]));
         let hits = index.nearest(&fv(&[0.0]), 10);
         assert_eq!(hits.len(), 1);
@@ -312,14 +257,14 @@ mod tests {
 
     #[test]
     fn empty_index_returns_nothing() {
-        let index = LinearScan::new(2);
+        let index = LinearScan::with_dim(2);
         assert!(index.nearest(&fv(&[0.0, 0.0]), 5).is_empty());
         assert!(index.is_empty());
     }
 
     #[test]
     fn insert_same_id_replaces() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         index.insert(1, fv(&[0.0]));
         index.insert(1, fv(&[100.0]));
         assert_eq!(index.len(), 1);
@@ -330,7 +275,7 @@ mod tests {
 
     #[test]
     fn remove_swaps_correctly() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         for id in 0..5u64 {
             index.insert(id, fv(&[id as f32]));
         }
@@ -346,7 +291,7 @@ mod tests {
 
     #[test]
     fn remove_keeps_flat_buffer_dense() {
-        let mut index = LinearScan::new(2);
+        let mut index = LinearScan::with_dim(2);
         for id in 0..6u64 {
             index.insert(id, fv(&[id as f32, -(id as f32)]));
         }
@@ -364,7 +309,7 @@ mod tests {
 
     #[test]
     fn equal_distances_break_ties_by_id() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         for id in [9u64, 3, 7] {
             index.insert(id, fv(&[1.0]));
         }
@@ -376,16 +321,17 @@ mod tests {
 
     #[test]
     fn nearest_into_reuses_the_buffer() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         for id in 0..8u64 {
             index.insert(id, fv(&[id as f32]));
         }
+        let mut scratch = IndexScratch::new();
         let mut out = Vec::new();
-        index.nearest_into(&fv(&[0.0]), 3, &mut out);
+        index.nearest_into(&fv(&[0.0]), 3, &mut scratch, &mut out);
         assert_eq!(out.len(), 3);
         let capacity = out.capacity();
         // A second query must not grow the buffer.
-        index.nearest_into(&fv(&[7.0]), 3, &mut out);
+        index.nearest_into(&fv(&[7.0]), 3, &mut scratch, &mut out);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].id, 7);
         assert_eq!(out.capacity(), capacity);
@@ -393,7 +339,7 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut index = LinearScan::new(1);
+        let mut index = LinearScan::with_dim(1);
         index.insert(1, fv(&[1.0]));
         index.clear();
         assert!(index.is_empty());
@@ -404,7 +350,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
-        LinearScan::new(0);
+        LinearScan::with_dim(0);
     }
 }
 
@@ -444,7 +390,7 @@ mod proptests {
             query in proptest::collection::vec(-10.0f32..10.0, DIM),
             k in 1usize..6,
         ) {
-            let mut fast = LinearScan::new(DIM);
+            let mut fast = LinearScan::with_dim(DIM);
             let mut reference = ReferenceLinearScan::new(DIM);
             for op in ops {
                 match op {
@@ -467,8 +413,9 @@ mod proptests {
                 prop_assert_eq!(x.id, y.id);
                 prop_assert_eq!(x.distance.to_bits(), y.distance.to_bits());
             }
+            let mut scratch = IndexScratch::new();
             let mut reused = Vec::new();
-            fast.nearest_into(&query, k, &mut reused);
+            fast.nearest_into(&query, k, &mut scratch, &mut reused);
             prop_assert_eq!(reused, a);
         }
     }

@@ -2,11 +2,12 @@
 
 use std::collections::HashMap;
 
-use features::{distance::squared_euclidean, FeatureVector};
+use features::FeatureVector;
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
-use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+use crate::flat::FlatBuffer;
+use crate::index::{check_insert, check_query, IndexScratch, Neighbor, NnIndex};
 
 /// Tuning of an [`LshIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,13 +56,38 @@ impl LshConfig {
     }
 }
 
+/// One table's `bits`-bit signature of `key`: the sign bit of each
+/// hyperplane dot product. Free-standing so callers holding disjoint
+/// mutable borrows of the index can still hash.
+fn signature_of(planes: &[f32], dim: usize, bits: usize, table: usize, key: &[f32]) -> u32 {
+    let mut sig = 0u32;
+    for bit in 0..bits {
+        let row_start = ((table * bits) + bit) * dim;
+        let row = &planes[row_start..row_start + dim];
+        let mut acc = 0.0f64;
+        for (a, b) in row.iter().zip(key) {
+            acc += *a as f64 * *b as f64;
+        }
+        if acc >= 0.0 {
+            sig |= 1 << bit;
+        }
+    }
+    sig
+}
+
 /// Approximate nearest-neighbour search via signed random projections.
 ///
 /// Each of `tables` hash tables assigns a vector a `bits`-bit signature
 /// (one sign bit per random hyperplane). A query gathers the union of its
-/// buckets across tables as candidates and ranks them by exact distance.
+/// buckets across tables as candidates, shortlists them by quantized
+/// `u8` score, and re-ranks the shortlist by exact distance — the
+/// FoggyCache shape: cheap wide filter, exact narrow finish.
 /// Near-duplicates — the only thing an approximate cache needs to find —
 /// collide in at least one table with very high probability.
+///
+/// Keys live in a quantized [`FlatBuffer`], so both the shortlist pass
+/// (integer codes) and the exact re-rank (contiguous `f32` rows) run on
+/// the flat kernels.
 #[derive(Debug, Clone)]
 pub struct LshIndex {
     dim: usize,
@@ -70,8 +96,8 @@ pub struct LshIndex {
     planes: Vec<f32>,
     /// One bucket map per table: signature → entry ids.
     buckets: Vec<HashMap<u32, Vec<u64>>>,
-    /// Authoritative key storage (also what exact re-ranking reads).
-    keys: HashMap<u64, FeatureVector>,
+    /// Authoritative key storage: exact rows + quantized mirror.
+    flat: FlatBuffer,
 }
 
 impl LshIndex {
@@ -80,7 +106,16 @@ impl LshIndex {
     /// # Panics
     ///
     /// Panics if `dim == 0` or the config is invalid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through ann::build(dim, &IndexConfig::Lsh(..))"
+    )]
     pub fn new(dim: usize, config: LshConfig) -> LshIndex {
+        LshIndex::with_config(dim, config)
+    }
+
+    /// Internal constructor behind [`crate::build`].
+    pub(crate) fn with_config(dim: usize, config: LshConfig) -> LshIndex {
         assert!(dim > 0, "LshIndex: dim must be positive");
         config.validate();
         let mut rng = SimRng::seed(config.seed).split("lsh-planes");
@@ -92,7 +127,7 @@ impl LshIndex {
             config,
             planes,
             buckets: vec![HashMap::new(); config.tables],
-            keys: HashMap::new(),
+            flat: FlatBuffer::new_quantized(dim),
         }
     }
 
@@ -101,41 +136,15 @@ impl LshIndex {
         self.config
     }
 
-    fn signature(&self, table: usize, key: &FeatureVector) -> u32 {
-        let x = key.as_slice();
-        let mut sig = 0u32;
-        for bit in 0..self.config.bits {
-            let row_start = ((table * self.config.bits) + bit) * self.dim;
-            let row = &self.planes[row_start..row_start + self.dim];
-            let mut acc = 0.0f64;
-            for (a, b) in row.iter().zip(x) {
-                acc += *a as f64 * *b as f64;
-            }
-            if acc >= 0.0 {
-                sig |= 1 << bit;
-            }
-        }
-        sig
+    fn signature(&self, table: usize, key: &[f32]) -> u32 {
+        signature_of(&self.planes, self.dim, self.config.bits, table, key)
     }
 
-    /// The signatures a query probes in one table: the exact signature
-    /// plus every signature within the configured Hamming radius.
-    fn probe_signatures(&self, sig: u32) -> Vec<u32> {
-        let bits = self.config.bits;
-        let mut probes = vec![sig];
-        if self.config.probe_radius >= 1 {
-            for b in 0..bits {
-                probes.push(sig ^ (1 << b));
-            }
+    /// Appends the ids bucketed under `sig` in `table` to `candidates`.
+    fn gather(&self, table: usize, sig: u32, candidates: &mut Vec<u64>) {
+        if let Some(bucket) = self.buckets[table].get(&sig) {
+            candidates.extend_from_slice(bucket);
         }
-        if self.config.probe_radius >= 2 {
-            for b1 in 0..bits {
-                for b2 in (b1 + 1)..bits {
-                    probes.push(sig ^ (1 << b1) ^ (1 << b2));
-                }
-            }
-        }
-        probes
     }
 
     /// Average bucket occupancy over non-empty buckets (diagnostics).
@@ -153,33 +162,45 @@ impl LshIndex {
     }
 }
 
+/// How many quantized-score survivors go to exact re-rank: enough slack
+/// over `k` that code rounding cannot squeeze out a true neighbour.
+fn shortlist_cap(k: usize) -> usize {
+    (4 * k).max(16)
+}
+
 impl NnIndex for LshIndex {
     fn dim(&self) -> usize {
         self.dim
     }
 
     fn len(&self) -> usize {
-        self.keys.len()
+        self.flat.len()
     }
 
     fn insert(&mut self, id: u64, key: FeatureVector) {
         check_insert(self.dim, &key);
-        if self.keys.contains_key(&id) {
+        if self.flat.contains(id) {
             self.remove(id);
         }
         for table in 0..self.config.tables {
-            let sig = self.signature(table, &key);
+            let sig = self.signature(table, key.as_slice());
             self.buckets[table].entry(sig).or_default().push(id);
         }
-        self.keys.insert(id, key);
+        self.flat.insert(id, key.as_slice());
     }
 
     fn remove(&mut self, id: u64) -> bool {
-        let Some(key) = self.keys.remove(&id) else {
+        let Some(row) = self.flat.row_of(id) else {
             return false;
         };
         for table in 0..self.config.tables {
-            let sig = self.signature(table, &key);
+            let sig = signature_of(
+                &self.planes,
+                self.dim,
+                self.config.bits,
+                table,
+                self.flat.key_at(row),
+            );
             if let Some(bucket) = self.buckets[table].get_mut(&sig) {
                 bucket.retain(|&other| other != id);
                 if bucket.is_empty() {
@@ -187,39 +208,74 @@ impl NnIndex for LshIndex {
                 }
             }
         }
-        true
+        self.flat.remove(id)
     }
 
-    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+    fn nearest_into(
+        &self,
+        query: &FeatureVector,
+        k: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         check_query(self.dim, query, k);
-        let mut candidates: Vec<u64> = Vec::new();
+        let q = query.as_slice();
+        // Phase 1: gather the bucket union across tables and probes.
+        scratch.candidates.clear();
+        let bits = self.config.bits;
         for table in 0..self.config.tables {
-            let sig = self.signature(table, query);
-            for probe in self.probe_signatures(sig) {
-                if let Some(bucket) = self.buckets[table].get(&probe) {
-                    candidates.extend_from_slice(bucket);
+            let sig = self.signature(table, q);
+            self.gather(table, sig, &mut scratch.candidates);
+            if self.config.probe_radius >= 1 {
+                for b in 0..bits {
+                    self.gather(table, sig ^ (1 << b), &mut scratch.candidates);
+                }
+            }
+            if self.config.probe_radius >= 2 {
+                for b1 in 0..bits {
+                    for b2 in (b1 + 1)..bits {
+                        self.gather(table, sig ^ (1 << b1) ^ (1 << b2), &mut scratch.candidates);
+                    }
                 }
             }
         }
-        candidates.sort_unstable();
-        candidates.dedup();
-        let mut hits: Vec<Neighbor> = candidates
-            .into_iter()
-            .map(|id| Neighbor {
-                id,
-                distance: squared_euclidean(&self.keys[&id], query),
-            })
-            .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
-        hits.truncate(k);
-        for n in &mut hits {
+        scratch.candidates.sort_unstable();
+        scratch.candidates.dedup();
+        // Phase 2: shortlist by quantized integer score. When the bucket
+        // union fits the cap this keeps every candidate, so the result is
+        // then exactly the pre-quantization behaviour.
+        let cap = shortlist_cap(k);
+        self.flat.quantize_query_into(q, &mut scratch.qquery);
+        scratch.shortlist.clear();
+        for &id in &scratch.candidates {
+            let row = self.flat.row_of(id).expect("bucketed id must have a row");
+            let entry = (self.flat.qdist(row, &scratch.qquery), row as u64);
+            if scratch.shortlist.len() == cap {
+                match scratch.shortlist.last() {
+                    Some(worst) if entry < *worst => {
+                        scratch.shortlist.pop();
+                    }
+                    _ => continue,
+                }
+            }
+            let pos = scratch.shortlist.partition_point(|e| *e < entry);
+            scratch.shortlist.insert(pos, entry);
+        }
+        // Phase 3: exact re-rank of the shortlist rows (the only
+        // distances ever reported), then one sqrt per survivor.
+        self.flat.rerank_rows_into(
+            scratch.shortlist.iter().map(|&(_, row)| row as usize),
+            q,
+            k,
+            out,
+        );
+        for n in out.iter_mut() {
             n.distance = n.distance.sqrt();
         }
-        hits
     }
 
     fn clear(&mut self) {
-        self.keys.clear();
+        self.flat.clear();
         for table in &mut self.buckets {
             table.clear();
         }
@@ -237,7 +293,7 @@ mod tests {
     use features::projection::random_vectors;
 
     fn index_with(keys: &[FeatureVector]) -> LshIndex {
-        let mut index = LshIndex::new(keys[0].dim(), LshConfig::default());
+        let mut index = LshIndex::with_config(keys[0].dim(), LshConfig::default());
         for (i, key) in keys.iter().enumerate() {
             index.insert(i as u64, key.clone());
         }
@@ -283,7 +339,7 @@ mod tests {
         let mut rng = SimRng::seed(3);
         let keys = random_vectors(300, 16, &mut rng);
         let lsh = index_with(&keys);
-        let mut linear = LinearScan::new(16);
+        let mut linear = LinearScan::with_dim(16);
         for (i, key) in keys.iter().enumerate() {
             linear.insert(i as u64, key.clone());
         }
@@ -318,7 +374,7 @@ mod tests {
 
     #[test]
     fn update_replaces_key() {
-        let mut index = LshIndex::new(4, LshConfig::default());
+        let mut index = LshIndex::with_config(4, LshConfig::default());
         let a = FeatureVector::from_vec(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
         let b = FeatureVector::from_vec(vec![0.0, 5.0, 0.0, 0.0]).unwrap();
         index.insert(1, a);
@@ -347,16 +403,58 @@ mod tests {
         // otherwise shared entries would not collide.
         let mut rng = SimRng::seed(6);
         let key = &random_vectors(1, 16, &mut rng)[0];
-        let a = LshIndex::new(16, LshConfig::default());
-        let b = LshIndex::new(16, LshConfig::default());
+        let a = LshIndex::with_config(16, LshConfig::default());
+        let b = LshIndex::with_config(16, LshConfig::default());
         for table in 0..a.config().tables {
-            assert_eq!(a.signature(table, key), b.signature(table, key));
+            assert_eq!(
+                a.signature(table, key.as_slice()),
+                b.signature(table, key.as_slice())
+            );
         }
     }
 
     #[test]
+    fn shortlist_survivors_are_rescored_exactly() {
+        // Force the shortlist cap to bind: many candidates, small k. The
+        // winners' distances must still be bit-exact.
+        let mut rng = SimRng::seed(7);
+        let keys = random_vectors(600, 8, &mut rng);
+        let index = index_with(&keys);
+        let q = &keys[42];
+        let hits = index.nearest(q, 2);
+        assert_eq!(hits[0].id, 42);
+        for hit in &hits {
+            let true_d = features::distance::euclidean(&keys[hit.id as usize], q);
+            assert!((hit.distance - true_d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_into_reuses_buffers_across_queries() {
+        let mut rng = SimRng::seed(8);
+        let keys = random_vectors(200, 8, &mut rng);
+        let index = index_with(&keys);
+        let mut scratch = IndexScratch::new();
+        let mut out = Vec::new();
+        index.nearest_into(&keys[0], 3, &mut scratch, &mut out);
+        let caps = (
+            out.capacity(),
+            scratch.candidates.capacity(),
+            scratch.shortlist.capacity(),
+            scratch.qquery.capacity(),
+        );
+        for key in keys.iter().take(50) {
+            index.nearest_into(key, 3, &mut scratch, &mut out);
+            assert!(!out.is_empty());
+        }
+        // Steady state: the warm buffers already fit every later query.
+        assert!(out.capacity() >= caps.0);
+        assert!(scratch.qquery.capacity() == caps.3);
+    }
+
+    #[test]
     fn clear_and_kind() {
-        let mut index = LshIndex::new(2, LshConfig::default());
+        let mut index = LshIndex::with_config(2, LshConfig::default());
         index.insert(1, FeatureVector::zeros(2));
         index.clear();
         assert!(index.is_empty());

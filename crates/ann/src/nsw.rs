@@ -8,15 +8,22 @@
 //! entry-point walk the hierarchy saves is negligible), with tombstone
 //! deletion and periodic compaction like the k-d tree.
 //!
+//! Keys live in one contiguous row-major `f32` buffer parallel to the
+//! node table (tombstoned rows stay until compaction, so node indexes
+//! stay stable), and every distance goes through the chunked flat
+//! kernel. Query-time working memory — visit stamps, the frontier heap,
+//! the beam — lives in [`IndexScratch`], so steady-state lookups do not
+//! allocate.
+//!
 //! Compared to LSH it needs no tuning per dimension and its recall
 //! degrades smoothly with the beam width `ef`.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::HashMap;
 
-use features::{distance::squared_euclidean, FeatureVector};
+use features::{distance::squared_euclidean_flat, FeatureVector};
 use serde::{Deserialize, Serialize};
 
-use crate::index::{check_insert, check_query, Neighbor, NnIndex};
+use crate::index::{check_insert, check_query, HeapCandidate, IndexScratch, Neighbor, NnIndex};
 
 /// Tuning of an [`NswIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,30 +56,8 @@ impl NswConfig {
 #[derive(Debug, Clone)]
 struct Node {
     id: u64,
-    key: FeatureVector,
     links: Vec<usize>,
     deleted: bool,
-}
-
-/// Ordered-by-distance entry for the search frontier (min-heap via
-/// `Reverse` semantics implemented manually).
-#[derive(PartialEq)]
-struct Candidate {
-    distance: f64,
-    node: usize,
-}
-
-impl Eq for Candidate {}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap: closer first.
-        other.distance.total_cmp(&self.distance)
-    }
-}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Approximate nearest-neighbour search over a navigable-small-world
@@ -82,8 +67,16 @@ pub struct NswIndex {
     dim: usize,
     config: NswConfig,
     nodes: Vec<Node>,
+    /// Keys, row-major, parallel to `nodes`: node `n`'s key occupies
+    /// `keys[n*dim .. (n+1)*dim]`. Tombstoned rows are retained so node
+    /// indexes (and the links pointing at them) stay stable between
+    /// compactions.
+    keys: Vec<f32>,
     positions: HashMap<u64, usize>,
     live: usize,
+    /// Scratch reused by insertion-time beam searches (queries bring
+    /// their own through the trait).
+    insert_scratch: IndexScratch,
 }
 
 impl NswIndex {
@@ -92,15 +85,26 @@ impl NswIndex {
     /// # Panics
     ///
     /// Panics if `dim == 0` or the config is invalid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through ann::build(dim, &IndexConfig::Nsw(..))"
+    )]
     pub fn new(dim: usize, config: NswConfig) -> NswIndex {
+        NswIndex::with_config(dim, config)
+    }
+
+    /// Internal constructor behind [`crate::build`].
+    pub(crate) fn with_config(dim: usize, config: NswConfig) -> NswIndex {
         assert!(dim > 0, "NswIndex: dim must be positive");
         config.validate();
         NswIndex {
             dim,
             config,
             nodes: Vec::new(),
+            keys: Vec::new(),
             positions: HashMap::new(),
             live: 0,
+            insert_scratch: IndexScratch::new(),
         }
     }
 
@@ -109,39 +113,65 @@ impl NswIndex {
         self.config
     }
 
-    /// Best-first beam search from an arbitrary entry point; returns up
-    /// to `ef` candidates (live nodes only), ascending by distance.
-    fn beam_search(&self, query: &FeatureVector, ef: usize) -> Vec<(f64, usize)> {
-        let Some(entry) = self.entry_point() else {
-            return Vec::new();
-        };
-        let mut visited: HashSet<usize> = HashSet::new();
-        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
-        let mut best: Vec<(f64, usize)> = Vec::new(); // sorted ascending
+    /// Exact squared distance from node `n`'s key row to `query`.
+    fn row_distance(&self, n: usize, query: &[f32]) -> f64 {
+        squared_euclidean_flat(&self.keys[n * self.dim..(n + 1) * self.dim], query)
+    }
 
-        let entry_distance = squared_euclidean(&self.nodes[entry].key, query);
-        visited.insert(entry);
-        frontier.push(Candidate {
-            distance: entry_distance,
-            node: entry,
-        });
+    /// Best-first beam search; leaves up to `ef` candidates (live nodes
+    /// only) in `scratch.beam`, ascending by squared distance. Visit
+    /// marks are epoch stamps in `scratch` — one counter bump resets them
+    /// all, so repeated searches touch no new memory once the stamp table
+    /// covers the node count.
+    ///
+    /// The search is seeded from several entry points spread across
+    /// insertion order, not one: link pruning keeps only a node's `2m`
+    /// closest edges, so on tightly clustered keys the long-range bridges
+    /// between clusters are eventually pruned away and a single-entry
+    /// search is trapped in the entry's component. Multiple well-spread
+    /// entries restore reachability (and, because insertion uses the same
+    /// search, newly inserted nodes link into their true neighbourhood,
+    /// healing the graph as it grows).
+    fn beam_search_into(&self, query: &[f32], ef: usize, scratch: &mut IndexScratch) {
+        scratch.beam.clear();
+        if self.nodes.is_empty() {
+            return;
+        }
+        if scratch.visited.len() < self.nodes.len() {
+            scratch.visited.resize(self.nodes.len(), 0);
+        }
+        let epoch = scratch.next_epoch();
+        scratch.frontier.clear();
+        const ENTRY_FANOUT: usize = 8;
+        let len = self.nodes.len();
+        let stride = len.div_ceil(ENTRY_FANOUT);
+        for seed in (0..len).step_by(stride).chain([len - 1]) {
+            if scratch.visited[seed] != epoch {
+                scratch.visited[seed] = epoch;
+                scratch.frontier.push(HeapCandidate {
+                    distance: self.row_distance(seed, query),
+                    node: seed,
+                });
+            }
+        }
 
-        while let Some(Candidate { distance, node }) = frontier.pop() {
+        while let Some(HeapCandidate { distance, node }) = scratch.frontier.pop() {
             // Stop when the frontier is strictly worse than the beam's
             // current worst and the beam is full.
-            if best.len() >= ef && distance > best[best.len() - 1].0 {
+            if scratch.beam.len() >= ef && distance > scratch.beam[scratch.beam.len() - 1].0 {
                 break;
             }
             if !self.nodes[node].deleted {
-                let at = best.partition_point(|&(d, _)| d <= distance);
-                best.insert(at, (distance, node));
-                best.truncate(ef);
+                let at = scratch.beam.partition_point(|&(d, _)| d <= distance);
+                scratch.beam.insert(at, (distance, node));
+                scratch.beam.truncate(ef);
             }
             for &next in &self.nodes[node].links {
-                if visited.insert(next) {
-                    let d = squared_euclidean(&self.nodes[next].key, query);
-                    if best.len() < ef || d <= best[best.len() - 1].0 {
-                        frontier.push(Candidate {
+                if scratch.visited[next] != epoch {
+                    scratch.visited[next] = epoch;
+                    let d = self.row_distance(next, query);
+                    if scratch.beam.len() < ef || d <= scratch.beam[scratch.beam.len() - 1].0 {
+                        scratch.frontier.push(HeapCandidate {
                             distance: d,
                             node: next,
                         });
@@ -149,58 +179,69 @@ impl NswIndex {
                 }
             }
         }
-        best
-    }
-
-    /// Any live node to start searches from (the most recently inserted
-    /// live node, which is well-connected).
-    fn entry_point(&self) -> Option<usize> {
-        self.nodes.iter().rposition(|n| !n.deleted)
     }
 
     fn compact(&mut self) {
-        // Rebuild the graph from live nodes.
-        let entries: Vec<(u64, FeatureVector)> = self
+        // Rebuild the graph from live nodes, in node order so the result
+        // is deterministic.
+        let dim = self.dim;
+        let entries: Vec<(u64, Vec<f32>)> = self
             .nodes
-            .drain(..)
-            .filter(|n| !n.deleted)
-            .map(|n| (n.id, n.key))
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.deleted)
+            .map(|(i, n)| (n.id, self.keys[i * dim..(i + 1) * dim].to_vec()))
             .collect();
+        self.nodes.clear();
+        self.keys.clear();
         self.positions.clear();
         self.live = 0;
-        for (id, key) in entries {
-            self.insert_internal(id, key);
+        for (id, key) in &entries {
+            self.insert_internal(*id, key);
         }
     }
 
-    fn insert_internal(&mut self, id: u64, key: FeatureVector) {
-        let neighbors = self.beam_search(&key, self.config.ef);
+    fn insert_internal(&mut self, id: u64, key: &[f32]) {
+        let mut scratch = std::mem::take(&mut self.insert_scratch);
+        self.beam_search_into(key, self.config.ef, &mut scratch);
         let new_index = self.nodes.len();
-        let links: Vec<usize> = neighbors
+        let links: Vec<usize> = scratch
+            .beam
             .iter()
             .take(self.config.m)
             .map(|&(_, node)| node)
             .collect();
+        self.insert_scratch = scratch;
         self.nodes.push(Node {
             id,
-            key,
             links: links.clone(),
             deleted: false,
         });
+        self.keys.extend_from_slice(key);
         // Bidirectional links, pruning the neighbour's list to the m
         // closest when it overflows.
         for linked in links {
             self.nodes[linked].links.push(new_index);
             if self.nodes[linked].links.len() > 2 * self.config.m {
-                let anchor = self.nodes[linked].key.clone();
                 let mut with_d: Vec<(f64, usize)> = self.nodes[linked]
                     .links
                     .iter()
-                    .map(|&l| (squared_euclidean(&self.nodes[l].key, &anchor), l))
+                    .map(|&l| {
+                        (
+                            squared_euclidean_flat(
+                                &self.keys[l * self.dim..(l + 1) * self.dim],
+                                &self.keys[linked * self.dim..(linked + 1) * self.dim],
+                            ),
+                            l,
+                        )
+                    })
                     .collect();
                 with_d.sort_by(|a, b| a.0.total_cmp(&b.0));
                 with_d.truncate(2 * self.config.m);
-                self.nodes[linked].links = with_d.into_iter().map(|(_, l)| l).collect();
+                self.nodes[linked].links.clear();
+                self.nodes[linked]
+                    .links
+                    .extend(with_d.iter().map(|&(_, l)| l));
             }
         }
         self.positions.insert(id, new_index);
@@ -222,7 +263,7 @@ impl NnIndex for NswIndex {
         if self.positions.contains_key(&id) {
             self.remove(id);
         }
-        self.insert_internal(id, key);
+        self.insert_internal(id, key.as_slice());
     }
 
     fn remove(&mut self, id: u64) -> bool {
@@ -238,20 +279,27 @@ impl NnIndex for NswIndex {
         true
     }
 
-    fn nearest(&self, query: &FeatureVector, k: usize) -> Vec<Neighbor> {
+    fn nearest_into(
+        &self,
+        query: &FeatureVector,
+        k: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         check_query(self.dim, query, k);
-        self.beam_search(query, self.config.ef.max(k))
-            .into_iter()
-            .take(k)
-            .map(|(distance, node)| Neighbor {
+        self.beam_search_into(query.as_slice(), self.config.ef.max(k), scratch);
+        out.clear();
+        for &(distance, node) in scratch.beam.iter().take(k) {
+            out.push(Neighbor {
                 id: self.nodes[node].id,
                 distance: distance.sqrt(),
-            })
-            .collect()
+            });
+        }
     }
 
     fn clear(&mut self) {
         self.nodes.clear();
+        self.keys.clear();
         self.positions.clear();
         self.live = 0;
     }
@@ -267,9 +315,10 @@ mod tests {
     use crate::linear::LinearScan;
     use features::projection::random_vectors;
     use simcore::SimRng;
+    use std::collections::HashSet;
 
     fn index_with(keys: &[FeatureVector]) -> NswIndex {
-        let mut index = NswIndex::new(keys[0].dim(), NswConfig::default());
+        let mut index = NswIndex::with_config(keys[0].dim(), NswConfig::default());
         for (i, key) in keys.iter().enumerate() {
             index.insert(i as u64, key.clone());
         }
@@ -293,7 +342,7 @@ mod tests {
         let mut rng = SimRng::seed(2);
         let keys = random_vectors(500, 16, &mut rng);
         let nsw = index_with(&keys);
-        let mut linear = LinearScan::new(16);
+        let mut linear = LinearScan::with_dim(16);
         for (i, key) in keys.iter().enumerate() {
             linear.insert(i as u64, key.clone());
         }
@@ -355,8 +404,30 @@ mod tests {
     }
 
     #[test]
+    fn shared_scratch_works_across_queries_and_indexes() {
+        let mut rng = SimRng::seed(5);
+        let keys = random_vectors(200, 8, &mut rng);
+        let index = index_with(&keys);
+        let other = index_with(&keys[..50]);
+        let mut scratch = IndexScratch::new();
+        let mut out = Vec::new();
+        // The same scratch serves interleaved queries against different
+        // indexes; results match the fresh-scratch path exactly.
+        for (i, q) in keys.iter().take(20).enumerate() {
+            let live = if i % 2 == 0 { &index } else { &other };
+            live.nearest_into(q, 3, &mut scratch, &mut out);
+            let fresh = live.nearest(q, 3);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn update_replaces_key() {
-        let mut index = NswIndex::new(2, NswConfig::default());
+        let mut index = NswIndex::with_config(2, NswConfig::default());
         let a = FeatureVector::from_vec(vec![0.0, 0.0]).unwrap();
         let b = FeatureVector::from_vec(vec![9.0, 9.0]).unwrap();
         index.insert(1, a);
@@ -369,7 +440,7 @@ mod tests {
 
     #[test]
     fn empty_and_clear() {
-        let mut index = NswIndex::new(4, NswConfig::default());
+        let mut index = NswIndex::with_config(4, NswConfig::default());
         assert!(index.nearest(&FeatureVector::zeros(4), 3).is_empty());
         index.insert(1, FeatureVector::zeros(4));
         index.clear();
@@ -381,6 +452,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ef must be at least m")]
     fn config_validates() {
-        NswIndex::new(4, NswConfig { m: 16, ef: 8 });
+        NswIndex::with_config(4, NswConfig { m: 16, ef: 8 });
     }
 }

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use ann::{KdTree, LinearScan, LshConfig, LshIndex, NnIndex, NswConfig, NswIndex};
+use ann::{IndexConfig, LshConfig, NnIndex, NswConfig};
 use features::projection::random_vectors;
 use simcore::SimRng;
 
@@ -25,28 +25,31 @@ fn bench_lookup(c: &mut Criterion) {
         let keys = random_vectors(size, DIM, &mut rng);
         let queries = random_vectors(64, DIM, &mut rng);
 
-        let mut linear = LinearScan::new(DIM);
-        build(&mut linear, &keys);
-        let mut kdtree = KdTree::new(DIM);
-        build(&mut kdtree, &keys);
-        let mut lsh = LshIndex::new(DIM, LshConfig::default());
-        build(&mut lsh, &keys);
-        let mut nsw = NswIndex::new(DIM, NswConfig::default());
-        build(&mut nsw, &keys);
+        let mut linear = ann::build(DIM, &IndexConfig::Linear);
+        build(linear.as_mut(), &keys);
+        let mut kdtree = ann::build(DIM, &IndexConfig::KdTree);
+        build(kdtree.as_mut(), &keys);
+        let mut lsh = ann::build(DIM, &IndexConfig::Lsh(LshConfig::default()));
+        build(lsh.as_mut(), &keys);
+        let mut nsw = ann::build(DIM, &IndexConfig::Nsw(NswConfig::default()));
+        build(nsw.as_mut(), &keys);
 
         let indexes: [(&str, &dyn NnIndex); 4] = [
-            ("linear", &linear),
-            ("kdtree", &kdtree),
-            ("lsh", &lsh),
-            ("nsw", &nsw),
+            ("linear", linear.as_ref()),
+            ("kdtree", kdtree.as_ref()),
+            ("lsh", lsh.as_ref()),
+            ("nsw", nsw.as_ref()),
         ];
         for (name, index) in indexes {
             group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
                 let mut i = 0;
+                let mut scratch = ann::IndexScratch::new();
+                let mut out = Vec::new();
                 b.iter(|| {
                     let q = &queries[i % queries.len()];
                     i += 1;
-                    black_box(index.nearest(q, 4))
+                    index.nearest_into(q, 4, &mut scratch, &mut out);
+                    black_box(out.len())
                 });
             });
         }
@@ -60,15 +63,15 @@ fn bench_insert(c: &mut Criterion) {
     let keys = random_vectors(1_000, DIM, &mut rng);
     group.bench_function("linear_1k", |b| {
         b.iter(|| {
-            let mut index = LinearScan::new(DIM);
-            build(&mut index, &keys);
+            let mut index = ann::build(DIM, &IndexConfig::Linear);
+            build(index.as_mut(), &keys);
             black_box(index.len())
         });
     });
     group.bench_function("lsh_1k", |b| {
         b.iter(|| {
-            let mut index = LshIndex::new(DIM, LshConfig::default());
-            build(&mut index, &keys);
+            let mut index = ann::build(DIM, &IndexConfig::Lsh(LshConfig::default()));
+            build(index.as_mut(), &keys);
             black_box(index.len())
         });
     });

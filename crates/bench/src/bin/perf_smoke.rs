@@ -17,7 +17,7 @@ use std::hint::black_box;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 
-use ann::{LinearScan, NnIndex, ReferenceLinearScan};
+use ann::{build as build_index, IndexConfig, IndexScratch, NnIndex, ReferenceLinearScan};
 use bench::perf::{best_of_ns, time_once_ms, time_per_op_ns};
 use bench::{parallel, results_dir, trajectory, MASTER_SEED};
 use features::distance::{squared_euclidean_flat, squared_euclidean_ref};
@@ -32,6 +32,9 @@ const DIM: usize = 64;
 const K: usize = 4;
 /// Cache sizes the hot path is profiled at.
 const SIZES: [usize; 3] = [16, 256, 4096];
+/// Cache sizes the recall/latency frontier is charted at — the last one
+/// is fleet scale, where the O(n) scan loses to the graph index.
+const FRONTIER_SIZES: [usize; 3] = [256, 4096, 65_536];
 /// Measurement rounds per point; the fastest round is kept.
 const ROUNDS: u32 = 3;
 /// Simulated seconds of the end-to-end run.
@@ -70,6 +73,22 @@ struct SizePoint {
     insert_ns: f64,
 }
 
+/// One point of the recall-vs-latency frontier: an index family at a
+/// cache size, with its steady-state lookup cost and its recall@`K`
+/// against the `ReferenceLinearScan` oracle on the same clustered keys.
+#[derive(Debug, Serialize)]
+struct FrontierPoint {
+    /// Index family (`"linear"`, `"kdtree"`, `"lsh"`, `"nsw"`).
+    index: String,
+    size: usize,
+    /// ns per `nearest_into` with a reused scratch.
+    lookup_ns: f64,
+    /// Fraction of the oracle's top-`K` ids the index returns,
+    /// averaged over the query set (exact indexes score 1.0 by
+    /// construction).
+    recall_at_k: f64,
+}
+
 /// One point of the concurrent-throughput series: a shard count and the
 /// aggregate operation rate `CONCURRENT_THREADS` workers sustain on it.
 #[derive(Debug, Serialize)]
@@ -88,6 +107,9 @@ struct BenchRun {
     k: usize,
     threads: usize,
     sizes: Vec<SizePoint>,
+    /// The recall/latency frontier: every index family at every
+    /// `FRONTIER_SIZES` entry count.
+    frontier: Vec<FrontierPoint>,
     /// ns per chunked flat-kernel distance at `dim`.
     distance_flat_ns: f64,
     /// ns per reference scalar-kernel distance at `dim`.
@@ -152,7 +174,7 @@ fn lookup_iters(size: usize) -> u64 {
 fn measure_size(size: usize, rng: &mut SimRng) -> SizePoint {
     let (keys, queries) = keys_and_queries(size, rng);
 
-    let mut fast = LinearScan::new(DIM);
+    let mut fast = build_index(DIM, &IndexConfig::Linear);
     let mut reference = ReferenceLinearScan::new(DIM);
     for (id, key) in keys.iter().enumerate() {
         fast.insert(id as u64, key.clone());
@@ -160,14 +182,15 @@ fn measure_size(size: usize, rng: &mut SimRng) -> SizePoint {
     }
 
     let iters = lookup_iters(size);
-    let mut scratch = Vec::new();
+    let mut scratch = IndexScratch::new();
+    let mut out = Vec::new();
     let mut qi = 0usize;
     let lookup_ns = best_of_ns(ROUNDS, || {
         time_per_op_ns(iters, || {
             let query = &queries[qi % queries.len()];
             qi = qi.wrapping_add(1);
-            fast.nearest_into(query, K, &mut scratch);
-            black_box(scratch.last());
+            fast.nearest_into(query, K, &mut scratch, &mut out);
+            black_box(out.last());
         })
     });
     let lookup_reference_ns = best_of_ns(ROUNDS, || {
@@ -179,7 +202,7 @@ fn measure_size(size: usize, rng: &mut SimRng) -> SizePoint {
     });
 
     let insert_ns = best_of_ns(ROUNDS, || {
-        let mut fresh = LinearScan::new(DIM);
+        let mut fresh = build_index(DIM, &IndexConfig::Linear);
         let ms = time_once_ms(|| {
             for (id, key) in keys.iter().enumerate() {
                 fresh.insert(id as u64, key.clone());
@@ -196,6 +219,86 @@ fn measure_size(size: usize, rng: &mut SimRng) -> SizePoint {
         lookup_speedup: lookup_reference_ns / lookup_ns,
         insert_ns,
     }
+}
+
+/// Iterations per frontier measurement round — lighter than the size
+/// series because the 65k point is ~1 ms per scan lookup.
+fn frontier_iters(size: usize) -> u64 {
+    match size {
+        0..=1023 => 4_000,
+        1024..=16_383 => 400,
+        _ => 100,
+    }
+}
+
+/// Charts the recall/latency frontier: every index family × every
+/// `FRONTIER_SIZES` entry count, recall measured against the
+/// `ReferenceLinearScan` oracle on the same clustered population.
+fn measure_frontier(rng: &mut SimRng) -> Vec<FrontierPoint> {
+    // NSW runs a wider beam than the library default: at the 65 536-entry
+    // point the default ef=48 trades too much recall on uniform 64-dim
+    // keys (distance concentration), while a 256-wide beam holds
+    // recall@4 well above 0.95 and still undercuts the linear scan by an
+    // order of magnitude — this is the operating point a deployment
+    // migrating off LinearScan would actually pick.
+    let configs: [(&str, IndexConfig); 4] = [
+        ("linear", IndexConfig::Linear),
+        ("kdtree", IndexConfig::KdTree),
+        ("lsh", IndexConfig::Lsh(ann::LshConfig::default())),
+        ("nsw", IndexConfig::Nsw(ann::NswConfig { m: 16, ef: 256 })),
+    ];
+    let mut points = Vec::new();
+    for size in FRONTIER_SIZES {
+        let (keys, queries) = keys_and_queries(size, rng);
+        let mut oracle = ReferenceLinearScan::new(DIM);
+        for (id, key) in keys.iter().enumerate() {
+            oracle.insert(id as u64, key.clone());
+        }
+        let truth: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| oracle.nearest(q, K).into_iter().map(|n| n.id).collect())
+            .collect();
+        for (name, config) in &configs {
+            let mut index = build_index(DIM, config);
+            for (id, key) in keys.iter().enumerate() {
+                index.insert(id as u64, key.clone());
+            }
+            let mut scratch = IndexScratch::new();
+            let mut out = Vec::new();
+            let mut found = 0usize;
+            let mut total = 0usize;
+            for (q, t) in queries.iter().zip(&truth) {
+                index.nearest_into(q, K, &mut scratch, &mut out);
+                total += t.len();
+                found += t
+                    .iter()
+                    .filter(|id| out.iter().any(|n| n.id == **id))
+                    .count();
+            }
+            let recall_at_k = if total == 0 {
+                1.0
+            } else {
+                found as f64 / total as f64
+            };
+            let iters = frontier_iters(size);
+            let mut qi = 0usize;
+            let lookup_ns = best_of_ns(ROUNDS, || {
+                time_per_op_ns(iters, || {
+                    let query = &queries[qi % queries.len()];
+                    qi = qi.wrapping_add(1);
+                    index.nearest_into(query, K, &mut scratch, &mut out);
+                    black_box(out.last());
+                })
+            });
+            points.push(FrontierPoint {
+                index: (*name).to_owned(),
+                size,
+                lookup_ns,
+                recall_at_k,
+            });
+        }
+    }
+    points
 }
 
 fn measure_distance_kernels(rng: &mut SimRng) -> (f64, f64) {
@@ -337,18 +440,21 @@ fn record_and_print_trajectory(dir: &Path, doc: &serde_json::Value) {
     let ratio = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.2}x"));
     println!("\n== perf trajectory ({} runs) ==", points.len());
     println!(
-        "{:>4}  {:<20} {:>12} {:>11} {:>8}",
-        "run", "label", "4096 lookup", "concurrent", "e2e ms"
+        "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10}",
+        "run", "label", "4096 lookup", "concurrent", "e2e ms", "nsw 65536", "nsw recall"
     );
     for p in points {
         println!(
-            "{:>4}  {:<20} {:>12} {:>11} {:>8}",
+            "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10}",
             p.run,
             p.label,
             ratio(p.lookup_speedup_at_4096),
             ratio(p.concurrent_speedup),
             p.e2e_wall_ms
                 .map_or_else(|| "-".to_owned(), |x| format!("{x:.1}")),
+            ratio(p.nsw_speedup_at_65536),
+            p.nsw_recall_at_65536
+                .map_or_else(|| "-".to_owned(), |x| format!("{x:.3}")),
         );
     }
 }
@@ -373,6 +479,19 @@ fn main() {
             point.insert_ns
         );
         sizes.push(point);
+    }
+
+    println!("\nrecall/latency frontier (k = {K}, recall vs exact oracle):");
+    println!(
+        "{:>8} {:>8} {:>12} {:>9}",
+        "index", "size", "lookup ns", "recall@k"
+    );
+    let frontier = measure_frontier(&mut rng);
+    for p in &frontier {
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>9.3}",
+            p.index, p.size, p.lookup_ns, p.recall_at_k
+        );
     }
 
     let (distance_flat_ns, distance_reference_ns) = measure_distance_kernels(&mut rng);
@@ -417,6 +536,7 @@ fn main() {
         k: K,
         threads: parallel::default_threads().get(),
         sizes,
+        frontier,
         distance_flat_ns,
         distance_reference_ns,
         concurrent: vec![single_lock, sharded],

@@ -42,6 +42,10 @@ pub struct TrajectoryPoint {
     pub concurrent_speedup: Option<f64>,
     /// End-to-end experiment wall clock, milliseconds.
     pub e2e_wall_ms: Option<f64>,
+    /// NSW-over-linear lookup speedup at the 65 536-entry frontier point.
+    pub nsw_speedup_at_65536: Option<f64>,
+    /// NSW recall@k against the exact oracle at the same frontier point.
+    pub nsw_recall_at_65536: Option<f64>,
 }
 
 /// The snapshot path for 1-indexed run `n` under `dir`.
@@ -140,12 +144,31 @@ fn point_from_run(n: usize, run: &serde_json::Value) -> TrajectoryPoint {
         .as_array()
         .and_then(|sizes| sizes.iter().find(|p| p["size"].as_u64() == Some(4096)))
         .and_then(|p| p["lookup_speedup"].as_f64());
+    let frontier_at = |index: &str, field: &str| {
+        run["frontier"]
+            .as_array()
+            .and_then(|points| {
+                points.iter().find(|p| {
+                    p["index"].as_str() == Some(index) && p["size"].as_u64() == Some(65_536)
+                })
+            })
+            .and_then(|p| p[field].as_f64())
+    };
+    let nsw_speedup_at_65536 = match (
+        frontier_at("linear", "lookup_ns"),
+        frontier_at("nsw", "lookup_ns"),
+    ) {
+        (Some(linear), Some(nsw)) if nsw > 0.0 => Some(linear / nsw),
+        _ => None,
+    };
     TrajectoryPoint {
         run: n,
         label: run["label"].as_str().unwrap_or("?").to_owned(),
         lookup_speedup_at_4096,
         concurrent_speedup: run["concurrent_speedup"].as_f64(),
         e2e_wall_ms: run["e2e_wall_ms"].as_f64(),
+        nsw_speedup_at_65536,
+        nsw_recall_at_65536: frontier_at("nsw", "recall_at_k"),
     }
 }
 
@@ -182,6 +205,23 @@ mod tests {
             ),
             ("concurrent_speedup", Value::from(2.4)),
             ("e2e_wall_ms", Value::from(4.2)),
+            (
+                "frontier",
+                Value::Array(vec![
+                    frontier_value("linear", 65_536, 180_000.0, 1.0),
+                    frontier_value("nsw", 65_536, 18_000.0, 0.97),
+                    frontier_value("nsw", 4096, 9_000.0, 0.99),
+                ]),
+            ),
+        ])
+    }
+
+    fn frontier_value(index: &str, size: u64, lookup_ns: f64, recall: f64) -> Value {
+        object([
+            ("index", Value::from(index)),
+            ("size", Value::from(size)),
+            ("lookup_ns", Value::from(lookup_ns)),
+            ("recall_at_k", Value::from(recall)),
         ])
     }
 
@@ -234,6 +274,10 @@ mod tests {
         assert_eq!(points[0].lookup_speedup_at_4096, Some(3.19));
         assert_eq!(points[1].concurrent_speedup, Some(2.4));
         assert_eq!(points[1].e2e_wall_ms, Some(4.2));
+        // Frontier extraction: speedup is linear/nsw lookup_ns at 65 536
+        // entries only — the 4096-entry NSW point must not be picked up.
+        assert_eq!(points[0].nsw_speedup_at_65536, Some(10.0));
+        assert_eq!(points[0].nsw_recall_at_65536, Some(0.97));
     }
 
     #[test]
@@ -245,6 +289,8 @@ mod tests {
         assert_eq!(points[0].label, "old");
         assert!(points[0].lookup_speedup_at_4096.is_none());
         assert!(points[0].concurrent_speedup.is_none());
+        assert!(points[0].nsw_speedup_at_65536.is_none());
+        assert!(points[0].nsw_recall_at_65536.is_none());
         std::fs::write(snapshot_path(&dir, 2), "not json").unwrap();
         assert!(read(&dir).is_err(), "broken snapshots must surface");
     }

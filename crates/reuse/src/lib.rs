@@ -58,5 +58,10 @@ pub use evict::EvictionPolicy;
 pub use shared::SharedCache;
 pub use snapshot::CacheSnapshot;
 pub use stats::CacheStats;
-pub use store::{ApproxCache, CacheConfig, FrequencyGate, IndexKind, InsertOutcome, LookupResult};
+#[allow(deprecated)]
+pub use store::IndexKind;
+pub use store::{
+    ApproxCache, CacheConfig, FrequencyGate, IndexConfig, IndexMigration, InsertOutcome,
+    LookupResult,
+};
 pub use weight::{RecomputeCostWeighter, Weighter};

@@ -23,3 +23,21 @@ fn decide_in(votes: &[Vote]) -> Vec<Vote> {
     let v = votes.clone();
     v.to_vec()
 }
+
+fn beam_search_into(nodes: &[u64]) -> Vec<u64> {
+    nodes.to_vec()
+}
+
+fn search_into(rows: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.extend(rows);
+    out
+}
+
+fn rerank_rows_into(rows: &[u64]) -> String {
+    format!("{rows:?}")
+}
+
+fn quantize_query_into(query: &[f64]) -> Vec<u8> {
+    query.iter().map(|&x| x as u8).collect()
+}

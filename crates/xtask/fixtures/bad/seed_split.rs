@@ -15,3 +15,9 @@ fn justified(root: &SimRng) {
     let b = root.split("twin");
     drop((a, b));
 }
+
+fn index_banks(config: &LshConfig) {
+    let planes = SimRng::seed(config.seed).split("lsh-planes");
+    let rotations = SimRng::seed(config.seed).split("lsh-planes");
+    drop((planes, rotations));
+}

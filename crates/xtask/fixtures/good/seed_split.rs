@@ -14,3 +14,11 @@ fn other(root: &SimRng) {
     let w = root.split("world");
     drop(w);
 }
+
+fn index_banks(config: &LshConfig) {
+    let planes = SimRng::seed(1).split("planes");
+    let graph = SimRng::seed(2).split("planes");
+    let banks = SimRng::seed(config.seed).split("lsh-planes");
+    let probes = SimRng::seed(config.seed).split("lsh-probes");
+    drop((planes, graph, banks, probes));
+}

@@ -717,7 +717,10 @@ fn check_locks(ctx: &FileContext, out: &mut Vec<Violation>) {
 /// chain, method, label — plus the index argument for `split_index`);
 /// two sites sharing a key derive the *same* child stream from the same
 /// parent, silently correlating the RNG draws downstream. Non-literal
-/// labels cannot be checked lexically and are skipped.
+/// labels cannot be checked lexically and are skipped. Constructor
+/// chains with a single literal argument (`SimRng::seed(7).split(..)`)
+/// keep the literal in the parent key, so differently seeded banks with
+/// the same label are not false positives.
 fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
     let tokens = ctx.tokens();
     let tree = ctx.tree();
@@ -752,7 +755,24 @@ fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
             .enclosing_fn(i)
             .map(|f| f.name.clone())
             .unwrap_or_else(|| "<file>".to_string());
-        let recv = receiver_chain(tokens, tree, i);
+        let mut recv = receiver_chain(tokens, tree, i);
+        // Constructor-chain parents: `receiver_chain` collapses call
+        // groups, so `SimRng::seed(1).split("x")` and
+        // `SimRng::seed(2).split("x")` would both key as
+        // `SimRng::seed(_)` — distinct parent streams, not duplicates
+        // (the index crates seed per-structure banks exactly this way).
+        // When the call feeding the split takes a single literal
+        // argument, keep the literal in the key; non-literal arguments
+        // still collapse, so duplicated `seed(config.seed)` chains with
+        // the same label are flagged as before.
+        if i > 0 && tokens[i - 1].is_punct(')') {
+            if let Some(open) = tree.match_of(i - 1) {
+                if open + 2 == i - 1 && tokens[open + 1].kind == TokenKind::Literal {
+                    recv.push('#');
+                    recv.push_str(&tokens[open + 1].text);
+                }
+            }
+        }
         let line = method.line;
         let key = (scope, recv, method.ident_name().to_string(), label);
         match sites.get_mut(&key) {
@@ -783,8 +803,19 @@ fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
     }
 }
 
-/// Fns that are hot-path everywhere (the per-frame A-kNN kernels).
-const HOT_FNS_ANYWHERE: &[&str] = &["nearest_into", "decide_in"];
+/// Fns that are hot-path everywhere: the per-frame A-kNN kernels plus
+/// the per-lookup index internals they fan out to (the NSW beam search,
+/// the kd-tree recursion, the flat-buffer re-rank and query
+/// quantization). All of these run on every cache lookup; the scratch
+/// plumbing exists precisely so they stay allocation-free.
+const HOT_FNS_ANYWHERE: &[&str] = &[
+    "nearest_into",
+    "decide_in",
+    "beam_search_into",
+    "search_into",
+    "rerank_rows_into",
+    "quantize_query_into",
+];
 
 /// Fns that are hot-path within the concurrent core (shard operations
 /// executed under the shard lock).

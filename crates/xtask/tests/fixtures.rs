@@ -298,8 +298,9 @@ fn bad_seed_split_fires() {
         .collect();
     assert_eq!(
         lines,
-        vec![5, 7],
-        "duplicate label and duplicate (label, index), got {hits:?}"
+        vec![5, 7, 21],
+        "duplicate label, duplicate (label, index), and duplicate \
+         constructor-chain bank, got {hits:?}"
     );
 }
 
@@ -317,7 +318,7 @@ fn bad_alloc_fires_in_the_concurrent_core() {
         .filter(|&&(r, _)| r == Rule::Alloc)
         .map(|&(_, l)| l)
         .collect();
-    for line in [5, 6, 12, 13, 19, 23, 24] {
+    for line in [5, 6, 12, 13, 19, 23, 24, 28, 32, 38, 42] {
         assert!(lines.contains(&line), "line {line} missing from {lines:?}");
     }
 }
@@ -325,7 +326,9 @@ fn bad_alloc_fires_in_the_concurrent_core() {
 #[test]
 fn alloc_shard_fns_are_hot_only_in_the_concurrent_core() {
     // Outside concurrent/, `lookup`/`insert` are ordinary fns; the
-    // A-kNN kernels (`nearest_into`, `decide_in`) stay hot everywhere.
+    // A-kNN kernels (`nearest_into`, `decide_in`) and the per-lookup
+    // index internals (`beam_search_into`, `search_into`,
+    // `rerank_rows_into`, `quantize_query_into`) stay hot everywhere.
     let hits = lint("bad", "alloc", "crates/reuse/src/fixture.rs", 9);
     let lines: Vec<usize> = hits
         .iter()
@@ -336,7 +339,7 @@ fn alloc_shard_fns_are_hot_only_in_the_concurrent_core() {
         !lines.iter().any(|&l| l < 17),
         "shard fns flagged outside the core: {lines:?}"
     );
-    for line in [19, 23, 24] {
+    for line in [19, 23, 24, 28, 32, 38, 42] {
         assert!(lines.contains(&line), "line {line} missing from {lines:?}");
     }
 }
