@@ -33,6 +33,18 @@ echo "== perf_smoke (informational: hot-path timings -> BENCH.json) =="
 # trajectory across PRs is the signal.
 cargo run --release -q -p bench --bin perf_smoke || true
 
+echo "== sweep smoke (informational: tiny grid, exercises resume) =="
+# Never gates on timings; runs the built-in 2x2 smoke grid twice into a
+# scratch dir so the second pass must resume every cell from disk.
+SWEEP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+cargo run --release -q -p bench --bin sweep -- --smoke "$SWEEP_DIR" || true
+SWEEP_RESUME="$(cargo run --release -q -p bench --bin sweep -- --smoke "$SWEEP_DIR" || true)"
+echo "$SWEEP_RESUME"
+# The resume pass must not re-run any cell.
+echo "$SWEEP_RESUME" | grep -q '0 ran now, 4 resumed from disk' \
+    || echo "warning: sweep resume pass re-ran cells (informational)" >&2
+
 echo "== miri (informational: concurrent store under the interpreter) =="
 # Never gates: nightly + Miri are optional on CI boxes. When present,
 # interprets the sharded-store suite to catch UB the type system can't.

@@ -5,7 +5,7 @@
 //! meant anything that wanted a *configurable* index — the cache, the
 //! pipeline, the benchmarks — had to re-invent this enum privately.
 //! [`IndexConfig`] is that enum, once, in the crate that owns the
-//! indexes; [`build`] is the only non-deprecated way to construct one.
+//! indexes; [`build`] is the only way to construct one.
 
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +62,7 @@ impl IndexConfig {
 }
 
 /// Builds an empty index for keys of dimension `dim` per `config` — the
-/// single constructor every non-deprecated call site goes through.
+/// single constructor every call site goes through.
 ///
 /// # Panics
 ///

@@ -48,19 +48,6 @@ struct Node {
 }
 
 impl KdTree {
-    /// Creates an empty tree for keys of dimension `dim`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through ann::build(dim, &IndexConfig::KdTree)"
-    )]
-    pub fn new(dim: usize) -> KdTree {
-        KdTree::with_dim(dim)
-    }
-
     /// Internal constructor behind [`crate::build`].
     pub(crate) fn with_dim(dim: usize) -> KdTree {
         assert!(dim > 0, "KdTree: dim must be positive");

@@ -38,20 +38,7 @@ pub struct LinearScan {
 }
 
 impl LinearScan {
-    /// Creates an empty index for keys of dimension `dim`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through ann::build(dim, &IndexConfig::Linear)"
-    )]
-    pub fn new(dim: usize) -> LinearScan {
-        LinearScan::with_dim(dim)
-    }
-
-    /// The non-deprecated constructor behind [`crate::build`].
+    /// The constructor behind [`crate::build`].
     pub(crate) fn with_dim(dim: usize) -> LinearScan {
         assert!(dim > 0, "LinearScan: dim must be positive");
         LinearScan {

@@ -101,19 +101,6 @@ pub struct LshIndex {
 }
 
 impl LshIndex {
-    /// Creates an empty index for keys of dimension `dim`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim == 0` or the config is invalid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through ann::build(dim, &IndexConfig::Lsh(..))"
-    )]
-    pub fn new(dim: usize, config: LshConfig) -> LshIndex {
-        LshIndex::with_config(dim, config)
-    }
-
     /// Internal constructor behind [`crate::build`].
     pub(crate) fn with_config(dim: usize, config: LshConfig) -> LshIndex {
         assert!(dim > 0, "LshIndex: dim must be positive");

@@ -80,19 +80,6 @@ pub struct NswIndex {
 }
 
 impl NswIndex {
-    /// Creates an empty index for keys of dimension `dim`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim == 0` or the config is invalid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through ann::build(dim, &IndexConfig::Nsw(..))"
-    )]
-    pub fn new(dim: usize, config: NswConfig) -> NswIndex {
-        NswIndex::with_config(dim, config)
-    }
-
     /// Internal constructor behind [`crate::build`].
     pub(crate) fn with_config(dim: usize, config: NswConfig) -> NswIndex {
         assert!(dim > 0, "NswIndex: dim must be positive");

@@ -50,6 +50,7 @@ pub mod baseline;
 pub mod config;
 pub mod device;
 pub mod error;
+pub mod fleet;
 pub mod prelude;
 pub mod report;
 pub mod sim;
@@ -59,7 +60,6 @@ pub use baseline::SystemVariant;
 pub use config::{CacheExpiry, CostModel, PeerConfig, PipelineConfig};
 pub use device::{Device, DeviceBuilder, DeviceId, FrameOutcome, ResolutionPath};
 pub use error::ConfigError;
+pub use fleet::{run_fleet, FleetOptions};
 pub use report::RunReport;
 pub use sim::{run, ChurnSpec, Detail, Scenario, SimResult};
-#[allow(deprecated)]
-pub use sim::{run_scenario, run_scenario_detailed};

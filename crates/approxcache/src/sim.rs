@@ -230,38 +230,6 @@ pub enum Detail {
     Full,
 }
 
-/// Runs `scenario` under `variant` and returns the aggregate report.
-#[deprecated(
-    note = "use `run(scenario, config, variant, seed, Detail::Summary)` and handle the `Result`"
-)]
-pub fn run_scenario(
-    scenario: &Scenario,
-    config: &PipelineConfig,
-    variant: SystemVariant,
-    seed: u64,
-) -> RunReport {
-    match run(scenario, config, variant, seed, Detail::Summary) {
-        Ok(result) => result.report,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Runs `scenario` and returns per-device detail alongside the aggregate.
-#[deprecated(
-    note = "use `run(scenario, config, variant, seed, Detail::Full)` and handle the `Result`"
-)]
-pub fn run_scenario_detailed(
-    scenario: &Scenario,
-    config: &PipelineConfig,
-    variant: SystemVariant,
-    seed: u64,
-) -> SimResult {
-    match run(scenario, config, variant, seed, Detail::Full) {
-        Ok(result) => result,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Plays `scenario` out frame by frame under `variant` and returns the
 /// result, rejecting invalid scenario or network configuration up front
 /// instead of panicking mid-run.
@@ -604,7 +572,12 @@ pub fn run(
 }
 
 /// The IMU samples strictly after `from` and at or before `to`.
-fn window_of(stream: &[ImuSample], from: SimTime, to: SimTime, rate_hz: f64) -> &[ImuSample] {
+pub(crate) fn window_of(
+    stream: &[ImuSample],
+    from: SimTime,
+    to: SimTime,
+    rate_hz: f64,
+) -> &[ImuSample] {
     let start = ((from.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
     let end = ((to.as_secs_f64() * rate_hz).floor() as usize + 1).min(stream.len());
     stream.get(start.min(end)..end).unwrap_or(&[])

@@ -1,0 +1,218 @@
+//! The shard-merge algebra the fleet engine relies on.
+//!
+//! `fleet::run_fleet` folds per-shard results with `merge` and claims
+//! the outcome is independent of shard count and completion order.
+//! That holds iff every merged structure forms a commutative monoid:
+//! `merge` must be commutative and associative with the default value
+//! as identity. These properties are checked here for every structure
+//! the fleet merges — cache stats, transport counters, resilience
+//! counters and the fixed-bucket latency digest — plus the headline
+//! theorem itself: an N-shard run's report is byte-for-byte the
+//! 1-shard run's report.
+
+use std::num::NonZeroUsize;
+
+use approxcache::{run_fleet, FleetOptions, PipelineConfig, Scenario, SystemVariant};
+use imu::MotionProfile;
+use p2pnet::{ResilienceCounters, TransportCounters};
+use proptest::prelude::*;
+use reuse::CacheStats;
+use simcore::{LatencyDigest, SimDuration};
+
+/// A balanced `CacheStats`: `lookups == hits + misses()` is an invariant
+/// the structure debug-asserts, so the generator derives `lookups`.
+fn arb_cache_stats() -> impl Strategy<Value = CacheStats> {
+    (
+        proptest::collection::vec(0u64..1_000, 5),
+        proptest::collection::vec(0u64..1_000, 8),
+    )
+        .prop_map(|(balance, rest)| {
+            let mut stats = CacheStats::default();
+            let mut balance = balance.into_iter();
+            stats.hits = balance.next().unwrap_or(0);
+            stats.miss_empty = balance.next().unwrap_or(0);
+            stats.miss_too_far = balance.next().unwrap_or(0);
+            stats.miss_not_homogeneous = balance.next().unwrap_or(0);
+            stats.miss_insufficient_support = balance.next().unwrap_or(0);
+            stats.lookups = stats.hits + stats.misses();
+            let mut rest = rest.into_iter();
+            stats.inserts = rest.next().unwrap_or(0);
+            stats.refreshes = rest.next().unwrap_or(0);
+            stats.rejected = rest.next().unwrap_or(0);
+            stats.evictions = rest.next().unwrap_or(0);
+            stats.removals = rest.next().unwrap_or(0);
+            stats.expirations = rest.next().unwrap_or(0);
+            stats.sketch_rejected = rest.next().unwrap_or(0);
+            stats.weight_evictions = rest.next().unwrap_or(0);
+            stats
+        })
+}
+
+fn arb_transport() -> impl Strategy<Value = TransportCounters> {
+    (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..1 << 32).prop_map(
+        |(sent, delivered, lost, bytes)| TransportCounters {
+            messages_sent: sent,
+            messages_delivered: delivered,
+            messages_lost: lost,
+            bytes_sent: bytes,
+        },
+    )
+}
+
+fn arb_resilience() -> impl Strategy<Value = ResilienceCounters> {
+    proptest::collection::vec(0u64..1_000, 9).prop_map(|v| {
+        let mut it = v.into_iter();
+        let mut next = || it.next().unwrap_or(0);
+        ResilienceCounters {
+            outage_frames: next(),
+            crashes: next(),
+            poisoned_ads: next(),
+            ad_retries: next(),
+            ad_abandoned: next(),
+            quarantines: next(),
+            reprobes: next(),
+            breaker_skips: next(),
+            peer_fallbacks: next(),
+        }
+    })
+}
+
+fn arb_digest() -> impl Strategy<Value = LatencyDigest> {
+    proptest::collection::vec(0.0f64..5_000.0, 0..64).prop_map(|samples| {
+        let mut digest = LatencyDigest::new();
+        for ms in samples {
+            digest.record_ms(ms);
+        }
+        digest
+    })
+}
+
+fn merged<T: Clone>(a: &T, b: &T, merge: impl Fn(&mut T, &T)) -> T {
+    let mut out = a.clone();
+    merge(&mut out, b);
+    out
+}
+
+/// Checks the commutative-monoid laws for one `(T, merge, identity)`.
+fn monoid_laws<T: Clone + PartialEq + std::fmt::Debug>(
+    a: &T,
+    b: &T,
+    c: &T,
+    identity: &T,
+    merge: impl Fn(&mut T, &T) + Copy,
+) -> Result<(), TestCaseError> {
+    // Commutativity, associativity, and identity — in that order.
+    prop_assert_eq!(merged(a, b, merge), merged(b, a, merge));
+    prop_assert_eq!(
+        merged(&merged(a, b, merge), c, merge),
+        merged(a, &merged(b, c, merge), merge)
+    );
+    prop_assert_eq!(merged(a, identity, merge), a.clone());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn cache_stats_merge_is_a_commutative_monoid(
+        a in arb_cache_stats(),
+        b in arb_cache_stats(),
+        c in arb_cache_stats(),
+    ) {
+        monoid_laws(&a, &b, &c, &CacheStats::default(), |x, y| x.merge(y))?;
+    }
+
+    #[test]
+    fn transport_counters_merge_is_a_commutative_monoid(
+        a in arb_transport(),
+        b in arb_transport(),
+        c in arb_transport(),
+    ) {
+        monoid_laws(&a, &b, &c, &TransportCounters::default(), |x, y| x.merge(y))?;
+    }
+
+    #[test]
+    fn resilience_counters_merge_is_a_commutative_monoid(
+        a in arb_resilience(),
+        b in arb_resilience(),
+        c in arb_resilience(),
+    ) {
+        monoid_laws(&a, &b, &c, &ResilienceCounters::default(), |x, y| x.merge(y))?;
+    }
+
+    #[test]
+    fn latency_digest_merge_is_a_commutative_monoid(
+        a in arb_digest(),
+        b in arb_digest(),
+        c in arb_digest(),
+    ) {
+        monoid_laws(&a, &b, &c, &LatencyDigest::new(), |x, y| x.merge(y))?;
+    }
+
+    /// Merging two digests gives exactly the digest of the concatenated
+    /// sample streams — the property that lets shards record latencies
+    /// independently.
+    #[test]
+    fn digest_merge_equals_single_stream(
+        xs in proptest::collection::vec(0.0f64..5_000.0, 0..48),
+        ys in proptest::collection::vec(0.0f64..5_000.0, 0..48),
+    ) {
+        let mut left = LatencyDigest::new();
+        for &ms in &xs {
+            left.record_ms(ms);
+        }
+        let mut right = LatencyDigest::new();
+        for &ms in &ys {
+            right.record_ms(ms);
+        }
+        left.merge(&right);
+        let mut whole = LatencyDigest::new();
+        for &ms in xs.iter().chain(&ys) {
+            whole.record_ms(ms);
+        }
+        prop_assert_eq!(left, whole);
+    }
+}
+
+proptest! {
+    // Each case plays out two full fleet simulations; a handful of
+    // random (seed, population, shard-count) draws is plenty on top of
+    // the pinned unit tests in `fleet::tests`.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline theorem: N shards on several workers produce the
+    /// same bytes as 1 shard on 1 worker, for arbitrary seeds and
+    /// populations.
+    #[test]
+    fn sharded_report_matches_single_shard(
+        seed in 0u64..1_000,
+        devices in 2usize..7,
+        shards in 2usize..8,
+    ) {
+        let scenario = Scenario::multi_device(
+            MotionProfile::SlowPan { deg_per_sec: 20.0 },
+            devices,
+        )
+        .with_duration(SimDuration::from_secs(3));
+        let config = PipelineConfig::calibrated(&scenario, seed);
+        let single = run_fleet(
+            &scenario,
+            &config,
+            SystemVariant::Full,
+            seed,
+            &FleetOptions::single(),
+        )
+        .expect("valid scenario");
+        let sharded = run_fleet(
+            &scenario,
+            &config,
+            SystemVariant::Full,
+            seed,
+            &FleetOptions {
+                shards,
+                threads: NonZeroUsize::new(3).expect("positive"),
+            },
+        )
+        .expect("valid scenario");
+        prop_assert_eq!(sharded.to_json(), single.to_json());
+    }
+}

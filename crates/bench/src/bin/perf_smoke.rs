@@ -58,6 +58,18 @@ const CONCURRENT_SHARDS: usize = 4;
 const CONCURRENT_LOOKUPS: usize = 1024;
 /// Re-inserts per worker per concurrent measurement round.
 const CONCURRENT_INSERTS: usize = 256;
+/// Devices in the fleet-throughput series (override with the
+/// `FLEET_DEVICES` environment variable).
+const FLEET_DEVICES: usize = 10_000;
+/// Simulated seconds of each fleet-throughput run.
+const FLEET_SECONDS: u64 = 1;
+/// Shards the fleet population is partitioned into. The report is
+/// shard-count invariant; shards only bound available parallelism.
+const FLEET_SHARDS: usize = 8;
+/// Spawn spacing of the fleet scenario, metres. Wider than the default
+/// so a 10k-device population has single-digit neighbour counts (the
+/// default 4 m grid would put ~170 devices inside WiFi-Direct range).
+const FLEET_SPACING_M: f64 = 20.0;
 
 /// One cache-size measurement point.
 #[derive(Debug, Serialize)]
@@ -99,6 +111,18 @@ struct ConcurrentPoint {
     ops_per_ms: f64,
 }
 
+/// One point of the fleet-throughput series: device-frames per wall
+/// second that `workers` pool threads sustain on the sharded fleet
+/// engine.
+#[derive(Debug, Serialize)]
+struct FleetPoint {
+    workers: usize,
+    shards: usize,
+    devices: usize,
+    /// Device-frames simulated per wall second.
+    frames_per_sec: f64,
+}
+
 /// One `BENCH.json` run entry.
 #[derive(Debug, Serialize)]
 struct BenchRun {
@@ -119,6 +143,13 @@ struct BenchRun {
     concurrent: Vec<ConcurrentPoint>,
     /// `ops_per_ms` at `CONCURRENT_SHARDS` over the 1-shard baseline.
     concurrent_speedup: f64,
+    /// Fleet throughput at 1 worker and at `default_threads()` workers
+    /// (plus a 2-worker point when `default_threads()` is 1, so the
+    /// parallel path is always exercised).
+    fleet: Vec<FleetPoint>,
+    /// `frames_per_sec` at `default_threads()` workers over the
+    /// 1-worker baseline.
+    fleet_speedup: f64,
     e2e_scenario: String,
     e2e_seconds: u64,
     e2e_wall_ms: f64,
@@ -392,6 +423,50 @@ fn bench_json_path() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("BENCH.json"))
 }
 
+/// Devices in the fleet series, after the `FLEET_DEVICES` override.
+fn fleet_devices() -> usize {
+    std::env::var("FLEET_DEVICES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(FLEET_DEVICES)
+        .max(2)
+}
+
+/// One fleet-throughput measurement: a full sharded fleet run on
+/// `workers` pool threads, reported as device-frames per wall second.
+fn measure_fleet(workers: NonZeroUsize, devices: usize) -> FleetPoint {
+    let mut scenario = approxcache::Scenario::multi_device(
+        imu::MotionProfile::SlowPan { deg_per_sec: 20.0 },
+        devices,
+    )
+    .with_duration(SimDuration::from_secs(FLEET_SECONDS));
+    scenario.spawn_spacing = FLEET_SPACING_M;
+    let config = approxcache::PipelineConfig::calibrated(&scenario, MASTER_SEED);
+    let options = approxcache::FleetOptions {
+        shards: FLEET_SHARDS,
+        threads: workers,
+    };
+    let mut frames = 0usize;
+    let wall_ms = time_once_ms(|| {
+        match approxcache::run_fleet(
+            &scenario,
+            &config,
+            approxcache::SystemVariant::Full,
+            MASTER_SEED,
+            &options,
+        ) {
+            Ok(report) => frames = report.frames,
+            Err(e) => unreachable!("fleet scenario is hand-written: {e}"),
+        }
+    });
+    FleetPoint {
+        workers: workers.get(),
+        shards: FLEET_SHARDS,
+        devices,
+        frames_per_sec: frames as f64 / (wall_ms / 1e3).max(1e-9),
+    }
+}
+
 fn append_run(run: &BenchRun) -> Result<(PathBuf, serde_json::Value), String> {
     let path = bench_json_path();
     let mut doc: serde_json::Value = match std::fs::read_to_string(&path) {
@@ -440,12 +515,12 @@ fn record_and_print_trajectory(dir: &Path, doc: &serde_json::Value) {
     let ratio = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.2}x"));
     println!("\n== perf trajectory ({} runs) ==", points.len());
     println!(
-        "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10}",
-        "run", "label", "4096 lookup", "concurrent", "e2e ms", "nsw 65536", "nsw recall"
+        "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10} {:>8}",
+        "run", "label", "4096 lookup", "concurrent", "e2e ms", "nsw 65536", "nsw recall", "fleet"
     );
     for p in points {
         println!(
-            "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10}",
+            "{:>4}  {:<20} {:>12} {:>11} {:>8} {:>10} {:>10} {:>8}",
             p.run,
             p.label,
             ratio(p.lookup_speedup_at_4096),
@@ -455,6 +530,7 @@ fn record_and_print_trajectory(dir: &Path, doc: &serde_json::Value) {
             ratio(p.nsw_speedup_at_65536),
             p.nsw_recall_at_65536
                 .map_or_else(|| "-".to_owned(), |x| format!("{x:.3}")),
+            ratio(p.fleet_speedup),
         );
     }
 }
@@ -514,6 +590,35 @@ fn main() {
     }
     println!("  aggregate speedup at {CONCURRENT_SHARDS} shards: {concurrent_speedup:.2}x");
 
+    let devices = fleet_devices();
+    println!(
+        "\nfleet throughput ({devices} devices, {FLEET_SHARDS} shards, {FLEET_SECONDS}s simulated):"
+    );
+    let default_workers = parallel::default_threads();
+    let fleet_single = measure_fleet(NonZeroUsize::MIN, devices);
+    let fleet_default = if default_workers.get() > 1 {
+        measure_fleet(default_workers, devices)
+    } else {
+        // One-core runner: the default-workers point IS the 1-worker
+        // point; measure 2 workers anyway so the parallel path runs.
+        measure_fleet(NonZeroUsize::new(2).unwrap_or(NonZeroUsize::MIN), devices)
+    };
+    let fleet_speedup = if default_workers.get() > 1 {
+        fleet_default.frames_per_sec / fleet_single.frames_per_sec.max(1e-9)
+    } else {
+        1.0
+    };
+    for point in [&fleet_single, &fleet_default] {
+        println!(
+            "  {:>2} worker(s): {:>10.0} frames/sec",
+            point.workers, point.frames_per_sec
+        );
+    }
+    println!(
+        "  fleet speedup at {} worker(s): {fleet_speedup:.2}x",
+        default_workers.get()
+    );
+
     let scenario =
         workloads::video::stationary().with_duration(SimDuration::from_secs(E2E_SECONDS));
     let config = approxcache::PipelineConfig::calibrated(&scenario, MASTER_SEED);
@@ -541,6 +646,8 @@ fn main() {
         distance_reference_ns,
         concurrent: vec![single_lock, sharded],
         concurrent_speedup,
+        fleet: vec![fleet_single, fleet_default],
+        fleet_speedup,
         e2e_scenario: scenario.name.clone(),
         e2e_seconds: E2E_SECONDS,
         e2e_wall_ms,
@@ -561,6 +668,14 @@ fn main() {
              expected only on heavily loaded runners; the win comes from per-shard \
              indexes being ~{CONCURRENT_SHARDS}x smaller, not from parallelism)",
             run.concurrent_speedup
+        );
+    }
+    if run.fleet_speedup < 2.5 {
+        println!(
+            "\nnote: fleet speedup at {} worker(s) is {:.2}x (< 2.5x — expected on \
+             runners with few cores: the fleet engine's parallel phases scale with \
+             physical cores, and a 1-core runner has nothing to parallelize onto)",
+            run.threads, run.fleet_speedup
         );
     }
 

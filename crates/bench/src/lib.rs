@@ -11,6 +11,7 @@
 
 pub mod parallel;
 pub mod perf;
+pub mod sweep;
 pub mod trajectory;
 pub mod verify;
 

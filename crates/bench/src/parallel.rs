@@ -1,147 +1,8 @@
-//! A dependency-free deterministic job pool.
+//! Deterministic job pool — re-exported from [`simcore::parallel`].
 //!
-//! Experiments and claim checks are embarrassingly parallel: every job is
-//! a self-contained simulation with its own seed, and nothing about a
-//! job's *result* depends on when or where it ran. [`run_jobs_on`]
-//! exploits that: jobs are claimed from a shared cursor by a fixed set of
-//! scoped worker threads, and results land in a slot per job index — so
-//! the returned `Vec` is always in submission order, byte-identical to
-//! running the jobs sequentially, no matter how the scheduler interleaves
-//! the workers. Wall-clock drops from the sum of job times to roughly the
-//! longest chain a single worker picks up.
+//! The pool moved down into `simcore` so the fleet engine in
+//! `approxcache` can fan shards out on the same workers that
+//! `verify_claims` and `run_all` use; experiment binaries keep
+//! addressing it as `bench::parallel`.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// The worker count [`run_jobs`] uses: one per available core.
-pub fn default_threads() -> NonZeroUsize {
-    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
-}
-
-/// Runs `jobs` across [`default_threads`] workers; results come back in
-/// submission order. See [`run_jobs_on`].
-pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    run_jobs_on(default_threads(), jobs)
-}
-
-/// Runs `jobs` on up to `threads` scoped worker threads and returns the
-/// results in submission order (index `i` of the output is job `i`'s
-/// result, regardless of which worker ran it or when it finished).
-///
-/// With one thread — or one job — this degenerates to a plain sequential
-/// loop on the calling thread, so a single-core runner pays no
-/// synchronization cost.
-///
-/// # Panics
-///
-/// If a job panics, the panic is propagated to the caller once all
-/// workers have stopped (the behaviour of [`std::thread::scope`]).
-pub fn run_jobs_on<T, F>(threads: NonZeroUsize, jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let total = jobs.len();
-    let workers = threads.get().min(total);
-    if workers <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
-    }
-
-    // One take-once cell per job, one write-once slot per result. The
-    // cursor hands out job indexes; a worker runs its claimed job
-    // *outside* any lock, then deposits the result at the same index.
-    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let job = queue
-                    .get(i)
-                    .and_then(|cell| cell.lock().ok())
-                    .and_then(|mut guard| guard.take());
-                let Some(job) = job else { continue };
-                let result = job();
-                if let Some(slot) = slots.get(i) {
-                    if let Ok(mut guard) = slot.lock() {
-                        *guard = Some(result);
-                    }
-                }
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| match slot.into_inner() {
-            Ok(Some(result)) => result,
-            // Unreachable: every index below `total` is claimed exactly
-            // once and a panicking job already propagated via the scope.
-            _ => unreachable!("job result missing"),
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn threads(n: usize) -> NonZeroUsize {
-        NonZeroUsize::new(n).expect("positive")
-    }
-
-    #[test]
-    fn results_come_back_in_submission_order() {
-        let jobs: Vec<_> = (0..50u64).map(|i| move || i * i).collect();
-        let results = run_jobs_on(threads(4), jobs);
-        let expected: Vec<u64> = (0..50).map(|i| i * i).collect();
-        assert_eq!(results, expected);
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        let make = || {
-            (0..32u64)
-                .map(|i| move || i.wrapping_mul(2654435761))
-                .collect::<Vec<_>>()
-        };
-        let sequential = run_jobs_on(threads(1), make());
-        let parallel = run_jobs_on(threads(8), make());
-        assert_eq!(sequential, parallel);
-    }
-
-    #[test]
-    fn more_threads_than_jobs_is_fine() {
-        let jobs: Vec<_> = (0..3u64).map(|i| move || i + 1).collect();
-        assert_eq!(run_jobs_on(threads(16), jobs), vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn empty_job_list_returns_empty() {
-        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = Vec::new();
-        assert!(run_jobs_on(threads(4), jobs).is_empty());
-    }
-
-    #[test]
-    fn boxed_jobs_heterogeneous_closures() {
-        // The harness submits boxed closures of differing captures.
-        let jobs: Vec<Box<dyn FnOnce() -> String + Send>> = vec![
-            Box::new(|| "alpha".to_owned()),
-            Box::new(|| format!("beta-{}", 2)),
-        ];
-        assert_eq!(
-            run_jobs(jobs),
-            vec!["alpha".to_owned(), "beta-2".to_owned()]
-        );
-    }
-}
+pub use simcore::parallel::{default_threads, run_jobs, run_jobs_on, run_labeled_jobs_on};

@@ -46,6 +46,9 @@ pub struct TrajectoryPoint {
     pub nsw_speedup_at_65536: Option<f64>,
     /// NSW recall@k against the exact oracle at the same frontier point.
     pub nsw_recall_at_65536: Option<f64>,
+    /// Fleet-throughput speedup at `default_threads()` workers over the
+    /// 1-worker baseline.
+    pub fleet_speedup: Option<f64>,
 }
 
 /// The snapshot path for 1-indexed run `n` under `dir`.
@@ -169,6 +172,7 @@ fn point_from_run(n: usize, run: &serde_json::Value) -> TrajectoryPoint {
         e2e_wall_ms: run["e2e_wall_ms"].as_f64(),
         nsw_speedup_at_65536,
         nsw_recall_at_65536: frontier_at("nsw", "recall_at_k"),
+        fleet_speedup: run["fleet_speedup"].as_f64(),
     }
 }
 
@@ -204,6 +208,7 @@ mod tests {
                 ]),
             ),
             ("concurrent_speedup", Value::from(2.4)),
+            ("fleet_speedup", Value::from(3.6)),
             ("e2e_wall_ms", Value::from(4.2)),
             (
                 "frontier",
@@ -273,6 +278,7 @@ mod tests {
         assert_eq!(points[0].label, "kernels");
         assert_eq!(points[0].lookup_speedup_at_4096, Some(3.19));
         assert_eq!(points[1].concurrent_speedup, Some(2.4));
+        assert_eq!(points[1].fleet_speedup, Some(3.6));
         assert_eq!(points[1].e2e_wall_ms, Some(4.2));
         // Frontier extraction: speedup is linear/nsw lookup_ns at 65 536
         // entries only — the 4096-entry NSW point must not be picked up.
@@ -291,6 +297,7 @@ mod tests {
         assert!(points[0].concurrent_speedup.is_none());
         assert!(points[0].nsw_speedup_at_65536.is_none());
         assert!(points[0].nsw_recall_at_65536.is_none());
+        assert!(points[0].fleet_speedup.is_none());
         std::fs::write(snapshot_path(&dir, 2), "not json").unwrap();
         assert!(read(&dir).is_err(), "broken snapshots must surface");
     }

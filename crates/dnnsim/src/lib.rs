@@ -73,7 +73,9 @@ pub struct Inference {
 /// Anything the caching pipeline can fall back to on a miss: a single
 /// network ([`DnnModel`]) or a big/little cascade ([`CascadeModel`]).
 /// Object-safe so devices can be configured with either at run time.
-pub trait InferenceBackend: Send {
+/// `Send + Sync` so a fleet shard can read devices it does not own
+/// (every method takes `&self`).
+pub trait InferenceBackend: Send + Sync {
     /// Runs one inference.
     fn infer(&self, descriptor: &FeatureVector, rng: &mut SimRng) -> Inference;
     /// The nominal (planning) latency — for cascades, the no-escalation

@@ -1,0 +1,169 @@
+//! Deterministic per-round boundary exchange for sharded gossip.
+//!
+//! When a device population is partitioned into shards that run
+//! concurrently, gossip (discovery beacons, advertisement entries)
+//! raised inside a round cannot be applied to its receiver immediately:
+//! the receiver may live in another shard that is mid-round on another
+//! thread, and even in-shard application order would depend on
+//! processing order. The fleet engine therefore routes *all* gossip
+//! through a [`BoundaryExchange`]: shards emit [`Envelope`]s into
+//! per-shard outboxes during the parallel phase, the coordinator posts
+//! them between rounds, and [`drain_due`](BoundaryExchange::drain_due)
+//! hands back everything due at the barrier in one canonical order —
+//! `(deliver_at, receiver, sender, seq)` — so the applied sequence is a
+//! pure function of the envelopes' *contents*, never of shard count,
+//! thread interleaving or post order.
+
+use simcore::SimTime;
+
+/// One gossip message in flight between round barriers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Barrier time at (or after) which the message is applied.
+    pub deliver_at: SimTime,
+    /// Receiving device, by global device index.
+    pub receiver: u64,
+    /// Sending device, by global device index.
+    pub sender: u64,
+    /// Per-sender emission sequence number — breaks ties between two
+    /// messages from the same sender to the same receiver due at the
+    /// same barrier.
+    pub seq: u64,
+    /// The gossip payload (a beacon marker, a wire entry, …).
+    pub payload: T,
+}
+
+impl<T> Envelope<T> {
+    /// The canonical ordering key.
+    fn key(&self) -> (SimTime, u64, u64, u64) {
+        (self.deliver_at, self.receiver, self.sender, self.seq)
+    }
+}
+
+/// A deterministic round-barrier mailbox. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BoundaryExchange<T> {
+    pending: Vec<Envelope<T>>,
+}
+
+impl<T> Default for BoundaryExchange<T> {
+    fn default() -> Self {
+        BoundaryExchange::new()
+    }
+}
+
+impl<T> BoundaryExchange<T> {
+    /// An empty exchange.
+    pub fn new() -> BoundaryExchange<T> {
+        BoundaryExchange {
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queues one envelope.
+    pub fn post(&mut self, envelope: Envelope<T>) {
+        self.pending.push(envelope);
+    }
+
+    /// Queues a batch of envelopes (e.g. one shard's outbox).
+    pub fn extend(&mut self, envelopes: impl IntoIterator<Item = Envelope<T>>) {
+        self.pending.extend(envelopes);
+    }
+
+    /// Number of envelopes still in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes and returns every envelope with `deliver_at <= now`,
+    /// sorted by the canonical `(deliver_at, receiver, sender, seq)`
+    /// key. The result is independent of the order in which envelopes
+    /// were posted.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<Envelope<T>> {
+        let mut due = Vec::new();
+        let mut keep = Vec::with_capacity(self.pending.len());
+        for envelope in self.pending.drain(..) {
+            if envelope.deliver_at <= now {
+                due.push(envelope);
+            } else {
+                keep.push(envelope);
+            }
+        }
+        self.pending = keep;
+        due.sort_by_key(Envelope::key);
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + simcore::SimDuration::from_millis(ms)
+    }
+
+    fn envelope(ms: u64, receiver: u64, sender: u64, seq: u64) -> Envelope<&'static str> {
+        Envelope {
+            deliver_at: at(ms),
+            receiver,
+            sender,
+            seq,
+            payload: "ad",
+        }
+    }
+
+    #[test]
+    fn drain_is_canonically_ordered_and_post_order_independent() {
+        let batch = vec![
+            envelope(5, 2, 1, 0),
+            envelope(5, 1, 9, 0),
+            envelope(3, 7, 7, 1),
+            envelope(5, 1, 4, 2),
+            envelope(5, 1, 4, 1),
+        ];
+        let mut forward = BoundaryExchange::new();
+        forward.extend(batch.clone());
+        let mut reverse = BoundaryExchange::new();
+        reverse.extend(batch.into_iter().rev());
+        let drained = forward.drain_due(at(5));
+        assert_eq!(drained, reverse.drain_due(at(5)));
+        let keys: Vec<(u64, u64, u64)> = drained
+            .iter()
+            .map(|e| (e.receiver, e.sender, e.seq))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(7, 7, 1), (1, 4, 1), (1, 4, 2), (1, 9, 0), (2, 1, 0)],
+            "sorted by (deliver_at, receiver, sender, seq)"
+        );
+    }
+
+    #[test]
+    fn undue_envelopes_stay_queued() {
+        let mut exchange = BoundaryExchange::new();
+        exchange.post(envelope(10, 1, 2, 0));
+        exchange.post(envelope(2, 3, 4, 0));
+        assert_eq!(exchange.len(), 2);
+        let due = exchange.drain_due(at(5));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due.first().map(|e| e.receiver), Some(3));
+        assert_eq!(exchange.len(), 1);
+        assert!(!exchange.is_empty());
+        let rest = exchange.drain_due(at(10));
+        assert_eq!(rest.len(), 1);
+        assert!(exchange.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let exchange: BoundaryExchange<u8> = BoundaryExchange::default();
+        assert!(exchange.is_empty());
+        assert_eq!(exchange.len(), 0);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod discovery;
 pub mod error;
+pub mod exchange;
 pub mod faults;
 pub mod link;
 pub mod protocol;
@@ -38,11 +39,12 @@ pub mod transport;
 
 pub use discovery::{Discovery, DiscoveryConfig, NeighborTable};
 pub use error::ConfigError;
+pub use exchange::{BoundaryExchange, Envelope};
 pub use faults::{
     BreakerConfig, CircuitBreaker, DarkFallback, FaultConfig, FaultEpisode, FaultSchedule,
     ResilienceConfig, ResilienceCounters, RetryPolicy,
 };
 pub use link::LinkSpec;
 pub use protocol::{DecodeError, P2pMessage, RemoteHit, WireEntry};
-pub use proximity::ProximityModel;
+pub use proximity::{ProximityGrid, ProximityModel};
 pub use transport::{RetryOutcome, Transport, TransportCounters};

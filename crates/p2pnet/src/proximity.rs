@@ -65,6 +65,123 @@ impl ProximityModel {
     }
 }
 
+/// A grid-bucketed spatial index over one round's device positions.
+///
+/// [`ProximityModel::neighbors`] scans every device, which is O(n) per
+/// query and O(n²) per round — fine for a handful of devices, fatal for
+/// a fleet. The grid buckets positions into square cells one radio
+/// range wide, so a query only examines the 3×3 cell block around the
+/// querier (everything in range lies inside it by construction). With
+/// bounded local density that is O(1) per query.
+///
+/// Results are *exactly* [`ProximityModel::neighbors`]' answer — same
+/// membership, same nearest-first `(distance², index)` order — pinned
+/// by test, so the fleet engine and the legacy sim agree on who talks
+/// to whom.
+#[derive(Debug, Clone)]
+pub struct ProximityGrid {
+    model: ProximityModel,
+    cell: f64,
+    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    positions: Vec<(f64, f64)>,
+}
+
+impl ProximityGrid {
+    /// Buckets `positions` into range-sized cells.
+    pub fn build(model: ProximityModel, positions: &[(f64, f64)]) -> ProximityGrid {
+        let cell = model.range_m();
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            buckets.entry(cell_of(p, cell)).or_default().push(i as u32);
+        }
+        ProximityGrid {
+            model,
+            cell,
+            buckets,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// The underlying disk model.
+    pub fn model(&self) -> &ProximityModel {
+        &self.model
+    }
+
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no positions were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The indexed position of device `of`, if in range.
+    pub fn position(&self, of: usize) -> Option<(f64, f64)> {
+        self.positions.get(of).copied()
+    }
+
+    /// Indices of all devices in range of device `of` (excluding
+    /// itself), nearest first — bit-identical to
+    /// [`ProximityModel::neighbors`] on the same positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is out of range.
+    pub fn neighbors(&self, of: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.neighbors_into(of, &mut out);
+        out
+    }
+
+    /// [`neighbors`](Self::neighbors) into a caller-provided buffer
+    /// (cleared first), so a per-shard scratch vector survives the whole
+    /// round without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is out of range.
+    pub fn neighbors_into(&self, of: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let Some(&me) = self.positions.get(of) else {
+            panic!("neighbors: index {of} out of range");
+        };
+        let r2 = self.model.range_m() * self.model.range_m();
+        let (cx, cy) = cell_of(me, self.cell);
+        let mut found: Vec<(u32, f64)> = Vec::new();
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &i in bucket {
+                    if i as usize == of {
+                        continue;
+                    }
+                    let Some(&p) = self.positions.get(i as usize) else {
+                        continue;
+                    };
+                    let ddx = me.0 - p.0;
+                    let ddy = me.1 - p.1;
+                    let d2 = ddx * ddx + ddy * ddy;
+                    if d2 <= r2 {
+                        found.push((i, d2));
+                    }
+                }
+            }
+        }
+        found.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.extend(found.iter().map(|&(i, _)| i as usize));
+    }
+}
+
+/// The grid cell containing `p` for the given cell width.
+fn cell_of(p: (f64, f64), cell: f64) -> (i64, i64) {
+    ((p.0 / cell).floor() as i64, (p.1 / cell).floor() as i64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +241,75 @@ mod tests {
     #[allow(clippy::float_cmp)]
     fn accessor() {
         assert_eq!(ProximityModel::new(7.5).range_m(), 7.5);
+    }
+
+    /// Deterministic pseudo-random positions without pulling in an RNG:
+    /// a splitmix-style scramble of the index.
+    fn scrambled_positions(count: usize, spread: f64) -> Vec<(f64, f64)> {
+        (0..count as u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^= z >> 27;
+                let x = (z & 0xffff) as f64 / 65535.0 * spread;
+                let y = ((z >> 16) & 0xffff) as f64 / 65535.0 * spread;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_exhaustive_scan_exactly() {
+        for range in [3.0, 10.0, 45.0] {
+            let model = ProximityModel::new(range);
+            let positions = scrambled_positions(200, 100.0);
+            let grid = ProximityGrid::build(model, &positions);
+            for of in 0..positions.len() {
+                assert_eq!(
+                    grid.neighbors(of),
+                    model.neighbors(&positions, of),
+                    "range {range}, device {of}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates_and_boundaries() {
+        let model = ProximityModel::new(10.0);
+        // Straddle cell boundaries exactly at multiples of the range.
+        let positions = [
+            (-10.0, -10.0),
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.01, 0.0),
+            (-0.01, 0.0),
+            (20.0, 20.0),
+        ];
+        let grid = ProximityGrid::build(model, &positions);
+        for of in 0..positions.len() {
+            assert_eq!(grid.neighbors(of), model.neighbors(&positions, of));
+        }
+        assert_eq!(grid.len(), positions.len());
+        assert!(!grid.is_empty());
+        assert_eq!(grid.position(1), Some((0.0, 0.0)));
+        assert_eq!(grid.position(99), None);
+    }
+
+    #[test]
+    fn grid_neighbors_into_reuses_the_buffer() {
+        let model = ProximityModel::new(50.0);
+        let positions = scrambled_positions(40, 60.0);
+        let grid = ProximityGrid::build(model, &positions);
+        let mut buffer = vec![7usize; 3];
+        grid.neighbors_into(0, &mut buffer);
+        assert_eq!(buffer, model.neighbors(&positions, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grid_neighbors_validates_index() {
+        let grid = ProximityGrid::build(ProximityModel::new(5.0), &[(0.0, 0.0)]);
+        grid.neighbors(1);
     }
 }

@@ -4,6 +4,7 @@
 use std::cmp::Reverse;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -145,6 +146,12 @@ struct Shard<L> {
 pub struct ShardedCache<L> {
     config: ConcurrentConfig,
     shards: Vec<Mutex<Shard<L>>>,
+    /// Bumped whenever cached *contents* (entries or the hit threshold)
+    /// may have changed — inserts, clears, non-empty expiry sweeps,
+    /// threshold updates. Read-side operations never bump it, so callers
+    /// holding a derived view (e.g. a fleet round's frozen peer view)
+    /// can cheaply detect staleness.
+    version: AtomicU64,
 }
 
 impl<L> fmt::Debug for ShardedCache<L> {
@@ -188,12 +195,28 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
                 Mutex::new(Shard { cache, lfu })
             })
             .collect();
-        ShardedCache { config, shards }
+        ShardedCache {
+            config,
+            shards,
+            version: AtomicU64::new(0),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ConcurrentConfig {
         &self.config
+    }
+
+    /// A counter that advances whenever cached contents may have
+    /// changed (insert, clear, non-empty expiry sweep, threshold
+    /// update). Two equal readings bracket a window in which every
+    /// lookup against this cache would have seen the same entries.
+    pub fn contents_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Number of shards.
@@ -239,23 +262,29 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
         now: SimTime,
     ) -> InsertOutcome {
         let (idx, sig) = self.home_of(&key);
-        let mut guard = self.shard(idx).lock();
-        let Shard { cache, lfu } = &mut *guard;
-        match lfu {
-            Some(lfu) => {
-                lfu.note(sig);
-                lfu.flush();
-                let lfu = &*lfu;
-                let cell = self.config.bucket_cell;
-                let estimate = move |k: &FeatureVector| lfu.estimate(route_signature(k, cell));
-                let gate = FrequencyGate {
-                    candidate: lfu.estimate(sig),
-                    estimate: &estimate,
-                };
-                cache.insert_gated(key, label, confidence, source, now, Some(gate))
+        let outcome = {
+            let mut guard = self.shard(idx).lock();
+            let Shard { cache, lfu } = &mut *guard;
+            match lfu {
+                Some(lfu) => {
+                    lfu.note(sig);
+                    lfu.flush();
+                    let lfu = &*lfu;
+                    let cell = self.config.bucket_cell;
+                    let estimate = move |k: &FeatureVector| lfu.estimate(route_signature(k, cell));
+                    let gate = FrequencyGate {
+                        candidate: lfu.estimate(sig),
+                        estimate: &estimate,
+                    };
+                    cache.insert_gated(key, label, confidence, source, now, Some(gate))
+                }
+                None => cache.insert(key, label, confidence, source, now),
             }
-            None => cache.insert(key, label, confidence, source, now),
+        };
+        if outcome.entry().is_some() {
+            self.bump_version();
         }
+        outcome
     }
 
     /// Merged operation counters, accumulated in ascending shard order.
@@ -289,6 +318,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
             let mut guard = shard.lock();
             guard.cache.clear();
         }
+        self.bump_version();
     }
 
     /// Sweeps every shard for entries older than `max_age`, returning
@@ -298,6 +328,9 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
         for shard in &self.shards {
             let mut guard = shard.lock();
             total += guard.cache.expire_older_than(now, max_age);
+        }
+        if total > 0 {
+            self.bump_version();
         }
         total
     }
@@ -319,6 +352,7 @@ impl<L: Copy + Eq + Hash + fmt::Debug> ShardedCache<L> {
             let mut guard = shard.lock();
             guard.cache.set_distance_threshold(threshold);
         }
+        self.bump_version();
     }
 
     /// Switches cost-aware eviction on or off on every shard.

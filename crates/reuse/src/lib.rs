@@ -58,8 +58,6 @@ pub use evict::EvictionPolicy;
 pub use shared::SharedCache;
 pub use snapshot::CacheSnapshot;
 pub use stats::CacheStats;
-#[allow(deprecated)]
-pub use store::IndexKind;
 pub use store::{
     ApproxCache, CacheConfig, FrequencyGate, IndexConfig, IndexMigration, InsertOutcome,
     LookupResult,

@@ -74,6 +74,44 @@ impl<L: Copy + Eq + Hash + fmt::Debug> SharedCache<L> {
         self.inner.shard_count()
     }
 
+    /// A counter that advances whenever cached contents may have changed
+    /// — see [`ShardedCache::contents_version`].
+    pub fn contents_version(&self) -> u64 {
+        self.inner.contents_version()
+    }
+
+    /// A self-contained read-mostly copy of this cache's current
+    /// contents, built for peer queries against a fixed point in time
+    /// (the fleet engine rebuilds one per device per round, gated on
+    /// [`contents_version`](Self::contents_version)).
+    ///
+    /// The view keeps the owner's routing (shard count, bucket cell),
+    /// index configuration and distance threshold, but admits
+    /// unconditionally with headroom capacity so every owned entry
+    /// survives the copy, and drops frequency admission — lookups against
+    /// the view answer like the owner while their recency/statistics
+    /// side-effects land on the discarded view instead of the owner.
+    pub fn frozen_view(&self, now: SimTime) -> SharedCache<L> {
+        let snapshot = self.inner.snapshot(now);
+        let owner = self.inner.config();
+        let mut cache = owner.cache.clone();
+        // Per-shard capacity is `total / shards` rounded up; giving each
+        // shard the full entry count guarantees no view-side eviction no
+        // matter how skewed the routing is.
+        cache.capacity = snapshot.len().max(1) * owner.shards.max(1);
+        cache.admission = crate::AdmissionPolicy::admit_all();
+        let view = SharedCache::with_concurrency(ConcurrentConfig {
+            cache,
+            shards: owner.shards,
+            frequency: None,
+            sketch_seed: owner.sketch_seed,
+            bucket_cell: owner.bucket_cell,
+        });
+        view.set_distance_threshold(self.distance_threshold());
+        view.restore(&snapshot, now);
+        view
+    }
+
     /// Looks up `key` in its home shard (see [`ShardedCache::lookup`]).
     pub fn lookup(&self, key: &FeatureVector, now: SimTime) -> LookupResult<L> {
         self.inner.lookup(key, now)
@@ -270,6 +308,60 @@ mod tests {
         }
         assert_eq!(shared.len(), 200);
         assert_eq!(shared.stats().inserts, 200);
+    }
+
+    #[test]
+    fn contents_version_tracks_mutations_not_reads() {
+        let shared: SharedCache<u32> = SharedCache::new(CacheConfig::new(4));
+        let v0 = shared.contents_version();
+        shared.insert(
+            fv(&[0.0, 0.0]),
+            5,
+            0.9,
+            EntrySource::LocalInference,
+            SimTime::ZERO,
+        );
+        let v1 = shared.contents_version();
+        assert!(v1 > v0, "insert bumps the version");
+        let _ = shared.lookup(&fv(&[0.1, 0.0]), SimTime::from_millis(1));
+        let _ = shared.peek_nearest(&fv(&[0.1, 0.0]));
+        assert_eq!(shared.contents_version(), v1, "reads do not bump it");
+        shared.clear();
+        assert!(shared.contents_version() > v1, "clear bumps the version");
+    }
+
+    #[test]
+    fn frozen_view_answers_like_the_owner_without_touching_it() {
+        let shared: SharedCache<u32> = SharedCache::new(
+            CacheConfig::new(16).with_admission(crate::AdmissionPolicy::admit_all()),
+        );
+        for i in 0..6 {
+            shared.insert(
+                fv(&[i as f32 * 10.0, 0.0]),
+                i,
+                0.9,
+                EntrySource::LocalInference,
+                SimTime::from_millis(i as u64),
+            );
+        }
+        let stats_before = shared.stats();
+        let version_before = shared.contents_version();
+        let view = shared.frozen_view(SimTime::from_secs(1));
+        assert_eq!(view.len(), shared.len());
+        for i in 0..6u32 {
+            let hit = view.lookup(&fv(&[i as f32 * 10.0, 0.0]), SimTime::from_secs(2));
+            assert_eq!(hit.label(), Some(&i), "view key {i}");
+        }
+        assert_eq!(
+            shared.stats(),
+            stats_before,
+            "view lookups leave the owner's statistics alone"
+        );
+        assert_eq!(shared.contents_version(), version_before);
+        assert!(
+            (view.distance_threshold() - shared.distance_threshold()).abs() < 1e-12,
+            "view copies the owner's hit threshold"
+        );
     }
 
     #[test]

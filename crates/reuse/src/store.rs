@@ -19,15 +19,6 @@ use crate::stats::CacheStats;
 use crate::victim::{EntryMeta, VictimChoice, VictimIndex};
 use crate::weight::Weighter;
 
-/// Deprecated name for the index selection enum, which now lives in
-/// `ann` (the crate that owns the indexes) as [`IndexConfig`]. The
-/// variant set and serde encoding are unchanged.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ann::IndexConfig (re-exported as reuse::IndexConfig)"
-)]
-pub type IndexKind = IndexConfig;
-
 /// One-way adaptive index migration.
 ///
 /// A cache starts on the configured [`CacheConfig::index`] (linear scan

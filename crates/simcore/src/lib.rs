@@ -28,8 +28,10 @@
 //! assert_eq!(t.as_millis(), 2);
 //! ```
 
+pub mod digest;
 pub mod event;
 pub mod metrics;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -37,6 +39,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use digest::LatencyDigest;
 pub use event::EventQueue;
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use rng::SimRng;

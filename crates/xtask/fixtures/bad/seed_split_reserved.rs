@@ -1,0 +1,14 @@
+//! Known-bad fixture for rule S's reserved labels. Linted outside the
+//! fleet engine, both `"shard"` splits are rejected outright; linted
+//! *as* the fleet engine, the label is keyed file-globally, so the
+//! second site collides with the first even though the fns differ.
+
+fn lanes_a(root: &SimRng) {
+    let lane = root.split_index("shard", 0);
+    drop(lane);
+}
+
+fn lanes_b(root: &SimRng) {
+    let lane = root.split_index("shard", 0);
+    drop(lane);
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture for rule S's reserved labels: the fleet engine
+//! derives one `"shard"` lane stream per shard index (the index keeps
+//! the sites distinct even under file-global keying), alongside its
+//! ordinary labeled streams.
+
+fn lanes(root: &SimRng, shards: usize) {
+    for s in 0..shards {
+        let lane = root.split_index("shard", s);
+        drop(lane);
+    }
+    let world = root.split("fleet-world");
+    let faults = root.split("fleet-faults");
+    drop((world, faults));
+}
+
+fn beacons(root: &SimRng) {
+    let rx = root.split_index("shard", 1);
+    drop(rx);
+}

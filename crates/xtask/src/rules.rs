@@ -100,6 +100,12 @@ const SIM_CRATES: &[&str] = &[
     "workloads",
 ];
 
+/// Individual harness files held to the *full* rule D even though their
+/// crate is not a simulation crate: the sweep orchestrator's cell seeds
+/// and resume-merge must replay byte-identically, so it gets the RNG
+/// and hash-order checks too.
+const SIM_FILES: &[&str] = &["crates/bench/src/sweep.rs"];
+
 /// Harness crates where only rule D's wall-clock check applies: their
 /// results must not depend on host timing, but they orchestrate rather
 /// than simulate, so the RNG and hash-order checks stay out.
@@ -112,6 +118,13 @@ const WALL_CLOCK_MEASUREMENT_FILES: &[&str] = &[
     "crates/bench/src/perf.rs",
     "crates/bench/src/bin/perf_smoke.rs",
 ];
+
+/// Split labels reserved for one home file. The fleet engine's lane
+/// streams own `"shard"`: a `split("shard")` anywhere else would read
+/// as (and could silently correlate with) a per-shard stream, so rule S
+/// rejects it outright, and inside the home file the label is keyed
+/// file-globally — two `"shard"` sites in different fns still collide.
+const RESERVED_SPLIT_LABELS: &[(&str, &str)] = &[("\"shard\"", "crates/approxcache/src/fleet.rs")];
 
 /// Hot-path crates where rule P applies.
 const PANIC_CRATES: &[&str] = &["reuse", "approxcache", "p2pnet"];
@@ -392,10 +405,11 @@ fn push(
 
 /// Rule D. Flags wall-clock types, ambient RNG construction, and
 /// iteration over identifiers declared as `HashMap`/`HashSet`. The full
-/// rule applies to simulation crates; harness crates get the wall-clock
-/// half only, with the perf measurement files carved out.
+/// rule applies to simulation crates (plus [`SIM_FILES`]); harness
+/// crates get the wall-clock half only, with the perf measurement files
+/// carved out.
 fn check_determinism(ctx: &FileContext, out: &mut Vec<Violation>) {
-    let sim = SIM_CRATES.contains(&ctx.crate_name());
+    let sim = SIM_CRATES.contains(&ctx.crate_name()) || SIM_FILES.contains(&ctx.rel_path.as_str());
     let wall_clock = sim
         || (WALL_CLOCK_CRATES.contains(&ctx.crate_name())
             && !WALL_CLOCK_MEASUREMENT_FILES.contains(&ctx.rel_path.as_str()));
@@ -720,7 +734,9 @@ fn check_locks(ctx: &FileContext, out: &mut Vec<Violation>) {
 /// labels cannot be checked lexically and are skipped. Constructor
 /// chains with a single literal argument (`SimRng::seed(7).split(..)`)
 /// keep the literal in the parent key, so differently seeded banks with
-/// the same label are not false positives.
+/// the same label are not false positives. Labels in
+/// [`RESERVED_SPLIT_LABELS`] are rejected outside their home file and
+/// keyed file-globally inside it.
 fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
     let tokens = ctx.tokens();
     let tree = ctx.tree();
@@ -740,6 +756,31 @@ fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
         if label_tok.kind != TokenKind::Literal || !label_tok.text.starts_with('"') {
             continue;
         }
+        // Reserved labels: outside the home file the split is rejected
+        // outright; inside it the site is keyed file-globally (scope and
+        // receiver dropped), so two sites in different fns still collide.
+        let reserved = RESERVED_SPLIT_LABELS
+            .iter()
+            .find(|&&(label, _)| label == label_tok.text);
+        if let Some(&(label, home)) = reserved {
+            if ctx.rel_path != home {
+                if !ctx.allowed(Rule::SeedSplit, method.line) {
+                    push(
+                        ctx,
+                        out,
+                        Rule::SeedSplit,
+                        method.line,
+                        format!(
+                            "split label {label} is reserved for {home} — a stream split \
+                             here would masquerade as a per-shard lane stream"
+                        ),
+                        "pick a label that names this stream's own purpose; \"shard\" \
+                         belongs to the fleet engine's lane RNGs",
+                    );
+                }
+                continue;
+            }
+        }
         let mut label = label_tok.text.clone();
         if method.is_ident("split_index") {
             // The index argument disambiguates: `("device", 0)` and
@@ -751,11 +792,18 @@ fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
                 }
             }
         }
-        let scope = tree
-            .enclosing_fn(i)
-            .map(|f| f.name.clone())
-            .unwrap_or_else(|| "<file>".to_string());
-        let mut recv = receiver_chain(tokens, tree, i);
+        let scope = if reserved.is_some() {
+            "<file>".to_string()
+        } else {
+            tree.enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "<file>".to_string())
+        };
+        let mut recv = if reserved.is_some() {
+            "<reserved>".to_string()
+        } else {
+            receiver_chain(tokens, tree, i)
+        };
         // Constructor-chain parents: `receiver_chain` collapses call
         // groups, so `SimRng::seed(1).split("x")` and
         // `SimRng::seed(2).split("x")` would both key as
@@ -765,7 +813,7 @@ fn check_seed_splits(ctx: &FileContext, out: &mut Vec<Violation>) {
         // argument, keep the literal in the key; non-literal arguments
         // still collapse, so duplicated `seed(config.seed)` chains with
         // the same label are flagged as before.
-        if i > 0 && tokens[i - 1].is_punct(')') {
+        if reserved.is_none() && i > 0 && tokens[i - 1].is_punct(')') {
             if let Some(open) = tree.match_of(i - 1) {
                 if open + 2 == i - 1 && tokens[open + 1].kind == TokenKind::Literal {
                     recv.push('#');

@@ -87,6 +87,28 @@ fn perf_measurement_files_may_read_the_wall_clock() {
 }
 
 #[test]
+fn sweep_module_gets_the_full_determinism_rule() {
+    // The sweep orchestrator lives in the bench crate but its cell
+    // seeds and resume-merge must replay byte-identically, so it is
+    // held to the full rule: wall clock, ambient RNG, and hash-order
+    // iteration all fire.
+    let hits = lint("bad", "determinism", "crates/bench/src/sweep.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Determinism)
+        .map(|&(_, l)| l)
+        .collect();
+    for (line, what) in [
+        (11, "Instant::now"),
+        (12, "SimRng::default"),
+        (13, "thread_rng"),
+        (15, "HashMap iteration"),
+    ] {
+        assert!(lines.contains(&line), "{what} line, got {lines:?}");
+    }
+}
+
+#[test]
 fn bad_units_fires() {
     let hits = lint("bad", "units", "crates/dnnsim/src/fixture.rs", 0);
     let lines: Vec<usize> = hits
@@ -307,6 +329,56 @@ fn bad_seed_split_fires() {
 #[test]
 fn good_seed_split_is_clean() {
     let hits = lint("good", "seed_split", "crates/approxcache/src/fixture.rs", 0);
+    assert!(hits.is_empty(), "got {hits:?}");
+}
+
+#[test]
+fn reserved_shard_label_is_rejected_outside_the_fleet_engine() {
+    let hits = lint(
+        "bad",
+        "seed_split_reserved",
+        "crates/p2pnet/src/fixture.rs",
+        0,
+    );
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::SeedSplit)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![7, 12],
+        "every out-of-home \"shard\" split must fire, got {hits:?}"
+    );
+}
+
+#[test]
+fn reserved_shard_label_is_keyed_file_globally_in_its_home() {
+    // Same fixture linted as the fleet engine itself: the two sites sit
+    // in different fns, which the ordinary per-fn key would allow — the
+    // reserved label collapses the scope, so the second site collides.
+    let hits = lint(
+        "bad",
+        "seed_split_reserved",
+        "crates/approxcache/src/fleet.rs",
+        0,
+    );
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::SeedSplit)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(lines, vec![12], "got {hits:?}");
+}
+
+#[test]
+fn good_reserved_shard_label_is_clean_in_its_home() {
+    let hits = lint(
+        "good",
+        "seed_split_reserved",
+        "crates/approxcache/src/fleet.rs",
+        0,
+    );
     assert!(hits.is_empty(), "got {hits:?}");
 }
 
