@@ -45,6 +45,35 @@ echo "$SWEEP_RESUME"
 echo "$SWEEP_RESUME" | grep -q '0 ran now, 4 resumed from disk' \
     || echo "warning: sweep resume pass re-ran cells (informational)" >&2
 
+echo "== edge smoke (informational: real TCP server round-trip) =="
+# Never gates: spawns edge-server on an ephemeral port, drives one
+# batched insert/lookup/gossip session through edge-client, and asserts
+# a clean /shutdown.
+EDGE_LOG="$SWEEP_DIR/edge-server.log"
+if cargo build --release -q -p edge --bins; then
+    ./target/release/edge-server --allow-shutdown >"$EDGE_LOG" &
+    EDGE_PID=$!
+    EDGE_ADDR=""
+    for _ in $(seq 1 50); do
+        EDGE_ADDR="$(sed -n 's/^listening on //p' "$EDGE_LOG")"
+        [ -n "$EDGE_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -n "$EDGE_ADDR" ]; then
+        ./target/release/edge-client --addr "$EDGE_ADDR" smoke \
+            || echo "warning: edge smoke round-trip failed (informational)" >&2
+        ./target/release/edge-client --addr "$EDGE_ADDR" shutdown || true
+        wait "$EDGE_PID" || true
+        grep -q 'shut down cleanly' "$EDGE_LOG" \
+            || echo "warning: edge-server did not shut down cleanly (informational)" >&2
+    else
+        kill "$EDGE_PID" 2>/dev/null || true
+        echo "warning: edge-server never reported its address (informational)" >&2
+    fi
+else
+    echo "warning: edge bins failed to build (informational)" >&2
+fi
+
 echo "== miri (informational: concurrent store under the interpreter) =="
 # Never gates: nightly + Miri are optional on CI boxes. When present,
 # interprets the sharded-store suite to catch UB the type system can't.

@@ -103,6 +103,48 @@ impl Default for PeerConfig {
     }
 }
 
+/// Edge-tier parameters: one shared cache a WAN hop away from every
+/// device (the third tier between the local cache and the P2P
+/// neighbourhood — see `crates/edge`).
+///
+/// `None` on [`PipelineConfig::edge`] (the default) keeps the pipeline
+/// byte-identical to the edge-free system; when set, a device that
+/// missed both its local cache and its peers batches a lookup to the
+/// edge before falling back to inference, and pushes fresh inference
+/// results (plus optional gossip ads) back up.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EdgeConfig {
+    /// The WAN link between a device and the edge server.
+    pub link: LinkSpec,
+    /// Edge cache capacity in entries.
+    pub capacity: usize,
+    /// Most request frames the edge admits in flight before shedding
+    /// with an overload rejection.
+    pub queue_limit: usize,
+    /// Latency budget for the edge round-trip, as a fraction of the
+    /// model's nominal inference latency — the same economics guard as
+    /// [`PeerConfig::query_budget_fraction`], but permissive by default
+    /// because one WAN round-trip replaces an entire inference.
+    pub query_budget_fraction: f64,
+    /// Push fresh inference results up to the edge.
+    pub insert_on_inference: bool,
+    /// Also relay peer-learned results as gossip advertisements.
+    pub gossip_ads: bool,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            link: LinkSpec::wan(),
+            capacity: 4_096,
+            queue_limit: 4_096,
+            query_budget_fraction: 0.8,
+            insert_on_inference: true,
+            gossip_ads: true,
+        }
+    }
+}
+
 /// The cheap scene-change check that guards the IMU fast path.
 ///
 /// "Inertially still" does not imply "scene unchanged": an occluder can
@@ -193,6 +235,9 @@ pub struct PipelineConfig {
     /// Weigh eviction victims by bytes × expected recompute latency of
     /// the configured model instead of pure recency/frequency.
     pub cost_aware_eviction: bool,
+    /// Edge cache tier over a WAN link (None — the default — disables
+    /// the tier entirely, preserving golden-result byte identity).
+    pub edge: Option<EdgeConfig>,
 }
 
 impl PipelineConfig {
@@ -220,6 +265,7 @@ impl PipelineConfig {
             cache_shards: 1,
             frequency_admission: None,
             cost_aware_eviction: false,
+            edge: None,
         }
     }
 
@@ -356,6 +402,12 @@ impl PipelineConfig {
     /// eviction weighting.
     pub fn with_cost_aware_eviction(mut self, enabled: bool) -> PipelineConfig {
         self.cost_aware_eviction = enabled;
+        self
+    }
+
+    /// Enables or disables the edge cache tier.
+    pub fn with_edge(mut self, edge: Option<EdgeConfig>) -> PipelineConfig {
+        self.edge = edge;
         self
     }
 

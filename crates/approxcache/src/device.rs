@@ -189,6 +189,19 @@ pub struct Device {
     /// delivered)` pairs; drained by the simulation for circuit-breaker
     /// feedback. Only recorded when a breaker is configured.
     peer_outcomes: Vec<(usize, bool)>,
+    /// Edge-tier state (None — the default — keeps the device
+    /// byte-identical to the edge-free pipeline).
+    edge: Option<EdgeState>,
+}
+
+/// Per-device edge-tier state: the shared cache handle, the WAN
+/// transport to reach it, and the device-side counters the simulation
+/// reconciles against the server's.
+struct EdgeState {
+    config: crate::config::EdgeConfig,
+    cache: edge::EdgeCache,
+    transport: Transport,
+    counters: edge::EdgeCounters,
 }
 
 impl std::fmt::Debug for Device {
@@ -229,6 +242,7 @@ pub struct DeviceBuilder<'a> {
     seed: u64,
     variant: SystemVariant,
     device_class: Option<dnnsim::DeviceClass>,
+    edge_cache: Option<edge::EdgeCache>,
 }
 
 impl<'a> DeviceBuilder<'a> {
@@ -252,6 +266,7 @@ impl<'a> DeviceBuilder<'a> {
             seed,
             variant: SystemVariant::Full,
             device_class: None,
+            edge_cache: None,
         }
     }
 
@@ -265,6 +280,16 @@ impl<'a> DeviceBuilder<'a> {
     /// fleets), leaving the shared configuration untouched.
     pub fn device_class(mut self, class: dnnsim::DeviceClass) -> DeviceBuilder<'a> {
         self.device_class = Some(class);
+        self
+    }
+
+    /// Injects the fleet-shared edge cache handle. The simulation wires
+    /// one [`edge::EdgeCache`] into every device so they all talk to the
+    /// same server; a standalone device with an edge config but no
+    /// injected handle gets a private cache instead. Ignored unless the
+    /// configuration enables the edge tier.
+    pub fn edge_cache(mut self, cache: edge::EdgeCache) -> DeviceBuilder<'a> {
+        self.edge_cache = Some(cache);
         self
     }
 
@@ -326,6 +351,33 @@ impl<'a> DeviceBuilder<'a> {
             .as_ref()
             .and_then(|p| p.resilience)
             .unwrap_or_default();
+        // The edge tier speaks the approximate key space: exact-match
+        // and cache-less variants never construct it. An invalid edge
+        // config degrades to "edge off" instead of panicking mid-build
+        // (the simulation validates up front and reports a typed error).
+        let injected_edge_cache = self.edge_cache;
+        let edge = effective
+            .edge
+            .clone()
+            .filter(|_| variant.local_cache_enabled() && !variant.exact_match_only())
+            .and_then(|cfg| {
+                cfg.link.validate().ok()?;
+                let cache = match injected_edge_cache {
+                    Some(handle) => handle,
+                    None => edge::EdgeCache::new(edge::EdgeCacheConfig {
+                        capacity: cfg.capacity,
+                        distance_threshold: effective.cache.aknn.distance_threshold,
+                        queue_limit: cfg.queue_limit,
+                    })
+                    .ok()?,
+                };
+                Some(EdgeState {
+                    transport: Transport::new(cfg.link),
+                    cache,
+                    counters: edge::EdgeCounters::default(),
+                    config: cfg,
+                })
+            });
         Device {
             id: self.id,
             variant,
@@ -364,6 +416,7 @@ impl<'a> DeviceBuilder<'a> {
             fallback_until: None,
             counters: ResilienceCounters::default(),
             peer_outcomes: Vec::new(),
+            edge,
         }
     }
 }
@@ -443,6 +496,17 @@ impl Device {
     /// Fault events seen and resilience actions taken so far.
     pub fn resilience_counters(&self) -> &ResilienceCounters {
         &self.counters
+    }
+
+    /// Device-side edge-tier counters (queries sent, timeouts, hits
+    /// adopted); `None` when the edge tier is off for this device.
+    pub fn edge_counters(&self) -> Option<&edge::EdgeCounters> {
+        self.edge.as_ref().map(|e| &e.counters)
+    }
+
+    /// The edge cache handle this device queries, if any.
+    pub fn edge_cache(&self) -> Option<&edge::EdgeCache> {
+        self.edge.as_ref().map(|e| &e.cache)
     }
 
     /// Marks the radio as inside (or out of) an injected outage. While
@@ -533,6 +597,7 @@ impl Device {
             peer_bytes_before: self.transport.counters().bytes_sent,
             radio_dark: self.radio_dark,
             peer_fallback: false,
+            edge_hit: false,
         };
         if self.radio_dark {
             self.counters.record_outage_frame();
@@ -737,6 +802,19 @@ impl Device {
                                 EntrySource::Peer,
                                 now,
                             );
+                            // Relay the peer-learned answer up to the
+                            // edge so devices outside this neighbourhood
+                            // benefit too (fire-and-forget).
+                            if self.edge.as_ref().is_some_and(|e| e.config.gossip_ads) {
+                                self.edge_push(
+                                    edge::Frame::GossipAd {
+                                        key: key.clone(),
+                                        label: label.0,
+                                        confidence: hit.confidence,
+                                    },
+                                    now,
+                                );
+                            }
                             let outcome = FrameOutcome {
                                 at: now,
                                 label,
@@ -772,6 +850,77 @@ impl Device {
             }
         }
 
+        // Tier 2½: the shared edge cache, one WAN round-trip away. Runs
+        // only when configured (default off), after peers missed —
+        // closer answers are cheaper — and never while the radio is
+        // dark. The same budget guard as the peer tier applies: the
+        // expected round-trip must undercut the inference it replaces.
+        let mut edge_adopt: Option<edge::EdgeHit> = None;
+        if let Some(edge) = self.edge.as_mut().filter(|_| !self.radio_dark) {
+            let budget = self
+                .dnn
+                .nominal_latency()
+                .mul_f64(edge.config.query_budget_fraction.max(0.0));
+            let expected_rtt = edge.config.link.base_latency * 2;
+            if expected_rtt <= budget {
+                let request = edge::BatchRequest {
+                    device: self.id.0 as u64,
+                    frames: vec![edge::Frame::Lookup { key: key.clone() }],
+                };
+                let out_bytes = request.encoded_len();
+                edge.counters.record_queries_sent(1);
+                // The server sees every query — losses are modelled on
+                // the reply leg — and an overloaded server sheds the
+                // batch instead of answering (a 503 is a handful of
+                // header bytes on the wire).
+                let (reply, back_bytes) = match edge.cache.apply_batch(&request, now) {
+                    Ok(response) => {
+                        let bytes = response.encoded_len();
+                        (response.replies.into_iter().next(), bytes)
+                    }
+                    Err(edge::Overloaded) => (None, 64),
+                };
+                let rtt = edge
+                    .transport
+                    .round_trip(out_bytes, back_bytes, &mut self.rng);
+                // The radio burned energy whether or not the answer made
+                // it back.
+                energy += self.energy.radio_energy(Radio::Wan, out_bytes + back_bytes);
+                match rtt {
+                    // Like a lost peer exchange: counts as a miss, adds
+                    // no frame latency.
+                    None => edge.counters.record_query_timeout(),
+                    Some(rtt) => {
+                        // A delivered answer — hit or miss — was waited
+                        // for.
+                        latency += rtt;
+                        if let Some(edge::Reply::Hit(hit)) = reply {
+                            edge.counters.record_hit_adopted();
+                            edge_adopt = Some(hit);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(hit) = edge_adopt {
+            let label = ClassId(hit.label);
+            // Adopt the edge's entry locally so the next frame hits
+            // without waking the modem.
+            self.cache
+                .insert(key.clone(), label, hit.confidence, EntrySource::Peer, now);
+            draft.edge_hit = true;
+            let outcome = FrameOutcome {
+                at: now,
+                label,
+                truth: frame.truth,
+                latency,
+                energy,
+                path: ResolutionPath::PeerCache,
+            };
+            self.finish(outcome, label, now, draft);
+            return outcome;
+        }
+
         // Tier 3: full inference.
         let inference = self.dnn.infer(&frame.descriptor, &mut self.rng);
         latency += inference.latency;
@@ -791,6 +940,22 @@ impl Device {
             }
         }
         self.store_result(&key, inference.label, inference.confidence, now);
+        // Freshly inferred results go up to the edge so the whole fleet
+        // can reuse them (fire-and-forget, nothing on the frame path).
+        if self
+            .edge
+            .as_ref()
+            .is_some_and(|e| e.config.insert_on_inference)
+        {
+            self.edge_push(
+                edge::Frame::Insert {
+                    key: key.clone(),
+                    label: inference.label.0,
+                    confidence: inference.confidence,
+                },
+                now,
+            );
+        }
         if self
             .peer
             .as_ref()
@@ -851,6 +1016,32 @@ impl Device {
         // Radio energy is charged to the device battery, not to any frame.
         let _ = self.energy.radio_energy(radio, message.encoded_len());
         delay
+    }
+
+    /// Fire-and-forget upload of one frame to the edge: samples the
+    /// uplink for loss (a lost upload simply never lands), charges the
+    /// radio to the battery rather than the frame, and applies the
+    /// batch to the shared cache on delivery. Skipped while the radio
+    /// is dark.
+    fn edge_push(&mut self, frame: edge::Frame, now: SimTime) {
+        if self.radio_dark {
+            return;
+        }
+        let Some(edge) = self.edge.as_mut() else {
+            return;
+        };
+        let request = edge::BatchRequest {
+            device: self.id.0 as u64,
+            frames: vec![frame],
+        };
+        let bytes = request.encoded_len();
+        let delivered = edge.transport.send_one_way(bytes, &mut self.rng).is_some();
+        let _ = self.energy.radio_energy(Radio::Wan, bytes);
+        if delivered {
+            // An overloaded server sheds the upload; the device neither
+            // learns nor cares — it was fire-and-forget.
+            let _ = edge.cache.apply_batch(&request, now);
+        }
     }
 
     fn local_lookup(
@@ -952,7 +1143,14 @@ impl Device {
                 },
                 radio_dark: draft.radio_dark,
                 peer_fallback: draft.peer_fallback,
-                path: trace_path(outcome.path),
+                // The outcome vocabulary folds edge hits into the peer
+                // path (both are remote caches); the trace keeps them
+                // apart.
+                path: if draft.edge_hit {
+                    TracePath::EdgeHit
+                } else {
+                    trace_path(outcome.path)
+                },
                 latency: outcome.latency,
                 energy: outcome.energy,
             });
@@ -973,6 +1171,7 @@ struct TraceDraft {
     peer_bytes_before: u64,
     radio_dark: bool,
     peer_fallback: bool,
+    edge_hit: bool,
 }
 
 fn trace_gate(decision: GateDecision, imu_enabled: bool) -> TraceGate {
@@ -1006,10 +1205,10 @@ pub fn trace_path(path: ResolutionPath) -> TracePath {
 }
 
 fn radio_of(link: &p2pnet::LinkSpec) -> Radio {
-    if link.name == "ble" {
-        Radio::Ble
-    } else {
-        Radio::WifiDirect
+    match link.name {
+        "ble" => Radio::Ble,
+        "wan" => Radio::Wan,
+        _ => Radio::WifiDirect,
     }
 }
 
@@ -1514,6 +1713,142 @@ mod tests {
         for t in traces.iter().filter(|t| t.peer_fallback) {
             assert_eq!(t.peer.attempts, 0);
         }
+    }
+
+    #[test]
+    fn edge_tier_is_off_by_default() {
+        let u = universe();
+        let d = device(SystemVariant::Full, &u);
+        assert!(d.edge_counters().is_none());
+        assert!(d.edge_cache().is_none());
+    }
+
+    #[test]
+    fn edge_cache_answers_after_peers_and_warms_local() {
+        let u = universe();
+        let shared = edge::EdgeCache::new(edge::EdgeCacheConfig::default()).unwrap();
+        let config = PipelineConfig::new()
+            .with_peer(None)
+            .with_edge(Some(crate::config::EdgeConfig::default()))
+            .with_trace_capacity(Some(8));
+
+        // A device somewhere else in the fleet infers once and pushes
+        // the result up to the edge.
+        let mut warm = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99)
+            .edge_cache(shared.clone())
+            .build();
+        let first = warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        assert_eq!(first.path, ResolutionPath::FullInference);
+        assert_eq!(
+            shared.counters().inserts,
+            1,
+            "inference uploads to the edge"
+        );
+
+        // Whether that upload was *admitted* depends on the sampled
+        // inference confidence (the edge applies the same 0.75 floor as
+        // any cache). Seed one entry that clears it so the lookup half
+        // of the test is deterministic.
+        let key = warm.projection().project(u.center(ClassId(3)));
+        shared
+            .apply_batch(
+                &edge::BatchRequest {
+                    device: 7,
+                    frames: vec![edge::Frame::Insert {
+                        key,
+                        label: 3,
+                        confidence: 0.95,
+                    }],
+                },
+                SimTime::ZERO,
+            )
+            .expect("seed batch");
+
+        // A cold device with no peers in range resolves the same subject
+        // over the WAN.
+        let mut cold = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99)
+            .edge_cache(shared.clone())
+            .build();
+        let t1 = SimTime::from_millis(100);
+        let outcome = cold.process_frame(&frame_for(&u, 3, t1), &moving_window(100), &[], t1);
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+        // One WAN round-trip (~50 ms) undercuts MobileNet's 75 ms.
+        assert!(outcome.latency < SimDuration::from_millis(75));
+        let counters = cold.edge_counters().expect("edge configured");
+        assert_eq!(counters.queries_sent, 1);
+        assert_eq!(counters.hits_adopted, 1);
+        assert_eq!(cold.trace().to_vec()[0].path, simcore::TracePath::EdgeHit);
+
+        // The adopted entry serves the next frame without the modem.
+        let t2 = SimTime::from_millis(200);
+        let outcome2 = cold.process_frame(&frame_for(&u, 3, t2), &moving_window(200), &[], t2);
+        assert_eq!(outcome2.path, ResolutionPath::LocalCache);
+        assert_eq!(
+            cold.edge_counters().expect("edge configured").queries_sent,
+            1,
+            "local hits never wake the modem"
+        );
+    }
+
+    #[test]
+    fn peer_hit_relays_a_gossip_ad_to_the_edge() {
+        let u = universe();
+        let mut warm = device(SystemVariant::Full, &u);
+        warm.process_frame(
+            &frame_for(&u, 3, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        let warm_cache = warm.cache().clone();
+
+        let shared = edge::EdgeCache::new(edge::EdgeCacheConfig::default()).unwrap();
+        let config = PipelineConfig::new().with_edge(Some(crate::config::EdgeConfig::default()));
+        let mut cold = DeviceBuilder::new(DeviceId(1), &config, &u, 256, 99)
+            .edge_cache(shared.clone())
+            .build();
+        let t1 = SimTime::from_millis(100);
+        let outcome = cold.process_frame(
+            &frame_for(&u, 3, t1),
+            &moving_window(100),
+            &[&warm_cache],
+            t1,
+        );
+        // The nearby peer wins (cheaper than the WAN), and the answer is
+        // relayed up so the rest of the fleet can find it.
+        assert_eq!(outcome.path, ResolutionPath::PeerCache);
+        assert_eq!(shared.counters().gossip_entries, 1);
+        assert_eq!(
+            cold.edge_counters().expect("edge configured").queries_sent,
+            0,
+            "a peer hit never reaches the edge lookup"
+        );
+    }
+
+    #[test]
+    fn radio_dark_suppresses_the_edge_tier_too() {
+        let u = universe();
+        let shared = edge::EdgeCache::new(edge::EdgeCacheConfig::default()).unwrap();
+        let config = PipelineConfig::new()
+            .with_peer(None)
+            .with_edge(Some(crate::config::EdgeConfig::default()));
+        let mut d = DeviceBuilder::new(DeviceId(0), &config, &u, 256, 99)
+            .edge_cache(shared.clone())
+            .build();
+        d.set_radio_dark(true);
+        d.process_frame(
+            &frame_for(&u, 0, SimTime::ZERO),
+            &moving_window(0),
+            &[],
+            SimTime::ZERO,
+        );
+        assert_eq!(d.edge_counters().expect("edge configured").queries_sent, 0);
+        assert_eq!(shared.counters().batches, 0, "dark frames upload nothing");
     }
 
     #[test]

@@ -178,6 +178,15 @@ pub fn run_fleet(
             resilience.validate()?;
         }
     }
+    // The edge tier is one *shared mutable* cache: sharding the fleet
+    // would split it into per-shard caches and break the byte-identity
+    // contract above. Run edge experiments through `sim::run`.
+    if config.edge.is_some() {
+        return Err(ConfigError::Inconsistent {
+            context: "FleetOptions",
+            message: "the edge tier shares one cache across devices; run_fleet cannot shard it — use sim::run",
+        });
+    }
     let devices = scenario.devices;
     let shards = options.shards.clamp(1, devices.max(1));
     let threads = options.threads;
@@ -816,6 +825,22 @@ mod tests {
             report.path_fraction(crate::device::ResolutionPath::PeerCache) > 0.0,
             "some frames must be answered by peers: {report}"
         );
+    }
+
+    #[test]
+    fn edge_tier_is_rejected_up_front() {
+        let scenario = fleet_scenario(4);
+        let config = PipelineConfig::calibrated(&scenario, 3)
+            .with_edge(Some(crate::config::EdgeConfig::default()));
+        let err = run_fleet(
+            &scenario,
+            &config,
+            SystemVariant::Full,
+            3,
+            &FleetOptions::single(),
+        )
+        .expect_err("a shared edge cache cannot be sharded");
+        assert!(err.to_string().contains("edge"), "{err}");
     }
 
     #[test]

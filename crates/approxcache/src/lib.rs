@@ -57,7 +57,7 @@ pub mod sim;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
 pub use baseline::SystemVariant;
-pub use config::{CacheExpiry, CostModel, PeerConfig, PipelineConfig};
+pub use config::{CacheExpiry, CostModel, EdgeConfig, PeerConfig, PipelineConfig};
 pub use device::{Device, DeviceBuilder, DeviceId, FrameOutcome, ResolutionPath};
 pub use error::ConfigError;
 pub use fleet::{run_fleet, FleetOptions};

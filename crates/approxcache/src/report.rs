@@ -60,6 +60,11 @@ pub struct RunReport {
     /// pipeline armed resilience machinery.
     #[serde(default, skip_serializing_if = "p2pnet::ResilienceCounters::is_idle")]
     pub faults: p2pnet::ResilienceCounters,
+    /// Merged edge-tier counters: the shared server's books plus every
+    /// device's query-side tallies. All-zero (and omitted from JSON)
+    /// unless the pipeline configured an edge tier.
+    #[serde(default, skip_serializing_if = "edge::EdgeCounters::is_idle")]
+    pub edge: edge::EdgeCounters,
 }
 
 impl RunReport {
@@ -115,6 +120,7 @@ impl RunReport {
             latencies_ms,
             stream_seconds,
             faults: p2pnet::ResilienceCounters::default(),
+            edge: edge::EdgeCounters::default(),
         }
     }
 
@@ -293,6 +299,9 @@ impl std::fmt::Display for RunReport {
                 self.faults.quarantines,
                 self.faults.peer_fallbacks
             )?;
+        }
+        if !self.edge.is_idle() {
+            writeln!(f, "  edge: {}", self.edge)?;
         }
         Ok(())
     }
@@ -519,6 +528,32 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("faults:"), "{text}");
         assert!(text.contains("dark-frames 1"), "{text}");
+    }
+
+    #[test]
+    fn idle_edge_counters_stay_out_of_json() {
+        let r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        assert!(r.edge.is_idle());
+        assert!(
+            !r.to_json().contains("\"edge\""),
+            "idle edge counters must not appear in serialized reports"
+        );
+        assert!(!r.to_string().contains("edge:"));
+    }
+
+    #[test]
+    fn edge_counters_round_trip_and_display() {
+        let mut r = report(&[outcome(ResolutionPath::ImuReuse, 0, true)]);
+        r.edge.record_batch();
+        r.edge.record_queries_sent(2);
+        r.edge.record_lookup(true);
+        r.edge.record_hit_adopted();
+        assert!(r.edge.reconciles());
+        let json = r.to_json();
+        assert!(json.contains("\"edge\""));
+        let back: RunReport = serde_json::from_str(&json).expect("json parses");
+        assert_eq!(back.edge, r.edge);
+        assert!(r.to_string().contains("edge:"), "{r}");
     }
 
     #[test]

@@ -254,6 +254,37 @@ pub fn run(
             resilience.validate()?;
         }
     }
+    // One edge cache is shared by the whole fleet; its hit test reuses
+    // the pipeline's (possibly calibrated) distance threshold so edge
+    // and local answers agree about what counts as "the same scene".
+    let edge_cache = match &config.edge {
+        None => None,
+        Some(edge_config) => {
+            edge_config.link.validate()?;
+            if !edge_config.query_budget_fraction.is_finite()
+                || edge_config.query_budget_fraction < 0.0
+            {
+                return Err(ConfigError::Inconsistent {
+                    context: "EdgeConfig",
+                    message: "query_budget_fraction must be finite and non-negative",
+                });
+            }
+            let cache_config = edge::EdgeCacheConfig {
+                capacity: edge_config.capacity,
+                distance_threshold: config.cache.aknn.distance_threshold,
+                queue_limit: edge_config.queue_limit,
+            };
+            match edge::EdgeCache::new(cache_config) {
+                Ok(cache) => Some(cache),
+                Err(message) => {
+                    return Err(ConfigError::Inconsistent {
+                        context: "EdgeConfig",
+                        message,
+                    })
+                }
+            }
+        }
+    };
     let root = SimRng::seed(seed);
     // Fault timeline: materialized only when the scenario injects
     // anything; splits are non-consuming, so an idle scenario draws the
@@ -309,6 +340,9 @@ pub fn run(
                 if let Some(&class) = classes.get(d % classes.len()) {
                     builder = builder.device_class(class);
                 }
+            }
+            if let Some(shared) = &edge_cache {
+                builder = builder.edge_cache(shared.clone());
             }
             builder.build()
         })
@@ -534,10 +568,20 @@ pub fn run(
         .collect();
     let mut cache = reuse::CacheStats::default();
     let mut network = p2pnet::TransportCounters::default();
+    let mut edge_totals = edge::EdgeCounters::default();
     for d in &devices {
         cache.merge(&d.cache().stats());
         network.merge(&d.transport_counters());
         fault_totals.merge(d.resilience_counters());
+        if let Some(device_edge) = d.edge_counters() {
+            edge_totals.merge(device_edge);
+        }
+    }
+    // The server's books join the devices' query-side tallies: one
+    // registry, reconcilable (`hits_adopted ≤ hits ≤ lookups ≤
+    // queries_sent`).
+    if let Some(shared) = &edge_cache {
+        edge_totals.merge(&shared.counters());
     }
     // Beacon traffic is network cost too.
     if let Some(discoveries) = &discoveries {
@@ -557,6 +601,7 @@ pub fn run(
         network,
     );
     report.faults = fault_totals;
+    report.edge = edge_totals;
     let (per_device, traces) = match detail {
         Detail::Summary => (Vec::new(), Vec::new()),
         Detail::Full => (
@@ -625,6 +670,51 @@ mod tests {
             report.path_fraction(ResolutionPath::ImuReuse) > 0.5,
             "imu fast path should dominate a stationary stream: {report}"
         );
+    }
+
+    #[test]
+    fn edge_tier_counters_reconcile_and_assist() {
+        let scenario = Scenario::multi_device(MotionProfile::SlowPan { deg_per_sec: 15.0 }, 6)
+            .with_duration(SimDuration::from_secs(6));
+        let config = PipelineConfig::calibrated(&scenario, 11);
+
+        // Edge off (the default): the report carries no edge section.
+        let baseline = summary(&scenario, &config, SystemVariant::NoPeer, 11);
+        assert!(baseline.edge.is_idle());
+        assert!(!baseline.to_json().contains("\"edge\""));
+
+        // Edge on, same peerless fleet: devices query the shared cache
+        // and the merged books reconcile (adopted ≤ hits ≤ lookups ≤
+        // queries sent).
+        let edge_config = config
+            .clone()
+            .with_edge(Some(crate::config::EdgeConfig::default()));
+        let assisted = summary(&scenario, &edge_config, SystemVariant::NoPeer, 11);
+        assert!(!assisted.edge.is_idle());
+        assert!(assisted.edge.queries_sent > 0, "{}", assisted.edge);
+        assert!(assisted.edge.inserts > 0, "{}", assisted.edge);
+        assert!(assisted.edge.reconciles(), "{}", assisted.edge);
+        assert!(assisted.to_json().contains("\"edge\""));
+        // The tier can only add reuse opportunities, never remove them.
+        assert!(
+            assisted.reuse_rate() >= baseline.reuse_rate(),
+            "edge-assisted {} vs local-only {}",
+            assisted.reuse_rate(),
+            baseline.reuse_rate()
+        );
+    }
+
+    #[test]
+    fn invalid_edge_config_is_rejected_up_front() {
+        let scenario = quick(MotionProfile::Stationary);
+        let edge = crate::config::EdgeConfig {
+            capacity: 0,
+            ..crate::config::EdgeConfig::default()
+        };
+        let config = PipelineConfig::new().with_edge(Some(edge));
+        let err = run(&scenario, &config, SystemVariant::Full, 1, Detail::Summary)
+            .expect_err("zero-capacity edge cache");
+        assert!(err.to_string().contains("EdgeConfig"), "{err}");
     }
 
     #[test]

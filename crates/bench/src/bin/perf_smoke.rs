@@ -70,6 +70,8 @@ const FLEET_SHARDS: usize = 8;
 /// so a 10k-device population has single-digit neighbour counts (the
 /// default 4 m grid would put ~170 devices inside WiFi-Direct range).
 const FLEET_SPACING_M: f64 = 20.0;
+/// Frames per batch the edge codec + cache series is profiled at.
+const EDGE_BATCHES: [usize; 3] = [1, 16, 256];
 
 /// One cache-size measurement point.
 #[derive(Debug, Serialize)]
@@ -123,6 +125,24 @@ struct FleetPoint {
     frames_per_sec: f64,
 }
 
+/// One point of the edge series: the wire codec's throughput on a
+/// mixed lookup/insert/gossip batch of `frames` operations, and the
+/// batched apply rate of the in-process `EdgeCache` the server half
+/// serves from.
+#[derive(Debug, Serialize)]
+struct EdgePoint {
+    frames: usize,
+    /// Encoded request size in bytes.
+    request_bytes: usize,
+    /// `BatchRequest::encode` throughput.
+    encode_mb_per_sec: f64,
+    /// `BatchRequest::decode` throughput.
+    decode_mb_per_sec: f64,
+    /// Frames applied per wall millisecond through
+    /// `EdgeCache::apply_batch`.
+    apply_frames_per_ms: f64,
+}
+
 /// One `BENCH.json` run entry.
 #[derive(Debug, Serialize)]
 struct BenchRun {
@@ -150,6 +170,9 @@ struct BenchRun {
     /// `frames_per_sec` at `default_threads()` workers over the
     /// 1-worker baseline.
     fleet_speedup: f64,
+    /// The edge tier: codec MB/s and batched `EdgeCache` apply rates at
+    /// every `EDGE_BATCHES` batch size.
+    edge: Vec<EdgePoint>,
     e2e_scenario: String,
     e2e_seconds: u64,
     e2e_wall_ms: f64,
@@ -416,6 +439,75 @@ fn measure_concurrent(shards: usize, rng: &mut SimRng) -> ConcurrentPoint {
     }
 }
 
+/// The edge tier at one batch size: codec throughput on a mixed
+/// lookup/insert/gossip request, and the apply rate of the shared
+/// `EdgeCache` behind it (the same call the HTTP server makes per
+/// request, minus the socket).
+fn measure_edge(frames: usize, rng: &mut SimRng) -> EdgePoint {
+    let request = edge::BatchRequest {
+        device: 7,
+        frames: (0..frames)
+            .map(|i| {
+                let key = random_key(rng);
+                match i % 3 {
+                    0 => edge::Frame::Insert {
+                        key,
+                        label: (i % 64) as u32,
+                        confidence: 0.9,
+                    },
+                    1 => edge::Frame::Lookup { key },
+                    _ => edge::Frame::GossipAd {
+                        key,
+                        label: (i % 64) as u32,
+                        confidence: 0.9,
+                    },
+                }
+            })
+            .collect(),
+    };
+    let encoded = request.encode();
+    let request_bytes = encoded.len();
+
+    let iters = (8_000 / frames.max(1)).max(16) as u64;
+    let encode_ns = best_of_ns(ROUNDS, || {
+        time_per_op_ns(iters, || {
+            black_box(request.encode());
+        })
+    });
+    let decode_ns = best_of_ns(ROUNDS, || {
+        time_per_op_ns(iters, || {
+            black_box(edge::BatchRequest::decode(&encoded)).ok();
+        })
+    });
+
+    let cache = match edge::EdgeCache::new(edge::EdgeCacheConfig {
+        capacity: 8_192,
+        distance_threshold: 1.0,
+        queue_limit: frames.max(1_024),
+    }) {
+        Ok(cache) => cache,
+        Err(e) => unreachable!("hand-written edge config: {e}"),
+    };
+    let apply_iters = (2_000 / frames.max(1)).max(8) as u64;
+    let mut tick = 0u64;
+    let apply_ns = best_of_ns(ROUNDS, || {
+        time_per_op_ns(apply_iters, || {
+            tick += 1;
+            black_box(cache.apply_batch(&request, SimTime::from_millis(tick)).ok());
+        })
+    });
+
+    // bytes/ns × 1e3 = MB/s (1e9 ns/s over 1e6 bytes/MB).
+    let mb_per_sec = |ns: f64| request_bytes as f64 * 1e3 / ns.max(1e-9);
+    EdgePoint {
+        frames,
+        request_bytes,
+        encode_mb_per_sec: mb_per_sec(encode_ns),
+        decode_mb_per_sec: mb_per_sec(decode_ns),
+        apply_frames_per_ms: frames as f64 * 1e6 / apply_ns.max(1e-9),
+    }
+}
+
 fn bench_json_path() -> PathBuf {
     results_dir()
         .parent()
@@ -619,6 +711,27 @@ fn main() {
         default_workers.get()
     );
 
+    println!("\nedge tier (mixed lookup/insert/gossip batches):");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>13}",
+        "frames", "bytes", "enc MB/s", "dec MB/s", "apply fr/ms"
+    );
+    let edge_points: Vec<EdgePoint> = EDGE_BATCHES
+        .iter()
+        .map(|&frames| {
+            let point = measure_edge(frames, &mut rng);
+            println!(
+                "{:>7} {:>9} {:>12.1} {:>12.1} {:>13.1}",
+                point.frames,
+                point.request_bytes,
+                point.encode_mb_per_sec,
+                point.decode_mb_per_sec,
+                point.apply_frames_per_ms
+            );
+            point
+        })
+        .collect();
+
     let scenario =
         workloads::video::stationary().with_duration(SimDuration::from_secs(E2E_SECONDS));
     let config = approxcache::PipelineConfig::calibrated(&scenario, MASTER_SEED);
@@ -648,6 +761,7 @@ fn main() {
         concurrent_speedup,
         fleet: vec![fleet_single, fleet_default],
         fleet_speedup,
+        edge: edge_points,
         e2e_scenario: scenario.name.clone(),
         e2e_seconds: E2E_SECONDS,
         e2e_wall_ms,

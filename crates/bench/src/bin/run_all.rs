@@ -1,4 +1,4 @@
-//! Runs every macro experiment (R-1 .. R-21) and writes all CSVs under
+//! Runs every macro experiment (R-1 .. R-22) and writes all CSVs under
 //! `results/`, fanning the experiment binaries across one worker per
 //! available core. Output is captured per experiment and printed in the
 //! fixed submission order, so the transcript reads exactly as it would
@@ -17,7 +17,7 @@ use std::process::{Command, ExitCode};
 
 use bench::parallel;
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "r1_headline_latency",
     "r2_accuracy_threshold",
     "r3_hit_breakdown",
@@ -35,6 +35,7 @@ const EXPERIMENTS: [&str; 17] = [
     "r19_heterogeneous",
     "r20_cascade",
     "r21_resilience",
+    "r22_edge",
 ];
 
 const BUILD_REMEDY: &str =

@@ -33,6 +33,11 @@ pub const R21_MIN_OUTAGE_LATENCY_REDUCTION: f64 = 0.3;
 /// The outage fraction the R-21 claim runs at.
 pub const R21_OUTAGE_FRACTION: f64 = 0.3;
 
+/// R-22's bar: with peers disabled, adding the shared edge cache must
+/// lift the reuse rate by more than this (strictly positive — the edge
+/// must contribute reuse the local caches alone cannot).
+pub const R22_MIN_EDGE_REUSE_GAIN: f64 = 0.0;
+
 /// One verified claim: `passed` iff `observed > required`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ClaimCheck {
@@ -189,6 +194,18 @@ pub fn run_claim_checks_on(
     jobs.push(Box::new(|| {
         traced_run(&stormy, SystemVariant::Full, seed, &resilient)
     }));
+    // R-22 runs the museum with peers disabled, with and without the
+    // shared edge tier, on top of `mutate`.
+    let with_edge = |config: &mut PipelineConfig| {
+        mutate(config);
+        config.edge = Some(approxcache::EdgeConfig::default());
+    };
+    jobs.push(Box::new(|| {
+        traced_run(&museum, SystemVariant::NoPeer, seed, mutate)
+    }));
+    jobs.push(Box::new(|| {
+        traced_run(&museum, SystemVariant::NoPeer, seed, &with_edge)
+    }));
 
     let mut results = crate::parallel::run_jobs_on(threads, jobs).into_iter();
     let mut next = || match results.next() {
@@ -286,6 +303,33 @@ pub fn run_claim_checks_on(
     });
     reports.push(full.report);
 
+    // R-22 edge tier: same museum, peers off, local caches identical —
+    // the only difference is the shared edge cache a WAN hop away. It
+    // must add reuse the local tiers alone cannot, and the merged edge
+    // books (server + devices) must reconcile.
+    let local_only = next();
+    let edge_assisted = next();
+    let gain = edge_assisted.report.reuse_rate() - local_only.report.reuse_rate();
+    let edge_counters = edge_assisted.report.edge;
+    let mut breakdown = tier_breakdown(&edge_assisted);
+    breakdown.push_str(&format!("  edge: {edge_counters}\n"));
+    checks.push(ClaimCheck {
+        claim: "R-22",
+        scenario: museum.name.clone(),
+        requirement: format!(
+            "with peers off, the edge tier lifts reuse rate by more than {:.0}% \
+             with nonzero reconciling counters",
+            R22_MIN_EDGE_REUSE_GAIN * 100.0
+        ),
+        observed: gain,
+        required: R22_MIN_EDGE_REUSE_GAIN,
+        passed: gain > R22_MIN_EDGE_REUSE_GAIN
+            && !edge_counters.is_idle()
+            && edge_counters.reconciles(),
+        breakdown,
+    });
+    reports.push(edge_assisted.report);
+
     ClaimOutcome { checks, reports }
 }
 
@@ -306,9 +350,9 @@ mod tests {
         let outcome = run_claim_checks(short(), MASTER_SEED, &|_| {});
         assert!(outcome.all_passed(), "failures: {:#?}", outcome.failures());
         // Three reuse-friendly R-1 checks, four R-2 checks, one peer
-        // check, one R-21 resilience check.
-        assert_eq!(outcome.checks.len(), 9);
-        assert_eq!(outcome.reports.len(), 6);
+        // check, one R-21 resilience check, one R-22 edge check.
+        assert_eq!(outcome.checks.len(), 10);
+        assert_eq!(outcome.reports.len(), 7);
         // The R-21 run must have actually injected faults — its report
         // carries the reconciling counters.
         let stormy = outcome
@@ -317,6 +361,22 @@ mod tests {
             .find(|r| r.scenario == "museum-x6-outage30")
             .expect("R-21 report present");
         assert!(stormy.faults.outage_frames > 0, "outage never fired");
+        // The R-22 run must have actually exercised the edge — its
+        // report carries the reconciling edge books; every other report
+        // stays edge-free.
+        let edge_run = outcome
+            .reports
+            .iter()
+            .find(|r| !r.edge.is_idle())
+            .expect("R-22 report present");
+        assert_eq!(edge_run.variant, "no-peer");
+        assert!(edge_run.edge.reconciles(), "{}", edge_run.edge);
+        assert!(edge_run.edge.queries_sent > 0);
+        assert_eq!(
+            outcome.reports.iter().filter(|r| !r.edge.is_idle()).count(),
+            1,
+            "only the edge-assisted run may carry edge counters"
+        );
         // Every other report stays fault-free.
         for report in &outcome.reports {
             if report.scenario != "museum-x6-outage30" {

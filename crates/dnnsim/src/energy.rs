@@ -21,6 +21,8 @@ pub enum Radio {
     Ble,
     /// WiFi-Direct / WiFi-Aware-class link.
     WifiDirect,
+    /// Cellular (LTE/5G) uplink to an edge server.
+    Wan,
 }
 
 /// Converts pipeline activity into millijoules for one device class.
@@ -47,6 +49,23 @@ pub struct EnergyModel {
     /// BLE per-exchange wake overhead.
     #[serde(rename = "ble_wake_mj")]
     ble_wake: Millijoules,
+    /// Cellular energy per byte (LTE/5G uplink to an edge server —
+    /// costlier per byte than WiFi at mobile transmit power).
+    #[serde(rename = "wan_mj_per_byte", default = "default_wan_per_byte")]
+    wan_per_byte: Millijoules,
+    /// Cellular per-exchange wake overhead (RRC promotion out of idle
+    /// dominates short transfers).
+    #[serde(rename = "wan_wake_mj", default = "default_wan_wake")]
+    wan_wake: Millijoules,
+}
+
+/// Serde defaults so pre-WAN serialized models still deserialize.
+fn default_wan_per_byte() -> Millijoules {
+    Millijoules::new(2.5e-4)
+}
+
+fn default_wan_wake() -> Millijoules {
+    Millijoules::new(15.0)
 }
 
 impl EnergyModel {
@@ -60,6 +79,8 @@ impl EnergyModel {
             wifi_wake: Millijoules::new(8.0),
             ble_per_byte: Millijoules::new(2.0e-5),
             ble_wake: Millijoules::new(1.0),
+            wan_per_byte: default_wan_per_byte(),
+            wan_wake: default_wan_wake(),
         }
     }
 
@@ -89,6 +110,7 @@ impl EnergyModel {
         match radio {
             Radio::Ble => self.ble_wake + self.ble_per_byte * bytes as f64,
             Radio::WifiDirect => self.wifi_wake + self.wifi_per_byte * bytes as f64,
+            Radio::Wan => self.wan_wake + self.wan_per_byte * bytes as f64,
         }
     }
 }
@@ -159,5 +181,18 @@ mod tests {
         let peer = model.radio_energy(Radio::WifiDirect, 600);
         let inference = model.inference_energy(SimDuration::from_millis(75));
         assert!(lookup + peer < inference / 10.0);
+    }
+
+    #[test]
+    fn edge_query_still_beats_inference_energetically() {
+        // Same economics for the edge tier: cellular is the priciest
+        // radio (RRC wake ≈ 15 mJ, 0.25 µJ/byte), yet a batched edge
+        // exchange must stay well under one inference or the tier would
+        // never be worth waking the modem for.
+        let model = EnergyModel::default();
+        let wan = model.radio_energy(Radio::Wan, 2_000);
+        assert!(wan > model.radio_energy(Radio::WifiDirect, 2_000));
+        let inference = model.inference_energy(SimDuration::from_millis(75));
+        assert!(wan < inference / 5.0, "wan {wan} vs inference {inference}");
     }
 }

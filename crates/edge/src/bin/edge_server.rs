@@ -1,0 +1,87 @@
+//! The edge cache server binary.
+//!
+//! ```text
+//! edge-server [--addr HOST:PORT] [--capacity N] [--queue-limit N]
+//!             [--workers N] [--threshold F] [--allow-shutdown]
+//! ```
+//!
+//! Binds (port `0` picks an ephemeral port), prints
+//! `listening on <addr>` on stdout, and serves until killed — or, with
+//! `--allow-shutdown`, until a client posts `/shutdown` (what the CI
+//! smoke stage does to assert clean shutdown).
+
+use std::process::ExitCode;
+
+use edge::{EdgeCache, EdgeCacheConfig, EdgeServer, ServerConfig};
+
+struct Args {
+    addr: String,
+    cache: EdgeCacheConfig,
+    server: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        cache: EdgeCacheConfig::default(),
+        server: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--capacity" => {
+                args.cache.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--queue-limit" => {
+                args.cache.queue_limit = value("--queue-limit")?
+                    .parse()
+                    .map_err(|e| format!("--queue-limit: {e}"))?;
+            }
+            "--workers" => {
+                args.server.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--threshold" => {
+                args.cache.distance_threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--allow-shutdown" => args.server.allow_shutdown = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("edge-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = match EdgeCache::new(args.cache) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("edge-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match EdgeServer::start(&args.addr, cache, args.server) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("edge-server: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.wait();
+    println!("edge-server: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,556 @@
+//! The edge cache: a shared [`reuse::SharedCache`] behind batched
+//! operations with bounded-queue backpressure.
+//!
+//! One [`EdgeCache`] handle is cloned across every client of the tier —
+//! simulated devices in one process, or worker threads of the real
+//! `edge-server` binary. All mutation goes through
+//! [`apply_batch`](EdgeCache::apply_batch), which admits a batch only
+//! while the in-flight frame count stays under the configured queue
+//! limit and otherwise rejects with [`Overloaded`] *immediately* — the
+//! edge tier never blocks a mobile caller, because a device can always
+//! fall back to local inference for less than the cost of waiting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use ann::AknnConfig;
+use reuse::{CacheConfig, EntrySource, LookupResult, SharedCache};
+use simcore::SimTime;
+
+use crate::protocol::{BatchRequest, BatchResponse, EdgeHit, Frame, Reply};
+
+/// Configuration of an [`EdgeCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCacheConfig {
+    /// Maximum cached entries.
+    pub capacity: usize,
+    /// A-kNN distance threshold for the hit test (edge deployments copy
+    /// the calibrated device threshold).
+    pub distance_threshold: f64,
+    /// Most request frames allowed in flight at once; a batch that would
+    /// exceed this is rejected with [`Overloaded`].
+    pub queue_limit: usize,
+}
+
+impl Default for EdgeCacheConfig {
+    fn default() -> Self {
+        EdgeCacheConfig {
+            capacity: 4_096,
+            distance_threshold: 1.0,
+            queue_limit: 1_024,
+        }
+    }
+}
+
+impl EdgeCacheConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.capacity == 0 {
+            return Err("EdgeCacheConfig: capacity must be positive");
+        }
+        if !(self.distance_threshold > 0.0 && self.distance_threshold.is_finite()) {
+            return Err("EdgeCacheConfig: distance_threshold must be positive and finite");
+        }
+        if self.queue_limit == 0 {
+            return Err("EdgeCacheConfig: queue_limit must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// The typed rejection when a batch would exceed the queue limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge cache overloaded: queue limit exceeded")
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Totals of everything the edge tier did, merged into `RunReport`.
+///
+/// The first six fields are recorded server-side by [`EdgeCache`]; the
+/// last three are recorded device-side by the pipeline (a device counts
+/// a query when it *sends* one — the server only sees the ones the WAN
+/// delivered). A healthy run reconciles as
+/// `hits_adopted ≤ hits ≤ lookups ≤ queries_sent`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCounters {
+    /// Batches the server accepted.
+    pub batches: u64,
+    /// Lookup frames the server processed.
+    pub lookups: u64,
+    /// Lookup frames that hit the edge cache.
+    pub hits: u64,
+    /// Insert frames applied.
+    pub inserts: u64,
+    /// Gossip-advertisement frames applied.
+    pub gossip_entries: u64,
+    /// Batches rejected with [`Overloaded`].
+    pub overloads: u64,
+    /// Lookup frames devices handed to the WAN (delivered or not).
+    pub queries_sent: u64,
+    /// Device-side exchanges the WAN lost (either leg).
+    pub query_timeouts: u64,
+    /// Edge hits a device adopted into its local cache.
+    pub hits_adopted: u64,
+}
+
+impl EdgeCounters {
+    /// Counts one accepted batch. The single increment site for
+    /// `batches` (rule T: one `record_*` helper per field).
+    pub fn record_batch(&mut self) {
+        self.batches += 1;
+    }
+
+    /// Counts one processed lookup frame and, when it hit, the hit.
+    pub fn record_lookup(&mut self, hit: bool) {
+        self.lookups += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Counts one applied insert frame.
+    pub fn record_insert(&mut self) {
+        self.inserts += 1;
+    }
+
+    /// Counts one applied gossip-advertisement frame.
+    pub fn record_gossip(&mut self) {
+        self.gossip_entries += 1;
+    }
+
+    /// Counts one batch rejected for backpressure.
+    pub fn record_overload(&mut self) {
+        self.overloads += 1;
+    }
+
+    /// Counts lookup frames a device handed to the WAN.
+    pub fn record_queries_sent(&mut self, lookups: u64) {
+        self.queries_sent += lookups;
+    }
+
+    /// Counts one device-side exchange the WAN lost.
+    pub fn record_query_timeout(&mut self) {
+        self.query_timeouts += 1;
+    }
+
+    /// Counts one edge hit adopted into a device's local cache.
+    pub fn record_hit_adopted(&mut self) {
+        self.hits_adopted += 1;
+    }
+
+    /// Adds another counter block.
+    pub fn merge(&mut self, other: &EdgeCounters) {
+        self.batches += other.batches;
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.inserts += other.inserts;
+        self.gossip_entries += other.gossip_entries;
+        self.overloads += other.overloads;
+        self.queries_sent += other.queries_sent;
+        self.query_timeouts += other.query_timeouts;
+        self.hits_adopted += other.hits_adopted;
+    }
+
+    /// True when the edge tier never ran (the serde skip predicate that
+    /// keeps edge-free reports byte-identical to pre-edge goldens).
+    pub fn is_idle(&self) -> bool {
+        *self == EdgeCounters::default()
+    }
+
+    /// Whether the merged totals are mutually consistent (see the type
+    /// docs for the inequality chain).
+    pub fn reconciles(&self) -> bool {
+        self.hits_adopted <= self.hits
+            && self.hits <= self.lookups
+            && self.lookups <= self.queries_sent
+    }
+}
+
+impl std::fmt::Display for EdgeCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} batches ({} overloaded), {}/{} lookups hit, {} adopted, {} inserts, {} gossip, {} timeouts",
+            self.batches,
+            self.overloads,
+            self.hits,
+            self.lookups,
+            self.hits_adopted,
+            self.inserts,
+            self.gossip_entries,
+            self.query_timeouts,
+        )
+    }
+}
+
+/// A cloneable handle to the shared edge cache.
+///
+/// Lookups answer with the label, confidence and distance of the
+/// nearest dominant-label entry; inserts and gossip ads feed the same
+/// store with [`EntrySource::LocalInference`] / [`EntrySource::Peer`]
+/// provenance respectively, so admission can distinguish first-party
+/// results from relayed ones.
+#[derive(Debug, Clone)]
+pub struct EdgeCache {
+    cache: SharedCache<u32>,
+    counters: Arc<Mutex<EdgeCounters>>,
+    in_flight: Arc<AtomicUsize>,
+    queue_limit: usize,
+}
+
+impl EdgeCache {
+    /// Builds the cache; rejects invalid configuration.
+    pub fn new(config: EdgeCacheConfig) -> Result<EdgeCache, &'static str> {
+        config.validate()?;
+        let cache_config = CacheConfig::new(config.capacity).with_aknn(AknnConfig {
+            distance_threshold: config.distance_threshold,
+            ..AknnConfig::default()
+        });
+        Ok(EdgeCache {
+            cache: SharedCache::new(cache_config),
+            counters: Arc::new(Mutex::new(EdgeCounters::default())),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            queue_limit: config.queue_limit,
+        })
+    }
+
+    /// Applies one batch, answering every frame in order, or rejects it
+    /// outright when the in-flight frame count would exceed the queue
+    /// limit. Never blocks: the caller decides whether to retry, shed,
+    /// or fall back to local inference.
+    pub fn apply_batch(
+        &self,
+        request: &BatchRequest,
+        now: SimTime,
+    ) -> Result<BatchResponse, Overloaded> {
+        // An empty batch still occupies one queue slot: it costs a parse
+        // and a reply, and a flood of them must still trip backpressure.
+        let cost = request.frames.len().max(1);
+        let before = self.in_flight.fetch_add(cost, Ordering::AcqRel);
+        if before + cost > self.queue_limit {
+            self.in_flight.fetch_sub(cost, Ordering::AcqRel);
+            self.counters.lock().record_overload();
+            return Err(Overloaded);
+        }
+        let mut replies = Vec::with_capacity(request.frames.len());
+        {
+            let mut counters = self.counters.lock();
+            counters.record_batch();
+            for frame in &request.frames {
+                replies.push(self.apply_frame(frame, now, &mut counters));
+            }
+        }
+        self.in_flight.fetch_sub(cost, Ordering::AcqRel);
+        Ok(BatchResponse { replies })
+    }
+
+    fn apply_frame(&self, frame: &Frame, now: SimTime, counters: &mut EdgeCounters) -> Reply {
+        match frame {
+            Frame::Lookup { key } => match self.cache.lookup(key, now) {
+                LookupResult::Hit {
+                    label,
+                    entry,
+                    nearest_distance,
+                    ..
+                } => {
+                    counters.record_lookup(true);
+                    let confidence = self.cache.entry_confidence(entry).unwrap_or(0.5);
+                    Reply::Hit(EdgeHit {
+                        label,
+                        confidence: confidence.clamp(0.0, 1.0),
+                        distance: nearest_distance.max(0.0),
+                    })
+                }
+                LookupResult::Miss(_) => {
+                    counters.record_lookup(false);
+                    Reply::Miss
+                }
+            },
+            Frame::Insert {
+                key,
+                label,
+                confidence,
+            } => {
+                counters.record_insert();
+                self.cache.insert(
+                    key.clone(),
+                    *label,
+                    confidence.clamp(0.0, 1.0),
+                    EntrySource::LocalInference,
+                    now,
+                );
+                Reply::Accepted
+            }
+            Frame::GossipAd {
+                key,
+                label,
+                confidence,
+            } => {
+                counters.record_gossip();
+                self.cache.insert(
+                    key.clone(),
+                    *label,
+                    confidence.clamp(0.0, 1.0),
+                    EntrySource::Peer,
+                    now,
+                );
+                Reply::Accepted
+            }
+        }
+    }
+
+    /// Server-side counters so far.
+    pub fn counters(&self) -> EdgeCounters {
+        *self.counters.lock()
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Replaces the A-kNN distance threshold (used by the sim to copy
+    /// the device-calibrated threshold onto the shared tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    pub fn set_distance_threshold(&self, threshold: f64) {
+        self.cache.set_distance_threshold(threshold);
+    }
+
+    /// The compressed canonical snapshot of the cache contents — what
+    /// `GET /snapshot` serves.
+    pub fn snapshot_blob(&self, now: SimTime) -> Vec<u8> {
+        let snapshot = self.cache.canonical_snapshot(now);
+        let json = serde_json::to_string(&snapshot).unwrap_or_default();
+        crate::compress::compress(json.as_bytes()).to_vec()
+    }
+
+    /// Restores entries from a [`snapshot_blob`](Self::snapshot_blob)
+    /// through the normal insert path; returns how many were restored.
+    pub fn restore_blob(&self, blob: &[u8], now: SimTime) -> Result<usize, String> {
+        let json = crate::compress::decompress(blob).map_err(|e| e.to_string())?;
+        let json = String::from_utf8(json).map_err(|e| e.to_string())?;
+        let snapshot: reuse::CacheSnapshot<u32> =
+            serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        Ok(self.cache.restore(&snapshot, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use features::FeatureVector;
+
+    fn key(components: &[f32]) -> FeatureVector {
+        FeatureVector::from_vec(components.to_vec()).unwrap()
+    }
+
+    fn cache_with_limit(queue_limit: usize) -> EdgeCache {
+        EdgeCache::new(EdgeCacheConfig {
+            capacity: 64,
+            distance_threshold: 1.0,
+            queue_limit,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(EdgeCacheConfig {
+            capacity: 0,
+            ..EdgeCacheConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EdgeCacheConfig {
+            distance_threshold: f64::NAN,
+            ..EdgeCacheConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EdgeCacheConfig {
+            queue_limit: 0,
+            ..EdgeCacheConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EdgeCacheConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_and_counts() {
+        let edge = cache_with_limit(16);
+        let req = BatchRequest {
+            device: 1,
+            frames: vec![
+                Frame::Lookup {
+                    key: key(&[0.0, 0.0]),
+                },
+                Frame::Insert {
+                    key: key(&[0.0, 0.0]),
+                    label: 9,
+                    confidence: 0.9,
+                },
+                Frame::Lookup {
+                    key: key(&[0.05, 0.0]),
+                },
+            ],
+        };
+        let resp = edge.apply_batch(&req, SimTime::ZERO).unwrap();
+        assert_eq!(resp.replies.len(), 3);
+        assert_eq!(resp.replies[0], Reply::Miss);
+        assert_eq!(resp.replies[1], Reply::Accepted);
+        match resp.replies[2] {
+            Reply::Hit(hit) => {
+                assert_eq!(hit.label, 9);
+                assert!(hit.confidence > 0.8);
+                assert!(hit.distance < 0.1);
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        let c = edge.counters();
+        assert_eq!(c.batches, 1);
+        assert_eq!(c.lookups, 2);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.inserts, 1);
+        assert_eq!(c.overloads, 0);
+        assert!(!c.is_idle());
+        assert!(c.hits <= c.lookups);
+    }
+
+    #[test]
+    fn gossip_ads_land_with_peer_provenance() {
+        let edge = cache_with_limit(16);
+        let resp = edge
+            .apply_batch(
+                &BatchRequest {
+                    device: 2,
+                    frames: vec![Frame::GossipAd {
+                        key: key(&[1.0, 1.0]),
+                        label: 3,
+                        confidence: 0.8,
+                    }],
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.replies, vec![Reply::Accepted]);
+        assert_eq!(edge.counters().gossip_entries, 1);
+        assert_eq!(edge.len(), 1);
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_not_blocked() {
+        let edge = cache_with_limit(4);
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::Lookup {
+                key: key(&[i as f32, 0.0]),
+            })
+            .collect();
+        let err = edge
+            .apply_batch(&BatchRequest { device: 1, frames }, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, Overloaded);
+        let c = edge.counters();
+        assert_eq!(c.overloads, 1);
+        assert_eq!(c.batches, 0, "rejected batches are not counted accepted");
+        // The failed admission released its permits: a fitting batch
+        // still goes through.
+        let ok = edge.apply_batch(
+            &BatchRequest {
+                device: 1,
+                frames: vec![Frame::Lookup {
+                    key: key(&[0.0, 0.0]),
+                }],
+            },
+            SimTime::ZERO,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn clones_share_contents_and_counters() {
+        let edge = cache_with_limit(16);
+        let other = edge.clone();
+        edge.apply_batch(
+            &BatchRequest {
+                device: 1,
+                frames: vec![Frame::Insert {
+                    key: key(&[0.5, 0.5]),
+                    label: 1,
+                    confidence: 1.0,
+                }],
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(other.len(), 1);
+        assert_eq!(other.counters().inserts, 1);
+    }
+
+    #[test]
+    fn counters_merge_and_reconcile() {
+        let mut total = EdgeCounters::default();
+        assert!(total.is_idle());
+        let mut server = EdgeCounters::default();
+        server.record_batch();
+        server.record_lookup(true);
+        server.record_lookup(false);
+        let mut device = EdgeCounters::default();
+        device.record_queries_sent(3);
+        device.record_query_timeout();
+        device.record_hit_adopted();
+        total.merge(&server);
+        total.merge(&device);
+        assert!(!total.is_idle());
+        assert!(total.reconciles(), "{total}");
+        assert_eq!(total.lookups, 2);
+        assert_eq!(total.queries_sent, 3);
+        // An impossible chain fails reconciliation.
+        let mut bogus = EdgeCounters::default();
+        bogus.record_lookup(true);
+        assert!(!bogus.reconciles());
+    }
+
+    #[test]
+    fn snapshot_blob_round_trips_through_a_cold_cache() {
+        let warm = cache_with_limit(16);
+        for i in 0..10u32 {
+            warm.apply_batch(
+                &BatchRequest {
+                    device: 1,
+                    frames: vec![Frame::Insert {
+                        key: key(&[i as f32 * 10.0, 1.0]),
+                        label: i,
+                        confidence: 0.9,
+                    }],
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let blob = warm.snapshot_blob(SimTime::from_millis(5));
+        let cold = cache_with_limit(16);
+        let restored = cold.restore_blob(&blob, SimTime::from_millis(6)).unwrap();
+        assert_eq!(restored, 10);
+        assert_eq!(cold.len(), 10);
+        // Garbage is rejected, not panicked on.
+        assert!(cold.restore_blob(b"not a snapshot", SimTime::ZERO).is_err());
+    }
+}

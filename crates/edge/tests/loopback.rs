@@ -1,0 +1,214 @@
+//! Loopback integration: the real TCP server must answer a batched
+//! lookup/insert/gossip session byte-identically to the in-process
+//! `EdgeCache`, and overload must surface as `503`, never as blocking.
+
+use std::time::Duration;
+
+use features::FeatureVector;
+use simcore::SimTime;
+
+use edge::{
+    BatchRequest, ClientError, EdgeCache, EdgeCacheConfig, EdgeClient, EdgeServer, Frame, Reply,
+    ServerConfig,
+};
+
+fn key(components: &[f32]) -> FeatureVector {
+    FeatureVector::from_vec(components.to_vec()).unwrap()
+}
+
+fn session_batches() -> Vec<BatchRequest> {
+    vec![
+        BatchRequest {
+            device: 1,
+            frames: vec![
+                Frame::Lookup {
+                    key: key(&[0.0, 0.0, 0.0]),
+                },
+                Frame::Insert {
+                    key: key(&[0.0, 0.0, 0.0]),
+                    label: 11,
+                    confidence: 0.95,
+                },
+            ],
+        },
+        BatchRequest {
+            device: 2,
+            frames: vec![
+                Frame::Lookup {
+                    key: key(&[0.05, 0.0, 0.0]),
+                },
+                Frame::GossipAd {
+                    key: key(&[5.0, 5.0, 5.0]),
+                    label: 3,
+                    // Above the default 0.8 peer-confidence admission
+                    // floor, so the ad actually lands.
+                    confidence: 0.9,
+                },
+            ],
+        },
+        BatchRequest {
+            device: 1,
+            frames: vec![
+                Frame::Lookup {
+                    key: key(&[5.0, 5.05, 5.0]),
+                },
+                Frame::Lookup {
+                    key: key(&[100.0, -100.0, 0.0]),
+                },
+            ],
+        },
+    ]
+}
+
+#[test]
+fn tcp_session_matches_in_process_cache_byte_for_byte() {
+    let config = EdgeCacheConfig {
+        capacity: 64,
+        distance_threshold: 1.0,
+        queue_limit: 128,
+    };
+    let served = EdgeCache::new(config).unwrap();
+    let reference = EdgeCache::new(config).unwrap();
+
+    let server = EdgeServer::start("127.0.0.1:0", served.clone(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let client = EdgeClient::new(server.addr().to_string()).with_timeout(Duration::from_secs(10));
+
+    for (i, batch) in session_batches().iter().enumerate() {
+        let over_tcp = client.batch(batch).expect("tcp batch");
+        let in_process = reference
+            .apply_batch(batch, SimTime::from_millis(i as u64))
+            .expect("in-process batch");
+        // The replies must agree on the wire, bit for bit.
+        assert_eq!(
+            over_tcp.encode().to_vec(),
+            in_process.encode().to_vec(),
+            "batch {i} diverged between TCP and in-process"
+        );
+    }
+
+    // Both caches saw the same traffic.
+    let tcp_counters = served.counters();
+    let ref_counters = reference.counters();
+    assert_eq!(tcp_counters, ref_counters);
+    assert_eq!(tcp_counters.batches, 3);
+    assert_eq!(tcp_counters.hits, 2, "second and third lookups hit");
+
+    // Health reports the same counters over HTTP.
+    let health = client.health().expect("health");
+    assert!(
+        health.starts_with("ok:"),
+        "unexpected health line: {health}"
+    );
+
+    // The snapshot round-trips into a cold in-process cache.
+    let blob = client.snapshot().expect("snapshot");
+    let cold = EdgeCache::new(config).unwrap();
+    let restored = cold.restore_blob(&blob, SimTime::ZERO).expect("restore");
+    assert_eq!(restored, served.len());
+
+    server.stop();
+}
+
+#[test]
+fn overload_returns_503_not_blocking() {
+    let config = EdgeCacheConfig {
+        capacity: 64,
+        distance_threshold: 1.0,
+        queue_limit: 2,
+    };
+    let cache = EdgeCache::new(config).unwrap();
+    let server = EdgeServer::start("127.0.0.1:0", cache.clone(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let client = EdgeClient::new(server.addr().to_string()).with_timeout(Duration::from_secs(10));
+
+    // Three frames against a queue limit of two must be shed.
+    let oversized = BatchRequest {
+        device: 9,
+        frames: (0..3)
+            .map(|i| Frame::Lookup {
+                key: key(&[i as f32, 0.0, 0.0]),
+            })
+            .collect(),
+    };
+    let started = std::time::Instant::now();
+    match client.batch(&oversized) {
+        Err(ClientError::Overloaded) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "overload must answer immediately, not block"
+    );
+    assert_eq!(cache.counters().overloads, 1);
+
+    // A fitting batch still succeeds afterwards.
+    let small = BatchRequest {
+        device: 9,
+        frames: vec![Frame::Lookup {
+            key: key(&[0.0, 0.0, 0.0]),
+        }],
+    };
+    match client.batch(&small).expect("small batch").replies[0] {
+        Reply::Miss => {}
+        other => panic!("expected a miss on an empty cache, got {other:?}"),
+    }
+
+    server.stop();
+}
+
+#[test]
+fn malformed_bodies_get_400_and_unknown_routes_404() {
+    let cache = EdgeCache::new(EdgeCacheConfig::default()).unwrap();
+    let server = EdgeServer::start("127.0.0.1:0", cache, ServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Hand-rolled request with a garbage body.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"POST /batch HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz")
+        .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply}");
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 404"), "got: {reply}");
+
+    server.stop();
+}
+
+#[test]
+fn shutdown_route_is_gated_and_clean() {
+    let cache = EdgeCache::new(EdgeCacheConfig::default()).unwrap();
+
+    // Without the flag, /shutdown is a 404 and the server stays up.
+    let server = EdgeServer::start("127.0.0.1:0", cache.clone(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let client = EdgeClient::new(server.addr().to_string());
+    assert!(matches!(
+        client.shutdown(),
+        Err(ClientError::Http { status: 404, .. })
+    ));
+    assert!(client.health().is_ok(), "server must still answer");
+    server.stop();
+
+    // With the flag, /shutdown drains the server; wait() returns.
+    let server = EdgeServer::start(
+        "127.0.0.1:0",
+        cache,
+        ServerConfig {
+            allow_shutdown: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let client = EdgeClient::new(server.addr().to_string());
+    client.shutdown().expect("shutdown acknowledged");
+    server.wait();
+}

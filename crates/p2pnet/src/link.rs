@@ -66,6 +66,25 @@ impl LinkSpec {
         }
     }
 
+    /// A calibrated mobile-WAN uplink to an edge server: LTE/5G
+    /// radio-access latency in the tens of milliseconds, tail-heavy
+    /// jitter, backhaul-grade bandwidth, and rare loss (the transport
+    /// below retransmits; what the model charges is the visible stall).
+    /// Range is effectively unlimited — reachability is a coverage
+    /// question, not a proximity one.
+    pub fn wan() -> LinkSpec {
+        LinkSpec {
+            name: "wan",
+            base_latency: SimDuration::from_millis(25),
+            jitter_sigma: 0.35,
+            bandwidth_mbps: 20.0,
+            loss_prob: 0.005,
+            range_m: 1.0e7,
+            mtu: 1_400,
+            fragment_overhead: 40,
+        }
+    }
+
     /// An ideal link (zero latency, no loss) for ablations isolating
     /// protocol behaviour from network cost.
     pub fn ideal() -> LinkSpec {
@@ -172,7 +191,22 @@ mod tests {
     fn presets_validate() {
         assert!(LinkSpec::ble().validate().is_ok());
         assert!(LinkSpec::wifi_direct().validate().is_ok());
+        assert!(LinkSpec::wan().validate().is_ok());
         assert!(LinkSpec::ideal().validate().is_ok());
+    }
+
+    #[test]
+    fn wan_sits_between_ble_latency_and_wifi_bandwidth() {
+        // The edge tier only makes sense if a WAN round-trip undercuts
+        // full inference (~75 ms MobileNet) while staying slower than a
+        // short-range WiFi-Direct hop: sanity-pin the calibration.
+        let wan = LinkSpec::wan();
+        assert_eq!(wan.name, "wan");
+        assert!(wan.base_latency > LinkSpec::wifi_direct().base_latency);
+        assert!(wan.base_latency * 2 < SimDuration::from_millis(75));
+        assert!(wan.loss_prob < LinkSpec::ble().loss_prob);
+        // Far range: proximity never gates an edge query.
+        assert!(wan.range_m > 1.0e6);
     }
 
     #[test]

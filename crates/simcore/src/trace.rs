@@ -94,6 +94,8 @@ pub enum TracePath {
     LocalHit,
     /// A peer's cache answered.
     PeerHit,
+    /// The edge-tier cache answered over the WAN.
+    EdgeHit,
     /// The full model ran.
     Infer,
 }
@@ -105,16 +107,18 @@ impl TracePath {
             TracePath::ImuFastPath => "imu-fast-path",
             TracePath::LocalHit => "local-hit",
             TracePath::PeerHit => "peer-hit",
+            TracePath::EdgeHit => "edge-hit",
             TracePath::Infer => "infer",
         }
     }
 
     /// All paths, cheapest first.
-    pub fn all() -> [TracePath; 4] {
+    pub fn all() -> [TracePath; 5] {
         [
             TracePath::ImuFastPath,
             TracePath::LocalHit,
             TracePath::PeerHit,
+            TracePath::EdgeHit,
             TracePath::Infer,
         ]
     }
@@ -277,8 +281,9 @@ mod tests {
 
     #[test]
     fn names_and_orders() {
-        assert_eq!(TracePath::all().len(), 4);
+        assert_eq!(TracePath::all().len(), 5);
         assert_eq!(TracePath::ImuFastPath.name(), "imu-fast-path");
+        assert_eq!(TracePath::EdgeHit.name(), "edge-hit");
         assert_eq!(TraceMissReason::TooFar.name(), "too-far");
     }
 }

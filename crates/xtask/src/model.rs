@@ -367,10 +367,17 @@ pub fn check_counter_registry(
             {
                 continue;
             }
-            let Some(registry) = registry_of(field.ident_name()) else {
+            // Registries may share field names (`EdgeCounters` and
+            // `CacheStats` both count `lookups`); attribute the
+            // increment to the registry whose `impl` block encloses it
+            // before falling back to the first name match.
+            let impl_name = tree.enclosing_impl(i).map(|im| im.name.as_str());
+            let by_impl = COUNTER_REGISTRIES
+                .iter()
+                .find(|r| Some(r.name) == impl_name && r.fields.contains(&field.ident_name()));
+            let Some(registry) = by_impl.or_else(|| registry_of(field.ident_name())) else {
                 continue;
             };
-            let impl_name = tree.enclosing_impl(i).map(|im| im.name.as_str());
             let fn_name = tree.enclosing_fn(i).map(|f| f.name.as_str()).unwrap_or("");
             if impl_name == Some(registry.name) && registry.home == ctx.rel_path {
                 if fn_name.starts_with("record_") {

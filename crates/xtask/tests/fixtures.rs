@@ -87,6 +87,39 @@ fn perf_measurement_files_may_read_the_wall_clock() {
 }
 
 #[test]
+fn edge_protocol_files_get_the_full_determinism_rule() {
+    // The edge crate's protocol/codec/cache half feeds seeded sim runs,
+    // so it is a simulation crate for rule D: all four checks fire.
+    let hits = lint("bad", "determinism", "crates/edge/src/protocol.rs", 0);
+    let lines: Vec<usize> = hits
+        .iter()
+        .filter(|&&(r, _)| r == Rule::Determinism)
+        .map(|&(_, l)| l)
+        .collect();
+    for (line, what) in [
+        (11, "Instant::now"),
+        (12, "SimRng::default"),
+        (13, "thread_rng"),
+        (15, "HashMap iteration"),
+    ] {
+        assert!(lines.contains(&line), "{what} line, got {lines:?}");
+    }
+}
+
+#[test]
+fn edge_service_runtime_is_exempt_from_determinism() {
+    // The server and client halves run real sockets with read/write
+    // deadlines; rule D stays out entirely, like the perf files.
+    for home in ["crates/edge/src/server.rs", "crates/edge/src/client.rs"] {
+        let hits = lint("bad", "determinism", home, 0);
+        assert!(
+            !hits.iter().any(|&(r, _)| r == Rule::Determinism),
+            "{home}: got {hits:?}"
+        );
+    }
+}
+
+#[test]
 fn sweep_module_gets_the_full_determinism_rule() {
     // The sweep orchestrator lives in the bench crate but its cell
     // seeds and resume-merge must replay byte-identically, so it is

@@ -19,6 +19,7 @@
 //! | [`vision`] | The synthetic visual world (`scene`) |
 //! | [`inference`] | The mobile DNN simulator (`dnnsim`) |
 //! | [`network`] | Infrastructure-less peer networking (`p2pnet`) |
+//! | [`edge`] | The optional edge cache tier: wire protocol, shared cache, HTTP server (`edge`) |
 //! | [`workload`] | Named scenarios and sweeps (`workloads`) |
 //! | [`runtime`] | Simulation substrate: time, RNG, metrics (`simcore`) |
 //!
@@ -46,6 +47,9 @@ pub use ann as search;
 pub use approxcache as system;
 /// The mobile DNN inference simulator.
 pub use dnnsim as inference;
+/// The optional edge cache tier: batched wire protocol, the shared
+/// `EdgeCache` service, and the threaded HTTP server/client.
+pub use edge;
 /// Feature vectors, random projections and perceptual hashes.
 pub use features as keys;
 /// IMU trace synthesis, motion estimation and the reuse gate.

@@ -130,7 +130,7 @@ fn fault_counters_reconcile_with_traces() {
     }
 }
 
-// The three tests below are the counter-registry reconciliation sites
+// The four tests below are the counter-registry reconciliation sites
 // the xtask census (rule T) requires: every registry field appears in at
 // least one conservation assertion here or in the registry's own balance
 // invariant, so a counter that drifts from the events it claims to count
@@ -284,4 +284,48 @@ fn resilience_counters_reconcile_with_breaker_and_merge() {
     assert_eq!(doubled.reprobes, 2 * unit.reprobes);
     assert_eq!(doubled.breaker_skips, 2 * unit.breaker_skips);
     assert_eq!(doubled.peer_fallbacks, 2 * unit.peer_fallbacks);
+}
+
+#[test]
+fn edge_counters_conserve_across_the_wan_exchange() {
+    use approx_caching::system::EdgeConfig;
+    use approx_caching::workload::multi;
+
+    // An edge-assisted run without the peer tier, so every remote answer
+    // flows through the edge counters (mirrors the R-22 claim setup).
+    let scenario = multi::museum(4).with_duration(SimDuration::from_secs(8));
+    let mut config = PipelineConfig::calibrated(&scenario, 77);
+    config.edge = Some(EdgeConfig::default());
+    let result = run(
+        &scenario,
+        &config,
+        SystemVariant::NoPeer,
+        77,
+        Detail::Summary,
+    )
+    .expect("valid scenario");
+    let edge = result.report.edge;
+
+    assert!(edge.queries_sent > 0, "the edge tier must see traffic");
+    // Losses are modelled on the reply leg, so every sent lookup reaches
+    // the server, and a device can only adopt a hit the server counted.
+    assert_eq!(edge.lookups, edge.queries_sent);
+    assert!(edge.hits <= edge.lookups, "a hit is a processed lookup");
+    assert!(
+        edge.hits_adopted <= edge.hits,
+        "adoption needs a delivered hit"
+    );
+    assert!(
+        edge.query_timeouts <= edge.queries_sent,
+        "a timeout is a sent exchange the WAN lost"
+    );
+    assert!(edge.reconciles(), "the documented inequality chain holds");
+    // The sim sends one frame per batch and never fills the default
+    // 4096-deep queue, so accepted batches and frames balance exactly.
+    assert_eq!(edge.overloads, 0);
+    assert_eq!(
+        edge.batches,
+        edge.lookups + edge.inserts + edge.gossip_entries,
+        "every accepted single-frame batch is one processed frame"
+    );
 }
